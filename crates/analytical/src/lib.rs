@@ -1,0 +1,32 @@
+//! `recdp-analytical`: the paper's analytical model (Section IV).
+//!
+//! Three pieces, mirroring the paper's derivation for the GE benchmark:
+//!
+//! 1. [`task_count`] — how many base-case tasks the 2-way recursive
+//!    divide-and-conquer algorithm generates for a given problem size `n`
+//!    and base-case (tile) size `m`: with `T = n/m`,
+//!    `T^3/3 + T^2/2 + T/6` for GE/FW and `T^2` for SW.
+//! 2. [`miss_bound`] — the upper bound on cache misses incurred by one
+//!    `m x m` base case under the paper's pessimistic assumption that the
+//!    cache holds no more than three lines (i.e. essentially no temporal
+//!    locality): `m * (1 + (m+1) * (1 + ceil((m-1)/L)))` for a line size
+//!    of `L` doubles.
+//! 3. [`cost_model`] — the "Estimated" series of Figs. 4-5: distribute the
+//!    base-case tasks fairly over `P` cores and charge each task its
+//!    compute time plus the miss bound weighted by each level's miss
+//!    penalty. The model deliberately ignores recursion/looping overhead
+//!    and load imbalance, exactly as the paper states.
+//!
+//! [`locality`] adds the capacity-aware *expected* miss count used as the
+//! analytic stand-in for PAPI measurements in Table I when full trace
+//! simulation is too slow, plus the ratio computation itself.
+
+pub mod cost_model;
+pub mod locality;
+pub mod miss_bound;
+pub mod task_count;
+
+pub use cost_model::{estimated_time_ns, EstimateBreakdown};
+pub use locality::{capacity_aware_misses_per_task, locality_ratio};
+pub use miss_bound::{ge_base_case_flops, ge_miss_upper_bound};
+pub use task_count::{ge_base_task_count, sw_base_task_count};

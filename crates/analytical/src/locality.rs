@@ -1,0 +1,123 @@
+//! Table I: the temporal-locality ratio.
+//!
+//! The paper divides the analytical *maximum* miss count (no temporal
+//! locality) by the *actual* miss count measured with PAPI; a large ratio
+//! means the real execution enjoyed lots of temporal locality. The ratio
+//! collapses once the three blocks a base case touches stop fitting in a
+//! cache level — above 128x128 for Skylake's 1 MiB L2 and above
+//! 1024x1024 for its ~32 MiB L3 share.
+//!
+//! Our stand-in for PAPI is the trace-driven simulator in `recdp-cachesim`;
+//! this module provides the capacity-aware *analytic* expectation used to
+//! extrapolate the largest bases (where tracing ~m^3 accesses is too slow)
+//! and the ratio plumbing itself.
+
+use recdp_machine::CacheLevel;
+
+use crate::miss_bound::ge_miss_upper_bound;
+
+/// Expected misses of one `m x m` GE base case at a cache level with
+/// capacity `level.capacity_doubles()` and line size `line_doubles`,
+/// under an idealised fully-associative LRU model:
+///
+/// * If the three blocks the base case touches (`3 m^2` doubles) fit, the
+///   only misses are compulsory: each of the three blocks is loaded once,
+///   `3 * m * ceil(m/L)` lines (row-major, `m` rows of `ceil(m/L)` lines
+///   each).
+/// * If one block row-set still fits but three blocks do not, the `C[k][j]`
+///   pivot row stays resident per k-step while the streamed `C[i][*]` rows
+///   miss every pass: `~ m * (m/L) * (m/m_fit)`-style partial reuse. We
+///   model this middle regime as the full-streaming bound scaled by the
+///   fraction of the working set that fits.
+/// * If nothing fits, the paper's no-locality upper bound applies.
+pub fn capacity_aware_misses_per_task(m: usize, level: &CacheLevel, line_doubles: usize) -> f64 {
+    assert!(m > 0 && line_doubles > 0);
+    let cap = level.capacity_doubles() as f64;
+    let working_set = 3.0 * (m * m) as f64;
+    let row_lines = m.div_ceil(line_doubles) as f64;
+    let compulsory = 3.0 * m as f64 * row_lines;
+    let bound = ge_miss_upper_bound(m, line_doubles) as f64;
+    if working_set <= cap {
+        compulsory
+    } else {
+        // Fraction of repeated passes that hit: capped reuse. As the
+        // working set grows past capacity, hits decay like cap/ws and the
+        // count interpolates between compulsory and the upper bound.
+        let resident = (cap / working_set).clamp(0.0, 1.0);
+        bound - (bound - compulsory) * resident
+    }
+}
+
+/// Table I entry: `estimated maximum misses / actual misses` for one cache
+/// level. `actual_misses` must be for the same scope (whole benchmark or
+/// per task) as the numerator the caller supplies.
+pub fn locality_ratio(estimated_max: f64, actual: f64) -> f64 {
+    assert!(actual > 0.0, "actual misses must be positive");
+    estimated_max / actual
+}
+
+/// Convenience: the full-problem Table I ratio for GE at (n, m) on a given
+/// level, using the capacity-aware analytic expectation as the "actual"
+/// series. Both numerator and denominator scale by the same task count, so
+/// the per-task ratio equals the whole-run ratio.
+pub fn analytic_table1_ratio(m: usize, level: &CacheLevel, line_doubles: usize) -> f64 {
+    let max = ge_miss_upper_bound(m, line_doubles) as f64;
+    let actual = capacity_aware_misses_per_task(m, level, line_doubles);
+    locality_ratio(max, actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_machine::skylake192;
+
+    #[test]
+    fn fitting_tile_has_high_ratio() {
+        let sky = skylake192();
+        let l2 = &sky.caches.levels[1];
+        let l = sky.caches.line_doubles();
+        // 64 and 128 fit in L2 (3 * 128^2 * 8 = 384 KiB < 1 MiB); 256 does
+        // not (1.5 MiB). The ratio must collapse between 128 and 256,
+        // reproducing Table I's L2 column shape.
+        let r64 = analytic_table1_ratio(64, l2, l);
+        let r128 = analytic_table1_ratio(128, l2, l);
+        let r256 = analytic_table1_ratio(256, l2, l);
+        let r512 = analytic_table1_ratio(512, l2, l);
+        assert!(r64 > 10.0, "r64 = {r64}");
+        assert!(r128 > 10.0, "r128 = {r128}");
+        assert!(r256 < r128 / 2.0, "r256 = {r256} vs r128 = {r128}");
+        assert!(r512 < r256, "monotone collapse: {r512} < {r256}");
+    }
+
+    #[test]
+    fn l3_cliff_is_at_1024() {
+        let sky = skylake192();
+        let l3 = &sky.caches.levels[2];
+        let l = sky.caches.line_doubles();
+        let r1024 = analytic_table1_ratio(1024, l3, l);
+        let r2048 = analytic_table1_ratio(2048, l3, l);
+        // 3 * 1024^2 * 8 = 24 MiB < 33 MiB fits; 3 * 2048^2 * 8 = 96 MiB
+        // does not: Table I's L3 column drops from thousands to O(100).
+        assert!(r1024 > 100.0, "r1024 = {r1024}");
+        assert!(r2048 < r1024 / 5.0, "r2048 = {r2048}");
+    }
+
+    #[test]
+    fn ratio_is_at_least_one() {
+        // The actual misses can never exceed the maximum bound.
+        let sky = skylake192();
+        let l = sky.caches.line_doubles();
+        for level in &sky.caches.levels {
+            for &m in &[8usize, 64, 128, 256, 512, 1024, 2048] {
+                let r = analytic_table1_ratio(m, level, l);
+                assert!(r >= 1.0 - 1e-9, "m={m} level={} r={r}", level.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_actual_rejected() {
+        let _ = locality_ratio(10.0, 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the cache simulator: trace replay throughput
+//! (this bounds how large a Table I base size can be traced exactly).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recdp_cachesim::workloads::{ge_base_case_trace, ge_base_case_trace_len};
+use recdp_cachesim::{CacheHierarchy, PrefetchPolicy};
+use recdp_machine::skylake192;
+
+fn trace_replay(c: &mut Criterion) {
+    let sky = skylake192();
+    let m = 64;
+    let accesses = ge_base_case_trace_len(m);
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("ge_base64_trace_skylake", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(&sky.caches);
+            ge_base_case_trace(4096, m, 3, 3, 1, &mut |a, _| {
+                h.access(a);
+            });
+            std::hint::black_box(h.dram_accesses())
+        })
+    });
+    group.bench_function("ge_base64_trace_skylake_prefetch", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::with_prefetch(&sky.caches, PrefetchPolicy::NextLine);
+            ge_base_case_trace(4096, m, 3, 3, 1, &mut |a, _| {
+                h.access(a);
+            });
+            std::hint::black_box(h.dram_accesses())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the real kernels under every execution model
+//! (the EXTRA-REAL harness at micro scale). On a single-core host the
+//! parallel variants measure runtime *overhead*, not speedup; the
+//! relative ordering serial < fork-join < CnC at fixed work is itself a
+//! paper-relevant observable (the data-flow runtime tax).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdp::{run_benchmark, Benchmark, Execution};
+use recdp_kernels::CncVariant;
+
+fn bench_benchmark(c: &mut Criterion, benchmark: Benchmark) {
+    let mut group = c.benchmark_group(format!("{}_n256_b32", benchmark.name()));
+    group.sample_size(10);
+    for execution in [
+        Execution::SerialLoops,
+        Execution::SerialRdp,
+        Execution::ForkJoin,
+        Execution::Cnc(CncVariant::Native),
+        Execution::Cnc(CncVariant::Tuner),
+        Execution::Cnc(CncVariant::Manual),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(execution.label()), |b| {
+            b.iter(|| {
+                let out = run_benchmark(benchmark, execution, 256, 32, 2);
+                std::hint::black_box(out.table);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn kernels(c: &mut Criterion) {
+    bench_benchmark(c, Benchmark::Ge);
+    bench_benchmark(c, Benchmark::Sw);
+    bench_benchmark(c, Benchmark::Fw);
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the runtime substrates' primitive costs —
+//! the real-world counterparts of the `ParadigmOverheads` constants the
+//! simulator uses (spawn, join, tag put, item put/get).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recdp_cnc::{CncGraph, StepOutcome};
+use recdp_forkjoin::{join, ThreadPoolBuilder};
+
+fn forkjoin_primitives(c: &mut Criterion) {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build();
+    let mut group = c.benchmark_group("forkjoin");
+    group.sample_size(20);
+    group.bench_function("join_leaf_pair", |b| {
+        b.iter(|| {
+            pool.install(|| join(|| std::hint::black_box(1u64), || std::hint::black_box(2u64)))
+        })
+    });
+    group.bench_function("join_tree_depth8", |b| {
+        fn tree(d: u32) -> u64 {
+            if d == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| tree(d - 1), || tree(d - 1));
+            a + b
+        }
+        b.iter(|| pool.install(|| std::hint::black_box(tree(8))))
+    });
+    group.bench_function("scope_spawn_64", |b| {
+        b.iter(|| {
+            pool.install(|| {
+                recdp_forkjoin::scope(|s| {
+                    for _ in 0..64 {
+                        s.spawn(|_| {
+                            std::hint::black_box(3u64);
+                        });
+                    }
+                });
+            })
+        })
+    });
+    group.finish();
+}
+
+fn cnc_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnc");
+    group.sample_size(20);
+    group.bench_function("tag_put_step_noop_x64", |b| {
+        b.iter(|| {
+            let g = CncGraph::with_threads(2);
+            let tags = g.tag_collection::<u32>("t");
+            tags.prescribe("noop", |_, _| Ok(StepOutcome::Done));
+            for i in 0..64 {
+                tags.put(i);
+            }
+            g.wait().unwrap();
+        })
+    });
+    group.bench_function("item_put_get_chain_x64", |b| {
+        b.iter(|| {
+            let g = CncGraph::with_threads(2);
+            let items = g.item_collection::<u32, u32>("i");
+            let tags = g.tag_collection::<u32>("t");
+            let it = items.clone();
+            tags.prescribe("chain", move |&n, s| {
+                let v = if n == 0 { 0 } else { it.get(s, &(n - 1))? };
+                it.put(n, v + 1)?;
+                Ok(StepOutcome::Done)
+            });
+            // Reverse order maximises blocking-get requeues.
+            for i in (0..64).rev() {
+                tags.put(i);
+            }
+            g.wait().unwrap();
+            assert_eq!(items.get_env(&63), Some(64));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, forkjoin_primitives, cnc_primitives);
+criterion_main!(benches);

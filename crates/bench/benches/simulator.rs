@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the experiment engine itself: DAG
+//! construction and discrete-event simulation throughput (these bound
+//! how fast the fig_* binaries regenerate the paper's figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdp::{dag, Benchmark, Model};
+use recdp_machine::{epyc64, ParadigmOverheads};
+use recdp_sim::{config_for, simulate, Workload};
+
+fn dag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_build_t32_m128");
+    group.sample_size(10);
+    for benchmark in Benchmark::ALL {
+        for model in [Model::ForkJoin, Model::DataFlow] {
+            let id = format!("{}_{}", benchmark.name(), model.name());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| std::hint::black_box(dag(benchmark, model, 32, 128)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn sim_run(c: &mut Criterion) {
+    let machine = epyc64();
+    let graph = dag(Benchmark::Ge, Model::DataFlow, 32, 128);
+    let cfg = config_for(&machine, &ParadigmOverheads::cnc_tuner(), Workload::Ge, 128, 64);
+    let mut group = c.benchmark_group("simulate_ge_df_t32");
+    group.sample_size(10);
+    group.bench_function("11440_tasks_64_workers", |b| {
+        b.iter(|| std::hint::black_box(simulate(&graph, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dag_build, sim_run);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Illustrates **Figure 3** quantitatively: how many base-case tasks
+//! *could* run at each dependency depth ("stage") under each execution
+//! model. The fork-join profile is taller and narrower — tasks that the
+//! DP recurrence would allow in early stages are pushed to later ones by
+//! the joins; the data-flow profile is the recurrence's own width.
+//!
+//! Usage: `fig3_stages [t]` (tiles per side, default 8)
+
+use recdp::{dag, Benchmark, Model};
+use recdp_taskgraph::metrics::width_profile;
+
+fn main() {
+    let t: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("# ready-width per stage, GE with t = {t} tiles per side");
+    for model in [Model::ForkJoin, Model::DataFlow] {
+        let g = dag(Benchmark::Ge, model, t, 64);
+        let profile = width_profile(&g);
+        let max = *profile.iter().max().unwrap_or(&1) as f64;
+        println!("\n{} ({} stages):", model.name(), profile.len());
+        for (d, &w) in profile.iter().enumerate() {
+            let bar = "#".repeat(((w as f64 / max) * 50.0).ceil() as usize);
+            println!("{d:>5} {w:>7} {bar}");
+        }
+    }
+    println!("\n(fork-join needs more stages for the same tasks: Fig. 3's");
+    println!(" sync points prevent stage-5/6 work from running in stages 2/3)");
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figures 8 and 9**: execution time of Floyd-Warshall
+//! APSP vs base-case size on EPYC-64 and SKYLAKE-192.
+//!
+//! The 16K/base-64 point simulates a 16.7M-task DAG and is skipped by
+//! default; pass `--full` to include it.
+//!
+//! Usage: `fig_fw [--machine epyc64|skylake192] [--full]`
+
+use recdp::Benchmark;
+use recdp_bench::{figures, FigureArgs};
+
+fn main() {
+    let args = FigureArgs::parse(std::env::args().skip(1));
+    figures::run(Benchmark::Fw, "fig8_9_fw", false, &args);
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Figures 4 and 5**: execution time of Gaussian
+//! Elimination vs base-case size, for 2K/4K/8K/16K problems on EPYC-64
+//! and SKYLAKE-192, across CnC / CnC_tuner / CnC_manual / OpenMP plus
+//! the analytical "Estimated" series.
+//!
+//! Usage: `fig_ge [--machine epyc64|skylake192] [--full]`
+
+use recdp::Benchmark;
+use recdp_bench::{figures, FigureArgs};
+
+fn main() {
+    let args = FigureArgs::parse(std::env::args().skip(1));
+    figures::run(Benchmark::Ge, "fig4_5_ge", true, &args);
+}

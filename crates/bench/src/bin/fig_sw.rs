@@ -1,0 +1,12 @@
+//! Regenerates **Figures 6 and 7**: execution time of Smith-Waterman vs
+//! base-case size on EPYC-64 and SKYLAKE-192.
+//!
+//! Usage: `fig_sw [--machine epyc64|skylake192] [--full]`
+
+use recdp::Benchmark;
+use recdp_bench::{figures, FigureArgs};
+
+fn main() {
+    let args = FigureArgs::parse(std::env::args().skip(1));
+    figures::run(Benchmark::Sw, "fig6_7_sw", false, &args);
+}

@@ -1,0 +1,78 @@
+//! Real-execution sanity harness (EXTRA-REAL in DESIGN.md): runs the
+//! actual Rust kernels under every execution model on *this* host,
+//! verifies all outputs are bitwise identical, and reports wall times
+//! and CnC runtime statistics (requeue ratios etc.).
+//!
+//! On a single-core host the parallel variants cannot show speedup —
+//! this harness demonstrates correctness and the runtimes' behavioural
+//! statistics, not scalability (that is what the simulator binaries
+//! reproduce).
+//!
+//! Usage: `realrun [--n <size>] [--base <size>] [--threads <k>]`
+
+use recdp::prelude::*;
+use recdp::{run_benchmark, Benchmark, Execution};
+
+fn main() {
+    let mut n = 512usize;
+    let mut base = 64usize;
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |field: &mut usize| {
+            *field = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{a} needs a number"));
+        };
+        match a.as_str() {
+            "--n" => grab(&mut n),
+            "--base" => grab(&mut base),
+            "--threads" => grab(&mut threads),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    println!("# real execution, n={n}, base={base}, threads={threads}");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "bench", "execution", "seconds", "steps", "requeued", "req_ratio"
+    );
+    let executions = [
+        Execution::SerialLoops,
+        Execution::SerialRdp,
+        Execution::ForkJoin,
+        Execution::Cnc(CncVariant::Native),
+        Execution::Cnc(CncVariant::Tuner),
+        Execution::Cnc(CncVariant::Manual),
+    ];
+    for benchmark in Benchmark::ALL {
+        let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, threads);
+        for execution in executions {
+            let out = run_benchmark(benchmark, execution, n, base, threads);
+            assert!(
+                out.table.bitwise_eq(&oracle.table),
+                "{} under {} diverged from the serial oracle",
+                benchmark.name(),
+                execution.label()
+            );
+            let (steps, requeued, ratio) = match &out.cnc_stats {
+                Some(s) => (
+                    s.steps_started.to_string(),
+                    s.steps_requeued.to_string(),
+                    format!("{:.3}", s.requeue_ratio()),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            println!(
+                "{:>8} {:>14} {:>12.4} {:>10} {:>10} {:>10}",
+                benchmark.name(),
+                execution.label(),
+                out.seconds,
+                steps,
+                requeued,
+                ratio
+            );
+        }
+    }
+    println!("all variants bitwise-identical to the serial oracle");
+}

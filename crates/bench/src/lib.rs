@@ -1,0 +1,177 @@
+//! `recdp-bench`: shared plumbing for the figure/table regeneration
+//! binaries (`fig_ge`, `fig_sw`, `fig_fw`, `table1`, `span_work`,
+//! `realrun`) and the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+use recdp_machine::{epyc64, skylake192, MachineConfig};
+
+/// The paper's per-figure base-size grids.
+pub fn bases_for(n: usize) -> Vec<usize> {
+    match n {
+        2048 => vec![8, 16, 32, 64, 128, 256, 512],
+        4096 => vec![64, 128, 256, 512],
+        8192 | 16384 => vec![64, 128, 256, 512, 1024, 2048],
+        // Off-grid problem sizes: sweep what divides.
+        _ => [8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+            .into_iter()
+            .filter(|&m| m <= n && n.is_multiple_of(m))
+            .collect(),
+    }
+}
+
+/// The paper's problem-size grid (2K, 4K, 8K, 16K).
+pub const PROBLEM_SIZES: [usize; 4] = [2048, 4096, 8192, 16384];
+
+/// Simple CLI options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigureArgs {
+    /// Machines to evaluate.
+    pub machines: Vec<MachineConfig>,
+    /// Include the heaviest DAGs (over ~8M tasks) instead of skipping
+    /// them with a note.
+    pub full: bool,
+    /// Cap on the number of simulated tasks per point unless `full`.
+    pub task_cap: usize,
+}
+
+impl FigureArgs {
+    /// Parses `--machine epyc64|skylake192` (repeatable; default both)
+    /// and `--full`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut machines = Vec::new();
+        let mut full = false;
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--machine" => {
+                    let v = it.next().expect("--machine needs a value");
+                    match v.as_str() {
+                        "epyc64" => machines.push(epyc64()),
+                        "skylake192" => machines.push(skylake192()),
+                        other => panic!("unknown machine {other:?} (epyc64|skylake192)"),
+                    }
+                }
+                "--full" => full = true,
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        if machines.is_empty() {
+            machines = vec![epyc64(), skylake192()];
+        }
+        FigureArgs { machines, full, task_cap: 8_000_000 }
+    }
+
+    /// Whether a point with `tasks` simulated tasks should be skipped.
+    pub fn skip(&self, tasks: u64) -> bool {
+        !self.full && tasks > self.task_cap as u64
+    }
+}
+
+/// Writes `content` to `results/<name>` under the workspace root,
+/// creating the directory if needed, and returns the path.
+pub fn write_results(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write results file");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper_axes() {
+        assert_eq!(bases_for(2048), vec![8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(bases_for(4096), vec![64, 128, 256, 512]);
+        assert_eq!(bases_for(16384), vec![64, 128, 256, 512, 1024, 2048]);
+        assert!(bases_for(1024).iter().all(|&m| 1024 % m == 0));
+    }
+
+    #[test]
+    fn args_default_to_both_machines() {
+        let a = FigureArgs::parse(std::iter::empty());
+        assert_eq!(a.machines.len(), 2);
+        assert!(!a.full);
+        assert!(a.skip(10_000_000));
+        assert!(!a.skip(1_000_000));
+    }
+
+    #[test]
+    fn args_parse_machine_and_full() {
+        let a = FigureArgs::parse(
+            ["--machine", "epyc64", "--full"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.machines.len(), 1);
+        assert_eq!(a.machines[0].name, "EPYC-64");
+        assert!(a.full);
+        assert!(!a.skip(10_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn bad_machine_rejected() {
+        let _ = FigureArgs::parse(["--machine", "cray"].iter().map(|s| s.to_string()));
+    }
+}
+
+/// Figure-regeneration driver shared by the `fig_*` binaries.
+pub mod figures {
+    use recdp::{Benchmark, FigurePanel, Paradigm};
+
+    use super::{bases_for, write_results, FigureArgs, PROBLEM_SIZES};
+
+    /// Simulated tasks of the heaviest series at one figure point.
+    fn tasks_at(benchmark: Benchmark, n: usize, m: usize) -> u64 {
+        let t = (n / m) as u64;
+        match benchmark {
+            Benchmark::Ge => t * (t + 1) * (2 * t + 1) / 6,
+            Benchmark::Sw => t * t,
+            Benchmark::Fw => t * t * t,
+        }
+    }
+
+    /// Regenerates one figure pair (e.g. Figs. 4-5 for GE): for each
+    /// machine in `args` and each problem size, sweeps the paper's base
+    /// sizes over the given paradigms, prints the panels and writes CSV
+    /// files named `<stem>_<machine>_<n>.csv`.
+    pub fn run(benchmark: Benchmark, stem: &str, with_estimate: bool, args: &FigureArgs) {
+        let mut paradigms = Paradigm::EXECUTABLE.to_vec();
+        if with_estimate {
+            paradigms.push(Paradigm::Estimated);
+        }
+        for machine in &args.machines {
+            for &n in &PROBLEM_SIZES {
+                let bases: Vec<usize> = bases_for(n)
+                    .into_iter()
+                    .filter(|&m| {
+                        let tasks = tasks_at(benchmark, n, m);
+                        if args.skip(tasks) {
+                            println!(
+                                "note: skipping {n}x{n} base {m} ({tasks} tasks > cap; \
+                                 rerun with --full)"
+                            );
+                            false
+                        } else {
+                            true
+                        }
+                    })
+                    .collect();
+                let panel = FigurePanel::compute(machine, benchmark, n, &bases, &paradigms);
+                print!("{}", panel.to_table());
+                println!();
+                let file = format!(
+                    "{stem}_{}_{}.csv",
+                    machine.name.to_lowercase().replace('-', ""),
+                    n
+                );
+                let path = write_results(&file, &panel.to_csv());
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A multi-level cache hierarchy fed by a byte-address trace.
+
+use recdp_machine::CacheGeometry;
+
+use crate::prefetch::{PrefetchPolicy, StreamDetector};
+use crate::set_assoc::SetAssocCache;
+use crate::stats::LevelStats;
+
+/// A simulated L1..LLC hierarchy. Demand accesses filter through the
+/// levels: a hit at level `i` stops the lookup; a miss proceeds to `i+1`
+/// and installs the line at every missed level on the way back (inclusive
+/// fill, the common behaviour of the modelled parts).
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    levels: Vec<SetAssocCache>,
+    prefetch: PrefetchPolicy,
+    detectors: Vec<StreamDetector>,
+    prefetch_installs: Vec<u64>,
+    line_bytes: u64,
+    dram_accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from a machine cache geometry with prefetching
+    /// disabled.
+    pub fn new(geometry: &CacheGeometry) -> Self {
+        Self::with_prefetch(geometry, PrefetchPolicy::Off)
+    }
+
+    /// Builds a hierarchy with the given prefetch policy.
+    pub fn with_prefetch(geometry: &CacheGeometry, prefetch: PrefetchPolicy) -> Self {
+        let levels: Vec<_> = geometry.levels.iter().map(SetAssocCache::new).collect();
+        let detectors = geometry.levels.iter().map(|_| StreamDetector::new(16)).collect();
+        let prefetch_installs = vec![0; geometry.levels.len()];
+        Self {
+            levels,
+            prefetch,
+            detectors,
+            prefetch_installs,
+            line_bytes: geometry.line_bytes() as u64,
+            dram_accesses: 0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Performs one demand load/store at a byte address. Stores and loads
+    /// are treated identically (write-allocate). Returns the index of the
+    /// level that hit, or `None` for a DRAM access. A miss installs the
+    /// line into every level that missed.
+    pub fn access(&mut self, addr: u64) -> Option<usize> {
+        let mut hit_level = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr) {
+                hit_level = Some(i);
+                break;
+            }
+        }
+        if hit_level.is_none() {
+            self.dram_accesses += 1;
+        }
+        if self.prefetch == PrefetchPolicy::NextLine {
+            let line = addr / self.line_bytes;
+            let missed_upto = hit_level.unwrap_or(self.levels.len());
+            for i in 0..missed_upto {
+                if self.detectors[i].observe_miss(line) {
+                    let was_present = self.levels[i].install(line + 1);
+                    if !was_present {
+                        self.prefetch_installs[i] += 1;
+                    }
+                }
+            }
+        }
+        hit_level
+    }
+
+    /// Per-level demand statistics, L1 first, with prefetch-install counts
+    /// folded in.
+    pub fn stats(&self) -> Vec<LevelStats> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let mut s = *l.stats();
+                s.prefetches = self.prefetch_installs[i];
+                s
+            })
+            .collect()
+    }
+
+    /// Demand misses at a given level.
+    pub fn misses_at(&self, level: usize) -> u64 {
+        self.levels[level].stats().misses
+    }
+
+    /// Total accesses that went all the way to DRAM.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.reset();
+        }
+        self.dram_accesses = 0;
+        self.prefetch_installs.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_machine::{CacheGeometry, CacheLevel, WritePolicy};
+
+    fn geom() -> CacheGeometry {
+        let mk = |name, cap, ways| CacheLevel {
+            name,
+            capacity_bytes: cap,
+            line_bytes: 64,
+            associativity: ways,
+            miss_penalty_ns: 1.0,
+            write_policy: WritePolicy::WriteBack,
+            shared: false,
+        };
+        CacheGeometry::new(vec![mk("L1", 1024, 2), mk("L2", 8192, 4)], 100.0)
+    }
+
+    #[test]
+    fn miss_filters_to_next_level() {
+        let mut h = CacheHierarchy::new(&geom());
+        assert_eq!(h.access(0), None); // cold: DRAM
+        assert_eq!(h.access(0), Some(0)); // L1 hit
+        assert_eq!(h.dram_accesses(), 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut h = CacheHierarchy::new(&geom());
+        // L1 holds 16 lines; touch 17 distinct lines then re-touch the
+        // first: L1 misses but L2 (128 lines) hits.
+        for i in 0..17u64 {
+            h.access(i * 64);
+        }
+        let lvl = h.access(0);
+        assert_eq!(lvl, Some(1), "should hit in L2");
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut h = CacheHierarchy::new(&geom());
+        for i in 0..8u64 {
+            h.access(i * 64);
+            h.access(i * 64);
+        }
+        let s = h.stats();
+        assert_eq!(s[0].misses, 8);
+        assert_eq!(s[0].hits, 8);
+        assert_eq!(s[1].misses, 8);
+        assert_eq!(s[1].hits, 0);
+    }
+
+    #[test]
+    fn prefetch_reduces_stream_misses() {
+        let mut off = CacheHierarchy::new(&geom());
+        let mut on = CacheHierarchy::with_prefetch(&geom(), PrefetchPolicy::NextLine);
+        // Long sequential stream exceeding both caches.
+        for i in 0..4096u64 {
+            off.access(i * 64);
+            on.access(i * 64);
+        }
+        let m_off = off.misses_at(1);
+        let m_on = on.misses_at(1);
+        assert!(m_on < m_off, "prefetch should cut L2 stream misses: {m_on} vs {m_off}");
+        assert!(on.stats()[1].prefetches > 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = CacheHierarchy::new(&geom());
+        h.access(0);
+        h.reset();
+        assert_eq!(h.dram_accesses(), 0);
+        assert_eq!(h.access(0), None);
+    }
+
+    #[test]
+    fn dram_accesses_equal_llc_misses() {
+        let mut h = CacheHierarchy::new(&geom());
+        for i in 0..1000u64 {
+            h.access((i * 7919) % 100_000 * 64);
+        }
+        assert_eq!(h.dram_accesses(), h.misses_at(1));
+    }
+}

@@ -1,0 +1,24 @@
+//! `recdp-cachesim`: a trace-driven, multi-level, set-associative LRU data
+//! cache simulator.
+//!
+//! This is the repo's stand-in for the PAPI hardware counters the paper
+//! used to measure "actual cache misses" (Table I). A
+//! [`hierarchy::CacheHierarchy`] is built from a
+//! [`recdp_machine::CacheGeometry`] and fed byte-addressed loads/stores;
+//! it reports per-level access/hit/miss counts. An optional next-line
+//! prefetcher per level models the paper's observation about hardware
+//! prefetching interacting badly with data-flow execution.
+//!
+//! [`workloads`] contains the exact access trace of the GE base-case
+//! kernel so Table I can be regenerated without running the full solver.
+
+pub mod hierarchy;
+pub mod prefetch;
+pub mod set_assoc;
+pub mod stats;
+pub mod workloads;
+
+pub use hierarchy::CacheHierarchy;
+pub use prefetch::PrefetchPolicy;
+pub use set_assoc::SetAssocCache;
+pub use stats::LevelStats;

@@ -1,0 +1,70 @@
+//! Per-level access statistics.
+
+/// Demand access counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed by the prefetcher (not demand traffic).
+    pub prefetches: u64,
+    /// Demand hits that were satisfied by a previously prefetched line.
+    pub prefetch_hits: u64,
+}
+
+impl LevelStats {
+    /// Records one demand access.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; 0 for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetches += other.prefetches;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_merge() {
+        let mut s = LevelStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.record(true);
+        s.record(false);
+        s.record(false);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        let mut t = LevelStats { hits: 1, misses: 1, prefetches: 2, prefetch_hits: 1 };
+        t.merge(&s);
+        assert_eq!(t.hits, 2);
+        assert_eq!(t.misses, 3);
+        assert_eq!(t.prefetches, 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Exact memory-access traces of the GE kernels, for feeding the
+//! simulator without running the numeric solver.
+//!
+//! Addresses are byte offsets into a row-major `n x n` matrix of `f64`
+//! starting at address 0. The innermost statement of GE is
+//! `X[i][j] -= X[i][k] * X[k][j] / X[k][k]`; per `(k, i)` iteration the
+//! compiler keeps `X[k][k]` and `X[i][k]` in registers, so the trace
+//! emits them once per `(k, i)` and streams `X[k][j]` / `X[i][j]` over
+//! `j` — the same accounting the paper's analytical bound uses.
+
+const ELEM: u64 = std::mem::size_of::<f64>() as u64;
+
+#[inline]
+fn addr(n: usize, row: usize, col: usize) -> u64 {
+    (row as u64 * n as u64 + col as u64) * ELEM
+}
+
+/// Emits the trace of one `m x m` D-kernel base case operating on tile
+/// `(ti, tj)` with pivot tile index `tk`, inside an `n x n` matrix.
+/// `sink(addr, is_write)` receives each access in program order.
+///
+/// The D kernel runs the full `k` range of its pivot tile; A/B/C kernels
+/// restrict `i`/`j` to the triangular parts but touch the same blocks, so
+/// the D trace is the workload Table I is computed from (the paper's
+/// model likewise uses the full triply-nested extent).
+pub fn ge_base_case_trace<F: FnMut(u64, bool)>(
+    n: usize,
+    m: usize,
+    ti: usize,
+    tj: usize,
+    tk: usize,
+    sink: &mut F,
+) {
+    assert!(m > 0 && n >= m);
+    assert!((ti + 1) * m <= n && (tj + 1) * m <= n && (tk + 1) * m <= n);
+    let r0 = ti * m;
+    let c0 = tj * m;
+    let k0 = tk * m;
+    for k in 0..m {
+        let kk = k0 + k;
+        for i in 0..m {
+            let ir = r0 + i;
+            sink(addr(n, kk, kk), false); // X[k][k]
+            sink(addr(n, ir, kk), false); // X[i][k]
+            for j in 0..m {
+                let jc = c0 + j;
+                sink(addr(n, kk, jc), false); // X[k][j]
+                sink(addr(n, ir, jc), true); // X[i][j] (read-modify-write)
+            }
+        }
+    }
+}
+
+/// Number of accesses [`ge_base_case_trace`] emits: `2 m^2 (m + 1)`.
+pub fn ge_base_case_trace_len(m: usize) -> u64 {
+    let m = m as u64;
+    2 * m * m * (m + 1)
+}
+
+/// Emits the trace of the *loop-based* GE on a full `n x n` matrix: the
+/// same accounting with a single tile of size `n` (poor temporal
+/// locality; the baseline the paper's Section I criticises).
+pub fn ge_loop_trace<F: FnMut(u64, bool)>(n: usize, sink: &mut F) {
+    ge_base_case_trace(n, n, 0, 0, 0, sink);
+}
+
+/// Emits the trace of the serial R-DP (tiled, cache-oblivious execution
+/// order) GE on an `n x n` matrix with base size `m`: for each pivot step
+/// `tk`, kernel A on the diagonal tile, then B across the pivot row, C
+/// down the pivot column, then D on the trailing tiles — each base case a
+/// contiguous burst with strong tile locality.
+pub fn ge_rdp_trace<F: FnMut(u64, bool)>(n: usize, m: usize, sink: &mut F) {
+    assert!(n.is_multiple_of(m));
+    let t = n / m;
+    for tk in 0..t {
+        ge_base_case_trace(n, m, tk, tk, tk, sink); // A
+        for tj in tk + 1..t {
+            ge_base_case_trace(n, m, tk, tj, tk, sink); // B
+        }
+        for ti in tk + 1..t {
+            ge_base_case_trace(n, m, ti, tk, tk, sink); // C
+        }
+        for ti in tk + 1..t {
+            for tj in tk + 1..t {
+                ge_base_case_trace(n, m, ti, tj, tk, sink); // D
+            }
+        }
+    }
+}
+
+/// Total accesses emitted by [`ge_rdp_trace`]: one base-case trace per
+/// (k, i>=k, j>=k) tile triple.
+pub fn ge_rdp_trace_len(n: usize, m: usize) -> u64 {
+    assert!(n.is_multiple_of(m));
+    let t = (n / m) as u64;
+    t * (t + 1) * (2 * t + 1) / 6 * ge_base_case_trace_len(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+    use recdp_machine::{CacheGeometry, CacheLevel, WritePolicy};
+
+    #[test]
+    fn trace_len_matches_formula() {
+        for &m in &[1usize, 2, 4, 8] {
+            let mut count = 0u64;
+            ge_base_case_trace(16, m, 0, 0, 0, &mut |_, _| count += 1);
+            assert_eq!(count, ge_base_case_trace_len(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn rdp_trace_len_matches_formula() {
+        let (n, m) = (16, 4);
+        let mut count = 0u64;
+        ge_rdp_trace(n, m, &mut |_, _| count += 1);
+        assert_eq!(count, ge_rdp_trace_len(n, m));
+    }
+
+    #[test]
+    fn all_addresses_stay_inside_matrix() {
+        let n = 32;
+        let bound = (n * n) as u64 * 8;
+        ge_rdp_trace(n, 8, &mut |a, _| assert!(a < bound, "addr {a} out of bounds"));
+    }
+
+    #[test]
+    fn writes_touch_only_target_tile() {
+        let (n, m) = (32, 8);
+        let (ti, tj) = (2, 3);
+        ge_base_case_trace(n, m, ti, tj, 1, &mut |a, w| {
+            if w {
+                let elem = a / 8;
+                let (r, c) = ((elem / n as u64) as usize, (elem % n as u64) as usize);
+                assert!(r / m == ti && c / m == tj, "write at ({r},{c}) outside tile");
+            }
+        });
+    }
+
+    fn tiny_geom() -> CacheGeometry {
+        let mk = |name, cap: usize| CacheLevel {
+            name,
+            capacity_bytes: cap,
+            line_bytes: 64,
+            associativity: 8,
+            miss_penalty_ns: 1.0,
+            write_policy: WritePolicy::WriteBack,
+            shared: false,
+        };
+        CacheGeometry::new(vec![mk("L1", 4 * 1024, ), mk("L2", 64 * 1024)], 100.0)
+    }
+
+    #[test]
+    fn rdp_order_beats_loop_order_on_llc_misses() {
+        // The motivation of R-DP: cache-oblivious recursive order has far
+        // better temporal locality than the loop order. n = 128 doubles
+        // (128 KiB matrix) vs a 64 KiB L2.
+        let n = 128;
+        let mut loop_h = CacheHierarchy::new(&tiny_geom());
+        ge_loop_trace(n, &mut |a, _| {
+            loop_h.access(a);
+        });
+        let mut rdp_h = CacheHierarchy::new(&tiny_geom());
+        ge_rdp_trace(n, 16, &mut |a, _| {
+            rdp_h.access(a);
+        });
+        let (lm, rm) = (loop_h.misses_at(1), rdp_h.misses_at(1));
+        assert!(rm * 2 < lm, "R-DP misses {rm} should be well under loop misses {lm}");
+    }
+}

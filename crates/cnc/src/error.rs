@@ -1,0 +1,91 @@
+//! Error types of the CnC runtime.
+
+use std::fmt;
+
+/// Why a step body aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepAbort {
+    /// A blocking `get` found its item missing; the instance has been
+    /// parked on the item's wait list and will re-execute when it is put.
+    /// Step bodies propagate this with `?` — it is control flow, not a
+    /// failure.
+    Blocked,
+    /// The step hit a real error (e.g. a dynamic single-assignment
+    /// violation); the graph records it and `wait` reports it.
+    Failed(String),
+}
+
+impl fmt::Display for StepAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepAbort::Blocked => write!(f, "step blocked on an unavailable item"),
+            StepAbort::Failed(msg) => write!(f, "step failed: {msg}"),
+        }
+    }
+}
+
+/// Graph-level errors reported by [`crate::CncGraph::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CncError {
+    /// An item key was put twice. CnC's dynamic single assignment rule —
+    /// the property behind its determinism proof — forbids overwriting;
+    /// like the Intel C++ runtime we check it dynamically.
+    SingleAssignmentViolation {
+        /// Name of the offending item collection.
+        collection: &'static str,
+        /// Debug rendering of the duplicated key.
+        key: String,
+    },
+    /// Execution reached quiescence while step instances were still
+    /// parked on items nobody produced.
+    Deadlock {
+        /// Number of parked step instances.
+        blocked_instances: usize,
+    },
+    /// A step reported [`StepAbort::Failed`].
+    StepFailed(String),
+    /// A step body panicked.
+    StepPanicked(String),
+}
+
+impl fmt::Display for CncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CncError::SingleAssignmentViolation { collection, key } => {
+                write!(f, "single-assignment violation in [{collection}] at key {key}")
+            }
+            CncError::Deadlock { blocked_instances } => {
+                write!(f, "deadlock: {blocked_instances} step instance(s) blocked forever")
+            }
+            CncError::StepFailed(msg) => write!(f, "step failed: {msg}"),
+            CncError::StepPanicked(msg) => write!(f, "step panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CncError {}
+
+impl From<CncError> for StepAbort {
+    fn from(e: CncError) -> Self {
+        StepAbort::Failed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CncError::SingleAssignmentViolation { collection: "x", key: "(1, 2)".into() };
+        assert!(e.to_string().contains("[x]"));
+        assert!(CncError::Deadlock { blocked_instances: 3 }.to_string().contains('3'));
+        assert!(StepAbort::Blocked.to_string().contains("blocked"));
+    }
+
+    #[test]
+    fn cnc_error_converts_to_abort() {
+        let a: StepAbort = CncError::StepFailed("nope".into()).into();
+        assert!(matches!(a, StepAbort::Failed(_)));
+    }
+}

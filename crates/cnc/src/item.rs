@@ -1,0 +1,278 @@
+//! Item collections: single-assignment associative containers with
+//! blocking-get semantics.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{CncError, StepAbort};
+use crate::runtime::{Countdown, RuntimeCore, StepScope};
+
+const SHARDS: usize = 16;
+
+enum Entry<V> {
+    /// The item has been put; single assignment forbids a second put.
+    Ready(V),
+    /// Not yet put; countdowns of parked step instances wait here.
+    Waiting(Vec<Arc<Countdown>>),
+}
+
+struct ItemInner<K, V> {
+    name: &'static str,
+    core: Arc<RuntimeCore>,
+    shards: Vec<Mutex<HashMap<K, Entry<V>>>>,
+}
+
+/// A handle to an item collection. Cloning is cheap (shared state); step
+/// bodies capture clones.
+///
+/// Keys are the CnC "tags" indexing the items (e.g. tile coordinates);
+/// values must be `Clone` because `get` hands out copies — the paper's
+/// benchmarks store `bool` readiness flags, with the DP table itself
+/// living outside the graph, and that is how `recdp-kernels` uses this
+/// runtime too.
+pub struct ItemCollection<K, V> {
+    inner: Arc<ItemInner<K, V>>,
+}
+
+impl<K, V> Clone for ItemCollection<K, V> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<K, V> ItemCollection<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
+        core.spec.lock().push(format!("[{name}];"));
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        Self { inner: Arc::new(ItemInner { name, core, shards }) }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Entry<V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.inner.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Collection name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Puts an item. Callable from steps and from the environment.
+    ///
+    /// Returns [`CncError::SingleAssignmentViolation`] (also recorded on
+    /// the graph) if the key was already put — the dynamic check the
+    /// Intel C++ runtime performs.
+    pub fn put(&self, key: K, value: V) -> Result<(), CncError> {
+        let waiters = {
+            let mut map = self.shard(&key).lock();
+            match map.get_mut(&key) {
+                Some(Entry::Ready(_)) => {
+                    let err = CncError::SingleAssignmentViolation {
+                        collection: self.inner.name,
+                        key: format!("{:?}", ShardKeyDebug(&key)),
+                    };
+                    self.inner.core.record_error(err.clone());
+                    return Err(err);
+                }
+                Some(entry @ Entry::Waiting(_)) => {
+                    let Entry::Waiting(waiters) = std::mem::replace(entry, Entry::Ready(value))
+                    else {
+                        unreachable!()
+                    };
+                    waiters
+                }
+                None => {
+                    map.insert(key, Entry::Ready(value));
+                    Vec::new()
+                }
+            }
+        };
+        self.inner.core.stats.items_put.fetch_add(1, Ordering::Relaxed);
+        for w in waiters {
+            w.fire();
+        }
+        Ok(())
+    }
+
+    /// Blocking get from inside a step. If the item exists, returns a
+    /// clone of its value; otherwise parks the calling instance on the
+    /// item's wait list and returns [`StepAbort::Blocked`], which the
+    /// step body propagates with `?`. The instance re-executes from
+    /// scratch once the item is put (abort-and-retry, as in Intel CnC).
+    pub fn get(&self, scope: &StepScope<'_>, key: &K) -> Result<V, StepAbort> {
+        let mut map = self.shard(key).lock();
+        match map.get_mut(key) {
+            Some(Entry::Ready(v)) => {
+                let v = v.clone();
+                drop(map);
+                self.inner.core.stats.gets_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            Some(Entry::Waiting(waiters)) => {
+                let w = scope.waiter();
+                w.add();
+                waiters.push(w);
+                drop(map);
+                self.inner.core.stats.gets_blocked.fetch_add(1, Ordering::Relaxed);
+                Err(StepAbort::Blocked)
+            }
+            None => {
+                let w = scope.waiter();
+                w.add();
+                map.insert(key.clone(), Entry::Waiting(vec![w]));
+                drop(map);
+                self.inner.core.stats.gets_blocked.fetch_add(1, Ordering::Relaxed);
+                Err(StepAbort::Blocked)
+            }
+        }
+    }
+
+    /// Non-blocking get from inside a step (Sec. IV's alternative to the
+    /// blocking get): returns the value if present, `None` otherwise —
+    /// never parks the instance. A step using this style re-puts its own
+    /// tag when an input is missing (see `record_nb_retry` on the graph
+    /// stats); the paper found this profitable only for small blocks.
+    pub fn try_get(&self, key: &K) -> Option<V> {
+        let v = self.get_env(key);
+        if v.is_some() {
+            self.inner.core.stats.gets_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.core.stats.gets_nb_missing.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Non-destructive read from the environment (or tests): returns the
+    /// value if the item has been put, without any parking.
+    pub fn get_env(&self, key: &K) -> Option<V> {
+        let map = self.shard(key).lock();
+        match map.get(key) {
+            Some(Entry::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// True if the item has been put.
+    pub fn contains(&self, key: &K) -> bool {
+        matches!(self.shard(key).lock().get(key), Some(Entry::Ready(_)))
+    }
+
+    /// Number of *ready* items (diagnostics; O(collection)).
+    pub fn len_ready(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().values().filter(|e| matches!(e, Entry::Ready(_))).count())
+            .sum()
+    }
+
+    /// Registers `countdown` on `key` if the item is not yet ready
+    /// (pre-scheduling / tuner path). No-op when the item already exists.
+    pub(crate) fn register_if_missing(&self, key: &K, countdown: &Arc<Countdown>) {
+        let mut map = self.shard(key).lock();
+        match map.get_mut(key) {
+            Some(Entry::Ready(_)) => {}
+            Some(Entry::Waiting(waiters)) => {
+                countdown.add();
+                waiters.push(Arc::clone(countdown));
+            }
+            None => {
+                countdown.add();
+                map.insert(key.clone(), Entry::Waiting(vec![Arc::clone(countdown)]));
+            }
+        }
+    }
+}
+
+/// Renders a key through its hash when `K: Debug` is unavailable; used
+/// only in the duplicate-put diagnostic. Keys that implement `Debug`
+/// would be nicer, but requiring `Debug` on every key type is a heavier
+/// bound than the runtime needs.
+struct ShardKeyDebug<'a, K>(&'a K);
+
+impl<K: Hash> std::fmt::Debug for ShardKeyDebug<'_, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut h = DefaultHasher::new();
+        self.0.hash(&mut h);
+        write!(f, "#<key hash {:016x}>", h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CncGraph, StepOutcome};
+
+    #[test]
+    fn put_then_env_get() {
+        let g = CncGraph::with_threads(1);
+        let items = g.item_collection::<(u32, u32), bool>("tiles");
+        items.put((1, 2), true).unwrap();
+        assert_eq!(items.get_env(&(1, 2)), Some(true));
+        assert_eq!(items.get_env(&(9, 9)), None);
+        assert!(items.contains(&(1, 2)));
+        assert_eq!(items.len_ready(), 1);
+    }
+
+    #[test]
+    fn double_put_violates_single_assignment() {
+        let g = CncGraph::with_threads(1);
+        let items = g.item_collection::<u32, u32>("x");
+        items.put(1, 1).unwrap();
+        let err = items.put(1, 2).unwrap_err();
+        assert!(matches!(err, CncError::SingleAssignmentViolation { collection: "x", .. }));
+        // The graph also records it for `wait`.
+        assert!(matches!(g.wait(), Err(CncError::SingleAssignmentViolation { .. })));
+    }
+
+    #[test]
+    fn waiting_entry_does_not_count_as_ready() {
+        let g = CncGraph::with_threads(2);
+        let items = g.item_collection::<u32, u32>("x");
+        let tags = g.tag_collection::<u32>("t");
+        let i2 = items.clone();
+        tags.prescribe("s", move |&n, s| {
+            let _ = i2.get(s, &n)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(7);
+        // Give the step a moment to block, creating a Waiting entry.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!items.contains(&7));
+        assert_eq!(items.len_ready(), 0);
+        items.put(7, 1).unwrap();
+        g.wait().unwrap();
+    }
+
+    #[test]
+    fn many_waiters_all_resume() {
+        let g = CncGraph::with_threads(3);
+        let gate = g.item_collection::<u32, u32>("gate");
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (g2, o2) = (gate.clone(), out.clone());
+        tags.prescribe("fan", move |&n, s| {
+            let v = g2.get(s, &0)?;
+            o2.put(n, v + n)?;
+            Ok(StepOutcome::Done)
+        });
+        for n in 1..=50 {
+            tags.put(n);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate.put(0, 1000).unwrap();
+        g.wait().unwrap();
+        assert_eq!(out.len_ready(), 50);
+        assert_eq!(out.get_env(&50), Some(1050));
+    }
+}

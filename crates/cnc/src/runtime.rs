@@ -1,0 +1,628 @@
+//! The graph runtime: instance scheduling, quiescence, deadlock
+//! detection, and the pre-scheduling (tuner) machinery.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Condvar, Mutex};
+use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
+
+use crate::error::{CncError, StepAbort};
+use crate::item::ItemCollection;
+use crate::stats::{GraphStats, StatCounters};
+use crate::tag::TagCollection;
+use crate::StepResult;
+
+/// A CnC graph: the factory for collections and the home of the runtime
+/// (thread pool, quiescence tracking, statistics).
+///
+/// Collections created from a graph are cheap cloneable handles that can
+/// be captured by step bodies. After the environment has put its initial
+/// items and tags, [`CncGraph::wait`] blocks until the computation
+/// quiesces.
+pub struct CncGraph {
+    pool: Arc<ThreadPool>,
+    core: Arc<RuntimeCore>,
+}
+
+impl CncGraph {
+    /// A graph executing on a fresh pool with the default thread count.
+    pub fn new() -> Self {
+        Self::with_pool(Arc::new(ThreadPoolBuilder::new().build()))
+    }
+
+    /// A graph executing on a fresh pool of `n` threads.
+    pub fn with_threads(n: usize) -> Self {
+        Self::with_pool(Arc::new(ThreadPoolBuilder::new().num_threads(n).build()))
+    }
+
+    /// A graph executing on an existing pool (several graphs may share
+    /// one pool, as CnC programs share a TBB arena).
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        let core = Arc::new(RuntimeCore {
+            pool: Arc::downgrade(&pool),
+            spec: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+            blocked: AtomicUsize::new(0),
+            quiesce_mutex: Mutex::new(()),
+            quiesce_cond: Condvar::new(),
+            error: Mutex::new(None),
+            stats: StatCounters::default(),
+        });
+        CncGraph { pool, core }
+    }
+
+    /// Creates an item collection (a single-assignment associative
+    /// container) named `name` (names are for diagnostics only).
+    pub fn item_collection<K, V>(&self, name: &'static str) -> ItemCollection<K, V>
+    where
+        K: std::hash::Hash + Eq + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        ItemCollection::new(name, Arc::clone(&self.core))
+    }
+
+    /// Creates a tag collection. Prescribe step collections onto it with
+    /// [`TagCollection::prescribe`], then trigger instances with
+    /// [`TagCollection::put`].
+    pub fn tag_collection<T>(&self, name: &'static str) -> TagCollection<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        TagCollection::new(name, Arc::clone(&self.core))
+    }
+
+    /// Blocks until the graph quiesces: no step instance is queued or
+    /// running. Returns the execution statistics, or the first recorded
+    /// error — including [`CncError::Deadlock`] if instances are still
+    /// parked on items that will never be put.
+    ///
+    /// Call this after the environment has finished its puts; concurrent
+    /// environment puts during `wait` may race the deadlock check.
+    pub fn wait(&self) -> Result<GraphStats, CncError> {
+        let mut guard = self.core.quiesce_mutex.lock();
+        loop {
+            if let Some(err) = self.core.error.lock().clone() {
+                return Err(err);
+            }
+            if self.core.pending.load(Ordering::Acquire) == 0 {
+                let blocked = self.core.blocked.load(Ordering::Acquire);
+                if blocked == 0 {
+                    return Ok(self.core.stats.snapshot());
+                }
+                return Err(CncError::Deadlock { blocked_instances: blocked });
+            }
+            self.core.quiesce_cond.wait(&mut guard);
+        }
+    }
+
+    /// A CnC-specification-style description of the graph: one line per
+    /// collection and prescription, in creation order (the textual
+    /// `<tags> :: (step); [items] -> ...` notation of the paper's
+    /// Listing 1/4).
+    pub fn spec(&self) -> String {
+        let lines = self.core.spec.lock();
+        let mut out = String::from("// CnC graph specification\n");
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Records one non-blocking-get self-respawn (a step re-put its own
+    /// tag after `try_get` found an input missing). Exposed so step
+    /// bodies using the non-blocking style keep the wasted-work
+    /// accounting comparable with the blocking style's requeue counter.
+    pub fn record_nb_retry(&self) {
+        self.core.stats.nb_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A snapshot of the execution counters (callable at any time).
+    pub fn stats(&self) -> GraphStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Number of threads in the underlying pool.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+}
+
+impl Default for CncGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared runtime state. Step instances hold `Arc<RuntimeCore>`; the pool
+/// is held weakly so the graph owner controls its lifetime (dropping the
+/// graph mid-flight discards still-queued instances).
+pub(crate) struct RuntimeCore {
+    pool: Weak<ThreadPool>,
+    /// Textual graph description, accumulated as collections are created
+    /// and prescriptions registered (the Listing-4 style specification).
+    pub(crate) spec: Mutex<Vec<String>>,
+    /// Step executions queued or running.
+    pending: AtomicUsize,
+    /// Step instances parked on wait lists / pre-scheduling countdowns.
+    blocked: AtomicUsize,
+    quiesce_mutex: Mutex<()>,
+    quiesce_cond: Condvar,
+    error: Mutex<Option<CncError>>,
+    pub(crate) stats: StatCounters,
+}
+
+impl RuntimeCore {
+    /// Records the first error; later errors are dropped.
+    pub(crate) fn record_error(&self, err: CncError) {
+        let mut slot = self.error.lock();
+        slot.get_or_insert(err);
+        drop(slot);
+        self.notify_quiescence();
+    }
+
+    pub(crate) fn error_pending(&self) -> bool {
+        self.error.lock().is_some()
+    }
+
+    fn notify_quiescence(&self) {
+        let _g = self.quiesce_mutex.lock();
+        self.quiesce_cond.notify_all();
+    }
+
+    /// Enqueues a ready instance onto the pool. `fair` routes through
+    /// the global injector (used for non-blocking-get self-respawns so a
+    /// retrying step cannot starve its own producers on a LIFO deque).
+    pub(crate) fn enqueue(self: &Arc<Self>, task: Arc<InstanceTask>, fair: bool) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.dispatch(task, fair);
+    }
+
+    /// Dispatches a task whose `pending` slot is already counted.
+    fn dispatch(self: &Arc<Self>, task: Arc<InstanceTask>, fair: bool) {
+        match self.pool.upgrade() {
+            Some(pool) if fair => pool.spawn_global(move || task.run()),
+            Some(pool) => pool.spawn(move || task.run()),
+            None => {
+                // Pool gone (graph dropped): account the instance as done
+                // so a straggling `wait` cannot hang.
+                self.finish_one();
+            }
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.notify_quiescence();
+        }
+    }
+}
+
+/// One step instance: a prescribed step body bound to a tag value.
+/// Re-executed from scratch (abort-and-retry) each time it is resumed.
+pub(crate) struct InstanceTask {
+    core: Arc<RuntimeCore>,
+    step_name: &'static str,
+    exec: Box<dyn Fn(&StepScope) -> StepResult + Send + Sync>,
+}
+
+impl InstanceTask {
+    pub(crate) fn new(
+        core: Arc<RuntimeCore>,
+        step_name: &'static str,
+        exec: Box<dyn Fn(&StepScope) -> StepResult + Send + Sync>,
+    ) -> Arc<Self> {
+        Arc::new(InstanceTask { core, step_name, exec })
+    }
+
+    /// Schedules this instance for (re-)execution.
+    pub(crate) fn enqueue(self: &Arc<Self>) {
+        let core = Arc::clone(&self.core);
+        core.enqueue(Arc::clone(self), false);
+    }
+
+    /// Schedules this instance via the global injector (fair FIFO).
+    pub(crate) fn enqueue_fair(self: &Arc<Self>) {
+        let core = Arc::clone(&self.core);
+        core.enqueue(Arc::clone(self), true);
+    }
+
+    fn run(self: Arc<Self>) {
+        // Fail-fast: once the graph recorded an error, drain without
+        // executing bodies.
+        if self.core.error_pending() {
+            self.core.finish_one();
+            return;
+        }
+        self.core.stats.steps_started.fetch_add(1, Ordering::Relaxed);
+        let scope = StepScope { task: &self, waiter: RefCell::new(None) };
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.exec)(&scope)));
+        let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
+        match outcome {
+            Ok(Ok(_)) => {
+                self.core.stats.steps_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(StepAbort::Blocked)) => {
+                self.core.stats.steps_requeued.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(StepAbort::Failed(msg))) => {
+                self.core.record_error(CncError::StepFailed(format!(
+                    "[{}]: {msg}",
+                    self.step_name
+                )));
+            }
+            Err(panic) => {
+                let msg = panic_message(&*panic);
+                self.core
+                    .record_error(CncError::StepPanicked(format!("[{}]: {msg}", self.step_name)));
+            }
+        }
+        // Release the waiter guard *before* retiring from `pending`, so
+        // quiescence can never observe pending == 0 while this instance's
+        // countdown is still unarmed. A waiter existing here together
+        // with a non-Blocked outcome means the body swallowed a failed
+        // blocking get instead of propagating it with `?` — the parked
+        // countdown would later re-execute a completed instance (double
+        // puts) or inflate the blocked counter forever; surface it as a
+        // contract violation instead.
+        if let Some(waiter) = scope.waiter.borrow_mut().take() {
+            if !blocked_outcome {
+                self.core.record_error(CncError::StepFailed(format!(
+                    "[{}]: step returned without propagating a failed blocking get                      (propagate StepAbort::Blocked with `?`)",
+                    self.step_name
+                )));
+            }
+            waiter.fire();
+        }
+        self.core.finish_one();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// The execution context handed to a step body. Blocking gets use it to
+/// park the instance on missing items.
+///
+/// Discipline (same as Intel CnC): perform all `get`s *before* any `put`,
+/// because a blocked step re-executes from scratch and would otherwise
+/// re-put (tripping the single-assignment check).
+pub struct StepScope<'a> {
+    task: &'a Arc<InstanceTask>,
+    /// Lazily-created countdown shared by every failed get of this
+    /// execution, guarded by one token released when the body returns.
+    waiter: RefCell<Option<Arc<Countdown>>>,
+}
+
+impl StepScope<'_> {
+    /// The countdown to park on a missing item (creates it on first use;
+    /// counts the instance as blocked).
+    pub(crate) fn waiter(&self) -> Arc<Countdown> {
+        let mut slot = self.waiter.borrow_mut();
+        slot.get_or_insert_with(|| Countdown::arm(Arc::clone(self.task))).clone()
+    }
+
+    /// Name of the executing step collection (diagnostics).
+    pub fn step_name(&self) -> &'static str {
+        self.task.step_name
+    }
+}
+
+/// A countdown that resumes a parked instance when every registered
+/// dependency has been satisfied (and the guard token released).
+pub(crate) struct Countdown {
+    remaining: AtomicUsize,
+    task: Arc<InstanceTask>,
+}
+
+impl Countdown {
+    /// Creates a countdown holding one guard token and marks the instance
+    /// blocked.
+    pub(crate) fn arm(task: Arc<InstanceTask>) -> Arc<Self> {
+        task.core.blocked.fetch_add(1, Ordering::AcqRel);
+        Arc::new(Countdown { remaining: AtomicUsize::new(1), task })
+    }
+
+    /// Registers one more unsatisfied dependency. Must be called while
+    /// the guard token is still held.
+    pub(crate) fn add(&self) {
+        let prev = self.remaining.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "countdown add after release");
+    }
+
+    /// Releases one token; at zero, the instance is unparked and
+    /// re-enqueued. The blocked -> pending transfer increments `pending`
+    /// *before* decrementing `blocked`, so no observer can catch both
+    /// counters at zero while a resume is in flight (a concurrent
+    /// `wait()` would otherwise report spurious quiescence).
+    pub(crate) fn fire(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let core = Arc::clone(&self.task.core);
+            core.pending.fetch_add(1, Ordering::AcqRel);
+            core.blocked.fetch_sub(1, Ordering::AcqRel);
+            core.dispatch(Arc::clone(&self.task), false);
+        }
+    }
+}
+
+/// A declared dependency set for pre-scheduled instances — the tuner
+/// mechanism of Sec. III-D. Build one with [`DepSet::item`] calls, then
+/// pass it to [`TagCollection::put_when`]: the prescribed step will only
+/// be dispatched once every listed item exists, eliminating Native-CnC's
+/// abort-and-retry re-executions.
+/// A single dependency probe: registers a countdown if its item is
+/// still missing.
+type DepProbe = Box<dyn Fn(&Arc<Countdown>) + Send + Sync>;
+
+/// A declared dependency set for pre-scheduled instances — the tuner
+/// mechanism of Sec. III-D. Build one with [`DepSet::item`] calls, then
+/// pass it to `TagCollection::put_when`: the prescribed step will only
+/// be dispatched once every listed item exists, eliminating Native-CnC's
+/// abort-and-retry re-executions.
+#[derive(Default)]
+pub struct DepSet {
+    probes: Vec<DepProbe>,
+}
+
+impl DepSet {
+    /// An empty dependency set (the step dispatches immediately).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds "item `key` of `collection` must exist" to the set.
+    pub fn item<K, V>(mut self, collection: &ItemCollection<K, V>, key: K) -> Self
+    where
+        K: std::hash::Hash + Eq + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+    {
+        let collection = collection.clone();
+        self.probes.push(Box::new(move |countdown| {
+            collection.register_if_missing(&key, countdown);
+        }));
+        self
+    }
+
+    /// Number of declared dependencies.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True if no dependencies are declared.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    pub(crate) fn register_all(&self, countdown: &Arc<Countdown>) {
+        for probe in &self.probes {
+            probe(countdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+
+    #[test]
+    fn empty_graph_waits_immediately() {
+        let g = CncGraph::with_threads(2);
+        let stats = g.wait().unwrap();
+        assert_eq!(stats.steps_started, 0);
+    }
+
+    #[test]
+    fn single_step_runs() {
+        let g = CncGraph::with_threads(2);
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let out2 = out.clone();
+        tags.prescribe("double", move |&n, _| {
+            out2.put(n, n * 2)?;
+            Ok(StepOutcome::Done)
+        });
+        for i in 0..10 {
+            tags.put(i);
+        }
+        let stats = g.wait().unwrap();
+        assert_eq!(stats.steps_completed, 10);
+        assert_eq!(out.get_env(&7), Some(14));
+    }
+
+    #[test]
+    fn blocking_get_resumes_on_put() {
+        let g = CncGraph::with_threads(2);
+        let input = g.item_collection::<u32, u32>("in");
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (i2, o2) = (input.clone(), out.clone());
+        tags.prescribe("plus1", move |&n, s| {
+            let v = i2.get(s, &n)?;
+            o2.put(n, v + 1)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(5); // step starts before its input exists: must block
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        input.put(5, 100).unwrap();
+        let stats = g.wait().unwrap();
+        assert_eq!(out.get_env(&5), Some(101));
+        assert!(stats.steps_requeued >= 1, "the step must have blocked at least once");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let g = CncGraph::with_threads(2);
+        let never = g.item_collection::<u32, u32>("never");
+        let tags = g.tag_collection::<u32>("t");
+        let n2 = never.clone();
+        tags.prescribe("starved", move |&n, s| {
+            let _ = n2.get(s, &n)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(1);
+        tags.put(2);
+        match g.wait() {
+            Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_panic_reported() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("bad", move |_, _| panic!("kaput"));
+        tags.put(0);
+        match g.wait() {
+            Err(CncError::StepPanicked(msg)) => assert!(msg.contains("kaput"), "{msg}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_failure_reported() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("bad", move |_, _| Err(StepAbort::Failed("declined".into())));
+        tags.put(0);
+        match g.wait() {
+            Err(CncError::StepFailed(msg)) => assert!(msg.contains("declined")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_when_defers_until_deps_ready() {
+        let g = CncGraph::with_threads(2);
+        let input = g.item_collection::<u32, u32>("in");
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (i2, o2) = (input.clone(), out.clone());
+        tags.prescribe("sum", move |&n, s| {
+            // Pre-scheduled: by the time this runs, gets must succeed.
+            let a = i2.get(s, &n)?;
+            let b = i2.get(s, &(n + 1))?;
+            o2.put(n, a + b)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put_when(4, &DepSet::new().item(&input, 4).item(&input, 5));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(g.stats().steps_started, 0, "must not dispatch before deps");
+        input.put(4, 10).unwrap();
+        input.put(5, 32).unwrap();
+        let stats = g.wait().unwrap();
+        assert_eq!(out.get_env(&4), Some(42));
+        assert_eq!(stats.steps_requeued, 0, "pre-scheduling eliminates requeues");
+    }
+
+    #[test]
+    fn put_when_with_ready_deps_dispatches_immediately() {
+        let g = CncGraph::with_threads(2);
+        let input = g.item_collection::<u32, u32>("in");
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (i2, o2) = (input.clone(), out.clone());
+        tags.prescribe("copy", move |&n, s| {
+            let v = i2.get(s, &n)?;
+            o2.put(n, v)?;
+            Ok(StepOutcome::Done)
+        });
+        input.put(1, 11).unwrap();
+        tags.put_when(1, &DepSet::new().item(&input, 1));
+        g.wait().unwrap();
+        assert_eq!(out.get_env(&1), Some(11));
+    }
+
+    #[test]
+    fn shared_pool_across_graphs() {
+        let pool = Arc::new(ThreadPoolBuilder::new().num_threads(2).build());
+        let g1 = CncGraph::with_pool(Arc::clone(&pool));
+        let g2 = CncGraph::with_pool(Arc::clone(&pool));
+        let o1 = g1.item_collection::<u32, u32>("o1");
+        let o2 = g2.item_collection::<u32, u32>("o2");
+        let t1 = g1.tag_collection::<u32>("t1");
+        let t2 = g2.tag_collection::<u32>("t2");
+        let (a, b) = (o1.clone(), o2.clone());
+        t1.prescribe("s1", move |&n, _| {
+            a.put(n, n)?;
+            Ok(StepOutcome::Done)
+        });
+        t2.prescribe("s2", move |&n, _| {
+            b.put(n, n * n)?;
+            Ok(StepOutcome::Done)
+        });
+        t1.put(3);
+        t2.put(3);
+        g1.wait().unwrap();
+        g2.wait().unwrap();
+        assert_eq!(o1.get_env(&3), Some(3));
+        assert_eq!(o2.get_env(&3), Some(9));
+    }
+
+    #[test]
+    fn dep_set_len() {
+        let g = CncGraph::with_threads(1);
+        let items = g.item_collection::<u32, u32>("i");
+        let d = DepSet::new();
+        assert!(d.is_empty());
+        let d = d.item(&items, 1).item(&items, 2);
+        assert_eq!(d.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+    use crate::StepOutcome;
+
+    #[test]
+    fn spec_lists_collections_and_prescriptions() {
+        let g = CncGraph::with_threads(1);
+        let _items = g.item_collection::<u32, u32>("myData");
+        let tags = g.tag_collection::<u32>("myCtrl");
+        tags.prescribe("myStep", |_, _| Ok(StepOutcome::Done));
+        let spec = g.spec();
+        assert!(spec.contains("[myData];"), "{spec}");
+        assert!(spec.contains("<myCtrl>;"), "{spec}");
+        assert!(spec.contains("<myCtrl> :: (myStep);"), "{spec}");
+    }
+}
+
+#[cfg(test)]
+mod contract_tests {
+    use super::*;
+    use crate::StepOutcome;
+
+    #[test]
+    fn swallowed_blocked_get_is_a_detected_violation() {
+        // A body that eats the Blocked abort and completes anyway must
+        // surface as a structured error, not corrupt quiescence
+        // accounting or re-execute later.
+        let g = CncGraph::with_threads(2);
+        let items = g.item_collection::<u32, u32>("in");
+        let tags = g.tag_collection::<u32>("t");
+        let it = items.clone();
+        tags.prescribe("swallower", move |&n, s| {
+            let _ = it.get(s, &n); // ignores the Blocked abort
+            Ok(StepOutcome::Done)
+        });
+        tags.put(5);
+        match g.wait() {
+            Err(CncError::StepFailed(msg)) => {
+                assert!(msg.contains("without propagating"), "{msg}");
+            }
+            other => panic!("expected contract violation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Runtime statistics: the observable behaviour Table-style analyses use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, shared by all collections of a graph.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub steps_started: AtomicU64,
+    pub steps_completed: AtomicU64,
+    pub steps_requeued: AtomicU64,
+    pub items_put: AtomicU64,
+    pub gets_ok: AtomicU64,
+    pub gets_blocked: AtomicU64,
+    pub gets_nb_missing: AtomicU64,
+    pub nb_retries: AtomicU64,
+    pub tags_put: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn snapshot(&self) -> GraphStats {
+        GraphStats {
+            steps_started: self.steps_started.load(Ordering::Relaxed),
+            steps_completed: self.steps_completed.load(Ordering::Relaxed),
+            steps_requeued: self.steps_requeued.load(Ordering::Relaxed),
+            items_put: self.items_put.load(Ordering::Relaxed),
+            gets_ok: self.gets_ok.load(Ordering::Relaxed),
+            gets_blocked: self.gets_blocked.load(Ordering::Relaxed),
+            gets_nb_missing: self.gets_nb_missing.load(Ordering::Relaxed),
+            nb_retries: self.nb_retries.load(Ordering::Relaxed),
+            tags_put: self.tags_put.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of graph execution counters, returned by
+/// [`crate::CncGraph::wait`] and [`crate::CncGraph::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Step executions started (including re-executions after a failed
+    /// blocking get).
+    pub steps_started: u64,
+    /// Step executions that ran to completion.
+    pub steps_completed: u64,
+    /// Step executions aborted by a failed blocking get and requeued —
+    /// the wasted-work metric behind Native-CnC's overhead and the
+    /// paper's remark that non-blocking gets only pay off for small
+    /// blocks.
+    pub steps_requeued: u64,
+    /// Items put.
+    pub items_put: u64,
+    /// Blocking gets that found their item ready.
+    pub gets_ok: u64,
+    /// Blocking gets that aborted their step.
+    pub gets_blocked: u64,
+    /// Non-blocking gets that found their item missing (`try_get`).
+    pub gets_nb_missing: u64,
+    /// Step self-respawns taken by the non-blocking-get style (the step
+    /// re-puts its own tag instead of parking — Sec. IV's alternative,
+    /// "profitable only for smaller block sizes").
+    pub nb_retries: u64,
+    /// Tags put.
+    pub tags_put: u64,
+}
+
+impl GraphStats {
+    /// Fraction of step executions wasted on abort-and-retry, in [0, 1].
+    pub fn requeue_ratio(&self) -> f64 {
+        if self.steps_started == 0 {
+            0.0
+        } else {
+            self.steps_requeued as f64 / self.steps_started as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = StatCounters::default();
+        c.steps_started.store(10, Ordering::Relaxed);
+        c.steps_requeued.store(4, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.steps_started, 10);
+        assert!((s.requeue_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_ratio_zero() {
+        assert_eq!(GraphStats::default().requeue_ratio(), 0.0);
+    }
+}

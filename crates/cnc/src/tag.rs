@@ -1,0 +1,208 @@
+//! Tag collections: the control side of a CnC graph.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::runtime::{Countdown, DepSet, InstanceTask, RuntimeCore, StepScope};
+use crate::StepResult;
+
+type StepBody<T> = Arc<dyn Fn(&T, &StepScope) -> StepResult + Send + Sync>;
+
+struct Prescription<T> {
+    step_name: &'static str,
+    body: StepBody<T>,
+}
+
+struct TagInner<T> {
+    name: &'static str,
+    core: Arc<RuntimeCore>,
+    prescriptions: RwLock<Vec<Prescription<T>>>,
+}
+
+/// A handle to a tag collection. Putting a tag creates one instance of
+/// every prescribed step collection, keyed by that tag — the
+/// `<tags> :: (step)` relation of a CnC specification.
+pub struct TagCollection<T> {
+    inner: Arc<TagInner<T>>,
+}
+
+impl<T> Clone for TagCollection<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> TagCollection<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
+        core.spec.lock().push(format!("<{name}>;"));
+        Self { inner: Arc::new(TagInner { name, core, prescriptions: RwLock::new(Vec::new()) }) }
+    }
+
+    /// Collection name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Prescribes a step collection: every tag put after this call
+    /// creates an instance of `body` bound to that tag. `body` receives
+    /// the tag and a [`StepScope`] for blocking gets, and returns a
+    /// [`StepResult`].
+    pub fn prescribe<F>(&self, step_name: &'static str, body: F) -> &Self
+    where
+        F: Fn(&T, &StepScope) -> StepResult + Send + Sync + 'static,
+    {
+        self.inner
+            .core
+            .spec
+            .lock()
+            .push(format!("<{}> :: ({step_name});", self.inner.name));
+        self.inner
+            .prescriptions
+            .write()
+            .push(Prescription { step_name, body: Arc::new(body) });
+        self
+    }
+
+    fn instances(&self, tag: &T) -> Vec<Arc<InstanceTask>> {
+        let prescriptions = self.inner.prescriptions.read();
+        assert!(
+            !prescriptions.is_empty(),
+            "tag collection <{}> has no prescribed step collection",
+            self.inner.name
+        );
+        prescriptions
+            .iter()
+            .map(|p| {
+                let body = Arc::clone(&p.body);
+                let tag = tag.clone();
+                InstanceTask::new(
+                    Arc::clone(&self.inner.core),
+                    p.step_name,
+                    Box::new(move |scope| body(&tag, scope)),
+                )
+            })
+            .collect()
+    }
+
+    /// Puts a tag: prescribed step instances are dispatched immediately
+    /// (Native-CnC behaviour — instances discover missing inputs via
+    /// failed blocking gets and retry).
+    pub fn put(&self, tag: T) {
+        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        for task in self.instances(&tag) {
+            task.enqueue();
+        }
+    }
+
+    /// Re-puts a tag from inside its own step after a failed
+    /// [`crate::ItemCollection::try_get`] — the non-blocking-get style's
+    /// self-respawn. Identical to [`TagCollection::put`] plus the
+    /// wasted-work accounting (`nb_retries`).
+    pub fn put_retry(&self, tag: T) {
+        self.inner.core.stats.nb_retries.fetch_add(1, Ordering::Relaxed);
+        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        for task in self.instances(&tag) {
+            // Fair (global-injector) dispatch: a self-respawning step on
+            // a LIFO deque would otherwise be popped straight back and
+            // livelock a single-worker pool.
+            task.enqueue_fair();
+        }
+    }
+
+    /// Puts a tag with a declared dependency set: instances are parked
+    /// until every item in `deps` has been put, then dispatched once —
+    /// the pre-scheduling tuner of Sec. III-D (and, when the environment
+    /// declares the whole computation up front, the Manual-CnC variant).
+    pub fn put_when(&self, tag: T, deps: &DepSet) {
+        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        for task in self.instances(&tag) {
+            let countdown = Countdown::arm(task);
+            deps.register_all(&countdown);
+            // Release the guard token: if all deps were already ready the
+            // instance dispatches right here.
+            countdown.fire();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CncGraph, StepOutcome};
+    use std::sync::atomic::{AtomicU32, Ordering as AOrd};
+
+    #[test]
+    fn multiple_prescriptions_all_fire() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        static A: AtomicU32 = AtomicU32::new(0);
+        static B: AtomicU32 = AtomicU32::new(0);
+        tags.prescribe("a", |_, _| {
+            A.fetch_add(1, AOrd::SeqCst);
+            Ok(StepOutcome::Done)
+        });
+        tags.prescribe("b", |_, _| {
+            B.fetch_add(1, AOrd::SeqCst);
+            Ok(StepOutcome::Done)
+        });
+        for i in 0..5 {
+            tags.put(i);
+        }
+        g.wait().unwrap();
+        assert_eq!(A.load(AOrd::SeqCst), 5);
+        assert_eq!(B.load(AOrd::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no prescribed step")]
+    fn put_without_prescription_panics() {
+        let g = CncGraph::with_threads(1);
+        let tags = g.tag_collection::<u32>("lonely");
+        tags.put(0);
+    }
+
+    #[test]
+    fn tags_put_counted() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("noop", |_, _| Ok(StepOutcome::Done));
+        tags.put(1);
+        tags.put(2);
+        g.wait().unwrap();
+        assert_eq!(g.stats().tags_put, 2);
+    }
+
+    #[test]
+    fn steps_can_put_tags_recursively() {
+        // The paper's recursive D-kernel expands by putting more tags
+        // from inside a step; check the runtime tracks the cascade.
+        let g = CncGraph::with_threads(2);
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (o2, t2) = (out.clone(), tags.clone());
+        tags.prescribe("expand", move |&n, _| {
+            if n == 0 {
+                o2.put(rand_free_key(&o2), 1)?;
+            } else {
+                t2.put(n - 1);
+                t2.put(n - 1);
+            }
+            Ok(StepOutcome::Done)
+        });
+        tags.put(3); // expands to 2^3 = 8 leaves
+        g.wait().unwrap();
+        assert_eq!(out.len_ready(), 8);
+    }
+
+    /// Allocates a fresh key for the leaf counter above (single
+    /// assignment forbids reusing one).
+    fn rand_free_key(items: &crate::ItemCollection<u32, u32>) -> u32 {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let _ = items;
+        NEXT.fetch_add(1, AOrd::SeqCst)
+    }
+}

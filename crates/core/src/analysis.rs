@@ -1,0 +1,72 @@
+//! Task-DAG extraction and work/span analysis for any benchmark and
+//! execution model.
+
+use recdp_taskgraph::{
+    dataflow, forkjoin, fw_kernel_flops, ge_kernel_flops, metrics, sw_kernel_flops, GraphMetrics,
+    TaskGraph,
+};
+
+use crate::executor::Benchmark;
+
+/// The two execution models under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Fork-join: the recursive series-parallel DAG with join nodes.
+    ForkJoin,
+    /// Data-flow: the true-dependency tile DAG.
+    DataFlow,
+}
+
+impl Model {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::ForkJoin => "fork-join",
+            Model::DataFlow => "data-flow",
+        }
+    }
+}
+
+/// Builds the task DAG of `benchmark` under `model` for `t` tiles per
+/// side with base-case size `m` (weights in flops).
+pub fn dag(benchmark: Benchmark, model: Model, t: usize, m: usize) -> TaskGraph {
+    match (benchmark, model) {
+        (Benchmark::Ge, Model::ForkJoin) => forkjoin::ge(t, &ge_kernel_flops(m)),
+        (Benchmark::Ge, Model::DataFlow) => dataflow::ge(t, &ge_kernel_flops(m)),
+        (Benchmark::Sw, Model::ForkJoin) => forkjoin::sw(t, &sw_kernel_flops(m)),
+        (Benchmark::Sw, Model::DataFlow) => dataflow::sw(t, &sw_kernel_flops(m)),
+        (Benchmark::Fw, Model::ForkJoin) => forkjoin::fw(t, &fw_kernel_flops(m)),
+        (Benchmark::Fw, Model::DataFlow) => dataflow::fw(t, &fw_kernel_flops(m)),
+    }
+}
+
+/// Work/span metrics of [`dag`]`(benchmark, model, t, m)`.
+pub fn dag_metrics(benchmark: Benchmark, model: Model, t: usize, m: usize) -> GraphMetrics {
+    metrics::analyze(&dag(benchmark, model, t, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_builds() {
+        for benchmark in Benchmark::ALL {
+            for model in [Model::ForkJoin, Model::DataFlow] {
+                let g = dag(benchmark, model, 4, 16);
+                assert!(!g.is_empty(), "{} {}", benchmark.name(), model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn span_gap_holds_for_all_benchmarks() {
+        for benchmark in Benchmark::ALL {
+            let fj = dag_metrics(benchmark, Model::ForkJoin, 16, 32);
+            let df = dag_metrics(benchmark, Model::DataFlow, 16, 32);
+            assert!((fj.work - df.work).abs() < 1e-3 * fj.work, "{}", benchmark.name());
+            assert!(fj.span > df.span, "{}: joins must inflate the span", benchmark.name());
+            assert!(fj.parallelism < df.parallelism, "{}", benchmark.name());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Calibrating the simulator's compute-cost constant against this host.
+//!
+//! The simulator charges `weight / flops_per_ns_per_core` for a task's
+//! compute time. [`measure_flops_per_ns`] times the *actual* GE base
+//! kernel of `recdp-kernels` on an in-cache tile and returns the
+//! sustained flop rate, so predicted absolute times are anchored to real
+//! measured arithmetic throughput rather than a guess (the paper's
+//! analytical model does the analogous calibration against its
+//! machines).
+
+use std::time::Instant;
+
+use recdp_kernels::workloads::ge_matrix;
+use recdp_machine::{CostParams, MachineConfig};
+
+/// Measures the sustained double-precision flop rate (flops/ns) of the
+/// GE base kernel on an `m x m` in-cache tile, averaged over `reps`
+/// repetitions (fresh data each repetition so the eliminations are not
+/// degenerate).
+pub fn measure_flops_per_ns(m: usize, reps: usize) -> f64 {
+    assert!(m.is_power_of_two() && reps > 0);
+    // ~m^3 updates (the A-kernel's triangular count) * 3 flops each.
+    let flops_per_rep = {
+        let mf = m as f64;
+        mf * (mf + 1.0) * (2.0 * mf + 1.0) / 6.0 * 3.0
+    };
+    let mut total = 0.0f64;
+    for rep in 0..reps {
+        let mut tile = ge_matrix(m, rep as u64 + 1);
+        let start = Instant::now();
+        // The loop path runs base_kernel over the whole (small) matrix.
+        recdp_kernels::ge::ge_loops(&mut tile);
+        total += start.elapsed().as_nanos() as f64;
+        // Keep the result alive so the work is not optimised away.
+        std::hint::black_box(&tile);
+    }
+    flops_per_rep * reps as f64 / total
+}
+
+/// Returns `machine` with its compute-cost constant replaced by a rate
+/// measured on this host (`m = 128`, in-L2 tile).
+pub fn calibrated(machine: &MachineConfig) -> MachineConfig {
+    let mut out = machine.clone();
+    let measured = measure_flops_per_ns(128, 3);
+    out.cost = CostParams { flops_per_ns_per_core: measured, ..out.cost };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_machine::epyc64;
+
+    #[test]
+    fn measured_rate_is_sane() {
+        let r = measure_flops_per_ns(64, 2);
+        // Anything from an emulated core to a vector monster.
+        assert!(r > 0.01 && r < 100.0, "rate {r} flops/ns");
+    }
+
+    #[test]
+    fn calibrated_machine_keeps_topology() {
+        let m = calibrated(&epyc64());
+        assert_eq!(m.total_cores(), 64);
+        assert!(m.cost.flops_per_ns_per_core > 0.0);
+    }
+}

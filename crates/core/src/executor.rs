@@ -1,0 +1,212 @@
+//! Running the real benchmark kernels under any execution model.
+
+use std::time::Instant;
+
+use recdp_cnc::GraphStats;
+use recdp_forkjoin::ThreadPoolBuilder;
+use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
+use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
+
+/// The paper's three DP benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// Gaussian Elimination without pivoting.
+    Ge,
+    /// Smith-Waterman local alignment.
+    Sw,
+    /// Floyd-Warshall all-pairs shortest paths.
+    Fw,
+}
+
+impl Benchmark {
+    /// All benchmarks, paper order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Ge, Benchmark::Sw, Benchmark::Fw];
+
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ge => "GE",
+            Benchmark::Sw => "SW",
+            Benchmark::Fw => "FW-APSP",
+        }
+    }
+}
+
+/// How to execute a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Serial iterative loops (Listing 2).
+    SerialLoops,
+    /// Serial recursive divide-and-conquer.
+    SerialRdp,
+    /// Fork-join R-DP on the bundled work-stealing pool (Listing 3).
+    ForkJoin,
+    /// Data-flow R-DP on the bundled CnC runtime (Listings 4-5).
+    Cnc(CncVariant),
+}
+
+impl Execution {
+    /// Display label matching the paper's series names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Execution::SerialLoops => "serial-loops",
+            Execution::SerialRdp => "serial-rdp",
+            Execution::ForkJoin => "OpenMP",
+            Execution::Cnc(v) => v.label(),
+        }
+    }
+}
+
+/// Result of one real execution.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The computed DP table (GE factor table / SW score table / FW
+    /// distance table).
+    pub table: Matrix,
+    /// Wall-clock seconds of the computation proper (excludes input
+    /// generation).
+    pub seconds: f64,
+    /// CnC runtime statistics when `Execution::Cnc` was used.
+    pub cnc_stats: Option<GraphStats>,
+}
+
+/// Generates the standard seeded input and runs `benchmark` under
+/// `execution` with problem size `n`, base-case size `base` and (for the
+/// parallel models) `threads` workers.
+///
+/// All inputs come from the seeded generators in
+/// `recdp_kernels::workloads`, so outputs are comparable across
+/// executions.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    threads: usize,
+) -> RunOutput {
+    const SEED: u64 = 0xD1CE;
+    match benchmark {
+        Benchmark::Ge => {
+            let mut m = ge_matrix(n, SEED);
+            let (seconds, stats) = time_table(&mut m, execution, base, threads, TableOps {
+                loops: ge::ge_loops,
+                rdp: ge::ge_rdp,
+                forkjoin: ge::ge_forkjoin,
+                cnc: ge::ge_cnc,
+            });
+            RunOutput { table: m, seconds, cnc_stats: stats }
+        }
+        Benchmark::Fw => {
+            let mut m = fw_matrix(n, SEED, 0.35);
+            let (seconds, stats) = time_table(&mut m, execution, base, threads, TableOps {
+                loops: fw::fw_loops,
+                rdp: fw::fw_rdp,
+                forkjoin: fw::fw_forkjoin,
+                cnc: fw::fw_cnc,
+            });
+            RunOutput { table: m, seconds, cnc_stats: stats }
+        }
+        Benchmark::Sw => {
+            let a = dna_sequence(n, SEED);
+            let b = dna_sequence(n, SEED ^ 0xFFFF);
+            let mut m = Matrix::zeros(n);
+            let start = Instant::now();
+            let stats = match execution {
+                Execution::SerialLoops => {
+                    sw::sw_loops(&mut m, &a, &b);
+                    None
+                }
+                Execution::SerialRdp => {
+                    sw::sw_rdp(&mut m, &a, &b, base);
+                    None
+                }
+                Execution::ForkJoin => {
+                    let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+                    sw::sw_forkjoin(&mut m, &a, &b, base, &pool);
+                    None
+                }
+                Execution::Cnc(v) => Some(sw::sw_cnc(&mut m, &a, &b, base, v, threads)),
+            };
+            RunOutput { table: m, seconds: start.elapsed().as_secs_f64(), cnc_stats: stats }
+        }
+    }
+}
+
+/// Function table for the two square-matrix benchmarks (GE/FW share the
+/// signature shapes).
+struct TableOps {
+    loops: fn(&mut Matrix),
+    rdp: fn(&mut Matrix, usize),
+    forkjoin: fn(&mut Matrix, usize, &recdp_forkjoin::ThreadPool),
+    cnc: fn(&mut Matrix, usize, CncVariant, usize) -> GraphStats,
+}
+
+fn time_table(
+    m: &mut Matrix,
+    execution: Execution,
+    base: usize,
+    threads: usize,
+    ops: TableOps,
+) -> (f64, Option<GraphStats>) {
+    let start = Instant::now();
+    let stats = match execution {
+        Execution::SerialLoops => {
+            (ops.loops)(m);
+            None
+        }
+        Execution::SerialRdp => {
+            (ops.rdp)(m, base);
+            None
+        }
+        Execution::ForkJoin => {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+            (ops.forkjoin)(m, base, &pool);
+            None
+        }
+        Execution::Cnc(v) => Some((ops.cnc)(m, base, v, threads)),
+    };
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_execution_agrees_with_loops() {
+        for benchmark in Benchmark::ALL {
+            let oracle = run_benchmark(benchmark, Execution::SerialLoops, 32, 8, 2);
+            for execution in [
+                Execution::SerialRdp,
+                Execution::ForkJoin,
+                Execution::Cnc(CncVariant::Native),
+                Execution::Cnc(CncVariant::Tuner),
+                Execution::Cnc(CncVariant::Manual),
+            ] {
+                let out = run_benchmark(benchmark, execution, 32, 8, 2);
+                assert!(
+                    out.table.bitwise_eq(&oracle.table),
+                    "{} under {}",
+                    benchmark.name(),
+                    execution.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cnc_stats_populated_only_for_cnc() {
+        let a = run_benchmark(Benchmark::Ge, Execution::ForkJoin, 32, 8, 2);
+        assert!(a.cnc_stats.is_none());
+        let b = run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 32, 8, 2);
+        assert!(b.cnc_stats.is_some());
+        assert!(b.seconds >= 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Execution::ForkJoin.label(), "OpenMP");
+        assert_eq!(Execution::Cnc(CncVariant::Tuner).label(), "CnC_tuner");
+        assert_eq!(Benchmark::Fw.name(), "FW-APSP");
+    }
+}

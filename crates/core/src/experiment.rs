@@ -1,0 +1,255 @@
+//! The experiment engine behind Figs. 4-9: predicted execution times of
+//! every paradigm on the paper's testbeds.
+
+use recdp_analytical::estimated_time_ns;
+use recdp_machine::{MachineConfig, ParadigmOverheads};
+use recdp_sim::{config_for, simulate, Workload};
+
+use crate::analysis::{dag, Model};
+use crate::executor::Benchmark;
+
+/// One series of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    /// Native-CnC (blocking gets, eager dispatch).
+    CncNative,
+    /// Tuner-CnC (pre-scheduling tuner).
+    CncTuner,
+    /// Manual-CnC (environment pre-declares everything).
+    CncManual,
+    /// OpenMP tasking (fork-join).
+    OpenMp,
+    /// The analytical model's estimate (GE/FW panels only).
+    Estimated,
+}
+
+impl Paradigm {
+    /// The four executable series (everything but `Estimated`).
+    pub const EXECUTABLE: [Paradigm; 4] =
+        [Paradigm::CncNative, Paradigm::CncTuner, Paradigm::CncManual, Paradigm::OpenMp];
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Paradigm::CncNative => "CnC",
+            Paradigm::CncTuner => "CnC_tuner",
+            Paradigm::CncManual => "CnC_manual",
+            Paradigm::OpenMp => "OpenMP",
+            Paradigm::Estimated => "Estimated",
+        }
+    }
+
+    fn overheads(self) -> ParadigmOverheads {
+        match self {
+            Paradigm::CncNative => ParadigmOverheads::cnc_native(),
+            Paradigm::CncTuner => ParadigmOverheads::cnc_tuner(),
+            Paradigm::CncManual => ParadigmOverheads::cnc_manual(),
+            Paradigm::OpenMp | Paradigm::Estimated => ParadigmOverheads::fork_join(),
+        }
+    }
+
+    fn model(self) -> Model {
+        match self {
+            Paradigm::OpenMp | Paradigm::Estimated => Model::ForkJoin,
+            _ => Model::DataFlow,
+        }
+    }
+}
+
+fn workload_of(benchmark: Benchmark) -> Workload {
+    match benchmark {
+        Benchmark::Ge => Workload::Ge,
+        Benchmark::Sw => Workload::Sw,
+        Benchmark::Fw => Workload::Fw,
+    }
+}
+
+/// Predicted execution time in seconds of `benchmark` at problem size
+/// `n`, base-case size `m`, under `paradigm`, on `machine` (all of its
+/// cores).
+///
+/// `Estimated` uses the paper's closed-form analytical model; the other
+/// paradigms replay their task DAG through the discrete-event simulator.
+pub fn predict_seconds(
+    machine: &MachineConfig,
+    benchmark: Benchmark,
+    n: usize,
+    m: usize,
+    paradigm: Paradigm,
+) -> f64 {
+    assert!(n.is_multiple_of(m), "base {m} must divide problem size {n}");
+    if paradigm == Paradigm::Estimated {
+        return estimated_time_ns(machine, n, m).total_seconds();
+    }
+    let t = n / m;
+    let graph = dag(benchmark, paradigm.model(), t, m);
+    let cfg = config_for(
+        machine,
+        &paradigm.overheads(),
+        workload_of(benchmark),
+        m,
+        machine.total_cores(),
+    );
+    simulate(&graph, &cfg).seconds()
+}
+
+/// One row of a figure panel: a base size and the per-paradigm times.
+#[derive(Debug, Clone)]
+pub struct PanelRow {
+    /// Base-case size `m`.
+    pub base: usize,
+    /// `(label, seconds)` per series, in the requested order.
+    pub seconds: Vec<(&'static str, f64)>,
+}
+
+/// A full figure panel (one problem size on one machine).
+#[derive(Debug, Clone)]
+pub struct FigurePanel {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Problem size `n`.
+    pub n: usize,
+    /// Rows, one per base size.
+    pub rows: Vec<PanelRow>,
+}
+
+impl FigurePanel {
+    /// Computes a panel: `benchmark` at size `n` on `machine`, sweeping
+    /// `bases`, for the given `paradigms`.
+    pub fn compute(
+        machine: &MachineConfig,
+        benchmark: Benchmark,
+        n: usize,
+        bases: &[usize],
+        paradigms: &[Paradigm],
+    ) -> Self {
+        let rows = bases
+            .iter()
+            .map(|&m| PanelRow {
+                base: m,
+                seconds: paradigms
+                    .iter()
+                    .map(|&p| (p.label(), predict_seconds(machine, benchmark, n, m, p)))
+                    .collect(),
+            })
+            .collect();
+        FigurePanel { machine: machine.name, benchmark: benchmark.name(), n, rows }
+    }
+
+    /// The base size with the lowest time for a given series label.
+    pub fn best_base(&self, label: &str) -> Option<usize> {
+        self.rows
+            .iter()
+            .filter_map(|r| {
+                r.seconds.iter().find(|(l, _)| *l == label).map(|(_, s)| (r.base, *s))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(base, _)| base)
+    }
+
+    /// Renders the panel as an aligned ASCII table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {} {}x{} on {} (seconds, simulated)",
+            self.benchmark, self.n, self.n, self.machine
+        );
+        let _ = write!(out, "{:>10}", "base");
+        if let Some(first) = self.rows.first() {
+            for (label, _) in &first.seconds {
+                let _ = write!(out, "{label:>14}");
+            }
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:>10}", row.base);
+            for (_, s) in &row.seconds {
+                let _ = write!(out, "{s:>14.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the panel as CSV (`base,series1,series2,...`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "base");
+        if let Some(first) = self.rows.first() {
+            for (label, _) in &first.seconds {
+                let _ = write!(out, ",{label}");
+            }
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{}", row.base);
+            for (_, s) in &row.seconds {
+                let _ = write!(out, ",{s:.6}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_machine::{epyc64, skylake192};
+
+    #[test]
+    fn small_problem_many_cores_favours_dataflow() {
+        // Figs. 4-5 / 8-9, small-n panels: with 192 cores and a 2K
+        // problem, fork-join starves and CnC wins.
+        let sky = skylake192();
+        let cnc = predict_seconds(&sky, Benchmark::Ge, 2048, 128, Paradigm::CncTuner);
+        let omp = predict_seconds(&sky, Benchmark::Ge, 2048, 128, Paradigm::OpenMp);
+        assert!(cnc < omp, "CnC {cnc} should beat OpenMP {omp} at 2K on 192 cores");
+    }
+
+    #[test]
+    fn large_problem_fixed_machine_favours_forkjoin() {
+        // Same figures, 16K panels: fork-join generates plenty of tasks
+        // and its lower overhead wins.
+        let epyc = epyc64();
+        let cnc = predict_seconds(&epyc, Benchmark::Ge, 16384, 256, Paradigm::CncNative);
+        let omp = predict_seconds(&epyc, Benchmark::Ge, 16384, 256, Paradigm::OpenMp);
+        assert!(omp < cnc, "OpenMP {omp} should beat CnC {cnc} at 16K on 64 cores");
+    }
+
+    #[test]
+    fn sw_dataflow_wins_even_at_large_sizes() {
+        // Figs. 6-7: the wavefront is throttled by joins at every size.
+        let epyc = epyc64();
+        let cnc = predict_seconds(&epyc, Benchmark::Sw, 16384, 128, Paradigm::CncTuner);
+        let omp = predict_seconds(&epyc, Benchmark::Sw, 16384, 128, Paradigm::OpenMp);
+        assert!(cnc < omp, "SW: CnC {cnc} must beat OpenMP {omp} even at 16K");
+    }
+
+    #[test]
+    fn panel_rendering() {
+        let panel = FigurePanel::compute(
+            &epyc64(),
+            Benchmark::Ge,
+            1024,
+            &[64, 128, 256],
+            &[Paradigm::CncNative, Paradigm::OpenMp, Paradigm::Estimated],
+        );
+        let table = panel.to_table();
+        assert!(table.contains("OpenMP") && table.contains("Estimated"));
+        let csv = panel.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(panel.best_base("OpenMP").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_base_rejected() {
+        let _ = predict_seconds(&epyc64(), Benchmark::Ge, 1000, 128, Paradigm::OpenMp);
+    }
+}

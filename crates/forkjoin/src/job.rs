@@ -1,0 +1,178 @@
+//! Type-erased jobs: the unit of work that flows through the deques.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+
+use crate::latch::{Latch, SpinLatch};
+
+/// An erased pointer to something executable exactly once.
+///
+/// The pointee is either a [`StackJob`] owned by a frame that outlives the
+/// reference (enforced by the `join` protocol) or a leaked [`HeapJob`]
+/// reclaimed on execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, on one thread; the pointee
+// is Send-capable by construction (closures are `F: Send`).
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `data` must stay valid until `execute` is called, and `execute`
+    /// must be called exactly once.
+    pub(crate) unsafe fn new<T>(data: *const T, execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef { pointer: data as *const (), execute_fn }
+    }
+
+    /// # Safety
+    /// Must be called exactly once per `JobRef`.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// Outcome slot of a [`StackJob`].
+enum JobResult<R> {
+    NotRun,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the stack of the frame that will consume its result
+/// (the second branch of a `join`). Carries its own completion latch.
+pub(crate) struct StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    latch: SpinLatch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        Self {
+            latch: SpinLatch::new(),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::NotRun),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &SpinLatch {
+        &self.latch
+    }
+
+    /// # Safety
+    /// The returned `JobRef` must be executed exactly once before `self`
+    /// is dropped; the caller must not touch `func`/`result` until the
+    /// latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute<F, R>(this: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let this = &*(this as *const StackJob<F, R>);
+            let func = (*this.func.get()).take().expect("job executed twice");
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(func)) {
+                Ok(r) => JobResult::Ok(r),
+                Err(p) => JobResult::Panic(p),
+            };
+            *this.result.get() = result;
+            // Release: publishes `result` to the probing owner.
+            this.latch.set();
+        }
+        JobRef::new(self as *const Self, execute::<F, R>)
+    }
+
+    /// Consumes the result after the latch has been observed set.
+    /// Re-raises the branch's panic on the joining thread, mirroring
+    /// OpenMP's behaviour of surfacing a child task's error at the join.
+    pub(crate) fn into_result(self) -> R {
+        assert!(self.latch.probe(), "into_result before completion");
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => std::panic::resume_unwind(p),
+            JobResult::NotRun => unreachable!("latch set but job not run"),
+        }
+    }
+}
+
+// SAFETY: the job is handed across threads exactly once via JobRef; the
+// UnsafeCells are accessed by the executing thread only until the latch is
+// set (release), after which only the owner reads them (acquire probe).
+unsafe impl<F, R> Sync for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+}
+
+/// A heap-allocated fire-and-forget job (used by `spawn` and scopes).
+pub(crate) struct HeapJob<F: FnOnce() + Send> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Boxes `func` and leaks it into a `JobRef`; the allocation is
+    /// reclaimed when the job executes.
+    pub(crate) fn into_job_ref(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        unsafe fn execute<F: FnOnce() + Send>(this: *const ()) {
+            let boxed = Box::from_raw(this as *mut HeapJob<F>);
+            // A fire-and-forget job must never unwind into whoever runs
+            // it: a worker *helping* at a join executes foreign jobs on
+            // a stack whose live frames own in-flight StackJobs and
+            // Scopes, and unwinding through them would free memory that
+            // thieves still reference. Contain the panic here.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(boxed.func));
+        }
+        // SAFETY: the box stays alive (leaked) until execute reclaims it.
+        unsafe { JobRef::new(Box::into_raw(boxed), execute::<F>) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_job_runs_and_returns() {
+        let job = StackJob::new(|| 5 + 5);
+        let r = unsafe { job.as_job_ref() };
+        unsafe { r.execute() };
+        assert!(job.latch().probe());
+        assert_eq!(job.into_result(), 10);
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<_, ()> = StackJob::new(|| panic!("inside"));
+        let r = unsafe { job.as_job_ref() };
+        unsafe { r.execute() };
+        assert!(job.latch().probe(), "latch set even on panic");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.into_result()));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn heap_job_runs_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let r = HeapJob::into_job_ref(|| {
+            N.fetch_add(1, Ordering::Relaxed);
+        });
+        unsafe { r.execute() };
+        assert_eq!(N.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Latches: one-shot and counting completion flags.
+//!
+//! Memory ordering follows the release/acquire discipline from *Rust
+//! Atomics and Locks*: the completing thread publishes its writes with
+//! `Release`, the waiter observes them with `Acquire`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A one-shot or counted completion flag that can be probed.
+pub(crate) trait Latch {
+    /// True once the latch has been set (acquire semantics).
+    fn probe(&self) -> bool;
+}
+
+/// A single-use latch set exactly once, probed by busy workers that help
+/// with other work between probes (never blocks an OS thread).
+#[derive(Debug, Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        Self { set: AtomicBool::new(false) }
+    }
+
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+/// A latch that releases when a counter returns to zero. Starts at 1 (the
+/// "owner" token); the owner calls [`CountLatch::finish`] once after all
+/// increments have been registered.
+#[derive(Debug)]
+pub(crate) struct CountLatch {
+    counter: AtomicUsize,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        Self { counter: AtomicUsize::new(1) }
+    }
+
+    pub(crate) fn increment(&self) {
+        let prev = self.counter.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "increment after latch released");
+    }
+
+    pub(crate) fn decrement(&self) {
+        let prev = self.counter.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "count latch underflow");
+    }
+
+    /// Drops the owner token.
+    pub(crate) fn finish(&self) {
+        self.decrement();
+    }
+}
+
+impl Latch for CountLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.counter.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_releases_at_zero() {
+        let l = CountLatch::new();
+        l.increment();
+        l.increment();
+        assert!(!l.probe());
+        l.decrement();
+        l.decrement();
+        assert!(!l.probe(), "owner token still held");
+        l.finish();
+        assert!(l.probe());
+    }
+}

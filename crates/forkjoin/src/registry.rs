@@ -1,0 +1,392 @@
+//! The worker registry: threads, deques, injector, parking.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::latch::Latch;
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads. Defaults to the machine's
+    /// available parallelism (at least 2, so work stealing is exercised
+    /// even on single-core hosts).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "pool needs at least one thread");
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool and starts its workers.
+    pub fn build(self) -> ThreadPool {
+        let n = self.num_threads.unwrap_or_else(default_num_threads);
+        ThreadPool { registry: Registry::new(n) }
+    }
+}
+
+fn default_num_threads() -> usize {
+    std::env::var("RECDP_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)
+        })
+}
+
+/// A fork-join work-stealing thread pool.
+///
+/// See the crate docs for the execution model. Dropping the pool stops the
+/// workers after the jobs they are currently running; fire-and-forget
+/// [`ThreadPool::spawn`] jobs still queued are discarded, so callers must
+/// synchronise (as `recdp-cnc` does with its quiescence counter) before
+/// dropping.
+#[derive(Debug)]
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    /// Runs `f` inside the pool, blocking the calling thread until it
+    /// completes, and returns its result. If already on a worker of this
+    /// pool, runs inline.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(wt) = WorkerThread::current() {
+            if std::ptr::eq(wt.registry.as_ref(), self.registry.as_ref()) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f);
+        // SAFETY: we block below until the job's latch is set, so the
+        // stack allocation outlives the reference.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.inject(job_ref);
+        // Adaptive wait: spin briefly, then sleep in short slices. The
+        // installing thread is outside the pool, so it cannot help.
+        let mut spins = 0u32;
+        while !job.latch().probe() {
+            if spins < 64 {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        job.into_result()
+    }
+
+    /// Fire-and-forget execution of `f` on the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::into_job_ref(f);
+        match WorkerThread::current() {
+            Some(wt) if std::ptr::eq(wt.registry.as_ref(), self.registry.as_ref()) => {
+                wt.push(job);
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+
+    /// Fire-and-forget execution of `f`, always via the global injector
+    /// (FIFO-ish) even when called from a worker. Use for re-submissions
+    /// that must not starve other queued work — a task that re-enqueues
+    /// itself through the local LIFO deque would be popped straight back
+    /// on a single-worker pool.
+    pub fn spawn_global<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.registry.inject(HeapJob::into_job_ref(f));
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.stealers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.wake_all();
+        for h in self.registry.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Number of threads of the pool the current thread belongs to, or of the
+/// global pool otherwise.
+pub fn current_num_threads() -> usize {
+    match WorkerThread::current() {
+        Some(wt) => wt.registry.stealers.len(),
+        None => global().num_threads(),
+    }
+}
+
+/// The lazily-created global pool (used by free [`crate::join`] /
+/// [`crate::scope`] calls made outside any pool).
+pub(crate) fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPoolBuilder::new().build())
+}
+
+#[derive(Debug)]
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    terminate: AtomicBool,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Registry {
+    fn new(n: usize) -> Arc<Self> {
+        let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            terminate: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            handles: Mutex::new(Vec::with_capacity(n)),
+        });
+        let mut handles = registry.handles.lock();
+        for (index, worker) in workers.into_iter().enumerate() {
+            let reg = Arc::clone(&registry);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("recdp-fj-{index}"))
+                    .spawn(move || worker_main(worker, reg, index))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        drop(handles);
+        registry
+    }
+
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.wake_all();
+    }
+
+    fn wake_all(&self) {
+        // Pair the notify with the sleep mutex so a worker that checked
+        // the queues and is about to wait cannot miss it entirely; the
+        // bounded wait below covers the remaining benign race.
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Worker-thread context: the local deque plus registry access. Lives on
+/// the worker's stack for the thread's lifetime; accessed through TLS.
+pub(crate) struct WorkerThread {
+    worker: Worker<JobRef>,
+    pub(crate) registry: Arc<Registry>,
+    index: usize,
+    rng: AtomicU64,
+}
+
+impl WorkerThread {
+    /// The current thread's worker context, if it is a pool worker.
+    #[inline]
+    pub(crate) fn current<'a>() -> Option<&'a WorkerThread> {
+        let ptr = CURRENT_WORKER.with(|c| c.get());
+        // SAFETY: the pointee lives on the worker thread's stack for the
+        // whole worker lifetime, and the reference never leaves that
+        // thread (WorkerThread is !Send by content).
+        unsafe { ptr.as_ref() }
+    }
+
+    /// Pushes a job onto the local LIFO deque and wakes a sleeper.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.worker.push(job);
+        self.registry.wake_all();
+    }
+
+    /// Pops the most recently pushed local job, if any.
+    pub(crate) fn take_local(&self) -> Option<JobRef> {
+        self.worker.pop()
+    }
+
+    fn next_rand(&self) -> u64 {
+        // xorshift64*; relaxed is fine, this is just steal-victim choice.
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// One attempt to find work: local deque, then injector, then a
+    /// random-rotation sweep of the other workers' deques.
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.worker.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.registry.injector.steal_batch_and_pop(&self.worker) {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Empty => break,
+                crossbeam_deque::Steal::Retry => continue,
+            }
+        }
+        let n = self.registry.stealers.len();
+        let start = (self.next_rand() as usize) % n;
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match self.registry.stealers[victim].steal() {
+                    crossbeam_deque::Steal::Success(job) => return Some(job),
+                    crossbeam_deque::Steal::Empty => break,
+                    crossbeam_deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Cooperative wait: executes other work until `latch` is set. Never
+    /// parks for long, so a latch set by a thief is observed promptly.
+    pub(crate) fn wait_until<L: Latch>(&self, latch: &L) {
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                // SAFETY: JobRefs are executed exactly once; we own this one.
+                unsafe { job.execute() };
+                idle = 0;
+            } else if idle < 32 {
+                std::hint::spin_loop();
+                idle += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
+    let wt = WorkerThread {
+        worker,
+        registry: Arc::clone(&registry),
+        index,
+        rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)),
+    };
+    CURRENT_WORKER.with(|c| c.set(&wt as *const WorkerThread));
+
+    while !registry.terminate.load(Ordering::Acquire) {
+        if let Some(job) = wt.find_work() {
+            // Catch panics from fire-and-forget jobs so a bad task cannot
+            // take the worker down; structured jobs (StackJob, scope jobs)
+            // install their own handlers and re-raise at the join point.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                job.execute()
+            }));
+        } else {
+            let mut guard = registry.sleep_mutex.lock();
+            // Bounded wait: covers the push-vs-sleep race without a
+            // heavier epoch protocol.
+            registry
+                .sleep_cond
+                .wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+    CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn install_runs_on_worker_thread() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let name = pool.install(|| std::thread::current().name().map(String::from));
+        assert!(name.unwrap().starts_with("recdp-fj-"));
+    }
+
+    #[test]
+    fn nested_install_same_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let x = pool.install(|| pool.install(|| 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn spawn_executes() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        static N: AtomicUsize = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.spawn(|| {
+                N.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Wait for all spawns (bounded).
+        for _ in 0..10_000 {
+            if N.load(Ordering::SeqCst) == 100 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(N.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn spawned_panic_does_not_kill_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        pool.spawn(|| panic!("ignore me"));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(pool.install(|| 3), 3);
+    }
+
+    #[test]
+    fn num_threads_reported() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build();
+        assert_eq!(pool.num_threads(), 3);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn default_thread_count_at_least_two() {
+        assert!(default_num_threads() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPoolBuilder::new().num_threads(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Structured task scopes: multi-way spawn with a join at scope exit.
+//!
+//! `scope(|s| { s.spawn(..); s.spawn(..); })` is the analogue of an
+//! OpenMP task group: the scope call does not return until every task
+//! spawned into it (transitively) has completed — a *join barrier*, i.e.
+//! exactly the synchronisation structure whose artificial dependencies
+//! the paper analyses.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::job::HeapJob;
+use crate::latch::CountLatch;
+use crate::registry::{global, Registry, WorkerThread};
+
+/// A scope in which tasks borrowing data with lifetime `'scope` can be
+/// spawned. Created by [`scope`].
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    latch: CountLatch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over 'scope, like rayon's: the scope must accept exactly
+    /// the lifetime the closures were checked against.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Runs `f` with a [`Scope`] handle and blocks until `f` *and every task
+/// spawned into the scope* have finished. Returns `f`'s result.
+///
+/// # Panics
+/// Panics raised by the scope body or by any spawned task are propagated
+/// after all tasks have completed (body panic takes precedence).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    match WorkerThread::current() {
+        Some(wt) => scope_in_worker(wt, f),
+        None => global().install(move || scope(f)),
+    }
+}
+
+fn scope_in_worker<'scope, F, R>(wt: &WorkerThread, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        registry: Arc::clone(&wt.registry),
+        latch: CountLatch::new(),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.latch.finish();
+    wt.wait_until(&scope.latch);
+    match body {
+        Err(p) => resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = scope.panic.lock().take() {
+                resume_unwind(p);
+            }
+            r
+        }
+    }
+}
+
+/// A `*const Scope` that can ride inside a `Send` closure. Sound because
+/// the scope outlives every spawned task (enforced by the completion
+/// latch) and `Scope`'s shared state is thread-safe.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task into the scope. The task may borrow anything that
+    /// outlives `'scope` and may itself spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.increment();
+        let ptr = ScopePtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Bind the wrapper itself so precise capture moves the Send
+            // newtype rather than the raw pointer field.
+            let ptr = ptr;
+            // SAFETY: the scope is kept alive by scope_in_worker until the
+            // latch (incremented above) is decremented below.
+            let scope = unsafe { &*ptr.0 };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(scope))) {
+                let mut slot = scope.panic.lock();
+                slot.get_or_insert(p);
+            }
+            scope.latch.decrement();
+        });
+        // SAFETY: lifetime erasure. The closure cannot outlive the scope
+        // because scope_in_worker blocks on the latch before returning.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job = HeapJob::into_job_ref(task);
+        match WorkerThread::current() {
+            Some(wt) if std::ptr::eq(wt.registry.as_ref(), self.registry.as_ref()) => {
+                wt.push(job)
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let v = pool.install(|| scope(|_| 99));
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_return() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|s| {
+                    s.spawn(|s| {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_stack_data() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for &x in &data {
+                    let sum = &sum;
+                    s.spawn(move |_| {
+                        sum.fetch_add(x as usize, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn spawned_panic_propagates_at_scope_exit() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let done = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task panic"));
+                    s.spawn(|_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+        }));
+        assert!(r.is_err());
+        // The sibling task still ran before the panic surfaced.
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_outside_pool_uses_global() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Serial loop-based FW-APSP.
+
+use crate::table::Matrix;
+
+/// In-place classic triple-loop Floyd-Warshall.
+pub fn fw_loops(dist: &mut Matrix) {
+    let n = dist.n();
+    // SAFETY: single-threaded full sweep.
+    unsafe { super::base_kernel(dist.ptr(), 0, 0, 0, n) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{fw_matrix, INF_DIST};
+
+    #[test]
+    fn shortest_paths_on_a_known_graph() {
+        // 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (10): FW must find 0->2 = 2.
+        let mut m = Matrix::from_fn(4, |i, j| match (i, j) {
+            (a, b) if a == b => 0.0,
+            (0, 1) | (1, 2) => 1.0,
+            (0, 2) => 10.0,
+            _ => INF_DIST,
+        });
+        fw_loops(&mut m);
+        assert_eq!(m[(0, 2)], 2.0);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert!(m[(2, 0)] >= INF_DIST);
+    }
+
+    #[test]
+    fn distances_never_increase() {
+        let before = fw_matrix(24, 6, 0.3);
+        let mut after = before.clone();
+        fw_loops(&mut after);
+        for i in 0..24 {
+            for j in 0..24 {
+                assert!(after[(i, j)] <= before[(i, j)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Floyd-Warshall all-pairs shortest paths (benchmark 3).
+//!
+//! In-place min-plus relaxation `X[i][j] = min(X[i][j], X[i][k] + X[k][j])`
+//! over all pivots `k`. The R-DP decomposition is the
+//! Chowdhury-Ramachandran recursion: unlike GE, *every* tile is updated
+//! at every pivot step, so the task space is the full `(k, i, j)` cube.
+
+pub mod cnc;
+pub mod forkjoin;
+pub mod loops;
+pub mod rdp;
+
+pub use cnc::fw_cnc;
+pub use forkjoin::fw_forkjoin;
+pub use loops::fw_loops;
+pub use rdp::fw_rdp;
+
+use crate::table::TablePtr;
+
+/// The FW base-case kernel: relax region `rows [i0, i0+m) x cols
+/// [j0, j0+m)` through pivots `[k0, k0+m)`.
+///
+/// # Safety
+/// Region in range; exclusive write access to the region; the pivot row
+/// and column tiles it reads must have completed their updates for the
+/// same pivot range (or be the region itself — the in-place diagonal
+/// case is the standard FW invariant).
+pub(crate) unsafe fn base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
+    debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+    for k in k0..k0 + m {
+        for i in i0..i0 + m {
+            let dik = t.get(i, k);
+            for j in j0..j0 + m {
+                let via = dik + t.get(k, j);
+                if via < t.get(i, j) {
+                    t.set(i, j, via);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn check_sizes(n: usize, base: usize) {
+    assert!(n.is_power_of_two(), "problem size {n} must be a power of two");
+    assert!(base.is_power_of_two() && base <= n, "bad base size {base} for n={n}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{fw_matrix, INF_DIST};
+    use crate::Matrix;
+
+    #[test]
+    fn base_kernel_full_matrix_is_classic_fw() {
+        let mut m = fw_matrix(12, 7, 0.4);
+        let mut reference = m.clone();
+        let n = 12;
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = reference[(i, k)] + reference[(k, j)];
+                    if via < reference[(i, j)] {
+                        reference[(i, j)] = via;
+                    }
+                }
+            }
+        }
+        unsafe { base_kernel(m.ptr(), 0, 0, 0, n) };
+        assert!(m.bitwise_eq(&reference));
+    }
+
+    #[test]
+    fn triangle_inequality_holds_after_fw() {
+        let mut m = fw_matrix(16, 3, 0.5);
+        unsafe { base_kernel(m.ptr(), 0, 0, 0, 16) };
+        for i in 0..16 {
+            for k in 0..16 {
+                for j in 0..16 {
+                    assert!(
+                        m[(i, j)] <= m[(i, k)] + m[(k, j)] + 1e-9,
+                        "triangle violated at ({i},{k},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_reads_pivot_wait_free_case() {
+        // A fully disconnected graph stays disconnected.
+        let mut m = Matrix::from_fn(4, |i, j| if i == j { 0.0 } else { INF_DIST });
+        unsafe { base_kernel(m.ptr(), 0, 0, 0, 4) };
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 0.0 } else { 2.0 * INF_DIST.min(INF_DIST) };
+                if i == j {
+                    assert_eq!(m[(i, j)], 0.0);
+                } else {
+                    assert!(m[(i, j)] >= INF_DIST, "{expect}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Data-flow GE on `recdp-cnc` — the Rust analogue of the paper's
+//! Listings 4 and 5.
+//!
+//! Structure mirrors the paper's CnC program:
+//!
+//! * four tag collections (`funcA`..`funcD`), one per recursive function,
+//!   tagged by `(i0, j0, k0, s)` in tile units;
+//! * step instances with `s > 1` are the *recursive part*: they put the
+//!   sub-function tags immediately, irrespective of data dependencies
+//!   (exactly Listing 5's tag loop);
+//! * step instances with `s == 1` are base cases: they perform blocking
+//!   `get`s for their read and write-write dependencies, run the shared
+//!   base kernel on their tile, and `put` the tile's readiness item;
+//! * a single item collection keyed `(k, i, j)` holds tile readiness — a
+//!   keyed union of the paper's four `funcX_outputs` collections with
+//!   identical synchronisation semantics.
+//!
+//! The three execution variants of Sec. III-D/IV-B:
+//! [`CncVariant::Native`] dispatches base steps eagerly (failed gets
+//! abort-and-retry), [`CncVariant::Tuner`] pre-schedules each base step
+//! on its declared dependencies at prescription time, and
+//! [`CncVariant::Manual`] has the environment pre-declare every base
+//! task of the whole computation up front.
+
+use recdp_cnc::{CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+
+use crate::table::{Matrix, TablePtr};
+use crate::CncVariant;
+
+use super::{base_kernel, check_rdp_sizes};
+
+/// `(i0, j0, k0, s)` in tile units.
+type Tag = (u32, u32, u32, u32);
+/// `(k, i, j)` tile-update identity.
+type TileKey = (u32, u32, u32);
+
+#[derive(Clone)]
+struct Ctx {
+    t: TablePtr,
+    m: usize,
+    variant: CncVariant,
+    tile_out: ItemCollection<TileKey, bool>,
+    a: TagCollection<Tag>,
+    b: TagCollection<Tag>,
+    c: TagCollection<Tag>,
+    d: TagCollection<Tag>,
+}
+
+/// Which base-case kernel a tile task runs (determines its read set).
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    A,
+    B,
+    C,
+    D,
+}
+
+impl Ctx {
+    fn deps(&self, kind: Kind, k: u32, i: u32, j: u32) -> DepSet {
+        let mut deps = DepSet::new();
+        if k > 0 {
+            deps = deps.item(&self.tile_out, (k - 1, i, j)); // write-write
+        }
+        match kind {
+            Kind::A => {}
+            Kind::B | Kind::C => {
+                deps = deps.item(&self.tile_out, (k, k, k)); // reads A's tile
+            }
+            Kind::D => {
+                deps = deps
+                    .item(&self.tile_out, (k, k, k)) // A
+                    .item(&self.tile_out, (k, k, j)) // B row panel
+                    .item(&self.tile_out, (k, i, k)); // C column panel
+            }
+        }
+        deps
+    }
+
+    /// Puts a base-level tag, pre-scheduling it under Tuner/Manual.
+    fn put_base(&self, tags: &TagCollection<Tag>, kind: Kind, k: u32, i: u32, j: u32) {
+        let tag = (i, j, k, 1);
+        match self.variant {
+            CncVariant::Native | CncVariant::NonBlocking => tags.put(tag),
+            CncVariant::Tuner | CncVariant::Manual => {
+                tags.put_when(tag, &self.deps(kind, k, i, j))
+            }
+        }
+    }
+
+    /// True if all inputs of a base task are available (non-blocking
+    /// poll, Sec. IV's `try_get` style).
+    fn inputs_ready(&self, kind: Kind, k: u32, i: u32, j: u32) -> bool {
+        let ok = |key: TileKey| self.tile_out.try_get(&key).is_some();
+        if k > 0 && !ok((k - 1, i, j)) {
+            return false;
+        }
+        match kind {
+            Kind::A => true,
+            Kind::B | Kind::C => ok((k, k, k)),
+            Kind::D => ok((k, k, k)) && ok((k, k, j)) && ok((k, i, k)),
+        }
+    }
+
+    /// Runs a base tile task: blocking gets, kernel, readiness put.
+    /// Under the non-blocking variant the gets become polls and a miss
+    /// re-puts the task's own tag (self-respawn) instead of parking.
+    fn run_base(
+        &self,
+        kind: Kind,
+        k: u32,
+        i: u32,
+        j: u32,
+        scope: &recdp_cnc::StepScope<'_>,
+    ) -> recdp_cnc::StepResult {
+        if self.variant == CncVariant::NonBlocking && !self.inputs_ready(kind, k, i, j) {
+            let tags = match kind {
+                Kind::A => &self.a,
+                Kind::B => &self.b,
+                Kind::C => &self.c,
+                Kind::D => &self.d,
+            };
+            tags.put_retry((i, j, k, 1));
+            return Ok(StepOutcome::Done);
+        }
+        if k > 0 {
+            self.tile_out.get(scope, &(k - 1, i, j))?;
+        }
+        match kind {
+            Kind::A => {}
+            Kind::B | Kind::C => {
+                self.tile_out.get(scope, &(k, k, k))?;
+            }
+            Kind::D => {
+                self.tile_out.get(scope, &(k, k, k))?;
+                self.tile_out.get(scope, &(k, k, j))?;
+                self.tile_out.get(scope, &(k, i, k))?;
+            }
+        }
+        let m = self.m;
+        // SAFETY: this task is the unique writer of tile (i, j) at pivot
+        // step k (single-assignment on tile_out enforces it), and the
+        // tiles it reads were completed by the tasks whose items the gets
+        // above observed.
+        unsafe {
+            base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
+        }
+        self.tile_out.put((k, i, j), true)?;
+        Ok(StepOutcome::Done)
+    }
+}
+
+/// In-place data-flow GE with base-case size `base` on a fresh CnC graph
+/// with `threads` workers. Returns the graph's execution statistics
+/// (requeue counts etc. — the observable difference between the
+/// variants).
+pub fn ge_cnc(
+    mat: &mut Matrix,
+    base: usize,
+    variant: CncVariant,
+    threads: usize,
+) -> GraphStats {
+    let n = mat.n();
+    check_rdp_sizes(n, base);
+    let t_tiles = (n / base) as u32;
+    let graph = CncGraph::with_threads(threads);
+    let ctx = Ctx {
+        t: mat.ptr(),
+        m: base,
+        variant,
+        tile_out: graph.item_collection("tile_out"),
+        a: graph.tag_collection("funcA"),
+        b: graph.tag_collection("funcB"),
+        c: graph.tag_collection("funcC"),
+        d: graph.tag_collection("funcD"),
+    };
+
+    let cx = ctx.clone();
+    ctx.a.prescribe("funcA", move |&(i0, _j0, k0, s), scope| {
+        debug_assert_eq!(i0, k0);
+        if s == 1 {
+            return cx.run_base(Kind::A, k0, k0, k0, scope);
+        }
+        let h = s / 2;
+        let d = k0;
+        put_any(&cx, &cx.a.clone(), Kind::A, (d, d, d, h));
+        put_any(&cx, &cx.b.clone(), Kind::B, (d, d + h, d, h));
+        put_any(&cx, &cx.c.clone(), Kind::C, (d + h, d, d, h));
+        put_any(&cx, &cx.d.clone(), Kind::D, (d + h, d + h, d, h));
+        put_any(&cx, &cx.a.clone(), Kind::A, (d + h, d + h, d + h, h));
+        Ok(StepOutcome::Done)
+    });
+
+    let cx = ctx.clone();
+    ctx.b.prescribe("funcB", move |&(i0, j0, k0, s), scope| {
+        debug_assert_eq!(i0, k0);
+        if s == 1 {
+            return cx.run_base(Kind::B, k0, k0, j0, scope);
+        }
+        let h = s / 2;
+        put_any(&cx, &cx.b.clone(), Kind::B, (k0, j0, k0, h));
+        put_any(&cx, &cx.b.clone(), Kind::B, (k0, j0 + h, k0, h));
+        put_any(&cx, &cx.d.clone(), Kind::D, (k0 + h, j0, k0, h));
+        put_any(&cx, &cx.d.clone(), Kind::D, (k0 + h, j0 + h, k0, h));
+        put_any(&cx, &cx.b.clone(), Kind::B, (k0 + h, j0, k0 + h, h));
+        put_any(&cx, &cx.b.clone(), Kind::B, (k0 + h, j0 + h, k0 + h, h));
+        Ok(StepOutcome::Done)
+    });
+
+    let cx = ctx.clone();
+    ctx.c.prescribe("funcC", move |&(i0, j0, k0, s), scope| {
+        debug_assert_eq!(j0, k0);
+        if s == 1 {
+            return cx.run_base(Kind::C, k0, i0, k0, scope);
+        }
+        let h = s / 2;
+        put_any(&cx, &cx.c.clone(), Kind::C, (i0, k0, k0, h));
+        put_any(&cx, &cx.c.clone(), Kind::C, (i0 + h, k0, k0, h));
+        put_any(&cx, &cx.d.clone(), Kind::D, (i0, k0 + h, k0, h));
+        put_any(&cx, &cx.d.clone(), Kind::D, (i0 + h, k0 + h, k0, h));
+        put_any(&cx, &cx.c.clone(), Kind::C, (i0, k0 + h, k0 + h, h));
+        put_any(&cx, &cx.c.clone(), Kind::C, (i0 + h, k0 + h, k0 + h, h));
+        Ok(StepOutcome::Done)
+    });
+
+    let cx = ctx.clone();
+    ctx.d.prescribe("funcD", move |&(i0, j0, k0, s), scope| {
+        if s == 1 {
+            return cx.run_base(Kind::D, k0, i0, j0, scope);
+        }
+        let h = s / 2;
+        // Listing 5's kk/ii/jj loops: all eight sub-regions, put
+        // irrespective of data dependencies.
+        for dk in [0, h] {
+            for di in [0, h] {
+                for dj in [0, h] {
+                    put_any(&cx, &cx.d.clone(), Kind::D, (i0 + di, j0 + dj, k0 + dk, h));
+                }
+            }
+        }
+        Ok(StepOutcome::Done)
+    });
+
+    match variant {
+        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
+            // Environment triggers the root of the recursion.
+            ctx.a.put((0, 0, 0, t_tiles));
+        }
+        CncVariant::Manual => {
+            // Environment pre-declares every base task with its full
+            // dependency set before execution.
+            for k in 0..t_tiles {
+                ctx.put_base(&ctx.a, Kind::A, k, k, k);
+                for j in k + 1..t_tiles {
+                    ctx.put_base(&ctx.b, Kind::B, k, k, j);
+                }
+                for i in k + 1..t_tiles {
+                    ctx.put_base(&ctx.c, Kind::C, k, i, k);
+                }
+                for i in k + 1..t_tiles {
+                    for j in k + 1..t_tiles {
+                        ctx.put_base(&ctx.d, Kind::D, k, i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    graph.wait().expect("GE CnC graph failed")
+}
+
+/// Routes a sub-tag put: base-level tags go through the variant-aware
+/// path, recursive tags are always plain puts (they have no data deps).
+fn put_any(ctx: &Ctx, tags: &TagCollection<Tag>, kind: Kind, tag: Tag) {
+    let (i0, j0, k0, s) = tag;
+    if s == 1 {
+        let (k, i, j) = match kind {
+            Kind::A => (k0, k0, k0),
+            Kind::B => (k0, k0, j0),
+            Kind::C => (k0, i0, k0),
+            Kind::D => (k0, i0, j0),
+        };
+        ctx.put_base(tags, kind, k, i, j);
+    } else {
+        tags.put(tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge::ge_loops;
+    use crate::workloads::ge_matrix;
+
+    #[test]
+    fn all_variants_match_loops_bitwise() {
+        for variant in CncVariant::ALL {
+            let m0 = ge_matrix(32, 13);
+            let mut lo = m0.clone();
+            ge_loops(&mut lo);
+            let mut df = m0.clone();
+            let stats = ge_cnc(&mut df, 8, variant, 3);
+            assert!(df.bitwise_eq(&lo), "variant {variant:?}");
+            // 4 tile-steps: 30 base tasks, plus expansion steps for
+            // Native/Tuner.
+            assert!(stats.items_put >= 30, "variant {variant:?}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn single_tile_problem() {
+        let m0 = ge_matrix(16, 2);
+        let mut lo = m0.clone();
+        ge_loops(&mut lo);
+        let mut df = m0.clone();
+        ge_cnc(&mut df, 16, CncVariant::Native, 2);
+        assert!(df.bitwise_eq(&lo));
+    }
+
+    #[test]
+    fn tuner_and_manual_never_requeue() {
+        for variant in [CncVariant::Tuner, CncVariant::Manual] {
+            let mut m = ge_matrix(64, 5);
+            let stats = ge_cnc(&mut m, 8, variant, 4);
+            assert_eq!(
+                stats.steps_requeued, 0,
+                "{variant:?} pre-schedules all deps: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_blocking_gets_observed() {
+        // With several workers racing down the eagerly-expanded tag tree,
+        // some base step almost surely runs before its inputs exist; the
+        // abort-and-retry counter is the paper's Native-CnC overhead.
+        let mut m = ge_matrix(64, 3);
+        let stats = ge_cnc(&mut m, 8, CncVariant::Native, 4);
+        assert!(stats.gets_ok > 0);
+        // Every base task (8 tile-steps -> 204 tasks) completed exactly
+        // once.
+        assert_eq!(stats.items_put, 204);
+    }
+
+    #[test]
+    fn manual_variant_runs_only_base_steps() {
+        let mut m = ge_matrix(32, 8);
+        let t = 4u64;
+        let base_tasks = t * (t + 1) * (2 * t + 1) / 6;
+        let stats = ge_cnc(&mut m, 8, CncVariant::Manual, 2);
+        assert_eq!(stats.steps_completed, base_tasks, "no expansion steps under Manual");
+        assert_eq!(stats.tags_put, base_tasks);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m0 = ge_matrix(64, 99);
+        let mut one = m0.clone();
+        ge_cnc(&mut one, 16, CncVariant::Native, 1);
+        for threads in [2usize, 4] {
+            let mut multi = m0.clone();
+            ge_cnc(&mut multi, 16, CncVariant::Native, threads);
+            assert!(multi.bitwise_eq(&one), "CnC determinism at {threads} threads");
+        }
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use crate::ge::ge_loops;
+    use crate::workloads::ge_matrix;
+
+    #[test]
+    fn nonblocking_matches_loops_bitwise() {
+        let m0 = ge_matrix(64, 8);
+        let mut lo = m0.clone();
+        ge_loops(&mut lo);
+        let mut df = m0.clone();
+        let stats = ge_cnc(&mut df, 8, CncVariant::NonBlocking, 3);
+        assert!(df.bitwise_eq(&lo));
+        assert_eq!(stats.items_put, 204, "all base tasks completed once");
+        // Polling style never parks on item wait lists.
+        assert_eq!(stats.steps_requeued, 0);
+    }
+
+    #[test]
+    fn nonblocking_retries_are_counted() {
+        let mut m = ge_matrix(64, 8);
+        let stats = ge_cnc(&mut m, 8, CncVariant::NonBlocking, 4);
+        // With eager tag expansion racing actual execution, some base
+        // steps must observe missing inputs and self-respawn.
+        assert!(stats.nb_retries > 0, "{stats:?}");
+        assert!(stats.gets_nb_missing > 0);
+        // Every respawn is an extra completed execution of the step.
+        assert_eq!(
+            stats.steps_completed,
+            stats.tags_put, // every put tag runs exactly one completed body
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn nonblocking_deterministic() {
+        let m0 = ge_matrix(64, 44);
+        let mut a = m0.clone();
+        ge_cnc(&mut a, 16, CncVariant::NonBlocking, 1);
+        let mut b = m0.clone();
+        ge_cnc(&mut b, 16, CncVariant::NonBlocking, 4);
+        assert!(a.bitwise_eq(&b));
+    }
+}

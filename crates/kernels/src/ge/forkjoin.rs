@@ -1,0 +1,132 @@
+//! Fork-join GE on `recdp-forkjoin` — the Rust analogue of the paper's
+//! Listing 3 (`#pragma omp task` + `taskwait`).
+//!
+//! ## Disjointness argument (why the `TablePtr` sharing is sound)
+//!
+//! At every fork point the two (or four) parallel calls write disjoint
+//! element regions and read only regions whose writers completed before
+//! the fork (sequenced by the preceding joins):
+//!
+//! * in `a`: `b` writes rows `K x cols J1` while `c` writes
+//!   `rows I1 x cols K` — disjoint; both read only the diagonal block
+//!   finished by the prior `a` call;
+//! * in `b`/`c`: the parallel pairs split the column/row range;
+//! * in `d`: the four quadrants are disjoint and read panels finished
+//!   before `d` was called.
+//!
+//! The joins that sequence the stages are exactly the artificial
+//! dependencies of Fig. 3.
+
+use recdp_forkjoin::{join, ThreadPool};
+
+use crate::table::{Matrix, TablePtr};
+
+use super::{base_kernel, check_rdp_sizes};
+
+/// In-place fork-join R-DP GE with base-case size `base`, executed on
+/// `pool`.
+pub fn ge_forkjoin(mat: &mut Matrix, base: usize, pool: &ThreadPool) {
+    let n = mat.n();
+    check_rdp_sizes(n, base);
+    let t = mat.ptr();
+    pool.install(|| a(t, 0, n, base));
+}
+
+fn a(t: TablePtr, d: usize, s: usize, m: usize) {
+    if s <= m {
+        // SAFETY: this task has exclusive write access to the diagonal
+        // block per the module-level disjointness argument.
+        unsafe { base_kernel(t, d, d, d, s) };
+        return;
+    }
+    let h = s / 2;
+    a(t, d, h, m);
+    join(|| b(t, d, d + h, h, m), || c(t, d + h, d, h, m));
+    dd(t, d + h, d + h, d, h, m);
+    a(t, d + h, h, m);
+}
+
+fn b(t: TablePtr, k0: usize, j0: usize, s: usize, m: usize) {
+    if s <= m {
+        unsafe { base_kernel(t, k0, j0, k0, s) };
+        return;
+    }
+    let h = s / 2;
+    join(|| b(t, k0, j0, h, m), || b(t, k0, j0 + h, h, m));
+    join(
+        || dd(t, k0 + h, j0, k0, h, m),
+        || dd(t, k0 + h, j0 + h, k0, h, m),
+    );
+    join(|| b(t, k0 + h, j0, h, m), || b(t, k0 + h, j0 + h, h, m));
+}
+
+fn c(t: TablePtr, i0: usize, k0: usize, s: usize, m: usize) {
+    if s <= m {
+        unsafe { base_kernel(t, i0, k0, k0, s) };
+        return;
+    }
+    let h = s / 2;
+    join(|| c(t, i0, k0, h, m), || c(t, i0 + h, k0, h, m));
+    join(
+        || dd(t, i0, k0 + h, k0, h, m),
+        || dd(t, i0 + h, k0 + h, k0, h, m),
+    );
+    join(|| c(t, i0, k0 + h, h, m), || c(t, i0 + h, k0 + h, h, m));
+}
+
+fn dd(t: TablePtr, i0: usize, j0: usize, k0: usize, s: usize, m: usize) {
+    if s <= m {
+        unsafe { base_kernel(t, i0, j0, k0, s) };
+        return;
+    }
+    let h = s / 2;
+    let quad = move |k: usize| {
+        join(
+            || join(|| dd(t, i0, j0, k, h, m), || dd(t, i0, j0 + h, k, h, m)),
+            || {
+                join(
+                    || dd(t, i0 + h, j0, k, h, m),
+                    || dd(t, i0 + h, j0 + h, k, h, m),
+                )
+            },
+        );
+    };
+    quad(k0);
+    quad(k0 + h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge::ge_loops;
+    use crate::workloads::ge_matrix;
+    use recdp_forkjoin::ThreadPoolBuilder;
+
+    #[test]
+    fn forkjoin_matches_loops_bitwise() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        for n in [16usize, 64] {
+            for base in [4usize, 16] {
+                let m0 = ge_matrix(n, 21);
+                let mut lo = m0.clone();
+                ge_loops(&mut lo);
+                let mut fj = m0.clone();
+                ge_forkjoin(&mut fj, base, &pool);
+                assert!(fj.bitwise_eq(&lo), "n={n} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build();
+        let m0 = ge_matrix(64, 4);
+        let mut first = m0.clone();
+        ge_forkjoin(&mut first, 8, &pool);
+        for _ in 0..3 {
+            let mut again = m0.clone();
+            ge_forkjoin(&mut again, 8, &pool);
+            assert!(again.bitwise_eq(&first), "steal interleavings must not matter");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Gaussian Elimination without pivoting (the paper's running example).
+//!
+//! All implementations share [`base_kernel`], so every variant performs
+//! bitwise-identical arithmetic; they differ only in how the tile tasks
+//! are ordered and synchronised.
+
+pub mod cnc;
+pub mod forkjoin;
+pub mod loops;
+pub mod rdp;
+
+pub use cnc::ge_cnc;
+pub use forkjoin::ge_forkjoin;
+pub use loops::ge_loops;
+pub use rdp::ge_rdp;
+
+use crate::table::TablePtr;
+
+/// The GE base-case kernel on the rectangular region
+/// `rows [i0, i0+m) x cols [j0, j0+m)` for pivots `[k0, k0+m)`, applying
+/// `X[i][j] -= X[i][k] * X[k][j] / X[k][k]` for `i > k && j > k` (see the
+/// crate docs for why the strict conditions are the executable form of
+/// Listing 2). Covers all four kernels A/B/C/D: the triangular parts of
+/// A/B/C fall out of the `max` bounds.
+///
+/// # Safety
+/// The region and the pivot rows/columns it reads must be in range, and
+/// the caller must guarantee exclusive write access to the region plus
+/// stable (no concurrent writer) pivot data, per the [`TablePtr`]
+/// discipline.
+pub(crate) unsafe fn base_kernel(
+    t: TablePtr,
+    i0: usize,
+    j0: usize,
+    k0: usize,
+    m: usize,
+) {
+    debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+    for k in k0..k0 + m {
+        let pivot = t.get(k, k);
+        for i in i0.max(k + 1)..i0 + m {
+            let factor = t.get(i, k);
+            for j in j0.max(k + 1)..j0 + m {
+                let v = t.get(i, j) - factor * t.get(k, j) / pivot;
+                t.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Validates `(n, base)` for the R-DP variants: both powers of two with
+/// `base <= n` (the shape the paper's experiments use).
+pub(crate) fn check_rdp_sizes(n: usize, base: usize) {
+    assert!(n.is_power_of_two(), "problem size {n} must be a power of two");
+    assert!(base.is_power_of_two(), "base size {base} must be a power of two");
+    assert!(base <= n, "base size {base} larger than problem {n}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ge_matrix;
+
+    #[test]
+    fn base_kernel_full_region_equals_loops() {
+        // Running the base kernel over the whole matrix IS the loop
+        // implementation.
+        let mut a = ge_matrix(16, 9);
+        let mut b = a.clone();
+        unsafe { base_kernel(a.ptr(), 0, 0, 0, 16) };
+        ge_loops(&mut b);
+        assert!(a.bitwise_eq(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sizes_validated() {
+        check_rdp_sizes(48, 16);
+    }
+}

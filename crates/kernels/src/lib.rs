@@ -1,0 +1,87 @@
+//! `recdp-kernels`: the paper's three DP benchmarks, runnable in every
+//! execution model.
+//!
+//! Each benchmark ships five implementations with **bitwise-identical**
+//! results (each DP cell sees the same floating point operations in the
+//! same order in every variant — asserted by the test suites):
+//!
+//! | variant | module | execution model |
+//! |---|---|---|
+//! | `*_loops` | `ge::loops` etc. | serial iterative (Listing 2) |
+//! | `*_rdp` | `ge::rdp` | serial 2-way recursive divide-and-conquer |
+//! | `*_forkjoin` | `ge::forkjoin` | R-DP on `recdp-forkjoin` (OpenMP-tasking stand-in, Listing 3) |
+//! | `*_cnc` (Native) | `ge::cnc` | recursive tag expansion + blocking gets on `recdp-cnc` (Listing 5) |
+//! | `*_cnc` (Tuner/Manual) | `ge::cnc` | pre-scheduled dependencies (Sec. III-D tuners) |
+//!
+//! ## Numerical convention for GE
+//!
+//! We use the standard cache-oblivious GE recurrence
+//! `X[i][j] -= X[i][k] * X[k][j] / X[k][k]` applied for `i > k && j > k`
+//! (strict in both): the sub-diagonal entry `X[i][k]` is left holding the
+//! step-`k-1` value it had when it was last a trailing-submatrix element,
+//! which is exactly the factor later steps need. This is the
+//! Chowdhury-Ramachandran formulation the paper's R-DP algorithm (Fig. 2)
+//! is built on; the printed Listing 2 (`j >= k`) would zero the factor
+//! column mid-step and is not executable as written across tiles.
+
+#![warn(missing_docs)]
+
+pub mod fw;
+pub mod ge;
+pub mod sw;
+pub mod table;
+pub mod workloads;
+
+pub use table::{Matrix, TablePtr};
+
+/// Which CnC execution variant to run (Sec. III-D / IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CncVariant {
+    /// Blocking gets with abort-and-retry; tasks dispatched as soon as
+    /// prescribed (the base CnC program).
+    Native,
+    /// The pre-scheduling tuner: a task is dispatched only once its
+    /// declared item dependencies are available.
+    Tuner,
+    /// All dependencies of the whole computation pre-declared by the
+    /// environment before execution starts.
+    Manual,
+    /// Non-blocking gets (Sec. IV): a step polls its inputs with
+    /// `try_get` and, when one is missing, re-puts its own tag and
+    /// retires instead of parking. The paper found this profitable only
+    /// for smaller block sizes; the `nb_retries` statistic quantifies
+    /// the wasted respawns.
+    NonBlocking,
+}
+
+impl CncVariant {
+    /// The paper's three headline variants, in its order.
+    pub const ALL: [CncVariant; 3] = [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual];
+
+    /// All variants including the non-blocking-get alternative.
+    pub const ALL_EXTENDED: [CncVariant; 4] =
+        [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual, CncVariant::NonBlocking];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            CncVariant::Native => "CnC",
+            CncVariant::Tuner => "CnC_tuner",
+            CncVariant::Manual => "CnC_manual",
+            CncVariant::NonBlocking => "CnC_nbget",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(CncVariant::Native.label(), "CnC");
+        assert_eq!(CncVariant::ALL.len(), 3);
+        assert_eq!(CncVariant::ALL_EXTENDED.len(), 4);
+        assert_eq!(CncVariant::NonBlocking.label(), "CnC_nbget");
+    }
+}

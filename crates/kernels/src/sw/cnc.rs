@@ -1,0 +1,211 @@
+//! Data-flow SW on `recdp-cnc`: the wavefront, expressed as fine-grained
+//! tile dependencies — no per-antidiagonal barrier, so tiles of
+//! different wavefronts overlap freely (the paper's explanation for the
+//! data-flow win on SW).
+
+use std::sync::Arc;
+
+use recdp_cnc::{CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+
+use crate::table::{Matrix, TablePtr};
+use crate::CncVariant;
+
+use super::{base_kernel, check_sizes};
+
+/// `(i0, j0, s)` in tile units.
+type Tag = (u32, u32, u32);
+type TileKey = (u32, u32);
+
+#[derive(Clone)]
+struct Ctx {
+    t: TablePtr,
+    a: Arc<Vec<u8>>,
+    b: Arc<Vec<u8>>,
+    m: usize,
+    variant: CncVariant,
+    tile_out: ItemCollection<TileKey, bool>,
+    tags: TagCollection<Tag>,
+}
+
+impl Ctx {
+    fn deps(&self, i: u32, j: u32) -> DepSet {
+        let mut deps = DepSet::new();
+        if i > 0 {
+            deps = deps.item(&self.tile_out, (i - 1, j));
+        }
+        if j > 0 {
+            deps = deps.item(&self.tile_out, (i, j - 1));
+        }
+        if i > 0 && j > 0 {
+            deps = deps.item(&self.tile_out, (i - 1, j - 1));
+        }
+        deps
+    }
+
+    fn put_tile(&self, i: u32, j: u32) {
+        let tag = (i, j, 1);
+        match self.variant {
+            CncVariant::Native | CncVariant::NonBlocking => self.tags.put(tag),
+            CncVariant::Tuner | CncVariant::Manual => {
+                self.tags.put_when(tag, &self.deps(i, j))
+            }
+        }
+    }
+
+    /// Non-blocking poll of a tile's three neighbours.
+    fn neighbours_ready(&self, i: u32, j: u32) -> bool {
+        let ok = |key: TileKey| self.tile_out.try_get(&key).is_some();
+        (i == 0 || ok((i - 1, j)))
+            && (j == 0 || ok((i, j - 1)))
+            && (i == 0 || j == 0 || ok((i - 1, j - 1)))
+    }
+}
+
+/// In-place data-flow SW with base size `base` on `threads` workers.
+pub fn sw_cnc(
+    table: &mut Matrix,
+    a: &[u8],
+    b: &[u8],
+    base: usize,
+    variant: CncVariant,
+    threads: usize,
+) -> GraphStats {
+    let n = table.n();
+    check_sizes(n, base, a, b);
+    let t_tiles = (n / base) as u32;
+    let graph = CncGraph::with_threads(threads);
+    let ctx = Ctx {
+        t: table.ptr(),
+        a: Arc::new(a.to_vec()),
+        b: Arc::new(b.to_vec()),
+        m: base,
+        variant,
+        tile_out: graph.item_collection("sw_tiles"),
+        tags: graph.tag_collection("sw_tags"),
+    };
+
+    let cx = ctx.clone();
+    ctx.tags.prescribe("sw_step", move |&(i0, j0, s), scope| {
+        if s > 1 {
+            // Recursive quadrant expansion, tags put eagerly.
+            let h = s / 2;
+            for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
+                let sub = (i0 + di, j0 + dj, h);
+                if h == 1 {
+                    cx.put_tile(sub.0, sub.1);
+                } else {
+                    cx.tags.put(sub);
+                }
+            }
+            return Ok(StepOutcome::Done);
+        }
+        let (i, j) = (i0, j0);
+        if cx.variant == CncVariant::NonBlocking && !cx.neighbours_ready(i, j) {
+            cx.tags.put_retry((i, j, 1));
+            return Ok(StepOutcome::Done);
+        }
+        // Blocking gets on the three neighbour tiles.
+        if i > 0 {
+            cx.tile_out.get(scope, &(i - 1, j))?;
+        }
+        if j > 0 {
+            cx.tile_out.get(scope, &(i, j - 1))?;
+        }
+        if i > 0 && j > 0 {
+            cx.tile_out.get(scope, &(i - 1, j - 1))?;
+        }
+        let m = cx.m;
+        // SAFETY: unique writer of tile (i, j); neighbour tiles final per
+        // the gets above.
+        unsafe {
+            base_kernel(cx.t, &cx.a, &cx.b, i as usize * m, j as usize * m, m);
+        }
+        cx.tile_out.put((i, j), true)?;
+        Ok(StepOutcome::Done)
+    });
+
+    match variant {
+        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
+            if t_tiles == 1 {
+                ctx.put_tile(0, 0);
+            } else {
+                ctx.tags.put((0, 0, t_tiles));
+            }
+        }
+        CncVariant::Manual => {
+            for i in 0..t_tiles {
+                for j in 0..t_tiles {
+                    ctx.put_tile(i, j);
+                }
+            }
+        }
+    }
+
+    graph.wait().expect("SW CnC graph failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::loops::sw_loops;
+    use crate::sw::sw_score;
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn all_variants_match_loops_bitwise() {
+        let n = 64;
+        let a = dna_sequence(n, 31);
+        let b = dna_sequence(n, 32);
+        let mut lo = Matrix::zeros(n);
+        sw_loops(&mut lo, &a, &b);
+        for variant in CncVariant::ALL {
+            let mut df = Matrix::zeros(n);
+            let stats = sw_cnc(&mut df, &a, &b, 8, variant, 3);
+            assert!(df.bitwise_eq(&lo), "variant {variant:?}");
+            assert_eq!(stats.items_put, 64, "8x8 tiles each put once");
+            assert_eq!(sw_score(&df), sw_score(&lo));
+        }
+    }
+
+    #[test]
+    fn tuner_never_requeues() {
+        let n = 64;
+        let a = dna_sequence(n, 1);
+        let b = dna_sequence(n, 2);
+        let mut df = Matrix::zeros(n);
+        let stats = sw_cnc(&mut df, &a, &b, 8, CncVariant::Tuner, 4);
+        assert_eq!(stats.steps_requeued, 0);
+    }
+
+    #[test]
+    fn single_tile_case() {
+        let n = 16;
+        let a = dna_sequence(n, 5);
+        let b = dna_sequence(n, 6);
+        let mut lo = Matrix::zeros(n);
+        sw_loops(&mut lo, &a, &b);
+        let mut df = Matrix::zeros(n);
+        sw_cnc(&mut df, &a, &b, 16, CncVariant::Native, 2);
+        assert!(df.bitwise_eq(&lo));
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use crate::sw::loops::sw_loops;
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn nonblocking_matches_loops_bitwise() {
+        let n = 64;
+        let a = dna_sequence(n, 3);
+        let b = dna_sequence(n, 4);
+        let mut lo = Matrix::zeros(n);
+        sw_loops(&mut lo, &a, &b);
+        let mut df = Matrix::zeros(n);
+        let stats = sw_cnc(&mut df, &a, &b, 8, CncVariant::NonBlocking, 3);
+        assert!(df.bitwise_eq(&lo));
+        assert_eq!(stats.steps_requeued, 0, "polling never parks");
+    }
+}

@@ -1,0 +1,60 @@
+//! Fork-join SW: the quadrant recursion with a join around the
+//! anti-diagonal pair — the per-level barrier that destroys wavefront
+//! parallelism (the reason OpenMP loses SW at *every* problem size in
+//! Figs. 6-7).
+//!
+//! Disjointness: `X01` and `X10` occupy disjoint index rectangles; both
+//! read only the final values of `X00` (sequenced before the fork) and
+//! of tiles outside the region (sequenced by the parent's structure).
+
+use recdp_forkjoin::{join, ThreadPool};
+
+use crate::table::{Matrix, TablePtr};
+
+use super::{base_kernel, check_sizes};
+
+/// In-place fork-join R-DP SW with base size `base` on `pool`.
+pub fn sw_forkjoin(table: &mut Matrix, a: &[u8], b: &[u8], base: usize, pool: &ThreadPool) {
+    let n = table.n();
+    check_sizes(n, base, a, b);
+    let t = table.ptr();
+    pool.install(|| rec(t, a, b, 0, 0, n, base));
+}
+
+fn rec(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, s: usize, m: usize) {
+    if s <= m {
+        // SAFETY: see module docs.
+        unsafe { base_kernel(t, a, b, i0, j0, s) };
+        return;
+    }
+    let h = s / 2;
+    rec(t, a, b, i0, j0, h, m);
+    join(
+        || rec(t, a, b, i0, j0 + h, h, m),
+        || rec(t, a, b, i0 + h, j0, h, m),
+    );
+    rec(t, a, b, i0 + h, j0 + h, h, m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::loops::sw_loops;
+    use crate::workloads::dna_sequence;
+    use recdp_forkjoin::ThreadPoolBuilder;
+
+    #[test]
+    fn forkjoin_matches_loops_bitwise() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        let n = 64;
+        let a = dna_sequence(n, 8);
+        let b = dna_sequence(n, 9);
+        let mut lo = Matrix::zeros(n);
+        sw_loops(&mut lo, &a, &b);
+        for base in [4usize, 16] {
+            let mut fj = Matrix::zeros(n);
+            sw_forkjoin(&mut fj, &a, &b, base, &pool);
+            assert!(fj.bitwise_eq(&lo), "base={base}");
+        }
+    }
+}

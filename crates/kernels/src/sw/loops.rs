@@ -1,0 +1,69 @@
+//! Serial loop-based SW, plus the linear-space score-only variant the
+//! paper mentions as its space optimisation.
+
+use crate::table::Matrix;
+
+use super::{base_kernel, GAP, MATCH, MISMATCH};
+
+/// Fills the full `n x n` SW table for sequences `a`, `b` (length `n`).
+pub fn sw_loops(table: &mut Matrix, a: &[u8], b: &[u8]) {
+    let n = table.n();
+    assert!(a.len() == n && b.len() == n);
+    // SAFETY: single-threaded full-table sweep.
+    unsafe { base_kernel(table.ptr(), a, b, 0, 0, n) };
+}
+
+/// Computes only the maximum local-alignment score in `O(n)` space — the
+/// paper's optimisation ("we have optimized the algorithm to consume
+/// O(n) space").
+pub fn sw_score_linear_space(a: &[u8], b: &[u8]) -> f64 {
+    let n = b.len();
+    let mut prev = vec![0.0f64; n];
+    let mut cur = vec![0.0f64; n];
+    let mut best = 0.0f64;
+    for (i, &ca) in a.iter().enumerate() {
+        for j in 0..n {
+            let diag = if i > 0 && j > 0 { prev[j - 1] } else { 0.0 };
+            let up = if i > 0 { prev[j] } else { 0.0 };
+            let left = if j > 0 { cur[j - 1] } else { 0.0 };
+            let sub = diag + if ca == b[j] { MATCH } else { MISMATCH };
+            let v = 0.0f64.max(sub).max(up - GAP).max(left - GAP);
+            cur[j] = v;
+            if v > best {
+                best = v;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::sw_score;
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn linear_space_matches_full_table() {
+        let n = 64;
+        let a = dna_sequence(n, 3);
+        let b = dna_sequence(n, 4);
+        let mut t = Matrix::zeros(n);
+        sw_loops(&mut t, &a, &b);
+        let full = sw_score(&t);
+        let lin = sw_score_linear_space(&a, &b);
+        assert_eq!(full.to_bits(), lin.to_bits());
+    }
+
+    #[test]
+    fn score_monotone_in_similarity() {
+        let n = 32;
+        let a = dna_sequence(n, 3);
+        let same = sw_score_linear_space(&a, &a);
+        let b = dna_sequence(n, 99);
+        let diff = sw_score_linear_space(&a, &b);
+        assert!(same > diff, "self-alignment {same} must beat random {diff}");
+        assert_eq!(same, 2.0 * n as f64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Serial 2-way R-DP SW: quadrant recursion
+//! `X00; (X01, X10); X11`.
+
+use crate::table::{Matrix, TablePtr};
+
+use super::{base_kernel, check_sizes};
+
+/// In-place serial R-DP SW with base size `base`.
+pub fn sw_rdp(table: &mut Matrix, a: &[u8], b: &[u8], base: usize) {
+    let n = table.n();
+    check_sizes(n, base, a, b);
+    let t = table.ptr();
+    rec(t, a, b, 0, 0, n, base);
+}
+
+fn rec(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, s: usize, m: usize) {
+    if s <= m {
+        // SAFETY: serial depth-first order computes tiles in a valid
+        // topological order of the wavefront.
+        unsafe { base_kernel(t, a, b, i0, j0, s) };
+        return;
+    }
+    let h = s / 2;
+    rec(t, a, b, i0, j0, h, m);
+    rec(t, a, b, i0, j0 + h, h, m);
+    rec(t, a, b, i0 + h, j0, h, m);
+    rec(t, a, b, i0 + h, j0 + h, h, m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::loops::sw_loops;
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn rdp_matches_loops_bitwise() {
+        for n in [16usize, 64] {
+            for base in [2usize, 8, 16] {
+                let a = dna_sequence(n, 10);
+                let b = dna_sequence(n, 20);
+                let mut lo = Matrix::zeros(n);
+                sw_loops(&mut lo, &a, &b);
+                let mut re = Matrix::zeros(n);
+                sw_rdp(&mut re, &a, &b, base);
+                assert!(re.bitwise_eq(&lo), "n={n} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length n")]
+    fn wrong_sequence_length_rejected() {
+        let mut t = Matrix::zeros(8);
+        sw_rdp(&mut t, &[b'A'; 4], &[b'C'; 8], 4);
+    }
+}

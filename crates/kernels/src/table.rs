@@ -1,0 +1,178 @@
+//! The DP table: a row-major square matrix plus the raw-pointer view
+//! that lets disjoint tiles be updated from parallel tasks.
+
+/// A square row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero-filled `n x n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "empty matrix");
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Builds from a function of `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw element slice (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A raw-pointer view for parallel tile updates. The caller promises
+    /// that concurrent tasks write disjoint element sets (the R-DP tile
+    /// decompositions guarantee this; see the module docs of
+    /// `ge::forkjoin`).
+    pub fn ptr(&mut self) -> TablePtr {
+        TablePtr { ptr: self.data.as_mut_ptr(), n: self.n }
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every element is bitwise identical to `other`'s.
+    pub fn bitwise_eq(&self, other: &Matrix) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.n && j < self.n);
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.n && j < self.n);
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// An unchecked, shareable view of a [`Matrix`] used by parallel kernels.
+///
+/// # Safety discipline
+/// `TablePtr` is `Copy + Send + Sync`; soundness rests on the kernel
+/// decompositions: at any instant, tasks running concurrently write
+/// disjoint tiles, and a task only reads tiles whose writers completed
+/// before it started (enforced by joins in the fork-join variants and by
+/// item dependencies in the CnC variants). All access methods are
+/// `unsafe` to keep that obligation visible at every call site.
+#[derive(Debug, Clone, Copy)]
+pub struct TablePtr {
+    ptr: *mut f64,
+    /// Side length of the viewed matrix.
+    pub n: usize,
+}
+
+// SAFETY: see the type-level discipline above; the pointer itself is
+// valid for the lifetime of the borrow that created it, and callers keep
+// the owning Matrix alive across the parallel region (the kernel entry
+// points take `&mut Matrix`).
+unsafe impl Send for TablePtr {}
+unsafe impl Sync for TablePtr {}
+
+impl TablePtr {
+    /// Reads element `(i, j)`.
+    ///
+    /// # Safety
+    /// `(i, j)` must be in range, and no concurrent task may be writing
+    /// that element.
+    #[inline]
+    pub unsafe fn get(self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        *self.ptr.add(i * self.n + j)
+    }
+
+    /// Writes element `(i, j)`.
+    ///
+    /// # Safety
+    /// `(i, j)` must be in range, and no concurrent task may be reading
+    /// or writing that element.
+    #[inline]
+    pub unsafe fn set(self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n);
+        *self.ptr.add(i * self.n + j) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let mut m = Matrix::zeros(4);
+        m[(1, 2)] = 7.5;
+        assert_eq!(m[(1, 2)], 7.5);
+        assert_eq!(m.as_slice()[4 + 2], 7.5);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.n(), 3);
+    }
+
+    #[test]
+    fn diff_and_bitwise() {
+        let a = Matrix::from_fn(3, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        assert!(a.bitwise_eq(&b));
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b[(0, 0)] += 0.5;
+        assert!(!a.bitwise_eq(&b));
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    fn ptr_view_reads_and_writes() {
+        let mut m = Matrix::zeros(2);
+        let p = m.ptr();
+        unsafe {
+            p.set(0, 1, 3.0);
+            assert_eq!(p.get(0, 1), 3.0);
+        }
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_size_rejected() {
+        let _ = Matrix::zeros(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Seeded random workload generators for the three benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Matrix;
+
+/// A diagonally dominant random matrix: safe for GE without pivoting
+/// (the algorithm the paper evaluates requires no pivoting).
+pub fn ge_matrix(n: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(n, |i, j| {
+        let v: f64 = rng.gen_range(0.1..1.0);
+        if i == j {
+            v + n as f64
+        } else {
+            v
+        }
+    })
+}
+
+/// A random directed-graph distance matrix for FW-APSP: non-negative
+/// *integer-valued* edge weights (exact in f64, so min-plus arithmetic
+/// is exact and every valid relaxation order yields bitwise-identical
+/// final distances — the property the cross-variant tests rely on),
+/// zero diagonal, `INF_DIST` for missing edges.
+pub fn fw_matrix(n: usize, seed: u64, edge_prob: f64) -> Matrix {
+    assert!((0.0..=1.0).contains(&edge_prob));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(n, |i, j| {
+        if i == j {
+            0.0
+        } else if rng.gen_bool(edge_prob) {
+            rng.gen_range(1..100) as f64
+        } else {
+            INF_DIST
+        }
+    })
+}
+
+/// "No edge" marker for FW distance matrices. A large finite value (not
+/// `f64::INFINITY`) so `INF + w` cannot produce NaN-adjacent surprises
+/// and stays bitwise stable across variants.
+pub const INF_DIST: f64 = 1.0e15;
+
+/// A random DNA-like sequence over {A, C, G, T}.
+pub fn dna_sequence(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_matrix_is_diagonally_dominant() {
+        let n = 16;
+        let m = ge_matrix(n, 1);
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            assert!(m[(i, i)] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert!(ge_matrix(8, 42).bitwise_eq(&ge_matrix(8, 42)));
+        assert!(fw_matrix(8, 42, 0.5).bitwise_eq(&fw_matrix(8, 42, 0.5)));
+        assert_eq!(dna_sequence(32, 7), dna_sequence(32, 7));
+        assert_ne!(dna_sequence(32, 7), dna_sequence(32, 8));
+    }
+
+    #[test]
+    fn fw_matrix_structure() {
+        let m = fw_matrix(10, 3, 0.3);
+        for i in 0..10 {
+            assert_eq!(m[(i, i)], 0.0);
+        }
+        let finite = (0..10)
+            .flat_map(|i| (0..10).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && m[(i, j)] < INF_DIST)
+            .count();
+        assert!(finite > 0, "some edges should exist");
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        assert!(dna_sequence(100, 5).iter().all(|c| b"ACGT".contains(c)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Cache geometry descriptions.
+//!
+//! A [`CacheLevel`] describes one level of a data-cache hierarchy in enough
+//! detail for `recdp-cachesim` to simulate it (capacity, line size,
+//! associativity) and for `recdp-analytical` to cost it (miss penalty).
+
+/// Write policy of a cache level. All caches modelled in the paper's
+/// testbeds are write-back/write-allocate; write-through is provided so the
+/// simulator can be exercised against a simpler policy in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate (the realistic default).
+    WriteBack,
+    /// Write-through, no-write-allocate.
+    WriteThrough,
+}
+
+/// One level of a data-cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevel {
+    /// Human-readable name, e.g. `"L1d"`.
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Cache line size in bytes (64 on both testbeds).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Latency of a miss *at this level* that hits in the next level (or in
+    /// DRAM for the last level), in nanoseconds. This is the penalty the
+    /// analytical cost model charges per miss.
+    pub miss_penalty_ns: f64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Whether this level is shared among all cores of a socket (true for
+    /// the Skylake L3) or private to a core/CCX slice.
+    pub shared: bool,
+}
+
+impl CacheLevel {
+    /// Number of sets (`capacity / (line * ways)`).
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero line size or ways, or a
+    /// capacity that is not a multiple of `line * ways`).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes > 0 && self.associativity > 0);
+        let way_bytes = self.line_bytes * self.associativity;
+        assert!(
+            self.capacity_bytes.is_multiple_of(way_bytes),
+            "cache capacity {} is not a multiple of line*ways {}",
+            self.capacity_bytes,
+            way_bytes
+        );
+        self.capacity_bytes / way_bytes
+    }
+
+    /// Number of lines this level can hold.
+    pub fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// How many `f64` elements fit in this level.
+    pub fn capacity_doubles(&self) -> usize {
+        self.capacity_bytes / std::mem::size_of::<f64>()
+    }
+
+    /// Largest square tile size `m` such that `tiles` tiles of `m x m`
+    /// doubles fit simultaneously in this level. The paper uses `tiles = 3`
+    /// (the three blocks a GE base case touches) to explain the Table I
+    /// locality cliffs.
+    pub fn largest_fitting_tile(&self, tiles: usize) -> usize {
+        assert!(tiles > 0);
+        let per_tile = self.capacity_doubles() / tiles;
+        // floor(sqrt(per_tile)), computed without floating point drift.
+        let mut m = (per_tile as f64).sqrt() as usize;
+        while (m + 1) * (m + 1) <= per_tile {
+            m += 1;
+        }
+        while m > 0 && m * m > per_tile {
+            m -= 1;
+        }
+        m
+    }
+}
+
+/// An ordered cache hierarchy, from the level closest to the core (index 0,
+/// typically L1d) to the last level before memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheGeometry {
+    /// Levels ordered L1 -> LLC.
+    pub levels: Vec<CacheLevel>,
+    /// Latency of a DRAM access after a last-level miss, in nanoseconds.
+    pub dram_latency_ns: f64,
+}
+
+impl CacheGeometry {
+    /// Builds a hierarchy, validating that capacities are strictly
+    /// increasing and line sizes are uniform (both hold on the testbeds and
+    /// are assumed by the analytical model).
+    ///
+    /// # Panics
+    /// Panics if the hierarchy is empty, capacities are not strictly
+    /// increasing, or line sizes differ between levels.
+    pub fn new(levels: Vec<CacheLevel>, dram_latency_ns: f64) -> Self {
+        assert!(!levels.is_empty(), "cache hierarchy must have >= 1 level");
+        for w in levels.windows(2) {
+            assert!(
+                w[0].capacity_bytes < w[1].capacity_bytes,
+                "cache capacities must strictly increase outward"
+            );
+            assert_eq!(
+                w[0].line_bytes, w[1].line_bytes,
+                "uniform line size assumed across the hierarchy"
+            );
+        }
+        Self { levels, dram_latency_ns }
+    }
+
+    /// Uniform line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.levels[0].line_bytes
+    }
+
+    /// Uniform line size in `f64` elements — the `L` of the paper's miss
+    /// bound formula.
+    pub fn line_doubles(&self) -> usize {
+        self.line_bytes() / std::mem::size_of::<f64>()
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The last (largest) level.
+    pub fn llc(&self) -> &CacheLevel {
+        self.levels.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheLevel {
+        CacheLevel {
+            name: "L1d",
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+            miss_penalty_ns: 3.0,
+            write_policy: WritePolicy::WriteBack,
+            shared: false,
+        }
+    }
+
+    fn l2() -> CacheLevel {
+        CacheLevel {
+            name: "L2",
+            capacity_bytes: 1024 * 1024,
+            line_bytes: 64,
+            associativity: 16,
+            miss_penalty_ns: 10.0,
+            write_policy: WritePolicy::WriteBack,
+            shared: false,
+        }
+    }
+
+    #[test]
+    fn num_sets_and_lines() {
+        let c = l1();
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.num_lines(), 512);
+        assert_eq!(c.capacity_doubles(), 4096);
+    }
+
+    #[test]
+    fn largest_fitting_tile_matches_paper_l2() {
+        // Paper (Table I discussion): 1 MiB L2 holds three blocks of up to
+        // 128x128 doubles but not 256x256. 1 MiB / 3 / 8 = 43690 doubles;
+        // sqrt = 209, so any power-of-two tile up to 128 fits, 256 does not.
+        let c = l2();
+        let m = c.largest_fitting_tile(3);
+        assert!((128..256).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn largest_fitting_tile_exact_squares() {
+        let c = CacheLevel { capacity_bytes: 9 * 8, line_bytes: 8, associativity: 1, ..l1() };
+        assert_eq!(c.largest_fitting_tile(1), 3);
+        assert_eq!(c.largest_fitting_tile(9), 1);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let g = CacheGeometry::new(vec![l1(), l2()], 90.0);
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.line_bytes(), 64);
+        assert_eq!(g.line_doubles(), 8);
+        assert_eq!(g.llc().name, "L2");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn geometry_rejects_nonincreasing() {
+        let _ = CacheGeometry::new(vec![l2(), l1()], 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_geometry_panics() {
+        let c = CacheLevel { capacity_bytes: 1000, ..l1() };
+        let _ = c.num_sets();
+    }
+}

@@ -1,0 +1,181 @@
+//! Cost constants used by the analytical model and the discrete-event
+//! simulator.
+//!
+//! Two groups:
+//!
+//! * [`CostParams`] — hardware-ish constants: sustained per-core floating
+//!   point throughput and (via [`crate::cache::CacheLevel::miss_penalty_ns`])
+//!   miss penalties. These are what the paper's "Estimated" series consumes.
+//! * [`ParadigmOverheads`] — per-runtime software constants: what it costs
+//!   to spawn/steal/join a fork-join task, to put a tag / re-execute a step
+//!   in Native-CnC, to maintain the pre-scheduling latches of Tuner-CnC,
+//!   and the global pre-declaration pass of Manual-CnC. These reproduce the
+//!   paper's observations that (1) data-flow programs incur large runtime
+//!   overheads on small block sizes and (2) Manual-CnC suffers when the
+//!   number of pre-declared tasks explodes.
+
+/// Hardware cost constants for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Sustained double-precision FLOP/ns per core for the DP base-case
+    /// kernels (fused multiply-subtract loops). Calibratable from a real
+    /// measurement via `recdp::calibrate`.
+    pub flops_per_ns_per_core: f64,
+    /// Multiplier applied to cache-miss penalties when the hardware
+    /// prefetcher is enabled and the access pattern is streaming
+    /// (loop-order base cases). The paper notes CnC runs *faster* with
+    /// prefetching off; we model that as data-flow execution getting less
+    /// benefit from this discount.
+    pub prefetch_discount: f64,
+}
+
+impl CostParams {
+    /// Nanoseconds to execute `flops` floating point operations on one core.
+    pub fn compute_ns(&self, flops: f64) -> f64 {
+        assert!(self.flops_per_ns_per_core > 0.0);
+        flops / self.flops_per_ns_per_core
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        // ~2 double-precision FLOP/ns sustained for a scalar triply-nested
+        // update loop at ~2 GHz with FMA but imperfect vectorisation: the
+        // order of magnitude the paper's absolute times imply
+        // (8K^3/3 flops / 64 cores / ~2 flops/ns ~ 1.4 s, matching Fig. 4's
+        // ~100-600 s range only after miss penalties dominate).
+        Self { flops_per_ns_per_core: 2.0, prefetch_discount: 0.35 }
+    }
+}
+
+/// Scheduling overheads of one execution paradigm, all in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParadigmOverheads {
+    /// Cost charged to the *parent* for creating one task (OpenMP `task`
+    /// creation / CnC tag put).
+    pub spawn_ns: f64,
+    /// Cost charged to the worker that starts a task (deque pop or steal,
+    /// amortised; hash-map lookups for CnC item gets).
+    pub dispatch_ns: f64,
+    /// Cost of a join / taskwait synchronisation point (fork-join only).
+    pub join_ns: f64,
+    /// Cost of one *failed* blocking `get`: the aborted partial execution
+    /// plus requeueing on the missing item's wait list (Native-CnC only).
+    pub requeue_ns: f64,
+    /// Expected number of failed gets per task before all inputs are ready
+    /// (Native-CnC only; Tuner/Manual pre-scheduling makes it 0).
+    pub expected_requeues: f64,
+    /// One-time per-task cost paid *before execution starts* to pre-declare
+    /// dependencies (Manual-CnC's global pre-scheduling pass).
+    pub predeclare_ns: f64,
+    /// Fraction of the per-level miss-penalty prefetch discount this
+    /// paradigm actually realises (1.0 = full streaming benefit). The
+    /// paper observed data-flow execution defeats the prefetcher.
+    pub prefetch_efficiency: f64,
+}
+
+impl ParadigmOverheads {
+    /// OpenMP-style fork-join tasking: cheap spawns, but joins cost and the
+    /// recursive structure pays one join per internal node.
+    pub fn fork_join() -> Self {
+        Self {
+            spawn_ns: 120.0,
+            dispatch_ns: 80.0,
+            join_ns: 250.0,
+            requeue_ns: 0.0,
+            expected_requeues: 0.0,
+            predeclare_ns: 0.0,
+            prefetch_efficiency: 1.0,
+        }
+    }
+
+    /// Native-CnC: tag puts and item-collection hash traffic are pricier
+    /// than deque pushes, and blocking gets abort-and-retry.
+    pub fn cnc_native() -> Self {
+        Self {
+            spawn_ns: 450.0,
+            dispatch_ns: 350.0,
+            join_ns: 0.0,
+            requeue_ns: 600.0,
+            expected_requeues: 1.1,
+            predeclare_ns: 0.0,
+            prefetch_efficiency: 0.25,
+        }
+    }
+
+    /// Tuner-CnC: the pre-scheduling tuner runs a step only when its items
+    /// are available, eliminating re-execution at the price of per-
+    /// dependency latch bookkeeping folded into dispatch.
+    pub fn cnc_tuner() -> Self {
+        Self {
+            spawn_ns: 450.0,
+            dispatch_ns: 450.0,
+            join_ns: 0.0,
+            requeue_ns: 0.0,
+            expected_requeues: 0.0,
+            predeclare_ns: 0.0,
+            prefetch_efficiency: 0.25,
+        }
+    }
+
+    /// Manual-CnC: every dependency of the whole computation is declared
+    /// up front; dispatch is lean but the pre-pass is charged per task and
+    /// becomes dominant when tasks are tiny and numerous (the paper calls
+    /// this out explicitly for Manual-CnC).
+    pub fn cnc_manual() -> Self {
+        Self {
+            spawn_ns: 300.0,
+            dispatch_ns: 250.0,
+            join_ns: 0.0,
+            requeue_ns: 0.0,
+            expected_requeues: 0.0,
+            predeclare_ns: 1400.0,
+            prefetch_efficiency: 0.25,
+        }
+    }
+
+    /// Total non-compute overhead charged per executed task.
+    pub fn per_task_ns(&self) -> f64 {
+        self.spawn_ns
+            + self.dispatch_ns
+            + self.requeue_ns * self.expected_requeues
+            + self.predeclare_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_ns_linear() {
+        let c = CostParams { flops_per_ns_per_core: 4.0, prefetch_discount: 0.5 };
+        assert!((c.compute_ns(400.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paradigm_ordering_per_task() {
+        // Per-task software overhead: fork-join < tuner <= native < manual.
+        let fj = ParadigmOverheads::fork_join().per_task_ns();
+        let nat = ParadigmOverheads::cnc_native().per_task_ns();
+        let tun = ParadigmOverheads::cnc_tuner().per_task_ns();
+        let man = ParadigmOverheads::cnc_manual().per_task_ns();
+        assert!(fj < tun, "{fj} < {tun}");
+        assert!(tun <= nat, "{tun} <= {nat}");
+        assert!(nat < man, "{nat} < {man}");
+    }
+
+    #[test]
+    fn only_fork_join_pays_joins() {
+        assert!(ParadigmOverheads::fork_join().join_ns > 0.0);
+        assert_eq!(ParadigmOverheads::cnc_native().join_ns, 0.0);
+        assert_eq!(ParadigmOverheads::cnc_tuner().join_ns, 0.0);
+        assert_eq!(ParadigmOverheads::cnc_manual().join_ns, 0.0);
+    }
+
+    #[test]
+    fn only_native_requeues() {
+        assert!(ParadigmOverheads::cnc_native().expected_requeues > 0.0);
+        assert_eq!(ParadigmOverheads::cnc_tuner().expected_requeues, 0.0);
+    }
+}

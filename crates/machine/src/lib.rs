@@ -1,0 +1,25 @@
+//! `recdp-machine`: machine models for the recdp reproduction suite.
+//!
+//! The paper evaluates on two shared-memory testbeds:
+//!
+//! * **EPYC-64** — AMD EPYC 7501, 2 sockets x 32 cores, 8 NUMA zones,
+//!   32 KiB L1d / 512 KiB L2 / 8 MiB L3 (per CCX), 170 GiB/s per-socket
+//!   memory bandwidth.
+//! * **SKYLAKE-192** — Intel Xeon Platinum 8160, 8 sockets x 24 cores,
+//!   8 NUMA zones, 32 KiB L1d / 1 MiB L2 / 33 MiB L3 (shared per socket),
+//!   119 GiB/s theoretical memory bandwidth.
+//!
+//! This crate describes those machines — cache geometry, core topology and
+//! the cost constants used by the analytical model ([`cost::CostParams`])
+//! and by the discrete-event simulator in `recdp-sim`. The descriptions are
+//! plain data: nothing here executes anything.
+
+pub mod cache;
+pub mod cost;
+pub mod presets;
+pub mod topology;
+
+pub use cache::{CacheGeometry, CacheLevel, WritePolicy};
+pub use cost::{CostParams, ParadigmOverheads};
+pub use presets::{epyc64, generic, skylake192};
+pub use topology::MachineConfig;

@@ -1,0 +1,136 @@
+//! The paper's two testbeds plus a small generic machine for local tests.
+
+use crate::cache::{CacheGeometry, CacheLevel, WritePolicy};
+use crate::cost::CostParams;
+use crate::topology::MachineConfig;
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+fn level(
+    name: &'static str,
+    capacity_bytes: usize,
+    associativity: usize,
+    miss_penalty_ns: f64,
+    shared: bool,
+) -> CacheLevel {
+    CacheLevel {
+        name,
+        capacity_bytes,
+        line_bytes: 64,
+        associativity,
+        miss_penalty_ns,
+        write_policy: WritePolicy::WriteBack,
+        shared,
+    }
+}
+
+/// AMD EPYC 7501: 2 sockets x 32 cores, 8 NUMA zones, 32K L1 / 512K L2 /
+/// 8192K L3 (per CCX), 170 GiB/s per-socket bandwidth. Matches the paper's
+/// "EPYC-64" testbed description verbatim.
+pub fn epyc64() -> MachineConfig {
+    MachineConfig {
+        name: "EPYC-64",
+        sockets: 2,
+        cores_per_socket: 32,
+        numa_zones: 8,
+        socket_bandwidth_gibs: 170.0,
+        caches: CacheGeometry::new(
+            vec![
+                level("L1d", 32 * KIB, 8, 4.0, false),
+                level("L2", 512 * KIB, 8, 12.0, false),
+                level("L3", 8 * MIB, 16, 38.0, false),
+            ],
+            95.0,
+        ),
+        cost: CostParams::default(),
+    }
+}
+
+/// Intel Xeon Platinum 8160 @ 2.10 GHz: 8 sockets x 24 cores, 8 NUMA
+/// zones, 32K L1 / 1024K L2 / 33792K L3 (socket-shared), 119 GiB/s
+/// theoretical bandwidth. Matches the paper's "SKYLAKE-192" testbed.
+pub fn skylake192() -> MachineConfig {
+    MachineConfig {
+        name: "SKYLAKE-192",
+        sockets: 8,
+        cores_per_socket: 24,
+        numa_zones: 8,
+        socket_bandwidth_gibs: 119.0,
+        caches: CacheGeometry::new(
+            vec![
+                level("L1d", 32 * KIB, 8, 4.0, false),
+                level("L2", 1024 * KIB, 16, 14.0, false),
+                level("L3", 33 * MIB, 11, 44.0, true),
+            ],
+            105.0,
+        ),
+        cost: CostParams::default(),
+    }
+}
+
+/// A small 4-core machine for unit tests and the quickstart example; not a
+/// paper testbed.
+pub fn generic(cores: usize) -> MachineConfig {
+    MachineConfig {
+        name: "GENERIC",
+        sockets: 1,
+        cores_per_socket: cores,
+        numa_zones: 1,
+        socket_bandwidth_gibs: 40.0,
+        caches: CacheGeometry::new(
+            vec![
+                level("L1d", 32 * KIB, 8, 4.0, false),
+                level("L2", 256 * KIB, 8, 12.0, false),
+                level("L3", 4 * MIB, 16, 40.0, true),
+            ],
+            100.0,
+        ),
+        cost: CostParams::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc_matches_paper_spec() {
+        let m = epyc64();
+        assert_eq!(m.total_cores(), 64);
+        assert_eq!(m.caches.depth(), 3);
+        assert_eq!(m.caches.levels[0].capacity_bytes, 32 * KIB);
+        assert_eq!(m.caches.levels[1].capacity_bytes, 512 * KIB);
+        assert_eq!(m.caches.levels[2].capacity_bytes, 8 * MIB);
+        assert_eq!(m.caches.line_doubles(), 8);
+    }
+
+    #[test]
+    fn skylake_matches_paper_spec() {
+        let m = skylake192();
+        assert_eq!(m.total_cores(), 192);
+        assert_eq!(m.caches.levels[1].capacity_bytes, MIB);
+        assert_eq!(m.caches.levels[2].capacity_bytes, 33 * MIB);
+        assert!(m.caches.levels[2].shared);
+    }
+
+    #[test]
+    fn table1_cliff_geometry() {
+        // The Table I discussion: 128x128 is the largest power-of-two block
+        // such that three blocks fit in Skylake's 1 MiB L2; 1024x1024 the
+        // largest such that three blocks fit in the 32 MiB-ish L3 share the
+        // paper reasons with.
+        let m = skylake192();
+        let l2 = &m.caches.levels[1];
+        let l2_fit = l2.largest_fitting_tile(3);
+        assert!((128..256).contains(&l2_fit), "l2 fit {l2_fit}");
+        let l3 = &m.caches.levels[2];
+        let l3_fit = l3.largest_fitting_tile(3);
+        assert!((1024..2048).contains(&l3_fit), "l3 fit {l3_fit}");
+    }
+
+    #[test]
+    fn generic_is_small() {
+        assert_eq!(generic(4).total_cores(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Core/socket/NUMA topology plus the attached cache geometry and cost
+//! parameters: everything `recdp-sim` and `recdp-analytical` need to know
+//! about a machine.
+
+use crate::cache::CacheGeometry;
+use crate::cost::CostParams;
+
+/// A complete machine description.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Short identifier used in experiment output, e.g. `"EPYC-64"`.
+    pub name: &'static str,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// NUMA zones across the whole machine.
+    pub numa_zones: usize,
+    /// Per-socket memory bandwidth in GiB/s (paper: 170 for EPYC, 119 for
+    /// Skylake). Used by the simulator's bandwidth-contention correction.
+    pub socket_bandwidth_gibs: f64,
+    /// The data-cache hierarchy seen by one core.
+    pub caches: CacheGeometry,
+    /// Cost constants for the analytical model and simulator.
+    pub cost: CostParams,
+}
+
+impl MachineConfig {
+    /// Total physical core count (the `P` of the experiments).
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Per-core share of the last-level cache in bytes. On Skylake the L3
+    /// is socket-shared, so the share is `capacity / cores_per_socket`; on
+    /// EPYC the modelled L3 slice is already per-CCX (8 cores), and we
+    /// expose `capacity / 8` consistently with how the paper reasons about
+    /// "per-core L3 share".
+    pub fn llc_share_per_core(&self) -> usize {
+        let llc = self.caches.llc();
+        if llc.shared {
+            llc.capacity_bytes / self.cores_per_socket
+        } else {
+            llc.capacity_bytes
+        }
+    }
+
+    /// Machine-wide memory bandwidth in bytes/ns (= GB/s * ~1.07).
+    pub fn total_bandwidth_bytes_per_ns(&self) -> f64 {
+        self.socket_bandwidth_gibs * (1u64 << 30) as f64 / 1e9 * self.sockets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::{epyc64, skylake192};
+
+    #[test]
+    fn core_counts_match_paper() {
+        assert_eq!(epyc64().total_cores(), 64);
+        assert_eq!(skylake192().total_cores(), 192);
+    }
+
+    #[test]
+    fn numa_zones_match_paper() {
+        assert_eq!(epyc64().numa_zones, 8);
+        assert_eq!(skylake192().numa_zones, 8);
+    }
+
+    #[test]
+    fn skylake_llc_share_is_about_1_4_mib() {
+        // 33 MiB socket-shared / 24 cores ~ 1.4 MiB. The paper's Table I
+        // discussion speaks of a "per-core L3 cache share" of 32MB for the
+        // whole socket; what matters for our model is that the share is
+        // socket_capacity / cores.
+        let m = skylake192();
+        let share = m.llc_share_per_core();
+        assert_eq!(share, m.caches.llc().capacity_bytes / 24);
+    }
+
+    #[test]
+    fn bandwidth_positive() {
+        assert!(epyc64().total_bandwidth_bytes_per_ns() > 0.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Greedy list-scheduling discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use recdp_taskgraph::{TaskGraph, TaskKind};
+
+use crate::result::SimResult;
+
+/// Ready-queue discipline of the simulated scheduler. Real work-stealing
+/// runtimes are neither pure FIFO nor pure LIFO; the two extremes bound
+/// the behaviour and are exposed for the scheduling-policy ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Oldest ready task first (breadth-first; the default).
+    #[default]
+    Fifo,
+    /// Youngest ready task first (depth-first, like a local deque pop).
+    Lifo,
+}
+
+/// Fully-resolved simulation parameters (see [`crate::overhead`] for the
+/// machine/paradigm assembly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of simulated workers (`P`).
+    pub processors: usize,
+    /// Effective nanoseconds per flop of node weight: compute time plus
+    /// amortised cache-miss penalties.
+    pub ns_per_flop: f64,
+    /// Fixed software overhead charged per compute task (spawn +
+    /// dispatch + expected requeue cost + pre-declaration cost).
+    pub per_task_ns: f64,
+    /// Latency of a synchronisation (Sync) node. Sync nodes delay their
+    /// successors but do not occupy a worker (the joining task is
+    /// blocked, its worker helps elsewhere).
+    pub join_ns: f64,
+    /// Ready-queue discipline.
+    pub policy: QueuePolicy,
+}
+
+impl SimConfig {
+    /// Duration of one node under this configuration.
+    #[inline]
+    pub fn duration(&self, kind: TaskKind, weight: f64) -> f64 {
+        if kind.is_compute() {
+            weight * self.ns_per_flop + self.per_task_ns
+        } else {
+            self.join_ns
+        }
+    }
+}
+
+/// Finish-time event ordered for a min-heap.
+#[derive(PartialEq)]
+struct Finish {
+    time: f64,
+    node: u32,
+    occupies_worker: bool,
+}
+
+impl Eq for Finish {}
+
+impl PartialOrd for Finish {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Finish {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: times are finite by construction; tie-break on id
+        // for determinism.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite times")
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// Simulates `graph` under greedy list scheduling with `cfg`.
+///
+/// Ready compute tasks are dispatched FIFO to idle workers; a worker is
+/// never idle while a ready task exists (so, with software overheads
+/// folded into task durations, the makespan obeys Brent's bound
+/// `max(T1/P, Tinf) <= makespan <= T1/P + Tinf`).
+pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
+    simulate_with_timeline(graph, cfg, 0).0
+}
+
+/// Like [`simulate`], additionally returning a worker-utilisation
+/// timeline: the makespan is split into `buckets` equal windows and each
+/// entry is the fraction of worker-time spent busy in that window (the
+/// quantity behind the paper's "threads becoming idle" discussion).
+/// `buckets = 0` skips timeline accounting.
+pub fn simulate_with_timeline(
+    graph: &TaskGraph,
+    cfg: &SimConfig,
+    buckets: usize,
+) -> (SimResult, Vec<f64>) {
+    assert!(cfg.processors > 0, "need at least one processor");
+    assert!(cfg.ns_per_flop >= 0.0 && cfg.per_task_ns >= 0.0 && cfg.join_ns >= 0.0);
+    let mut in_deg = graph.in_degrees();
+    let mut ready: VecDeque<u32> = graph.roots().into();
+    let mut events: BinaryHeap<Reverse<Finish>> = BinaryHeap::new();
+    let mut idle = cfg.processors;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut busy_ns = 0.0f64;
+    let mut compute_tasks = 0usize;
+    let mut executed = 0usize;
+    // (start, duration) of every compute task, for the timeline.
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+
+    loop {
+        // Dispatch everything we can at the current instant.
+        loop {
+            let Some(&node) = (match cfg.policy {
+                QueuePolicy::Fifo => ready.front(),
+                QueuePolicy::Lifo => ready.back(),
+            }) else {
+                break;
+            };
+            let kind = graph.kind(node);
+            if kind.is_compute() {
+                if idle == 0 {
+                    break;
+                }
+                idle -= 1;
+                let d = cfg.duration(kind, graph.weight(node));
+                busy_ns += d;
+                compute_tasks += 1;
+                if buckets > 0 {
+                    intervals.push((now, d));
+                }
+                events.push(Reverse(Finish { time: now + d, node, occupies_worker: true }));
+            } else {
+                // Sync nodes delay successors without occupying a worker.
+                let d = cfg.duration(kind, 0.0);
+                events.push(Reverse(Finish { time: now + d, node, occupies_worker: false }));
+            }
+            match cfg.policy {
+                QueuePolicy::Fifo => ready.pop_front(),
+                QueuePolicy::Lifo => ready.pop_back(),
+            };
+        }
+        let Some(Reverse(ev)) = events.pop() else {
+            break;
+        };
+        now = ev.time;
+        makespan = makespan.max(now);
+        if ev.occupies_worker {
+            idle += 1;
+        }
+        executed += 1;
+        for &s in graph.successors(ev.node) {
+            in_deg[s as usize] -= 1;
+            if in_deg[s as usize] == 0 {
+                ready.push_back(s);
+            }
+        }
+    }
+    assert!(ready.is_empty(), "scheduler stalled with ready tasks");
+    assert_eq!(executed, graph.len(), "every node must execute exactly once");
+    let timeline = if buckets > 0 && makespan > 0.0 {
+        let mut busy_per_bucket = vec![0.0f64; buckets];
+        let width = makespan / buckets as f64;
+        for (start, dur) in intervals {
+            // Spread each task's duration over the buckets it overlaps.
+            // Iterate bucket *indices* (an integer loop — floating-point
+            // boundary walking can stall when `k * width` rounds onto
+            // the current position) and clip the interval against each
+            // bucket window; the last bucket absorbs any rounding tail.
+            let end = start + dur;
+            let first = ((start / width) as usize).min(buckets - 1);
+            let last = ((end / width) as usize).min(buckets - 1);
+            for b in first..=last {
+                let lo = (b as f64 * width).max(start);
+                let hi = if b + 1 == buckets {
+                    end
+                } else {
+                    ((b + 1) as f64 * width).min(end)
+                };
+                busy_per_bucket[b] += (hi - lo).max(0.0);
+            }
+        }
+        busy_per_bucket
+            .into_iter()
+            .map(|b| b / (width * cfg.processors as f64))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    (
+        SimResult {
+            makespan_ns: makespan,
+            busy_ns,
+            processors: cfg.processors,
+            compute_tasks,
+            utilization: if makespan > 0.0 {
+                busy_ns / (makespan * cfg.processors as f64)
+            } else {
+                0.0
+            },
+        },
+        timeline,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_taskgraph::{GraphBuilder, TaskKind};
+
+    pub(super) fn cfg(p: usize) -> SimConfig {
+        SimConfig {
+            processors: p,
+            ns_per_flop: 1.0,
+            per_task_ns: 0.0,
+            join_ns: 0.0,
+            policy: QueuePolicy::Fifo,
+        }
+    }
+
+    fn chain(n: usize, w: f64) -> recdp_taskgraph::TaskGraph {
+        let mut b = GraphBuilder::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let id = b.add_node(TaskKind::Tile, w);
+            if let Some(p) = prev {
+                b.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        b.build()
+    }
+
+    fn independent(n: usize, w: f64) -> recdp_taskgraph::TaskGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(TaskKind::Tile, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_takes_span_time_regardless_of_p() {
+        let g = chain(10, 3.0);
+        for p in [1, 4, 64] {
+            let r = simulate(&g, &cfg(p));
+            assert!((r.makespan_ns - 30.0).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn independent_tasks_scale_perfectly() {
+        let g = independent(64, 2.0);
+        let r1 = simulate(&g, &cfg(1));
+        let r64 = simulate(&g, &cfg(64));
+        assert!((r1.makespan_ns - 128.0).abs() < 1e-9);
+        assert!((r64.makespan_ns - 2.0).abs() < 1e-9);
+        assert!((r64.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_equals_total_work() {
+        let g = independent(10, 5.0);
+        let r = simulate(&g, &cfg(3));
+        assert!((r.busy_ns - 50.0).abs() < 1e-9);
+        assert_eq!(r.compute_tasks, 10);
+    }
+
+    #[test]
+    fn per_task_overhead_charged() {
+        let g = independent(4, 10.0);
+        let c = SimConfig { per_task_ns: 5.0, ..cfg(1) };
+        let r = simulate(&g, &c);
+        assert!((r.makespan_ns - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_nodes_do_not_occupy_workers() {
+        // a -> sync -> {b, c} with 1 worker: sync latency overlaps with
+        // nothing (no worker is tied up by it).
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(TaskKind::Tile, 10.0);
+        let s = b.add_node(TaskKind::Sync, 0.0);
+        let x = b.add_node(TaskKind::Tile, 10.0);
+        let y = b.add_node(TaskKind::Tile, 10.0);
+        b.add_edge(a, s);
+        b.add_edge(s, x);
+        b.add_edge(s, y);
+        let g = b.build();
+        let c = SimConfig { join_ns: 7.0, ..cfg(2) };
+        let r = simulate(&g, &c);
+        // 10 (a) + 7 (join) + 10 (x || y on two workers).
+        assert!((r.makespan_ns - 27.0).abs() < 1e-9, "{}", r.makespan_ns);
+    }
+
+    #[test]
+    fn brent_bound_on_ge_dataflow() {
+        use recdp_taskgraph::{dataflow, ge_kernel_flops, metrics::analyze};
+        let f = ge_kernel_flops(8);
+        let g = dataflow::ge(12, &f);
+        let m = analyze(&g);
+        for p in [1usize, 2, 8, 64] {
+            let r = simulate(&g, &cfg(p));
+            let lower = (m.work / p as f64).max(m.span);
+            let upper = m.work / p as f64 + m.span;
+            assert!(
+                r.makespan_ns >= lower - 1e-6 && r.makespan_ns <= upper + 1e-6,
+                "p={p}: {} not in [{lower}, {upper}]",
+                r.makespan_ns
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_makespan_is_work() {
+        use recdp_taskgraph::{dataflow, metrics::analyze, sw_kernel_flops};
+        let g = dataflow::sw(8, &sw_kernel_flops(4));
+        let m = analyze(&g);
+        let r = simulate(&g, &cfg(1));
+        assert!((r.makespan_ns - m.work).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let g = independent(1, 1.0);
+        let _ = simulate(&g, &cfg(0));
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::tests::cfg;
+    use super::*;
+    use recdp_taskgraph::{GraphBuilder, TaskKind};
+
+    #[test]
+    fn timeline_integrates_to_overall_utilization() {
+        let mut b = GraphBuilder::new();
+        let top = b.add_node(TaskKind::Tile, 10.0);
+        for _ in 0..6 {
+            let x = b.add_node(TaskKind::Tile, 5.0);
+            b.add_edge(top, x);
+        }
+        let g = b.build();
+        let (r, timeline) = simulate_with_timeline(&g, &cfg(3), 8);
+        assert_eq!(timeline.len(), 8);
+        let mean: f64 = timeline.iter().sum::<f64>() / 8.0;
+        assert!((mean - r.utilization).abs() < 1e-9, "{mean} vs {}", r.utilization);
+        // During the serial head, only 1/3 of workers are busy.
+        assert!(timeline[0] < 0.5);
+    }
+
+    #[test]
+    fn lifo_policy_changes_order_not_invariants() {
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.add_node(TaskKind::Tile, 1.0 + i as f64);
+        }
+        let g = b.build();
+        let fifo = simulate(&g, &cfg(2));
+        let lifo = simulate(&g, &SimConfig { policy: QueuePolicy::Lifo, ..cfg(2) });
+        // Same work either way; makespans may differ but both respect
+        // the lower bound.
+        assert!((fifo.busy_ns - lifo.busy_ns).abs() < 1e-9);
+        let work: f64 = (0..10).map(|i| 1.0 + i as f64).sum();
+        assert!(fifo.makespan_ns >= work / 2.0 - 1e-9);
+        assert!(lifo.makespan_ns >= work / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn zero_buckets_skips_timeline() {
+        let mut b = GraphBuilder::new();
+        b.add_node(TaskKind::Tile, 1.0);
+        let g = b.build();
+        let (_, timeline) = simulate_with_timeline(&g, &cfg(1), 0);
+        assert!(timeline.is_empty());
+    }
+}

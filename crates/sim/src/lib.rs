@@ -1,0 +1,30 @@
+//! `recdp-sim`: a discrete-event simulator of task-parallel execution.
+//!
+//! This is the substitution for the paper's 64-core EPYC and 192-core
+//! Skylake testbeds (this repo is built and validated on a single-core
+//! host): it replays a task DAG from `recdp-taskgraph` under greedy list
+//! scheduling on `P` simulated workers, with per-task costs assembled
+//! from
+//!
+//! * the machine's compute throughput ([`recdp_machine::CostParams`]),
+//! * the capacity-aware cache-miss expectation of `recdp-analytical`
+//!   weighted by each level's miss penalty, and
+//! * the per-paradigm software overheads
+//!   ([`recdp_machine::ParadigmOverheads`]) — spawn/dispatch cost, join
+//!   cost (fork-join), abort-and-retry requeues (Native-CnC), and the
+//!   pre-declaration pass (Manual-CnC).
+//!
+//! Because the DAGs are exact and the costs calibrated, the *shape* of
+//! the paper's figures — who wins at which problem size, base size and
+//! core count — is reproduced even though absolute numbers differ from
+//! the authors' hardware.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod overhead;
+pub mod result;
+
+pub use engine::{simulate, simulate_with_timeline, QueuePolicy, SimConfig};
+pub use overhead::{config_for, Workload};
+pub use result::SimResult;

@@ -1,0 +1,139 @@
+//! Assembling a [`SimConfig`] from a machine model, a paradigm's
+//! overheads and a workload's per-task memory behaviour.
+
+use recdp_analytical::capacity_aware_misses_per_task;
+use recdp_machine::{MachineConfig, ParadigmOverheads};
+
+use crate::engine::SimConfig;
+
+/// Which benchmark's memory behaviour to model (fixes the flops and
+/// misses of one base-case task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Gaussian Elimination: D-kernel with `3 m^3` flops per task and
+    /// GE's capacity-sensitive reuse pattern.
+    Ge,
+    /// Floyd-Warshall: same access pattern as GE (per the paper) with
+    /// `2 m^3` flop tasks.
+    Fw,
+    /// Smith-Waterman: single-pass `4 m^2` flop tiles with streaming
+    /// misses only.
+    Sw,
+}
+
+impl Workload {
+    /// Flops of the heaviest (normalising) base-case kernel.
+    fn task_flops(self, m: usize) -> f64 {
+        let m = m as f64;
+        match self {
+            Workload::Ge => 3.0 * m * m * m,
+            Workload::Fw => 2.0 * m * m * m,
+            Workload::Sw => 4.0 * m * m,
+        }
+    }
+
+    /// Expected misses of one base-case task at one cache level.
+    fn task_misses(self, m: usize, level: &recdp_machine::CacheLevel, line: usize) -> f64 {
+        match self {
+            Workload::Ge | Workload::Fw => capacity_aware_misses_per_task(m, level, line),
+            Workload::Sw => {
+                // One streaming pass over the m x m tile plus boundary
+                // rows/columns from the three neighbours.
+                let rows = m as f64 * m.div_ceil(line) as f64;
+                rows + 3.0 * m as f64
+            }
+        }
+    }
+}
+
+/// Builds the effective per-flop and per-task costs for simulating
+/// `workload` with base size `m` under `paradigm` on `machine`, running
+/// on `processors` workers (usually `machine.total_cores()`).
+pub fn config_for(
+    machine: &MachineConfig,
+    paradigm: &ParadigmOverheads,
+    workload: Workload,
+    m: usize,
+    processors: usize,
+) -> SimConfig {
+    let flops = workload.task_flops(m);
+    let line = machine.caches.line_doubles();
+    // Memory time per task: misses at each level times that level's
+    // penalty, discounted by how much of the streaming prefetch benefit
+    // this paradigm preserves (the paper: data-flow execution defeats the
+    // prefetcher).
+    let discount = 1.0 - machine.cost.prefetch_discount * paradigm.prefetch_efficiency;
+    let miss_ns: f64 = machine
+        .caches
+        .levels
+        .iter()
+        .map(|lv| workload.task_misses(m, lv, line) * lv.miss_penalty_ns * discount)
+        .sum();
+    let compute_ns = machine.cost.compute_ns(flops);
+    SimConfig {
+        processors,
+        ns_per_flop: (compute_ns + miss_ns) / flops,
+        per_task_ns: paradigm.per_task_ns(),
+        join_ns: paradigm.join_ns,
+        policy: crate::engine::QueuePolicy::Fifo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_machine::{epyc64, skylake192};
+
+    #[test]
+    fn per_flop_cost_decreases_when_tile_fits() {
+        // A 64-tile (3 * 32 KiB working set) enjoys far more reuse than a
+        // 2048-tile (96 MiB), so its effective ns/flop is lower.
+        let m64 = config_for(
+            &skylake192(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Ge,
+            128,
+            192,
+        );
+        let m2048 = config_for(
+            &skylake192(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Ge,
+            2048,
+            192,
+        );
+        assert!(m64.ns_per_flop < m2048.ns_per_flop);
+    }
+
+    #[test]
+    fn cnc_pays_more_per_task_than_openmp() {
+        let fj = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 128, 64);
+        let cnc =
+            config_for(&epyc64(), &ParadigmOverheads::cnc_native(), Workload::Ge, 128, 64);
+        let man =
+            config_for(&epyc64(), &ParadigmOverheads::cnc_manual(), Workload::Ge, 128, 64);
+        assert!(fj.per_task_ns < cnc.per_task_ns);
+        assert!(cnc.per_task_ns < man.per_task_ns);
+        assert!(fj.join_ns > 0.0 && cnc.join_ns == 0.0);
+    }
+
+    #[test]
+    fn cnc_loses_more_prefetch_benefit() {
+        // Same tile, same machine: the data-flow paradigm's effective
+        // memory cost is higher because it defeats the prefetcher.
+        let fj = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 512, 64);
+        let cnc =
+            config_for(&epyc64(), &ParadigmOverheads::cnc_native(), Workload::Ge, 512, 64);
+        assert!(cnc.ns_per_flop > fj.ns_per_flop);
+    }
+
+    #[test]
+    fn sw_tasks_are_lighter_than_ge() {
+        let sw = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Sw, 256, 64);
+        let ge = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 256, 64);
+        // Per *task* (m^2 vs m^3 flops), SW is far lighter.
+        let sw_task = sw.ns_per_flop * Workload::Sw.task_flops(256);
+        let ge_task = ge.ns_per_flop * Workload::Ge.task_flops(256);
+        assert!(sw_task < ge_task / 10.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulation outputs.
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// Total worker-busy nanoseconds (sum of compute-task durations).
+    pub busy_ns: f64,
+    /// Workers simulated.
+    pub processors: usize,
+    /// Compute tasks executed.
+    pub compute_tasks: usize,
+    /// `busy / (makespan * P)` in [0, 1]: the resource-utilisation figure
+    /// behind the paper's "threads becoming idle" argument.
+    pub utilization: f64,
+}
+
+impl SimResult {
+    /// Makespan in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.makespan_ns * 1e-9
+    }
+
+    /// Speedup over a given single-worker makespan.
+    pub fn speedup_over(&self, serial_ns: f64) -> f64 {
+        assert!(self.makespan_ns > 0.0);
+        serial_ns / self.makespan_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let r = SimResult {
+            makespan_ns: 2e9,
+            busy_ns: 1e9,
+            processors: 4,
+            compute_tasks: 7,
+            utilization: 0.125,
+        };
+        assert!((r.seconds() - 2.0).abs() < 1e-12);
+        assert!((r.speedup_over(8e9) - 4.0).abs() < 1e-12);
+    }
+}

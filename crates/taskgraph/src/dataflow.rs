@@ -1,0 +1,242 @@
+//! Data-flow (true-dependency) tile DAGs — what the CnC implementations
+//! expose to the scheduler.
+//!
+//! Tile coordinates follow the paper's Listing 5: a task updates tile
+//! `(i, j)` at pivot step `k`. The dependencies are exactly the blocking
+//! `get`s of the CnC steps:
+//!
+//! * GE (and FW): `A(k) <- D(k,k,k-1)`; `B(k,j) <- A(k), D(k,j,k-1)`;
+//!   `C(i,k) <- A(k), D(i,k,k-1)`;
+//!   `D(i,j,k) <- B(k,j), C(i,k), D(i,j,k-1)` (the write-write chain is
+//!   the `k-1` edge).
+//! * SW: tile `(i,j)` reads `(i-1,j)`, `(i,j-1)` (the diagonal
+//!   dependency is implied transitively).
+
+use crate::graph::{GraphBuilder, NodeId, TaskGraph, TaskKind};
+use crate::KernelFlops;
+
+/// Index helper for the triangular GE task space: tasks `(k, i, j)` with
+/// `i >= k`, `j >= k`, laid out k-major.
+pub struct GeIndex {
+    t: usize,
+    offsets: Vec<u64>,
+}
+
+impl GeIndex {
+    /// Builds the index for `t` tiles per side.
+    pub fn new(t: usize) -> Self {
+        let mut offsets = Vec::with_capacity(t + 1);
+        let mut acc = 0u64;
+        for k in 0..=t {
+            offsets.push(acc);
+            if k < t {
+                let rem = (t - k) as u64;
+                acc += rem * rem;
+            }
+        }
+        Self { t, offsets }
+    }
+
+    /// Total number of tasks.
+    pub fn len(&self) -> u64 {
+        self.offsets[self.t]
+    }
+
+    /// True if the index covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node id of task `(k, i, j)`; requires `i >= k && j >= k`.
+    pub fn id(&self, k: usize, i: usize, j: usize) -> NodeId {
+        debug_assert!(k < self.t && i >= k && i < self.t && j >= k && j < self.t);
+        let rem = (self.t - k) as u64;
+        (self.offsets[k] + (i - k) as u64 * rem + (j - k) as u64) as NodeId
+    }
+}
+
+/// GE data-flow DAG for `t` tiles per side with the given kernel weights.
+pub fn ge(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t > 0);
+    let index = GeIndex::new(t);
+    let nodes = index.len() as usize;
+    let mut b = GraphBuilder::with_capacity(nodes, nodes * 3);
+    for k in 0..t {
+        for i in k..t {
+            for j in k..t {
+                let kind = match (i == k, j == k) {
+                    (true, true) => TaskKind::BaseA,
+                    (true, false) => TaskKind::BaseB,
+                    (false, true) => TaskKind::BaseC,
+                    (false, false) => TaskKind::BaseD,
+                };
+                let id = b.add_node(kind, flops.weight(kind));
+                debug_assert_eq!(id, index.id(k, i, j));
+            }
+        }
+    }
+    for k in 0..t {
+        for i in k..t {
+            for j in k..t {
+                let me = index.id(k, i, j);
+                // Write-write chain: the previous pivot step's update of
+                // the same tile.
+                if k > 0 {
+                    b.add_edge(index.id(k - 1, i, j), me);
+                }
+                // Read dependencies of Listing 5.
+                match (i == k, j == k) {
+                    (true, true) => {}
+                    (true, false) | (false, true) => {
+                        b.add_edge(index.id(k, k, k), me);
+                    }
+                    (false, false) => {
+                        b.add_edge(index.id(k, k, j), me); // B(k, j)
+                        b.add_edge(index.id(k, i, k), me); // C(i, k)
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// FW-APSP data-flow DAG: like GE but every pivot step updates *all*
+/// `t x t` tiles, giving `t^3` tasks.
+pub fn fw(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t > 0);
+    let id = |k: usize, i: usize, j: usize| (k * t * t + i * t + j) as NodeId;
+    let nodes = t * t * t;
+    let mut b = GraphBuilder::with_capacity(nodes, nodes * 3);
+    for k in 0..t {
+        for i in 0..t {
+            for j in 0..t {
+                let kind = match (i == k, j == k) {
+                    (true, true) => TaskKind::BaseA,
+                    (true, false) => TaskKind::BaseB,
+                    (false, true) => TaskKind::BaseC,
+                    (false, false) => TaskKind::BaseD,
+                };
+                b.add_node(kind, flops.weight(kind));
+            }
+        }
+    }
+    for k in 0..t {
+        for i in 0..t {
+            for j in 0..t {
+                let me = id(k, i, j);
+                if k > 0 {
+                    b.add_edge(id(k - 1, i, j), me);
+                }
+                match (i == k, j == k) {
+                    (true, true) => {}
+                    (true, false) | (false, true) => b.add_edge(id(k, k, k), me),
+                    (false, false) => {
+                        b.add_edge(id(k, k, j), me);
+                        b.add_edge(id(k, i, k), me);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// SW data-flow DAG: the `t x t` wavefront.
+pub fn sw(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t > 0);
+    let id = |i: usize, j: usize| (i * t + j) as NodeId;
+    let mut b = GraphBuilder::with_capacity(t * t, t * t * 2);
+    for _ in 0..t {
+        for _ in 0..t {
+            b.add_node(TaskKind::Tile, flops.tile);
+        }
+    }
+    for i in 0..t {
+        for j in 0..t {
+            if i > 0 {
+                b.add_edge(id(i - 1, j), id(i, j));
+            }
+            if j > 0 {
+                b.add_edge(id(i, j - 1), id(i, j));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use crate::{fw_kernel_flops, ge_kernel_flops, sw_kernel_flops};
+
+    #[test]
+    fn ge_task_count_matches_formula() {
+        for t in 1..=12usize {
+            let g = ge(t, &ge_kernel_flops(8));
+            let expected = t * (t + 1) * (2 * t + 1) / 6;
+            assert_eq!(g.len(), expected, "t = {t}");
+            assert_eq!(g.num_compute_nodes(), expected);
+        }
+    }
+
+    #[test]
+    fn ge_index_is_dense_and_ordered() {
+        let idx = GeIndex::new(5);
+        assert_eq!(idx.len(), 5 * 6 * 11 / 6);
+        assert_eq!(idx.id(0, 0, 0), 0);
+        assert_eq!(idx.id(0, 0, 1), 1);
+        assert_eq!(idx.id(1, 1, 1), 25); // after the 25 tasks of k=0
+    }
+
+    #[test]
+    fn fw_task_count_is_t_cubed() {
+        for t in 1..=8usize {
+            assert_eq!(fw(t, &fw_kernel_flops(8)).len(), t * t * t);
+        }
+    }
+
+    #[test]
+    fn sw_task_count_is_t_squared() {
+        assert_eq!(sw(7, &sw_kernel_flops(8)).len(), 49);
+    }
+
+    #[test]
+    fn sw_span_is_wavefront_diagonal() {
+        // Span of the t x t wavefront with unit tiles = 2t - 1 tiles.
+        let t = 9;
+        let m = analyze(&sw(t, &sw_kernel_flops(1)));
+        let per_tile = sw_kernel_flops(1).tile;
+        assert!((m.span - (2 * t - 1) as f64 * per_tile).abs() < 1e-9);
+        assert_eq!(m.critical_path_tasks, 2 * t - 1);
+    }
+
+    #[test]
+    fn ge_span_is_linear_in_t() {
+        // The GE data-flow critical path is A(0) B/C D A(1) ... -> ~3t
+        // tasks, i.e. *linear* in t (the key contrast with fork-join).
+        let f = ge_kernel_flops(1);
+        let m8 = analyze(&ge(8, &f));
+        let m16 = analyze(&ge(16, &f));
+        let growth = m16.span / m8.span;
+        assert!(growth > 1.8 && growth < 2.3, "span growth {growth} should be ~2x");
+        assert!(m16.critical_path_tasks <= 3 * 16 + 2);
+    }
+
+    #[test]
+    fn ge_roots_single_a0() {
+        let g = ge(4, &ge_kernel_flops(4));
+        assert_eq!(g.roots(), vec![0], "only A(0) is initially ready");
+    }
+
+    #[test]
+    fn fw_parallelism_grows_quadratically() {
+        let f = fw_kernel_flops(1);
+        let p4 = analyze(&fw(4, &f)).parallelism;
+        let p8 = analyze(&fw(8, &f)).parallelism;
+        // work t^3, span ~t -> parallelism ~t^2: doubling t quadruples it.
+        let ratio = p8 / p4;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+}

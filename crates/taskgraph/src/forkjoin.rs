@@ -1,0 +1,386 @@
+//! Fork-join (series-parallel) DAGs of the recursive 2-way R-DP
+//! algorithms, joins included.
+//!
+//! Each builder mirrors the recursive function structure of the
+//! cache-oblivious algorithms (Fig. 2 for GE) exactly; every sequential
+//! composition point — a `#pragma omp taskwait` in the paper's Listing 3
+//! — becomes a zero-weight [`TaskKind::Sync`] node that all tasks of the
+//! earlier stage feed and all tasks of the later stage read. Those sync
+//! nodes *are* the artificial dependencies of Fig. 3: removing them (the
+//! data-flow builders in [`crate::dataflow`]) shortens the span
+//! asymptotically.
+
+use crate::graph::{GraphBuilder, NodeId, TaskGraph, TaskKind};
+use crate::KernelFlops;
+
+/// A sub-DAG under construction: the nodes that begin it and the nodes
+/// that end it.
+#[derive(Debug, Clone)]
+struct Block {
+    entries: Vec<NodeId>,
+    exits: Vec<NodeId>,
+}
+
+struct Fj<'a> {
+    b: GraphBuilder,
+    flops: &'a KernelFlops,
+    joins: u64,
+}
+
+impl<'a> Fj<'a> {
+    fn new(flops: &'a KernelFlops) -> Self {
+        Self { b: GraphBuilder::new(), flops, joins: 0 }
+    }
+
+    fn leaf(&mut self, kind: TaskKind) -> Block {
+        let id = self.b.add_node(kind, self.flops.weight(kind));
+        Block { entries: vec![id], exits: vec![id] }
+    }
+
+    /// Sequential composition with a join: nothing in `second` may start
+    /// before everything in `first` finished.
+    fn seq(&mut self, first: Block, second: Block) -> Block {
+        // Insert a Sync node unless direct edges are at least as cheap.
+        if first.exits.len() * second.entries.len()
+            <= first.exits.len() + second.entries.len()
+        {
+            for &x in &first.exits {
+                for &e in &second.entries {
+                    self.b.add_edge(x, e);
+                }
+            }
+        } else {
+            let sync = self.b.add_node(TaskKind::Sync, 0.0);
+            self.joins += 1;
+            for &x in &first.exits {
+                self.b.add_edge(x, sync);
+            }
+            for &e in &second.entries {
+                self.b.add_edge(sync, e);
+            }
+        }
+        Block { entries: first.entries, exits: second.exits }
+    }
+
+    /// Parallel composition (the forked tasks between two joins).
+    fn par(&mut self, blocks: Vec<Block>) -> Block {
+        let mut entries = Vec::new();
+        let mut exits = Vec::new();
+        for blk in blocks {
+            entries.extend(blk.entries);
+            exits.extend(blk.exits);
+        }
+        Block { entries, exits }
+    }
+
+    fn seq_chain(&mut self, stages: Vec<Block>) -> Block {
+        let mut it = stages.into_iter();
+        let mut acc = it.next().expect("at least one stage");
+        for s in it {
+            acc = self.seq(acc, s);
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------
+// GE (Fig. 2 recursion).
+// ---------------------------------------------------------------------
+
+struct Ge<'a>(Fj<'a>);
+
+impl Ge<'_> {
+    /// A(d, s): full GE on the diagonal block of `s` tiles at offset `d`.
+    fn a(&mut self, d: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseA);
+        }
+        let h = s / 2;
+        let top = self.a(d, h);
+        let b1 = self.bfun(d, d + h, h);
+        let c1 = self.cfun(d + h, d, h);
+        let bc = self.0.par(vec![b1, c1]);
+        let dd = self.dfun(d + h, d + h, d, h);
+        let bot = self.a(d + h, h);
+        self.0.seq_chain(vec![top, bc, dd, bot])
+    }
+
+    /// B(k0, j0, s): row panels for pivots `[k0, k0+s)` and columns
+    /// `[j0, j0+s)`.
+    fn bfun(&mut self, k0: usize, j0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseB);
+        }
+        let h = s / 2;
+        let s1a = self.bfun(k0, j0, h);
+        let s1b = self.bfun(k0, j0 + h, h);
+        let s1 = self.0.par(vec![s1a, s1b]);
+        let s2a = self.dfun(k0 + h, j0, k0, h);
+        let s2b = self.dfun(k0 + h, j0 + h, k0, h);
+        let s2 = self.0.par(vec![s2a, s2b]);
+        let s3a = self.bfun(k0 + h, j0, h);
+        let s3b = self.bfun(k0 + h, j0 + h, h);
+        let s3 = self.0.par(vec![s3a, s3b]);
+        self.0.seq_chain(vec![s1, s2, s3])
+    }
+
+    /// C(i0, k0, s): column panels, symmetric to B.
+    fn cfun(&mut self, i0: usize, k0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseC);
+        }
+        let h = s / 2;
+        let s1a = self.cfun(i0, k0, h);
+        let s1b = self.cfun(i0 + h, k0, h);
+        let s1 = self.0.par(vec![s1a, s1b]);
+        let s2a = self.dfun(i0, k0 + h, k0, h);
+        let s2b = self.dfun(i0 + h, k0 + h, k0, h);
+        let s2 = self.0.par(vec![s2a, s2b]);
+        let s3a = self.cfun(i0, k0 + h, h);
+        let s3b = self.cfun(i0 + h, k0 + h, h);
+        let s3 = self.0.par(vec![s3a, s3b]);
+        self.0.seq_chain(vec![s1, s2, s3])
+    }
+
+    /// D(i0, j0, k0, s): trailing update, matrix-multiply shaped — eight
+    /// subcalls in two fully-parallel rounds split on the k range.
+    fn dfun(&mut self, i0: usize, j0: usize, k0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseD);
+        }
+        let h = s / 2;
+        let round = |k: usize, me: &mut Self| {
+            let q: Vec<Block> = [(i0, j0), (i0, j0 + h), (i0 + h, j0), (i0 + h, j0 + h)]
+                .into_iter()
+                .map(|(i, j)| me.dfun(i, j, k, h))
+                .collect();
+            me.0.par(q)
+        };
+        let r1 = round(k0, self);
+        let r2 = round(k0 + h, self);
+        self.0.seq(r1, r2)
+    }
+}
+
+/// Fork-join DAG of R-DP GE on `t` tiles per side (`t` a power of two).
+pub fn ge(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t.is_power_of_two(), "fork-join recursion needs a power-of-two tile count");
+    let mut ge = Ge(Fj::new(flops));
+    let _ = ge.a(0, t);
+    ge.0.b.build()
+}
+
+// ---------------------------------------------------------------------
+// SW: quadrant recursion X00; (X01 || X10); X11.
+// ---------------------------------------------------------------------
+
+struct Sw<'a>(Fj<'a>);
+
+impl Sw<'_> {
+    fn s(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::Tile);
+        }
+        let h = s / 2;
+        let nw = self.s(h);
+        let ne = self.s(h);
+        let swq = self.s(h);
+        let mid = self.0.par(vec![ne, swq]);
+        let se = self.s(h);
+        self.0.seq_chain(vec![nw, mid, se])
+    }
+}
+
+/// Fork-join DAG of R-DP SW on `t` tiles per side (`t` a power of two).
+/// The joins at each level are exactly the per-wavefront barriers the
+/// paper blames for SW's fork-join slowdown.
+pub fn sw(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t.is_power_of_two());
+    let mut sw = Sw(Fj::new(flops));
+    let _ = sw.s(t);
+    sw.0.b.build()
+}
+
+// ---------------------------------------------------------------------
+// FW-APSP: the Chowdhury-Ramachandran recursion; every kernel covers its
+// whole region at every pivot, so each function makes 8 half-size calls.
+// ---------------------------------------------------------------------
+
+struct Fw<'a>(Fj<'a>);
+
+impl Fw<'_> {
+    fn a(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseA);
+        }
+        let h = s / 2;
+        let a1 = self.a(h);
+        let b1 = self.bfun(h);
+        let c1 = self.cfun(h);
+        let bc1 = self.0.par(vec![b1, c1]);
+        let d1 = self.dfun(h);
+        let a2 = self.a(h);
+        let b2 = self.bfun(h);
+        let c2 = self.cfun(h);
+        let bc2 = self.0.par(vec![b2, c2]);
+        let d2 = self.dfun(h);
+        self.0.seq_chain(vec![a1, bc1, d1, a2, bc2, d2])
+    }
+
+    fn bfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseB);
+        }
+        let h = s / 2;
+        let s1a = self.bfun(h);
+        let s1b = self.bfun(h);
+        let s1 = self.0.par(vec![s1a, s1b]);
+        let s2a = self.dfun(h);
+        let s2b = self.dfun(h);
+        let s2 = self.0.par(vec![s2a, s2b]);
+        let s3a = self.bfun(h);
+        let s3b = self.bfun(h);
+        let s3 = self.0.par(vec![s3a, s3b]);
+        let s4a = self.dfun(h);
+        let s4b = self.dfun(h);
+        let s4 = self.0.par(vec![s4a, s4b]);
+        self.0.seq_chain(vec![s1, s2, s3, s4])
+    }
+
+    fn cfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseC);
+        }
+        let h = s / 2;
+        let s1a = self.cfun(h);
+        let s1b = self.cfun(h);
+        let s1 = self.0.par(vec![s1a, s1b]);
+        let s2a = self.dfun(h);
+        let s2b = self.dfun(h);
+        let s2 = self.0.par(vec![s2a, s2b]);
+        let s3a = self.cfun(h);
+        let s3b = self.cfun(h);
+        let s3 = self.0.par(vec![s3a, s3b]);
+        let s4a = self.dfun(h);
+        let s4b = self.dfun(h);
+        let s4 = self.0.par(vec![s4a, s4b]);
+        self.0.seq_chain(vec![s1, s2, s3, s4])
+    }
+
+    fn dfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseD);
+        }
+        let h = s / 2;
+        let r1: Vec<Block> = (0..4).map(|_| self.dfun(h)).collect();
+        let r1 = self.0.par(r1);
+        let r2: Vec<Block> = (0..4).map(|_| self.dfun(h)).collect();
+        let r2 = self.0.par(r2);
+        self.0.seq(r1, r2)
+    }
+}
+
+/// Fork-join DAG of R-DP FW-APSP on `t` tiles per side (power of two).
+pub fn fw(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t.is_power_of_two());
+    let mut fw = Fw(Fj::new(flops));
+    let _ = fw.a(t);
+    fw.0.b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use crate::{dataflow, fw_kernel_flops, ge_kernel_flops, sw_kernel_flops};
+
+    #[test]
+    fn ge_compute_count_matches_dataflow() {
+        for t in [1usize, 2, 4, 8, 16] {
+            let fj = ge(t, &ge_kernel_flops(4));
+            let df = dataflow::ge(t, &ge_kernel_flops(4));
+            assert_eq!(
+                fj.num_compute_nodes(),
+                df.len(),
+                "same base tasks in both models at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sw_compute_count_is_t_squared() {
+        for t in [1usize, 2, 8, 32] {
+            assert_eq!(sw(t, &sw_kernel_flops(4)).num_compute_nodes(), t * t);
+        }
+    }
+
+    #[test]
+    fn fw_compute_count_is_t_cubed() {
+        for t in [1usize, 2, 4, 8] {
+            assert_eq!(fw(t, &fw_kernel_flops(4)).num_compute_nodes(), t * t * t);
+        }
+    }
+
+    #[test]
+    fn ge_work_identical_across_models() {
+        let t = 8;
+        let f = ge_kernel_flops(16);
+        let fj = analyze(&ge(t, &f));
+        let df = analyze(&dataflow::ge(t, &f));
+        assert!((fj.work - df.work).abs() < 1e-6, "sync nodes are free");
+    }
+
+    #[test]
+    fn joins_inflate_ge_span() {
+        // The paper's core claim: at equal work, the fork-join span
+        // exceeds the data-flow span, and the gap widens with t.
+        let f = ge_kernel_flops(1);
+        let mut prev_ratio = 0.0;
+        for t in [4usize, 8, 16, 32] {
+            let fj = analyze(&ge(t, &f));
+            let df = analyze(&dataflow::ge(t, &f));
+            let ratio = fj.span / df.span;
+            assert!(ratio > 1.0, "t={t}: fork-join span must exceed data-flow span");
+            assert!(ratio >= prev_ratio * 0.99, "gap should widen with t");
+            prev_ratio = ratio;
+        }
+        assert!(prev_ratio > 1.5, "at t=32 the artificial-dependency gap is substantial");
+    }
+
+    #[test]
+    fn joins_inflate_sw_span_asymptotically() {
+        // Data-flow span: Theta(t) tiles; fork-join: Theta(t^1.585).
+        let f = sw_kernel_flops(1);
+        let t = 64;
+        let fj = analyze(&sw(t, &f));
+        let df = analyze(&dataflow::sw(t, &f));
+        let tiles_fj = fj.span / f.tile;
+        let tiles_df = df.span / f.tile;
+        assert_eq!(tiles_df as usize, 2 * t - 1);
+        // t^(log2 3) = 64^1.585 ~ 729.
+        assert!(tiles_fj > 700.0, "fork-join SW span {tiles_fj} should be ~t^1.585");
+    }
+
+    #[test]
+    fn fw_span_gap() {
+        let f = fw_kernel_flops(1);
+        let t = 16;
+        let fj = analyze(&fw(t, &f));
+        let df = analyze(&dataflow::fw(t, &f));
+        assert!(fj.span > df.span);
+        assert!((fj.work - df.work).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = ge(6, &ge_kernel_flops(4));
+    }
+
+    #[test]
+    fn single_tile_graphs_are_single_nodes() {
+        assert_eq!(ge(1, &ge_kernel_flops(4)).len(), 1);
+        assert_eq!(sw(1, &sw_kernel_flops(4)).len(), 1);
+        assert_eq!(fw(1, &fw_kernel_flops(4)).len(), 1);
+    }
+}

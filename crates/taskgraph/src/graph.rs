@@ -1,0 +1,348 @@
+//! Compact DAG representation (CSR adjacency) sized for multi-million
+//! node graphs (FW at 16K/64 has `T^3 = 16.7M` base tasks).
+
+/// Node identifier (dense, 0-based).
+pub type NodeId = u32;
+
+/// What a DAG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TaskKind {
+    /// GE/FW diagonal base case.
+    BaseA,
+    /// GE/FW row-panel base case.
+    BaseB,
+    /// GE/FW column-panel base case.
+    BaseC,
+    /// GE/FW trailing-update base case.
+    BaseD,
+    /// Uniform tile base case (SW).
+    Tile,
+    /// A zero-cost synchronisation node (a fork-join `taskwait`).
+    Sync,
+}
+
+impl TaskKind {
+    /// True for nodes that execute a base-case kernel.
+    pub fn is_compute(self) -> bool {
+        !matches!(self, TaskKind::Sync)
+    }
+}
+
+/// Incrementally builds a [`TaskGraph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    weights: Vec<f64>,
+    kinds: Vec<TaskKind>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            weights: Vec::with_capacity(nodes),
+            kinds: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with the given kind and weight (flops), returning its
+    /// id.
+    pub fn add_node(&mut self, kind: TaskKind, weight: f64) -> NodeId {
+        assert!(weight >= 0.0, "negative weight");
+        let id = self.weights.len();
+        assert!(id <= u32::MAX as usize, "graph too large for u32 node ids");
+        self.weights.push(weight);
+        self.kinds.push(kind);
+        id as NodeId
+    }
+
+    /// Adds a dependency edge `from -> to` (`to` cannot start before
+    /// `from` finishes).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        debug_assert!((from as usize) < self.weights.len());
+        debug_assert!((to as usize) < self.weights.len());
+        debug_assert_ne!(from, to, "self-loop");
+        self.edges.push((from, to));
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Finalises into a [`TaskGraph`] (builds CSR successor lists and
+    /// in-degrees).
+    ///
+    /// # Panics
+    /// Panics if the edge set contains a cycle (checked via Kahn
+    /// traversal in [`TaskGraph::assert_acyclic`]).
+    pub fn build(self) -> TaskGraph {
+        let n = self.weights.len();
+        let mut succ_offsets = vec![0u32; n + 1];
+        let mut in_degree = vec![0u32; n];
+        for &(from, to) in &self.edges {
+            succ_offsets[from as usize + 1] += 1;
+            in_degree[to as usize] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let mut succ = vec![0u32; self.edges.len()];
+        let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        for &(from, to) in &self.edges {
+            let c = &mut cursor[from as usize];
+            succ[*c as usize] = to;
+            *c += 1;
+        }
+        let g = TaskGraph {
+            weights: self.weights,
+            kinds: self.kinds,
+            succ_offsets,
+            succ,
+            in_degree,
+        };
+        g.assert_acyclic();
+        g
+    }
+}
+
+/// An immutable task DAG.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    weights: Vec<f64>,
+    kinds: Vec<TaskKind>,
+    succ_offsets: Vec<u32>,
+    succ: Vec<u32>,
+    in_degree: Vec<u32>,
+}
+
+impl TaskGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True for a node-less graph.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Node weight in flops.
+    #[inline]
+    pub fn weight(&self, node: NodeId) -> f64 {
+        self.weights[node as usize]
+    }
+
+    /// Node kind.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> TaskKind {
+        self.kinds[node as usize]
+    }
+
+    /// Successors of a node.
+    #[inline]
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        let lo = self.succ_offsets[node as usize] as usize;
+        let hi = self.succ_offsets[node as usize + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// In-degree of a node.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> u32 {
+        self.in_degree[node as usize]
+    }
+
+    /// A fresh copy of the in-degree array (consumed by schedulers).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        self.in_degree.clone()
+    }
+
+    /// All nodes with no predecessors.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.len() as u32).filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Count of compute (non-Sync) nodes.
+    pub fn num_compute_nodes(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_compute()).count()
+    }
+
+    /// Verifies the graph is acyclic (Kahn); panics otherwise. Called by
+    /// [`GraphBuilder::build`].
+    pub fn assert_acyclic(&self) {
+        let mut deg = self.in_degrees();
+        let mut queue: Vec<NodeId> = self.roots();
+        let mut seen = 0usize;
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for &s in self.successors(n) {
+                deg[s as usize] -= 1;
+                if deg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(seen, self.len(), "task graph contains a cycle");
+    }
+
+    /// Visits nodes in a topological order, calling `f(node)`.
+    pub fn topo_visit<F: FnMut(NodeId)>(&self, mut f: F) {
+        let mut deg = self.in_degrees();
+        let mut queue: std::collections::VecDeque<NodeId> = self.roots().into();
+        while let Some(n) = queue.pop_front() {
+            f(n);
+            for &s in self.successors(n) {
+                deg[s as usize] -= 1;
+                if deg[s as usize] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let top = b.add_node(TaskKind::BaseA, 1.0);
+        let l = b.add_node(TaskKind::BaseB, 2.0);
+        let r = b.add_node(TaskKind::BaseC, 2.0);
+        let bot = b.add_node(TaskKind::BaseD, 4.0);
+        b.add_edge(top, l);
+        b.add_edge(top, r);
+        b.add_edge(l, bot);
+        b.add_edge(r, bot);
+        b.build()
+    }
+
+    #[test]
+    fn csr_adjacency_roundtrip() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(1), &[3]);
+        assert_eq!(g.successors(3), &[] as &[u32]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.roots(), vec![0]);
+    }
+
+    #[test]
+    fn topo_visit_respects_edges() {
+        let g = diamond();
+        let mut pos = [usize::MAX; 4];
+        let mut i = 0;
+        g.topo_visit(|n| {
+            pos[n as usize] = i;
+            i += 1;
+        });
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(TaskKind::Tile, 1.0);
+        let y = b.add_node(TaskKind::Tile, 1.0);
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn compute_node_count_ignores_sync() {
+        let mut b = GraphBuilder::new();
+        b.add_node(TaskKind::Tile, 1.0);
+        b.add_node(TaskKind::Sync, 0.0);
+        let g = b.build();
+        assert_eq!(g.num_compute_nodes(), 1);
+    }
+
+    #[test]
+    fn builder_capacity_and_len() {
+        let mut b = GraphBuilder::with_capacity(10, 10);
+        assert!(b.is_empty());
+        b.add_node(TaskKind::Tile, 1.0);
+        assert_eq!(b.len(), 1);
+    }
+}
+
+impl TaskGraph {
+    /// Renders the DAG in Graphviz DOT format for inspection. Returns
+    /// `None` when the graph exceeds `max_nodes` (DOT rendering of
+    /// multi-million-node DAGs helps nobody).
+    pub fn to_dot(&self, max_nodes: usize) -> Option<String> {
+        if self.len() > max_nodes {
+            return None;
+        }
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n");
+        for v in 0..self.len() as NodeId {
+            let (shape, label) = match self.kind(v) {
+                TaskKind::Sync => ("point", String::new()),
+                k => ("box", format!("{k:?}\\n{:.0}", self.weight(v))),
+            };
+            let _ = writeln!(out, "  n{v} [shape={shape}, label=\"{label}\"];");
+        }
+        for v in 0..self.len() as NodeId {
+            for &s in self.successors(v) {
+                let _ = writeln!(out, "  n{v} -> n{s};");
+            }
+        }
+        out.push_str("}\n");
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_renders_small_graphs() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(TaskKind::BaseA, 5.0);
+        let s = b.add_node(TaskKind::Sync, 0.0);
+        let y = b.add_node(TaskKind::BaseD, 7.0);
+        b.add_edge(x, s);
+        b.add_edge(s, y);
+        let g = b.build();
+        let dot = g.to_dot(10).unwrap();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("shape=point"));
+        assert!(dot.contains("BaseD"));
+    }
+
+    #[test]
+    fn dot_refuses_huge_graphs() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..100 {
+            b.add_node(TaskKind::Tile, 1.0);
+        }
+        assert!(b.build().to_dot(50).is_none());
+    }
+}

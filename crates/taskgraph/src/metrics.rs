@@ -1,0 +1,182 @@
+//! Work/span analysis: the quantities behind the paper's claim that
+//! joins "increase the span asymptotically and thus reduce parallelism".
+
+use crate::graph::{NodeId, TaskGraph};
+
+/// Work, span and derived quantities of a task DAG, in flop units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphMetrics {
+    /// `T1`: total weight of all nodes.
+    pub work: f64,
+    /// `T-inf`: weight of the heaviest dependency chain.
+    pub span: f64,
+    /// `T1 / T-inf`.
+    pub parallelism: f64,
+    /// Length (in nodes, compute nodes only) of the longest chain.
+    pub critical_path_tasks: usize,
+}
+
+/// Computes [`GraphMetrics`] by a single topological sweep.
+pub fn analyze(graph: &TaskGraph) -> GraphMetrics {
+    let n = graph.len();
+    if n == 0 {
+        return GraphMetrics { work: 0.0, span: 0.0, parallelism: 0.0, critical_path_tasks: 0 };
+    }
+    let mut work = 0.0f64;
+    // dist[v] = heaviest path weight ending at v (inclusive);
+    // hops[v] = compute-node count along that path.
+    let mut dist = vec![0.0f64; n];
+    let mut hops = vec![0u32; n];
+    let mut span = 0.0f64;
+    let mut max_hops = 0u32;
+    graph.topo_visit(|v| {
+        let w = graph.weight(v);
+        work += w;
+        dist[v as usize] += w;
+        if graph.kind(v).is_compute() {
+            hops[v as usize] += 1;
+        }
+        if dist[v as usize] > span {
+            span = dist[v as usize];
+        }
+        if hops[v as usize] > max_hops {
+            max_hops = hops[v as usize];
+        }
+        let (dv, hv) = (dist[v as usize], hops[v as usize]);
+        for &s in graph.successors(v) {
+            if dv > dist[s as usize] {
+                dist[s as usize] = dv;
+                hops[s as usize] = hv;
+            } else if dv == dist[s as usize] && hv > hops[s as usize] {
+                hops[s as usize] = hv;
+            }
+        }
+    });
+    GraphMetrics {
+        work,
+        span,
+        parallelism: if span > 0.0 { work / span } else { 0.0 },
+        critical_path_tasks: max_hops as usize,
+    }
+}
+
+/// Per-depth ready-width profile: `profile[d]` = number of compute tasks
+/// whose earliest start depth is `d` when every task takes unit time and
+/// parallelism is unbounded. This is the "how many tasks could run in
+/// stage d" view of Fig. 3.
+pub fn width_profile(graph: &TaskGraph) -> Vec<u64> {
+    let n = graph.len();
+    let mut depth = vec![0u32; n];
+    let mut profile: Vec<u64> = Vec::new();
+    graph.topo_visit(|v| {
+        let d = depth[v as usize];
+        // Sync nodes do not advance the stage counter.
+        let next = if graph.kind(v).is_compute() {
+            if profile.len() <= d as usize {
+                profile.resize(d as usize + 1, 0);
+            }
+            profile[d as usize] += 1;
+            d + 1
+        } else {
+            d
+        };
+        for &s in graph.successors(v) {
+            if next > depth[s as usize] {
+                depth[s as usize] = next;
+            }
+        }
+    });
+    let _ = NodeId::MAX; // keep the import meaningful for doc references
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, TaskKind};
+
+    fn chain(weights: &[f64]) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let mut prev = None;
+        for &w in weights {
+            let n = b.add_node(TaskKind::Tile, w);
+            if let Some(p) = prev {
+                b.add_edge(p, n);
+            }
+            prev = Some(n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_has_span_equal_work() {
+        let m = analyze(&chain(&[1.0, 2.0, 3.0]));
+        assert_eq!(m.work, 6.0);
+        assert_eq!(m.span, 6.0);
+        assert_eq!(m.parallelism, 1.0);
+        assert_eq!(m.critical_path_tasks, 3);
+    }
+
+    #[test]
+    fn independent_tasks_have_span_of_max() {
+        let mut b = GraphBuilder::new();
+        for w in [5.0, 1.0, 2.0] {
+            b.add_node(TaskKind::Tile, w);
+        }
+        let m = analyze(&b.build());
+        assert_eq!(m.work, 8.0);
+        assert_eq!(m.span, 5.0);
+        assert_eq!(m.critical_path_tasks, 1);
+    }
+
+    #[test]
+    fn sync_nodes_add_no_span_weight() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(TaskKind::Tile, 2.0);
+        let s = b.add_node(TaskKind::Sync, 0.0);
+        let c = b.add_node(TaskKind::Tile, 2.0);
+        b.add_edge(a, s);
+        b.add_edge(s, c);
+        let m = analyze(&b.build());
+        assert_eq!(m.span, 4.0);
+        assert_eq!(m.critical_path_tasks, 2);
+    }
+
+    #[test]
+    fn diamond_picks_heavier_branch() {
+        let mut b = GraphBuilder::new();
+        let top = b.add_node(TaskKind::Tile, 1.0);
+        let light = b.add_node(TaskKind::Tile, 1.0);
+        let heavy = b.add_node(TaskKind::Tile, 10.0);
+        let bot = b.add_node(TaskKind::Tile, 1.0);
+        b.add_edge(top, light);
+        b.add_edge(top, heavy);
+        b.add_edge(light, bot);
+        b.add_edge(heavy, bot);
+        let m = analyze(&b.build());
+        assert_eq!(m.span, 12.0);
+        assert_eq!(m.work, 13.0);
+    }
+
+    #[test]
+    fn width_profile_counts_stage_tasks() {
+        // top -> {l, r} -> bot: widths [1, 2, 1].
+        let mut b = GraphBuilder::new();
+        let top = b.add_node(TaskKind::Tile, 1.0);
+        let l = b.add_node(TaskKind::Tile, 1.0);
+        let r = b.add_node(TaskKind::Tile, 1.0);
+        let bot = b.add_node(TaskKind::Tile, 1.0);
+        b.add_edge(top, l);
+        b.add_edge(top, r);
+        b.add_edge(l, bot);
+        b.add_edge(r, bot);
+        assert_eq!(width_profile(&b.build()), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let m = analyze(&GraphBuilder::new().build());
+        assert_eq!(m.work, 0.0);
+        assert_eq!(m.span, 0.0);
+    }
+}

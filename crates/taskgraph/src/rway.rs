@@ -1,0 +1,269 @@
+//! Parametric r-way fork-join DAGs for GE.
+//!
+//! The paper's introduction motivates *parametric r-way* recursive
+//! divide-and-conquer DP algorithms (r-way R-DP) as the
+//! performance-portable generalisation of the classic 2-way algorithms
+//! this paper studies. This module builds the fork-join DAG of the
+//! r-way GE recursion: each region splits into `r x r` sub-blocks and
+//! every level runs `r` sequential diagonal rounds with joins between
+//! the panel and trailing-update stages.
+//!
+//! `r = 2` reproduces [`crate::forkjoin::ge`]'s structure exactly (same
+//! base tasks, same work); `r = t` degenerates to the barriered tiled
+//! loop (one A/BC/D stage triple per pivot step). Sweeping `r` exposes
+//! the span/overhead trade-off the parametric algorithms navigate.
+
+use crate::graph::{GraphBuilder, NodeId, TaskGraph, TaskKind};
+use crate::KernelFlops;
+
+#[derive(Debug, Clone)]
+struct Block {
+    entries: Vec<NodeId>,
+    exits: Vec<NodeId>,
+}
+
+struct RwayGe<'a> {
+    b: GraphBuilder,
+    flops: &'a KernelFlops,
+    r: usize,
+}
+
+impl<'a> RwayGe<'a> {
+    fn leaf(&mut self, kind: TaskKind) -> Block {
+        let id = self.b.add_node(kind, self.flops.weight(kind));
+        Block { entries: vec![id], exits: vec![id] }
+    }
+
+    fn seq(&mut self, first: Block, second: Block) -> Block {
+        if first.exits.len() * second.entries.len()
+            <= first.exits.len() + second.entries.len()
+        {
+            for &x in &first.exits {
+                for &e in &second.entries {
+                    self.b.add_edge(x, e);
+                }
+            }
+        } else {
+            let sync = self.b.add_node(TaskKind::Sync, 0.0);
+            for &x in &first.exits {
+                self.b.add_edge(x, sync);
+            }
+            for &e in &second.entries {
+                self.b.add_edge(sync, e);
+            }
+        }
+        Block { entries: first.entries, exits: second.exits }
+    }
+
+    fn par(&mut self, blocks: Vec<Block>) -> Block {
+        let mut entries = Vec::new();
+        let mut exits = Vec::new();
+        for blk in blocks {
+            entries.extend(blk.entries);
+            exits.extend(blk.exits);
+        }
+        Block { entries, exits }
+    }
+
+    fn seq_chain(&mut self, stages: Vec<Block>) -> Block {
+        let mut it = stages.into_iter();
+        let mut acc = it.next().expect("non-empty");
+        for s in it {
+            acc = self.seq(acc, s);
+        }
+        acc
+    }
+
+    /// `step` of the current level; regions are addressed in tile
+    /// offsets like the 2-way builders.
+    fn a(&mut self, d: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseA);
+        }
+        let r = self.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::with_capacity(3 * r);
+        for q in 0..r {
+            let kq = d + q * step;
+            rounds.push(self.a(kq, step));
+            let mut panels = Vec::new();
+            for p in q + 1..r {
+                panels.push(self.bfun(kq, d + p * step, step));
+                panels.push(self.cfun(d + p * step, kq, step));
+            }
+            if !panels.is_empty() {
+                let panels = self.par(panels);
+                rounds.push(panels);
+            }
+            let mut trailing = Vec::new();
+            for p in q + 1..r {
+                for p2 in q + 1..r {
+                    trailing.push(self.dfun(d + p * step, d + p2 * step, kq, step));
+                }
+            }
+            if !trailing.is_empty() {
+                let trailing = self.par(trailing);
+                rounds.push(trailing);
+            }
+        }
+        self.seq_chain(rounds)
+    }
+
+    fn bfun(&mut self, k0: usize, j0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseB);
+        }
+        let r = self.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for q in 0..r {
+            let kq = k0 + q * step;
+            let bs: Vec<Block> =
+                (0..r).map(|p| self.bfun(kq, j0 + p * step, step)).collect();
+            let bs = self.par(bs);
+            rounds.push(bs);
+            let mut ds = Vec::new();
+            for p in q + 1..r {
+                for p2 in 0..r {
+                    ds.push(self.dfun(k0 + p * step, j0 + p2 * step, kq, step));
+                }
+            }
+            if !ds.is_empty() {
+                let ds = self.par(ds);
+                rounds.push(ds);
+            }
+        }
+        self.seq_chain(rounds)
+    }
+
+    fn cfun(&mut self, i0: usize, k0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseC);
+        }
+        let r = self.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for q in 0..r {
+            let kq = k0 + q * step;
+            let cs: Vec<Block> =
+                (0..r).map(|p| self.cfun(i0 + p * step, kq, step)).collect();
+            let cs = self.par(cs);
+            rounds.push(cs);
+            let mut ds = Vec::new();
+            for p in 0..r {
+                for p2 in q + 1..r {
+                    ds.push(self.dfun(i0 + p * step, k0 + p2 * step, kq, step));
+                }
+            }
+            if !ds.is_empty() {
+                let ds = self.par(ds);
+                rounds.push(ds);
+            }
+        }
+        self.seq_chain(rounds)
+    }
+
+    fn dfun(&mut self, i0: usize, j0: usize, k0: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseD);
+        }
+        let r = self.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for q in 0..r {
+            let kq = k0 + q * step;
+            let ds: Vec<Block> = (0..r)
+                .flat_map(|p| (0..r).map(move |p2| (p, p2)))
+                .map(|(p, p2)| self.dfun(i0 + p * step, j0 + p2 * step, kq, step))
+                .collect();
+            let ds = self.par(ds);
+            rounds.push(ds);
+        }
+        self.seq_chain(rounds)
+    }
+}
+
+/// Fork-join DAG of r-way R-DP GE on `t` tiles per side. `t` must be a
+/// power of `r` (e.g. `t = 16` with `r` in {2, 4, 16}).
+pub fn ge(t: usize, r: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(r >= 2, "need at least a 2-way split");
+    assert!(is_power_of(t, r), "t = {t} must be a power of r = {r}");
+    let mut builder = RwayGe { b: GraphBuilder::new(), flops, r };
+    let _ = builder.a(0, t);
+    builder.b.build()
+}
+
+/// True if `t = r^k` for some integer `k >= 0`.
+pub fn is_power_of(mut t: usize, r: usize) -> bool {
+    assert!(r >= 2);
+    if t == 0 {
+        return false;
+    }
+    while t % r == 0 {
+        t /= r;
+    }
+    t == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::analyze;
+    use crate::{dataflow, forkjoin, ge_kernel_flops};
+
+    #[test]
+    fn power_check() {
+        assert!(is_power_of(16, 2));
+        assert!(is_power_of(16, 4));
+        assert!(is_power_of(16, 16));
+        assert!(!is_power_of(16, 3));
+        assert!(is_power_of(1, 2));
+        assert!(!is_power_of(0, 2));
+    }
+
+    #[test]
+    fn base_task_count_matches_dataflow_for_all_r() {
+        let f = ge_kernel_flops(8);
+        for (t, rs) in [(8usize, vec![2usize, 8]), (16, vec![2, 4, 16])] {
+            let expected = dataflow::ge(t, &f).len();
+            for r in rs {
+                let g = ge(t, r, &f);
+                assert_eq!(g.num_compute_nodes(), expected, "t={t} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_matches_dedicated_builder() {
+        let f = ge_kernel_flops(16);
+        let t = 8;
+        let rway = analyze(&ge(t, 2, &f));
+        let twoway = analyze(&forkjoin::ge(t, &f));
+        assert!((rway.work - twoway.work).abs() < 1e-9);
+        assert!((rway.span - twoway.span).abs() < 1e-9, "same recursion, same span");
+    }
+
+    #[test]
+    fn larger_r_shrinks_the_span() {
+        // The r-way structure trades depth for wider rounds: at the
+        // degenerate r = t it is the barriered tiled loop, whose span
+        // (in weighted tasks) undercuts the 2-way recursion's log
+        // factors.
+        let f = ge_kernel_flops(8);
+        let t = 16;
+        let s2 = analyze(&ge(t, 2, &f)).span;
+        let s4 = analyze(&ge(t, 4, &f)).span;
+        let s16 = analyze(&ge(t, 16, &f)).span;
+        assert!(s4 <= s2, "4-way {s4} vs 2-way {s2}");
+        assert!(s16 <= s4, "16-way {s16} vs 4-way {s4}");
+        // But never below the true dependency span.
+        let df = analyze(&dataflow::ge(t, &f)).span;
+        assert!(s16 >= df - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of r")]
+    fn wrong_radix_rejected() {
+        let _ = ge(12, 5, &ge_kernel_flops(8));
+    }
+}

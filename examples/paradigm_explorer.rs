@@ -1,0 +1,76 @@
+//! Paradigm explorer: interactively reproduces the paper's headline
+//! conclusion using the simulation engine —
+//!
+//! * on a **fixed machine**, growing the problem size moves the winner
+//!   from data-flow (CnC) to fork-join (OpenMP);
+//! * for a **fixed problem**, moving to a machine with more cores moves
+//!   the winner from fork-join to data-flow;
+//! * for SW, the wavefront keeps data-flow ahead at every size.
+//!
+//! ```sh
+//! cargo run --release --example paradigm_explorer
+//! ```
+
+use recdp_suite::prelude::*;
+use recdp_suite::{predict_seconds, Benchmark, Paradigm};
+
+fn winner(machine: &MachineConfig, benchmark: Benchmark, n: usize, m: usize) -> (String, f64, f64) {
+    let cnc = predict_seconds(machine, benchmark, n, m, Paradigm::CncTuner);
+    let omp = predict_seconds(machine, benchmark, n, m, Paradigm::OpenMp);
+    let who = if cnc < omp { "CnC" } else { "OpenMP" };
+    (who.to_string(), cnc, omp)
+}
+
+fn main() {
+    let epyc = epyc64();
+    let sky = skylake192();
+    let base = 128;
+
+    println!("== 1. fixed machine (EPYC-64), growing GE problem size ==");
+    println!("{:>8} {:>12} {:>12} {:>10}", "n", "CnC (s)", "OpenMP (s)", "winner");
+    for n in [1024usize, 2048, 4096, 8192, 16384] {
+        let (who, cnc, omp) = winner(&epyc, Benchmark::Ge, n, base);
+        println!("{n:>8} {cnc:>12.4} {omp:>12.4} {who:>10}");
+    }
+
+    println!("\n== 2. fixed GE problem (4K), growing the machine ==");
+    println!("{:>14} {:>6} {:>12} {:>12} {:>10}", "machine", "cores", "CnC (s)", "OpenMP (s)", "winner");
+    for machine in [&epyc, &sky] {
+        let (who, cnc, omp) = winner(machine, Benchmark::Ge, 4096, base);
+        println!(
+            "{:>14} {:>6} {cnc:>12.4} {omp:>12.4} {who:>10}",
+            machine.name,
+            machine.total_cores()
+        );
+    }
+
+    println!("\n== 3. SW: the wavefront never lets fork-join catch up ==");
+    println!("{:>8} {:>12} {:>12} {:>10}", "n", "CnC (s)", "OpenMP (s)", "winner");
+    let mut cnc_wins = 0;
+    for n in [2048usize, 4096, 8192, 16384] {
+        let (who, cnc, omp) = winner(&epyc, Benchmark::Sw, n, base);
+        if who == "CnC" {
+            cnc_wins += 1;
+        }
+        println!("{n:>8} {cnc:>12.4} {omp:>12.4} {who:>10}");
+    }
+    assert_eq!(cnc_wins, 4, "data-flow should win SW at every size");
+
+    println!("\n== 4. where is the best base size? (GE 8K) ==");
+    for machine in [&epyc, &sky] {
+        let panel = FigurePanel::compute(
+            machine,
+            Benchmark::Ge,
+            8192,
+            &[64, 128, 256, 512, 1024, 2048],
+            &[Paradigm::CncTuner, Paradigm::OpenMp],
+        );
+        println!(
+            "{:>14}: best base for CnC_tuner = {:?}, for OpenMP = {:?}",
+            machine.name,
+            panel.best_base("CnC_tuner").unwrap(),
+            panel.best_base("OpenMP").unwrap()
+        );
+    }
+    println!("\n(the paper: best block sizes are 128-256 across variants)");
+}

@@ -1,0 +1,12 @@
+//! `recdp-suite`: the integration surface of the recdp reproduction —
+//! re-exports the facade crate and hosts the workspace-level examples
+//! (`examples/`) and integration tests (`tests/`).
+//!
+//! See the [`recdp`] crate for the API and the repository README for the
+//! experiment catalogue.
+
+pub use recdp::prelude;
+pub use recdp::{
+    dag, dag_metrics, predict_seconds, run_benchmark, Benchmark, Execution, FigurePanel, Model,
+    Paradigm, RunOutput,
+};

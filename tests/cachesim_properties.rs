@@ -1,0 +1,94 @@
+//! Property tests on the cache simulator: LRU inclusion/stack
+//! behaviour and hierarchy filtering invariants over random traces.
+
+use proptest::prelude::*;
+use recdp_cachesim::{CacheHierarchy, SetAssocCache};
+use recdp_machine::{CacheGeometry, CacheLevel, WritePolicy};
+
+fn level(name: &'static str, cap: usize, ways: usize) -> CacheLevel {
+    CacheLevel {
+        name,
+        capacity_bytes: cap,
+        line_bytes: 64,
+        associativity: ways,
+        miss_penalty_ns: 1.0,
+        write_policy: WritePolicy::WriteBack,
+        shared: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LRU stack property (fully associative): a larger cache never
+    /// misses more than a smaller one on the same trace.
+    #[test]
+    fn lru_inclusion(trace in prop::collection::vec(0u64..10_000, 1..400)) {
+        let mut small = SetAssocCache::fully_associative("s", 16, 64);
+        let mut large = SetAssocCache::fully_associative("l", 64, 64);
+        for &a in &trace {
+            small.access(a * 64);
+            large.access(a * 64);
+        }
+        prop_assert!(large.stats().misses <= small.stats().misses);
+    }
+
+    /// Immediate re-access always hits, at every level.
+    #[test]
+    fn rereference_hits(trace in prop::collection::vec(0u64..100_000, 1..200)) {
+        let geom = CacheGeometry::new(vec![level("L1", 4096, 4), level("L2", 65536, 8)], 50.0);
+        let mut h = CacheHierarchy::new(&geom);
+        for &a in &trace {
+            h.access(a * 8);
+            let hit = h.access(a * 8);
+            prop_assert_eq!(hit, Some(0), "immediate rereference must hit L1");
+        }
+    }
+
+    /// Hierarchy filtering: accesses at level i+1 equal misses at level
+    /// i, and DRAM accesses equal last-level misses.
+    #[test]
+    fn traffic_filters_downward(trace in prop::collection::vec(0u64..50_000, 1..500)) {
+        let geom = CacheGeometry::new(vec![level("L1", 4096, 4), level("L2", 65536, 8)], 50.0);
+        let mut h = CacheHierarchy::new(&geom);
+        for &a in &trace {
+            h.access(a * 64);
+        }
+        let stats = h.stats();
+        prop_assert_eq!(stats[1].accesses(), stats[0].misses);
+        prop_assert_eq!(h.dram_accesses(), stats[1].misses);
+        // Miss counts are monotone up the hierarchy.
+        prop_assert!(stats[1].misses <= stats[0].misses);
+    }
+
+    /// Distinct-line count bounds the misses from below (compulsory
+    /// misses) and the trace length bounds them from above.
+    #[test]
+    fn miss_count_bounds(trace in prop::collection::vec(0u64..5_000, 1..500)) {
+        let geom = CacheGeometry::new(vec![level("L1", 4096, 4)], 50.0);
+        let mut h = CacheHierarchy::new(&geom);
+        let mut distinct = std::collections::HashSet::new();
+        for &a in &trace {
+            h.access(a * 64);
+            distinct.insert(a);
+        }
+        let misses = h.stats()[0].misses;
+        prop_assert!(misses >= distinct.len() as u64);
+        prop_assert!(misses <= trace.len() as u64);
+    }
+}
+
+#[test]
+fn working_set_smaller_than_cache_only_cold_misses() {
+    // Deterministic complement to the properties: 32 lines looping in a
+    // 64-line fully associative cache -> exactly 32 misses over many
+    // passes.
+    let mut c = SetAssocCache::fully_associative("fa", 64, 64);
+    for _ in 0..10 {
+        for line in 0..32u64 {
+            c.access(line * 64);
+        }
+    }
+    assert_eq!(c.stats().misses, 32);
+    assert_eq!(c.stats().hits, (9 * 32));
+}

@@ -1,0 +1,143 @@
+//! Failure injection on the CnC runtime: deadlocks, single-assignment
+//! violations and step failures must surface as structured errors, not
+//! hangs or corruption.
+
+use recdp_cnc::{CncError, CncGraph, DepSet, StepAbort, StepOutcome};
+
+#[test]
+fn unproduced_item_deadlocks_cleanly() {
+    let g = CncGraph::with_threads(2);
+    let ghost = g.item_collection::<u32, u32>("ghost");
+    let tags = g.tag_collection::<u32>("t");
+    let gh = ghost.clone();
+    tags.prescribe("starved", move |&n, s| {
+        let _ = gh.get(s, &n)?;
+        Ok(StepOutcome::Done)
+    });
+    for i in 0..10 {
+        tags.put(i);
+    }
+    match g.wait() {
+        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 10),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_deadlock_is_detected_after_progress() {
+    // Half the chain resolves; the other half waits forever.
+    let g = CncGraph::with_threads(2);
+    let items = g.item_collection::<u32, u32>("items");
+    let tags = g.tag_collection::<u32>("t");
+    let it = items.clone();
+    tags.prescribe("chain", move |&n, s| {
+        let v = it.get(s, &n)?;
+        // Items 0..5 exist; the rest never will.
+        let _ = v;
+        Ok(StepOutcome::Done)
+    });
+    for i in 0..5 {
+        items.put(i, i).unwrap();
+    }
+    for i in 0..10 {
+        tags.put(i);
+    }
+    match g.wait() {
+        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 5),
+        other => panic!("expected partial deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn double_put_is_a_structured_error() {
+    let g = CncGraph::with_threads(2);
+    let items = g.item_collection::<(u32, u32), bool>("tiles");
+    let tags = g.tag_collection::<u32>("t");
+    let it = items.clone();
+    tags.prescribe("dup", move |_, _| {
+        // Every instance writes the same key: instance #2 violates DSA.
+        it.put((7, 7), true)?;
+        Ok(StepOutcome::Done)
+    });
+    tags.put(1);
+    tags.put(2);
+    match g.wait() {
+        Err(CncError::SingleAssignmentViolation { collection, .. }) => {
+            assert_eq!(collection, "tiles");
+        }
+        // The second put surfaces inside a step, which converts it into
+        // a step failure mentioning the violation — also acceptable.
+        Err(CncError::StepFailed(msg)) => assert!(msg.contains("single-assignment"), "{msg}"),
+        other => panic!("expected violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn failed_step_cancels_the_graph() {
+    let g = CncGraph::with_threads(2);
+    let tags = g.tag_collection::<u32>("t");
+    tags.prescribe("sometimes-bad", move |&n, _| {
+        if n == 3 {
+            return Err(StepAbort::Failed("input 3 rejected".into()));
+        }
+        Ok(StepOutcome::Done)
+    });
+    for i in 0..100 {
+        tags.put(i);
+    }
+    match g.wait() {
+        Err(CncError::StepFailed(msg)) => assert!(msg.contains("input 3 rejected")),
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn panic_in_one_step_reports_not_hangs() {
+    let g = CncGraph::with_threads(3);
+    let tags = g.tag_collection::<u32>("t");
+    tags.prescribe("may-panic", move |&n, _| {
+        if n == 17 {
+            panic!("step 17 exploded");
+        }
+        Ok(StepOutcome::Done)
+    });
+    for i in 0..64 {
+        tags.put(i);
+    }
+    match g.wait() {
+        Err(CncError::StepPanicked(msg)) => assert!(msg.contains("exploded"), "{msg}"),
+        other => panic!("expected panic report, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_scheduled_step_with_impossible_dep_deadlocks() {
+    let g = CncGraph::with_threads(2);
+    let items = g.item_collection::<u32, u32>("items");
+    let tags = g.tag_collection::<u32>("t");
+    tags.prescribe("never-runs", move |_, _| panic!("must not dispatch"));
+    tags.put_when(0, &DepSet::new().item(&items, 42));
+    match g.wait() {
+        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 1),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn graph_is_reusable_after_successful_wait() {
+    let g = CncGraph::with_threads(2);
+    let items = g.item_collection::<u32, u32>("out");
+    let tags = g.tag_collection::<u32>("t");
+    let it = items.clone();
+    tags.prescribe("write", move |&n, _| {
+        it.put(n, n * 2)?;
+        Ok(StepOutcome::Done)
+    });
+    tags.put(1);
+    g.wait().unwrap();
+    // A second round of env puts on the same graph.
+    tags.put(2);
+    g.wait().unwrap();
+    assert_eq!(items.get_env(&1), Some(2));
+    assert_eq!(items.get_env(&2), Some(4));
+}

@@ -1,0 +1,123 @@
+//! Property tests on the numeric kernels: algebraic invariants that
+//! must hold for any input, not just the seeded fixtures.
+
+use proptest::prelude::*;
+use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix, INF_DIST};
+use recdp_kernels::{fw, ge, sw, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// FW output is a metric closure: triangle inequality and shrunken
+    /// distances, for arbitrary seeds/densities.
+    #[test]
+    fn fw_produces_metric_closure(seed in any::<u64>(), density in 0.05f64..0.9) {
+        let n = 16;
+        let before = fw_matrix(n, seed, density);
+        let mut after = before.clone();
+        fw::fw_loops(&mut after);
+        for i in 0..n {
+            prop_assert_eq!(after[(i, i)], 0.0);
+            for j in 0..n {
+                prop_assert!(after[(i, j)] <= before[(i, j)]);
+                for k in 0..n {
+                    prop_assert!(
+                        after[(i, j)] <= after[(i, k)] + after[(k, j)] + 1e-9,
+                        "triangle at ({}, {}, {})", i, k, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// R-DP FW equals loop FW for random shapes (the cross-variant
+    /// bitwise property, under proptest's input control).
+    #[test]
+    fn fw_rdp_equals_loops(seed in any::<u64>(), base_exp in 0usize..4) {
+        let n = 16;
+        let base = 1 << base_exp; // 1, 2, 4, 8
+        let m0 = fw_matrix(n, seed, 0.4);
+        let mut lo = m0.clone();
+        fw::fw_loops(&mut lo);
+        let mut re = m0.clone();
+        fw::fw_rdp(&mut re, base);
+        prop_assert!(re.bitwise_eq(&lo));
+    }
+
+    /// GE leaves the input row space intact in the sense that pivots
+    /// stay nonzero for diagonally dominant inputs, for any seed.
+    #[test]
+    fn ge_pivots_stay_nonzero(seed in any::<u64>()) {
+        let n = 16;
+        let mut m = ge_matrix(n, seed);
+        ge::ge_loops(&mut m);
+        for k in 0..n {
+            prop_assert!(m[(k, k)].abs() > 1e-9, "pivot {} vanished", k);
+            prop_assert!(m[(k, k)].is_finite());
+        }
+    }
+
+    /// GE R-DP equals loop GE for random seeds and bases.
+    #[test]
+    fn ge_rdp_equals_loops(seed in any::<u64>(), base_exp in 0usize..5) {
+        let n = 16;
+        let base = 1 << base_exp.min(4);
+        let m0 = ge_matrix(n, seed);
+        let mut lo = m0.clone();
+        ge::ge_loops(&mut lo);
+        let mut re = m0.clone();
+        ge::ge_rdp(&mut re, base);
+        prop_assert!(re.bitwise_eq(&lo));
+    }
+
+    /// SW scores are bounded by the perfect-match score and are
+    /// symmetric in the sequences (score(a,b) == score(b,a) for the
+    /// symmetric scoring scheme).
+    #[test]
+    fn sw_score_bounds_and_symmetry(sa in any::<u64>(), sb in any::<u64>()) {
+        let n = 32;
+        let a = dna_sequence(n, sa);
+        let b = dna_sequence(n, sb);
+        let mut tab = Matrix::zeros(n);
+        sw::sw_loops(&mut tab, &a, &b);
+        let score = sw::sw_score(&tab);
+        prop_assert!(score >= 0.0);
+        prop_assert!(score <= sw::MATCH * n as f64);
+        let mut tba = Matrix::zeros(n);
+        sw::sw_loops(&mut tba, &b, &a);
+        prop_assert_eq!(score.to_bits(), sw::sw_score(&tba).to_bits());
+    }
+
+    /// Appending characters to both sequences never lowers the best
+    /// local-alignment score (monotonicity of local alignment under
+    /// extension).
+    #[test]
+    fn sw_score_monotone_under_extension(seed in any::<u64>()) {
+        let long_a = dna_sequence(64, seed);
+        let long_b = dna_sequence(64, seed ^ 0xABCD);
+        let short = sw::sw_score_linear_space(&long_a[..32], &long_b[..32]);
+        let long = sw::sw_score_linear_space(&long_a, &long_b);
+        prop_assert!(long >= short, "{long} >= {short}");
+    }
+}
+
+#[test]
+fn fw_disconnected_components_stay_disconnected() {
+    // Two 8-node cliques with no cross edges: cross distances stay INF.
+    let n = 16;
+    let mut m = Matrix::from_fn(n, |i, j| {
+        if i == j {
+            0.0
+        } else if (i < 8) == (j < 8) {
+            1.0
+        } else {
+            INF_DIST
+        }
+    });
+    fw::fw_loops(&mut m);
+    for i in 0..8 {
+        for j in 8..16 {
+            assert!(m[(i, j)] >= INF_DIST, "no path may cross components");
+        }
+    }
+}

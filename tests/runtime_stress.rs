@@ -1,0 +1,168 @@
+//! Stress tests of the two runtimes under awkward concurrency shapes:
+//! nesting, sharing, interleaving and high fan-out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use recdp_cnc::{CncGraph, StepOutcome};
+use recdp_forkjoin::{join, scope, ThreadPoolBuilder};
+
+#[test]
+fn scopes_inside_joins_inside_scopes() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build();
+    let count = AtomicU64::new(0);
+    pool.install(|| {
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    let (a, b) = join(
+                        || {
+                            scope(|inner| {
+                                for _ in 0..4 {
+                                    inner.spawn(|_| {
+                                        count.fetch_add(1, Ordering::Relaxed);
+                                    });
+                                }
+                            });
+                            1u64
+                        },
+                        || 2u64,
+                    );
+                    count.fetch_add(a + b, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 8 * (4 + 3));
+}
+
+#[test]
+fn many_short_lived_pools() {
+    for i in 0..12 {
+        let pool = ThreadPoolBuilder::new().num_threads(1 + i % 4).build();
+        let (a, b) = pool.install(|| join(|| 20, || 22));
+        assert_eq!(a + b, 42);
+        drop(pool);
+    }
+}
+
+#[test]
+fn two_graphs_share_one_pool_concurrently() {
+    let pool = Arc::new(ThreadPoolBuilder::new().num_threads(3).build());
+    let g1 = CncGraph::with_pool(Arc::clone(&pool));
+    let g2 = CncGraph::with_pool(Arc::clone(&pool));
+    let out1 = g1.item_collection::<u32, u64>("o1");
+    let out2 = g2.item_collection::<u32, u64>("o2");
+    let t1 = g1.tag_collection::<u32>("t1");
+    let t2 = g2.tag_collection::<u32>("t2");
+    let (o1c, o2c) = (out1.clone(), out2.clone());
+    // Graph 1 computes squares; graph 2 computes cubes, interleaved.
+    t1.prescribe("sq", move |&n, _| {
+        o1c.put(n, (n as u64) * (n as u64))?;
+        Ok(StepOutcome::Done)
+    });
+    t2.prescribe("cube", move |&n, _| {
+        o2c.put(n, (n as u64).pow(3))?;
+        Ok(StepOutcome::Done)
+    });
+    for i in 0..200 {
+        t1.put(i);
+        t2.put(i);
+    }
+    g1.wait().unwrap();
+    g2.wait().unwrap();
+    assert_eq!(out1.len_ready(), 200);
+    assert_eq!(out2.get_env(&7), Some(343));
+}
+
+#[test]
+fn deep_tag_cascade() {
+    // A 2000-deep sequential chain of steps, each produced by its
+    // predecessor: exercises requeue-free deep recursion through the
+    // injector.
+    let g = CncGraph::with_threads(2);
+    let out = g.item_collection::<u32, u64>("acc");
+    let tags = g.tag_collection::<u32>("chain");
+    let (o2, t2) = (out.clone(), tags.clone());
+    tags.prescribe("link", move |&n, s| {
+        let prev = if n == 0 { 0 } else { o2.get(s, &(n - 1))? };
+        o2.put(n, prev + n as u64)?;
+        if n < 2000 {
+            t2.put(n + 1);
+        }
+        Ok(StepOutcome::Done)
+    });
+    tags.put(0);
+    g.wait().unwrap();
+    assert_eq!(out.get_env(&2000), Some(2000 * 2001 / 2));
+}
+
+#[test]
+fn wide_fanout_single_producer() {
+    // 1 producer, 3000 consumers parked on the same item.
+    let g = CncGraph::with_threads(4);
+    let gate = g.item_collection::<u32, u64>("gate");
+    let out = g.item_collection::<u32, u64>("out");
+    let tags = g.tag_collection::<u32>("consumers");
+    let (gc, oc) = (gate.clone(), out.clone());
+    tags.prescribe("consume", move |&n, s| {
+        let v = gc.get(s, &0)?;
+        oc.put(n, v + n as u64)?;
+        Ok(StepOutcome::Done)
+    });
+    for n in 0..3000 {
+        tags.put(n);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    gate.put(0, 1_000_000).unwrap();
+    let stats = g.wait().unwrap();
+    assert_eq!(out.len_ready(), 3000);
+    assert!(stats.steps_requeued >= 1000, "most consumers must have parked: {stats:?}");
+}
+
+#[test]
+fn env_puts_race_with_execution() {
+    // The environment keeps feeding tags from two OS threads while the
+    // graph executes; wait() is only called after both feeders join.
+    let g = Arc::new(CncGraph::with_threads(3));
+    let out = g.item_collection::<u32, u64>("out");
+    let tags = g.tag_collection::<u32>("t");
+    let oc = out.clone();
+    tags.prescribe("id", move |&n, _| {
+        oc.put(n, n as u64)?;
+        Ok(StepOutcome::Done)
+    });
+    let t1 = tags.clone();
+    let feeder1 = std::thread::spawn(move || {
+        for i in 0..500 {
+            t1.put(i);
+        }
+    });
+    let t2 = tags.clone();
+    let feeder2 = std::thread::spawn(move || {
+        for i in 500..1000 {
+            t2.put(i);
+        }
+    });
+    feeder1.join().unwrap();
+    feeder2.join().unwrap();
+    g.wait().unwrap();
+    assert_eq!(out.len_ready(), 1000);
+}
+
+#[test]
+fn join_under_contention_returns_correct_values() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build();
+    // Many concurrent joins from scope tasks, each verifying its own pair.
+    pool.install(|| {
+        scope(|s| {
+            for i in 0u64..64 {
+                s.spawn(move |_| {
+                    let (a, b) = join(move || i * 2, move || i * 3);
+                    assert_eq!(a, i * 2);
+                    assert_eq!(b, i * 3);
+                });
+            }
+        });
+    });
+}

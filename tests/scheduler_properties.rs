@@ -1,0 +1,120 @@
+//! Property tests on the discrete-event scheduler: Brent's bound, work
+//! conservation and monotonicity over random DAGs.
+
+use proptest::prelude::*;
+use recdp_sim::{simulate, QueuePolicy, SimConfig};
+use recdp_taskgraph::{metrics, GraphBuilder, TaskKind};
+
+/// A random layered DAG: `layers` layers of up to `width` tasks, edges
+/// only forward (guaranteed acyclic), random weights.
+fn random_dag(
+    layers: usize,
+    width: usize,
+    edge_density: f64,
+    seed: u64,
+) -> recdp_taskgraph::TaskGraph {
+    // Deterministic xorshift so proptest shrinking stays meaningful.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut b = GraphBuilder::new();
+    let mut layer_nodes: Vec<Vec<u32>> = Vec::new();
+    for l in 0..layers {
+        let count = 1 + (next() as usize) % width;
+        let nodes: Vec<u32> = (0..count)
+            .map(|_| b.add_node(TaskKind::Tile, 1.0 + (next() % 100) as f64))
+            .collect();
+        if l > 0 {
+            for &n in &nodes {
+                for &p in &layer_nodes[l - 1] {
+                    if (next() % 1000) as f64 / 1000.0 < edge_density {
+                        b.add_edge(p, n);
+                    }
+                }
+            }
+        }
+        layer_nodes.push(nodes);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy scheduling with zero software overhead satisfies Brent:
+    /// `max(T1/P, Tinf) <= makespan <= T1/P + Tinf`.
+    #[test]
+    fn brent_bound(
+        layers in 1usize..8,
+        width in 1usize..10,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+        procs in 1usize..17,
+    ) {
+        let g = random_dag(layers, width, density, seed);
+        let m = metrics::analyze(&g);
+        let cfg = SimConfig { processors: procs, ns_per_flop: 1.0, per_task_ns: 0.0, join_ns: 0.0, policy: QueuePolicy::Fifo };
+        let r = simulate(&g, &cfg);
+        let lower = (m.work / procs as f64).max(m.span);
+        let upper = m.work / procs as f64 + m.span;
+        prop_assert!(r.makespan_ns >= lower - 1e-6, "{} < {lower}", r.makespan_ns);
+        prop_assert!(r.makespan_ns <= upper + 1e-6, "{} > {upper}", r.makespan_ns);
+    }
+
+    /// Busy time equals total work regardless of the schedule.
+    #[test]
+    fn work_conservation(
+        layers in 1usize..7,
+        width in 1usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+        procs in 1usize..9,
+    ) {
+        let g = random_dag(layers, width, density, seed);
+        let m = metrics::analyze(&g);
+        let cfg = SimConfig { processors: procs, ns_per_flop: 1.0, per_task_ns: 0.0, join_ns: 0.0, policy: QueuePolicy::Fifo };
+        let r = simulate(&g, &cfg);
+        prop_assert!((r.busy_ns - m.work).abs() < 1e-6);
+        prop_assert_eq!(r.compute_tasks, g.num_compute_nodes());
+        prop_assert!(r.utilization <= 1.0 + 1e-9);
+    }
+
+    /// More processors never hurt (greedy list scheduling on the same
+    /// arrival order is monotone here because ready tasks are dispatched
+    /// FIFO and durations are fixed).
+    #[test]
+    fn single_processor_equals_work(
+        layers in 1usize..7,
+        width in 1usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = random_dag(layers, width, density, seed);
+        let m = metrics::analyze(&g);
+        let cfg = SimConfig { processors: 1, ns_per_flop: 1.0, per_task_ns: 0.0, join_ns: 0.0, policy: QueuePolicy::Fifo };
+        let r = simulate(&g, &cfg);
+        prop_assert!((r.makespan_ns - m.work).abs() < 1e-6);
+    }
+
+    /// Span is a lower bound at any processor count, even with
+    /// unbounded parallelism.
+    #[test]
+    fn span_is_floor(
+        layers in 1usize..7,
+        width in 1usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = random_dag(layers, width, density, seed);
+        let m = metrics::analyze(&g);
+        let cfg =
+            SimConfig { processors: 4096, ns_per_flop: 1.0, per_task_ns: 0.0, join_ns: 0.0, policy: QueuePolicy::Fifo };
+        let r = simulate(&g, &cfg);
+        prop_assert!((r.makespan_ns - m.span).abs() < 1e-6,
+            "with unbounded P the makespan is exactly the span");
+    }
+}

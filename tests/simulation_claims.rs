@@ -1,0 +1,202 @@
+//! The paper's experimental claims, asserted against the simulation
+//! engine (the per-figure shape criteria of DESIGN.md).
+
+use recdp_suite::{dag_metrics, predict_seconds, Benchmark, FigurePanel, Model, Paradigm};
+use recdp_machine::{epyc64, skylake192};
+
+/// Abstract of the paper, sentence 1: "with a fixed computation
+/// resource, moving from small input to larger input, fork-join
+/// implementation of DP algorithms outperforms the corresponding
+/// data-flow implementation" (GE and FW).
+#[test]
+fn fixed_machine_growing_input_flips_to_forkjoin() {
+    let epyc = epyc64();
+    for benchmark in [Benchmark::Ge, Benchmark::Fw] {
+        let m = 128;
+        let small_cnc = predict_seconds(&epyc, benchmark, 2048, m, Paradigm::CncTuner);
+        let small_omp = predict_seconds(&epyc, benchmark, 2048, m, Paradigm::OpenMp);
+        assert!(
+            small_cnc < small_omp,
+            "{}: CnC must win the small problem ({small_cnc} vs {small_omp})",
+            benchmark.name()
+        );
+        let big_cnc = predict_seconds(&epyc, benchmark, 16384, m, Paradigm::CncNative);
+        let big_omp = predict_seconds(&epyc, benchmark, 16384, m, Paradigm::OpenMp);
+        assert!(
+            big_omp < big_cnc,
+            "{}: OpenMP must win the big problem ({big_omp} vs {big_cnc})",
+            benchmark.name()
+        );
+    }
+}
+
+/// Abstract, sentence 2: "for a fixed size problem, moving the
+/// computation to a compute node with a larger number of cores,
+/// data-flow implementation outperforms".
+#[test]
+fn fixed_problem_more_cores_flips_to_dataflow() {
+    let (epyc, sky) = (epyc64(), skylake192());
+    // GE 8K/64: the EPYC gap (OpenMP ahead or tied) must reverse into a
+    // clear CnC win on the 192-core machine.
+    let gap = |machine: &recdp_machine::MachineConfig| {
+        let cnc = predict_seconds(machine, Benchmark::Ge, 8192, 64, Paradigm::CncTuner);
+        let omp = predict_seconds(machine, Benchmark::Ge, 8192, 64, Paradigm::OpenMp);
+        omp / cnc // > 1 means CnC ahead
+    };
+    let epyc_gap = gap(&epyc);
+    let sky_gap = gap(&sky);
+    assert!(
+        sky_gap > epyc_gap,
+        "more cores must favour data-flow: {sky_gap} vs {epyc_gap}"
+    );
+    assert!(sky_gap > 1.0, "on 192 cores CnC must be ahead outright");
+}
+
+/// Sec. IV: "for GE and FW ... the issue of artificial dependencies are
+/// so problematic [for SW] that even for bigger problem sizes, still
+/// data-flow implementation outperforms."
+#[test]
+fn sw_dataflow_wins_at_every_problem_size() {
+    for machine in [epyc64(), skylake192()] {
+        for n in [2048usize, 4096, 8192, 16384] {
+            let cnc = predict_seconds(&machine, Benchmark::Sw, n, 128, Paradigm::CncNative);
+            let omp = predict_seconds(&machine, Benchmark::Sw, n, 128, Paradigm::OpenMp);
+            assert!(cnc < omp, "SW n={n} on {}: {cnc} vs {omp}", machine.name);
+        }
+    }
+}
+
+/// Sec. IV: "R-DP data-flow programs incur large runtime overheads on
+/// small block sizes" — the CnC curves must rise again at tiny bases,
+/// and Manual-CnC (per-task pre-declaration) must be the worst CnC
+/// variant there.
+#[test]
+fn small_blocks_penalise_dataflow_overheads() {
+    let sky = skylake192();
+    let tiny = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncNative);
+    let sweet = predict_seconds(&sky, Benchmark::Ge, 2048, 64, Paradigm::CncNative);
+    assert!(tiny > 1.5 * sweet, "tiny bases must pay runtime overheads: {tiny} vs {sweet}");
+    let manual = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncManual);
+    let tuner = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncTuner);
+    assert!(manual > tuner, "Manual pre-declaration dominates at tiny tasks");
+}
+
+/// Sec. IV: "large base case sizes reduce potential run-time task
+/// scheduling options" — every series deteriorates toward the largest
+/// bases (the right side of every panel in Figs. 4-9).
+#[test]
+fn huge_bases_hurt_everyone() {
+    let epyc = epyc64();
+    for paradigm in Paradigm::EXECUTABLE {
+        let mid = predict_seconds(&epyc, Benchmark::Ge, 8192, 256, paradigm);
+        let huge = predict_seconds(&epyc, Benchmark::Ge, 8192, 2048, paradigm);
+        assert!(huge > 2.0 * mid, "{}: {huge} vs {mid}", paradigm.label());
+    }
+}
+
+/// Sec. IV: "Best running time is achieved with block size of 128 and
+/// 256" — the optimum must fall in the small-to-mid range, never at the
+/// extremes of the sweep.
+#[test]
+fn best_base_is_interior() {
+    let bases = [64usize, 128, 256, 512, 1024, 2048];
+    for machine in [epyc64(), skylake192()] {
+        let panel = FigurePanel::compute(
+            &machine,
+            Benchmark::Ge,
+            8192,
+            &bases,
+            &[Paradigm::CncTuner, Paradigm::OpenMp],
+        );
+        for series in ["CnC_tuner", "OpenMP"] {
+            let best = panel.best_base(series).unwrap();
+            assert!(
+                best <= 256,
+                "{series} on {}: best base {best} should be small-to-mid",
+                machine.name
+            );
+        }
+    }
+}
+
+/// The structural root cause: the fork-join span exceeds the data-flow
+/// span and the ratio grows with the tile count, for all benchmarks.
+#[test]
+fn span_inflation_grows() {
+    for benchmark in Benchmark::ALL {
+        let r8 = {
+            let fj = dag_metrics(benchmark, Model::ForkJoin, 8, 64);
+            let df = dag_metrics(benchmark, Model::DataFlow, 8, 64);
+            fj.span / df.span
+        };
+        let r64 = {
+            let fj = dag_metrics(benchmark, Model::ForkJoin, 64, 64);
+            let df = dag_metrics(benchmark, Model::DataFlow, 64, 64);
+            fj.span / df.span
+        };
+        assert!(r8 > 1.0 && r64 > r8, "{}: {r8} -> {r64}", benchmark.name());
+    }
+}
+
+/// The analytical model must stay an *upper-bound-flavoured* estimate:
+/// above the simulated best case at cache-friendly bases (it assumes
+/// maximum misses) yet within two orders of magnitude.
+#[test]
+fn estimated_series_is_a_sane_envelope() {
+    let epyc = epyc64();
+    for n in [2048usize, 8192] {
+        let est = predict_seconds(&epyc, Benchmark::Ge, n, 128, Paradigm::Estimated);
+        let best = Paradigm::EXECUTABLE
+            .iter()
+            .map(|&p| predict_seconds(&epyc, Benchmark::Ge, n, 128, p))
+            .fold(f64::INFINITY, f64::min);
+        assert!(est > best, "n={n}: estimate {est} vs best {best}");
+        assert!(est < 100.0 * best, "n={n}: estimate {est} not absurd vs {best}");
+    }
+}
+
+/// The practical face of span inflation: worker utilisation. On a small
+/// problem with many cores, the fork-join schedule leaves workers idle
+/// (the paper's "resource underutilization") where the data-flow
+/// schedule keeps them busier.
+#[test]
+fn forkjoin_utilization_suffers_on_small_problems() {
+    use recdp_machine::ParadigmOverheads;
+    use recdp_sim::{config_for, simulate_with_timeline, Workload};
+    use recdp_suite::dag;
+
+    let sky = skylake192();
+    let t = 16; // a 2K problem at base 128
+    let fj_graph = dag(Benchmark::Ge, Model::ForkJoin, t, 128);
+    let df_graph = dag(Benchmark::Ge, Model::DataFlow, t, 128);
+    let fj_cfg =
+        config_for(&sky, &ParadigmOverheads::fork_join(), Workload::Ge, 128, 192);
+    let df_cfg =
+        config_for(&sky, &ParadigmOverheads::cnc_tuner(), Workload::Ge, 128, 192);
+    let (fj, fj_tl) = simulate_with_timeline(&fj_graph, &fj_cfg, 16);
+    let (df, df_tl) = simulate_with_timeline(&df_graph, &df_cfg, 16);
+    assert!(
+        df.utilization > 2.0 * fj.utilization,
+        "data-flow must keep 192 cores much busier: {} vs {}",
+        df.utilization,
+        fj.utilization
+    );
+    // Timelines are consistent with the aggregates.
+    let mean = |tl: &[f64]| tl.iter().sum::<f64>() / tl.len() as f64;
+    assert!((mean(&fj_tl) - fj.utilization).abs() < 1e-9);
+    assert!((mean(&df_tl) - df.utilization).abs() < 1e-9);
+}
+
+/// EXTRA from the paper's intro: parametric r-way recursion interpolates
+/// between the 2-way fork-join structure and the true-dependency width.
+#[test]
+fn rway_interpolates_between_models() {
+    use recdp_taskgraph::{ge_kernel_flops, metrics::analyze, rway};
+    let f = ge_kernel_flops(64);
+    let t = 16;
+    let s2 = analyze(&rway::ge(t, 2, &f)).span;
+    let s16 = analyze(&rway::ge(t, 16, &f)).span;
+    let df = dag_metrics(Benchmark::Ge, Model::DataFlow, t, 64).span;
+    assert!(s16 < s2, "wider radix cuts artificial span: {s16} < {s2}");
+    assert!(s16 >= df - 1e-9, "but never below the true dependencies");
+}
