@@ -1,0 +1,81 @@
+//! The fault-injection hook of the CnC runtime.
+//!
+//! A [`FaultInjector`] installed on a graph with
+//! [`crate::CncGraph::set_fault_injector`] is consulted at two points:
+//!
+//! * **before every step-body execution** — it may delay the step or make
+//!   it fail (transiently or permanently) *before the body runs*. Because
+//!   no gets or puts have happened yet, a transiently-failed execution is
+//!   trivially idempotent: the retry re-runs the body from scratch and the
+//!   graph's result is bit-identical to a fault-free run.
+//! * **on every item put** — it may delay the put or drop it entirely
+//!   (the item is never delivered; consumers park forever and surface in
+//!   the deadlock diagnostic).
+//!
+//! Decisions are keyed by a [`FaultSite`] / collection + key hash, so an
+//! injector driven by a seeded hash (see the `recdp-faults` crate) makes
+//! the same decisions regardless of thread interleaving — chaos runs are
+//! replayable from a single seed.
+
+use std::time::Duration;
+
+/// Identifies one step-body execution for fault decisions. Stable across
+/// interleavings: the same (step, tag, attempt) always yields the same
+/// site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// Name of the step collection.
+    pub step: &'static str,
+    /// Deterministic hash of the prescribing tag value.
+    pub tag_hash: u64,
+    /// 1-based retry attempt (blocked-get re-executions do *not* advance
+    /// it — their count depends on timing, which would break replay).
+    pub attempt: u32,
+}
+
+/// What to do to a step-body execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FaultAction {
+    /// Execute normally.
+    #[default]
+    None,
+    /// Sleep on the worker first (a slow task), then execute.
+    Delay(Duration),
+    /// Fail the execution with a transient [`crate::StepFailure`] before
+    /// the body runs (eligible for the graph's retry policy).
+    FailTransient(String),
+    /// Fail the execution permanently before the body runs (aborts the
+    /// graph).
+    FailPermanent(String),
+}
+
+/// What to do to an item put.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PutAction {
+    /// Deliver normally.
+    #[default]
+    Deliver,
+    /// Sleep on the putting thread first, then deliver.
+    Delay(Duration),
+    /// Silently discard the put: the item is never delivered and parked
+    /// consumers stay blocked (visible in the deadlock diagnostic).
+    Drop,
+}
+
+/// A source of injected faults. Implementations must be deterministic in
+/// their inputs (site / collection + key hash) for chaos runs to be
+/// replayable.
+pub trait FaultInjector: Send + Sync {
+    /// Consulted before each step-body execution.
+    fn before_step(&self, site: &FaultSite) -> FaultAction {
+        let _ = site;
+        FaultAction::None
+    }
+
+    /// Consulted before each item put. `key_hash` is a deterministic hash
+    /// of the item key.
+    fn on_put(&self, collection: &'static str, key_hash: u64) -> PutAction {
+        let _ = (collection, key_hash);
+        PutAction::Deliver
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -10,7 +11,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::{CncError, StepAbort};
-use crate::runtime::{Countdown, RuntimeCore, StepScope};
+use crate::fault::PutAction;
+use crate::runtime::{Countdown, ProbeWait, RuntimeCore, StepScope};
 
 const SHARDS: usize = 16;
 
@@ -47,13 +49,36 @@ impl<K, V> Clone for ItemCollection<K, V> {
 
 impl<K, V> ItemCollection<K, V>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Debug + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
         core.spec.lock().push(format!("[{name}];"));
         let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
-        Self { inner: Arc::new(ItemInner { name, core, shards }) }
+        let inner = Arc::new(ItemInner { name, core, shards });
+        // Deadlock diagnostics: let the runtime scan this collection for
+        // parked waiters. The probe holds the collection weakly — the
+        // collection owns the core, never the reverse.
+        let weak = Arc::downgrade(&inner);
+        inner.core.register_diag_probe(Box::new(move |out: &mut Vec<ProbeWait>| {
+            let Some(inner) = weak.upgrade() else { return };
+            for shard in &inner.shards {
+                let map = shard.lock();
+                for (key, entry) in map.iter() {
+                    if let Entry::Waiting(waiters) = entry {
+                        for w in waiters {
+                            out.push(ProbeWait {
+                                instance: w.instance_id(),
+                                step: w.step_name(),
+                                collection: inner.name,
+                                key: format!("{key:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }));
+        Self { inner }
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, Entry<V>>> {
@@ -73,13 +98,29 @@ where
     /// the graph) if the key was already put — the dynamic check the
     /// Intel C++ runtime performs.
     pub fn put(&self, key: K, value: V) -> Result<(), CncError> {
+        // Fault hook: an installed injector may delay this put or drop it
+        // outright (the item is never delivered — parked consumers stay
+        // blocked and show up in the deadlock diagnostic).
+        if let Some(injector) = self.inner.core.injector() {
+            match injector.on_put(self.inner.name, key_hash(&key)) {
+                PutAction::Deliver => {}
+                PutAction::Delay(d) => {
+                    self.inner.core.count_injected_fault();
+                    std::thread::sleep(d);
+                }
+                PutAction::Drop => {
+                    self.inner.core.count_injected_fault();
+                    return Ok(());
+                }
+            }
+        }
         let waiters = {
             let mut map = self.shard(&key).lock();
             match map.get_mut(&key) {
                 Some(Entry::Ready(_)) => {
                     let err = CncError::SingleAssignmentViolation {
                         collection: self.inner.name,
-                        key: format!("{:?}", ShardKeyDebug(&key)),
+                        key: format!("{key:?}"),
                     };
                     self.inner.core.record_error(err.clone());
                     return Err(err);
@@ -194,18 +235,13 @@ where
     }
 }
 
-/// Renders a key through its hash when `K: Debug` is unavailable; used
-/// only in the duplicate-put diagnostic. Keys that implement `Debug`
-/// would be nicer, but requiring `Debug` on every key type is a heavier
-/// bound than the runtime needs.
-struct ShardKeyDebug<'a, K>(&'a K);
-
-impl<K: Hash> std::fmt::Debug for ShardKeyDebug<'_, K> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut h = DefaultHasher::new();
-        self.0.hash(&mut h);
-        write!(f, "#<key hash {:016x}>", h.finish())
-    }
+/// Deterministic key hash handed to the fault hook: `DefaultHasher::new`
+/// uses fixed keys, so the same item key yields the same hash in every
+/// run — required for replayable seeded fault plans.
+fn key_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]

@@ -58,14 +58,18 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod item;
 mod runtime;
 mod stats;
 mod tag;
 
-pub use error::{CncError, StepAbort};
+pub use error::{
+    BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure,
+};
+pub use fault::{FaultAction, FaultInjector, FaultSite, PutAction};
 pub use item::ItemCollection;
-pub use runtime::{CncGraph, DepSet, StepScope};
+pub use runtime::{CancelToken, CncGraph, DepSet, RetryPolicy, StepScope};
 pub use stats::GraphStats;
 pub use tag::TagCollection;
 

@@ -1,18 +1,76 @@
-//! The graph runtime: instance scheduling, quiescence, deadlock
-//! detection, and the pre-scheduling (tuner) machinery.
+//! The graph runtime: instance scheduling, quiescence, deadline/
+//! cancellation handling, retry policies, deadlock diagnostics, and the
+//! pre-scheduling (tuner) machinery.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
 
-use crate::error::{CncError, StepAbort};
+use crate::error::{
+    BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure,
+};
+use crate::fault::{FaultAction, FaultInjector, FaultSite};
 use crate::item::ItemCollection;
 use crate::stats::{GraphStats, StatCounters};
 use crate::tag::TagCollection;
 use crate::StepResult;
+
+/// Bounded re-execution budget for *transient* step failures (injected
+/// chaos faults, lost messages). The default is one attempt: transient
+/// failures abort the graph like permanent ones unless the environment
+/// opts into retries with [`CncGraph::set_retry_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions allowed per instance (initial run + retries).
+    /// Must be at least 1.
+    pub max_attempts: u32,
+    /// Base backoff slept on the worker before a retry; the n-th retry
+    /// waits `backoff * n` (linear backoff). Zero disables waiting.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// `max_attempts` executions with no backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts, backoff: Duration::ZERO }
+    }
+
+    /// Sets the base backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+/// A handle for cancelling a running graph from the environment (another
+/// thread, a signal handler, a watchdog). Cheap to clone; holds the
+/// runtime weakly, so it never keeps a dropped graph alive.
+#[derive(Clone)]
+pub struct CancelToken {
+    core: Weak<RuntimeCore>,
+}
+
+impl CancelToken {
+    /// Cancels the graph: queued instances drain without executing and
+    /// every current and future `wait` returns
+    /// [`CncError::Cancelled`]. No-op if the graph already finished,
+    /// failed, or was dropped (the first recorded error wins).
+    pub fn cancel(&self, reason: impl Into<String>) {
+        if let Some(core) = self.core.upgrade() {
+            core.record_error(CncError::Cancelled { reason: reason.into() });
+        }
+    }
+}
 
 /// A CnC graph: the factory for collections and the home of the runtime
 /// (thread pool, quiescence tracking, statistics).
@@ -48,6 +106,10 @@ impl CncGraph {
             quiesce_mutex: Mutex::new(()),
             quiesce_cond: Condvar::new(),
             error: Mutex::new(None),
+            retry_policy: Mutex::new(RetryPolicy::default()),
+            deadline: Mutex::new(None),
+            fault_injector: RwLock::new(None),
+            diag_probes: Mutex::new(Vec::new()),
             stats: StatCounters::default(),
         });
         CncGraph { pool, core }
@@ -57,7 +119,7 @@ impl CncGraph {
     /// container) named `name` (names are for diagnostics only).
     pub fn item_collection<K, V>(&self, name: &'static str) -> ItemCollection<K, V>
     where
-        K: std::hash::Hash + Eq + Clone + Send + Sync + 'static,
+        K: std::hash::Hash + Eq + Clone + std::fmt::Debug + Send + Sync + 'static,
         V: Clone + Send + Sync + 'static,
     {
         ItemCollection::new(name, Arc::clone(&self.core))
@@ -68,19 +130,70 @@ impl CncGraph {
     /// [`TagCollection::put`].
     pub fn tag_collection<T>(&self, name: &'static str) -> TagCollection<T>
     where
-        T: Clone + Send + Sync + 'static,
+        T: std::hash::Hash + Clone + Send + Sync + 'static,
     {
         TagCollection::new(name, Arc::clone(&self.core))
     }
 
+    /// Sets the retry budget for transient step failures (see
+    /// [`RetryPolicy`]). Applies to executions dispatched after the call.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "RetryPolicy::max_attempts must be >= 1");
+        *self.core.retry_policy.lock() = policy;
+    }
+
+    /// Arms a deadline that every subsequent [`CncGraph::wait`] respects
+    /// (measured from the moment `wait` is entered). Lets code that calls
+    /// `wait` internally — e.g. the kernel drivers — inherit a timeout
+    /// configured by the environment.
+    pub fn set_deadline(&self, deadline: Duration) {
+        *self.core.deadline.lock() = Some(deadline);
+    }
+
+    /// Installs a fault injector consulted before every step-body
+    /// execution and item put (see [`crate::FaultInjector`]). Install it
+    /// before putting tags; replacing it mid-flight affects only
+    /// executions dispatched afterwards.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        *self.core.fault_injector.write() = Some(injector);
+    }
+
+    /// A token for cancelling this graph from the environment.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken { core: Arc::downgrade(&self.core) }
+    }
+
     /// Blocks until the graph quiesces: no step instance is queued or
     /// running. Returns the execution statistics, or the first recorded
-    /// error — including [`CncError::Deadlock`] if instances are still
-    /// parked on items that will never be put.
+    /// error — including [`CncError::Deadlock`] (with a wait-for
+    /// diagnostic naming each parked step and missing item) if instances
+    /// are still parked on items that will never be put. Respects a
+    /// deadline armed with [`CncGraph::set_deadline`].
     ///
-    /// Call this after the environment has finished its puts; concurrent
-    /// environment puts during `wait` may race the deadlock check.
+    /// A deadlock verdict is *not* sticky: it is re-derived on every
+    /// call, so an environment put made after a `Deadlock` return
+    /// unparks the consumers and a later `wait` can succeed.
+    ///
+    /// Call this after the environment has finished its puts. The
+    /// deadlock check double-reads the pending counter to tolerate an
+    /// environment put racing the check (the resume protocol makes the
+    /// instance visible as pending before it leaves the blocked count),
+    /// but a put that arrives entirely after the verdict still yields a
+    /// stale `Deadlock` — retry `wait` in that case.
     pub fn wait(&self) -> Result<GraphStats, CncError> {
+        let deadline = *self.core.deadline.lock();
+        self.wait_inner(deadline)
+    }
+
+    /// [`CncGraph::wait`] with an explicit deadline: if the graph has not
+    /// quiesced within `deadline`, records [`CncError::Timeout`] (further
+    /// queued instances drain without executing) and returns it.
+    pub fn wait_deadline(&self, deadline: Duration) -> Result<GraphStats, CncError> {
+        self.wait_inner(Some(deadline))
+    }
+
+    fn wait_inner(&self, deadline: Option<Duration>) -> Result<GraphStats, CncError> {
+        let expires_at = deadline.map(|d| Instant::now() + d);
         let mut guard = self.core.quiesce_mutex.lock();
         loop {
             if let Some(err) = self.core.error.lock().clone() {
@@ -89,11 +202,62 @@ impl CncGraph {
             if self.core.pending.load(Ordering::Acquire) == 0 {
                 let blocked = self.core.blocked.load(Ordering::Acquire);
                 if blocked == 0 {
-                    return Ok(self.core.stats.snapshot());
+                    // Re-check pending: a blocked->pending resume
+                    // increments pending before decrementing blocked, so
+                    // observing blocked == 0 here with pending == 0 means
+                    // no resume is in flight.
+                    if self.core.pending.load(Ordering::Acquire) == 0 {
+                        return Ok(self.core.stats.snapshot());
+                    }
+                    continue;
                 }
-                return Err(CncError::Deadlock { blocked_instances: blocked });
+                // Candidate deadlock. Drop the quiescence lock before
+                // scanning collections (probes take shard locks, and
+                // put paths take shard locks before the quiescence
+                // lock — holding both here would invert that order).
+                drop(guard);
+                let diagnostic = self.core.deadlock_diagnostic();
+                // Confirm the stall survived the scan; if an
+                // environment put resumed someone meanwhile, loop.
+                let still_blocked = self.core.blocked.load(Ordering::Acquire);
+                if self.core.pending.load(Ordering::Acquire) == 0
+                    && still_blocked > 0
+                    && self.core.error.lock().is_none()
+                {
+                    return Err(CncError::Deadlock {
+                        blocked_instances: still_blocked,
+                        diagnostic,
+                    });
+                }
+                guard = self.core.quiesce_mutex.lock();
+                continue;
             }
-            self.core.quiesce_cond.wait(&mut guard);
+            match expires_at {
+                None => self.core.quiesce_cond.wait(&mut guard),
+                Some(at) => {
+                    if self.core.quiesce_cond.wait_until(&mut guard, at).timed_out() {
+                        // One final look before declaring the timeout:
+                        // the graph may have quiesced (or failed) right
+                        // at the wire.
+                        if let Some(err) = self.core.error.lock().clone() {
+                            return Err(err);
+                        }
+                        let pending = self.core.pending.load(Ordering::Acquire);
+                        let blocked = self.core.blocked.load(Ordering::Acquire);
+                        if pending == 0 && blocked == 0 {
+                            return Ok(self.core.stats.snapshot());
+                        }
+                        drop(guard);
+                        let err = CncError::Timeout {
+                            deadline: deadline.expect("timed out without a deadline"),
+                            pending,
+                            blocked,
+                        };
+                        self.core.record_error(err.clone());
+                        return Err(err);
+                    }
+                }
+            }
         }
     }
 
@@ -136,6 +300,18 @@ impl Default for CncGraph {
     }
 }
 
+/// One parked dependency reported by a collection's diagnostic probe.
+pub(crate) struct ProbeWait {
+    /// Identity of the parked instance (stable per instance across its
+    /// countdowns, so multi-item waits group correctly).
+    pub(crate) instance: usize,
+    pub(crate) step: &'static str,
+    pub(crate) collection: &'static str,
+    pub(crate) key: String,
+}
+
+pub(crate) type DiagProbe = Box<dyn Fn(&mut Vec<ProbeWait>) + Send + Sync>;
+
 /// Shared runtime state. Step instances hold `Arc<RuntimeCore>`; the pool
 /// is held weakly so the graph owner controls its lifetime (dropping the
 /// graph mid-flight discards still-queued instances).
@@ -151,6 +327,13 @@ pub(crate) struct RuntimeCore {
     quiesce_mutex: Mutex<()>,
     quiesce_cond: Condvar,
     error: Mutex<Option<CncError>>,
+    retry_policy: Mutex<RetryPolicy>,
+    deadline: Mutex<Option<Duration>>,
+    fault_injector: RwLock<Option<Arc<dyn FaultInjector>>>,
+    /// One probe per item collection, each scanning its shards for
+    /// parked waiters (held weakly inside the closures — collections own
+    /// the core, not the reverse).
+    diag_probes: Mutex<Vec<DiagProbe>>,
     pub(crate) stats: StatCounters,
 }
 
@@ -165,6 +348,29 @@ impl RuntimeCore {
 
     pub(crate) fn error_pending(&self) -> bool {
         self.error.lock().is_some()
+    }
+
+    pub(crate) fn register_diag_probe(&self, probe: DiagProbe) {
+        self.diag_probes.lock().push(probe);
+    }
+
+    /// The installed fault injector, if any (for item-put interception).
+    pub(crate) fn injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.fault_injector.read().clone()
+    }
+
+    pub(crate) fn count_injected_fault(&self) {
+        self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scans every collection for parked waiters and assembles the
+    /// wait-for diagnostic. Called without the quiescence lock held.
+    fn deadlock_diagnostic(&self) -> DeadlockDiagnostic {
+        let mut raw: Vec<ProbeWait> = Vec::new();
+        for probe in self.diag_probes.lock().iter() {
+            probe(&mut raw);
+        }
+        build_diagnostic(raw)
     }
 
     fn notify_quiescence(&self) {
@@ -200,11 +406,134 @@ impl RuntimeCore {
     }
 }
 
+/// Builds the user-facing diagnostic from the raw probe output: a sorted
+/// wait list plus the longest alternating instance/item path through
+/// shared missing items.
+fn build_diagnostic(raw: Vec<ProbeWait>) -> DeadlockDiagnostic {
+    let mut waits: Vec<BlockedWait> = raw
+        .iter()
+        .map(|w| BlockedWait { step: w.step, collection: w.collection, key: w.key.clone() })
+        .collect();
+    waits.sort_by(|a, b| {
+        (a.step, a.collection, &a.key).cmp(&(b.step, b.collection, &b.key))
+    });
+    waits.dedup();
+    DeadlockDiagnostic { longest_chain: longest_chain(&raw), waits }
+}
+
+/// Longest simple alternating path in the bipartite instance/item
+/// wait-for graph, rendered as display strings. Budgeted DFS: the exact
+/// longest path is exponential in the worst case, so exploration stops
+/// after a fixed number of extensions and reports the best path found.
+fn longest_chain(raw: &[ProbeWait]) -> Vec<String> {
+    use std::collections::HashMap;
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    // Index instances and items.
+    let mut inst_ids: HashMap<usize, usize> = HashMap::new();
+    let mut inst_label: Vec<String> = Vec::new();
+    let mut item_ids: HashMap<(&'static str, &str), usize> = HashMap::new();
+    let mut item_label: Vec<String> = Vec::new();
+    let mut inst_edges: Vec<Vec<usize>> = Vec::new();
+    let mut item_edges: Vec<Vec<usize>> = Vec::new();
+    for w in raw {
+        let ii = *inst_ids.entry(w.instance).or_insert_with(|| {
+            inst_label.push(format!("({})", w.step));
+            inst_edges.push(Vec::new());
+            inst_label.len() - 1
+        });
+        let ki = *item_ids.entry((w.collection, w.key.as_str())).or_insert_with(|| {
+            item_label.push(format!("[{}] {}", w.collection, w.key));
+            item_edges.push(Vec::new());
+            item_label.len() - 1
+        });
+        inst_edges[ii].push(ki);
+        item_edges[ki].push(ii);
+    }
+
+    struct Dfs<'a> {
+        inst_edges: &'a [Vec<usize>],
+        item_edges: &'a [Vec<usize>],
+        inst_seen: Vec<bool>,
+        item_seen: Vec<bool>,
+        budget: usize,
+        best: Vec<(bool, usize)>,
+        path: Vec<(bool, usize)>,
+    }
+    impl Dfs<'_> {
+        fn visit_inst(&mut self, i: usize) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            self.inst_seen[i] = true;
+            self.path.push((true, i));
+            if self.path.len() > self.best.len() {
+                self.best = self.path.clone();
+            }
+            for &k in &self.inst_edges[i] {
+                if !self.item_seen[k] {
+                    self.visit_item(k);
+                }
+            }
+            self.path.pop();
+            self.inst_seen[i] = false;
+        }
+        fn visit_item(&mut self, k: usize) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            self.item_seen[k] = true;
+            self.path.push((false, k));
+            if self.path.len() > self.best.len() {
+                self.best = self.path.clone();
+            }
+            for &i in &self.item_edges[k] {
+                if !self.inst_seen[i] {
+                    self.visit_inst(i);
+                }
+            }
+            self.path.pop();
+            self.item_seen[k] = false;
+        }
+    }
+    let mut dfs = Dfs {
+        inst_edges: &inst_edges,
+        item_edges: &item_edges,
+        inst_seen: vec![false; inst_edges.len()],
+        item_seen: vec![false; item_edges.len()],
+        budget: 4096,
+        best: Vec::new(),
+        path: Vec::new(),
+    };
+    for i in 0..inst_edges.len() {
+        dfs.visit_inst(i);
+    }
+    dfs.best
+        .iter()
+        .map(|&(is_inst, idx)| {
+            if is_inst {
+                inst_label[idx].clone()
+            } else {
+                item_label[idx].clone()
+            }
+        })
+        .collect()
+}
+
 /// One step instance: a prescribed step body bound to a tag value.
 /// Re-executed from scratch (abort-and-retry) each time it is resumed.
 pub(crate) struct InstanceTask {
     core: Arc<RuntimeCore>,
     step_name: &'static str,
+    /// Deterministic hash of the prescribing tag (fault-site identity).
+    tag_hash: u64,
+    /// Transient-failure retries taken so far. Blocked-get re-executions
+    /// do not advance it: their count depends on timing and would make
+    /// seeded fault decisions interleaving-dependent.
+    attempts: AtomicU32,
     exec: Box<dyn Fn(&StepScope) -> StepResult + Send + Sync>,
 }
 
@@ -212,9 +541,16 @@ impl InstanceTask {
     pub(crate) fn new(
         core: Arc<RuntimeCore>,
         step_name: &'static str,
+        tag_hash: u64,
         exec: Box<dyn Fn(&StepScope) -> StepResult + Send + Sync>,
     ) -> Arc<Self> {
-        Arc::new(InstanceTask { core, step_name, exec })
+        Arc::new(InstanceTask {
+            core,
+            step_name,
+            tag_hash,
+            attempts: AtomicU32::new(0),
+            exec,
+        })
     }
 
     /// Schedules this instance for (re-)execution.
@@ -229,17 +565,29 @@ impl InstanceTask {
         core.enqueue(Arc::clone(self), true);
     }
 
+    pub(crate) fn step_name(&self) -> &'static str {
+        self.step_name
+    }
+
     fn run(self: Arc<Self>) {
-        // Fail-fast: once the graph recorded an error, drain without
-        // executing bodies.
+        // Fail-fast: once the graph recorded an error (failure,
+        // cancellation, timeout), drain without executing bodies.
         if self.core.error_pending() {
             self.core.finish_one();
             return;
         }
         self.core.stats.steps_started.fetch_add(1, Ordering::Relaxed);
         let scope = StepScope { task: &self, waiter: RefCell::new(None) };
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.exec)(&scope)));
+        // Consult the fault injector *before* the body runs: a failed
+        // execution has performed no gets or puts, so retrying it is
+        // trivially idempotent and the graph's output stays bit-identical
+        // to a fault-free run.
+        let outcome = match self.consult_injector() {
+            Some(abort) => Ok(Err(abort)),
+            None => {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.exec)(&scope)))
+            }
+        };
         let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
         match outcome {
             Ok(Ok(_)) => {
@@ -248,11 +596,8 @@ impl InstanceTask {
             Ok(Err(StepAbort::Blocked)) => {
                 self.core.stats.steps_requeued.fetch_add(1, Ordering::Relaxed);
             }
-            Ok(Err(StepAbort::Failed(msg))) => {
-                self.core.record_error(CncError::StepFailed(format!(
-                    "[{}]: {msg}",
-                    self.step_name
-                )));
+            Ok(Err(StepAbort::Failed(failure))) => {
+                self.handle_failure(failure);
             }
             Err(panic) => {
                 let msg = panic_message(&*panic);
@@ -270,14 +615,85 @@ impl InstanceTask {
         // contract violation instead.
         if let Some(waiter) = scope.waiter.borrow_mut().take() {
             if !blocked_outcome {
-                self.core.record_error(CncError::StepFailed(format!(
-                    "[{}]: step returned without propagating a failed blocking get                      (propagate StepAbort::Blocked with `?`)",
-                    self.step_name
-                )));
+                self.core.record_error(CncError::StepFailed {
+                    step: self.step_name,
+                    failure: StepFailure::permanent(
+                        "step returned without propagating a failed blocking get \
+                         (propagate StepAbort::Blocked with `?`)",
+                    ),
+                });
             }
             waiter.fire();
         }
         self.core.finish_one();
+    }
+
+    /// Asks the installed injector what to do with this execution.
+    fn consult_injector(&self) -> Option<StepAbort> {
+        let injector = self.core.injector()?;
+        let site = FaultSite {
+            step: self.step_name,
+            tag_hash: self.tag_hash,
+            attempt: self.attempts.load(Ordering::Relaxed) + 1,
+        };
+        match injector.before_step(&site) {
+            FaultAction::None => None,
+            FaultAction::Delay(d) => {
+                self.core.count_injected_fault();
+                std::thread::sleep(d);
+                None
+            }
+            FaultAction::FailTransient(msg) => {
+                self.core.count_injected_fault();
+                Some(StepAbort::transient(msg))
+            }
+            FaultAction::FailPermanent(msg) => {
+                self.core.count_injected_fault();
+                Some(StepAbort::permanent(msg))
+            }
+        }
+    }
+
+    /// Routes a structured failure: transient failures consume the retry
+    /// budget and re-execute; permanent ones (and exhausted budgets)
+    /// abort the graph with a structured error.
+    fn handle_failure(self: &Arc<Self>, failure: StepFailure) {
+        if failure.kind == FailureKind::Permanent {
+            self.core
+                .record_error(CncError::StepFailed { step: self.step_name, failure });
+            return;
+        }
+        let policy = *self.core.retry_policy.lock();
+        let attempts = self.attempts.fetch_add(1, Ordering::AcqRel) + 1;
+        if attempts < policy.max_attempts {
+            self.core.stats.steps_retried.fetch_add(1, Ordering::Relaxed);
+            let backoff = policy
+                .backoff
+                .checked_mul(attempts)
+                .unwrap_or(policy.backoff);
+            if !backoff.is_zero() {
+                // Linear backoff, slept on the worker: this occupies a
+                // pool thread, which is exactly the resilience overhead
+                // the ablations measure.
+                std::thread::sleep(backoff);
+            }
+            // Fair re-enqueue (global injector): the pending slot is
+            // claimed before this execution retires below, so quiescence
+            // can never slip through between failure and retry.
+            let core = Arc::clone(&self.core);
+            core.enqueue(Arc::clone(self), true);
+        } else if policy.max_attempts > 1 {
+            self.core.record_error(CncError::RetryExhausted {
+                step: self.step_name,
+                attempts,
+                failure,
+            });
+        } else {
+            // No retry budget configured: a transient failure aborts the
+            // graph just like a permanent one.
+            self.core
+                .record_error(CncError::StepFailed { step: self.step_name, failure });
+        }
     }
 }
 
@@ -340,6 +756,18 @@ impl Countdown {
         debug_assert!(prev > 0, "countdown add after release");
     }
 
+    /// Name of the parked step collection (deadlock diagnostics).
+    pub(crate) fn step_name(&self) -> &'static str {
+        self.task.step_name()
+    }
+
+    /// Identity of the parked instance: stable across the instance's
+    /// countdowns, so a multi-item wait groups under one node in the
+    /// wait-for graph.
+    pub(crate) fn instance_id(&self) -> usize {
+        Arc::as_ptr(&self.task) as usize
+    }
+
     /// Releases one token; at zero, the instance is unparked and
     /// re-enqueued. The blocked -> pending transfer increments `pending`
     /// *before* decrementing `blocked`, so no observer can catch both
@@ -355,11 +783,6 @@ impl Countdown {
     }
 }
 
-/// A declared dependency set for pre-scheduled instances — the tuner
-/// mechanism of Sec. III-D. Build one with [`DepSet::item`] calls, then
-/// pass it to [`TagCollection::put_when`]: the prescribed step will only
-/// be dispatched once every listed item exists, eliminating Native-CnC's
-/// abort-and-retry re-executions.
 /// A single dependency probe: registers a countdown if its item is
 /// still missing.
 type DepProbe = Box<dyn Fn(&Arc<Countdown>) + Send + Sync>;
@@ -383,7 +806,7 @@ impl DepSet {
     /// Adds "item `key` of `collection` must exist" to the set.
     pub fn item<K, V>(mut self, collection: &ItemCollection<K, V>, key: K) -> Self
     where
-        K: std::hash::Hash + Eq + Clone + Send + Sync + 'static,
+        K: std::hash::Hash + Eq + Clone + std::fmt::Debug + Send + Sync + 'static,
         V: Clone + Send + Sync + 'static,
     {
         let collection = collection.clone();
@@ -461,7 +884,7 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_detected() {
+    fn deadlock_detected_with_diagnostic() {
         let g = CncGraph::with_threads(2);
         let never = g.item_collection::<u32, u32>("never");
         let tags = g.tag_collection::<u32>("t");
@@ -473,7 +896,18 @@ mod tests {
         tags.put(1);
         tags.put(2);
         match g.wait() {
-            Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 2),
+            Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+                assert_eq!(blocked_instances, 2);
+                assert_eq!(diagnostic.waits.len(), 2);
+                for w in &diagnostic.waits {
+                    assert_eq!(w.step, "starved");
+                    assert_eq!(w.collection, "never");
+                }
+                let keys: Vec<&str> =
+                    diagnostic.waits.iter().map(|w| w.key.as_str()).collect();
+                assert!(keys.contains(&"1") && keys.contains(&"2"), "{keys:?}");
+                assert!(!diagnostic.longest_chain.is_empty());
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }
@@ -494,12 +928,153 @@ mod tests {
     fn step_failure_reported() {
         let g = CncGraph::with_threads(2);
         let tags = g.tag_collection::<u32>("t");
-        tags.prescribe("bad", move |_, _| Err(StepAbort::Failed("declined".into())));
+        tags.prescribe("bad", move |_, _| Err(StepAbort::permanent("declined")));
         tags.put(0);
         match g.wait() {
-            Err(CncError::StepFailed(msg)) => assert!(msg.contains("declined")),
+            Err(CncError::StepFailed { step: "bad", failure }) => {
+                assert!(failure.message.contains("declined"));
+            }
             other => panic!("expected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn transient_failure_without_budget_aborts() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("flaky", move |_, _| Err(StepAbort::transient("glitch")));
+        tags.put(0);
+        match g.wait() {
+            Err(CncError::StepFailed { step: "flaky", failure }) => {
+                assert_eq!(failure.kind, FailureKind::Transient);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_failure_retries_to_success() {
+        use std::sync::atomic::AtomicU32;
+        let g = CncGraph::with_threads(2);
+        g.set_retry_policy(RetryPolicy::attempts(3));
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let o2 = out.clone();
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        tags.prescribe("flaky", move |&n, _| {
+            if t2.fetch_add(1, Ordering::SeqCst) < 2 {
+                return Err(StepAbort::transient("glitch"));
+            }
+            o2.put(n, n + 1)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(41);
+        let stats = g.wait().unwrap();
+        assert_eq!(out.get_env(&41), Some(42));
+        assert_eq!(stats.steps_retried, 2);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_structured() {
+        let g = CncGraph::with_threads(2);
+        g.set_retry_policy(RetryPolicy::attempts(3));
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("hopeless", move |_, _| Err(StepAbort::transient("always")));
+        tags.put(0);
+        match g.wait() {
+            Err(CncError::RetryExhausted { step: "hopeless", attempts: 3, failure }) => {
+                assert_eq!(failure.kind, FailureKind::Transient);
+            }
+            other => panic!("expected retry exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_aborts_wait() {
+        let g = CncGraph::with_threads(2);
+        let never = g.item_collection::<u32, u32>("never");
+        let tags = g.tag_collection::<u32>("t");
+        let n2 = never.clone();
+        tags.prescribe("starved", move |&n, s| {
+            let _ = n2.get(s, &n)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(1);
+        let token = g.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel("operator abort");
+        });
+        match g.wait() {
+            Err(CncError::Deadlock { .. }) => {
+                // The starved step parked before the cancel landed; the
+                // next wait must observe the cancellation.
+                canceller.join().unwrap();
+                match g.wait() {
+                    Err(CncError::Cancelled { reason }) => {
+                        assert_eq!(reason, "operator abort")
+                    }
+                    other => panic!("expected cancellation, got {other:?}"),
+                }
+                return;
+            }
+            Err(CncError::Cancelled { reason }) => assert_eq!(reason, "operator abort"),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        canceller.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_structured() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("slow", move |_, _| {
+            std::thread::sleep(Duration::from_millis(400));
+            Ok(StepOutcome::Done)
+        });
+        tags.put(0);
+        match g.wait_deadline(Duration::from_millis(40)) {
+            Err(CncError::Timeout { deadline, pending, .. }) => {
+                assert_eq!(deadline, Duration::from_millis(40));
+                assert!(pending >= 1);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // The timeout is sticky: the graph drained and stays failed.
+        assert!(matches!(g.wait(), Err(CncError::Timeout { .. })));
+    }
+
+    #[test]
+    fn set_deadline_applies_to_plain_wait() {
+        let g = CncGraph::with_threads(2);
+        g.set_deadline(Duration::from_millis(40));
+        let never = g.item_collection::<u32, u32>("never");
+        let tags = g.tag_collection::<u32>("t");
+        let n2 = never.clone();
+        tags.prescribe("starved", move |&n, s| {
+            let _ = n2.get(s, &n)?;
+            // Keep the instance perpetually pending rather than parked,
+            // so the deadline (not the deadlock check) must fire.
+            Ok(StepOutcome::Done)
+        });
+        tags.prescribe("spin", move |_, _| {
+            std::thread::sleep(Duration::from_millis(400));
+            Ok(StepOutcome::Done)
+        });
+        tags.put(1);
+        assert!(matches!(g.wait(), Err(CncError::Timeout { .. })));
+    }
+
+    #[test]
+    fn wait_deadline_of_finished_graph_succeeds() {
+        let g = CncGraph::with_threads(2);
+        let tags = g.tag_collection::<u32>("t");
+        tags.prescribe("noop", |_, _| Ok(StepOutcome::Done));
+        tags.put(0);
+        let stats = g.wait_deadline(Duration::from_secs(5)).unwrap();
+        assert_eq!(stats.steps_completed, 1);
     }
 
     #[test]
@@ -579,6 +1154,21 @@ mod tests {
         let d = d.item(&items, 1).item(&items, 2);
         assert_eq!(d.len(), 2);
     }
+
+    #[test]
+    fn longest_chain_links_shared_items() {
+        // inst 1 -> item A; inst 2 -> {A, B}; inst 3 -> B: the longest
+        // alternating path touches all five nodes.
+        let raw = vec![
+            ProbeWait { instance: 1, step: "s1", collection: "c", key: "A".into() },
+            ProbeWait { instance: 2, step: "s2", collection: "c", key: "A".into() },
+            ProbeWait { instance: 2, step: "s2", collection: "c", key: "B".into() },
+            ProbeWait { instance: 3, step: "s3", collection: "c", key: "B".into() },
+        ];
+        let d = build_diagnostic(raw);
+        assert_eq!(d.waits.len(), 4);
+        assert_eq!(d.longest_chain.len(), 5, "{:?}", d.longest_chain);
+    }
 }
 
 #[cfg(test)]
@@ -619,8 +1209,8 @@ mod contract_tests {
         });
         tags.put(5);
         match g.wait() {
-            Err(CncError::StepFailed(msg)) => {
-                assert!(msg.contains("without propagating"), "{msg}");
+            Err(CncError::StepFailed { step: "swallower", failure }) => {
+                assert!(failure.message.contains("without propagating"), "{}", failure.message);
             }
             other => panic!("expected contract violation, got {other:?}"),
         }

@@ -8,6 +8,8 @@ pub(crate) struct StatCounters {
     pub steps_started: AtomicU64,
     pub steps_completed: AtomicU64,
     pub steps_requeued: AtomicU64,
+    pub steps_retried: AtomicU64,
+    pub faults_injected: AtomicU64,
     pub items_put: AtomicU64,
     pub gets_ok: AtomicU64,
     pub gets_blocked: AtomicU64,
@@ -22,6 +24,8 @@ impl StatCounters {
             steps_started: self.steps_started.load(Ordering::Relaxed),
             steps_completed: self.steps_completed.load(Ordering::Relaxed),
             steps_requeued: self.steps_requeued.load(Ordering::Relaxed),
+            steps_retried: self.steps_retried.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             items_put: self.items_put.load(Ordering::Relaxed),
             gets_ok: self.gets_ok.load(Ordering::Relaxed),
             gets_blocked: self.gets_blocked.load(Ordering::Relaxed),
@@ -46,6 +50,14 @@ pub struct GraphStats {
     /// paper's remark that non-blocking gets only pay off for small
     /// blocks.
     pub steps_requeued: u64,
+    /// Step executions re-dispatched by the retry policy after a
+    /// transient failure — the resilience-overhead metric of the chaos
+    /// ablations (distinct from `steps_requeued`, which counts
+    /// blocked-get re-executions).
+    pub steps_retried: u64,
+    /// Faults the installed injector actually fired (step failures,
+    /// delays, dropped or delayed puts).
+    pub faults_injected: u64,
     /// Items put.
     pub items_put: u64,
     /// Blocking gets that found their item ready.

@@ -1,5 +1,7 @@
 //! Tag collections: the control side of a CnC graph.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -36,7 +38,7 @@ impl<T> Clone for TagCollection<T> {
 
 impl<T> TagCollection<T>
 where
-    T: Clone + Send + Sync + 'static,
+    T: Hash + Clone + Send + Sync + 'static,
 {
     pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
         core.spec.lock().push(format!("<{name}>;"));
@@ -75,6 +77,12 @@ where
             "tag collection <{}> has no prescribed step collection",
             self.inner.name
         );
+        // `DefaultHasher::new` uses fixed keys, so the hash identifies
+        // this tag deterministically across runs — the fault-site key
+        // that makes seeded chaos plans replayable.
+        let mut h = DefaultHasher::new();
+        tag.hash(&mut h);
+        let tag_hash = h.finish();
         prescriptions
             .iter()
             .map(|p| {
@@ -83,6 +91,7 @@ where
                 InstanceTask::new(
                     Arc::clone(&self.inner.core),
                     p.step_name,
+                    tag_hash,
                     Box::new(move |scope| body(&tag, scope)),
                 )
             })

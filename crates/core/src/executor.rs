@@ -1,8 +1,9 @@
 //! Running the real benchmark kernels under any execution model.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use recdp_cnc::GraphStats;
+use recdp_cnc::{CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
 use recdp_forkjoin::ThreadPoolBuilder;
 use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
@@ -132,6 +133,90 @@ pub fn run_benchmark(
     }
 }
 
+/// Resilience configuration for [`run_benchmark_resilient`]: how the CnC
+/// graph behind a benchmark run reacts to transient step failures, and
+/// the time/cancellation bounds on the run.
+#[derive(Clone, Default)]
+pub struct ResilienceOptions {
+    /// Retry budget for transient step failures (default: one attempt,
+    /// i.e. no retries).
+    pub retry: RetryPolicy,
+    /// Overall deadline for the graph; `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+    /// Fault injector armed on the graph (e.g. a seeded
+    /// `recdp_faults::FaultPlan`); `None` runs fault-free.
+    pub injector: Option<Arc<dyn FaultInjector>>,
+}
+
+impl std::fmt::Debug for ResilienceOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilienceOptions")
+            .field("retry", &self.retry)
+            .field("deadline", &self.deadline)
+            .field("injector", &self.injector.as_ref().map(|_| "<injector>"))
+            .finish()
+    }
+}
+
+/// Like [`run_benchmark`] restricted to the data-flow executions, but
+/// resilient: the CnC graph is armed with `opts` (retry policy, deadline,
+/// fault injector) before execution and structured failures are returned
+/// instead of panicking. The returned [`RunOutput`] always carries
+/// `cnc_stats` (`steps_retried` / `faults_injected` quantify the
+/// resilience cost).
+pub fn run_benchmark_resilient(
+    benchmark: Benchmark,
+    variant: CncVariant,
+    n: usize,
+    base: usize,
+    threads: usize,
+    opts: &ResilienceOptions,
+) -> Result<RunOutput, CncError> {
+    const SEED: u64 = 0xD1CE;
+    let graph = CncGraph::with_threads(threads);
+    graph.set_retry_policy(opts.retry);
+    if let Some(d) = opts.deadline {
+        graph.set_deadline(d);
+    }
+    if let Some(injector) = &opts.injector {
+        graph.set_fault_injector(Arc::clone(injector));
+    }
+    match benchmark {
+        Benchmark::Ge => {
+            let mut m = ge_matrix(n, SEED);
+            let start = Instant::now();
+            let stats = ge::ge_cnc_on(&mut m, base, variant, &graph)?;
+            Ok(RunOutput {
+                table: m,
+                seconds: start.elapsed().as_secs_f64(),
+                cnc_stats: Some(stats),
+            })
+        }
+        Benchmark::Fw => {
+            let mut m = fw_matrix(n, SEED, 0.35);
+            let start = Instant::now();
+            let stats = fw::fw_cnc_on(&mut m, base, variant, &graph)?;
+            Ok(RunOutput {
+                table: m,
+                seconds: start.elapsed().as_secs_f64(),
+                cnc_stats: Some(stats),
+            })
+        }
+        Benchmark::Sw => {
+            let a = dna_sequence(n, SEED);
+            let b = dna_sequence(n, SEED ^ 0xFFFF);
+            let mut m = Matrix::zeros(n);
+            let start = Instant::now();
+            let stats = sw::sw_cnc_on(&mut m, &a, &b, base, variant, &graph)?;
+            Ok(RunOutput {
+                table: m,
+                seconds: start.elapsed().as_secs_f64(),
+                cnc_stats: Some(stats),
+            })
+        }
+    }
+}
+
 /// Function table for the two square-matrix benchmarks (GE/FW share the
 /// signature shapes).
 struct TableOps {
@@ -201,6 +286,39 @@ mod tests {
         let b = run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 32, 8, 2);
         assert!(b.cnc_stats.is_some());
         assert!(b.seconds >= 0.0);
+    }
+
+    #[test]
+    fn resilient_run_matches_oracle_under_faults() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+        let opts = ResilienceOptions {
+            retry: RetryPolicy::attempts(8),
+            deadline: Some(Duration::from_secs(60)),
+            injector: Some(Arc::new(FaultPlan::new(7).transient_step_failures(0.2))),
+        };
+        let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 32, 8, 2, &opts)
+            .expect("retries absorb the injected transient faults");
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let stats = out.cnc_stats.expect("resilient runs always carry stats");
+        assert!(stats.faults_injected > 0, "{stats:?}");
+        assert_eq!(stats.steps_retried, stats.faults_injected, "{stats:?}");
+    }
+
+    #[test]
+    fn resilient_run_without_budget_reports_structured_failure() {
+        use recdp_faults::FaultPlan;
+        let opts = ResilienceOptions {
+            // Default retry policy: a single attempt, no retries.
+            injector: Some(Arc::new(FaultPlan::new(3).transient_step_failures(0.9))),
+            ..Default::default()
+        };
+        let err = run_benchmark_resilient(Benchmark::Sw, CncVariant::Native, 32, 8, 2, &opts)
+            .expect_err("0.9 fault rate with no retries must fail");
+        match err {
+            CncError::StepFailed { .. } | CncError::RetryExhausted { .. } => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -42,15 +42,19 @@ pub mod executor;
 pub mod experiment;
 
 pub use analysis::{dag, dag_metrics, Model};
-pub use executor::{run_benchmark, Benchmark, Execution, RunOutput};
+pub use executor::{
+    run_benchmark, run_benchmark_resilient, Benchmark, Execution, ResilienceOptions, RunOutput,
+};
 pub use experiment::{predict_seconds, FigurePanel, Paradigm, PanelRow};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::analysis::{dag, dag_metrics, Model};
-    pub use crate::executor::{run_benchmark, Benchmark, Execution, RunOutput};
+    pub use crate::executor::{
+        run_benchmark, run_benchmark_resilient, Benchmark, Execution, ResilienceOptions, RunOutput,
+    };
     pub use crate::experiment::{predict_seconds, FigurePanel, Paradigm, PanelRow};
-    pub use recdp_cnc::CncGraph;
+    pub use recdp_cnc::{CancelToken, CncError, CncGraph, RetryPolicy};
     pub use recdp_forkjoin::{join, scope, ThreadPool, ThreadPoolBuilder};
     pub use recdp_kernels::{CncVariant, Matrix};
     pub use recdp_machine::{epyc64, skylake192, MachineConfig};

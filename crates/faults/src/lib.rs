@@ -1,0 +1,434 @@
+//! `recdp-faults`: seeded, replayable fault plans for chaos testing the
+//! execution runtimes.
+//!
+//! A [`FaultPlan`] is a deterministic [`recdp_cnc::FaultInjector`]: every
+//! decision (fail this step execution? drop this put?) is a pure function
+//! of the plan's `u64` seed and the fault site (step name, tag hash,
+//! attempt — or collection name and key hash for puts). No global RNG
+//! stream is consumed, so decisions do not depend on thread interleaving:
+//! **re-running with the same seed replays exactly the same faults**, and
+//! a chaos failure can be reproduced from the single seed printed in its
+//! report.
+//!
+//! Fault classes:
+//!
+//! * **transient step failures** — the step execution fails *before its
+//!   body runs* (so retries are idempotent and the DP tables stay
+//!   bit-identical); the graph's [`recdp_cnc::RetryPolicy`] absorbs them.
+//! * **slow steps** — the execution sleeps on its worker first.
+//! * **delayed / dropped item puts** — a delayed put stalls consumers; a
+//!   dropped put is never delivered, driving the graph into a detectable
+//!   deadlock (exercises the wait-for diagnostic).
+//! * **pool task delays** — via [`FaultPlan::pool_hook`] on a fork-join
+//!   [`recdp_forkjoin::ThreadPoolBuilder`] (delays only; they perturb
+//!   timing, never results).
+//! * **worker kills** — fail-stop times consumed by `recdp-sim`'s
+//!   worker-failure model ([`FaultPlan::worker_kill_times_ns`]).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use recdp_cnc::{FaultAction, FaultInjector, FaultSite, PutAction};
+
+/// Independent decision streams: each fault class hashes the site with
+/// its own constant so e.g. "fail?" and "delay?" rolls at the same site
+/// are uncorrelated.
+const STREAM_STEP_FAIL: u64 = 0x51;
+const STREAM_STEP_DELAY: u64 = 0x52;
+const STREAM_PUT_DROP: u64 = 0x53;
+const STREAM_PUT_DELAY: u64 = 0x54;
+const STREAM_POOL_DELAY: u64 = 0x55;
+
+/// splitmix64 finalizer: a high-quality 64-bit mix, the standard choice
+/// for turning structured keys into uniform bits.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform draw in [0, 1) keyed by (seed, stream, x, y).
+fn roll(seed: u64, stream: u64, x: u64, y: u64) -> f64 {
+    let mut h = splitmix64(seed ^ splitmix64(stream));
+    h = splitmix64(h ^ x);
+    h = splitmix64(h ^ y);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic hash of a step name (stable across runs: FNV-1a).
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A seeded, reproducible fault plan. Build one with the fluent setters,
+/// then install it on a graph:
+///
+/// ```
+/// use std::sync::Arc;
+/// use recdp_cnc::{CncGraph, RetryPolicy, StepOutcome};
+/// use recdp_faults::FaultPlan;
+///
+/// let plan = FaultPlan::new(42).transient_step_failures(0.3);
+/// let graph = CncGraph::with_threads(2);
+/// graph.set_retry_policy(RetryPolicy::attempts(8));
+/// graph.set_fault_injector(Arc::new(plan));
+/// let tags = graph.tag_collection::<u32>("t");
+/// tags.prescribe("step", |_, _| Ok(StepOutcome::Done));
+/// for n in 0..32 { tags.put(n); }
+/// let stats = graph.wait().expect("retries absorb every injected fault");
+/// assert_eq!(stats.steps_completed, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    step_fail_rate: f64,
+    step_delay_rate: f64,
+    step_delay: Duration,
+    put_drop_rate: f64,
+    put_delay_rate: f64,
+    put_delay: Duration,
+    pool_delay_rate: f64,
+    pool_delay: Duration,
+    /// When non-empty, step faults apply only to these step names.
+    target_steps: Vec<&'static str>,
+    /// When non-empty, put faults apply only to these collections.
+    target_collections: Vec<&'static str>,
+    /// Fail-stop times (ns) for the simulator's worker-failure model.
+    worker_kill_times_ns: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given replay seed; enable fault
+    /// classes with the setters.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            step_fail_rate: 0.0,
+            step_delay_rate: 0.0,
+            step_delay: Duration::ZERO,
+            put_drop_rate: 0.0,
+            put_delay_rate: 0.0,
+            put_delay: Duration::ZERO,
+            pool_delay_rate: 0.0,
+            pool_delay: Duration::ZERO,
+            target_steps: Vec::new(),
+            target_collections: Vec::new(),
+            worker_kill_times_ns: Vec::new(),
+        }
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Each step execution fails transiently (before its body runs) with
+    /// probability `rate`, independently per attempt — so with retry
+    /// budget `m` a site survives unless `m` consecutive rolls all fail.
+    pub fn transient_step_failures(mut self, rate: f64) -> Self {
+        self.step_fail_rate = checked_rate(rate);
+        self
+    }
+
+    /// Each step execution first sleeps `delay` with probability `rate`
+    /// (a slow task; perturbs timing, never results).
+    pub fn slow_steps(mut self, rate: f64, delay: Duration) -> Self {
+        self.step_delay_rate = checked_rate(rate);
+        self.step_delay = delay;
+        self
+    }
+
+    /// Each item put is silently discarded with probability `rate`. The
+    /// item is never delivered: consumers park forever and the graph
+    /// reports a deadlock naming them.
+    pub fn dropped_puts(mut self, rate: f64) -> Self {
+        self.put_drop_rate = checked_rate(rate);
+        self
+    }
+
+    /// Each item put first sleeps `delay` with probability `rate`.
+    pub fn delayed_puts(mut self, rate: f64, delay: Duration) -> Self {
+        self.put_delay_rate = checked_rate(rate);
+        self.put_delay = delay;
+        self
+    }
+
+    /// Each task spawned on a fork-join pool built with
+    /// [`FaultPlan::pool_hook`] first sleeps `delay` with probability
+    /// `rate`.
+    pub fn slow_pool_tasks(mut self, rate: f64, delay: Duration) -> Self {
+        self.pool_delay_rate = checked_rate(rate);
+        self.pool_delay = delay;
+        self
+    }
+
+    /// Restricts step faults to the named step collections (empty =
+    /// every step).
+    pub fn target_steps(mut self, steps: &[&'static str]) -> Self {
+        self.target_steps = steps.to_vec();
+        self
+    }
+
+    /// Restricts put faults to the named item collections (empty = every
+    /// collection).
+    pub fn target_collections(mut self, collections: &[&'static str]) -> Self {
+        self.target_collections = collections.to_vec();
+        self
+    }
+
+    /// Adds a worker fail-stop at `t_ns` (simulated time) for the
+    /// discrete-event simulator's worker-failure model.
+    pub fn kill_worker_at_ns(mut self, t_ns: u64) -> Self {
+        self.worker_kill_times_ns.push(t_ns);
+        self.worker_kill_times_ns.sort_unstable();
+        self
+    }
+
+    /// The scheduled worker fail-stop times (ns, ascending), for
+    /// `recdp-sim`'s `simulate_with_failures`.
+    pub fn worker_kill_times_ns(&self) -> &[u64] {
+        &self.worker_kill_times_ns
+    }
+
+    /// A canonical one-line description (the replay recipe): quote this
+    /// string in failure reports — the seed alone reproduces the run.
+    pub fn describe(&self) -> String {
+        format!(
+            "faults(seed={:#x}, step_fail={:.2}, step_delay={:.2}@{:?}, put_drop={:.2}, \
+             put_delay={:.2}@{:?}, pool_delay={:.2}@{:?}, worker_kills={:?})",
+            self.seed,
+            self.step_fail_rate,
+            self.step_delay_rate,
+            self.step_delay,
+            self.put_drop_rate,
+            self.put_delay_rate,
+            self.put_delay,
+            self.pool_delay_rate,
+            self.pool_delay,
+            self.worker_kill_times_ns,
+        )
+    }
+
+    /// A hook for [`recdp_forkjoin::ThreadPoolBuilder::task_hook`]
+    /// injecting the plan's pool-task delays. Decisions are keyed by a
+    /// spawn counter, so (unlike graph faults) they depend on spawn
+    /// order; pool delays only perturb timing, never results, so replay
+    /// of *outcomes* is unaffected.
+    pub fn pool_hook(&self) -> impl Fn() + Send + Sync + 'static {
+        let seed = self.seed;
+        let rate = self.pool_delay_rate;
+        let delay = self.pool_delay;
+        let counter = Arc::new(AtomicU64::new(0));
+        move || {
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            if rate > 0.0 && roll(seed, STREAM_POOL_DELAY, n, 0) < rate {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+
+    fn step_targeted(&self, step: &'static str) -> bool {
+        self.target_steps.is_empty() || self.target_steps.contains(&step)
+    }
+
+    fn collection_targeted(&self, collection: &'static str) -> bool {
+        self.target_collections.is_empty() || self.target_collections.contains(&collection)
+    }
+}
+
+fn checked_rate(rate: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1], got {rate}");
+    rate
+}
+
+impl FaultInjector for FaultPlan {
+    fn before_step(&self, site: &FaultSite) -> FaultAction {
+        if !self.step_targeted(site.step) {
+            return FaultAction::None;
+        }
+        let x = name_hash(site.step) ^ site.tag_hash;
+        if self.step_fail_rate > 0.0
+            && roll(self.seed, STREAM_STEP_FAIL, x, site.attempt as u64) < self.step_fail_rate
+        {
+            return FaultAction::FailTransient(format!(
+                "injected transient fault (seed {:#x}, step {}, attempt {})",
+                self.seed, site.step, site.attempt
+            ));
+        }
+        if self.step_delay_rate > 0.0
+            && roll(self.seed, STREAM_STEP_DELAY, x, site.attempt as u64) < self.step_delay_rate
+        {
+            return FaultAction::Delay(self.step_delay);
+        }
+        FaultAction::None
+    }
+
+    fn on_put(&self, collection: &'static str, key_hash: u64) -> PutAction {
+        if !self.collection_targeted(collection) {
+            return PutAction::Deliver;
+        }
+        let x = name_hash(collection) ^ key_hash;
+        if self.put_drop_rate > 0.0 && roll(self.seed, STREAM_PUT_DROP, x, 0) < self.put_drop_rate
+        {
+            return PutAction::Drop;
+        }
+        if self.put_delay_rate > 0.0
+            && roll(self.seed, STREAM_PUT_DELAY, x, 0) < self.put_delay_rate
+        {
+            return PutAction::Delay(self.put_delay);
+        }
+        PutAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp_cnc::{CncGraph, RetryPolicy, StepOutcome};
+
+    fn site(step: &'static str, tag_hash: u64, attempt: u32) -> FaultSite {
+        FaultSite { step, tag_hash, attempt }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let a = FaultPlan::new(7).transient_step_failures(0.5);
+        let b = FaultPlan::new(7).transient_step_failures(0.5);
+        for t in 0..200u64 {
+            assert_eq!(
+                a.before_step(&site("s", t, 1)),
+                b.before_step(&site("s", t, 1)),
+            );
+            assert_eq!(a.on_put("c", t), b.on_put("c", t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).transient_step_failures(0.5);
+        let b = FaultPlan::new(2).transient_step_failures(0.5);
+        let diverges = (0..200u64)
+            .any(|t| a.before_step(&site("s", t, 1)) != b.before_step(&site("s", t, 1)));
+        assert!(diverges, "seeds 1 and 2 produced identical plans");
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let never = FaultPlan::new(3);
+        let always = FaultPlan::new(3).transient_step_failures(1.0).dropped_puts(1.0);
+        for t in 0..50u64 {
+            assert_eq!(never.before_step(&site("s", t, 1)), FaultAction::None);
+            assert_eq!(never.on_put("c", t), PutAction::Deliver);
+            assert!(matches!(
+                always.before_step(&site("s", t, 1)),
+                FaultAction::FailTransient(_)
+            ));
+            assert_eq!(always.on_put("c", t), PutAction::Drop);
+        }
+    }
+
+    #[test]
+    fn attempts_reroll_independently() {
+        // At rate 0.5 some site must fail on attempt 1 yet pass on a
+        // later attempt — otherwise retries could never succeed.
+        let plan = FaultPlan::new(11).transient_step_failures(0.5);
+        let recovered = (0..200u64).any(|t| {
+            matches!(plan.before_step(&site("s", t, 1)), FaultAction::FailTransient(_))
+                && plan.before_step(&site("s", t, 2)) == FaultAction::None
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn targeting_filters_apply() {
+        let plan = FaultPlan::new(5)
+            .transient_step_failures(1.0)
+            .dropped_puts(1.0)
+            .target_steps(&["hit"])
+            .target_collections(&["hot"]);
+        assert!(matches!(plan.before_step(&site("hit", 0, 1)), FaultAction::FailTransient(_)));
+        assert_eq!(plan.before_step(&site("miss", 0, 1)), FaultAction::None);
+        assert_eq!(plan.on_put("hot", 0), PutAction::Drop);
+        assert_eq!(plan.on_put("cold", 0), PutAction::Deliver);
+    }
+
+    #[test]
+    fn describe_contains_seed() {
+        let plan = FaultPlan::new(0xBEEF).transient_step_failures(0.25).kill_worker_at_ns(10);
+        let d = plan.describe();
+        assert!(d.contains("0xbeef"), "{d}");
+        assert!(d.contains("step_fail=0.25"), "{d}");
+        assert_eq!(plan.worker_kill_times_ns(), &[10]);
+    }
+
+    #[test]
+    fn graph_completes_under_faults_with_retries() {
+        let plan = FaultPlan::new(42).transient_step_failures(0.3);
+        let run = |inject: bool| {
+            let g = CncGraph::with_threads(4);
+            g.set_retry_policy(RetryPolicy::attempts(10));
+            if inject {
+                g.set_fault_injector(Arc::new(plan.clone()));
+            }
+            let out = g.item_collection::<u32, u64>("out");
+            let tags = g.tag_collection::<u32>("t");
+            let o2 = out.clone();
+            tags.prescribe("square", move |&n, _| {
+                o2.put(n, (n as u64) * (n as u64))?;
+                Ok(StepOutcome::Done)
+            });
+            for n in 0..64 {
+                tags.put(n);
+            }
+            let stats = g.wait().unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+            let values: Vec<u64> = (0..64).map(|n| out.get_env(&n).unwrap()).collect();
+            (stats, values)
+        };
+        let (clean_stats, clean_values) = run(false);
+        let (chaos_stats, chaos_values) = run(true);
+        assert_eq!(clean_values, chaos_values, "faults must not change results");
+        assert!(chaos_stats.faults_injected > 0, "seed 42 must actually inject");
+        assert_eq!(chaos_stats.steps_retried, chaos_stats.faults_injected);
+        assert_eq!(clean_stats.steps_completed, chaos_stats.steps_completed);
+    }
+
+    #[test]
+    fn dropped_put_yields_deadlock_diagnostic() {
+        let plan = FaultPlan::new(9).dropped_puts(1.0).target_collections(&["link"]);
+        let g = CncGraph::with_threads(2);
+        g.set_fault_injector(Arc::new(plan));
+        let link = g.item_collection::<u32, u32>("link");
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (l1, l2, o2) = (link.clone(), link.clone(), out.clone());
+        tags.prescribe("produce", move |&n, _| {
+            l1.put(n, n)?; // dropped by the plan
+            Ok(StepOutcome::Done)
+        });
+        tags.prescribe("consume", move |&n, s| {
+            let v = l2.get(s, &n)?;
+            o2.put(n, v)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(1);
+        match g.wait() {
+            Err(recdp_cnc::CncError::Deadlock { blocked_instances, diagnostic }) => {
+                assert_eq!(blocked_instances, 1);
+                assert_eq!(diagnostic.waits.len(), 1);
+                assert_eq!(diagnostic.waits[0].step, "consume");
+                assert_eq!(diagnostic.waits[0].collection, "link");
+                assert_eq!(diagnostic.waits[0].key, "1");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -11,10 +11,24 @@ use parking_lot::{Condvar, Mutex};
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::Latch;
 
+/// A callback run by a worker immediately before each queued job it
+/// executes (see [`ThreadPoolBuilder::task_hook`]).
+pub type TaskHook = Arc<dyn Fn() + Send + Sync>;
+
 /// Builder for a [`ThreadPool`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    task_hook: Option<TaskHook>,
+}
+
+impl std::fmt::Debug for ThreadPoolBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPoolBuilder")
+            .field("num_threads", &self.num_threads)
+            .field("task_hook", &self.task_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl ThreadPoolBuilder {
@@ -32,10 +46,22 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Installs a hook run by a worker immediately before each queued job
+    /// it executes (spawned jobs and jobs picked up while cooperatively
+    /// waiting; inline fast paths are not intercepted). Used by the
+    /// fault-injection layer to simulate slow tasks on a fork-join pool.
+    pub fn task_hook<F>(mut self, hook: F) -> Self
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.task_hook = Some(Arc::new(hook));
+        self
+    }
+
     /// Builds the pool and starts its workers.
     pub fn build(self) -> ThreadPool {
         let n = self.num_threads.unwrap_or_else(default_num_threads);
-        ThreadPool { registry: Registry::new(n) }
+        ThreadPool { registry: Registry::new(n, self.task_hook) }
     }
 }
 
@@ -152,7 +178,6 @@ pub(crate) fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| ThreadPoolBuilder::new().build())
 }
 
-#[derive(Debug)]
 pub(crate) struct Registry {
     injector: Injector<JobRef>,
     stealers: Vec<Stealer<JobRef>>,
@@ -160,10 +185,20 @@ pub(crate) struct Registry {
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    task_hook: Option<TaskHook>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("workers", &self.stealers.len())
+            .field("task_hook", &self.task_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Registry {
-    fn new(n: usize) -> Arc<Self> {
+    fn new(n: usize, task_hook: Option<TaskHook>) -> Arc<Self> {
         let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(|w| w.stealer()).collect();
         let registry = Arc::new(Registry {
@@ -173,6 +208,7 @@ impl Registry {
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
             handles: Mutex::new(Vec::with_capacity(n)),
+            task_hook,
         });
         let mut handles = registry.handles.lock();
         for (index, worker) in workers.into_iter().enumerate() {
@@ -284,6 +320,9 @@ impl WorkerThread {
         let mut idle = 0u32;
         while !latch.probe() {
             if let Some(job) = self.find_work() {
+                if let Some(hook) = &self.registry.task_hook {
+                    hook();
+                }
                 // SAFETY: JobRefs are executed exactly once; we own this one.
                 unsafe { job.execute() };
                 idle = 0;
@@ -308,6 +347,9 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
 
     while !registry.terminate.load(Ordering::Acquire) {
         if let Some(job) = wt.find_work() {
+            if let Some(hook) = &registry.task_hook {
+                hook();
+            }
             // Catch panics from fire-and-forget jobs so a bad task cannot
             // take the worker down; structured jobs (StackJob, scope jobs)
             // install their own handlers and re-raise at the join point.
@@ -377,6 +419,31 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(3).build();
         assert_eq!(pool.num_threads(), 3);
         assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn task_hook_runs_per_spawned_job() {
+        static HOOKED: AtomicUsize = AtomicUsize::new(0);
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .task_hook(|| {
+                HOOKED.fetch_add(1, Ordering::SeqCst);
+            })
+            .build();
+        for _ in 0..20 {
+            pool.spawn(|| {
+                RAN.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..10_000 {
+            if RAN.load(Ordering::SeqCst) == 20 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 20);
+        assert!(HOOKED.load(Ordering::SeqCst) >= 20);
     }
 
     #[test]

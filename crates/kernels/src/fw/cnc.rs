@@ -2,7 +2,7 @@
 //! the R-DP recursion, base tasks synchronised by tile-readiness items
 //! keyed `(k, i, j)` over the full task cube.
 
-use recdp_cnc::{CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -148,10 +148,23 @@ pub fn fw_cnc(
     variant: CncVariant,
     threads: usize,
 ) -> GraphStats {
+    let graph = CncGraph::with_threads(threads);
+    fw_cnc_on(dist, base, variant, &graph).expect("FW CnC graph failed")
+}
+
+/// Fallible form of [`fw_cnc`] running on a caller-supplied graph, so the
+/// caller can arm a retry policy, deadline, cancellation token or fault
+/// injector before execution. Propagates the graph's structured error
+/// instead of panicking.
+pub fn fw_cnc_on(
+    dist: &mut Matrix,
+    base: usize,
+    variant: CncVariant,
+    graph: &CncGraph,
+) -> Result<GraphStats, CncError> {
     let n = dist.n();
     check_sizes(n, base);
     let t_tiles = (n / base) as u32;
-    let graph = CncGraph::with_threads(threads);
     let ctx = Ctx {
         t: dist.ptr(),
         m: base,
@@ -260,7 +273,7 @@ pub fn fw_cnc(
         }
     }
 
-    graph.wait().expect("FW CnC graph failed")
+    graph.wait()
 }
 
 #[cfg(test)]

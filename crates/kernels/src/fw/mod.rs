@@ -10,7 +10,7 @@ pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
 
-pub use cnc::fw_cnc;
+pub use cnc::{fw_cnc, fw_cnc_on};
 pub use forkjoin::fw_forkjoin;
 pub use loops::fw_loops;
 pub use rdp::fw_rdp;

@@ -22,7 +22,7 @@
 //! [`CncVariant::Manual`] has the environment pre-declare every base
 //! task of the whole computation up front.
 
-use recdp_cnc::{CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -159,10 +159,24 @@ pub fn ge_cnc(
     variant: CncVariant,
     threads: usize,
 ) -> GraphStats {
+    let graph = CncGraph::with_threads(threads);
+    ge_cnc_on(mat, base, variant, &graph).expect("GE CnC graph failed")
+}
+
+/// Fallible form of [`ge_cnc`] running on a caller-supplied graph, so the
+/// caller can arm a retry policy, deadline, cancellation token or fault
+/// injector before execution. Propagates the graph's structured error
+/// (retry exhaustion, deadlock, timeout, cancellation) instead of
+/// panicking.
+pub fn ge_cnc_on(
+    mat: &mut Matrix,
+    base: usize,
+    variant: CncVariant,
+    graph: &CncGraph,
+) -> Result<GraphStats, CncError> {
     let n = mat.n();
     check_rdp_sizes(n, base);
     let t_tiles = (n / base) as u32;
-    let graph = CncGraph::with_threads(threads);
     let ctx = Ctx {
         t: mat.ptr(),
         m: base,
@@ -265,7 +279,7 @@ pub fn ge_cnc(
         }
     }
 
-    graph.wait().expect("GE CnC graph failed")
+    graph.wait()
 }
 
 /// Routes a sub-tag put: base-level tags go through the variant-aware

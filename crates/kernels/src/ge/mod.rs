@@ -9,7 +9,7 @@ pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
 
-pub use cnc::ge_cnc;
+pub use cnc::{ge_cnc, ge_cnc_on};
 pub use forkjoin::ge_forkjoin;
 pub use loops::ge_loops;
 pub use rdp::ge_rdp;

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use recdp_cnc::{CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -70,10 +70,25 @@ pub fn sw_cnc(
     variant: CncVariant,
     threads: usize,
 ) -> GraphStats {
+    let graph = CncGraph::with_threads(threads);
+    sw_cnc_on(table, a, b, base, variant, &graph).expect("SW CnC graph failed")
+}
+
+/// Fallible form of [`sw_cnc`] running on a caller-supplied graph, so the
+/// caller can arm a retry policy, deadline, cancellation token or fault
+/// injector before execution. Propagates the graph's structured error
+/// instead of panicking.
+pub fn sw_cnc_on(
+    table: &mut Matrix,
+    a: &[u8],
+    b: &[u8],
+    base: usize,
+    variant: CncVariant,
+    graph: &CncGraph,
+) -> Result<GraphStats, CncError> {
     let n = table.n();
     check_sizes(n, base, a, b);
     let t_tiles = (n / base) as u32;
-    let graph = CncGraph::with_threads(threads);
     let ctx = Ctx {
         t: table.ptr(),
         a: Arc::new(a.to_vec()),
@@ -141,7 +156,7 @@ pub fn sw_cnc(
         }
     }
 
-    graph.wait().expect("SW CnC graph failed")
+    graph.wait()
 }
 
 #[cfg(test)]

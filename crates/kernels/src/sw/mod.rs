@@ -16,7 +16,7 @@ pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
 
-pub use cnc::sw_cnc;
+pub use cnc::{sw_cnc, sw_cnc_on};
 pub use forkjoin::sw_forkjoin;
 pub use loops::{sw_loops, sw_score_linear_space};
 pub use rdp::sw_rdp;

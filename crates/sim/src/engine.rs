@@ -202,6 +202,9 @@ pub fn simulate_with_timeline(
             } else {
                 0.0
             },
+            wasted_ns: 0.0,
+            reexecuted_tasks: 0,
+            worker_failures: 0,
         },
         timeline,
     )

@@ -1,0 +1,332 @@
+//! Fail-stop worker failures for the discrete-event engine.
+//!
+//! [`simulate_with_failures`] replays a task DAG like
+//! [`crate::simulate`], but kills one worker at each requested time: the
+//! task running on the victim is lost mid-flight and re-executes from
+//! scratch on a surviving worker (fail-stop with work-conserving
+//! re-execution — the model behind graceful-degradation makespan
+//! curves). The victim is chosen adversarially: the alive worker whose
+//! current task would finish last, maximising the work thrown away.
+//!
+//! One survivor is always kept (a kill that would take the last alive
+//! worker is skipped), so every run completes and the makespan measures
+//! degradation, not starvation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use recdp_taskgraph::TaskGraph;
+
+use crate::engine::{QueuePolicy, SimConfig};
+use crate::result::SimResult;
+
+/// Finish event, ordered for a min-heap. `worker` is `None` for sync
+/// nodes (which occupy no worker and cannot be killed); `epoch` guards
+/// against stale events for re-executed tasks.
+#[derive(PartialEq)]
+struct Finish {
+    time: f64,
+    node: u32,
+    worker: Option<usize>,
+    epoch: u32,
+}
+
+impl Eq for Finish {}
+
+impl PartialOrd for Finish {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Finish {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite times")
+            .then(self.node.cmp(&other.node))
+            .then(self.epoch.cmp(&other.epoch))
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Running {
+    node: u32,
+    start: f64,
+    finish: f64,
+    epoch: u32,
+}
+
+/// Simulates `graph` under greedy list scheduling with one fail-stop
+/// worker failure per entry of `kill_times_ns` (ascending order not
+/// required; times are sorted internally). Returns the usual
+/// [`SimResult`] with the resilience fields populated: `wasted_ns`
+/// (partial executions lost), `reexecuted_tasks`, and `worker_failures`
+/// (kills actually applied — a kill arriving after the run finished, or
+/// when only one worker survives, is skipped).
+pub fn simulate_with_failures(
+    graph: &TaskGraph,
+    cfg: &SimConfig,
+    kill_times_ns: &[u64],
+) -> SimResult {
+    assert!(cfg.processors > 0, "need at least one processor");
+    let mut kills: Vec<f64> = kill_times_ns.iter().map(|&t| t as f64).collect();
+    kills.sort_by(|a, b| a.partial_cmp(b).expect("finite kill times"));
+    let mut next_kill = 0usize;
+
+    let mut in_deg = graph.in_degrees();
+    let mut ready: VecDeque<u32> = graph.roots().into();
+    let mut events: BinaryHeap<Reverse<Finish>> = BinaryHeap::new();
+    // Per-node execution epoch: a Finish event whose epoch is stale
+    // belongs to an execution killed earlier and is ignored.
+    let mut epoch: Vec<u32> = vec![0; graph.len()];
+    let mut alive: Vec<bool> = vec![true; cfg.processors];
+    let mut running: Vec<Option<Running>> = vec![None; cfg.processors];
+    let mut alive_count = cfg.processors;
+
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut busy_ns = 0.0f64;
+    let mut wasted_ns = 0.0f64;
+    let mut compute_tasks = 0usize;
+    let mut reexecuted_tasks = 0usize;
+    let mut worker_failures = 0usize;
+    let mut executed = 0usize;
+
+    loop {
+        // Dispatch everything we can at the current instant.
+        loop {
+            let Some(&node) = (match cfg.policy {
+                QueuePolicy::Fifo => ready.front(),
+                QueuePolicy::Lifo => ready.back(),
+            }) else {
+                break;
+            };
+            let kind = graph.kind(node);
+            if kind.is_compute() {
+                let Some(w) = (0..cfg.processors).find(|&w| alive[w] && running[w].is_none())
+                else {
+                    break;
+                };
+                let d = cfg.duration(kind, graph.weight(node));
+                compute_tasks += 1;
+                running[w] = Some(Running {
+                    node,
+                    start: now,
+                    finish: now + d,
+                    epoch: epoch[node as usize],
+                });
+                events.push(Reverse(Finish {
+                    time: now + d,
+                    node,
+                    worker: Some(w),
+                    epoch: epoch[node as usize],
+                }));
+            } else {
+                let d = cfg.duration(kind, 0.0);
+                events.push(Reverse(Finish {
+                    time: now + d,
+                    node,
+                    worker: None,
+                    epoch: epoch[node as usize],
+                }));
+            }
+            match cfg.policy {
+                QueuePolicy::Fifo => ready.pop_front(),
+                QueuePolicy::Lifo => ready.pop_back(),
+            };
+        }
+
+        // Next finish event, skipping tombstones of killed executions.
+        let next_finish = loop {
+            match events.peek() {
+                Some(Reverse(ev)) if ev.epoch != epoch[ev.node as usize] => {
+                    events.pop();
+                }
+                Some(Reverse(ev)) => break Some(ev.time),
+                None => break None,
+            }
+        };
+
+        // Interleave kills with finishes in time order. A kill is only
+        // meaningful while work remains in flight.
+        let kill_due = next_kill < kills.len()
+            && match next_finish {
+                Some(t) => kills[next_kill] <= t,
+                None => false,
+            };
+        if kill_due {
+            now = now.max(kills[next_kill]);
+            next_kill += 1;
+            if alive_count <= 1 {
+                continue; // keep one survivor: skip, not starve
+            }
+            // Adversarial victim: the alive worker whose running task
+            // finishes last (most in-flight work lost); an idle alive
+            // worker (highest index) if none is busy.
+            let victim = (0..cfg.processors)
+                .filter(|&w| alive[w])
+                .max_by(|&a, &b| {
+                    let fa = running[a].map(|r| r.finish).unwrap_or(f64::NEG_INFINITY);
+                    let fb = running[b].map(|r| r.finish).unwrap_or(f64::NEG_INFINITY);
+                    fa.partial_cmp(&fb).expect("finite times").then(a.cmp(&b))
+                })
+                .expect("alive_count > 1 implies an alive worker");
+            alive[victim] = false;
+            alive_count -= 1;
+            worker_failures += 1;
+            if let Some(r) = running[victim].take() {
+                // The partial execution is thrown away; re-execute from
+                // scratch on a survivor. Bumping the node's epoch
+                // tombstones the stale finish event still in the heap.
+                wasted_ns += now - r.start;
+                busy_ns += now - r.start;
+                epoch[r.node as usize] = r.epoch + 1;
+                reexecuted_tasks += 1;
+                compute_tasks -= 1; // re-counted when re-dispatched
+                ready.push_front(r.node);
+            }
+            continue;
+        }
+
+        let Some(Reverse(ev)) = events.pop() else {
+            break;
+        };
+        if ev.epoch != epoch[ev.node as usize] {
+            continue;
+        }
+        now = ev.time;
+        makespan = makespan.max(now);
+        if let Some(w) = ev.worker {
+            let r = running[w].take().expect("finish event for an idle worker");
+            debug_assert_eq!(r.node, ev.node);
+            busy_ns += r.finish - r.start;
+        }
+        executed += 1;
+        for &s in graph.successors(ev.node) {
+            in_deg[s as usize] -= 1;
+            if in_deg[s as usize] == 0 {
+                ready.push_back(s);
+            }
+        }
+    }
+    assert!(ready.is_empty(), "scheduler stalled with ready tasks");
+    assert_eq!(executed, graph.len(), "every node must complete exactly once");
+    SimResult {
+        makespan_ns: makespan,
+        busy_ns,
+        processors: cfg.processors,
+        compute_tasks,
+        utilization: if makespan > 0.0 {
+            busy_ns / (makespan * cfg.processors as f64)
+        } else {
+            0.0
+        },
+        wasted_ns,
+        reexecuted_tasks,
+        worker_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use recdp_taskgraph::{GraphBuilder, TaskKind};
+
+    fn cfg(p: usize) -> SimConfig {
+        SimConfig {
+            processors: p,
+            ns_per_flop: 1.0,
+            per_task_ns: 0.0,
+            join_ns: 0.0,
+            policy: QueuePolicy::Fifo,
+        }
+    }
+
+    fn independent(n: usize, w: f64) -> recdp_taskgraph::TaskGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(TaskKind::Tile, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn no_kills_matches_plain_engine() {
+        use recdp_taskgraph::{dataflow, ge_kernel_flops};
+        let g = dataflow::ge(8, &ge_kernel_flops(8));
+        for p in [1, 3, 16] {
+            let a = simulate(&g, &cfg(p));
+            let b = simulate_with_failures(&g, &cfg(p), &[]);
+            assert!((a.makespan_ns - b.makespan_ns).abs() < 1e-9, "p = {p}");
+            assert_eq!(b.worker_failures, 0);
+            assert_eq!(b.reexecuted_tasks, 0);
+            assert_eq!(b.wasted_ns, 0.0);
+        }
+    }
+
+    #[test]
+    fn kill_mid_task_reexecutes_and_degrades() {
+        // 2 workers, 2 tasks of 10ns; kill one worker at t = 4.
+        let g = independent(2, 10.0);
+        let r = simulate_with_failures(&g, &cfg(2), &[4]);
+        assert_eq!(r.worker_failures, 1);
+        assert_eq!(r.reexecuted_tasks, 1);
+        assert!((r.wasted_ns - 4.0).abs() < 1e-9, "{}", r.wasted_ns);
+        // Survivor runs its own task (0..10) then the re-executed one
+        // (10..20).
+        assert!((r.makespan_ns - 20.0).abs() < 1e-9, "{}", r.makespan_ns);
+        // Busy time: 10 + 10 completed + 4 wasted.
+        assert!((r.busy_ns - 24.0).abs() < 1e-9, "{}", r.busy_ns);
+    }
+
+    #[test]
+    fn last_worker_is_never_killed() {
+        let g = independent(4, 5.0);
+        let r = simulate_with_failures(&g, &cfg(2), &[1, 2, 3]);
+        // Only one kill can apply; the rest are skipped.
+        assert_eq!(r.worker_failures, 1);
+        // The survivor serialises all four tasks: node0 finishes at 5,
+        // then the re-executed node1 and the remaining two.
+        assert!((r.makespan_ns - 20.0).abs() < 1e-9, "{}", r.makespan_ns);
+        // All four tasks still complete.
+        assert_eq!(r.compute_tasks, 4);
+    }
+
+    #[test]
+    fn kill_after_completion_is_ignored() {
+        let g = independent(2, 3.0);
+        let r = simulate_with_failures(&g, &cfg(2), &[1_000_000]);
+        assert_eq!(r.worker_failures, 0);
+        assert!((r.makespan_ns - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_worker_kill_reduces_capacity() {
+        // 4 tasks of 10ns on 3 workers; kill at t=0 hits a busy worker
+        // (adversarial), then the survivors finish on 2 workers.
+        let g = independent(4, 10.0);
+        let r = simulate_with_failures(&g, &cfg(3), &[0]);
+        assert_eq!(r.worker_failures, 1);
+        // 2 workers, 4 tasks (one re-executed at zero progress):
+        // makespan 2 rounds of 10ns.
+        assert!((r.makespan_ns - 20.0).abs() < 1e-9, "{}", r.makespan_ns);
+        assert!((r.wasted_ns - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_kills() {
+        use recdp_taskgraph::{dataflow, ge_kernel_flops};
+        let g = dataflow::ge(16, &ge_kernel_flops(8));
+        let base = simulate_with_failures(&g, &cfg(8), &[]);
+        let one = simulate_with_failures(&g, &cfg(8), &[1_000]);
+        let many = simulate_with_failures(&g, &cfg(8), &[1_000, 2_000, 3_000, 4_000]);
+        // Failures never beat the failure-free run (capacity only drops
+        // and re-execution only adds work).
+        assert!(one.makespan_ns >= base.makespan_ns - 1e-9);
+        assert!(many.makespan_ns >= base.makespan_ns - 1e-9);
+        assert_eq!(many.worker_failures, 4);
+        assert!(many.wasted_ns >= 0.0);
+    }
+}

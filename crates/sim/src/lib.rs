@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod failures;
 pub mod overhead;
 pub mod result;
 
 pub use engine::{simulate, simulate_with_timeline, QueuePolicy, SimConfig};
+pub use failures::simulate_with_failures;
 pub use overhead::{config_for, Workload};
 pub use result::SimResult;

@@ -14,6 +14,14 @@ pub struct SimResult {
     /// `busy / (makespan * P)` in [0, 1]: the resource-utilisation figure
     /// behind the paper's "threads becoming idle" argument.
     pub utilization: f64,
+    /// Worker-busy nanoseconds thrown away by fail-stop worker failures
+    /// (partial executions lost at kill time). Zero in failure-free runs.
+    pub wasted_ns: f64,
+    /// Compute-task executions repeated because their worker was killed
+    /// mid-task. Zero in failure-free runs.
+    pub reexecuted_tasks: usize,
+    /// Workers killed during the run (fail-stop events actually applied).
+    pub worker_failures: usize,
 }
 
 impl SimResult {
@@ -41,6 +49,9 @@ mod tests {
             processors: 4,
             compute_tasks: 7,
             utilization: 0.125,
+            wasted_ns: 0.0,
+            reexecuted_tasks: 0,
+            worker_failures: 0,
         };
         assert!((r.seconds() - 2.0).abs() < 1e-12);
         assert!((r.speedup_over(8e9) - 4.0).abs() < 1e-12);

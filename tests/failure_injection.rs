@@ -2,7 +2,7 @@
 //! violations and step failures must surface as structured errors, not
 //! hangs or corruption.
 
-use recdp_cnc::{CncError, CncGraph, DepSet, StepAbort, StepOutcome};
+use recdp_cnc::{CncError, CncGraph, DepSet, FailureKind, StepAbort, StepOutcome};
 
 #[test]
 fn unproduced_item_deadlocks_cleanly() {
@@ -18,7 +18,16 @@ fn unproduced_item_deadlocks_cleanly() {
         tags.put(i);
     }
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 10),
+        Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+            assert_eq!(blocked_instances, 10);
+            // The wait-for diagnostic names every starved instance with
+            // the collection and debug-rendered key it is parked on.
+            assert_eq!(diagnostic.waits.len(), 10);
+            assert!(diagnostic.waits.iter().all(|w| w.step == "starved"));
+            assert!(diagnostic.waits.iter().all(|w| w.collection == "ghost"));
+            let rendered = diagnostic.render();
+            assert!(rendered.contains("[ghost]"), "{rendered}");
+        }
         other => panic!("expected deadlock, got {other:?}"),
     }
 }
@@ -43,7 +52,15 @@ fn partial_deadlock_is_detected_after_progress() {
         tags.put(i);
     }
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 5),
+        Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+            assert_eq!(blocked_instances, 5);
+            // Only the starved keys 5..10 appear in the diagnostic.
+            assert_eq!(diagnostic.waits.len(), 5);
+            for w in &diagnostic.waits {
+                let key: u32 = w.key.parse().expect("u32 debug-renders as itself");
+                assert!(key >= 5, "resolved key {key} must not be reported");
+            }
+        }
         other => panic!("expected partial deadlock, got {other:?}"),
     }
 }
@@ -65,9 +82,18 @@ fn double_put_is_a_structured_error() {
         Err(CncError::SingleAssignmentViolation { collection, .. }) => {
             assert_eq!(collection, "tiles");
         }
-        // The second put surfaces inside a step, which converts it into
-        // a step failure mentioning the violation — also acceptable.
-        Err(CncError::StepFailed(msg)) => assert!(msg.contains("single-assignment"), "{msg}"),
+        // The second put surfaces inside a step, which wraps it as a
+        // step failure whose *source* is the violation — no stringly
+        // flattening.
+        Err(CncError::StepFailed { step, failure }) => {
+            assert_eq!(step, "dup");
+            match failure.source.as_deref() {
+                Some(CncError::SingleAssignmentViolation { collection, .. }) => {
+                    assert_eq!(*collection, "tiles");
+                }
+                other => panic!("expected preserved source error, got {other:?}"),
+            }
+        }
         other => panic!("expected violation, got {other:?}"),
     }
 }
@@ -78,7 +104,7 @@ fn failed_step_cancels_the_graph() {
     let tags = g.tag_collection::<u32>("t");
     tags.prescribe("sometimes-bad", move |&n, _| {
         if n == 3 {
-            return Err(StepAbort::Failed("input 3 rejected".into()));
+            return Err(StepAbort::permanent("input 3 rejected"));
         }
         Ok(StepOutcome::Done)
     });
@@ -86,7 +112,11 @@ fn failed_step_cancels_the_graph() {
         tags.put(i);
     }
     match g.wait() {
-        Err(CncError::StepFailed(msg)) => assert!(msg.contains("input 3 rejected")),
+        Err(CncError::StepFailed { step, failure }) => {
+            assert_eq!(step, "sometimes-bad");
+            assert_eq!(failure.kind, FailureKind::Permanent);
+            assert!(failure.message.contains("input 3 rejected"), "{failure}");
+        }
         other => panic!("expected failure, got {other:?}"),
     }
 }
@@ -118,7 +148,7 @@ fn pre_scheduled_step_with_impossible_dep_deadlocks() {
     tags.prescribe("never-runs", move |_, _| panic!("must not dispatch"));
     tags.put_when(0, &DepSet::new().item(&items, 42));
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances }) => assert_eq!(blocked_instances, 1),
+        Err(CncError::Deadlock { blocked_instances, .. }) => assert_eq!(blocked_instances, 1),
         other => panic!("expected deadlock, got {other:?}"),
     }
 }
