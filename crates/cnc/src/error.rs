@@ -15,6 +15,13 @@ pub enum FailureKind {
     /// The failure is expected to go away on re-execution (lost message,
     /// injected chaos fault, contended resource). The runtime re-executes
     /// the instance under the graph's [`crate::RetryPolicy`].
+    ///
+    /// Retrying re-runs the body *from scratch*, so it is only safe while
+    /// the body has published nothing: a transient failure returned after
+    /// an item or tag put is escalated to a permanent one by the runtime
+    /// (the retry would repeat the puts, violating single assignment).
+    /// Follow the gets-then-puts discipline and return transient failures
+    /// before any put.
     Transient,
     /// The failure is deterministic (contract violation, poisoned input);
     /// retrying cannot help and the graph aborts.
@@ -82,6 +89,11 @@ pub enum StepAbort {
 
 impl StepAbort {
     /// Shorthand for a transient failure abort.
+    ///
+    /// Must be returned *before* the body performs any item or tag put:
+    /// the retry re-runs the body from scratch and would repeat the puts.
+    /// A transient abort after a put is escalated to a permanent failure
+    /// instead of being retried (see [`FailureKind::Transient`]).
     pub fn transient(message: impl Into<String>) -> Self {
         StepAbort::Failed(StepFailure::transient(message))
     }

@@ -39,7 +39,11 @@ pub enum FaultAction {
     /// Execute normally.
     #[default]
     None,
-    /// Sleep on the worker first (a slow task), then execute.
+    /// Sleep on the worker first (a slow task), then execute. A
+    /// timing-only perturbation: counted in `GraphStats::delays_injected`
+    /// rather than `faults_injected`, because blocked-get re-executions
+    /// revisit the same site and would make the latter
+    /// interleaving-dependent.
     Delay(Duration),
     /// Fail the execution with a transient [`crate::StepFailure`] before
     /// the body runs (eligible for the graph's retry policy).
@@ -55,7 +59,8 @@ pub enum PutAction {
     /// Deliver normally.
     #[default]
     Deliver,
-    /// Sleep on the putting thread first, then deliver.
+    /// Sleep on the putting thread first, then deliver (counted in
+    /// `GraphStats::delays_injected`, not `faults_injected`).
     Delay(Duration),
     /// Silently discard the put: the item is never delivered and parked
     /// consumers stay blocked (visible in the deadlock diagnostic).

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use crate::error::{CncError, StepAbort};
 use crate::fault::PutAction;
-use crate::runtime::{Countdown, ProbeWait, RuntimeCore, StepScope};
+use crate::runtime::{note_body_put, Countdown, ProbeWait, RuntimeCore, StepScope};
 
 const SHARDS: usize = 16;
 
@@ -105,7 +105,9 @@ where
             match injector.on_put(self.inner.name, key_hash(&key)) {
                 PutAction::Deliver => {}
                 PutAction::Delay(d) => {
-                    self.inner.core.count_injected_fault();
+                    // A timing perturbation, not an outcome change: kept
+                    // out of the replay-stable `faults_injected`.
+                    self.inner.core.count_injected_delay();
                     std::thread::sleep(d);
                 }
                 PutAction::Drop => {
@@ -139,6 +141,10 @@ where
             }
         };
         self.inner.core.stats.items_put.fetch_add(1, Ordering::Relaxed);
+        // Record the delivered put against the step body executing on
+        // this thread, if any: a transient failure returned after it
+        // cannot be retried (the retry would re-put).
+        note_body_put();
         for w in waiters {
             w.fire();
         }

@@ -2,7 +2,7 @@
 //! cancellation handling, retry policies, deadlock diagnostics, and the
 //! pre-scheduling (tuner) machinery.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -103,6 +103,7 @@ impl CncGraph {
             spec: Mutex::new(Vec::new()),
             pending: AtomicUsize::new(0),
             blocked: AtomicUsize::new(0),
+            resume_epoch: AtomicUsize::new(0),
             quiesce_mutex: Mutex::new(()),
             quiesce_cond: Condvar::new(),
             error: Mutex::new(None),
@@ -175,11 +176,14 @@ impl CncGraph {
     /// unparks the consumers and a later `wait` can succeed.
     ///
     /// Call this after the environment has finished its puts. The
-    /// deadlock check double-reads the pending counter to tolerate an
-    /// environment put racing the check (the resume protocol makes the
-    /// instance visible as pending before it leaves the blocked count),
-    /// but a put that arrives entirely after the verdict still yields a
-    /// stale `Deadlock` — retry `wait` in that case.
+    /// deadlock check tolerates an environment put racing it: every
+    /// blocked -> pending resume advances a monotonic epoch, and the
+    /// verdict is only returned if the epoch (and the counters) are
+    /// unchanged across the whole check — a resumed instance that runs
+    /// to completion mid-check restarts the loop instead of producing a
+    /// spurious `Deadlock`. A put that arrives entirely after the
+    /// verdict still yields a stale `Deadlock` — retry `wait` in that
+    /// case.
     pub fn wait(&self) -> Result<GraphStats, CncError> {
         let deadline = *self.core.deadline.lock();
         self.wait_inner(deadline)
@@ -199,6 +203,10 @@ impl CncGraph {
             if let Some(err) = self.core.error.lock().clone() {
                 return Err(err);
             }
+            // Read the resume epoch before the counters: a deadlock
+            // verdict is only returned if the epoch is still unchanged
+            // after the diagnostic scan (see below).
+            let epoch = self.core.resume_epoch.load(Ordering::Acquire);
             if self.core.pending.load(Ordering::Acquire) == 0 {
                 let blocked = self.core.blocked.load(Ordering::Acquire);
                 if blocked == 0 {
@@ -217,11 +225,20 @@ impl CncGraph {
                 // lock — holding both here would invert that order).
                 drop(guard);
                 let diagnostic = self.core.deadlock_diagnostic();
-                // Confirm the stall survived the scan; if an
-                // environment put resumed someone meanwhile, loop.
+                // Confirm the stall survived the scan. Re-reading the
+                // counters alone is not enough: a resumed instance can
+                // run to full retirement between any two loads (pending
+                // pulses 0 -> 1 -> 0, blocked drops to 0 and a later
+                // park raises it again), leaving both counters looking
+                // stalled even though the graph made progress — or
+                // quiesced outright. Every resume advances
+                // `resume_epoch`, so an unchanged epoch across the whole
+                // observation window proves no parked instance was
+                // unparked and the stall is genuine.
                 let still_blocked = self.core.blocked.load(Ordering::Acquire);
                 if self.core.pending.load(Ordering::Acquire) == 0
                     && still_blocked > 0
+                    && self.core.resume_epoch.load(Ordering::Acquire) == epoch
                     && self.core.error.lock().is_none()
                 {
                     return Err(CncError::Deadlock {
@@ -324,6 +341,13 @@ pub(crate) struct RuntimeCore {
     pending: AtomicUsize,
     /// Step instances parked on wait lists / pre-scheduling countdowns.
     blocked: AtomicUsize,
+    /// Monotonic count of blocked -> pending resumes. The deadlock check
+    /// brackets its counter reads with two loads of this epoch: `pending`
+    /// and `blocked` can each pulse up and back down unobserved between
+    /// two reads, but a resume can never hide — it always advances the
+    /// epoch — so an unchanged epoch proves no parked instance ran (and
+    /// possibly retired) while the verdict was being formed.
+    resume_epoch: AtomicUsize,
     quiesce_mutex: Mutex<()>,
     quiesce_cond: Condvar,
     error: Mutex<Option<CncError>>,
@@ -361,6 +385,10 @@ impl RuntimeCore {
 
     pub(crate) fn count_injected_fault(&self) {
         self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_injected_delay(&self) {
+        self.stats.delays_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Scans every collection for parked waiters and assembles the
@@ -585,9 +613,14 @@ impl InstanceTask {
         let outcome = match self.consult_injector() {
             Some(abort) => Ok(Err(abort)),
             None => {
+                BODY_PUTS.with(|c| c.set(Some(0)));
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.exec)(&scope)))
             }
         };
+        // Puts the body published before returning (0 for injector-driven
+        // aborts, which fire before the body runs). `take` resets the
+        // slot to None so environment code on this thread is not counted.
+        let body_puts = BODY_PUTS.with(|c| c.take()).unwrap_or(0);
         let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
         match outcome {
             Ok(Ok(_)) => {
@@ -597,7 +630,7 @@ impl InstanceTask {
                 self.core.stats.steps_requeued.fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(StepAbort::Failed(failure))) => {
-                self.handle_failure(failure);
+                self.handle_failure(failure, body_puts);
             }
             Err(panic) => {
                 let msg = panic_message(&*panic);
@@ -639,7 +672,12 @@ impl InstanceTask {
         match injector.before_step(&site) {
             FaultAction::None => None,
             FaultAction::Delay(d) => {
-                self.core.count_injected_fault();
+                // Delays perturb timing, not outcomes, and are consulted
+                // once per *execution* — including blocked-get
+                // re-executions, whose count is interleaving-dependent.
+                // They therefore count into `delays_injected`, never into
+                // the replay-stable `faults_injected`.
+                self.core.count_injected_delay();
                 std::thread::sleep(d);
                 None
             }
@@ -657,7 +695,28 @@ impl InstanceTask {
     /// Routes a structured failure: transient failures consume the retry
     /// budget and re-execute; permanent ones (and exhausted budgets)
     /// abort the graph with a structured error.
-    fn handle_failure(self: &Arc<Self>, failure: StepFailure) {
+    ///
+    /// `body_puts` is the number of puts the failing execution published
+    /// before aborting. Retrying is only idempotent when it is zero — a
+    /// re-executed body repeats its puts and trips the single-assignment
+    /// check — so a transient failure after a put is escalated to a
+    /// permanent one (with an explanatory message, the original failure's
+    /// source preserved) instead of corrupting the graph on retry.
+    fn handle_failure(self: &Arc<Self>, failure: StepFailure, body_puts: u64) {
+        let failure = if failure.kind == FailureKind::Transient && body_puts > 0 {
+            StepFailure {
+                kind: FailureKind::Permanent,
+                message: format!(
+                    "transient failure after {body_puts} put(s) cannot be retried \
+                     (a re-executed body would repeat its puts, violating single \
+                     assignment; return StepAbort::transient before any put): {}",
+                    failure.message
+                ),
+                source: failure.source,
+            }
+        } else {
+            failure
+        };
         if failure.kind == FailureKind::Permanent {
             self.core
                 .record_error(CncError::StepFailed { step: self.step_name, failure });
@@ -695,6 +754,26 @@ impl InstanceTask {
                 .record_error(CncError::StepFailed { step: self.step_name, failure });
         }
     }
+}
+
+thread_local! {
+    /// Externally-visible puts (items delivered, tags put) performed by
+    /// the step body currently executing on this worker thread; `None`
+    /// outside a body, so environment puts are not counted. Used to
+    /// refuse retrying a body-originated transient failure that has
+    /// already published effects: re-running it would repeat the puts,
+    /// and single assignment forbids that.
+    static BODY_PUTS: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Notes one put made by the step body running on this thread (no-op on
+/// environment threads). Called by item and tag collections.
+pub(crate) fn note_body_put() {
+    BODY_PUTS.with(|c| {
+        if let Some(n) = c.get() {
+            c.set(Some(n + 1));
+        }
+    });
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -776,6 +855,10 @@ impl Countdown {
     pub(crate) fn fire(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let core = Arc::clone(&self.task.core);
+            // Advance the resume epoch first: the deadlock check uses it
+            // to detect a resume that runs to retirement between its
+            // counter reads (both counters would look unchanged).
+            core.resume_epoch.fetch_add(1, Ordering::AcqRel);
             core.pending.fetch_add(1, Ordering::AcqRel);
             core.blocked.fetch_sub(1, Ordering::AcqRel);
             core.dispatch(Arc::clone(&self.task), false);
@@ -974,6 +1057,61 @@ mod tests {
         assert_eq!(out.get_env(&41), Some(42));
         assert_eq!(stats.steps_retried, 2);
         assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn transient_after_put_escalates_instead_of_retrying() {
+        // A body that publishes a put and then reports a transient
+        // failure must not be retried: the re-run would repeat the put
+        // and trip single assignment. The runtime escalates it to a
+        // structured permanent failure naming the contract.
+        let g = CncGraph::with_threads(2);
+        g.set_retry_policy(RetryPolicy::attempts(5));
+        let out = g.item_collection::<u32, u32>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let o2 = out.clone();
+        tags.prescribe("eager", move |&n, _| {
+            o2.put(n, n)?;
+            Err(StepAbort::transient("glitch after put"))
+        });
+        tags.put(1);
+        match g.wait() {
+            Err(CncError::StepFailed { step: "eager", failure }) => {
+                assert_eq!(failure.kind, FailureKind::Permanent);
+                assert!(failure.message.contains("1 put(s)"), "{}", failure.message);
+                assert!(failure.message.contains("glitch after put"), "{}", failure.message);
+            }
+            other => panic!("expected escalated permanent failure, got {other:?}"),
+        }
+        assert_eq!(g.stats().steps_retried, 0, "must not retry a non-idempotent body");
+    }
+
+    #[test]
+    fn environment_puts_do_not_taint_transient_failures() {
+        // Puts from the environment thread are not step side effects:
+        // a body that fails transiently (before any put of its own)
+        // stays retryable even while the environment is putting items.
+        let g = CncGraph::with_threads(2);
+        g.set_retry_policy(RetryPolicy::attempts(3));
+        let out = g.item_collection::<u32, u32>("out");
+        let input = g.item_collection::<u32, u32>("in");
+        let tags = g.tag_collection::<u32>("t");
+        let (i2, o2) = (input.clone(), out.clone());
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        tags.prescribe("flaky", move |&n, s| {
+            if t2.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(StepAbort::transient("first try fails"));
+            }
+            let v = i2.get(s, &n)?;
+            o2.put(n, v + 1)?;
+            Ok(StepOutcome::Done)
+        });
+        input.put(3, 10).unwrap(); // environment put: must not count
+        tags.put(3);
+        let stats = g.wait().unwrap();
+        assert_eq!(out.get_env(&3), Some(11));
+        assert_eq!(stats.steps_retried, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub(crate) struct StatCounters {
     pub steps_requeued: AtomicU64,
     pub steps_retried: AtomicU64,
     pub faults_injected: AtomicU64,
+    pub delays_injected: AtomicU64,
     pub items_put: AtomicU64,
     pub gets_ok: AtomicU64,
     pub gets_blocked: AtomicU64,
@@ -26,6 +27,7 @@ impl StatCounters {
             steps_requeued: self.steps_requeued.load(Ordering::Relaxed),
             steps_retried: self.steps_retried.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            delays_injected: self.delays_injected.load(Ordering::Relaxed),
             items_put: self.items_put.load(Ordering::Relaxed),
             gets_ok: self.gets_ok.load(Ordering::Relaxed),
             gets_blocked: self.gets_blocked.load(Ordering::Relaxed),
@@ -55,9 +57,19 @@ pub struct GraphStats {
     /// ablations (distinct from `steps_requeued`, which counts
     /// blocked-get re-executions).
     pub steps_retried: u64,
-    /// Faults the installed injector actually fired (step failures,
-    /// delays, dropped or delayed puts).
+    /// Outcome-changing faults the installed injector actually fired:
+    /// transient/permanent step failures and dropped puts. These sites
+    /// are visited exactly once per (step, tag, attempt) / delivered put,
+    /// so for a seeded plan the count is interleaving-independent — the
+    /// replay guarantee chaos tests assert (`steps_retried ==
+    /// faults_injected` under transient-only plans). Injected *delays*
+    /// are excluded; see `delays_injected`.
     pub faults_injected: u64,
+    /// Timing-only perturbations the injector fired (slow steps, delayed
+    /// puts). Counted per *execution*, and blocked-get re-execution
+    /// counts depend on thread timing, so unlike `faults_injected` this
+    /// counter may vary between runs of the same seed.
+    pub delays_injected: u64,
     /// Items put.
     pub items_put: u64,
     /// Blocking gets that found their item ready.

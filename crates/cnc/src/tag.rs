@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::runtime::{Countdown, DepSet, InstanceTask, RuntimeCore, StepScope};
+use crate::runtime::{note_body_put, Countdown, DepSet, InstanceTask, RuntimeCore, StepScope};
 use crate::StepResult;
 
 type StepBody<T> = Arc<dyn Fn(&T, &StepScope) -> StepResult + Send + Sync>;
@@ -103,6 +103,10 @@ where
     /// failed blocking gets and retry).
     pub fn put(&self, tag: T) {
         self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        // A tag put from inside a body spawns instances — re-executing
+        // the body would spawn them again, so it counts as a
+        // non-retryable side effect like an item put.
+        note_body_put();
         for task in self.instances(&tag) {
             task.enqueue();
         }
@@ -115,6 +119,7 @@ where
     pub fn put_retry(&self, tag: T) {
         self.inner.core.stats.nb_retries.fetch_add(1, Ordering::Relaxed);
         self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        note_body_put();
         for task in self.instances(&tag) {
             // Fair (global-injector) dispatch: a self-respawning step on
             // a LIFO deque would otherwise be popped straight back and
@@ -129,6 +134,7 @@ where
     /// declares the whole computation up front, the Manual-CnC variant).
     pub fn put_when(&self, tag: T, deps: &DepSet) {
         self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        note_body_put();
         for task in self.instances(&tag) {
             let countdown = Countdown::arm(task);
             deps.register_all(&countdown);

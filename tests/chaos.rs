@@ -107,7 +107,10 @@ fn chaos_runs_replay_identically_from_the_seed() {
 #[test]
 fn slow_and_delayed_chaos_still_converges() {
     // Delays (slow steps + delayed puts) perturb timing only; combined
-    // with transient failures the run still matches the oracle.
+    // with transient failures the run still matches the oracle, and the
+    // replay-stable `steps_retried == faults_injected` invariant holds
+    // even with delays enabled, because injected delays are tracked in
+    // the separate (interleaving-dependent) `delays_injected` counter.
     let m0 = ge_matrix(N, 77);
     let mut oracle = m0.clone();
     ge::ge_loops(&mut oracle);
@@ -117,8 +120,28 @@ fn slow_and_delayed_chaos_still_converges() {
         .delayed_puts(0.1, Duration::from_micros(100));
     let graph = chaos_graph(plan, 12);
     let mut m = m0.clone();
-    ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph).unwrap();
+    let stats = ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph).unwrap();
     assert!(m.bitwise_eq(&oracle));
+    assert_eq!(stats.steps_retried, stats.faults_injected, "{stats:?}");
+}
+
+#[test]
+fn delays_count_separately_from_faults() {
+    // A delay-only plan fires on every execution but must leave
+    // `faults_injected` (the replay-stable counter) untouched.
+    let graph = CncGraph::with_threads(2);
+    graph.set_fault_injector(Arc::new(
+        FaultPlan::new(1).slow_steps(1.0, Duration::from_micros(50)),
+    ));
+    let tags = graph.tag_collection::<u32>("t");
+    tags.prescribe("noop", |_, _| Ok(StepOutcome::Done));
+    for i in 0..4 {
+        tags.put(i);
+    }
+    let stats = graph.wait().unwrap();
+    assert_eq!(stats.faults_injected, 0, "delays are not faults: {stats:?}");
+    assert_eq!(stats.delays_injected, 4, "{stats:?}");
+    assert_eq!(stats.steps_retried, 0, "{stats:?}");
 }
 
 #[test]

@@ -248,6 +248,50 @@ fn env_put_racing_the_deadlock_check_recovers() {
 }
 
 #[test]
+fn concurrent_waiters_racing_an_env_put_all_drain() {
+    // Regression stress for the deadlock-verdict race: a parked instance
+    // resumed by an env put can run to full retirement *between* a
+    // verdict's counter reads, making both counters look stalled; the
+    // runtime's resume-epoch guard restarts the check instead of
+    // returning a spurious Deadlock. Several waiters hammer the verdict
+    // window while the put lands; every one of them must eventually
+    // observe quiescence (a Deadlock verdict is only acceptable as the
+    // documented put-arrived-entirely-after-the-verdict staleness, which
+    // the retry loop absorbs — it must never persist).
+    for trial in 0u32..50 {
+        let g = Arc::new(CncGraph::with_threads(2));
+        let gate = g.item_collection::<u32, u64>("gate");
+        let out = g.item_collection::<u32, u64>("out");
+        let tags = g.tag_collection::<u32>("t");
+        let (gc, oc) = (gate.clone(), out.clone());
+        tags.prescribe("parked", move |&n, s| {
+            let v = gc.get(s, &0)?;
+            oc.put(n, v)?;
+            Ok(StepOutcome::Done)
+        });
+        tags.put(trial);
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || loop {
+                    match g.wait() {
+                        Ok(_) => break,
+                        Err(recdp_cnc::CncError::Deadlock { .. }) => std::hint::spin_loop(),
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        gate.put(0, 7).unwrap();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(out.get_env(&trial), Some(7));
+        g.wait().unwrap();
+    }
+}
+
+#[test]
 fn join_under_contention_returns_correct_values() {
     let pool = ThreadPoolBuilder::new().num_threads(4).build();
     // Many concurrent joins from scope tasks, each verifying its own pair.
