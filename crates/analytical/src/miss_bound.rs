@@ -66,9 +66,9 @@ pub fn ge_miss_upper_bound_by_summation(m: usize, line_doubles: usize) -> u64 {
     let mut total = 0u64;
     for _k in 0..m64 {
         total += 1; // C[k][k]
-        // The paper's model charges (m+1) "i iterations" worth of row
-        // traffic per k, covering the pivot-row read C[k][j] once plus the
-        // m updated rows.
+                    // The paper's model charges (m+1) "i iterations" worth of row
+                    // traffic per k, covering the pivot-row read C[k][j] once plus the
+                    // m updated rows.
         for _i in 0..=m64 {
             total += 1; // C[i][k] (column walk: a fresh line each i)
             total += row_lines; // C[i][j] / C[k][j] streaming
@@ -100,7 +100,10 @@ mod tests {
         let q = ge_miss_upper_bound(2048, l) as f64;
         let expected = 2048f64.powi(3) / l as f64;
         // Within a factor ~1.0-1.2 of m^3/L for large m.
-        assert!(q > expected && q < 1.2 * expected, "q={q} expected~{expected}");
+        assert!(
+            q > expected && q < 1.2 * expected,
+            "q={q} expected~{expected}"
+        );
     }
 
     #[test]

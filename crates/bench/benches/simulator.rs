@@ -24,7 +24,13 @@ fn dag_build(c: &mut Criterion) {
 fn sim_run(c: &mut Criterion) {
     let machine = epyc64();
     let graph = dag(Benchmark::Ge, Model::DataFlow, 32, 128);
-    let cfg = config_for(&machine, &ParadigmOverheads::cnc_tuner(), Workload::Ge, 128, 64);
+    let cfg = config_for(
+        &machine,
+        &ParadigmOverheads::cnc_tuner(),
+        Workload::Ge,
+        128,
+        64,
+    );
     let mut group = c.benchmark_group("simulate_ge_df_t32");
     group.sample_size(10);
     group.bench_function("11440_tasks_64_workers", |b| {

@@ -32,9 +32,7 @@ use recdp_kernels::workloads::ge_matrix;
 use recdp_kernels::{ge::ge_cnc, CncVariant};
 use recdp_machine::{epyc64, skylake192, ParadigmOverheads};
 use recdp_sim::{config_for, simulate, simulate_with_failures, QueuePolicy, SimConfig, Workload};
-use recdp_taskgraph::{
-    dataflow, fw_kernel_flops, ge_kernel_flops, metrics, rway, sw_kernel_flops,
-};
+use recdp_taskgraph::{dataflow, fw_kernel_flops, ge_kernel_flops, metrics, rway, sw_kernel_flops};
 
 fn main() {
     let mut csv = String::new();
@@ -50,21 +48,43 @@ fn main() {
 
 fn rway_sweep(csv: &mut String) {
     println!("== ablation 1: r-way GE recursion (t = 16 tiles, base 128, EPYC-64) ==");
-    println!("{:>8} {:>14} {:>12} {:>14}", "r", "span (flops)", "parallelism", "sim time (s)");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14}",
+        "r", "span (flops)", "parallelism", "sim time (s)"
+    );
     csv.push_str("section,r,span,parallelism,sim_seconds\n");
     let machine = epyc64();
     let f = ge_kernel_flops(128);
     let t = 16;
-    let cfg = config_for(&machine, &ParadigmOverheads::fork_join(), Workload::Ge, 128, 64);
+    let cfg = config_for(
+        &machine,
+        &ParadigmOverheads::fork_join(),
+        Workload::Ge,
+        128,
+        64,
+    );
     for r in [2usize, 4, 16] {
         let g = rway::ge(t, r, &f);
         let m = metrics::analyze(&g);
         let sim = simulate(&g, &cfg);
-        println!("{r:>8} {:>14.3e} {:>12.1} {:>14.4}", m.span, m.parallelism, sim.seconds());
-        csv.push_str(&format!("rway,{r},{:.6e},{:.2},{:.6}\n", m.span, m.parallelism, sim.seconds()));
+        println!(
+            "{r:>8} {:>14.3e} {:>12.1} {:>14.4}",
+            m.span,
+            m.parallelism,
+            sim.seconds()
+        );
+        csv.push_str(&format!(
+            "rway,{r},{:.6e},{:.2},{:.6}\n",
+            m.span,
+            m.parallelism,
+            sim.seconds()
+        ));
     }
     let df = metrics::analyze(&dataflow::ge(t, &f));
-    println!("{:>8} {:>14.3e} {:>12.1} {:>14}", "true-dep", df.span, df.parallelism, "-");
+    println!(
+        "{:>8} {:>14.3e} {:>12.1} {:>14}",
+        "true-dep", df.span, df.parallelism, "-"
+    );
 }
 
 fn blocking_styles(csv: &mut String) {
@@ -76,9 +96,10 @@ fn blocking_styles(csv: &mut String) {
     csv.push_str("section,base,style,steps,wasted,ratio\n");
     let n = 256;
     for base in [8usize, 16, 32, 64] {
-        for (style, variant) in
-            [("blocking", CncVariant::Native), ("nonblock", CncVariant::NonBlocking)]
-        {
+        for (style, variant) in [
+            ("blocking", CncVariant::Native),
+            ("nonblock", CncVariant::NonBlocking),
+        ] {
             let mut m = ge_matrix(n, 7);
             let stats = ge_cnc(&mut m, base, variant, 2);
             let wasted = stats.steps_requeued + stats.nb_retries;
@@ -98,28 +119,47 @@ fn blocking_styles(csv: &mut String) {
 
 fn queue_policy(csv: &mut String) {
     println!("\n== ablation 3: ready-queue policy (GE data-flow DAG, t = 32, EPYC-64) ==");
-    println!("{:>8} {:>14} {:>12}", "policy", "makespan (s)", "utilization");
+    println!(
+        "{:>8} {:>14} {:>12}",
+        "policy", "makespan (s)", "utilization"
+    );
     csv.push_str("section,policy,seconds,utilization\n");
     let machine = epyc64();
     let g = dataflow::ge(32, &ge_kernel_flops(128));
-    let base_cfg = config_for(&machine, &ParadigmOverheads::cnc_tuner(), Workload::Ge, 128, 64);
+    let base_cfg = config_for(
+        &machine,
+        &ParadigmOverheads::cnc_tuner(),
+        Workload::Ge,
+        128,
+        64,
+    );
     for (name, policy) in [("FIFO", QueuePolicy::Fifo), ("LIFO", QueuePolicy::Lifo)] {
         let cfg = SimConfig { policy, ..base_cfg };
         let r = simulate(&g, &cfg);
         println!("{name:>8} {:>14.4} {:>12.3}", r.seconds(), r.utilization);
-        csv.push_str(&format!("policy,{name},{:.6},{:.4}\n", r.seconds(), r.utilization));
+        csv.push_str(&format!(
+            "policy,{name},{:.6},{:.4}\n",
+            r.seconds(),
+            r.utilization
+        ));
     }
 }
 
 fn prefetcher(csv: &mut String) {
     println!("\n== ablation 4: next-line prefetcher on the GE base-case trace (EPYC-64) ==");
-    println!("{:>8} {:>12} {:>14} {:>14}", "m", "prefetch", "L2 misses", "DRAM accesses");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "m", "prefetch", "L2 misses", "DRAM accesses"
+    );
     csv.push_str("section,m,prefetch,l2_misses,dram\n");
     let machine = epyc64();
     for m in [64usize, 128, 256] {
         let t = 4096 / m;
         let (ti, tj, tk) = (t - 1, t - 1, t / 2);
-        for (name, policy) in [("off", PrefetchPolicy::Off), ("on", PrefetchPolicy::NextLine)] {
+        for (name, policy) in [
+            ("off", PrefetchPolicy::Off),
+            ("on", PrefetchPolicy::NextLine),
+        ] {
             let mut h = CacheHierarchy::with_prefetch(&machine.caches, policy);
             ge_base_case_trace(4096, m, ti, tj, tk, &mut |a, _| {
                 h.access(a);
@@ -152,9 +192,8 @@ fn resilience_overhead(csv: &mut String) {
                 None
             },
         };
-        let out =
-            run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 256, 32, 2, &opts)
-                .expect("retry budget absorbs the injected transient faults");
+        let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 256, 32, 2, &opts)
+            .expect("retry budget absorbs the injected transient faults");
         let stats = out.cnc_stats.expect("CnC run always carries stats");
         let ratio = stats.steps_retried as f64 / stats.steps_completed.max(1) as f64;
         println!(
@@ -181,13 +220,24 @@ fn worker_failures(csv: &mut String) {
     let graphs = [
         ("GE", Workload::Ge, dataflow::ge(16, &ge_kernel_flops(m))),
         ("SW", Workload::Sw, dataflow::sw(32, &sw_kernel_flops(m))),
-        ("FW-APSP", Workload::Fw, dataflow::fw(12, &fw_kernel_flops(m))),
+        (
+            "FW-APSP",
+            Workload::Fw,
+            dataflow::fw(12, &fw_kernel_flops(m)),
+        ),
     ];
-    for (mname, machine, procs) in
-        [("EPYC64", epyc64(), 64usize), ("SKYLAKE192", skylake192(), 192)]
-    {
+    for (mname, machine, procs) in [
+        ("EPYC64", epyc64(), 64usize),
+        ("SKYLAKE192", skylake192(), 192),
+    ] {
         for (bname, workload, graph) in &graphs {
-            let cfg = config_for(&machine, &ParadigmOverheads::cnc_tuner(), *workload, m, procs);
+            let cfg = config_for(
+                &machine,
+                &ParadigmOverheads::cnc_tuner(),
+                *workload,
+                m,
+                procs,
+            );
             let base = simulate(graph, &cfg);
             for kills in [0usize, 4, 16, procs / 2] {
                 // Kills evenly spaced across the failure-free makespan:

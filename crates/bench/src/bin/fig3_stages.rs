@@ -10,7 +10,10 @@ use recdp::{dag, Benchmark, Model};
 use recdp_taskgraph::metrics::width_profile;
 
 fn main() {
-    let t: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let t: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     println!("# ready-width per stage, GE with t = {t} tiles per side");
     for model in [Model::ForkJoin, Model::DataFlow] {
         let g = dag(Benchmark::Ge, model, t, 64);

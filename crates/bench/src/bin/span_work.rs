@@ -6,41 +6,22 @@
 //!
 //! Usage: `span_work`
 
-use recdp::{dag_metrics, Benchmark, Model};
+use recdp_bench::tables::{span_work_csv, span_work_rows, SPAN_WORK_BASE};
 
 fn main() {
-    println!("# Work/span of the two execution models (weights = flops, base m = 64)");
+    println!(
+        "# Work/span of the two execution models (weights = flops, base m = {SPAN_WORK_BASE})"
+    );
     println!(
         "{:>8} {:>6} {:>14} {:>14} {:>14} {:>12} {:>10}",
         "bench", "T", "work", "span(FJ)", "span(DF)", "FJ/DF span", "par(DF)"
     );
-    let mut csv = String::from("bench,t,work,span_fj,span_df,span_ratio,par_fj,par_df\n");
-    for benchmark in Benchmark::ALL {
-        for t in [4usize, 8, 16, 32, 64] {
-            let fj = dag_metrics(benchmark, Model::ForkJoin, t, 64);
-            let df = dag_metrics(benchmark, Model::DataFlow, t, 64);
-            let ratio = fj.span / df.span;
-            println!(
-                "{:>8} {:>6} {:>14.3e} {:>14.3e} {:>14.3e} {:>12.2} {:>10.1}",
-                benchmark.name(),
-                t,
-                fj.work,
-                fj.span,
-                df.span,
-                ratio,
-                df.parallelism
-            );
-            csv.push_str(&format!(
-                "{},{t},{:.6e},{:.6e},{:.6e},{ratio:.4},{:.2},{:.2}\n",
-                benchmark.name(),
-                fj.work,
-                fj.span,
-                df.span,
-                fj.parallelism,
-                df.parallelism
-            ));
-        }
+    for r in span_work_rows() {
+        println!(
+            "{:>8} {:>6} {:>14.3e} {:>14.3e} {:>14.3e} {:>12.2} {:>10.1}",
+            r.bench, r.t, r.work, r.span_fj, r.span_df, r.span_ratio, r.par_df
+        );
     }
-    let path = recdp_bench::write_results("span_work.csv", &csv);
+    let path = recdp_bench::write_results("span_work.csv", &span_work_csv());
     println!("wrote {}", path.display());
 }

@@ -15,67 +15,44 @@
 //!   set-associative LRU simulator. It sees only within-task reuse (no
 //!   cross-task panel sharing), so its L2 cliff lands one base-size
 //!   later; reported for transparency. Tracing is O(m^3), so bases
-//!   above 512 print `-` unless `--trace-all` is given.
+//!   above 512 print `-` unless `--trace-all` is given, and `--quick`
+//!   lowers the limit to 128 (the mode the golden-file tests use).
 //!
-//! Usage: `table1 [--trace-all]`
+//! Usage: `table1 [--trace-all | --quick]`
 
-use recdp_analytical::{capacity_aware_misses_per_task, ge_miss_upper_bound, locality_ratio};
-use recdp_cachesim::workloads::ge_base_case_trace;
-use recdp_cachesim::CacheHierarchy;
-use recdp_machine::skylake192;
-
-const PROBLEM: usize = 8192;
-const BASES: [usize; 6] = [64, 128, 256, 512, 1024, 2048];
-const TRACE_LIMIT: usize = 512;
+use recdp_bench::tables::{
+    table1_csv, table1_rows, TABLE1_PROBLEM, TABLE1_QUICK_TRACE_LIMIT, TABLE1_TRACE_LIMIT,
+};
 
 fn main() {
-    let trace_all = std::env::args().any(|a| a == "--trace-all");
-    let sky = skylake192();
-    let line = sky.caches.line_doubles();
+    let mut trace_limit = TABLE1_TRACE_LIMIT;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--trace-all" => trace_limit = usize::MAX,
+            "--quick" => trace_limit = TABLE1_QUICK_TRACE_LIMIT,
+            other => panic!("unknown argument {other:?} (--trace-all | --quick)"),
+        }
+    }
     println!("# Table I: max-estimated/actual cache-miss ratio");
-    println!("# GE, problem {PROBLEM}x{PROBLEM}, SKYLAKE");
+    println!("# GE, problem {TABLE1_PROBLEM}x{TABLE1_PROBLEM}, SKYLAKE");
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12}",
         "Base Size", "L2 (model)", "L3 (model)", "L2 (traced)", "L3 (traced)"
     );
-    let mut csv = String::from("base,l2_model,l3_model,l2_traced,l3_traced\n");
-    for m in BASES {
-        let bound = ge_miss_upper_bound(m, line) as f64;
-        let l2_model = locality_ratio(
-            bound,
-            capacity_aware_misses_per_task(m, &sky.caches.levels[1], line),
+    let fmt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    };
+    for r in table1_rows(trace_limit) {
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>12} {:>12}",
+            r.base,
+            r.l2_model,
+            r.l3_model,
+            fmt(r.l2_traced),
+            fmt(r.l3_traced)
         );
-        let l3_model = locality_ratio(
-            bound,
-            capacity_aware_misses_per_task(m, &sky.caches.levels[2], line),
-        );
-        let traced = trace_all || m <= TRACE_LIMIT;
-        let (l2_t, l3_t) = if traced {
-            let (a2, a3) = actual_by_trace(&sky, m);
-            (
-                format!("{:.2}", locality_ratio(bound, a2)),
-                format!("{:.2}", locality_ratio(bound, a3)),
-            )
-        } else {
-            ("-".to_string(), "-".to_string())
-        };
-        println!("{m:>10} {l2_model:>12.2} {l3_model:>12.2} {l2_t:>12} {l3_t:>12}");
-        csv.push_str(&format!("{m},{l2_model:.2},{l3_model:.2},{l2_t},{l3_t}\n"));
     }
-    let path = recdp_bench::write_results("table1.csv", &csv);
+    let path = recdp_bench::write_results("table1.csv", &table1_csv(trace_limit));
     println!("wrote {}", path.display());
-}
-
-/// Simulates one representative interior base-case task (a D-kernel
-/// update away from the matrix borders) through the Skylake hierarchy
-/// and returns its (L2, L3) demand misses.
-fn actual_by_trace(machine: &recdp_machine::MachineConfig, m: usize) -> (f64, f64) {
-    let mut hierarchy = CacheHierarchy::new(&machine.caches);
-    let t = PROBLEM / m;
-    let (i, j, k) = if t == 1 { (0, 0, 0) } else { (t - 1, t - 1, t / 2) };
-    ge_base_case_trace(PROBLEM, m, i, j, k, &mut |addr, _| {
-        hierarchy.access(addr);
-    });
-    let stats = hierarchy.stats();
-    (stats[1].misses as f64, stats[2].misses as f64)
 }

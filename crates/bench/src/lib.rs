@@ -59,7 +59,11 @@ impl FigureArgs {
         if machines.is_empty() {
             machines = vec![epyc64(), skylake192()];
         }
-        FigureArgs { machines, full, task_cap: 8_000_000 }
+        FigureArgs {
+            machines,
+            full,
+            task_cap: 8_000_000,
+        }
     }
 
     /// Whether a point with `tasks` simulated tasks should be skipped.
@@ -71,13 +75,24 @@ impl FigureArgs {
 /// Writes `content` to `results/<name>` under the workspace root,
 /// creating the directory if needed, and returns the path.
 pub fn write_results(name: &str, content: &str) -> std::path::PathBuf {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(name);
     std::fs::write(&path, content).expect("write results file");
     path
+}
+
+/// Path of a (possibly committed) file under the workspace `results/`
+/// directory, without touching the filesystem. The golden-file tests use
+/// this to locate the checked-in CSVs they diff against.
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    results_dir().join(name)
+}
+
+fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
 }
 
 #[cfg(test)]
@@ -104,7 +119,9 @@ mod tests {
     #[test]
     fn args_parse_machine_and_full() {
         let a = FigureArgs::parse(
-            ["--machine", "epyc64", "--full"].iter().map(|s| s.to_string()),
+            ["--machine", "epyc64", "--full"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert_eq!(a.machines.len(), 1);
         assert_eq!(a.machines[0].name, "EPYC-64");
@@ -116,6 +133,184 @@ mod tests {
     #[should_panic(expected = "unknown machine")]
     fn bad_machine_rejected() {
         let _ = FigureArgs::parse(["--machine", "cray"].iter().map(|s| s.to_string()));
+    }
+}
+
+/// Row-level generation of **Table I** and the span/work ablation,
+/// shared between the `table1`/`span_work` binaries and the golden-file
+/// tests (which regenerate the CSVs in quick mode and diff them against
+/// the committed `results/*.csv`).
+pub mod tables {
+    use recdp::{dag_metrics, Benchmark, Model};
+    use recdp_analytical::{capacity_aware_misses_per_task, ge_miss_upper_bound, locality_ratio};
+    use recdp_cachesim::workloads::ge_base_case_trace;
+    use recdp_cachesim::CacheHierarchy;
+    use recdp_machine::{skylake192, MachineConfig};
+
+    /// Table I problem size (8K x 8K GE on SKYLAKE-192).
+    pub const TABLE1_PROBLEM: usize = 8192;
+    /// Table I base-size axis.
+    pub const TABLE1_BASES: [usize; 6] = [64, 128, 256, 512, 1024, 2048];
+    /// Default largest base traced through the cache simulator (tracing
+    /// is O(m^3); larger bases print `-`).
+    pub const TABLE1_TRACE_LIMIT: usize = 512;
+    /// Trace limit of `--quick` mode: enough rows to diff against the
+    /// committed golden while keeping the trace volume test-sized.
+    pub const TABLE1_QUICK_TRACE_LIMIT: usize = 128;
+
+    /// One row of Table I. Traced columns are `None` above the trace
+    /// limit (rendered as `-` in the CSV).
+    #[derive(Debug, Clone)]
+    pub struct Table1Row {
+        /// Base-case size `m`.
+        pub base: usize,
+        /// Max-estimate/actual ratio against the L2 capacity model.
+        pub l2_model: f64,
+        /// Max-estimate/actual ratio against the L3 capacity model.
+        pub l3_model: f64,
+        /// Ratio against simulated L2 misses of one traced base task.
+        pub l2_traced: Option<f64>,
+        /// Ratio against simulated L3 misses of one traced base task.
+        pub l3_traced: Option<f64>,
+    }
+
+    /// Computes Table I, tracing bases up to `trace_limit` through the
+    /// set-associative LRU simulator.
+    pub fn table1_rows(trace_limit: usize) -> Vec<Table1Row> {
+        let sky = skylake192();
+        let line = sky.caches.line_doubles();
+        TABLE1_BASES
+            .iter()
+            .map(|&m| {
+                let bound = ge_miss_upper_bound(m, line) as f64;
+                let l2_model = locality_ratio(
+                    bound,
+                    capacity_aware_misses_per_task(m, &sky.caches.levels[1], line),
+                );
+                let l3_model = locality_ratio(
+                    bound,
+                    capacity_aware_misses_per_task(m, &sky.caches.levels[2], line),
+                );
+                let (l2_traced, l3_traced) = if m <= trace_limit {
+                    let (a2, a3) = trace_base_task(&sky, m);
+                    (
+                        Some(locality_ratio(bound, a2)),
+                        Some(locality_ratio(bound, a3)),
+                    )
+                } else {
+                    (None, None)
+                };
+                Table1Row {
+                    base: m,
+                    l2_model,
+                    l3_model,
+                    l2_traced,
+                    l3_traced,
+                }
+            })
+            .collect()
+    }
+
+    /// Table I as CSV, identical to what the `table1` binary writes to
+    /// `results/table1.csv` at the same trace limit.
+    pub fn table1_csv(trace_limit: usize) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        };
+        let mut csv = String::from("base,l2_model,l3_model,l2_traced,l3_traced\n");
+        for r in table1_rows(trace_limit) {
+            csv.push_str(&format!(
+                "{},{:.2},{:.2},{},{}\n",
+                r.base,
+                r.l2_model,
+                r.l3_model,
+                fmt(r.l2_traced),
+                fmt(r.l3_traced)
+            ));
+        }
+        csv
+    }
+
+    /// Simulates one representative interior base-case task (a D-kernel
+    /// update away from the matrix borders) through the machine's cache
+    /// hierarchy and returns its (L2, L3) demand misses.
+    fn trace_base_task(machine: &MachineConfig, m: usize) -> (f64, f64) {
+        let mut hierarchy = CacheHierarchy::new(&machine.caches);
+        let t = TABLE1_PROBLEM / m;
+        let (i, j, k) = if t == 1 {
+            (0, 0, 0)
+        } else {
+            (t - 1, t - 1, t / 2)
+        };
+        ge_base_case_trace(TABLE1_PROBLEM, m, i, j, k, &mut |addr, _| {
+            hierarchy.access(addr);
+        });
+        let stats = hierarchy.stats();
+        (stats[1].misses as f64, stats[2].misses as f64)
+    }
+
+    /// Tile-count axis of the span/work ablation.
+    pub const SPAN_WORK_TILES: [usize; 5] = [4, 8, 16, 32, 64];
+    /// Base-case size the ablation weights flops with.
+    pub const SPAN_WORK_BASE: usize = 64;
+
+    /// One row of the span/work ablation (one benchmark at one tile
+    /// count, both execution models).
+    #[derive(Debug, Clone)]
+    pub struct SpanWorkRow {
+        /// Benchmark display name.
+        pub bench: &'static str,
+        /// Tiles per dimension.
+        pub t: usize,
+        /// Total work `T1` (identical across models).
+        pub work: f64,
+        /// Fork-join critical path.
+        pub span_fj: f64,
+        /// Data-flow critical path.
+        pub span_df: f64,
+        /// Fork-join over data-flow span ratio (the paper's extra-span
+        /// claim: grows with `t`).
+        pub span_ratio: f64,
+        /// `T1 / T-inf` under fork-join.
+        pub par_fj: f64,
+        /// `T1 / T-inf` under data-flow.
+        pub par_df: f64,
+    }
+
+    /// Computes the span/work ablation over the paper's three benchmarks.
+    pub fn span_work_rows() -> Vec<SpanWorkRow> {
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::ALL {
+            for t in SPAN_WORK_TILES {
+                let fj = dag_metrics(benchmark, Model::ForkJoin, t, SPAN_WORK_BASE);
+                let df = dag_metrics(benchmark, Model::DataFlow, t, SPAN_WORK_BASE);
+                rows.push(SpanWorkRow {
+                    bench: benchmark.name(),
+                    t,
+                    work: fj.work,
+                    span_fj: fj.span,
+                    span_df: df.span,
+                    span_ratio: fj.span / df.span,
+                    par_fj: fj.parallelism,
+                    par_df: df.parallelism,
+                });
+            }
+        }
+        rows
+    }
+
+    /// The ablation as CSV, identical to what the `span_work` binary
+    /// writes to `results/span_work.csv`.
+    pub fn span_work_csv() -> String {
+        let mut csv = String::from("bench,t,work,span_fj,span_df,span_ratio,par_fj,par_df\n");
+        for r in span_work_rows() {
+            csv.push_str(&format!(
+                "{},{},{:.6e},{:.6e},{:.6e},{:.4},{:.2},{:.2}\n",
+                r.bench, r.t, r.work, r.span_fj, r.span_df, r.span_ratio, r.par_fj, r.par_df
+            ));
+        }
+        csv
     }
 }
 

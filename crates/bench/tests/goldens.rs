@@ -1,0 +1,85 @@
+//! Golden-file tests: the committed `results/table1.csv` and
+//! `results/span_work.csv` must match what the current code regenerates.
+//!
+//! Table I is regenerated in `--quick` mode (trace limit 128), so rows
+//! above the quick limit have `-` in the traced columns where the
+//! committed golden has numbers; cells are compared only when numeric in
+//! *both* CSVs, with a relative tolerance (the values are deterministic,
+//! the tolerance only absorbs decimal rendering).
+
+use recdp_bench::results_path;
+use recdp_bench::tables::{span_work_csv, table1_csv, TABLE1_QUICK_TRACE_LIMIT};
+
+const REL_TOLERANCE: f64 = 1e-3;
+
+fn read_golden(name: &str) -> String {
+    let path = results_path(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed golden {} unreadable: {e}", path.display()))
+}
+
+/// Diffs two CSVs cell by cell. Cells that parse as f64 in both are
+/// compared with relative tolerance; non-numeric cells (headers, `-`
+/// placeholders, labels) must be equal verbatim — except that a cell
+/// numeric on one side and `-` on the other is skipped (differing trace
+/// limits legitimately blank cells).
+fn assert_csv_close(name: &str, golden: &str, regenerated: &str) {
+    let g_lines: Vec<&str> = golden.trim_end().lines().collect();
+    let r_lines: Vec<&str> = regenerated.trim_end().lines().collect();
+    assert_eq!(
+        g_lines.len(),
+        r_lines.len(),
+        "{name}: row count changed ({} committed vs {} regenerated)",
+        g_lines.len(),
+        r_lines.len()
+    );
+    for (row, (g_line, r_line)) in g_lines.iter().zip(&r_lines).enumerate() {
+        let g_cells: Vec<&str> = g_line.split(',').collect();
+        let r_cells: Vec<&str> = r_line.split(',').collect();
+        assert_eq!(
+            g_cells.len(),
+            r_cells.len(),
+            "{name} row {row}: column count changed\n  committed:   {g_line}\n  regenerated: {r_line}"
+        );
+        for (col, (g, r)) in g_cells.iter().zip(&r_cells).enumerate() {
+            match (g.parse::<f64>(), r.parse::<f64>()) {
+                (Ok(gv), Ok(rv)) => {
+                    let scale = gv.abs().max(rv.abs()).max(f64::MIN_POSITIVE);
+                    assert!(
+                        (gv - rv).abs() / scale <= REL_TOLERANCE,
+                        "{name} row {row} col {col}: {gv} (committed) vs {rv} \
+                         (regenerated), relative error {:.2e} > {REL_TOLERANCE:.0e}",
+                        (gv - rv).abs() / scale
+                    );
+                }
+                (Err(_), Err(_)) => {
+                    assert_eq!(g, r, "{name} row {row} col {col}: non-numeric cell changed")
+                }
+                // One side numeric, the other a `-` placeholder: a
+                // legitimate trace-limit difference, not a regression.
+                _ => {
+                    let blank = if g.parse::<f64>().is_err() { g } else { r };
+                    assert_eq!(
+                        *blank, "-",
+                        "{name} row {row} col {col}: {g:?} vs {r:?} — only `-` may \
+                         stand in for a number"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_matches_committed_golden() {
+    let golden = read_golden("table1.csv");
+    let regenerated = table1_csv(TABLE1_QUICK_TRACE_LIMIT);
+    assert_csv_close("table1.csv", &golden, &regenerated);
+}
+
+#[test]
+fn span_work_matches_committed_golden() {
+    let golden = read_golden("span_work.csv");
+    let regenerated = span_work_csv();
+    assert_csv_close("span_work.csv", &golden, &regenerated);
+}

@@ -30,7 +30,11 @@ impl CacheHierarchy {
     /// Builds a hierarchy with the given prefetch policy.
     pub fn with_prefetch(geometry: &CacheGeometry, prefetch: PrefetchPolicy) -> Self {
         let levels: Vec<_> = geometry.levels.iter().map(SetAssocCache::new).collect();
-        let detectors = geometry.levels.iter().map(|_| StreamDetector::new(16)).collect();
+        let detectors = geometry
+            .levels
+            .iter()
+            .map(|_| StreamDetector::new(16))
+            .collect();
         let prefetch_installs = vec![0; geometry.levels.len()];
         Self {
             levels,
@@ -174,7 +178,10 @@ mod tests {
         }
         let m_off = off.misses_at(1);
         let m_on = on.misses_at(1);
-        assert!(m_on < m_off, "prefetch should cut L2 stream misses: {m_on} vs {m_off}");
+        assert!(
+            m_on < m_off,
+            "prefetch should cut L2 stream misses: {m_on} vs {m_off}"
+        );
         assert!(on.stats()[1].prefetches > 0);
     }
 

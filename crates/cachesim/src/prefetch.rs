@@ -30,7 +30,11 @@ impl StreamDetector {
     /// A detector tracking `capacity` concurrent streams.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { recent: Vec::with_capacity(capacity), capacity, cursor: 0 }
+        Self {
+            recent: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+        }
     }
 
     /// Observes a demand-missed line; returns `true` if it continues a

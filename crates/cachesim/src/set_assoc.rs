@@ -41,7 +41,10 @@ impl SetAssocCache {
     /// power-of-two stride conflicts).
     pub fn with_indexing(level: &CacheLevel, hashed: bool) -> Self {
         let num_sets = level.num_sets();
-        assert!(level.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            level.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(num_sets > 0, "cache must have at least one set");
         Self {
             name: level.name,
@@ -153,15 +156,18 @@ mod tests {
     }
 
     fn tiny_with(assoc: usize, sets: usize, hashed: bool) -> SetAssocCache {
-        SetAssocCache::with_indexing(&CacheLevel {
-            name: "T",
-            capacity_bytes: 64 * assoc * sets,
-            line_bytes: 64,
-            associativity: assoc,
-            miss_penalty_ns: 1.0,
-            write_policy: WritePolicy::WriteBack,
-            shared: false,
-        }, hashed)
+        SetAssocCache::with_indexing(
+            &CacheLevel {
+                name: "T",
+                capacity_bytes: 64 * assoc * sets,
+                line_bytes: 64,
+                associativity: assoc,
+                miss_penalty_ns: 1.0,
+                write_policy: WritePolicy::WriteBack,
+                shared: false,
+            },
+            hashed,
+        )
     }
 
     #[test]
@@ -191,7 +197,7 @@ mod tests {
     #[test]
     fn set_conflicts_do_not_cross_sets() {
         let mut c = tiny_with(1, 2, false); // direct-mapped, 2 sets, modulo-indexed
-        // Lines 0 and 2 map to set 0; line 1 maps to set 1.
+                                            // Lines 0 and 2 map to set 0; line 1 maps to set 1.
         c.access(0); // line 0, set 0
         c.access(64); // line 1, set 1
         c.access(2 * 64); // line 2, set 0: evicts line 0

@@ -61,7 +61,12 @@ mod tests {
         s.record(false);
         assert_eq!(s.accesses(), 3);
         assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
-        let mut t = LevelStats { hits: 1, misses: 1, prefetches: 2, prefetch_hits: 1 };
+        let mut t = LevelStats {
+            hits: 1,
+            misses: 1,
+            prefetches: 2,
+            prefetch_hits: 1,
+        };
         t.merge(&s);
         assert_eq!(t.hits, 2);
         assert_eq!(t.misses, 3);

@@ -123,7 +123,9 @@ mod tests {
     fn all_addresses_stay_inside_matrix() {
         let n = 32;
         let bound = (n * n) as u64 * 8;
-        ge_rdp_trace(n, 8, &mut |a, _| assert!(a < bound, "addr {a} out of bounds"));
+        ge_rdp_trace(n, 8, &mut |a, _| {
+            assert!(a < bound, "addr {a} out of bounds")
+        });
     }
 
     #[test]
@@ -134,7 +136,10 @@ mod tests {
             if w {
                 let elem = a / 8;
                 let (r, c) = ((elem / n as u64) as usize, (elem % n as u64) as usize);
-                assert!(r / m == ti && c / m == tj, "write at ({r},{c}) outside tile");
+                assert!(
+                    r / m == ti && c / m == tj,
+                    "write at ({r},{c}) outside tile"
+                );
             }
         });
     }
@@ -149,7 +154,7 @@ mod tests {
             write_policy: WritePolicy::WriteBack,
             shared: false,
         };
-        CacheGeometry::new(vec![mk("L1", 4 * 1024, ), mk("L2", 64 * 1024)], 100.0)
+        CacheGeometry::new(vec![mk("L1", 4 * 1024), mk("L2", 64 * 1024)], 100.0)
     }
 
     #[test]
@@ -167,6 +172,9 @@ mod tests {
             rdp_h.access(a);
         });
         let (lm, rm) = (loop_h.misses_at(1), rdp_h.misses_at(1));
-        assert!(rm * 2 < lm, "R-DP misses {rm} should be well under loop misses {lm}");
+        assert!(
+            rm * 2 < lm,
+            "R-DP misses {rm} should be well under loop misses {lm}"
+        );
     }
 }

@@ -1,0 +1,397 @@
+//! The exploration drivers: seeded replay, randomized exploration, and
+//! bounded-exhaustive DFS over scheduling decisions.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler::{splitmix64, Decision, Fifo, Lifo, Scripted, Seeded, SharedScheduler};
+
+/// Environment variable that pins exploration to one seed (replay mode).
+pub const SEED_ENV: &str = "RECDP_CHECK_SEED";
+/// Environment variable overriding the random-schedule count per test.
+pub const SCHEDULES_ENV: &str = "RECDP_CHECK_SCHEDULES";
+/// Environment variable overriding the exhaustive-DFS schedule budget.
+pub const DFS_BUDGET_ENV: &str = "RECDP_CHECK_DFS_BUDGET";
+
+/// Exploration configuration. Build with [`Config::from_env`] so CI and
+/// local replay can tune budgets without recompiling.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Random schedules explored per call (on top of the FIFO canonical
+    /// run and the LIFO adversary).
+    pub schedules: usize,
+    /// Base of the derived seed corpus: schedule `i` runs under seed
+    /// `splitmix64(base_seed + i)`.
+    pub base_seed: u64,
+    /// Replay pin: when set, [`explore`] runs *only* this seed against
+    /// the FIFO canonical observation.
+    pub replay_seed: Option<u64>,
+    /// Maximum schedules an [`exhaustive`] enumeration may run.
+    pub dfs_budget: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            schedules: 32,
+            base_seed: 0x5EED,
+            replay_seed: None,
+            dfs_budget: 256,
+        }
+    }
+}
+
+impl Config {
+    /// The defaults, overridden by `RECDP_CHECK_SCHEDULES`,
+    /// `RECDP_CHECK_SEED` and `RECDP_CHECK_DFS_BUDGET` when set.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(n) = env_u64(SCHEDULES_ENV) {
+            cfg.schedules = n as usize;
+        }
+        cfg.replay_seed = env_u64(SEED_ENV);
+        if let Some(n) = env_u64(DFS_BUDGET_ENV) {
+            cfg.dfs_budget = n as usize;
+        }
+        cfg
+    }
+
+    /// A fixed random-schedule count (tests that need a specific corpus
+    /// size regardless of the environment).
+    pub fn with_schedules(mut self, schedules: usize) -> Self {
+        self.schedules = schedules;
+        self
+    }
+
+    /// The seed corpus this configuration explores (replay mode pins it
+    /// to the single pinned seed).
+    pub fn seeds(&self) -> Vec<u64> {
+        if let Some(seed) = self.replay_seed {
+            return vec![seed];
+        }
+        (0..self.schedules as u64)
+            .map(|i| {
+                let mut s = self.base_seed.wrapping_add(i);
+                splitmix64(&mut s)
+            })
+            .collect()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// Runs `f` under one scheduler, tagging any panic with the reproduction
+/// recipe before letting it resume.
+fn run_labeled<T>(
+    sched: SharedScheduler,
+    hint: &str,
+    f: &(impl Fn(SharedScheduler) -> T + ?Sized),
+) -> T {
+    let describe = sched.describe();
+    match catch_unwind(AssertUnwindSafe(|| f(sched))) {
+        Ok(v) => v,
+        Err(payload) => {
+            eprintln!("recdp-check: failure under schedule {describe}; {hint}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays exactly one seeded schedule and returns its observation.
+pub fn replay<T>(seed: u64, f: impl Fn(SharedScheduler) -> T) -> T {
+    run_labeled(
+        SharedScheduler::new(Seeded::new(seed)),
+        &format!("reproduce with {SEED_ENV}={seed:#x}"),
+        &f,
+    )
+}
+
+/// Re-runs one explicit decision script (as printed by a failing
+/// [`exhaustive`] enumeration) and returns its observation.
+pub fn replay_script<T>(script: &[usize], f: impl Fn(SharedScheduler) -> T) -> T {
+    let record = Arc::new(Mutex::new(Vec::new()));
+    run_labeled(
+        SharedScheduler::new(Scripted::new(script.to_vec(), record)),
+        "this is a scripted replay; minimize by shortening the script",
+        &f,
+    )
+}
+
+/// Randomized exploration with an invariance oracle: runs `f` under the
+/// FIFO canonical schedule, the LIFO adversary, and `cfg.schedules`
+/// seeded random schedules, asserting every observation equals the
+/// canonical one. Panics (with the offending seed, reproducible via
+/// `RECDP_CHECK_SEED`) on the first divergence; panics inside `f` are
+/// re-raised with the same reproduction hint. Returns the canonical
+/// observation.
+///
+/// With `cfg.replay_seed` set (usually via `RECDP_CHECK_SEED`), only
+/// that seed is run against the canonical schedule — the replay path a
+/// failure report tells you to use.
+pub fn explore<T>(cfg: &Config, f: impl Fn(SharedScheduler) -> T) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+{
+    let canonical = run_labeled(
+        SharedScheduler::new(Fifo),
+        "the canonical FIFO schedule fails: the bug is schedule-independent",
+        &f,
+    );
+    if cfg.replay_seed.is_none() {
+        let lifo = run_labeled(
+            SharedScheduler::new(Lifo),
+            "reproduce by running under the LIFO scheduler",
+            &f,
+        );
+        assert!(
+            lifo == canonical,
+            "LIFO schedule diverged from the canonical observation\n\
+             reproduce by running under the LIFO scheduler\n\
+             canonical (fifo): {canonical:?}\n\
+             lifo:             {lifo:?}"
+        );
+    }
+    for seed in cfg.seeds() {
+        let obs = replay(seed, &f);
+        assert!(
+            obs == canonical,
+            "schedule {seed:#x} diverged from the canonical observation\n\
+             reproduce with {SEED_ENV}={seed:#x}\n\
+             canonical (fifo): {canonical:?}\n\
+             seeded:           {obs:?}"
+        );
+    }
+    canonical
+}
+
+/// What a bounded-exhaustive enumeration covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsReport {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// True when the whole decision tree was enumerated; false when the
+    /// budget ran out first (coverage is a prefix of the tree, not a
+    /// sample — raise `RECDP_CHECK_DFS_BUDGET` to finish).
+    pub complete: bool,
+}
+
+/// Enumerates schedules in lexicographic order of their decision
+/// scripts (DFS over the decision tree), up to `budget` runs, with no
+/// oracle: every (script, observation) pair is collected and returned.
+/// The first run takes index 0 everywhere (the FIFO schedule); each
+/// next run increments the last incrementable decision of the previous
+/// script. This is the primitive under [`exhaustive`]; use it directly
+/// when explored schedules are *expected* to differ (e.g. searching for
+/// a specific bad outcome rather than asserting invariance).
+pub fn enumerate<T>(
+    budget: usize,
+    f: impl Fn(SharedScheduler) -> T,
+) -> (Vec<(Vec<usize>, T)>, DfsReport) {
+    assert!(budget >= 1, "need a budget of at least one schedule");
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut results: Vec<(Vec<usize>, T)> = Vec::new();
+    loop {
+        let record: Arc<Mutex<Vec<Decision>>> = Arc::new(Mutex::new(Vec::new()));
+        let sched = SharedScheduler::new(Scripted::new(prefix.clone(), Arc::clone(&record)));
+        let obs = run_labeled(
+            sched,
+            &format!("reproduce with replay_script(&{prefix:?}, ..)"),
+            &f,
+        );
+        let decisions = record.lock().unwrap().clone();
+        results.push((decisions.iter().map(|d| d.choice).collect(), obs));
+        // Next schedule in lexicographic order: bump the last decision
+        // that still has unexplored siblings, truncating everything
+        // after it (those decisions may not even exist in the new run).
+        let bump = decisions.iter().rposition(|d| d.choice + 1 < d.width);
+        match bump {
+            None => {
+                let schedules = results.len();
+                return (
+                    results,
+                    DfsReport {
+                        schedules,
+                        complete: true,
+                    },
+                );
+            }
+            Some(i) => {
+                prefix = decisions[..i].iter().map(|d| d.choice).collect();
+                prefix.push(decisions[i].choice + 1);
+            }
+        }
+        if results.len() >= budget {
+            let schedules = results.len();
+            return (
+                results,
+                DfsReport {
+                    schedules,
+                    complete: false,
+                },
+            );
+        }
+    }
+}
+
+/// Bounded-exhaustive exploration with the invariance oracle: runs
+/// [`enumerate`] and asserts every observation equals the first (the
+/// FIFO schedule's). Enumeration order is lexicographic, so the first
+/// divergence reported is minimal in that order — which is what makes
+/// the printed script a good starting point for manual minimization.
+/// Returns the canonical observation and the coverage report.
+pub fn exhaustive<T>(budget: usize, f: impl Fn(SharedScheduler) -> T) -> (T, DfsReport)
+where
+    T: PartialEq + std::fmt::Debug,
+{
+    let (results, report) = enumerate(budget, f);
+    let mut iter = results.into_iter();
+    let (_, canonical) = iter.next().expect("at least one schedule ran");
+    for (script, obs) in iter {
+        assert!(
+            obs == canonical,
+            "schedule {script:?} diverged from the canonical observation\n\
+             reproduce with replay_script(&{script:?}, ..)\n\
+             canonical: {canonical:?}\n\
+             explored:  {obs:?}"
+        );
+    }
+    (canonical, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let cfg = Config::default();
+        assert_eq!(cfg.schedules, 32);
+        assert_eq!(cfg.seeds().len(), 32);
+        // Derived seeds are decorrelated, not sequential.
+        let seeds = cfg.seeds();
+        assert_ne!(seeds[0] + 1, seeds[1]);
+    }
+
+    #[test]
+    fn replay_pin_overrides_corpus() {
+        let cfg = Config {
+            replay_seed: Some(0xABC),
+            ..Config::default()
+        };
+        assert_eq!(cfg.seeds(), vec![0xABC]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = |s: SharedScheduler| -> Vec<usize> { (2..10).map(|n| s.choose(n)).collect() };
+        assert_eq!(replay(99, run), replay(99, run));
+    }
+
+    #[test]
+    fn explore_accepts_schedule_independent_observations() {
+        let cfg = Config {
+            schedules: 8,
+            ..Config::default()
+        };
+        // Observation ignores the choices: always invariant.
+        let out = explore(&cfg, |s| {
+            let mut acc = 0usize;
+            for n in 2..6 {
+                acc += s.choose(n); // consumed, not observed
+            }
+            let _ = acc;
+            42
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from the canonical observation")]
+    fn explore_catches_schedule_dependence() {
+        let cfg = Config {
+            schedules: 8,
+            ..Config::default()
+        };
+        // Observation *is* the schedule: must diverge somewhere.
+        let _ = explore(&cfg, |s| (2..6).map(|n| s.choose(n)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exhaustive_enumerates_the_full_tree() {
+        // Three binary decisions: 8 schedules.
+        let (_, report) = exhaustive(100, |s| {
+            for _ in 0..3 {
+                let _ = s.choose(2);
+            }
+            0u32
+        });
+        assert_eq!(
+            report,
+            DfsReport {
+                schedules: 8,
+                complete: true
+            }
+        );
+    }
+
+    #[test]
+    fn exhaustive_enumerates_mixed_widths() {
+        // 2 * 3 = 6 schedules, and the tree shape may depend on earlier
+        // choices: first decision 1 prunes the second entirely.
+        let (_, report) = exhaustive(100, |s| {
+            if s.choose(2) == 0 {
+                let _ = s.choose(3);
+            }
+            0u32
+        });
+        // Scripts: [0,0], [0,1], [0,2], [1] -> 4 schedules.
+        assert_eq!(
+            report,
+            DfsReport {
+                schedules: 4,
+                complete: true
+            }
+        );
+    }
+
+    #[test]
+    fn exhaustive_respects_budget() {
+        let (_, report) = exhaustive(3, |s| {
+            for _ in 0..4 {
+                let _ = s.choose(2);
+            }
+            0u32
+        });
+        assert_eq!(
+            report,
+            DfsReport {
+                schedules: 3,
+                complete: false
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from the canonical observation")]
+    fn exhaustive_catches_schedule_dependence() {
+        let _ = exhaustive(16, |s| s.choose(2));
+    }
+
+    #[test]
+    fn replay_script_follows_choices() {
+        let obs = replay_script(&[1, 0, 2], |s| (s.choose(2), s.choose(2), s.choose(3)));
+        assert_eq!(obs, (1, 0, 2));
+    }
+}

@@ -1,0 +1,69 @@
+//! `recdp-check`: a deterministic schedule-exploration harness for the
+//! CnC and fork-join runtimes.
+//!
+//! The paper's determinism claim — any legal data-flow schedule yields
+//! the identical DP table — is only testable if tests control the
+//! schedule. This crate supplies that control in three modes, all built
+//! on the managed execution mode of `recdp-cnc`
+//! ([`CncGraph::managed`]), where a scheduler callback owns every
+//! ready-task choice and execution is serialized on the driving thread:
+//!
+//! * **Seeded replay** — [`replay`] runs the one schedule a `u64` seed
+//!   denotes; the same seed reproduces the identical schedule, byte for
+//!   byte (compare [`ManagedHandle::trace`]s).
+//! * **Randomized exploration** — [`explore`] runs the FIFO canonical
+//!   schedule, the LIFO adversary, and N seeded schedules, asserting an
+//!   invariance oracle across all of them. Failures print the
+//!   reproducing seed; re-run with `RECDP_CHECK_SEED=<seed>` to replay
+//!   it alone.
+//! * **Bounded-exhaustive DFS** — [`exhaustive`] enumerates the whole
+//!   decision tree of a small graph in lexicographic script order under
+//!   a schedule budget, reporting whether it finished.
+//!
+//! The oracles ([`replay_stable`], plus table comparison against the
+//! serial kernels) are described in [`mod@crate::oracle`]. For
+//! fork-join pools, [`SeededStealPolicy`] varies steal-victim patterns
+//! per seed (pools stay multi-threaded, so this is stress variation,
+//! not full schedule control — the managed CnC mode is the
+//! deterministic half of the harness).
+//!
+//! ```
+//! use recdp_check::{explore, replay_stable, Config};
+//! use recdp_cnc::{CncGraph, StepOutcome};
+//!
+//! let cfg = Config { schedules: 8, ..Config::default() };
+//! explore(&cfg, |sched| {
+//!     let (graph, _handle) = CncGraph::managed(sched.pick_fn());
+//!     let out = graph.item_collection::<u32, u32>("out");
+//!     let tags = graph.tag_collection::<u32>("t");
+//!     let o = out.clone();
+//!     tags.prescribe("sq", move |&n, _| {
+//!         o.put(n, n * n)?;
+//!         Ok(StepOutcome::Done)
+//!     });
+//!     for n in 0..6 {
+//!         tags.put(n);
+//!     }
+//!     let stats = graph.wait().expect("no deadlock on any schedule");
+//!     // The observation exploration compares across schedules:
+//!     (out.get_env(&5), replay_stable(&stats))
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod explore;
+mod oracle;
+mod scheduler;
+
+pub use explore::{
+    enumerate, exhaustive, explore, replay, replay_script, Config, DfsReport, DFS_BUDGET_ENV,
+    SCHEDULES_ENV, SEED_ENV,
+};
+pub use oracle::{replay_stable, ReplayStats};
+pub use scheduler::{
+    Decision, Fifo, Lifo, Scheduler, Scripted, Seeded, SeededStealPolicy, SharedScheduler,
+};
+
+// Re-exported so harness users need only this crate for the common case.
+pub use recdp_cnc::{CncGraph, ManagedHandle, PickFn, ReadyTask, ScheduleEvent};

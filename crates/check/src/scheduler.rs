@@ -1,0 +1,288 @@
+//! Schedulers: the policies that own every scheduling decision of an
+//! explored run.
+//!
+//! A [`Scheduler`] answers one question, repeatedly: *given `n` legal
+//! choices, which do we take?* For a managed `CncGraph` the choices are
+//! the entries of the ready queue; the deadlock-verdict regression
+//! fixture also routes its probe decisions through the same scheduler,
+//! so a schedule is always a single replayable decision sequence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use recdp_cnc::PickFn;
+use recdp_forkjoin::StealPolicy;
+
+/// A deterministic source of scheduling decisions.
+pub trait Scheduler: Send {
+    /// Chooses one of `n >= 1` options. Must return a value `< n`.
+    fn pick(&mut self, n: usize) -> usize;
+
+    /// Short identity for failure reports (e.g. `seeded(0x2a)`).
+    fn describe(&self) -> String;
+}
+
+/// Always picks the oldest option (index 0) — breadth-first, the
+/// canonical schedule every exploration compares against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn pick(&mut self, _n: usize) -> usize {
+        0
+    }
+    fn describe(&self) -> String {
+        "fifo".into()
+    }
+}
+
+/// Always picks the newest option — depth-first, the adversary of
+/// FIFO-shaped assumptions (it starves old work as long as new work
+/// keeps arriving, like a LIFO deque under constant spawning).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lifo;
+
+impl Scheduler for Lifo {
+    fn pick(&mut self, n: usize) -> usize {
+        n - 1
+    }
+    fn describe(&self) -> String {
+        "lifo".into()
+    }
+}
+
+/// splitmix64: the step function behind every seeded decision in this
+/// crate. Deterministic, dependency-free, and good enough to decorrelate
+/// consecutive schedule seeds.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform pseudo-random picks derived entirely from a `u64` seed: the
+/// same seed replays the identical decision sequence, so any failure
+/// under a `Seeded` schedule is reproducible from the seed alone.
+#[derive(Debug, Clone)]
+pub struct Seeded {
+    seed: u64,
+    state: u64,
+}
+
+impl Seeded {
+    /// A scheduler replaying the decision sequence of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Seeded { seed, state: seed }
+    }
+
+    /// The seed this scheduler replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Scheduler for Seeded {
+    fn pick(&mut self, n: usize) -> usize {
+        (splitmix64(&mut self.state) % n as u64) as usize
+    }
+    fn describe(&self) -> String {
+        format!("seeded({:#x})", self.seed)
+    }
+}
+
+/// Replays an explicit choice script, recording every decision it makes
+/// (choice and width). Decisions beyond the script take index 0. The
+/// DFS enumerator uses the record to compute the next unexplored
+/// schedule; [`crate::replay_script`] uses it to re-run one exactly.
+#[derive(Debug)]
+pub struct Scripted {
+    script: Vec<usize>,
+    cursor: usize,
+    record: Arc<Mutex<Vec<Decision>>>,
+}
+
+/// One recorded decision of a [`Scripted`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index taken.
+    pub choice: usize,
+    /// Number of options that were available.
+    pub width: usize,
+}
+
+impl Scripted {
+    /// A scheduler following `script`, then index 0; `record` receives
+    /// every decision actually taken.
+    pub fn new(script: Vec<usize>, record: Arc<Mutex<Vec<Decision>>>) -> Self {
+        Scripted {
+            script,
+            cursor: 0,
+            record,
+        }
+    }
+}
+
+impl Scheduler for Scripted {
+    fn pick(&mut self, n: usize) -> usize {
+        let choice = self.script.get(self.cursor).copied().unwrap_or(0);
+        assert!(
+            choice < n,
+            "scripted choice {choice} at decision {} out of range (width {n}) — \
+             the schedule space changed between enumeration and replay",
+            self.cursor
+        );
+        self.cursor += 1;
+        self.record
+            .lock()
+            .unwrap()
+            .push(Decision { choice, width: n });
+        choice
+    }
+    fn describe(&self) -> String {
+        format!("scripted({:?})", self.script)
+    }
+}
+
+/// A cloneable, shareable handle to one scheduler: the managed graph's
+/// picker and any auxiliary decision points (e.g. a wait-probe) consult
+/// the *same* decision sequence, keeping the whole run a function of one
+/// schedule.
+#[derive(Clone)]
+pub struct SharedScheduler {
+    inner: Arc<Mutex<Box<dyn Scheduler>>>,
+}
+
+impl SharedScheduler {
+    /// Wraps a scheduler for shared use.
+    pub fn new(scheduler: impl Scheduler + 'static) -> Self {
+        SharedScheduler {
+            inner: Arc::new(Mutex::new(Box::new(scheduler))),
+        }
+    }
+
+    /// One decision among `n >= 1` options.
+    pub fn choose(&self, n: usize) -> usize {
+        assert!(n >= 1, "cannot choose among zero options");
+        let c = self.inner.lock().unwrap().pick(n);
+        assert!(c < n, "scheduler picked {c} of {n} options");
+        c
+    }
+
+    /// The scheduler's identity, for failure reports.
+    pub fn describe(&self) -> String {
+        self.inner.lock().unwrap().describe()
+    }
+
+    /// This scheduler as a managed-graph picker (see
+    /// [`recdp_cnc::CncGraph::managed`]).
+    pub fn pick_fn(&self) -> PickFn {
+        let this = self.clone();
+        Box::new(move |ready| this.choose(ready.len()))
+    }
+}
+
+/// A seeded [`StealPolicy`] for fork-join pools: every steal-sweep start
+/// index is drawn from one shared splitmix64 stream, so the sequence of
+/// victim choices (across all workers) is a function of the seed. This
+/// does not serialize a pool the way managed CnC mode does — workers
+/// still race for the draws — but it varies the steal pattern per seed
+/// and reproduces a pattern-dependent failure with high probability.
+#[derive(Debug)]
+pub struct SeededStealPolicy {
+    state: AtomicU64,
+}
+
+impl SeededStealPolicy {
+    /// A policy drawing start indices from `seed`'s stream.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(SeededStealPolicy {
+            state: AtomicU64::new(seed),
+        })
+    }
+}
+
+impl StealPolicy for SeededStealPolicy {
+    fn steal_start(&self, _thief: usize, workers: usize) -> usize {
+        let mut s = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let z = splitmix64(&mut s);
+        (z % workers as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_lifo_extremes() {
+        assert_eq!(Fifo.pick(5), 0);
+        assert_eq!(Lifo.pick(5), 4);
+    }
+
+    #[test]
+    fn seeded_replays_identically() {
+        let mut a = Seeded::new(42);
+        let mut b = Seeded::new(42);
+        let mut c = Seeded::new(43);
+        let seq_a: Vec<usize> = (2..40).map(|n| a.pick(n)).collect();
+        let seq_b: Vec<usize> = (2..40).map(|n| b.pick(n)).collect();
+        let seq_c: Vec<usize> = (2..40).map(|n| c.pick(n)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c, "adjacent seeds should diverge");
+    }
+
+    #[test]
+    fn scripted_records_and_extends_with_zero() {
+        let record = Arc::new(Mutex::new(Vec::new()));
+        let mut s = Scripted::new(vec![1, 2], Arc::clone(&record));
+        assert_eq!(s.pick(3), 1);
+        assert_eq!(s.pick(4), 2);
+        assert_eq!(s.pick(2), 0, "beyond the script, always 0");
+        let rec = record.lock().unwrap();
+        assert_eq!(
+            *rec,
+            vec![
+                Decision {
+                    choice: 1,
+                    width: 3
+                },
+                Decision {
+                    choice: 2,
+                    width: 4
+                },
+                Decision {
+                    choice: 0,
+                    width: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scripted_rejects_stale_scripts() {
+        let record = Arc::new(Mutex::new(Vec::new()));
+        let mut s = Scripted::new(vec![5], record);
+        let _ = s.pick(3);
+    }
+
+    #[test]
+    fn shared_scheduler_bounds_choices() {
+        let s = SharedScheduler::new(Seeded::new(7));
+        for n in 1..20 {
+            assert!(s.choose(n) < n);
+        }
+    }
+
+    #[test]
+    fn seeded_steal_policy_in_range() {
+        let p = SeededStealPolicy::new(9);
+        for _ in 0..100 {
+            assert!(p.steal_start(0, 4) < 4);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Regression fixture for the `wait()` deadlock-verdict race.
+//!
+//! The bug: `wait` observes `pending == 0 && blocked > 0`, drops its
+//! lock to compute the wait-for diagnostic, and then re-checks the
+//! counters. If, inside that window, the environment puts a missing
+//! item *and* the resumed instance runs to retirement (re-parking on
+//! its next missing item), the counters look exactly as stalled as
+//! before — so a counters-only verdict returns a spurious `Deadlock`
+//! carrying a stale diagnostic that names the item that was just
+//! delivered. The fix is the `resume_epoch` conjunct: any unpark
+//! advances the epoch, so an unchanged epoch across the observation
+//! window proves the stall is genuine.
+//!
+//! This fixture makes the race a *scheduling decision*: the graph's
+//! wait-probe (which runs in the exact verdict window) consults the
+//! same explored scheduler as the ready queue, choosing per window to
+//! (0) deliver nothing, (1) deliver the next missing item, or (2)
+//! deliver it *and* drive the resumed instance to retirement inside
+//! the window — the racing interleaving. Bounded-exhaustive DFS then
+//! covers every such schedule:
+//!
+//! * default build (guard on): no schedule yields a stale diagnostic —
+//!   the explored space contains completions and genuine deadlocks
+//!   only;
+//! * `--features check-regressions` (guard reverted to counters-only):
+//!   the DFS provably rediscovers the spurious-deadlock schedule, and
+//!   `replay_script` reproduces it exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use recdp_check::{enumerate, SharedScheduler};
+use recdp_cnc::{CncError, CncGraph, StepOutcome};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The probe delivered both items and the graph quiesced.
+    Completed,
+    /// `Deadlock` returned, and its diagnostic names only items that
+    /// are truly missing — the verdict a stalled graph deserves.
+    GenuineDeadlock,
+    /// `Deadlock` returned with a stale diagnostic: it names an item
+    /// that had already been delivered when the verdict was issued.
+    /// Only the reverted (counters-only) verdict can produce this.
+    SpuriousDeadlock,
+}
+
+/// One explored run: a consumer needs `x[0]` then `y[0]`; the
+/// environment holds both back and delivers them (or not) from inside
+/// the verdict window, as the scheduler decides.
+fn verdict_race(sched: SharedScheduler) -> Outcome {
+    let (graph, handle) = CncGraph::managed(sched.pick_fn());
+    let handle = Arc::new(handle);
+    let x = graph.item_collection::<u32, u64>("x");
+    let y = graph.item_collection::<u32, u64>("y");
+    let out = graph.item_collection::<u32, u64>("out");
+    let tags = graph.tag_collection::<u32>("t");
+
+    let (x2, y2, o2) = (x.clone(), y.clone(), out.clone());
+    tags.prescribe("consumer", move |_, s| {
+        let a = x2.get(s, &0)?;
+        let b = y2.get(s, &0)?;
+        o2.put(0, a + b)?;
+        Ok(StepOutcome::Done)
+    });
+    tags.put(0);
+
+    // The probe runs once per candidate-deadlock window, on the driving
+    // thread (managed mode is single-threaded, so the "race" is fully
+    // deterministic). `delivered` tracks which of x, y have been put;
+    // `calls` caps the probe so every schedule terminates even if the
+    // exploration space were to change shape.
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let calls = Arc::new(AtomicUsize::new(0));
+    let probe_sched = sched.clone();
+    let (px, py, ph) = (x.clone(), y.clone(), Arc::clone(&handle));
+    let probe_delivered = Arc::clone(&delivered);
+    graph.set_wait_probe(move || {
+        if calls.fetch_add(1, Ordering::SeqCst) >= 4 {
+            return; // forced "deliver nothing": the next verdict ends the run
+        }
+        let next = probe_delivered.load(Ordering::SeqCst);
+        if next >= 2 {
+            return; // nothing left to deliver
+        }
+        match probe_sched.choose(3) {
+            0 => {} // deliver nothing: the verdict fires on a true stall
+            c => {
+                match next {
+                    0 => px.put(0, 5).expect("single assignment on x"),
+                    _ => py.put(0, 7).expect("single assignment on y"),
+                }
+                probe_delivered.fetch_add(1, Ordering::SeqCst);
+                if c == 2 {
+                    // The racing interleaving: run the resumed consumer
+                    // to retirement *inside* the verdict window, so it
+                    // re-parks (on its next missing item) and the
+                    // counters look exactly as stalled as before.
+                    ph.drain();
+                }
+            }
+        }
+    });
+
+    let result = graph.wait();
+    // The probe closure holds collections and the handle, which hold the
+    // runtime core, which holds the probe: break the cycle now.
+    graph.set_wait_probe(|| {});
+
+    match result {
+        Ok(_) => {
+            assert_eq!(out.get_env(&0), Some(12), "completed run must have the sum");
+            Outcome::Completed
+        }
+        Err(CncError::Deadlock { diagnostic, .. }) => {
+            let stale = diagnostic.waits.iter().any(|w| match w.collection {
+                "x" => x.get_env(&0).is_some(),
+                "y" => y.get_env(&0).is_some(),
+                other => panic!("diagnostic names unexpected collection [{other}]"),
+            });
+            if stale {
+                Outcome::SpuriousDeadlock
+            } else {
+                Outcome::GenuineDeadlock
+            }
+        }
+        Err(other) => panic!("unexpected graph error: {other}"),
+    }
+}
+
+/// Enumerates every schedule of the fixture (the space is tiny — well
+/// under the budget) and returns each script with its outcome.
+fn all_outcomes() -> Vec<(Vec<usize>, Outcome)> {
+    let (results, report) = enumerate(300, verdict_race);
+    assert!(
+        report.complete,
+        "the fixture's schedule space outgrew the budget ({} schedules run)",
+        report.schedules
+    );
+    results
+}
+
+#[cfg(not(feature = "check-regressions"))]
+#[test]
+fn epoch_guard_eliminates_spurious_deadlocks_on_every_schedule() {
+    let results = all_outcomes();
+    let spurious: Vec<_> = results
+        .iter()
+        .filter(|(_, o)| *o == Outcome::SpuriousDeadlock)
+        .collect();
+    assert!(
+        spurious.is_empty(),
+        "epoch-guarded wait returned stale deadlock verdicts: {spurious:?}"
+    );
+    // The exploration is only meaningful if it reaches both honest
+    // outcomes: schedules that starve the consumer (genuine deadlock)
+    // and schedules that feed it (completion).
+    assert!(
+        results.iter().any(|(_, o)| *o == Outcome::Completed),
+        "no schedule completed — the probe never delivered both items"
+    );
+    assert!(
+        results.iter().any(|(_, o)| *o == Outcome::GenuineDeadlock),
+        "no schedule deadlocked — the probe always rescued the consumer"
+    );
+}
+
+#[cfg(feature = "check-regressions")]
+#[test]
+fn counters_only_verdict_is_rediscovered_as_spurious() {
+    let results = all_outcomes();
+    let spurious: Vec<_> = results
+        .iter()
+        .filter(|(_, o)| *o == Outcome::SpuriousDeadlock)
+        .map(|(script, _)| script.clone())
+        .collect();
+    assert!(
+        !spurious.is_empty(),
+        "the reverted verdict should be caught by at least one schedule; \
+         explored outcomes: {results:?}"
+    );
+    // And the discovery is replayable: the recorded script reproduces
+    // the spurious verdict exactly (the minimization workflow).
+    let script = &spurious[0];
+    let replayed = recdp_check::replay_script(script, verdict_race);
+    assert_eq!(
+        replayed,
+        Outcome::SpuriousDeadlock,
+        "script {script:?} did not reproduce the spurious verdict"
+    );
+}

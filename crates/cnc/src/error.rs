@@ -45,12 +45,20 @@ pub struct StepFailure {
 impl StepFailure {
     /// A transient failure (eligible for retry).
     pub fn transient(message: impl Into<String>) -> Self {
-        StepFailure { kind: FailureKind::Transient, message: message.into(), source: None }
+        StepFailure {
+            kind: FailureKind::Transient,
+            message: message.into(),
+            source: None,
+        }
     }
 
     /// A permanent failure (aborts the graph).
     pub fn permanent(message: impl Into<String>) -> Self {
-        StepFailure { kind: FailureKind::Permanent, message: message.into(), source: None }
+        StepFailure {
+            kind: FailureKind::Permanent,
+            message: message.into(),
+            source: None,
+        }
     }
 
     /// Wraps a runtime error as a permanent failure, keeping the original
@@ -135,7 +143,11 @@ pub struct BlockedWait {
 
 impl fmt::Display for BlockedWait {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}) waits on [{}] {}", self.step, self.collection, self.key)
+        write!(
+            f,
+            "({}) waits on [{}] {}",
+            self.step, self.collection, self.key
+        )
     }
 }
 
@@ -265,18 +277,31 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = CncError::SingleAssignmentViolation { collection: "x", key: "(1, 2)".into() };
+        let e = CncError::SingleAssignmentViolation {
+            collection: "x",
+            key: "(1, 2)".into(),
+        };
         assert!(e.to_string().contains("[x]"));
         let d = CncError::Deadlock {
             blocked_instances: 3,
             diagnostic: DeadlockDiagnostic {
-                waits: vec![BlockedWait { step: "s", collection: "c", key: "7".into() }],
+                waits: vec![BlockedWait {
+                    step: "s",
+                    collection: "c",
+                    key: "7".into(),
+                }],
                 longest_chain: vec!["(s)".into(), "[c] 7".into()],
             },
         };
         let text = d.to_string();
-        assert!(text.contains('3') && text.contains("(s) waits on [c] 7"), "{text}");
-        assert!(text.contains("longest unproduced-dependency chain"), "{text}");
+        assert!(
+            text.contains('3') && text.contains("(s) waits on [c] 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("longest unproduced-dependency chain"),
+            "{text}"
+        );
         assert!(StepAbort::Blocked.to_string().contains("blocked"));
         assert!(StepAbort::transient("x").to_string().contains("transient"));
         assert!(StepAbort::permanent("x").to_string().contains("permanent"));
@@ -284,7 +309,10 @@ mod tests {
 
     #[test]
     fn cnc_error_converts_to_abort_preserving_source() {
-        let src = CncError::SingleAssignmentViolation { collection: "t", key: "9".into() };
+        let src = CncError::SingleAssignmentViolation {
+            collection: "t",
+            key: "9".into(),
+        };
         let a: StepAbort = src.clone().into();
         match a {
             StepAbort::Failed(failure) => {
@@ -303,7 +331,11 @@ mod tests {
             failure: StepFailure::transient("flaky"),
         };
         assert!(e.to_string().contains("4 attempt(s)"));
-        assert!(CncError::Cancelled { reason: "shutdown".into() }.to_string().contains("shutdown"));
+        assert!(CncError::Cancelled {
+            reason: "shutdown".into()
+        }
+        .to_string()
+        .contains("shutdown"));
         let t = CncError::Timeout {
             deadline: Duration::from_millis(250),
             pending: 2,

@@ -43,7 +43,9 @@ pub struct ItemCollection<K, V> {
 
 impl<K, V> Clone for ItemCollection<K, V> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -60,24 +62,26 @@ where
         // parked waiters. The probe holds the collection weakly — the
         // collection owns the core, never the reverse.
         let weak = Arc::downgrade(&inner);
-        inner.core.register_diag_probe(Box::new(move |out: &mut Vec<ProbeWait>| {
-            let Some(inner) = weak.upgrade() else { return };
-            for shard in &inner.shards {
-                let map = shard.lock();
-                for (key, entry) in map.iter() {
-                    if let Entry::Waiting(waiters) = entry {
-                        for w in waiters {
-                            out.push(ProbeWait {
-                                instance: w.instance_id(),
-                                step: w.step_name(),
-                                collection: inner.name,
-                                key: format!("{key:?}"),
-                            });
+        inner
+            .core
+            .register_diag_probe(Box::new(move |out: &mut Vec<ProbeWait>| {
+                let Some(inner) = weak.upgrade() else { return };
+                for shard in &inner.shards {
+                    let map = shard.lock();
+                    for (key, entry) in map.iter() {
+                        if let Entry::Waiting(waiters) = entry {
+                            for w in waiters {
+                                out.push(ProbeWait {
+                                    instance: w.instance_id(),
+                                    step: w.step_name(),
+                                    collection: inner.name,
+                                    key: format!("{key:?}"),
+                                });
+                            }
                         }
                     }
                 }
-            }
-        }));
+            }));
         Self { inner }
     }
 
@@ -140,7 +144,11 @@ where
                 }
             }
         };
-        self.inner.core.stats.items_put.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .core
+            .stats
+            .items_put
+            .fetch_add(1, Ordering::Relaxed);
         // Record the delivered put against the step body executing on
         // this thread, if any: a transient failure returned after it
         // cannot be retried (the retry would re-put).
@@ -162,7 +170,11 @@ where
             Some(Entry::Ready(v)) => {
                 let v = v.clone();
                 drop(map);
-                self.inner.core.stats.gets_ok.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .core
+                    .stats
+                    .gets_ok
+                    .fetch_add(1, Ordering::Relaxed);
                 Ok(v)
             }
             Some(Entry::Waiting(waiters)) => {
@@ -170,7 +182,11 @@ where
                 w.add();
                 waiters.push(w);
                 drop(map);
-                self.inner.core.stats.gets_blocked.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .core
+                    .stats
+                    .gets_blocked
+                    .fetch_add(1, Ordering::Relaxed);
                 Err(StepAbort::Blocked)
             }
             None => {
@@ -178,7 +194,11 @@ where
                 w.add();
                 map.insert(key.clone(), Entry::Waiting(vec![w]));
                 drop(map);
-                self.inner.core.stats.gets_blocked.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .core
+                    .stats
+                    .gets_blocked
+                    .fetch_add(1, Ordering::Relaxed);
                 Err(StepAbort::Blocked)
             }
         }
@@ -192,9 +212,17 @@ where
     pub fn try_get(&self, key: &K) -> Option<V> {
         let v = self.get_env(key);
         if v.is_some() {
-            self.inner.core.stats.gets_ok.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .core
+                .stats
+                .gets_ok
+                .fetch_add(1, Ordering::Relaxed);
         } else {
-            self.inner.core.stats.gets_nb_missing.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .core
+                .stats
+                .gets_nb_missing
+                .fetch_add(1, Ordering::Relaxed);
         }
         v
     }
@@ -219,7 +247,12 @@ where
         self.inner
             .shards
             .iter()
-            .map(|s| s.lock().values().filter(|e| matches!(e, Entry::Ready(_))).count())
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .count()
+            })
             .sum()
     }
 
@@ -272,9 +305,18 @@ mod tests {
         let items = g.item_collection::<u32, u32>("x");
         items.put(1, 1).unwrap();
         let err = items.put(1, 2).unwrap_err();
-        assert!(matches!(err, CncError::SingleAssignmentViolation { collection: "x", .. }));
+        assert!(matches!(
+            err,
+            CncError::SingleAssignmentViolation {
+                collection: "x",
+                ..
+            }
+        ));
         // The graph also records it for `wait`.
-        assert!(matches!(g.wait(), Err(CncError::SingleAssignmentViolation { .. })));
+        assert!(matches!(
+            g.wait(),
+            Err(CncError::SingleAssignmentViolation { .. })
+        ));
     }
 
     #[test]

@@ -60,15 +60,15 @@
 mod error;
 mod fault;
 mod item;
+mod managed;
 mod runtime;
 mod stats;
 mod tag;
 
-pub use error::{
-    BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure,
-};
+pub use error::{BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure};
 pub use fault::{FaultAction, FaultInjector, FaultSite, PutAction};
 pub use item::ItemCollection;
+pub use managed::{ManagedHandle, PickFn, ReadyTask, ScheduleEvent};
 pub use runtime::{CancelToken, CncGraph, DepSet, RetryPolicy, StepScope};
 pub use stats::GraphStats;
 pub use tag::TagCollection;

@@ -15,6 +15,7 @@ use crate::error::{
 };
 use crate::fault::{FaultAction, FaultInjector, FaultSite};
 use crate::item::ItemCollection;
+use crate::managed::{PickFn, ReadyTask, ScheduleEvent};
 use crate::stats::{GraphStats, StatCounters};
 use crate::tag::TagCollection;
 use crate::StepResult;
@@ -36,7 +37,10 @@ pub struct RetryPolicy {
 impl RetryPolicy {
     /// `max_attempts` executions with no backoff.
     pub fn attempts(max_attempts: u32) -> Self {
-        RetryPolicy { max_attempts, backoff: Duration::ZERO }
+        RetryPolicy {
+            max_attempts,
+            backoff: Duration::ZERO,
+        }
     }
 
     /// Sets the base backoff.
@@ -48,7 +52,10 @@ impl RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
     }
 }
 
@@ -67,7 +74,9 @@ impl CancelToken {
     /// failed, or was dropped (the first recorded error wins).
     pub fn cancel(&self, reason: impl Into<String>) {
         if let Some(core) = self.core.upgrade() {
-            core.record_error(CncError::Cancelled { reason: reason.into() });
+            core.record_error(CncError::Cancelled {
+                reason: reason.into(),
+            });
         }
     }
 }
@@ -80,8 +89,11 @@ impl CancelToken {
 /// items and tags, [`CncGraph::wait`] blocks until the computation
 /// quiesces.
 pub struct CncGraph {
-    pool: Arc<ThreadPool>,
-    core: Arc<RuntimeCore>,
+    /// `None` in managed mode (see [`CncGraph::managed`]): no worker
+    /// threads exist and every ready task runs inline on the thread that
+    /// drives the graph.
+    pub(crate) pool: Option<Arc<ThreadPool>>,
+    pub(crate) core: Arc<RuntimeCore>,
 }
 
 impl CncGraph {
@@ -98,22 +110,11 @@ impl CncGraph {
     /// A graph executing on an existing pool (several graphs may share
     /// one pool, as CnC programs share a TBB arena).
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
-        let core = Arc::new(RuntimeCore {
-            pool: Arc::downgrade(&pool),
-            spec: Mutex::new(Vec::new()),
-            pending: AtomicUsize::new(0),
-            blocked: AtomicUsize::new(0),
-            resume_epoch: AtomicUsize::new(0),
-            quiesce_mutex: Mutex::new(()),
-            quiesce_cond: Condvar::new(),
-            error: Mutex::new(None),
-            retry_policy: Mutex::new(RetryPolicy::default()),
-            deadline: Mutex::new(None),
-            fault_injector: RwLock::new(None),
-            diag_probes: Mutex::new(Vec::new()),
-            stats: StatCounters::default(),
-        });
-        CncGraph { pool, core }
+        let core = RuntimeCore::build(Arc::downgrade(&pool), None);
+        CncGraph {
+            pool: Some(pool),
+            core,
+        }
     }
 
     /// Creates an item collection (a single-assignment associative
@@ -139,7 +140,10 @@ impl CncGraph {
     /// Sets the retry budget for transient step failures (see
     /// [`RetryPolicy`]). Applies to executions dispatched after the call.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        assert!(policy.max_attempts >= 1, "RetryPolicy::max_attempts must be >= 1");
+        assert!(
+            policy.max_attempts >= 1,
+            "RetryPolicy::max_attempts must be >= 1"
+        );
         *self.core.retry_policy.lock() = policy;
     }
 
@@ -161,7 +165,20 @@ impl CncGraph {
 
     /// A token for cancelling this graph from the environment.
     pub fn cancel_token(&self) -> CancelToken {
-        CancelToken { core: Arc::downgrade(&self.core) }
+        CancelToken {
+            core: Arc::downgrade(&self.core),
+        }
+    }
+
+    /// Installs a *verdict probe*: test instrumentation invoked by
+    /// [`CncGraph::wait`] inside the deadlock-candidate window — after
+    /// the wait-for diagnostic scan, before the verdict re-check. The
+    /// quiescence lock is not held, so the probe may put items and (on a
+    /// managed graph) drive resumed instances, which is exactly how the
+    /// schedule-exploration harness reproduces verdict races
+    /// deterministically. Production code has no reason to call this.
+    pub fn set_wait_probe(&self, probe: impl Fn() + Send + Sync + 'static) {
+        *self.core.wait_probe.lock() = Some(Arc::new(probe));
     }
 
     /// Blocks until the graph quiesces: no step instance is queued or
@@ -225,6 +242,14 @@ impl CncGraph {
                 // lock — holding both here would invert that order).
                 drop(guard);
                 let diagnostic = self.core.deadlock_diagnostic();
+                // Verdict probe (test instrumentation): runs in the
+                // exact window a racing environment put would occupy,
+                // so the schedule-exploration harness can reproduce
+                // verdict races on demand (see `set_wait_probe`).
+                let probe = self.core.wait_probe.lock().clone();
+                if let Some(probe) = probe {
+                    probe();
+                }
                 // Confirm the stall survived the scan. Re-reading the
                 // counters alone is not enough: a resumed instance can
                 // run to full retirement between any two loads (pending
@@ -235,10 +260,20 @@ impl CncGraph {
                 // `resume_epoch`, so an unchanged epoch across the whole
                 // observation window proves no parked instance was
                 // unparked and the stall is genuine.
+                #[cfg(not(feature = "check-regressions"))]
+                let epoch_unchanged = self.core.resume_epoch.load(Ordering::Acquire) == epoch;
+                // Regression toggle: revert to the pre-guard verdict
+                // (counters only) so `recdp-check` can demonstrate the
+                // spurious-deadlock schedule this epoch check fixed.
+                #[cfg(feature = "check-regressions")]
+                let epoch_unchanged = {
+                    let _ = epoch;
+                    true
+                };
                 let still_blocked = self.core.blocked.load(Ordering::Acquire);
                 if self.core.pending.load(Ordering::Acquire) == 0
                     && still_blocked > 0
-                    && self.core.resume_epoch.load(Ordering::Acquire) == epoch
+                    && epoch_unchanged
                     && self.core.error.lock().is_none()
                 {
                     return Err(CncError::Deadlock {
@@ -249,10 +284,46 @@ impl CncGraph {
                 guard = self.core.quiesce_mutex.lock();
                 continue;
             }
+            if self.core.is_managed() {
+                // Managed mode: no worker threads exist, so `wait`
+                // drives the ready queue itself, one scheduler-chosen
+                // instance at a time. The quiescence lock is released
+                // around the body (puts re-enter the runtime).
+                drop(guard);
+                if let Some(at) = expires_at {
+                    if Instant::now() >= at {
+                        let pending = self.core.pending.load(Ordering::Acquire);
+                        let blocked = self.core.blocked.load(Ordering::Acquire);
+                        let err = CncError::Timeout {
+                            deadline: deadline.expect("deadline expired without a deadline"),
+                            pending,
+                            blocked,
+                        };
+                        self.core.record_error(err.clone());
+                        return Err(err);
+                    }
+                }
+                // No-lost-wakeup oracle: with a single driving thread,
+                // `pending > 0` means the ready queue must be
+                // non-empty — an empty queue here would be a dropped
+                // dispatch.
+                assert!(
+                    self.core.run_managed_one(),
+                    "managed graph has pending instances but an empty ready queue \
+                     (lost wakeup)"
+                );
+                guard = self.core.quiesce_mutex.lock();
+                continue;
+            }
             match expires_at {
                 None => self.core.quiesce_cond.wait(&mut guard),
                 Some(at) => {
-                    if self.core.quiesce_cond.wait_until(&mut guard, at).timed_out() {
+                    if self
+                        .core
+                        .quiesce_cond
+                        .wait_until(&mut guard, at)
+                        .timed_out()
+                    {
                         // One final look before declaring the timeout:
                         // the graph may have quiesced (or failed) right
                         // at the wire.
@@ -297,7 +368,10 @@ impl CncGraph {
     /// bodies using the non-blocking style keep the wasted-work
     /// accounting comparable with the blocking style's requeue counter.
     pub fn record_nb_retry(&self) {
-        self.core.stats.nb_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.core
+            .stats
+            .nb_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// A snapshot of the execution counters (callable at any time).
@@ -305,9 +379,10 @@ impl CncGraph {
         self.core.stats.snapshot()
     }
 
-    /// Number of threads in the underlying pool.
+    /// Number of threads in the underlying pool (1 for a managed graph,
+    /// which runs every instance inline on the driving thread).
     pub fn num_threads(&self) -> usize {
-        self.pool.num_threads()
+        self.pool.as_ref().map_or(1, |p| p.num_threads())
     }
 }
 
@@ -358,10 +433,126 @@ pub(crate) struct RuntimeCore {
     /// parked waiters (held weakly inside the closures — collections own
     /// the core, not the reverse).
     diag_probes: Mutex<Vec<DiagProbe>>,
+    /// Test instrumentation: invoked inside the deadlock-candidate
+    /// window of `wait` (see [`CncGraph::set_wait_probe`]).
+    wait_probe: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Managed-mode state: present iff the graph was built with
+    /// [`CncGraph::managed`]. Ready instances queue here instead of
+    /// being spawned onto a pool, and a scheduler callback owns every
+    /// "which instance runs next" decision.
+    managed: Option<ManagedState>,
     pub(crate) stats: StatCounters,
 }
 
+/// The managed scheduler's state: the ready queue, the pick callback,
+/// and the schedule trace (one event per executed instance, in order).
+pub(crate) struct ManagedState {
+    queue: Mutex<Vec<Arc<InstanceTask>>>,
+    picker: Mutex<PickFn>,
+    trace: Mutex<Vec<ScheduleEvent>>,
+}
+
 impl RuntimeCore {
+    /// Builds a core. `managed == Some` puts the graph in managed mode:
+    /// ready instances queue instead of spawning, and the pool (if any)
+    /// is never used for step execution.
+    pub(crate) fn build(pool: Weak<ThreadPool>, managed: Option<PickFn>) -> Arc<Self> {
+        Arc::new(RuntimeCore {
+            pool,
+            spec: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+            blocked: AtomicUsize::new(0),
+            resume_epoch: AtomicUsize::new(0),
+            quiesce_mutex: Mutex::new(()),
+            quiesce_cond: Condvar::new(),
+            error: Mutex::new(None),
+            retry_policy: Mutex::new(RetryPolicy::default()),
+            deadline: Mutex::new(None),
+            fault_injector: RwLock::new(None),
+            diag_probes: Mutex::new(Vec::new()),
+            wait_probe: Mutex::new(None),
+            managed: managed.map(|picker| ManagedState {
+                queue: Mutex::new(Vec::new()),
+                picker: Mutex::new(picker),
+                trace: Mutex::new(Vec::new()),
+            }),
+            stats: StatCounters::default(),
+        })
+    }
+
+    pub(crate) fn is_managed(&self) -> bool {
+        self.managed.is_some()
+    }
+
+    /// Snapshot of the managed ready queue, in queue order.
+    pub(crate) fn managed_ready(&self) -> Vec<ReadyTask> {
+        let m = self.managed.as_ref().expect("not a managed graph");
+        m.queue
+            .lock()
+            .iter()
+            .map(|t| ReadyTask {
+                step: t.step_name(),
+                tag_hash: t.tag_hash(),
+            })
+            .collect()
+    }
+
+    /// The schedule executed so far (managed graphs only).
+    pub(crate) fn managed_trace(&self) -> Vec<ScheduleEvent> {
+        let m = self.managed.as_ref().expect("not a managed graph");
+        m.trace.lock().clone()
+    }
+
+    pub(crate) fn blocked_count(&self) -> usize {
+        self.blocked.load(Ordering::Acquire)
+    }
+
+    /// Runs one ready instance chosen by the installed picker. Returns
+    /// false if the ready queue is empty.
+    pub(crate) fn run_managed_one(self: &Arc<Self>) -> bool {
+        let m = self.managed.as_ref().expect("not a managed graph");
+        let idx = {
+            let q = m.queue.lock();
+            if q.is_empty() {
+                return false;
+            }
+            let ready: Vec<ReadyTask> = q
+                .iter()
+                .map(|t| ReadyTask {
+                    step: t.step_name(),
+                    tag_hash: t.tag_hash(),
+                })
+                .collect();
+            drop(q);
+            (m.picker.lock())(&ready)
+        };
+        self.run_managed_nth(idx)
+    }
+
+    /// Runs the `idx`-th queued instance (queue order), bypassing the
+    /// picker. Returns false if the queue is empty; panics on an
+    /// out-of-range index (a scheduler bug worth failing loudly on).
+    pub(crate) fn run_managed_nth(self: &Arc<Self>, idx: usize) -> bool {
+        let m = self.managed.as_ref().expect("not a managed graph");
+        let task = {
+            let mut q = m.queue.lock();
+            if q.is_empty() {
+                return false;
+            }
+            assert!(
+                idx < q.len(),
+                "scheduler picked instance {idx} of a {}-deep ready queue",
+                q.len()
+            );
+            q.remove(idx)
+        };
+        m.trace.lock().push(ScheduleEvent {
+            step: task.step_name(),
+            tag_hash: task.tag_hash(),
+        });
+        task.run();
+        true
+    }
     /// Records the first error; later errors are dropped.
     pub(crate) fn record_error(&self, err: CncError) {
         let mut slot = self.error.lock();
@@ -416,6 +607,15 @@ impl RuntimeCore {
 
     /// Dispatches a task whose `pending` slot is already counted.
     fn dispatch(self: &Arc<Self>, task: Arc<InstanceTask>, fair: bool) {
+        if let Some(m) = &self.managed {
+            // Managed mode: the scheduler owns all ordering, including
+            // the fair/LIFO distinction the pool would otherwise make —
+            // `fair` is deliberately ignored so retry ordering is a
+            // schedule-exploration dimension, not a fixed policy.
+            let _ = fair;
+            m.queue.lock().push(task);
+            return;
+        }
         match self.pool.upgrade() {
             Some(pool) if fair => pool.spawn_global(move || task.run()),
             Some(pool) => pool.spawn(move || task.run()),
@@ -440,13 +640,18 @@ impl RuntimeCore {
 fn build_diagnostic(raw: Vec<ProbeWait>) -> DeadlockDiagnostic {
     let mut waits: Vec<BlockedWait> = raw
         .iter()
-        .map(|w| BlockedWait { step: w.step, collection: w.collection, key: w.key.clone() })
+        .map(|w| BlockedWait {
+            step: w.step,
+            collection: w.collection,
+            key: w.key.clone(),
+        })
         .collect();
-    waits.sort_by(|a, b| {
-        (a.step, a.collection, &a.key).cmp(&(b.step, b.collection, &b.key))
-    });
+    waits.sort_by(|a, b| (a.step, a.collection, &a.key).cmp(&(b.step, b.collection, &b.key)));
     waits.dedup();
-    DeadlockDiagnostic { longest_chain: longest_chain(&raw), waits }
+    DeadlockDiagnostic {
+        longest_chain: longest_chain(&raw),
+        waits,
+    }
 }
 
 /// Longest simple alternating path in the bipartite instance/item
@@ -471,11 +676,13 @@ fn longest_chain(raw: &[ProbeWait]) -> Vec<String> {
             inst_edges.push(Vec::new());
             inst_label.len() - 1
         });
-        let ki = *item_ids.entry((w.collection, w.key.as_str())).or_insert_with(|| {
-            item_label.push(format!("[{}] {}", w.collection, w.key));
-            item_edges.push(Vec::new());
-            item_label.len() - 1
-        });
+        let ki = *item_ids
+            .entry((w.collection, w.key.as_str()))
+            .or_insert_with(|| {
+                item_label.push(format!("[{}] {}", w.collection, w.key));
+                item_edges.push(Vec::new());
+                item_label.len() - 1
+            });
         inst_edges[ii].push(ki);
         item_edges[ki].push(ii);
     }
@@ -597,6 +804,10 @@ impl InstanceTask {
         self.step_name
     }
 
+    pub(crate) fn tag_hash(&self) -> u64 {
+        self.tag_hash
+    }
+
     fn run(self: Arc<Self>) {
         // Fail-fast: once the graph recorded an error (failure,
         // cancellation, timeout), drain without executing bodies.
@@ -604,8 +815,14 @@ impl InstanceTask {
             self.core.finish_one();
             return;
         }
-        self.core.stats.steps_started.fetch_add(1, Ordering::Relaxed);
-        let scope = StepScope { task: &self, waiter: RefCell::new(None) };
+        self.core
+            .stats
+            .steps_started
+            .fetch_add(1, Ordering::Relaxed);
+        let scope = StepScope {
+            task: &self,
+            waiter: RefCell::new(None),
+        };
         // Consult the fault injector *before* the body runs: a failed
         // execution has performed no gets or puts, so retrying it is
         // trivially idempotent and the graph's output stays bit-identical
@@ -624,18 +841,26 @@ impl InstanceTask {
         let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
         match outcome {
             Ok(Ok(_)) => {
-                self.core.stats.steps_completed.fetch_add(1, Ordering::Relaxed);
+                self.core
+                    .stats
+                    .steps_completed
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(StepAbort::Blocked)) => {
-                self.core.stats.steps_requeued.fetch_add(1, Ordering::Relaxed);
+                self.core
+                    .stats
+                    .steps_requeued
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(StepAbort::Failed(failure))) => {
                 self.handle_failure(failure, body_puts);
             }
             Err(panic) => {
                 let msg = panic_message(&*panic);
-                self.core
-                    .record_error(CncError::StepPanicked(format!("[{}]: {msg}", self.step_name)));
+                self.core.record_error(CncError::StepPanicked(format!(
+                    "[{}]: {msg}",
+                    self.step_name
+                )));
             }
         }
         // Release the waiter guard *before* retiring from `pending`, so
@@ -718,14 +943,19 @@ impl InstanceTask {
             failure
         };
         if failure.kind == FailureKind::Permanent {
-            self.core
-                .record_error(CncError::StepFailed { step: self.step_name, failure });
+            self.core.record_error(CncError::StepFailed {
+                step: self.step_name,
+                failure,
+            });
             return;
         }
         let policy = *self.core.retry_policy.lock();
         let attempts = self.attempts.fetch_add(1, Ordering::AcqRel) + 1;
         if attempts < policy.max_attempts {
-            self.core.stats.steps_retried.fetch_add(1, Ordering::Relaxed);
+            self.core
+                .stats
+                .steps_retried
+                .fetch_add(1, Ordering::Relaxed);
             let backoff = policy
                 .backoff
                 .checked_mul(attempts)
@@ -750,8 +980,10 @@ impl InstanceTask {
         } else {
             // No retry budget configured: a transient failure aborts the
             // graph just like a permanent one.
-            self.core
-                .record_error(CncError::StepFailed { step: self.step_name, failure });
+            self.core.record_error(CncError::StepFailed {
+                step: self.step_name,
+                failure,
+            });
         }
     }
 }
@@ -804,7 +1036,8 @@ impl StepScope<'_> {
     /// counts the instance as blocked).
     pub(crate) fn waiter(&self) -> Arc<Countdown> {
         let mut slot = self.waiter.borrow_mut();
-        slot.get_or_insert_with(|| Countdown::arm(Arc::clone(self.task))).clone()
+        slot.get_or_insert_with(|| Countdown::arm(Arc::clone(self.task)))
+            .clone()
     }
 
     /// Name of the executing step collection (diagnostics).
@@ -825,7 +1058,10 @@ impl Countdown {
     /// blocked.
     pub(crate) fn arm(task: Arc<InstanceTask>) -> Arc<Self> {
         task.core.blocked.fetch_add(1, Ordering::AcqRel);
-        Arc::new(Countdown { remaining: AtomicUsize::new(1), task })
+        Arc::new(Countdown {
+            remaining: AtomicUsize::new(1),
+            task,
+        })
     }
 
     /// Registers one more unsatisfied dependency. Must be called while
@@ -963,7 +1199,10 @@ mod tests {
         input.put(5, 100).unwrap();
         let stats = g.wait().unwrap();
         assert_eq!(out.get_env(&5), Some(101));
-        assert!(stats.steps_requeued >= 1, "the step must have blocked at least once");
+        assert!(
+            stats.steps_requeued >= 1,
+            "the step must have blocked at least once"
+        );
     }
 
     #[test]
@@ -979,15 +1218,17 @@ mod tests {
         tags.put(1);
         tags.put(2);
         match g.wait() {
-            Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+            Err(CncError::Deadlock {
+                blocked_instances,
+                diagnostic,
+            }) => {
                 assert_eq!(blocked_instances, 2);
                 assert_eq!(diagnostic.waits.len(), 2);
                 for w in &diagnostic.waits {
                     assert_eq!(w.step, "starved");
                     assert_eq!(w.collection, "never");
                 }
-                let keys: Vec<&str> =
-                    diagnostic.waits.iter().map(|w| w.key.as_str()).collect();
+                let keys: Vec<&str> = diagnostic.waits.iter().map(|w| w.key.as_str()).collect();
                 assert!(keys.contains(&"1") && keys.contains(&"2"), "{keys:?}");
                 assert!(!diagnostic.longest_chain.is_empty());
             }
@@ -1014,7 +1255,10 @@ mod tests {
         tags.prescribe("bad", move |_, _| Err(StepAbort::permanent("declined")));
         tags.put(0);
         match g.wait() {
-            Err(CncError::StepFailed { step: "bad", failure }) => {
+            Err(CncError::StepFailed {
+                step: "bad",
+                failure,
+            }) => {
                 assert!(failure.message.contains("declined"));
             }
             other => panic!("expected failure, got {other:?}"),
@@ -1028,7 +1272,10 @@ mod tests {
         tags.prescribe("flaky", move |_, _| Err(StepAbort::transient("glitch")));
         tags.put(0);
         match g.wait() {
-            Err(CncError::StepFailed { step: "flaky", failure }) => {
+            Err(CncError::StepFailed {
+                step: "flaky",
+                failure,
+            }) => {
                 assert_eq!(failure.kind, FailureKind::Transient);
             }
             other => panic!("expected failure, got {other:?}"),
@@ -1076,14 +1323,25 @@ mod tests {
         });
         tags.put(1);
         match g.wait() {
-            Err(CncError::StepFailed { step: "eager", failure }) => {
+            Err(CncError::StepFailed {
+                step: "eager",
+                failure,
+            }) => {
                 assert_eq!(failure.kind, FailureKind::Permanent);
                 assert!(failure.message.contains("1 put(s)"), "{}", failure.message);
-                assert!(failure.message.contains("glitch after put"), "{}", failure.message);
+                assert!(
+                    failure.message.contains("glitch after put"),
+                    "{}",
+                    failure.message
+                );
             }
             other => panic!("expected escalated permanent failure, got {other:?}"),
         }
-        assert_eq!(g.stats().steps_retried, 0, "must not retry a non-idempotent body");
+        assert_eq!(
+            g.stats().steps_retried,
+            0,
+            "must not retry a non-idempotent body"
+        );
     }
 
     #[test]
@@ -1122,7 +1380,11 @@ mod tests {
         tags.prescribe("hopeless", move |_, _| Err(StepAbort::transient("always")));
         tags.put(0);
         match g.wait() {
-            Err(CncError::RetryExhausted { step: "hopeless", attempts: 3, failure }) => {
+            Err(CncError::RetryExhausted {
+                step: "hopeless",
+                attempts: 3,
+                failure,
+            }) => {
                 assert_eq!(failure.kind, FailureKind::Transient);
             }
             other => panic!("expected retry exhaustion, got {other:?}"),
@@ -1174,7 +1436,9 @@ mod tests {
         });
         tags.put(0);
         match g.wait_deadline(Duration::from_millis(40)) {
-            Err(CncError::Timeout { deadline, pending, .. }) => {
+            Err(CncError::Timeout {
+                deadline, pending, ..
+            }) => {
                 assert_eq!(deadline, Duration::from_millis(40));
                 assert!(pending >= 1);
             }
@@ -1236,7 +1500,10 @@ mod tests {
         input.put(5, 32).unwrap();
         let stats = g.wait().unwrap();
         assert_eq!(out.get_env(&4), Some(42));
-        assert_eq!(stats.steps_requeued, 0, "pre-scheduling eliminates requeues");
+        assert_eq!(
+            stats.steps_requeued, 0,
+            "pre-scheduling eliminates requeues"
+        );
     }
 
     #[test]
@@ -1298,10 +1565,30 @@ mod tests {
         // inst 1 -> item A; inst 2 -> {A, B}; inst 3 -> B: the longest
         // alternating path touches all five nodes.
         let raw = vec![
-            ProbeWait { instance: 1, step: "s1", collection: "c", key: "A".into() },
-            ProbeWait { instance: 2, step: "s2", collection: "c", key: "A".into() },
-            ProbeWait { instance: 2, step: "s2", collection: "c", key: "B".into() },
-            ProbeWait { instance: 3, step: "s3", collection: "c", key: "B".into() },
+            ProbeWait {
+                instance: 1,
+                step: "s1",
+                collection: "c",
+                key: "A".into(),
+            },
+            ProbeWait {
+                instance: 2,
+                step: "s2",
+                collection: "c",
+                key: "A".into(),
+            },
+            ProbeWait {
+                instance: 2,
+                step: "s2",
+                collection: "c",
+                key: "B".into(),
+            },
+            ProbeWait {
+                instance: 3,
+                step: "s3",
+                collection: "c",
+                key: "B".into(),
+            },
         ];
         let d = build_diagnostic(raw);
         assert_eq!(d.waits.len(), 4);
@@ -1347,8 +1634,15 @@ mod contract_tests {
         });
         tags.put(5);
         match g.wait() {
-            Err(CncError::StepFailed { step: "swallower", failure }) => {
-                assert!(failure.message.contains("without propagating"), "{}", failure.message);
+            Err(CncError::StepFailed {
+                step: "swallower",
+                failure,
+            }) => {
+                assert!(
+                    failure.message.contains("without propagating"),
+                    "{}",
+                    failure.message
+                );
             }
             other => panic!("expected contract violation, got {other:?}"),
         }

@@ -32,7 +32,9 @@ pub struct TagCollection<T> {
 
 impl<T> Clone for TagCollection<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -42,7 +44,13 @@ where
 {
     pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
         core.spec.lock().push(format!("<{name}>;"));
-        Self { inner: Arc::new(TagInner { name, core, prescriptions: RwLock::new(Vec::new()) }) }
+        Self {
+            inner: Arc::new(TagInner {
+                name,
+                core,
+                prescriptions: RwLock::new(Vec::new()),
+            }),
+        }
     }
 
     /// Collection name (diagnostics).
@@ -63,10 +71,10 @@ where
             .spec
             .lock()
             .push(format!("<{}> :: ({step_name});", self.inner.name));
-        self.inner
-            .prescriptions
-            .write()
-            .push(Prescription { step_name, body: Arc::new(body) });
+        self.inner.prescriptions.write().push(Prescription {
+            step_name,
+            body: Arc::new(body),
+        });
         self
     }
 
@@ -102,7 +110,11 @@ where
     /// (Native-CnC behaviour — instances discover missing inputs via
     /// failed blocking gets and retry).
     pub fn put(&self, tag: T) {
-        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .core
+            .stats
+            .tags_put
+            .fetch_add(1, Ordering::Relaxed);
         // A tag put from inside a body spawns instances — re-executing
         // the body would spawn them again, so it counts as a
         // non-retryable side effect like an item put.
@@ -117,8 +129,16 @@ where
     /// self-respawn. Identical to [`TagCollection::put`] plus the
     /// wasted-work accounting (`nb_retries`).
     pub fn put_retry(&self, tag: T) {
-        self.inner.core.stats.nb_retries.fetch_add(1, Ordering::Relaxed);
-        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .core
+            .stats
+            .nb_retries
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .core
+            .stats
+            .tags_put
+            .fetch_add(1, Ordering::Relaxed);
         note_body_put();
         for task in self.instances(&tag) {
             // Fair (global-injector) dispatch: a self-respawning step on
@@ -133,7 +153,11 @@ where
     /// the pre-scheduling tuner of Sec. III-D (and, when the environment
     /// declares the whole computation up front, the Manual-CnC variant).
     pub fn put_when(&self, tag: T, deps: &DepSet) {
-        self.inner.core.stats.tags_put.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .core
+            .stats
+            .tags_put
+            .fetch_add(1, Ordering::Relaxed);
         note_body_put();
         for task in self.instances(&tag) {
             let countdown = Countdown::arm(task);

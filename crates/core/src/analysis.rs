@@ -64,8 +64,16 @@ mod tests {
         for benchmark in Benchmark::ALL {
             let fj = dag_metrics(benchmark, Model::ForkJoin, 16, 32);
             let df = dag_metrics(benchmark, Model::DataFlow, 16, 32);
-            assert!((fj.work - df.work).abs() < 1e-3 * fj.work, "{}", benchmark.name());
-            assert!(fj.span > df.span, "{}: joins must inflate the span", benchmark.name());
+            assert!(
+                (fj.work - df.work).abs() < 1e-3 * fj.work,
+                "{}",
+                benchmark.name()
+            );
+            assert!(
+                fj.span > df.span,
+                "{}: joins must inflate the span",
+                benchmark.name()
+            );
             assert!(fj.parallelism < df.parallelism, "{}", benchmark.name());
         }
     }

@@ -42,7 +42,10 @@ pub fn measure_flops_per_ns(m: usize, reps: usize) -> f64 {
 pub fn calibrated(machine: &MachineConfig) -> MachineConfig {
     let mut out = machine.clone();
     let measured = measure_flops_per_ns(128, 3);
-    out.cost = CostParams { flops_per_ns_per_core: measured, ..out.cost };
+    out.cost = CostParams {
+        flops_per_ns_per_core: measured,
+        ..out.cost
+    };
     out
 }
 

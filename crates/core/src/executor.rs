@@ -89,23 +89,43 @@ pub fn run_benchmark(
     match benchmark {
         Benchmark::Ge => {
             let mut m = ge_matrix(n, SEED);
-            let (seconds, stats) = time_table(&mut m, execution, base, threads, TableOps {
-                loops: ge::ge_loops,
-                rdp: ge::ge_rdp,
-                forkjoin: ge::ge_forkjoin,
-                cnc: ge::ge_cnc,
-            });
-            RunOutput { table: m, seconds, cnc_stats: stats }
+            let (seconds, stats) = time_table(
+                &mut m,
+                execution,
+                base,
+                threads,
+                TableOps {
+                    loops: ge::ge_loops,
+                    rdp: ge::ge_rdp,
+                    forkjoin: ge::ge_forkjoin,
+                    cnc: ge::ge_cnc,
+                },
+            );
+            RunOutput {
+                table: m,
+                seconds,
+                cnc_stats: stats,
+            }
         }
         Benchmark::Fw => {
             let mut m = fw_matrix(n, SEED, 0.35);
-            let (seconds, stats) = time_table(&mut m, execution, base, threads, TableOps {
-                loops: fw::fw_loops,
-                rdp: fw::fw_rdp,
-                forkjoin: fw::fw_forkjoin,
-                cnc: fw::fw_cnc,
-            });
-            RunOutput { table: m, seconds, cnc_stats: stats }
+            let (seconds, stats) = time_table(
+                &mut m,
+                execution,
+                base,
+                threads,
+                TableOps {
+                    loops: fw::fw_loops,
+                    rdp: fw::fw_rdp,
+                    forkjoin: fw::fw_forkjoin,
+                    cnc: fw::fw_cnc,
+                },
+            );
+            RunOutput {
+                table: m,
+                seconds,
+                cnc_stats: stats,
+            }
         }
         Benchmark::Sw => {
             let a = dna_sequence(n, SEED);
@@ -128,7 +148,11 @@ pub fn run_benchmark(
                 }
                 Execution::Cnc(v) => Some(sw::sw_cnc(&mut m, &a, &b, base, v, threads)),
             };
-            RunOutput { table: m, seconds: start.elapsed().as_secs_f64(), cnc_stats: stats }
+            RunOutput {
+                table: m,
+                seconds: start.elapsed().as_secs_f64(),
+                cnc_stats: stats,
+            }
         }
     }
 }

@@ -25,8 +25,12 @@ pub enum Paradigm {
 
 impl Paradigm {
     /// The four executable series (everything but `Estimated`).
-    pub const EXECUTABLE: [Paradigm; 4] =
-        [Paradigm::CncNative, Paradigm::CncTuner, Paradigm::CncManual, Paradigm::OpenMp];
+    pub const EXECUTABLE: [Paradigm; 4] = [
+        Paradigm::CncNative,
+        Paradigm::CncTuner,
+        Paradigm::CncManual,
+        Paradigm::OpenMp,
+    ];
 
     /// Figure-legend label.
     pub fn label(self) -> &'static str {
@@ -135,7 +139,12 @@ impl FigurePanel {
                     .collect(),
             })
             .collect();
-        FigurePanel { machine: machine.name, benchmark: benchmark.name(), n, rows }
+        FigurePanel {
+            machine: machine.name,
+            benchmark: benchmark.name(),
+            n,
+            rows,
+        }
     }
 
     /// The base size with the lowest time for a given series label.
@@ -143,7 +152,10 @@ impl FigurePanel {
         self.rows
             .iter()
             .filter_map(|r| {
-                r.seconds.iter().find(|(l, _)| *l == label).map(|(_, s)| (r.base, *s))
+                r.seconds
+                    .iter()
+                    .find(|(l, _)| *l == label)
+                    .map(|(_, s)| (r.base, *s))
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .map(|(base, _)| base)
@@ -209,7 +221,10 @@ mod tests {
         let sky = skylake192();
         let cnc = predict_seconds(&sky, Benchmark::Ge, 2048, 128, Paradigm::CncTuner);
         let omp = predict_seconds(&sky, Benchmark::Ge, 2048, 128, Paradigm::OpenMp);
-        assert!(cnc < omp, "CnC {cnc} should beat OpenMP {omp} at 2K on 192 cores");
+        assert!(
+            cnc < omp,
+            "CnC {cnc} should beat OpenMP {omp} at 2K on 192 cores"
+        );
     }
 
     #[test]
@@ -219,7 +234,10 @@ mod tests {
         let epyc = epyc64();
         let cnc = predict_seconds(&epyc, Benchmark::Ge, 16384, 256, Paradigm::CncNative);
         let omp = predict_seconds(&epyc, Benchmark::Ge, 16384, 256, Paradigm::OpenMp);
-        assert!(omp < cnc, "OpenMP {omp} should beat CnC {cnc} at 16K on 64 cores");
+        assert!(
+            omp < cnc,
+            "OpenMP {omp} should beat CnC {cnc} at 16K on 64 cores"
+        );
     }
 
     #[test]
@@ -228,7 +246,10 @@ mod tests {
         let epyc = epyc64();
         let cnc = predict_seconds(&epyc, Benchmark::Sw, 16384, 128, Paradigm::CncTuner);
         let omp = predict_seconds(&epyc, Benchmark::Sw, 16384, 128, Paradigm::OpenMp);
-        assert!(cnc < omp, "SW: CnC {cnc} must beat OpenMP {omp} even at 16K");
+        assert!(
+            cnc < omp,
+            "SW: CnC {cnc} must beat OpenMP {omp} even at 16K"
+        );
     }
 
     #[test]

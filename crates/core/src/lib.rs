@@ -45,7 +45,7 @@ pub use analysis::{dag, dag_metrics, Model};
 pub use executor::{
     run_benchmark, run_benchmark_resilient, Benchmark, Execution, ResilienceOptions, RunOutput,
 };
-pub use experiment::{predict_seconds, FigurePanel, Paradigm, PanelRow};
+pub use experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::executor::{
         run_benchmark, run_benchmark_resilient, Benchmark, Execution, ResilienceOptions, RunOutput,
     };
-    pub use crate::experiment::{predict_seconds, FigurePanel, Paradigm, PanelRow};
+    pub use crate::experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
     pub use recdp_cnc::{CancelToken, CncError, CncGraph, RetryPolicy};
     pub use recdp_forkjoin::{join, scope, ThreadPool, ThreadPoolBuilder};
     pub use recdp_kernels::{CncVariant, Matrix};

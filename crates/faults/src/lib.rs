@@ -131,6 +131,17 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The same plan configuration (rates, delays, targets) under a
+    /// different seed. This makes a fault plan a *schedule-exploration
+    /// dimension*: a harness sweeping schedule seeds can derive one
+    /// fault seed per schedule from the same template plan, and every
+    /// (schedule, fault) pair stays individually replayable.
+    pub fn reseeded(&self, seed: u64) -> Self {
+        let mut plan = self.clone();
+        plan.seed = seed;
+        plan
+    }
+
     /// Each step execution fails transiently (before its body runs) with
     /// probability `rate`, independently per attempt — so with retry
     /// budget `m` a site survives unless `m` consecutive rolls all fail.
@@ -246,7 +257,10 @@ impl FaultPlan {
 }
 
 fn checked_rate(rate: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1], got {rate}");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "fault rate must be in [0, 1], got {rate}"
+    );
     rate
 }
 
@@ -277,8 +291,7 @@ impl FaultInjector for FaultPlan {
             return PutAction::Deliver;
         }
         let x = name_hash(collection) ^ key_hash;
-        if self.put_drop_rate > 0.0 && roll(self.seed, STREAM_PUT_DROP, x, 0) < self.put_drop_rate
-        {
+        if self.put_drop_rate > 0.0 && roll(self.seed, STREAM_PUT_DROP, x, 0) < self.put_drop_rate {
             return PutAction::Drop;
         }
         if self.put_delay_rate > 0.0
@@ -296,7 +309,11 @@ mod tests {
     use recdp_cnc::{CncGraph, RetryPolicy, StepOutcome};
 
     fn site(step: &'static str, tag_hash: u64, attempt: u32) -> FaultSite {
-        FaultSite { step, tag_hash, attempt }
+        FaultSite {
+            step,
+            tag_hash,
+            attempt,
+        }
     }
 
     #[test]
@@ -313,18 +330,34 @@ mod tests {
     }
 
     #[test]
+    fn reseeded_keeps_configuration_changes_decisions() {
+        let base = FaultPlan::new(1).transient_step_failures(0.5);
+        let re = base.reseeded(2);
+        assert_eq!(re.seed(), 2);
+        assert_eq!(
+            re.describe(),
+            FaultPlan::new(2).transient_step_failures(0.5).describe()
+        );
+        let diverges = (0..200u64)
+            .any(|t| base.before_step(&site("s", t, 1)) != re.before_step(&site("s", t, 1)));
+        assert!(diverges, "reseeding must change the decision stream");
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let a = FaultPlan::new(1).transient_step_failures(0.5);
         let b = FaultPlan::new(2).transient_step_failures(0.5);
-        let diverges = (0..200u64)
-            .any(|t| a.before_step(&site("s", t, 1)) != b.before_step(&site("s", t, 1)));
+        let diverges =
+            (0..200u64).any(|t| a.before_step(&site("s", t, 1)) != b.before_step(&site("s", t, 1)));
         assert!(diverges, "seeds 1 and 2 produced identical plans");
     }
 
     #[test]
     fn rate_extremes() {
         let never = FaultPlan::new(3);
-        let always = FaultPlan::new(3).transient_step_failures(1.0).dropped_puts(1.0);
+        let always = FaultPlan::new(3)
+            .transient_step_failures(1.0)
+            .dropped_puts(1.0);
         for t in 0..50u64 {
             assert_eq!(never.before_step(&site("s", t, 1)), FaultAction::None);
             assert_eq!(never.on_put("c", t), PutAction::Deliver);
@@ -342,8 +375,10 @@ mod tests {
         // later attempt — otherwise retries could never succeed.
         let plan = FaultPlan::new(11).transient_step_failures(0.5);
         let recovered = (0..200u64).any(|t| {
-            matches!(plan.before_step(&site("s", t, 1)), FaultAction::FailTransient(_))
-                && plan.before_step(&site("s", t, 2)) == FaultAction::None
+            matches!(
+                plan.before_step(&site("s", t, 1)),
+                FaultAction::FailTransient(_)
+            ) && plan.before_step(&site("s", t, 2)) == FaultAction::None
         });
         assert!(recovered);
     }
@@ -355,7 +390,10 @@ mod tests {
             .dropped_puts(1.0)
             .target_steps(&["hit"])
             .target_collections(&["hot"]);
-        assert!(matches!(plan.before_step(&site("hit", 0, 1)), FaultAction::FailTransient(_)));
+        assert!(matches!(
+            plan.before_step(&site("hit", 0, 1)),
+            FaultAction::FailTransient(_)
+        ));
         assert_eq!(plan.before_step(&site("miss", 0, 1)), FaultAction::None);
         assert_eq!(plan.on_put("hot", 0), PutAction::Drop);
         assert_eq!(plan.on_put("cold", 0), PutAction::Deliver);
@@ -363,7 +401,9 @@ mod tests {
 
     #[test]
     fn describe_contains_seed() {
-        let plan = FaultPlan::new(0xBEEF).transient_step_failures(0.25).kill_worker_at_ns(10);
+        let plan = FaultPlan::new(0xBEEF)
+            .transient_step_failures(0.25)
+            .kill_worker_at_ns(10);
         let d = plan.describe();
         assert!(d.contains("0xbeef"), "{d}");
         assert!(d.contains("step_fail=0.25"), "{d}");
@@ -389,21 +429,28 @@ mod tests {
             for n in 0..64 {
                 tags.put(n);
             }
-            let stats = g.wait().unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+            let stats = g
+                .wait()
+                .unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
             let values: Vec<u64> = (0..64).map(|n| out.get_env(&n).unwrap()).collect();
             (stats, values)
         };
         let (clean_stats, clean_values) = run(false);
         let (chaos_stats, chaos_values) = run(true);
         assert_eq!(clean_values, chaos_values, "faults must not change results");
-        assert!(chaos_stats.faults_injected > 0, "seed 42 must actually inject");
+        assert!(
+            chaos_stats.faults_injected > 0,
+            "seed 42 must actually inject"
+        );
         assert_eq!(chaos_stats.steps_retried, chaos_stats.faults_injected);
         assert_eq!(clean_stats.steps_completed, chaos_stats.steps_completed);
     }
 
     #[test]
     fn dropped_put_yields_deadlock_diagnostic() {
-        let plan = FaultPlan::new(9).dropped_puts(1.0).target_collections(&["link"]);
+        let plan = FaultPlan::new(9)
+            .dropped_puts(1.0)
+            .target_collections(&["link"]);
         let g = CncGraph::with_threads(2);
         g.set_fault_injector(Arc::new(plan));
         let link = g.item_collection::<u32, u32>("link");
@@ -421,7 +468,10 @@ mod tests {
         });
         tags.put(1);
         match g.wait() {
-            Err(recdp_cnc::CncError::Deadlock { blocked_instances, diagnostic }) => {
+            Err(recdp_cnc::CncError::Deadlock {
+                blocked_instances,
+                diagnostic,
+            }) => {
                 assert_eq!(blocked_instances, 1);
                 assert_eq!(diagnostic.waits.len(), 1);
                 assert_eq!(diagnostic.waits[0].step, "consume");

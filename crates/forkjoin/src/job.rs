@@ -26,7 +26,10 @@ impl JobRef {
     /// `data` must stay valid until `execute` is called, and `execute`
     /// must be called exactly once.
     pub(crate) unsafe fn new<T>(data: *const T, execute_fn: unsafe fn(*const ())) -> JobRef {
-        JobRef { pointer: data as *const (), execute_fn }
+        JobRef {
+            pointer: data as *const (),
+            execute_fn,
+        }
     }
 
     /// # Safety

@@ -21,7 +21,9 @@ pub(crate) struct SpinLatch {
 
 impl SpinLatch {
     pub(crate) fn new() -> Self {
-        Self { set: AtomicBool::new(false) }
+        Self {
+            set: AtomicBool::new(false),
+        }
     }
 
     pub(crate) fn set(&self) {
@@ -46,7 +48,9 @@ pub(crate) struct CountLatch {
 
 impl CountLatch {
     pub(crate) fn new() -> Self {
-        Self { counter: AtomicUsize::new(1) }
+        Self {
+            counter: AtomicUsize::new(1),
+        }
     }
 
     pub(crate) fn increment(&self) {

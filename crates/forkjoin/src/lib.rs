@@ -69,7 +69,7 @@ mod latch;
 mod registry;
 mod scope;
 
-pub use registry::{current_num_threads, TaskHook, ThreadPool, ThreadPoolBuilder};
+pub use registry::{current_num_threads, StealPolicy, TaskHook, ThreadPool, ThreadPoolBuilder};
 pub use scope::{scope, Scope};
 
 use job::StackJob;

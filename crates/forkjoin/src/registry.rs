@@ -15,11 +15,28 @@ use crate::latch::Latch;
 /// executes (see [`ThreadPoolBuilder::task_hook`]).
 pub type TaskHook = Arc<dyn Fn() + Send + Sync>;
 
+/// Owns the steal-victim choice of the work-stealing loop.
+///
+/// When a worker runs out of local and injected work it sweeps the other
+/// workers' deques in rotation; the policy chooses where that rotation
+/// starts, which is the only nondeterministic decision in the sweep. The
+/// default (no policy installed) is a per-worker xorshift64* generator;
+/// the `recdp-check` harness installs seeded policies so fork-join runs
+/// can be explored and replayed schedule-by-schedule.
+pub trait StealPolicy: Send + Sync {
+    /// Index at which worker `thief` starts its victim sweep over
+    /// `workers` deques (the sweep visits every other deque in rotation
+    /// from there; the thief's own deque is skipped). Results are taken
+    /// modulo `workers`.
+    fn steal_start(&self, thief: usize, workers: usize) -> usize;
+}
+
 /// Builder for a [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
     task_hook: Option<TaskHook>,
+    steal_policy: Option<Arc<dyn StealPolicy>>,
 }
 
 impl std::fmt::Debug for ThreadPoolBuilder {
@@ -27,6 +44,10 @@ impl std::fmt::Debug for ThreadPoolBuilder {
         f.debug_struct("ThreadPoolBuilder")
             .field("num_threads", &self.num_threads)
             .field("task_hook", &self.task_hook.as_ref().map(|_| "<hook>"))
+            .field(
+                "steal_policy",
+                &self.steal_policy.as_ref().map(|_| "<policy>"),
+            )
             .finish()
     }
 }
@@ -58,10 +79,19 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Installs a steal-victim policy (see [`StealPolicy`]). Defaults to
+    /// a per-worker xorshift64* start index.
+    pub fn steal_policy(mut self, policy: Arc<dyn StealPolicy>) -> Self {
+        self.steal_policy = Some(policy);
+        self
+    }
+
     /// Builds the pool and starts its workers.
     pub fn build(self) -> ThreadPool {
         let n = self.num_threads.unwrap_or_else(default_num_threads);
-        ThreadPool { registry: Registry::new(n, self.task_hook) }
+        ThreadPool {
+            registry: Registry::new(n, self.task_hook, self.steal_policy),
+        }
     }
 }
 
@@ -71,7 +101,10 @@ fn default_num_threads() -> usize {
         .and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
         })
 }
 
@@ -186,6 +219,7 @@ pub(crate) struct Registry {
     sleep_cond: Condvar,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     task_hook: Option<TaskHook>,
+    steal_policy: Option<Arc<dyn StealPolicy>>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -198,7 +232,11 @@ impl std::fmt::Debug for Registry {
 }
 
 impl Registry {
-    fn new(n: usize, task_hook: Option<TaskHook>) -> Arc<Self> {
+    fn new(
+        n: usize,
+        task_hook: Option<TaskHook>,
+        steal_policy: Option<Arc<dyn StealPolicy>>,
+    ) -> Arc<Self> {
         let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(|w| w.stealer()).collect();
         let registry = Arc::new(Registry {
@@ -209,6 +247,7 @@ impl Registry {
             sleep_cond: Condvar::new(),
             handles: Mutex::new(Vec::with_capacity(n)),
             task_hook,
+            steal_policy,
         });
         let mut handles = registry.handles.lock();
         for (index, worker) in workers.into_iter().enumerate() {
@@ -297,7 +336,10 @@ impl WorkerThread {
             }
         }
         let n = self.registry.stealers.len();
-        let start = (self.next_rand() as usize) % n;
+        let start = match &self.registry.steal_policy {
+            Some(policy) => policy.steal_start(self.index, n) % n,
+            None => (self.next_rand() as usize) % n,
+        };
         for off in 0..n {
             let victim = (start + off) % n;
             if victim == self.index {
@@ -353,9 +395,8 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
             // Catch panics from fire-and-forget jobs so a bad task cannot
             // take the worker down; structured jobs (StackJob, scope jobs)
             // install their own handlers and re-raise at the join point.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                job.execute()
-            }));
+            let _ =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { job.execute() }));
         } else {
             let mut guard = registry.sleep_mutex.lock();
             // Bounded wait: covers the push-vs-sleep race without a
@@ -449,6 +490,35 @@ mod tests {
     #[test]
     fn default_thread_count_at_least_two() {
         assert!(default_num_threads() >= 2);
+    }
+
+    #[test]
+    fn steal_policy_owns_victim_choice() {
+        struct Fixed(AtomicUsize);
+        impl StealPolicy for Fixed {
+            fn steal_start(&self, thief: usize, workers: usize) -> usize {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                (thief + 1) % workers
+            }
+        }
+        let policy = Arc::new(Fixed(AtomicUsize::new(0)));
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .steal_policy(Arc::clone(&policy) as Arc<dyn StealPolicy>)
+            .build();
+        // Idle workers sweep the victim deques through the policy, and
+        // real work still completes under it.
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        for _ in 0..10_000 {
+            if policy.0.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert!(
+            policy.0.load(Ordering::Relaxed) > 0,
+            "policy never consulted"
+        );
     }
 
     #[test]

@@ -103,9 +103,7 @@ impl<'scope> Scope<'scope> {
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         let job = HeapJob::into_job_ref(task);
         match WorkerThread::current() {
-            Some(wt) if std::ptr::eq(wt.registry.as_ref(), self.registry.as_ref()) => {
-                wt.push(job)
-            }
+            Some(wt) if std::ptr::eq(wt.registry.as_ref(), self.registry.as_ref()) => wt.push(job),
             _ => self.registry.inject(job),
         }
     }

@@ -2,7 +2,9 @@
 //! the R-DP recursion, base tasks synchronised by tile-readiness items
 //! keyed `(k, i, j)` over the full task cube.
 
-use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{
+    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
+};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -142,12 +144,7 @@ enum Which {
 }
 
 /// In-place data-flow FW with base size `base` on `threads` workers.
-pub fn fw_cnc(
-    dist: &mut Matrix,
-    base: usize,
-    variant: CncVariant,
-    threads: usize,
-) -> GraphStats {
+pub fn fw_cnc(dist: &mut Matrix, base: usize, variant: CncVariant, threads: usize) -> GraphStats {
     let graph = CncGraph::with_threads(threads);
     fw_cnc_on(dist, base, variant, &graph).expect("FW CnC graph failed")
 }

@@ -41,8 +41,14 @@ pub(crate) unsafe fn base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m
 }
 
 pub(crate) fn check_sizes(n: usize, base: usize) {
-    assert!(n.is_power_of_two(), "problem size {n} must be a power of two");
-    assert!(base.is_power_of_two() && base <= n, "bad base size {base} for n={n}");
+    assert!(
+        n.is_power_of_two(),
+        "problem size {n} must be a power of two"
+    );
+    assert!(
+        base.is_power_of_two() && base <= n,
+        "bad base size {base} for n={n}"
+    );
 }
 
 #[cfg(test)]
@@ -93,7 +99,11 @@ mod tests {
         unsafe { base_kernel(m.ptr(), 0, 0, 0, 4) };
         for i in 0..4 {
             for j in 0..4 {
-                let expect = if i == j { 0.0 } else { 2.0 * INF_DIST.min(INF_DIST) };
+                let expect = if i == j {
+                    0.0
+                } else {
+                    2.0 * INF_DIST.min(INF_DIST)
+                };
                 if i == j {
                     assert_eq!(m[(i, j)], 0.0);
                 } else {

@@ -22,7 +22,9 @@
 //! [`CncVariant::Manual`] has the environment pre-declare every base
 //! task of the whole computation up front.
 
-use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{
+    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
+};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -81,9 +83,7 @@ impl Ctx {
         let tag = (i, j, k, 1);
         match self.variant {
             CncVariant::Native | CncVariant::NonBlocking => tags.put(tag),
-            CncVariant::Tuner | CncVariant::Manual => {
-                tags.put_when(tag, &self.deps(kind, k, i, j))
-            }
+            CncVariant::Tuner | CncVariant::Manual => tags.put_when(tag, &self.deps(kind, k, i, j)),
         }
     }
 
@@ -153,12 +153,7 @@ impl Ctx {
 /// with `threads` workers. Returns the graph's execution statistics
 /// (requeue counts etc. — the observable difference between the
 /// variants).
-pub fn ge_cnc(
-    mat: &mut Matrix,
-    base: usize,
-    variant: CncVariant,
-    threads: usize,
-) -> GraphStats {
+pub fn ge_cnc(mat: &mut Matrix, base: usize, variant: CncVariant, threads: usize) -> GraphStats {
     let graph = CncGraph::with_threads(threads);
     ge_cnc_on(mat, base, variant, &graph).expect("GE CnC graph failed")
 }
@@ -361,7 +356,10 @@ mod tests {
         let t = 4u64;
         let base_tasks = t * (t + 1) * (2 * t + 1) / 6;
         let stats = ge_cnc(&mut m, 8, CncVariant::Manual, 2);
-        assert_eq!(stats.steps_completed, base_tasks, "no expansion steps under Manual");
+        assert_eq!(
+            stats.steps_completed, base_tasks,
+            "no expansion steps under Manual"
+        );
         assert_eq!(stats.tags_put, base_tasks);
     }
 
@@ -373,7 +371,10 @@ mod tests {
         for threads in [2usize, 4] {
             let mut multi = m0.clone();
             ge_cnc(&mut multi, 16, CncVariant::Native, threads);
-            assert!(multi.bitwise_eq(&one), "CnC determinism at {threads} threads");
+            assert!(
+                multi.bitwise_eq(&one),
+                "CnC determinism at {threads} threads"
+            );
         }
     }
 }

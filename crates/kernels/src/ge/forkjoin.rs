@@ -126,7 +126,10 @@ mod tests {
         for _ in 0..3 {
             let mut again = m0.clone();
             ge_forkjoin(&mut again, 8, &pool);
-            assert!(again.bitwise_eq(&first), "steal interleavings must not matter");
+            assert!(
+                again.bitwise_eq(&first),
+                "steal interleavings must not matter"
+            );
         }
     }
 }

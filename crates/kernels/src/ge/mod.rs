@@ -28,13 +28,7 @@ use crate::table::TablePtr;
 /// the caller must guarantee exclusive write access to the region plus
 /// stable (no concurrent writer) pivot data, per the [`TablePtr`]
 /// discipline.
-pub(crate) unsafe fn base_kernel(
-    t: TablePtr,
-    i0: usize,
-    j0: usize,
-    k0: usize,
-    m: usize,
-) {
+pub(crate) unsafe fn base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
     debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
     for k in k0..k0 + m {
         let pivot = t.get(k, k);
@@ -51,8 +45,14 @@ pub(crate) unsafe fn base_kernel(
 /// Validates `(n, base)` for the R-DP variants: both powers of two with
 /// `base <= n` (the shape the paper's experiments use).
 pub(crate) fn check_rdp_sizes(n: usize, base: usize) {
-    assert!(n.is_power_of_two(), "problem size {n} must be a power of two");
-    assert!(base.is_power_of_two(), "base size {base} must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "problem size {n} must be a power of two"
+    );
+    assert!(
+        base.is_power_of_two(),
+        "base size {base} must be a power of two"
+    );
     assert!(base <= n, "base size {base} larger than problem {n}");
 }
 

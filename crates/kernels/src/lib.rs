@@ -59,8 +59,12 @@ impl CncVariant {
     pub const ALL: [CncVariant; 3] = [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual];
 
     /// All variants including the non-blocking-get alternative.
-    pub const ALL_EXTENDED: [CncVariant; 4] =
-        [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual, CncVariant::NonBlocking];
+    pub const ALL_EXTENDED: [CncVariant; 4] = [
+        CncVariant::Native,
+        CncVariant::Tuner,
+        CncVariant::Manual,
+        CncVariant::NonBlocking,
+    ];
 
     /// Display label matching the paper's figure legends.
     pub fn label(self) -> &'static str {

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use recdp_cnc::{CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection};
+use recdp_cnc::{
+    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
+};
 
 use crate::table::{Matrix, TablePtr};
 use crate::CncVariant;
@@ -46,9 +48,7 @@ impl Ctx {
         let tag = (i, j, 1);
         match self.variant {
             CncVariant::Native | CncVariant::NonBlocking => self.tags.put(tag),
-            CncVariant::Tuner | CncVariant::Manual => {
-                self.tags.put_when(tag, &self.deps(i, j))
-            }
+            CncVariant::Tuner | CncVariant::Manual => self.tags.put_when(tag, &self.deps(i, j)),
         }
     }
 

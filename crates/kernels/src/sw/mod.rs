@@ -36,19 +36,16 @@ pub const GAP: f64 = 1.0;
 /// Exclusive write access to the tile; the row above, column left and
 /// corner cell must be final (their tiles' tasks completed first).
 #[allow(clippy::needless_range_loop)] // index loops mirror the DP recurrence
-pub(crate) unsafe fn base_kernel(
-    t: TablePtr,
-    a: &[u8],
-    b: &[u8],
-    i0: usize,
-    j0: usize,
-    m: usize,
-) {
+pub(crate) unsafe fn base_kernel(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, m: usize) {
     debug_assert!(i0 + m <= t.n && j0 + m <= t.n);
     debug_assert!(a.len() >= i0 + m && b.len() >= j0 + m);
     for i in i0..i0 + m {
         for j in j0..j0 + m {
-            let diag = if i > 0 && j > 0 { t.get(i - 1, j - 1) } else { 0.0 };
+            let diag = if i > 0 && j > 0 {
+                t.get(i - 1, j - 1)
+            } else {
+                0.0
+            };
             let up = if i > 0 { t.get(i - 1, j) } else { 0.0 };
             let left = if j > 0 { t.get(i, j - 1) } else { 0.0 };
             let sub = diag + if a[i] == b[j] { MATCH } else { MISMATCH };

@@ -12,7 +12,10 @@ impl Matrix {
     /// A zero-filled `n x n` matrix.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "empty matrix");
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Builds from a function of `(row, col)`.
@@ -41,7 +44,10 @@ impl Matrix {
     /// decompositions guarantee this; see the module docs of
     /// `ge::forkjoin`).
     pub fn ptr(&mut self) -> TablePtr {
-        TablePtr { ptr: self.data.as_mut_ptr(), n: self.n }
+        TablePtr {
+            ptr: self.data.as_mut_ptr(),
+            n: self.n,
+        }
     }
 
     /// Largest absolute element-wise difference to another matrix.
@@ -62,6 +68,25 @@ impl Matrix {
                 .iter()
                 .zip(&other.data)
                 .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// FNV-1a digest over the side length and every element's bit
+    /// pattern. Two matrices digest equal iff [`Matrix::bitwise_eq`]
+    /// (up to hash collision); the schedule-exploration oracles compare
+    /// digests instead of keeping a full table per explored schedule.
+    pub fn bit_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(self.n as u64);
+        for v in &self.data {
+            mix(v.to_bits());
+        }
+        h
     }
 }
 

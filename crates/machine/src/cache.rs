@@ -114,7 +114,10 @@ impl CacheGeometry {
                 "uniform line size assumed across the hierarchy"
             );
         }
-        Self { levels, dram_latency_ns }
+        Self {
+            levels,
+            dram_latency_ns,
+        }
     }
 
     /// Uniform line size in bytes.
@@ -187,7 +190,12 @@ mod tests {
 
     #[test]
     fn largest_fitting_tile_exact_squares() {
-        let c = CacheLevel { capacity_bytes: 9 * 8, line_bytes: 8, associativity: 1, ..l1() };
+        let c = CacheLevel {
+            capacity_bytes: 9 * 8,
+            line_bytes: 8,
+            associativity: 1,
+            ..l1()
+        };
         assert_eq!(c.largest_fitting_tile(1), 3);
         assert_eq!(c.largest_fitting_tile(9), 1);
     }
@@ -210,7 +218,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a multiple")]
     fn bad_geometry_panics() {
-        let c = CacheLevel { capacity_bytes: 1000, ..l1() };
+        let c = CacheLevel {
+            capacity_bytes: 1000,
+            ..l1()
+        };
         let _ = c.num_sets();
     }
 }

@@ -44,7 +44,10 @@ impl Default for CostParams {
         // order of magnitude the paper's absolute times imply
         // (8K^3/3 flops / 64 cores / ~2 flops/ns ~ 1.4 s, matching Fig. 4's
         // ~100-600 s range only after miss penalties dominate).
-        Self { flops_per_ns_per_core: 2.0, prefetch_discount: 0.35 }
+        Self {
+            flops_per_ns_per_core: 2.0,
+            prefetch_discount: 0.35,
+        }
     }
 }
 
@@ -149,7 +152,10 @@ mod tests {
 
     #[test]
     fn compute_ns_linear() {
-        let c = CostParams { flops_per_ns_per_core: 4.0, prefetch_discount: 0.5 };
+        let c = CostParams {
+            flops_per_ns_per_core: 4.0,
+            prefetch_discount: 0.5,
+        };
         assert!((c.compute_ns(400.0) - 100.0).abs() < 1e-12);
     }
 

@@ -114,13 +114,10 @@ pub fn simulate_with_timeline(
 
     loop {
         // Dispatch everything we can at the current instant.
-        loop {
-            let Some(&node) = (match cfg.policy {
-                QueuePolicy::Fifo => ready.front(),
-                QueuePolicy::Lifo => ready.back(),
-            }) else {
-                break;
-            };
+        while let Some(&node) = match cfg.policy {
+            QueuePolicy::Fifo => ready.front(),
+            QueuePolicy::Lifo => ready.back(),
+        } {
             let kind = graph.kind(node);
             if kind.is_compute() {
                 if idle == 0 {
@@ -133,11 +130,19 @@ pub fn simulate_with_timeline(
                 if buckets > 0 {
                     intervals.push((now, d));
                 }
-                events.push(Reverse(Finish { time: now + d, node, occupies_worker: true }));
+                events.push(Reverse(Finish {
+                    time: now + d,
+                    node,
+                    occupies_worker: true,
+                }));
             } else {
                 // Sync nodes delay successors without occupying a worker.
                 let d = cfg.duration(kind, 0.0);
-                events.push(Reverse(Finish { time: now + d, node, occupies_worker: false }));
+                events.push(Reverse(Finish {
+                    time: now + d,
+                    node,
+                    occupies_worker: false,
+                }));
             }
             match cfg.policy {
                 QueuePolicy::Fifo => ready.pop_front(),
@@ -161,7 +166,11 @@ pub fn simulate_with_timeline(
         }
     }
     assert!(ready.is_empty(), "scheduler stalled with ready tasks");
-    assert_eq!(executed, graph.len(), "every node must execute exactly once");
+    assert_eq!(
+        executed,
+        graph.len(),
+        "every node must execute exactly once"
+    );
     let timeline = if buckets > 0 && makespan > 0.0 {
         let mut busy_per_bucket = vec![0.0f64; buckets];
         let width = makespan / buckets as f64;
@@ -174,6 +183,7 @@ pub fn simulate_with_timeline(
             let end = start + dur;
             let first = ((start / width) as usize).min(buckets - 1);
             let last = ((end / width) as usize).min(buckets - 1);
+            #[allow(clippy::needless_range_loop)]
             for b in first..=last {
                 let lo = (b as f64 * width).max(start);
                 let hi = if b + 1 == buckets {
@@ -276,7 +286,10 @@ mod tests {
     #[test]
     fn per_task_overhead_charged() {
         let g = independent(4, 10.0);
-        let c = SimConfig { per_task_ns: 5.0, ..cfg(1) };
+        let c = SimConfig {
+            per_task_ns: 5.0,
+            ..cfg(1)
+        };
         let r = simulate(&g, &c);
         assert!((r.makespan_ns - 60.0).abs() < 1e-9);
     }
@@ -294,7 +307,10 @@ mod tests {
         b.add_edge(s, x);
         b.add_edge(s, y);
         let g = b.build();
-        let c = SimConfig { join_ns: 7.0, ..cfg(2) };
+        let c = SimConfig {
+            join_ns: 7.0,
+            ..cfg(2)
+        };
         let r = simulate(&g, &c);
         // 10 (a) + 7 (join) + 10 (x || y on two workers).
         assert!((r.makespan_ns - 27.0).abs() < 1e-9, "{}", r.makespan_ns);
@@ -353,7 +369,11 @@ mod timeline_tests {
         let (r, timeline) = simulate_with_timeline(&g, &cfg(3), 8);
         assert_eq!(timeline.len(), 8);
         let mean: f64 = timeline.iter().sum::<f64>() / 8.0;
-        assert!((mean - r.utilization).abs() < 1e-9, "{mean} vs {}", r.utilization);
+        assert!(
+            (mean - r.utilization).abs() < 1e-9,
+            "{mean} vs {}",
+            r.utilization
+        );
         // During the serial head, only 1/3 of workers are busy.
         assert!(timeline[0] < 0.5);
     }
@@ -366,7 +386,13 @@ mod timeline_tests {
         }
         let g = b.build();
         let fifo = simulate(&g, &cfg(2));
-        let lifo = simulate(&g, &SimConfig { policy: QueuePolicy::Lifo, ..cfg(2) });
+        let lifo = simulate(
+            &g,
+            &SimConfig {
+                policy: QueuePolicy::Lifo,
+                ..cfg(2)
+            },
+        );
         // Same work either way; makespans may differ but both respect
         // the lower bound.
         assert!((fifo.busy_ns - lifo.busy_ns).abs() < 1e-9);

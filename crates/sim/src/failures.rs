@@ -95,13 +95,10 @@ pub fn simulate_with_failures(
 
     loop {
         // Dispatch everything we can at the current instant.
-        loop {
-            let Some(&node) = (match cfg.policy {
-                QueuePolicy::Fifo => ready.front(),
-                QueuePolicy::Lifo => ready.back(),
-            }) else {
-                break;
-            };
+        while let Some(&node) = match cfg.policy {
+            QueuePolicy::Fifo => ready.front(),
+            QueuePolicy::Lifo => ready.back(),
+        } {
             let kind = graph.kind(node);
             if kind.is_compute() {
                 let Some(w) = (0..cfg.processors).find(|&w| alive[w] && running[w].is_none())
@@ -211,7 +208,11 @@ pub fn simulate_with_failures(
         }
     }
     assert!(ready.is_empty(), "scheduler stalled with ready tasks");
-    assert_eq!(executed, graph.len(), "every node must complete exactly once");
+    assert_eq!(
+        executed,
+        graph.len(),
+        "every node must complete exactly once"
+    );
     SimResult {
         makespan_ns: makespan,
         busy_ns,

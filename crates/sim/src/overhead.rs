@@ -107,11 +107,27 @@ mod tests {
 
     #[test]
     fn cnc_pays_more_per_task_than_openmp() {
-        let fj = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 128, 64);
-        let cnc =
-            config_for(&epyc64(), &ParadigmOverheads::cnc_native(), Workload::Ge, 128, 64);
-        let man =
-            config_for(&epyc64(), &ParadigmOverheads::cnc_manual(), Workload::Ge, 128, 64);
+        let fj = config_for(
+            &epyc64(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Ge,
+            128,
+            64,
+        );
+        let cnc = config_for(
+            &epyc64(),
+            &ParadigmOverheads::cnc_native(),
+            Workload::Ge,
+            128,
+            64,
+        );
+        let man = config_for(
+            &epyc64(),
+            &ParadigmOverheads::cnc_manual(),
+            Workload::Ge,
+            128,
+            64,
+        );
         assert!(fj.per_task_ns < cnc.per_task_ns);
         assert!(cnc.per_task_ns < man.per_task_ns);
         assert!(fj.join_ns > 0.0 && cnc.join_ns == 0.0);
@@ -121,16 +137,39 @@ mod tests {
     fn cnc_loses_more_prefetch_benefit() {
         // Same tile, same machine: the data-flow paradigm's effective
         // memory cost is higher because it defeats the prefetcher.
-        let fj = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 512, 64);
-        let cnc =
-            config_for(&epyc64(), &ParadigmOverheads::cnc_native(), Workload::Ge, 512, 64);
+        let fj = config_for(
+            &epyc64(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Ge,
+            512,
+            64,
+        );
+        let cnc = config_for(
+            &epyc64(),
+            &ParadigmOverheads::cnc_native(),
+            Workload::Ge,
+            512,
+            64,
+        );
         assert!(cnc.ns_per_flop > fj.ns_per_flop);
     }
 
     #[test]
     fn sw_tasks_are_lighter_than_ge() {
-        let sw = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Sw, 256, 64);
-        let ge = config_for(&epyc64(), &ParadigmOverheads::fork_join(), Workload::Ge, 256, 64);
+        let sw = config_for(
+            &epyc64(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Sw,
+            256,
+            64,
+        );
+        let ge = config_for(
+            &epyc64(),
+            &ParadigmOverheads::fork_join(),
+            Workload::Ge,
+            256,
+            64,
+        );
         // Per *task* (m^2 vs m^3 flops), SW is far lighter.
         let sw_task = sw.ns_per_flop * Workload::Sw.task_flops(256);
         let ge_task = ge.ns_per_flop * Workload::Ge.task_flops(256);

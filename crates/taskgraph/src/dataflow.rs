@@ -220,7 +220,10 @@ mod tests {
         let m8 = analyze(&ge(8, &f));
         let m16 = analyze(&ge(16, &f));
         let growth = m16.span / m8.span;
-        assert!(growth > 1.8 && growth < 2.3, "span growth {growth} should be ~2x");
+        assert!(
+            growth > 1.8 && growth < 2.3,
+            "span growth {growth} should be ~2x"
+        );
         assert!(m16.critical_path_tasks <= 3 * 16 + 2);
     }
 

@@ -29,21 +29,26 @@ struct Fj<'a> {
 
 impl<'a> Fj<'a> {
     fn new(flops: &'a KernelFlops) -> Self {
-        Self { b: GraphBuilder::new(), flops, joins: 0 }
+        Self {
+            b: GraphBuilder::new(),
+            flops,
+            joins: 0,
+        }
     }
 
     fn leaf(&mut self, kind: TaskKind) -> Block {
         let id = self.b.add_node(kind, self.flops.weight(kind));
-        Block { entries: vec![id], exits: vec![id] }
+        Block {
+            entries: vec![id],
+            exits: vec![id],
+        }
     }
 
     /// Sequential composition with a join: nothing in `second` may start
     /// before everything in `first` finished.
     fn seq(&mut self, first: Block, second: Block) -> Block {
         // Insert a Sync node unless direct edges are at least as cheap.
-        if first.exits.len() * second.entries.len()
-            <= first.exits.len() + second.entries.len()
-        {
+        if first.exits.len() * second.entries.len() <= first.exits.len() + second.entries.len() {
             for &x in &first.exits {
                 for &e in &second.entries {
                     self.b.add_edge(x, e);
@@ -59,7 +64,10 @@ impl<'a> Fj<'a> {
                 self.b.add_edge(sync, e);
             }
         }
-        Block { entries: first.entries, exits: second.exits }
+        Block {
+            entries: first.entries,
+            exits: second.exits,
+        }
     }
 
     /// Parallel composition (the forked tasks between two joins).
@@ -164,7 +172,10 @@ impl Ge<'_> {
 
 /// Fork-join DAG of R-DP GE on `t` tiles per side (`t` a power of two).
 pub fn ge(t: usize, flops: &KernelFlops) -> TaskGraph {
-    assert!(t.is_power_of_two(), "fork-join recursion needs a power-of-two tile count");
+    assert!(
+        t.is_power_of_two(),
+        "fork-join recursion needs a power-of-two tile count"
+    );
     let mut ge = Ge(Fj::new(flops));
     let _ = ge.a(0, t);
     ge.0.b.build()
@@ -340,11 +351,17 @@ mod tests {
             let fj = analyze(&ge(t, &f));
             let df = analyze(&dataflow::ge(t, &f));
             let ratio = fj.span / df.span;
-            assert!(ratio > 1.0, "t={t}: fork-join span must exceed data-flow span");
+            assert!(
+                ratio > 1.0,
+                "t={t}: fork-join span must exceed data-flow span"
+            );
             assert!(ratio >= prev_ratio * 0.99, "gap should widen with t");
             prev_ratio = ratio;
         }
-        assert!(prev_ratio > 1.5, "at t=32 the artificial-dependency gap is substantial");
+        assert!(
+            prev_ratio > 1.5,
+            "at t=32 the artificial-dependency gap is substantial"
+        );
     }
 
     #[test]
@@ -358,7 +375,10 @@ mod tests {
         let tiles_df = df.span / f.tile;
         assert_eq!(tiles_df as usize, 2 * t - 1);
         // t^(log2 3) = 64^1.585 ~ 729.
-        assert!(tiles_fj > 700.0, "fork-join SW span {tiles_fj} should be ~t^1.585");
+        assert!(
+            tiles_fj > 700.0,
+            "fork-join SW span {tiles_fj} should be ~t^1.585"
+        );
     }
 
     #[test]

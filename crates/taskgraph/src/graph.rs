@@ -177,7 +177,9 @@ impl TaskGraph {
 
     /// All nodes with no predecessors.
     pub fn roots(&self) -> Vec<NodeId> {
-        (0..self.len() as u32).filter(|&n| self.in_degree(n) == 0).collect()
+        (0..self.len() as u32)
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Count of compute (non-Sync) nodes.

@@ -20,7 +20,12 @@ pub struct GraphMetrics {
 pub fn analyze(graph: &TaskGraph) -> GraphMetrics {
     let n = graph.len();
     if n == 0 {
-        return GraphMetrics { work: 0.0, span: 0.0, parallelism: 0.0, critical_path_tasks: 0 };
+        return GraphMetrics {
+            work: 0.0,
+            span: 0.0,
+            parallelism: 0.0,
+            critical_path_tasks: 0,
+        };
     }
     let mut work = 0.0f64;
     // dist[v] = heaviest path weight ending at v (inclusive);

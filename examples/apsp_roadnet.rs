@@ -89,8 +89,11 @@ fn main() {
 
     // Triangle inequality spot check over random triples.
     for _ in 0..1000 {
-        let (i, j, k) =
-            (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n));
+        let (i, j, k) = (
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+        );
         assert!(oracle[(i, j)] <= oracle[(i, k)] + oracle[(k, j)] + 1e-9);
     }
     println!("\ntriangle inequality verified over 1000 random triples");

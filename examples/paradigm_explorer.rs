@@ -27,14 +27,20 @@ fn main() {
     let base = 128;
 
     println!("== 1. fixed machine (EPYC-64), growing GE problem size ==");
-    println!("{:>8} {:>12} {:>12} {:>10}", "n", "CnC (s)", "OpenMP (s)", "winner");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "n", "CnC (s)", "OpenMP (s)", "winner"
+    );
     for n in [1024usize, 2048, 4096, 8192, 16384] {
         let (who, cnc, omp) = winner(&epyc, Benchmark::Ge, n, base);
         println!("{n:>8} {cnc:>12.4} {omp:>12.4} {who:>10}");
     }
 
     println!("\n== 2. fixed GE problem (4K), growing the machine ==");
-    println!("{:>14} {:>6} {:>12} {:>12} {:>10}", "machine", "cores", "CnC (s)", "OpenMP (s)", "winner");
+    println!(
+        "{:>14} {:>6} {:>12} {:>12} {:>10}",
+        "machine", "cores", "CnC (s)", "OpenMP (s)", "winner"
+    );
     for machine in [&epyc, &sky] {
         let (who, cnc, omp) = winner(machine, Benchmark::Ge, 4096, base);
         println!(
@@ -45,7 +51,10 @@ fn main() {
     }
 
     println!("\n== 3. SW: the wavefront never lets fork-join catch up ==");
-    println!("{:>8} {:>12} {:>12} {:>10}", "n", "CnC (s)", "OpenMP (s)", "winner");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "n", "CnC (s)", "OpenMP (s)", "winner"
+    );
     let mut cnc_wins = 0;
     for n in [2048usize, 4096, 8192, 16384] {
         let (who, cnc, omp) = winner(&epyc, Benchmark::Sw, n, base);

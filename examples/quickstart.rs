@@ -24,7 +24,11 @@ fn main() {
     let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, n, base, threads);
     for execution in executions {
         let out = run_benchmark(Benchmark::Ge, execution, n, base, threads);
-        assert!(out.table.bitwise_eq(&oracle.table), "{} diverged", execution.label());
+        assert!(
+            out.table.bitwise_eq(&oracle.table),
+            "{} diverged",
+            execution.label()
+        );
         let extra = match &out.cnc_stats {
             Some(s) => format!(
                 " (steps {}, requeued {}, requeue ratio {:.2})",
@@ -34,15 +38,28 @@ fn main() {
             ),
             None => String::new(),
         };
-        println!("{:>14}: {:.4}s, bitwise-identical{extra}", execution.label(), out.seconds);
+        println!(
+            "{:>14}: {:.4}s, bitwise-identical{extra}",
+            execution.label(),
+            out.seconds
+        );
     }
 
     // 2. The structural story: same work, different spans.
-    println!("\n== task-DAG structure (t = n/base = {} tiles per side) ==", n / base);
+    println!(
+        "\n== task-DAG structure (t = n/base = {} tiles per side) ==",
+        n / base
+    );
     let fj = dag_metrics(Benchmark::Ge, Model::ForkJoin, n / base, base);
     let df = dag_metrics(Benchmark::Ge, Model::DataFlow, n / base, base);
-    println!("fork-join: work {:.3e} flops, span {:.3e}, parallelism {:.1}", fj.work, fj.span, fj.parallelism);
-    println!("data-flow: work {:.3e} flops, span {:.3e}, parallelism {:.1}", df.work, df.span, df.parallelism);
+    println!(
+        "fork-join: work {:.3e} flops, span {:.3e}, parallelism {:.1}",
+        fj.work, fj.span, fj.parallelism
+    );
+    println!(
+        "data-flow: work {:.3e} flops, span {:.3e}, parallelism {:.1}",
+        df.work, df.span, df.parallelism
+    );
     println!(
         "joins inflate the span {:.2}x — the paper's 'artificial dependencies'",
         fj.span / df.span

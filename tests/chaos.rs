@@ -47,8 +47,14 @@ fn ge_all_variants_oracle_identical_under_faults() {
             let mut m = m0.clone();
             let stats = ge::ge_cnc_on(&mut m, BASE, variant, &graph)
                 .unwrap_or_else(|e| panic!("GE {variant:?} seed {seed:#x}: {e}"));
-            assert!(m.bitwise_eq(&oracle), "GE {variant:?} seed {seed:#x} diverged");
-            assert!(stats.faults_injected > 0, "plan must actually bite: {stats:?}");
+            assert!(
+                m.bitwise_eq(&oracle),
+                "GE {variant:?} seed {seed:#x} diverged"
+            );
+            assert!(
+                stats.faults_injected > 0,
+                "plan must actually bite: {stats:?}"
+            );
             assert_eq!(stats.steps_retried, stats.faults_injected, "{stats:?}");
         }
     }
@@ -150,7 +156,11 @@ fn exhausted_retry_budget_is_structured_not_a_hang() {
     let graph = chaos_graph(FaultPlan::new(123).transient_step_failures(0.95), 2);
     let mut m = ge_matrix(N, 1);
     match ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph) {
-        Err(CncError::RetryExhausted { step, attempts, failure }) => {
+        Err(CncError::RetryExhausted {
+            step,
+            attempts,
+            failure,
+        }) => {
             assert_eq!(attempts, 2);
             assert!(!step.is_empty());
             assert!(failure.message.contains("seed"), "replay info: {failure}");
@@ -219,7 +229,9 @@ fn dropped_put_produces_actionable_deadlock_diagnostic() {
     // step together with the collection and key it waits on.
     let graph = CncGraph::with_threads(2);
     graph.set_fault_injector(Arc::new(
-        FaultPlan::new(4).dropped_puts(1.0).target_collections(&["link"]),
+        FaultPlan::new(4)
+            .dropped_puts(1.0)
+            .target_collections(&["link"]),
     ));
     let link = graph.item_collection::<u32, u64>("link");
     let tags = graph.tag_collection::<u32>("t");
@@ -237,14 +249,23 @@ fn dropped_put_produces_actionable_deadlock_diagnostic() {
     tags.put(7);
     consumers.put(7);
     match graph.wait() {
-        Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+        Err(CncError::Deadlock {
+            blocked_instances,
+            diagnostic,
+        }) => {
             assert_eq!(blocked_instances, 1);
-            let w = diagnostic.waits.first().expect("diagnostic names the blocked step");
+            let w = diagnostic
+                .waits
+                .first()
+                .expect("diagnostic names the blocked step");
             assert_eq!(w.step, "consume");
             assert_eq!(w.collection, "link");
             assert_eq!(w.key, "7");
             let rendered = diagnostic.render();
-            assert!(rendered.contains("(consume)") && rendered.contains("[link]"), "{rendered}");
+            assert!(
+                rendered.contains("(consume)") && rendered.contains("[link]"),
+                "{rendered}"
+            );
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
@@ -254,13 +275,7 @@ fn dropped_put_produces_actionable_deadlock_diagnostic() {
 fn resilient_executor_under_chaos_matches_oracle() {
     // The top-level facade: run_benchmark_resilient with a fault plan
     // produces the same table as the fault-free serial loops.
-    let oracle = recdp::run_benchmark(
-        Benchmark::Fw,
-        recdp::Execution::SerialLoops,
-        N,
-        BASE,
-        1,
-    );
+    let oracle = recdp::run_benchmark(Benchmark::Fw, recdp::Execution::SerialLoops, N, BASE, 1);
     let opts = ResilienceOptions {
         retry: RetryPolicy::attempts(10),
         deadline: Some(Duration::from_secs(60)),

@@ -3,8 +3,8 @@
 //! shapes, base sizes and worker counts.
 
 use proptest::prelude::*;
-use recdp_suite::{run_benchmark, Benchmark, Execution};
 use recdp_kernels::CncVariant;
+use recdp_suite::{run_benchmark, Benchmark, Execution};
 
 const ALL_EXECUTIONS: [Execution; 5] = [
     Execution::SerialRdp,

@@ -3,17 +3,21 @@
 //! paper leans on for debuggability); our runtimes must honour it
 //! regardless of scheduling nondeterminism.
 
-use recdp_suite::{run_benchmark, Benchmark, Execution};
 use recdp_kernels::CncVariant;
+use recdp_suite::{run_benchmark, Benchmark, Execution};
 
 #[test]
 fn cnc_output_independent_of_thread_count() {
     for benchmark in Benchmark::ALL {
-        let reference =
-            run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 8, 1);
+        let reference = run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 8, 1);
         for threads in [2usize, 3, 4, 8] {
-            let out =
-                run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 8, threads);
+            let out = run_benchmark(
+                benchmark,
+                Execution::Cnc(CncVariant::Native),
+                64,
+                8,
+                threads,
+            );
             assert!(
                 out.table.bitwise_eq(&reference.table),
                 "{} at {} threads",
@@ -46,8 +50,7 @@ fn repeated_runs_are_stable() {
     // leak into results.
     let first = run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 64, 16, 4);
     for _ in 0..5 {
-        let again =
-            run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 64, 16, 4);
+        let again = run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 64, 16, 4);
         assert!(again.table.bitwise_eq(&first.table));
     }
 }

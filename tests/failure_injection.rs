@@ -18,7 +18,10 @@ fn unproduced_item_deadlocks_cleanly() {
         tags.put(i);
     }
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+        Err(CncError::Deadlock {
+            blocked_instances,
+            diagnostic,
+        }) => {
             assert_eq!(blocked_instances, 10);
             // The wait-for diagnostic names every starved instance with
             // the collection and debug-rendered key it is parked on.
@@ -52,7 +55,10 @@ fn partial_deadlock_is_detected_after_progress() {
         tags.put(i);
     }
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances, diagnostic }) => {
+        Err(CncError::Deadlock {
+            blocked_instances,
+            diagnostic,
+        }) => {
             assert_eq!(blocked_instances, 5);
             // Only the starved keys 5..10 appear in the diagnostic.
             assert_eq!(diagnostic.waits.len(), 5);
@@ -148,7 +154,9 @@ fn pre_scheduled_step_with_impossible_dep_deadlocks() {
     tags.prescribe("never-runs", move |_, _| panic!("must not dispatch"));
     tags.put_when(0, &DepSet::new().item(&items, 42));
     match g.wait() {
-        Err(CncError::Deadlock { blocked_instances, .. }) => assert_eq!(blocked_instances, 1),
+        Err(CncError::Deadlock {
+            blocked_instances, ..
+        }) => assert_eq!(blocked_instances, 1),
         other => panic!("expected deadlock, got {other:?}"),
     }
 }

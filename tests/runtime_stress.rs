@@ -117,7 +117,10 @@ fn wide_fanout_single_producer() {
     gate.put(0, 1_000_000).unwrap();
     let stats = g.wait().unwrap();
     assert_eq!(out.len_ready(), 3000);
-    assert!(stats.steps_requeued >= 1000, "most consumers must have parked: {stats:?}");
+    assert!(
+        stats.steps_requeued >= 1000,
+        "most consumers must have parked: {stats:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! Schedule invariance of the paper's three DP kernels: on every
+//! explored schedule of the managed CnC runtime, the final DP table is
+//! bit-identical to the serial `loops` oracle and the replay-stable
+//! counter projection is identical across schedules.
+//!
+//! Exploration is driven by `recdp-check` (no proptest — the corpus is
+//! seeded, and any failure prints a `RECDP_CHECK_SEED` replay recipe).
+//! The NonBlocking variant is deliberately excluded: its self-respawn
+//! polling makes even `tags_put` schedule-dependent (that wasted work is
+//! what Table I measures), so it has no invariant counter projection.
+
+use recdp_check::{explore, replay_stable, Config, SharedScheduler};
+use recdp_cnc::{CncGraph, RetryPolicy};
+use recdp_faults::FaultPlan;
+use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
+use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
+use std::sync::Arc;
+
+const N: usize = 16;
+const BASE: usize = 4;
+const SEED: u64 = 0xD1CE;
+
+/// Exploration budget: at least 32 seeded schedules per corpus (more if
+/// `RECDP_CHECK_SCHEDULES` asks for it), on top of the FIFO/LIFO pair.
+fn corpus() -> Config {
+    let cfg = Config::from_env();
+    let n = cfg.schedules.max(32);
+    cfg.with_schedules(n)
+}
+
+const VARIANTS: [CncVariant; 3] = [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual];
+
+fn managed(sched: &SharedScheduler) -> CncGraph {
+    let (graph, _handle) = CncGraph::managed(sched.pick_fn());
+    graph
+}
+
+#[test]
+fn ge_table_and_stats_invariant_across_schedules() {
+    let mut oracle = ge_matrix(N, SEED);
+    ge::ge_loops(&mut oracle);
+    let oracle_digest = oracle.bit_digest();
+    for variant in VARIANTS {
+        explore(&corpus(), |s| {
+            let mut m = ge_matrix(N, SEED);
+            let graph = managed(&s);
+            let stats = ge::ge_cnc_on(&mut m, BASE, variant, &graph)
+                .expect("GE must quiesce on every schedule");
+            assert_eq!(
+                m.bit_digest(),
+                oracle_digest,
+                "GE/{variant:?} table diverged from the serial-loops oracle"
+            );
+            (m.bit_digest(), replay_stable(&stats))
+        });
+    }
+}
+
+#[test]
+fn sw_table_and_stats_invariant_across_schedules() {
+    let a = dna_sequence(N, SEED);
+    let b = dna_sequence(N, SEED ^ 0xFFFF);
+    let mut oracle = Matrix::zeros(N);
+    sw::sw_loops(&mut oracle, &a, &b);
+    let oracle_digest = oracle.bit_digest();
+    for variant in VARIANTS {
+        explore(&corpus(), |s| {
+            let mut m = Matrix::zeros(N);
+            let graph = managed(&s);
+            let stats = sw::sw_cnc_on(&mut m, &a, &b, BASE, variant, &graph)
+                .expect("SW must quiesce on every schedule");
+            assert_eq!(
+                m.bit_digest(),
+                oracle_digest,
+                "SW/{variant:?} table diverged from the serial-loops oracle"
+            );
+            (m.bit_digest(), replay_stable(&stats))
+        });
+    }
+}
+
+#[test]
+fn fw_table_and_stats_invariant_across_schedules() {
+    let mut oracle = fw_matrix(N, SEED, 0.35);
+    fw::fw_loops(&mut oracle);
+    let oracle_digest = oracle.bit_digest();
+    for variant in VARIANTS {
+        explore(&corpus(), |s| {
+            let mut m = fw_matrix(N, SEED, 0.35);
+            let graph = managed(&s);
+            let stats = fw::fw_cnc_on(&mut m, BASE, variant, &graph)
+                .expect("FW must quiesce on every schedule");
+            assert_eq!(
+                m.bit_digest(),
+                oracle_digest,
+                "FW/{variant:?} table diverged from the serial-loops oracle"
+            );
+            (m.bit_digest(), replay_stable(&stats))
+        });
+    }
+}
+
+#[test]
+fn ge_under_faults_stays_invariant_across_schedules() {
+    // A fixed reseeded fault plan rides along with every schedule:
+    // transient-fault decisions key on (step, tag, attempt), so
+    // `faults_injected`/`steps_retried` join the invariant observation,
+    // and the retried table still matches the oracle bit for bit.
+    let mut oracle = ge_matrix(N, SEED);
+    ge::ge_loops(&mut oracle);
+    let oracle_digest = oracle.bit_digest();
+    let template = FaultPlan::new(0).transient_step_failures(0.25);
+    let stable = explore(&corpus(), |s| {
+        let mut m = ge_matrix(N, SEED);
+        let graph = managed(&s);
+        graph.set_retry_policy(RetryPolicy::attempts(10));
+        graph.set_fault_injector(Arc::new(template.reseeded(0xFA57)));
+        let stats = ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph)
+            .expect("retries must absorb the fault plan on every schedule");
+        assert_eq!(
+            m.bit_digest(),
+            oracle_digest,
+            "faulty GE diverged from oracle"
+        );
+        replay_stable(&stats)
+    });
+    assert!(
+        stable.faults_injected > 0,
+        "the fault plan injected nothing"
+    );
+}

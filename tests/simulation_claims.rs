@@ -1,8 +1,8 @@
 //! The paper's experimental claims, asserted against the simulation
 //! engine (the per-figure shape criteria of DESIGN.md).
 
-use recdp_suite::{dag_metrics, predict_seconds, Benchmark, FigurePanel, Model, Paradigm};
 use recdp_machine::{epyc64, skylake192};
+use recdp_suite::{dag_metrics, predict_seconds, Benchmark, FigurePanel, Model, Paradigm};
 
 /// Abstract of the paper, sentence 1: "with a fixed computation
 /// resource, moving from small input to larger input, fork-join
@@ -75,10 +75,16 @@ fn small_blocks_penalise_dataflow_overheads() {
     let sky = skylake192();
     let tiny = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncNative);
     let sweet = predict_seconds(&sky, Benchmark::Ge, 2048, 64, Paradigm::CncNative);
-    assert!(tiny > 1.5 * sweet, "tiny bases must pay runtime overheads: {tiny} vs {sweet}");
+    assert!(
+        tiny > 1.5 * sweet,
+        "tiny bases must pay runtime overheads: {tiny} vs {sweet}"
+    );
     let manual = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncManual);
     let tuner = predict_seconds(&sky, Benchmark::Ge, 2048, 8, Paradigm::CncTuner);
-    assert!(manual > tuner, "Manual pre-declaration dominates at tiny tasks");
+    assert!(
+        manual > tuner,
+        "Manual pre-declaration dominates at tiny tasks"
+    );
 }
 
 /// Sec. IV: "large base case sizes reduce potential run-time task
@@ -151,7 +157,10 @@ fn estimated_series_is_a_sane_envelope() {
             .map(|&p| predict_seconds(&epyc, Benchmark::Ge, n, 128, p))
             .fold(f64::INFINITY, f64::min);
         assert!(est > best, "n={n}: estimate {est} vs best {best}");
-        assert!(est < 100.0 * best, "n={n}: estimate {est} not absurd vs {best}");
+        assert!(
+            est < 100.0 * best,
+            "n={n}: estimate {est} not absurd vs {best}"
+        );
     }
 }
 
@@ -169,10 +178,20 @@ fn forkjoin_utilization_suffers_on_small_problems() {
     let t = 16; // a 2K problem at base 128
     let fj_graph = dag(Benchmark::Ge, Model::ForkJoin, t, 128);
     let df_graph = dag(Benchmark::Ge, Model::DataFlow, t, 128);
-    let fj_cfg =
-        config_for(&sky, &ParadigmOverheads::fork_join(), Workload::Ge, 128, 192);
-    let df_cfg =
-        config_for(&sky, &ParadigmOverheads::cnc_tuner(), Workload::Ge, 128, 192);
+    let fj_cfg = config_for(
+        &sky,
+        &ParadigmOverheads::fork_join(),
+        Workload::Ge,
+        128,
+        192,
+    );
+    let df_cfg = config_for(
+        &sky,
+        &ParadigmOverheads::cnc_tuner(),
+        Workload::Ge,
+        128,
+        192,
+    );
     let (fj, fj_tl) = simulate_with_timeline(&fj_graph, &fj_cfg, 16);
     let (df, df_tl) = simulate_with_timeline(&df_graph, &df_cfg, 16);
     assert!(
