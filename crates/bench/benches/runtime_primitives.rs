@@ -41,6 +41,36 @@ fn forkjoin_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guard for the tracer's disabled-path cost: with no tracer installed
+/// every instrumentation site is a branch on a `None` lane, so the
+/// untraced series here must stay indistinguishable from the plain
+/// `forkjoin` group above (and from its own pre-tracing history). The
+/// traced series bounds the *enabled* cost for the same workload.
+fn trace_overhead(c: &mut Criterion) {
+    fn tree(d: u32) -> u64 {
+        if d == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| tree(d - 1), || tree(d - 1));
+        a + b
+    }
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    let untraced = ThreadPoolBuilder::new().num_threads(2).build();
+    group.bench_function("untraced_join_tree8", |b| {
+        b.iter(|| untraced.install(|| std::hint::black_box(tree(8))))
+    });
+    let tracer = recdp::prelude::Tracer::new();
+    let traced = ThreadPoolBuilder::new()
+        .num_threads(2)
+        .tracer(std::sync::Arc::clone(&tracer))
+        .build();
+    group.bench_function("traced_join_tree8", |b| {
+        b.iter(|| traced.install(|| std::hint::black_box(tree(8))))
+    });
+    group.finish();
+}
+
 fn cnc_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("cnc");
     group.sample_size(20);
@@ -77,5 +107,5 @@ fn cnc_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, forkjoin_primitives, cnc_primitives);
+criterion_group!(benches, forkjoin_primitives, trace_overhead, cnc_primitives);
 criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Measured span/work: runs the three DP benchmarks under every
+//! parallel execution model with the `recdp-trace` event tracer
+//! installed, and reports *measured* work, span, and parallelism next to
+//! the `taskgraph` model's prediction — plus the idle-time decomposition
+//! separating fork-join join waits (artificial dependencies) from CnC
+//! blocked-get stalls (true dependencies).
+//!
+//! Usage: `measured_span [--n N] [--base M] [--threads P]`
+//! (defaults: n=128, base=16, threads=4 — the quick-mode grid the
+//! committed `results/measured_span.csv` was generated with)
+
+use recdp_bench::measured::{
+    measured_span_csv, measured_span_rows, MEASURED_SPAN_BASE, MEASURED_SPAN_N,
+    MEASURED_SPAN_THREADS,
+};
+
+fn main() {
+    let (mut n, mut base, mut threads) =
+        (MEASURED_SPAN_N, MEASURED_SPAN_BASE, MEASURED_SPAN_THREADS);
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--n" => n = take("--n"),
+            "--base" => base = take("--base"),
+            "--threads" => threads = take("--threads"),
+            other => panic!("unknown argument {other:?} (--n, --base, --threads)"),
+        }
+    }
+
+    println!("# Measured span/work (n = {n}, base = {base}, threads = {threads})");
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "bench",
+        "exec",
+        "wall_ms",
+        "work_ms",
+        "span_ms",
+        "par",
+        "model",
+        "starved",
+        "blocked",
+        "steals"
+    );
+    let rows = measured_span_rows(n, base, threads);
+    for r in &rows {
+        let t = &r.report;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "{:>8} {:>10} {:>9.3} {:>9.3} {:>9.3} {:>8.2} {:>8.2} {:>10.3} {:>10.3} {:>10}",
+            r.bench,
+            r.exec,
+            ms(t.wall_ns),
+            ms(t.work_ns),
+            ms(t.span_ns),
+            t.parallelism,
+            r.model_parallelism,
+            ms(t.starved_ns),
+            ms(t.blocked_stall_ns),
+            t.steals,
+        );
+    }
+    let path = recdp_bench::write_results("measured_span.csv", &measured_span_csv(&rows));
+    println!("wrote {}", path.display());
+}

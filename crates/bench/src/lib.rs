@@ -314,6 +314,116 @@ pub mod tables {
     }
 }
 
+/// Measured-span instrumentation rows: real traced executions of the
+/// three benchmarks under every parallel model, next to the `taskgraph`
+/// model's predicted parallelism. Shared by the `measured_span` binary
+/// and the structural validation test.
+pub mod measured {
+    use recdp::prelude::TraceReport;
+    use recdp::{dag_metrics, run_benchmark_traced, Benchmark, Execution, Model};
+    use recdp_kernels::CncVariant;
+
+    /// Default quick-mode problem size.
+    pub const MEASURED_SPAN_N: usize = 128;
+    /// Default quick-mode base-case size.
+    pub const MEASURED_SPAN_BASE: usize = 16;
+    /// Default quick-mode worker count.
+    pub const MEASURED_SPAN_THREADS: usize = 4;
+
+    /// The traced executions, paper order.
+    pub const EXECUTIONS: [Execution; 4] = [
+        Execution::ForkJoin,
+        Execution::Cnc(CncVariant::Native),
+        Execution::Cnc(CncVariant::Tuner),
+        Execution::Cnc(CncVariant::Manual),
+    ];
+
+    /// One traced execution of one benchmark.
+    #[derive(Debug, Clone)]
+    pub struct MeasuredSpanRow {
+        /// Benchmark display name.
+        pub bench: &'static str,
+        /// Execution-model label.
+        pub exec: &'static str,
+        /// Problem size.
+        pub n: usize,
+        /// Base-case size.
+        pub base: usize,
+        /// Worker threads.
+        pub threads: usize,
+        /// The recorded timeline's aggregate report.
+        pub report: TraceReport,
+        /// `T1 / T-inf` of the matching `taskgraph` model DAG.
+        pub model_parallelism: f64,
+    }
+
+    /// Runs every benchmark under every parallel execution model with a
+    /// tracer installed and collects one row per run.
+    pub fn measured_span_rows(n: usize, base: usize, threads: usize) -> Vec<MeasuredSpanRow> {
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::ALL {
+            for execution in EXECUTIONS {
+                let model = match execution {
+                    Execution::ForkJoin => Model::ForkJoin,
+                    Execution::Cnc(_) => Model::DataFlow,
+                    _ => unreachable!("EXECUTIONS holds only parallel models"),
+                };
+                let (_, session) = run_benchmark_traced(benchmark, execution, n, base, threads);
+                rows.push(MeasuredSpanRow {
+                    bench: benchmark.name(),
+                    exec: execution.label(),
+                    n,
+                    base,
+                    threads,
+                    report: session.report(),
+                    model_parallelism: dag_metrics(benchmark, model, n / base, base).parallelism,
+                });
+            }
+        }
+        rows
+    }
+
+    /// The rows as CSV, identical to what the `measured_span` binary
+    /// writes to `results/measured_span.csv`. Timing columns are
+    /// machine-dependent; the golden test validates structure, not
+    /// values.
+    pub fn measured_span_csv(rows: &[MeasuredSpanRow]) -> String {
+        let s = |ns: u64| ns as f64 / 1e9;
+        let mut csv = String::from(
+            "bench,exec,n,base,threads,wall_s,work_s,span_s,measured_parallelism,\
+             model_parallelism,join_idle_s,park_s,starved_s,blocked_stall_s,dep_wait_s,\
+             tasks,steals,steps,requeues,retries\n",
+        );
+        for r in rows {
+            let t = &r.report;
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.2},{:.2},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{}\n",
+                r.bench,
+                r.exec,
+                r.n,
+                r.base,
+                r.threads,
+                s(t.wall_ns),
+                s(t.work_ns),
+                s(t.span_ns),
+                t.parallelism,
+                r.model_parallelism,
+                s(t.join_idle_ns),
+                s(t.park_ns),
+                s(t.starved_ns),
+                s(t.blocked_stall_ns),
+                s(t.dep_wait_ns),
+                t.tasks,
+                t.steals,
+                t.steps,
+                t.steps_requeued,
+                t.retries,
+            ));
+        }
+        csv
+    }
+}
+
 /// Figure-regeneration driver shared by the `fig_*` binaries.
 pub mod figures {
     use recdp::{Benchmark, FigurePanel, Paradigm};

@@ -1,0 +1,73 @@
+//! Structural validation of the measured-span instrumentation: the
+//! quick-mode grid regenerates, and the committed
+//! `results/measured_span.csv` has the same shape (row labels and
+//! column skeleton). Timing cells are machine-dependent, so unlike the
+//! model-derived goldens they are validated structurally (present,
+//! parseable, non-negative), never by value.
+
+use recdp_bench::measured::{
+    measured_span_csv, measured_span_rows, MEASURED_SPAN_BASE, MEASURED_SPAN_N,
+    MEASURED_SPAN_THREADS,
+};
+use recdp_bench::results_path;
+
+#[test]
+fn measured_span_regenerates_with_the_committed_shape() {
+    let rows = measured_span_rows(MEASURED_SPAN_N, MEASURED_SPAN_BASE, MEASURED_SPAN_THREADS);
+    assert_eq!(rows.len(), 12, "3 benchmarks x 4 parallel executions");
+    for r in &rows {
+        let t = &r.report;
+        assert!(t.work_ns > 0, "{}/{}: no measured work", r.bench, r.exec);
+        assert!(t.wall_ns > 0, "{}/{}: empty window", r.bench, r.exec);
+        assert!(
+            t.span_ns <= t.wall_ns,
+            "{}/{}: measured span {}ns exceeds wall {}ns",
+            r.bench,
+            r.exec,
+            t.span_ns,
+            t.wall_ns
+        );
+        assert!(r.model_parallelism >= 1.0);
+        assert_eq!(t.dropped_events, 0, "{}/{}: ring overflow", r.bench, r.exec);
+        if r.exec == "OpenMP" {
+            assert!(t.tasks > 0, "{}: fork-join run recorded no tasks", r.bench);
+        } else {
+            assert!(
+                t.steps > 0,
+                "{}/{}: cnc run recorded no steps",
+                r.bench,
+                r.exec
+            );
+        }
+    }
+
+    let regenerated = measured_span_csv(&rows);
+    let path = results_path("measured_span.csv");
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed {} unreadable: {e}", path.display()));
+
+    // Same skeleton: header verbatim, one line per row, and the label
+    // columns (bench, exec, n, base, threads) identical per line.
+    let r_lines: Vec<&str> = regenerated.trim_end().lines().collect();
+    let c_lines: Vec<&str> = committed.trim_end().lines().collect();
+    assert_eq!(c_lines.len(), r_lines.len(), "row count changed");
+    assert_eq!(c_lines[0], r_lines[0], "header changed");
+    let cols = c_lines[0].split(',').count();
+    for (row, (c, r)) in c_lines.iter().zip(&r_lines).enumerate().skip(1) {
+        let c_cells: Vec<&str> = c.split(',').collect();
+        let r_cells: Vec<&str> = r.split(',').collect();
+        assert_eq!(c_cells.len(), cols, "committed row {row} column count");
+        assert_eq!(r_cells.len(), cols, "regenerated row {row} column count");
+        assert_eq!(
+            &c_cells[..5],
+            &r_cells[..5],
+            "row {row}: label columns changed"
+        );
+        for (col, cell) in c_cells[5..].iter().enumerate() {
+            let v: f64 = cell
+                .parse()
+                .unwrap_or_else(|e| panic!("committed row {row} col {}: {cell:?}: {e}", col + 5));
+            assert!(v >= 0.0, "committed row {row} col {}: negative", col + 5);
+        }
+    }
+}

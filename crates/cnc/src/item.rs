@@ -5,7 +5,6 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -144,11 +143,7 @@ where
                 }
             }
         };
-        self.inner
-            .core
-            .stats
-            .items_put
-            .fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.inner.core.stats.items_put);
         // Record the delivered put against the step body executing on
         // this thread, if any: a transient failure returned after it
         // cannot be retried (the retry would re-put).
@@ -170,11 +165,7 @@ where
             Some(Entry::Ready(v)) => {
                 let v = v.clone();
                 drop(map);
-                self.inner
-                    .core
-                    .stats
-                    .gets_ok
-                    .fetch_add(1, Ordering::Relaxed);
+                crate::stats::bump(&self.inner.core.stats.gets_ok);
                 Ok(v)
             }
             Some(Entry::Waiting(waiters)) => {
@@ -182,11 +173,7 @@ where
                 w.add();
                 waiters.push(w);
                 drop(map);
-                self.inner
-                    .core
-                    .stats
-                    .gets_blocked
-                    .fetch_add(1, Ordering::Relaxed);
+                crate::stats::bump(&self.inner.core.stats.gets_blocked);
                 Err(StepAbort::Blocked)
             }
             None => {
@@ -194,11 +181,7 @@ where
                 w.add();
                 map.insert(key.clone(), Entry::Waiting(vec![w]));
                 drop(map);
-                self.inner
-                    .core
-                    .stats
-                    .gets_blocked
-                    .fetch_add(1, Ordering::Relaxed);
+                crate::stats::bump(&self.inner.core.stats.gets_blocked);
                 Err(StepAbort::Blocked)
             }
         }
@@ -212,17 +195,9 @@ where
     pub fn try_get(&self, key: &K) -> Option<V> {
         let v = self.get_env(key);
         if v.is_some() {
-            self.inner
-                .core
-                .stats
-                .gets_ok
-                .fetch_add(1, Ordering::Relaxed);
+            crate::stats::bump(&self.inner.core.stats.gets_ok);
         } else {
-            self.inner
-                .core
-                .stats
-                .gets_nb_missing
-                .fetch_add(1, Ordering::Relaxed);
+            crate::stats::bump(&self.inner.core.stats.gets_nb_missing);
         }
         v
     }

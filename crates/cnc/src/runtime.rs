@@ -4,11 +4,12 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
+use recdp_trace::{EventKind, StepOutcomeKind, Tracer};
 
 use crate::error::{
     BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure,
@@ -161,6 +162,20 @@ impl CncGraph {
     /// executions dispatched afterwards.
     pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
         *self.core.fault_injector.write() = Some(injector);
+    }
+
+    /// Installs an event tracer. Step executions record `StepRun` spans
+    /// (with outcome), failed blocking gets record `BlockedGet` instants
+    /// paired with `Resume` instants when the dependencies arrive, and
+    /// transient-failure retries record `StepRetry` instants. The first
+    /// call wins; later calls are ignored. Without a tracer every
+    /// instrumentation site is a single branch on `None`.
+    ///
+    /// Share the same [`Tracer`] with the pool
+    /// ([`recdp_forkjoin::ThreadPoolBuilder::tracer`]) to see step spans
+    /// and worker idle time on the same timeline.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.core.tracer.set(tracer);
     }
 
     /// A token for cancelling this graph from the environment.
@@ -368,10 +383,7 @@ impl CncGraph {
     /// bodies using the non-blocking style keep the wasted-work
     /// accounting comparable with the blocking style's requeue counter.
     pub fn record_nb_retry(&self) {
-        self.core
-            .stats
-            .nb_retries
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        crate::stats::bump(&self.core.stats.nb_retries);
     }
 
     /// A snapshot of the execution counters (callable at any time).
@@ -389,6 +401,34 @@ impl CncGraph {
 impl Default for CncGraph {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for CncGraph {
+    /// Drains in-flight instances (bounded) before the pool handle is
+    /// released. Error-path waits (deadline, cancellation, deadlock)
+    /// return while instances may still be queued; without this drain,
+    /// dropping the graph would drop the pool's last handle with jobs
+    /// still queued, tripping the pool's dropped-work debug check for
+    /// work the fail-fast path was about to discard deliberately.
+    /// Fail-fast makes queued instances retire in microseconds, so the
+    /// bound exists only to avoid masking a genuine runtime hang.
+    fn drop(&mut self) {
+        if self.pool.is_none() {
+            return; // managed graphs run inline; nothing is in flight
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut guard = self.core.quiesce_mutex.lock();
+        while self.core.pending.load(Ordering::Acquire) > 0 {
+            if self
+                .core
+                .quiesce_cond
+                .wait_until(&mut guard, deadline)
+                .timed_out()
+            {
+                break;
+            }
+        }
     }
 }
 
@@ -441,6 +481,9 @@ pub(crate) struct RuntimeCore {
     /// being spawned onto a pool, and a scheduler callback owns every
     /// "which instance runs next" decision.
     managed: Option<ManagedState>,
+    /// Event tracer, installed at most once via [`CncGraph::set_tracer`].
+    /// `None` keeps every instrumentation site a single branch.
+    tracer: OnceLock<Arc<Tracer>>,
     pub(crate) stats: StatCounters,
 }
 
@@ -476,6 +519,7 @@ impl RuntimeCore {
                 picker: Mutex::new(picker),
                 trace: Mutex::new(Vec::new()),
             }),
+            tracer: OnceLock::new(),
             stats: StatCounters::default(),
         })
     }
@@ -575,11 +619,11 @@ impl RuntimeCore {
     }
 
     pub(crate) fn count_injected_fault(&self) {
-        self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.stats.faults_injected);
     }
 
     pub(crate) fn count_injected_delay(&self) {
-        self.stats.delays_injected.fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.stats.delays_injected);
     }
 
     /// Scans every collection for parked waiters and assembles the
@@ -815,10 +859,9 @@ impl InstanceTask {
             self.core.finish_one();
             return;
         }
-        self.core
-            .stats
-            .steps_started
-            .fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.core.stats.steps_started);
+        let lane = self.core.tracer.get().map(|t| t.lane());
+        let t0 = lane.as_ref().map(|l| l.now());
         let scope = StepScope {
             task: &self,
             waiter: RefCell::new(None),
@@ -839,18 +882,38 @@ impl InstanceTask {
         // slot to None so environment code on this thread is not counted.
         let body_puts = BODY_PUTS.with(|c| c.take()).unwrap_or(0);
         let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
+        let outcome_kind = match &outcome {
+            Ok(Ok(_)) => StepOutcomeKind::Completed,
+            Ok(Err(StepAbort::Blocked)) => StepOutcomeKind::Requeued,
+            Ok(Err(StepAbort::Failed(_))) => StepOutcomeKind::Failed,
+            Err(_) => StepOutcomeKind::Panicked,
+        };
+        // The span closes here, before failure routing, so it measures
+        // the thread time this execution occupied — retry backoff sleeps
+        // are charged to the (same-lane) re-execution's surroundings, not
+        // to the aborted attempt.
+        if let (Some(lane), Some(t0)) = (&lane, t0) {
+            let tracer = self.core.tracer.get().expect("lane implies tracer");
+            lane.span(
+                EventKind::StepRun {
+                    step: tracer.intern(self.step_name),
+                    tag: self.tag_hash,
+                    outcome: outcome_kind,
+                },
+                t0,
+            );
+            if blocked_outcome {
+                lane.instant(EventKind::BlockedGet {
+                    instance: Arc::as_ptr(&self) as usize as u64,
+                });
+            }
+        }
         match outcome {
             Ok(Ok(_)) => {
-                self.core
-                    .stats
-                    .steps_completed
-                    .fetch_add(1, Ordering::Relaxed);
+                crate::stats::bump(&self.core.stats.steps_completed);
             }
             Ok(Err(StepAbort::Blocked)) => {
-                self.core
-                    .stats
-                    .steps_requeued
-                    .fetch_add(1, Ordering::Relaxed);
+                crate::stats::bump(&self.core.stats.steps_requeued);
             }
             Ok(Err(StepAbort::Failed(failure))) => {
                 self.handle_failure(failure, body_puts);
@@ -952,10 +1015,13 @@ impl InstanceTask {
         let policy = *self.core.retry_policy.lock();
         let attempts = self.attempts.fetch_add(1, Ordering::AcqRel) + 1;
         if attempts < policy.max_attempts {
-            self.core
-                .stats
-                .steps_retried
-                .fetch_add(1, Ordering::Relaxed);
+            crate::stats::bump(&self.core.stats.steps_retried);
+            if let Some(tracer) = self.core.tracer.get() {
+                tracer.lane().instant(EventKind::StepRetry {
+                    step: tracer.intern(self.step_name),
+                    tag: self.tag_hash,
+                });
+            }
             let backoff = policy
                 .backoff
                 .checked_mul(attempts)
@@ -1097,6 +1163,11 @@ impl Countdown {
             core.resume_epoch.fetch_add(1, Ordering::AcqRel);
             core.pending.fetch_add(1, Ordering::AcqRel);
             core.blocked.fetch_sub(1, Ordering::AcqRel);
+            if let Some(tracer) = core.tracer.get() {
+                tracer.lane().instant(EventKind::Resume {
+                    instance: self.instance_id() as u64,
+                });
+            }
             core.dispatch(Arc::clone(&self.task), false);
         }
     }

@@ -19,21 +19,54 @@ pub(crate) struct StatCounters {
     pub tags_put: AtomicU64,
 }
 
+/// Publishes one count. Every increment is a release store so that an
+/// acquire snapshot load that observes it also observes everything the
+/// counting thread did before it — in particular the *cause* counters it
+/// bumped earlier (a step increments `steps_started` before any of its
+/// outcome counters). With plain relaxed increments a concurrent
+/// snapshot could see the outcome counter ahead of its cause (e.g.
+/// `steps_completed > steps_started`), tearing the `replay_stable`
+/// projection the `recdp-check` oracles diff.
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Release);
+}
+
 impl StatCounters {
+    /// Coherent snapshot. Loads are acquire and ordered *effect before
+    /// cause*: an outcome counter (completed/requeued/retried) is read
+    /// before the counters its increment causally follows
+    /// (`steps_started`, and the get/put counters bumped inside the
+    /// body), so each release increment observed here brings its causes
+    /// with it and the snapshot never shows an effect without its cause.
+    /// Quiescent snapshots (after `wait` returns) were already coherent
+    /// via the pending-counter handshake; this hardens the mid-flight
+    /// paths (`CncGraph::stats`, wait probes, deadlock diagnostics).
     pub(crate) fn snapshot(&self) -> GraphStats {
+        let steps_retried = self.steps_retried.load(Ordering::Acquire);
+        let steps_requeued = self.steps_requeued.load(Ordering::Acquire);
+        let steps_completed = self.steps_completed.load(Ordering::Acquire);
+        let gets_blocked = self.gets_blocked.load(Ordering::Acquire);
+        let gets_nb_missing = self.gets_nb_missing.load(Ordering::Acquire);
+        let nb_retries = self.nb_retries.load(Ordering::Acquire);
+        let gets_ok = self.gets_ok.load(Ordering::Acquire);
+        let items_put = self.items_put.load(Ordering::Acquire);
+        let tags_put = self.tags_put.load(Ordering::Acquire);
+        let faults_injected = self.faults_injected.load(Ordering::Acquire);
+        let delays_injected = self.delays_injected.load(Ordering::Acquire);
+        let steps_started = self.steps_started.load(Ordering::Acquire);
         GraphStats {
-            steps_started: self.steps_started.load(Ordering::Relaxed),
-            steps_completed: self.steps_completed.load(Ordering::Relaxed),
-            steps_requeued: self.steps_requeued.load(Ordering::Relaxed),
-            steps_retried: self.steps_retried.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
-            delays_injected: self.delays_injected.load(Ordering::Relaxed),
-            items_put: self.items_put.load(Ordering::Relaxed),
-            gets_ok: self.gets_ok.load(Ordering::Relaxed),
-            gets_blocked: self.gets_blocked.load(Ordering::Relaxed),
-            gets_nb_missing: self.gets_nb_missing.load(Ordering::Relaxed),
-            nb_retries: self.nb_retries.load(Ordering::Relaxed),
-            tags_put: self.tags_put.load(Ordering::Relaxed),
+            steps_started,
+            steps_completed,
+            steps_requeued,
+            steps_retried,
+            faults_injected,
+            delays_injected,
+            items_put,
+            gets_ok,
+            gets_blocked,
+            gets_nb_missing,
+            nb_retries,
+            tags_put,
         }
     }
 }

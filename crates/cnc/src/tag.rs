@@ -2,7 +2,6 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -110,11 +109,7 @@ where
     /// (Native-CnC behaviour — instances discover missing inputs via
     /// failed blocking gets and retry).
     pub fn put(&self, tag: T) {
-        self.inner
-            .core
-            .stats
-            .tags_put
-            .fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.inner.core.stats.tags_put);
         // A tag put from inside a body spawns instances — re-executing
         // the body would spawn them again, so it counts as a
         // non-retryable side effect like an item put.
@@ -129,16 +124,8 @@ where
     /// self-respawn. Identical to [`TagCollection::put`] plus the
     /// wasted-work accounting (`nb_retries`).
     pub fn put_retry(&self, tag: T) {
-        self.inner
-            .core
-            .stats
-            .nb_retries
-            .fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .core
-            .stats
-            .tags_put
-            .fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.inner.core.stats.nb_retries);
+        crate::stats::bump(&self.inner.core.stats.tags_put);
         note_body_put();
         for task in self.instances(&tag) {
             // Fair (global-injector) dispatch: a self-respawning step on
@@ -153,11 +140,7 @@ where
     /// the pre-scheduling tuner of Sec. III-D (and, when the environment
     /// declares the whole computation up front, the Manual-CnC variant).
     pub fn put_when(&self, tag: T, deps: &DepSet) {
-        self.inner
-            .core
-            .stats
-            .tags_put
-            .fetch_add(1, Ordering::Relaxed);
+        crate::stats::bump(&self.inner.core.stats.tags_put);
         note_body_put();
         for task in self.instances(&tag) {
             let countdown = Countdown::arm(task);

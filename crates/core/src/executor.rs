@@ -4,9 +4,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use recdp_cnc::{CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
-use recdp_forkjoin::ThreadPoolBuilder;
+use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
 use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
+use recdp_trace::{TraceSession, Tracer};
 
 /// The paper's three DP benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +156,133 @@ pub fn run_benchmark(
             }
         }
     }
+}
+
+/// Like [`run_benchmark`] restricted to the parallel execution models,
+/// but instrumented: the run executes on a pool carrying an event
+/// tracer (and, for the data-flow models, a graph sharing it), and the
+/// returned [`TraceSession`] holds the recorded timeline — measured
+/// work, measured span, steal provenance, and the idle-time
+/// decomposition separating fork-join join waits (artificial
+/// dependencies) from CnC blocked-get stalls (true dependencies).
+///
+/// # Panics
+/// Panics on the serial execution models (there is no pool to trace)
+/// and if a data-flow run fails (traced runs are fault-free).
+pub fn run_benchmark_traced(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    threads: usize,
+) -> (RunOutput, TraceSession) {
+    const SEED: u64 = 0xD1CE;
+    let tracer = Tracer::new();
+    let session = TraceSession::with_tracer(Arc::clone(&tracer), threads);
+    let pool = Arc::new(
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .tracer(Arc::clone(&tracer))
+            .build(),
+    );
+    let (table, seconds, cnc_stats) = match benchmark {
+        Benchmark::Ge => {
+            let mut m = ge_matrix(n, SEED);
+            let (seconds, stats) = traced_table(
+                &mut m,
+                execution,
+                base,
+                &pool,
+                &tracer,
+                ge::ge_forkjoin,
+                ge::ge_cnc_on,
+            );
+            (m, seconds, stats)
+        }
+        Benchmark::Fw => {
+            let mut m = fw_matrix(n, SEED, 0.35);
+            let (seconds, stats) = traced_table(
+                &mut m,
+                execution,
+                base,
+                &pool,
+                &tracer,
+                fw::fw_forkjoin,
+                fw::fw_cnc_on,
+            );
+            (m, seconds, stats)
+        }
+        Benchmark::Sw => {
+            let a = dna_sequence(n, SEED);
+            let b = dna_sequence(n, SEED ^ 0xFFFF);
+            let mut m = Matrix::zeros(n);
+            let start = Instant::now();
+            let stats = match execution {
+                Execution::ForkJoin => {
+                    sw::sw_forkjoin(&mut m, &a, &b, base, &pool);
+                    None
+                }
+                Execution::Cnc(v) => {
+                    let graph = CncGraph::with_pool(Arc::clone(&pool));
+                    graph.set_tracer(Arc::clone(&tracer));
+                    Some(
+                        sw::sw_cnc_on(&mut m, &a, &b, base, v, &graph)
+                            .expect("traced runs are fault-free"),
+                    )
+                }
+                other => panic!(
+                    "traced runs require a parallel execution model, got {}",
+                    other.label()
+                ),
+            };
+            (m, start.elapsed().as_secs_f64(), stats)
+        }
+    };
+    // Tear the pool down before reading the trace so every worker's
+    // final events are recorded (joining a worker publishes its lane).
+    let Ok(pool) = Arc::try_unwrap(pool) else {
+        panic!("graphs dropped; the pool must be uniquely owned here");
+    };
+    let dropped = pool.shutdown();
+    debug_assert_eq!(dropped, 0, "a quiesced traced run left queued jobs");
+    (
+        RunOutput {
+            table,
+            seconds,
+            cnc_stats,
+        },
+        session,
+    )
+}
+
+/// Shared GE/FW body of [`run_benchmark_traced`].
+#[allow(clippy::type_complexity)]
+fn traced_table(
+    m: &mut Matrix,
+    execution: Execution,
+    base: usize,
+    pool: &Arc<ThreadPool>,
+    tracer: &Arc<Tracer>,
+    forkjoin: fn(&mut Matrix, usize, &ThreadPool),
+    cnc: fn(&mut Matrix, usize, CncVariant, &CncGraph) -> Result<GraphStats, CncError>,
+) -> (f64, Option<GraphStats>) {
+    let start = Instant::now();
+    let stats = match execution {
+        Execution::ForkJoin => {
+            forkjoin(m, base, pool);
+            None
+        }
+        Execution::Cnc(v) => {
+            let graph = CncGraph::with_pool(Arc::clone(pool));
+            graph.set_tracer(Arc::clone(tracer));
+            Some(cnc(m, base, v, &graph).expect("traced runs are fault-free"))
+        }
+        other => panic!(
+            "traced runs require a parallel execution model, got {}",
+            other.label()
+        ),
+    };
+    (start.elapsed().as_secs_f64(), stats)
 }
 
 /// Resilience configuration for [`run_benchmark_resilient`]: how the CnC
@@ -343,6 +471,32 @@ mod tests {
             CncError::StepFailed { .. } | CncError::RetryExhausted { .. } => {}
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_forkjoin_run_matches_oracle_and_records_spans() {
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 2);
+        let (out, session) = run_benchmark_traced(Benchmark::Ge, Execution::ForkJoin, 32, 8, 2);
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let report = session.report();
+        assert!(report.tasks > 0, "no task spans recorded: {report:?}");
+        assert!(report.work_ns > 0);
+        assert!(report.span_ns <= report.wall_ns.max(1) * 2);
+    }
+
+    #[test]
+    fn traced_cnc_run_matches_oracle_and_records_steps() {
+        let oracle = run_benchmark(Benchmark::Fw, Execution::SerialLoops, 32, 8, 2);
+        let (out, session) =
+            run_benchmark_traced(Benchmark::Fw, Execution::Cnc(CncVariant::Native), 32, 8, 2);
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let stats = out.cnc_stats.expect("cnc runs carry stats");
+        let report = session.report();
+        assert_eq!(
+            report.steps, stats.steps_started,
+            "one StepRun span per started execution"
+        );
+        assert!(report.work_ns > 0);
     }
 
     #[test]

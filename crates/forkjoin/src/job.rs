@@ -3,7 +3,7 @@
 use std::any::Any;
 use std::cell::UnsafeCell;
 
-use crate::latch::{Latch, SpinLatch};
+use crate::latch::{CompletionLatch, SpinLatch};
 
 /// An erased pointer to something executable exactly once.
 ///
@@ -47,31 +47,36 @@ enum JobResult<R> {
 }
 
 /// A job allocated on the stack of the frame that will consume its result
-/// (the second branch of a `join`). Carries its own completion latch.
-pub(crate) struct StackJob<F, R>
+/// (the second branch of a `join`, or an `install` submission). Carries
+/// its own completion latch: [`SpinLatch`] for owners that probe while
+/// helping with other work, [`crate::latch::LockLatch`] for owners
+/// outside the pool that block until completion.
+pub(crate) struct StackJob<F, R, L = SpinLatch>
 where
     F: FnOnce() -> R + Send,
     R: Send,
+    L: CompletionLatch,
 {
-    latch: SpinLatch,
+    latch: L,
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
 }
 
-impl<F, R> StackJob<F, R>
+impl<F, R, L> StackJob<F, R, L>
 where
     F: FnOnce() -> R + Send,
     R: Send,
+    L: CompletionLatch,
 {
     pub(crate) fn new(func: F) -> Self {
         Self {
-            latch: SpinLatch::new(),
+            latch: L::new(),
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::NotRun),
         }
     }
 
-    pub(crate) fn latch(&self) -> &SpinLatch {
+    pub(crate) fn latch(&self) -> &L {
         &self.latch
     }
 
@@ -80,22 +85,24 @@ where
     /// is dropped; the caller must not touch `func`/`result` until the
     /// latch is set.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        unsafe fn execute<F, R>(this: *const ())
+        unsafe fn execute<F, R, L>(this: *const ())
         where
             F: FnOnce() -> R + Send,
             R: Send,
+            L: CompletionLatch,
         {
-            let this = &*(this as *const StackJob<F, R>);
+            let this = &*(this as *const StackJob<F, R, L>);
             let func = (*this.func.get()).take().expect("job executed twice");
             let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(func)) {
                 Ok(r) => JobResult::Ok(r),
                 Err(p) => JobResult::Panic(p),
             };
             *this.result.get() = result;
-            // Release: publishes `result` to the probing owner.
+            // Release/publish: makes `result` visible to the owner (the
+            // latch set is a release store, or happens under a lock).
             this.latch.set();
         }
-        JobRef::new(self as *const Self, execute::<F, R>)
+        JobRef::new(self as *const Self, execute::<F, R, L>)
     }
 
     /// Consumes the result after the latch has been observed set.
@@ -114,10 +121,11 @@ where
 // SAFETY: the job is handed across threads exactly once via JobRef; the
 // UnsafeCells are accessed by the executing thread only until the latch is
 // set (release), after which only the owner reads them (acquire probe).
-unsafe impl<F, R> Sync for StackJob<F, R>
+unsafe impl<F, R, L> Sync for StackJob<F, R, L>
 where
     F: FnOnce() -> R + Send,
     R: Send,
+    L: CompletionLatch + Sync,
 {
 }
 
@@ -148,10 +156,11 @@ impl<F: FnOnce() + Send> HeapJob<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::latch::Latch;
 
     #[test]
     fn stack_job_runs_and_returns() {
-        let job = StackJob::new(|| 5 + 5);
+        let job: StackJob<_, _> = StackJob::new(|| 5 + 5);
         let r = unsafe { job.as_job_ref() };
         unsafe { r.execute() };
         assert!(job.latch().probe());

@@ -6,10 +6,20 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use parking_lot::{Condvar, Mutex};
+
 /// A one-shot or counted completion flag that can be probed.
 pub(crate) trait Latch {
     /// True once the latch has been set (acquire semantics).
     fn probe(&self) -> bool;
+}
+
+/// A one-shot latch that can also be *set*, so a `StackJob` can be
+/// generic over how its owner waits: busy workers probe a [`SpinLatch`]
+/// while helping, threads outside the pool block on a [`LockLatch`].
+pub(crate) trait CompletionLatch: Latch {
+    fn new() -> Self;
+    fn set(&self);
 }
 
 /// A single-use latch set exactly once, probed by busy workers that help
@@ -35,6 +45,74 @@ impl Latch for SpinLatch {
     #[inline]
     fn probe(&self) -> bool {
         self.set.load(Ordering::Acquire)
+    }
+}
+
+impl CompletionLatch for SpinLatch {
+    fn new() -> Self {
+        SpinLatch::new()
+    }
+
+    fn set(&self) {
+        SpinLatch::set(self);
+    }
+}
+
+/// A single-use latch whose owner blocks on a condvar instead of
+/// spinning. Used by `ThreadPool::install`: the installing thread sits
+/// outside the pool, cannot help with work, and must not burn CPU or pay
+/// a sleep-slice tail waiting for the result.
+#[derive(Debug)]
+pub(crate) struct LockLatch {
+    set: AtomicBool,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        Self {
+            set: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn set(&self) {
+        // Store under the lock so a waiter that checked `set` and is
+        // about to wait cannot miss the notification.
+        let _guard = self.mutex.lock();
+        self.set.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the latch is set. Wakes as soon as the setter
+    /// notifies — no polling interval, no sleep-slice tail.
+    pub(crate) fn wait(&self) {
+        if self.probe() {
+            return;
+        }
+        let mut guard = self.mutex.lock();
+        while !self.set.load(Ordering::Acquire) {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl CompletionLatch for LockLatch {
+    fn new() -> Self {
+        LockLatch::new()
+    }
+
+    fn set(&self) {
+        LockLatch::set(self);
     }
 }
 
@@ -86,6 +164,31 @@ mod tests {
         assert!(!l.probe());
         l.set();
         assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_wakes_blocked_waiter() {
+        use std::sync::Arc;
+        let latch = Arc::new(LockLatch::new());
+        assert!(!latch.probe());
+        let setter = {
+            let latch = Arc::clone(&latch);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                latch.set();
+            })
+        };
+        latch.wait();
+        assert!(latch.probe());
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn lock_latch_wait_after_set_returns_immediately() {
+        let latch = LockLatch::new();
+        latch.set();
+        latch.wait();
+        assert!(latch.probe());
     }
 
     #[test]

@@ -108,7 +108,7 @@ where
     RA: Send,
     RB: Send,
 {
-    let job_b = StackJob::new(b);
+    let job_b: StackJob<_, _> = StackJob::new(b);
     // SAFETY: `job_b` lives on this stack frame and we do not return until
     // its latch is set (either by popping and running it inline or by the
     // thief completing it), so the reference pushed to the deque cannot
@@ -143,7 +143,16 @@ where
             Some(j) => {
                 // May be `job` itself or younger work pushed by nested
                 // joins; executing either makes progress.
+                let t0 = worker.lane().map(|lane| lane.now());
                 unsafe { j.execute() };
+                if let (Some(lane), Some(t0)) = (worker.lane(), t0) {
+                    lane.span(
+                        recdp_trace::EventKind::TaskRun {
+                            source: recdp_trace::TaskSource::Local,
+                        },
+                        t0,
+                    );
+                }
             }
             None => {
                 // Our deque is empty: the job was stolen. Help until done.
@@ -239,6 +248,10 @@ mod tests {
         }
         let x = pool.install(|| fib(14));
         assert_eq!(x, 377);
+        // The panicking spawns *executed* (their panics are contained),
+        // but a few may still be queued when the test ends; acknowledge
+        // them instead of tripping the debug lost-work panic.
+        let _ = pool.shutdown();
     }
 
     #[test]

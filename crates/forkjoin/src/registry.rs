@@ -1,15 +1,16 @@
 //! The worker registry: threads, deques, injector, parking.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use recdp_trace::{EventKind, Lane, TaskSource, Tracer};
 
 use crate::job::{HeapJob, JobRef, StackJob};
-use crate::latch::Latch;
+use crate::latch::{Latch, LockLatch};
 
 /// A callback run by a worker immediately before each queued job it
 /// executes (see [`ThreadPoolBuilder::task_hook`]).
@@ -37,6 +38,7 @@ pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
     task_hook: Option<TaskHook>,
     steal_policy: Option<Arc<dyn StealPolicy>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for ThreadPoolBuilder {
@@ -48,6 +50,7 @@ impl std::fmt::Debug for ThreadPoolBuilder {
                 "steal_policy",
                 &self.steal_policy.as_ref().map(|_| "<policy>"),
             )
+            .field("tracer", &self.tracer.as_ref().map(|_| "<tracer>"))
             .finish()
     }
 }
@@ -86,11 +89,21 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Installs a tracer: each worker records task-run (with steal
+    /// provenance), spawn, join-wait and park events into its own
+    /// [`recdp_trace::Lane`]. Without a tracer every instrumentation
+    /// site is a single branch on `None` — recording nothing costs
+    /// nothing on the hot path.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the pool and starts its workers.
     pub fn build(self) -> ThreadPool {
         let n = self.num_threads.unwrap_or_else(default_num_threads);
         ThreadPool {
-            registry: Registry::new(n, self.task_hook, self.steal_policy),
+            registry: Registry::new(n, self.task_hook, self.steal_policy, self.tracer),
         }
     }
 }
@@ -110,11 +123,13 @@ fn default_num_threads() -> usize {
 
 /// A fork-join work-stealing thread pool.
 ///
-/// See the crate docs for the execution model. Dropping the pool stops the
-/// workers after the jobs they are currently running; fire-and-forget
-/// [`ThreadPool::spawn`] jobs still queued are discarded, so callers must
-/// synchronise (as `recdp-cnc` does with its quiescence counter) before
-/// dropping.
+/// See the crate docs for the execution model. Dropping the pool stops
+/// the workers after the jobs they are currently running; fire-and-forget
+/// [`ThreadPool::spawn`] jobs still queued are discarded. Discarded jobs
+/// are counted, and in debug builds a plain drop with a nonzero count
+/// panics so lost work cannot pass silently — callers either synchronise
+/// before dropping (as `recdp-cnc` does with its quiescence counter) or
+/// call [`ThreadPool::shutdown`] to acknowledge the count explicitly.
 #[derive(Debug)]
 pub struct ThreadPool {
     registry: Arc<Registry>,
@@ -134,20 +149,24 @@ impl ThreadPool {
                 return f();
             }
         }
-        let job = StackJob::new(f);
+        let job: StackJob<_, _, LockLatch> = StackJob::new(f);
         // SAFETY: we block below until the job's latch is set, so the
         // stack allocation outlives the reference.
         let job_ref = unsafe { job.as_job_ref() };
         self.registry.inject(job_ref);
-        // Adaptive wait: spin briefly, then sleep in short slices. The
-        // installing thread is outside the pool, so it cannot help.
+        // The installing thread is outside the pool, so it cannot help:
+        // spin briefly for the fast case (a worker picks the job up
+        // immediately), then block on the job's condvar latch. The
+        // worker's `set` wakes us directly — no polling interval, no
+        // sleep-slice latency tail.
         let mut spins = 0u32;
         while !job.latch().probe() {
             if spins < 64 {
                 std::hint::spin_loop();
                 spins += 1;
             } else {
-                std::thread::sleep(Duration::from_micros(50));
+                job.latch().wait();
+                break;
             }
         }
         job.into_result()
@@ -183,14 +202,43 @@ impl ThreadPool {
     pub fn num_threads(&self) -> usize {
         self.registry.stealers.len()
     }
+
+    /// The tracer installed at build time, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.registry.tracer.as_ref()
+    }
+
+    /// Stops the workers, joins them, and returns how many queued
+    /// fire-and-forget jobs were discarded without running (their heap
+    /// closures are leaked — a `JobRef` is type-erased and can only be
+    /// reclaimed by executing it). Unlike a plain drop, an explicit
+    /// `shutdown` acknowledges the discarded work, so the debug-build
+    /// lost-work panic is suppressed.
+    pub fn shutdown(self) -> usize {
+        let dropped = self.registry.shutdown();
+        self.registry
+            .dropped_acknowledged
+            .store(true, Ordering::Relaxed);
+        dropped
+    }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.registry.terminate.store(true, Ordering::Release);
-        self.registry.wake_all();
-        for h in self.registry.handles.lock().drain(..) {
-            let _ = h.join();
+        let dropped = self.registry.shutdown();
+        // Lost spawns are a silent-footgun class of bug: make them loud
+        // in debug builds unless an explicit `shutdown()` acknowledged
+        // them. (Skipped while panicking — a double panic would abort
+        // and mask the original failure.)
+        if cfg!(debug_assertions)
+            && dropped > 0
+            && !self.registry.dropped_acknowledged.load(Ordering::Relaxed)
+            && !std::thread::panicking()
+        {
+            panic!(
+                "ThreadPool dropped with {dropped} queued job(s) never executed; \
+                 synchronise before dropping or call ThreadPool::shutdown()"
+            );
         }
     }
 }
@@ -220,6 +268,14 @@ pub(crate) struct Registry {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     task_hook: Option<TaskHook>,
     steal_policy: Option<Arc<dyn StealPolicy>>,
+    tracer: Option<Arc<Tracer>>,
+    /// Fire-and-forget jobs discarded without running (counted by
+    /// exiting workers draining their deques and by `shutdown` draining
+    /// the injector).
+    dropped_jobs: AtomicUsize,
+    /// Set by an explicit `ThreadPool::shutdown`, which suppresses the
+    /// debug-build lost-work panic in `Drop`.
+    dropped_acknowledged: AtomicBool,
 }
 
 impl std::fmt::Debug for Registry {
@@ -236,6 +292,7 @@ impl Registry {
         n: usize,
         task_hook: Option<TaskHook>,
         steal_policy: Option<Arc<dyn StealPolicy>>,
+        tracer: Option<Arc<Tracer>>,
     ) -> Arc<Self> {
         let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(|w| w.stealer()).collect();
@@ -248,6 +305,9 @@ impl Registry {
             handles: Mutex::new(Vec::with_capacity(n)),
             task_hook,
             steal_policy,
+            tracer,
+            dropped_jobs: AtomicUsize::new(0),
+            dropped_acknowledged: AtomicBool::new(false),
         });
         let mut handles = registry.handles.lock();
         for (index, worker) in workers.into_iter().enumerate() {
@@ -264,8 +324,44 @@ impl Registry {
     }
 
     pub(crate) fn inject(&self, job: JobRef) {
+        if let Some(tracer) = &self.tracer {
+            tracer.lane().instant(EventKind::TaskSpawn);
+        }
         self.injector.push(job);
         self.wake_all();
+    }
+
+    /// Stops and joins the workers, then drains never-executed jobs into
+    /// the dropped count. Idempotent: a second call finds no handles and
+    /// an empty injector and just re-reads the count.
+    fn shutdown(&self) -> usize {
+        self.terminate.store(true, Ordering::Release);
+        self.wake_all();
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        // The workers have exited (draining their own deques on the way
+        // out); whatever is still in the injector will never run.
+        let mut drained = 0usize;
+        let scratch = Worker::new_lifo();
+        loop {
+            match self.injector.steal_batch_and_pop(&scratch) {
+                crossbeam_deque::Steal::Success(_job) => drained += 1,
+                crossbeam_deque::Steal::Empty => break,
+                crossbeam_deque::Steal::Retry => continue,
+            }
+            while scratch.pop().is_some() {
+                drained += 1;
+            }
+        }
+        while scratch.pop().is_some() {
+            drained += 1;
+        }
+        if drained > 0 {
+            self.dropped_jobs.fetch_add(drained, Ordering::Relaxed);
+        }
+        self.dropped_jobs.load(Ordering::Relaxed)
     }
 
     fn wake_all(&self) {
@@ -288,6 +384,8 @@ pub(crate) struct WorkerThread {
     pub(crate) registry: Arc<Registry>,
     index: usize,
     rng: AtomicU64,
+    /// This worker's event lane when the pool has a tracer installed.
+    lane: Option<Arc<Lane>>,
 }
 
 impl WorkerThread {
@@ -303,6 +401,9 @@ impl WorkerThread {
 
     /// Pushes a job onto the local LIFO deque and wakes a sleeper.
     pub(crate) fn push(&self, job: JobRef) {
+        if let Some(lane) = &self.lane {
+            lane.instant(EventKind::TaskSpawn);
+        }
         self.worker.push(job);
         self.registry.wake_all();
     }
@@ -310,6 +411,11 @@ impl WorkerThread {
     /// Pops the most recently pushed local job, if any.
     pub(crate) fn take_local(&self) -> Option<JobRef> {
         self.worker.pop()
+    }
+
+    /// This worker's event lane, when the pool has a tracer installed.
+    pub(crate) fn lane(&self) -> Option<&Arc<Lane>> {
+        self.lane.as_ref()
     }
 
     fn next_rand(&self) -> u64 {
@@ -323,14 +429,15 @@ impl WorkerThread {
     }
 
     /// One attempt to find work: local deque, then injector, then a
-    /// random-rotation sweep of the other workers' deques.
-    pub(crate) fn find_work(&self) -> Option<JobRef> {
+    /// random-rotation sweep of the other workers' deques. Reports where
+    /// the job came from (steal provenance) for the tracing layer.
+    pub(crate) fn find_work(&self) -> Option<(JobRef, TaskSource)> {
         if let Some(job) = self.worker.pop() {
-            return Some(job);
+            return Some((job, TaskSource::Local));
         }
         loop {
             match self.registry.injector.steal_batch_and_pop(&self.worker) {
-                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Success(job) => return Some((job, TaskSource::Inject)),
                 crossbeam_deque::Steal::Empty => break,
                 crossbeam_deque::Steal::Retry => continue,
             }
@@ -347,7 +454,14 @@ impl WorkerThread {
             }
             loop {
                 match self.registry.stealers[victim].steal() {
-                    crossbeam_deque::Steal::Success(job) => return Some(job),
+                    crossbeam_deque::Steal::Success(job) => {
+                        return Some((
+                            job,
+                            TaskSource::Steal {
+                                victim: victim as u32,
+                            },
+                        ))
+                    }
                     crossbeam_deque::Steal::Empty => break,
                     crossbeam_deque::Steal::Retry => continue,
                 }
@@ -358,53 +472,101 @@ impl WorkerThread {
 
     /// Cooperative wait: executes other work until `latch` is set. Never
     /// parks for long, so a latch set by a thief is observed promptly.
+    ///
+    /// With a tracer installed, each contiguous stretch of *pure* idle
+    /// (no work found anywhere while the latch stays unset) is recorded
+    /// as a [`EventKind::JoinWait`] span — the artificial-dependency
+    /// stall of the paper's model. Helped jobs get their own
+    /// [`EventKind::TaskRun`] spans and are not counted as idle.
     pub(crate) fn wait_until<L: Latch>(&self, latch: &L) {
         let mut idle = 0u32;
+        let mut idle_since: Option<u64> = None;
         while !latch.probe() {
-            if let Some(job) = self.find_work() {
+            if let Some((job, source)) = self.find_work() {
+                if let Some(lane) = &self.lane {
+                    if let Some(start) = idle_since.take() {
+                        lane.span(EventKind::JoinWait, start);
+                    }
+                }
                 if let Some(hook) = &self.registry.task_hook {
                     hook();
                 }
+                let t0 = self.lane.as_ref().map(|lane| lane.now());
                 // SAFETY: JobRefs are executed exactly once; we own this one.
                 unsafe { job.execute() };
+                if let (Some(lane), Some(t0)) = (&self.lane, t0) {
+                    lane.span(EventKind::TaskRun { source }, t0);
+                }
                 idle = 0;
-            } else if idle < 32 {
-                std::hint::spin_loop();
-                idle += 1;
             } else {
-                std::thread::yield_now();
+                if let Some(lane) = &self.lane {
+                    if idle_since.is_none() {
+                        idle_since = Some(lane.now());
+                    }
+                }
+                if idle < 32 {
+                    std::hint::spin_loop();
+                    idle += 1;
+                } else {
+                    std::thread::yield_now();
+                }
             }
+        }
+        if let (Some(lane), Some(start)) = (&self.lane, idle_since) {
+            lane.span(EventKind::JoinWait, start);
         }
     }
 }
 
 fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
+    let lane = registry.tracer.as_ref().map(|t| t.lane());
     let wt = WorkerThread {
         worker,
         registry: Arc::clone(&registry),
         index,
         rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)),
+        lane,
     };
     CURRENT_WORKER.with(|c| c.set(&wt as *const WorkerThread));
 
     while !registry.terminate.load(Ordering::Acquire) {
-        if let Some(job) = wt.find_work() {
+        if let Some((job, source)) = wt.find_work() {
             if let Some(hook) = &registry.task_hook {
                 hook();
             }
+            let t0 = wt.lane.as_ref().map(|lane| lane.now());
             // Catch panics from fire-and-forget jobs so a bad task cannot
             // take the worker down; structured jobs (StackJob, scope jobs)
             // install their own handlers and re-raise at the join point.
             let _ =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { job.execute() }));
+            if let (Some(lane), Some(t0)) = (&wt.lane, t0) {
+                lane.span(EventKind::TaskRun { source }, t0);
+            }
         } else {
-            let mut guard = registry.sleep_mutex.lock();
-            // Bounded wait: covers the push-vs-sleep race without a
-            // heavier epoch protocol.
-            registry
-                .sleep_cond
-                .wait_for(&mut guard, Duration::from_millis(1));
+            let t0 = wt.lane.as_ref().map(|lane| lane.now());
+            {
+                let mut guard = registry.sleep_mutex.lock();
+                // Bounded wait: covers the push-vs-sleep race without a
+                // heavier epoch protocol.
+                registry
+                    .sleep_cond
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+            if let (Some(lane), Some(t0)) = (&wt.lane, t0) {
+                lane.span(EventKind::Park, t0);
+            }
         }
+    }
+    // Terminating: jobs still in the local deque will never run. Count
+    // them so shutdown can report the lost work instead of discarding it
+    // silently.
+    let mut leftover = 0usize;
+    while wt.take_local().is_some() {
+        leftover += 1;
+    }
+    if leftover > 0 {
+        registry.dropped_jobs.fetch_add(leftover, Ordering::Relaxed);
     }
     CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
 }
@@ -525,5 +687,106 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = ThreadPoolBuilder::new().num_threads(0);
+    }
+
+    #[test]
+    fn install_on_idle_pool_has_no_sleep_slice_tail() {
+        // Regression for the old 50µs sleep-poll wait in `install`: the
+        // caller always paid at least one full sleep slice unless the
+        // job finished within its ~64-iteration spin phase, which an
+        // idle pool (workers parked on the condvar) never does. With the
+        // blocking LockLatch the worker's `set` wakes the caller
+        // directly, so the fastest of many installs comes in well under
+        // a slice.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        pool.install(|| ()); // warm up: spin the workers awake once
+        let mut best = Duration::MAX;
+        for _ in 0..200 {
+            let t0 = std::time::Instant::now();
+            pool.install(|| ());
+            best = best.min(t0.elapsed());
+        }
+        assert!(
+            best < Duration::from_micros(40),
+            "fastest install took {best:?}; a sleep-poll tail is back"
+        );
+    }
+
+    #[test]
+    fn shutdown_on_idle_pool_reports_no_dropped_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        assert_eq!(pool.install(|| 1), 1);
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    /// Occupies the only worker long enough for jobs to pile up behind it.
+    fn pool_with_stuck_worker_and_queued_jobs() -> ThreadPool {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build();
+        pool.spawn(|| std::thread::sleep(Duration::from_millis(50)));
+        // Let the worker pick the blocker up before queueing more.
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..5 {
+            pool.spawn(|| ());
+        }
+        pool
+    }
+
+    #[test]
+    fn shutdown_counts_discarded_jobs() {
+        let pool = pool_with_stuck_worker_and_queued_jobs();
+        let dropped = pool.shutdown();
+        assert!(
+            (1..=5).contains(&dropped),
+            "expected the queued jobs to be discarded and counted, got {dropped}"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn debug_drop_with_queued_jobs_panics() {
+        let pool = pool_with_stuck_worker_and_queued_jobs();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(pool)));
+        let err = result.expect_err("silent drop of queued jobs must panic in debug builds");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("never executed"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn tracer_records_runs_spawns_and_parks() {
+        let tracer = recdp_trace::Tracer::new();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .tracer(Arc::clone(&tracer))
+            .build();
+        static N: AtomicUsize = AtomicUsize::new(0);
+        pool.install(|| {
+            for _ in 0..8 {
+                crate::join(
+                    || N.fetch_add(1, Ordering::Relaxed),
+                    || N.fetch_add(1, Ordering::Relaxed),
+                );
+            }
+        });
+        assert_eq!(pool.shutdown(), 0);
+        assert_eq!(N.load(Ordering::Relaxed), 16);
+        let report = recdp_trace::TraceSession::with_tracer(tracer, 2).report();
+        // The install job itself plus any stolen join branches.
+        assert!(report.tasks >= 1, "no task runs recorded");
+        // 8 joins push their second branch + the injected install job.
+        assert!(report.spawns >= 9, "spawns undercounted: {}", report.spawns);
+        assert!(report.work_ns > 0);
+    }
+
+    #[test]
+    fn without_tracer_nothing_is_recorded() {
+        // The disabled path is branch-on-None: a tracer that is never
+        // installed sees no lanes and no events no matter how much the
+        // pool runs.
+        let tracer = recdp_trace::Tracer::new();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+        assert!(pool.tracer().is_none());
+        assert!(tracer.lanes().is_empty());
+        assert_eq!(tracer.dropped(), 0);
     }
 }

@@ -4,7 +4,10 @@
 //! OpenMP task group: the scope call does not return until every task
 //! spawned into it (transitively) has completed — a *join barrier*, i.e.
 //! exactly the synchronisation structure whose artificial dependencies
-//! the paper analyses.
+//! the paper analyses. With a tracer installed on the pool, the pure
+//! idle a worker accumulates inside this barrier (no stealable work
+//! anywhere while spawned tasks are still outstanding) is recorded as
+//! `JoinWait` spans, so `recdp-trace` reports can attribute it.
 
 use std::any::Any;
 use std::marker::PhantomData;

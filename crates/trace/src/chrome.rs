@@ -1,0 +1,188 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+
+use std::fmt::Write as _;
+
+use crate::{EventKind, StepOutcomeKind, TaskSource, Tracer};
+
+/// Renders the whole timeline as a Chrome-trace JSON object. Spans
+/// become complete (`"X"`) events, instants become `"i"` events; each
+/// lane is one Chrome thread (`tid`), named by a metadata record.
+pub(crate) fn render(tracer: &Tracer) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |entry: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&entry);
+    };
+    for lane in tracer.lanes() {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                lane.id(),
+                json_string(lane.name()),
+            ),
+            &mut out,
+            &mut first,
+        );
+        for event in lane.events() {
+            let ts = event.t_ns as f64 / 1000.0;
+            let dur = event.dur_ns as f64 / 1000.0;
+            let (name, args) = describe(tracer, event.kind);
+            let mut entry = String::new();
+            if event.dur_ns > 0 {
+                let _ = write!(
+                    entry,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                     \"name\":{}",
+                    lane.id(),
+                    json_string(&name),
+                );
+            } else {
+                let _ = write!(
+                    entry,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{ts:.3},\
+                     \"name\":{}",
+                    lane.id(),
+                    json_string(&name),
+                );
+            }
+            if !args.is_empty() {
+                entry.push_str(",\"args\":{");
+                for (i, (k, v)) in args.iter().enumerate() {
+                    if i > 0 {
+                        entry.push(',');
+                    }
+                    let _ = write!(entry, "{}:{}", json_string(k), json_string(v));
+                }
+                entry.push('}');
+            }
+            entry.push('}');
+            push(entry, &mut out, &mut first);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn describe(tracer: &Tracer, kind: EventKind) -> (String, Vec<(&'static str, String)>) {
+    match kind {
+        EventKind::TaskRun { source } => {
+            let src = match source {
+                TaskSource::Local => "local".to_string(),
+                TaskSource::Inject => "inject".to_string(),
+                TaskSource::Steal { victim } => format!("steal<-{victim}"),
+            };
+            ("task".to_string(), vec![("source", src)])
+        }
+        EventKind::TaskSpawn => ("spawn".to_string(), Vec::new()),
+        EventKind::JoinWait => ("join-wait".to_string(), Vec::new()),
+        EventKind::Park => ("park".to_string(), Vec::new()),
+        EventKind::StepRun { step, tag, outcome } => {
+            let name = tracer
+                .step_name(step)
+                .unwrap_or_else(|| format!("step#{}", step.0));
+            let outcome = match outcome {
+                StepOutcomeKind::Completed => "completed",
+                StepOutcomeKind::Requeued => "requeued",
+                StepOutcomeKind::Failed => "failed",
+                StepOutcomeKind::Panicked => "panicked",
+            };
+            (
+                name,
+                vec![
+                    ("tag", format!("{tag:#x}")),
+                    ("outcome", outcome.to_string()),
+                ],
+            )
+        }
+        EventKind::BlockedGet { instance } => (
+            "blocked-get".to_string(),
+            vec![("instance", format!("{instance:#x}"))],
+        ),
+        EventKind::Resume { instance } => (
+            "resume".to_string(),
+            vec![("instance", format!("{instance:#x}"))],
+        ),
+        EventKind::StepRetry { step, tag } => {
+            let name = tracer
+                .step_name(step)
+                .unwrap_or_else(|| format!("step#{}", step.0));
+            (
+                "retry".to_string(),
+                vec![("step", name), ("tag", format!("{tag:#x}"))],
+            )
+        }
+    }
+}
+
+/// Minimal JSON string encoder (names here are identifiers, but a step
+/// name is user input, so escape properly anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, StepOutcomeKind, TaskSource, Tracer};
+
+    #[test]
+    fn export_contains_lane_names_spans_and_instants() {
+        let tracer = Tracer::new();
+        let lane = tracer.register_lane("recdp-fj-0");
+        let step = tracer.intern("update");
+        lane.record(
+            EventKind::TaskRun {
+                source: TaskSource::Steal { victim: 3 },
+            },
+            1_000,
+            2_000,
+        );
+        lane.record(
+            EventKind::StepRun {
+                step,
+                tag: 0xAB,
+                outcome: StepOutcomeKind::Completed,
+            },
+            4_000,
+            500,
+        );
+        lane.record(EventKind::BlockedGet { instance: 0x10 }, 5_000, 0);
+        let json = tracer.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"recdp-fj-0\""));
+        assert!(json.contains("\"steal<-3\""));
+        assert!(json.contains("\"update\""));
+        assert!(json.contains("\"outcome\":\"completed\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.000"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}
