@@ -1,0 +1,35 @@
+//! Regenerates the execution-time figures for any benchmark: time vs
+//! base-case size for 2K/4K/8K/16K problems on EPYC-64 and SKYLAKE-192,
+//! across CnC / CnC_tuner / CnC_manual / OpenMP (plus the analytical
+//! "Estimated" series where the paper provides one).
+//!
+//! * `ge` — Figures 4-5 (Gaussian Elimination, with Estimated)
+//! * `sw` — Figures 6-7 (Smith-Waterman)
+//! * `fw` — Figures 8-9 (Floyd-Warshall APSP; the 16K/base-64 point
+//!   simulates a 16.7M-task DAG and is skipped without `--full`)
+//! * `paren` — matrix-chain parenthesization (extension benchmark)
+//!
+//! CSV stems and columns are identical to the former per-benchmark
+//! binaries (`fig4_5_ge_*`, `fig6_7_sw_*`, `fig8_9_fw_*`).
+//!
+//! Usage: `fig <ge|sw|fw|paren> [--machine epyc64|skylake192] [--full]`
+
+use recdp::Benchmark;
+use recdp_bench::{figures, FigureArgs};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .expect("usage: fig <ge|sw|fw|paren> [--machine epyc64|skylake192] [--full]");
+    let benchmark = match bench.as_str() {
+        "ge" => Benchmark::Ge,
+        "sw" => Benchmark::Sw,
+        "fw" => Benchmark::Fw,
+        "paren" => Benchmark::Paren,
+        other => panic!("unknown benchmark {other:?} (ge|sw|fw|paren)"),
+    };
+    let (stem, with_estimate) = figures::series_of(benchmark);
+    let args = FigureArgs::parse(args);
+    figures::run(benchmark, stem, with_estimate, &args);
+}

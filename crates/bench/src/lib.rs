@@ -1,6 +1,6 @@
 //! `recdp-bench`: shared plumbing for the figure/table regeneration
-//! binaries (`fig_ge`, `fig_sw`, `fig_fw`, `table1`, `span_work`,
-//! `realrun`) and the Criterion micro-benchmarks.
+//! binaries (`fig`, `table1`, `span_work`, `realrun`) and the Criterion
+//! micro-benchmarks.
 
 #![warn(missing_docs)]
 
@@ -424,11 +424,23 @@ pub mod measured {
     }
 }
 
-/// Figure-regeneration driver shared by the `fig_*` binaries.
+/// Figure-regeneration driver behind the `fig` binary.
 pub mod figures {
     use recdp::{Benchmark, FigurePanel, Paradigm};
 
     use super::{bases_for, write_results, FigureArgs, PROBLEM_SIZES};
+
+    /// CSV stem and whether the analytical "Estimated" series applies
+    /// (the paper provides it for GE only). Stems match the former
+    /// per-benchmark binaries, so the committed CSV names are stable.
+    pub fn series_of(benchmark: Benchmark) -> (&'static str, bool) {
+        match benchmark {
+            Benchmark::Ge => ("fig4_5_ge", true),
+            Benchmark::Sw => ("fig6_7_sw", false),
+            Benchmark::Fw => ("fig8_9_fw", false),
+            Benchmark::Paren => ("fig_paren", false),
+        }
+    }
 
     /// Simulated tasks of the heaviest series at one figure point.
     fn tasks_at(benchmark: Benchmark, n: usize, m: usize) -> u64 {
@@ -437,6 +449,7 @@ pub mod figures {
             Benchmark::Ge => t * (t + 1) * (2 * t + 1) / 6,
             Benchmark::Sw => t * t,
             Benchmark::Fw => t * t * t,
+            Benchmark::Paren => t * (t + 1) / 2,
         }
     }
 

@@ -21,7 +21,7 @@
 //!   a schedule budget, reporting whether it finished.
 //!
 //! The oracles ([`replay_stable`], plus table comparison against the
-//! serial kernels) are described in [`mod@crate::oracle`]. For
+//! serial kernels) are described in the `oracle` module. For
 //! fork-join pools, [`SeededStealPolicy`] varies steal-victim patterns
 //! per seed (pools stay multi-threaded, so this is stress variation,
 //! not full schedule control — the managed CnC mode is the

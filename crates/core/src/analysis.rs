@@ -2,8 +2,8 @@
 //! execution model.
 
 use recdp_taskgraph::{
-    dataflow, forkjoin, fw_kernel_flops, ge_kernel_flops, metrics, sw_kernel_flops, GraphMetrics,
-    TaskGraph,
+    dataflow, forkjoin, fw_kernel_flops, ge_kernel_flops, metrics, paren_kernel_flops,
+    sw_kernel_flops, GraphMetrics, TaskGraph,
 };
 
 use crate::executor::Benchmark;
@@ -37,6 +37,8 @@ pub fn dag(benchmark: Benchmark, model: Model, t: usize, m: usize) -> TaskGraph 
         (Benchmark::Sw, Model::DataFlow) => dataflow::sw(t, &sw_kernel_flops(m)),
         (Benchmark::Fw, Model::ForkJoin) => forkjoin::fw(t, &fw_kernel_flops(m)),
         (Benchmark::Fw, Model::DataFlow) => dataflow::fw(t, &fw_kernel_flops(m)),
+        (Benchmark::Paren, Model::ForkJoin) => forkjoin::paren(t, &paren_kernel_flops(m)),
+        (Benchmark::Paren, Model::DataFlow) => dataflow::paren(t, &paren_kernel_flops(m)),
     }
 }
 
@@ -51,7 +53,7 @@ mod tests {
 
     #[test]
     fn every_pair_builds() {
-        for benchmark in Benchmark::ALL {
+        for benchmark in Benchmark::ALL4 {
             for model in [Model::ForkJoin, Model::DataFlow] {
                 let g = dag(benchmark, model, 4, 16);
                 assert!(!g.is_empty(), "{} {}", benchmark.name(), model.name());
@@ -61,7 +63,7 @@ mod tests {
 
     #[test]
     fn span_gap_holds_for_all_benchmarks() {
-        for benchmark in Benchmark::ALL {
+        for benchmark in Benchmark::ALL4 {
             let fj = dag_metrics(benchmark, Model::ForkJoin, 16, 32);
             let df = dag_metrics(benchmark, Model::DataFlow, 16, 32);
             assert!(

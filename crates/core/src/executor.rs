@@ -1,15 +1,24 @@
 //! Running the real benchmark kernels under any execution model.
+//!
+//! Every benchmark is dispatched through its [`recdp_kernels::DpSpec`]
+//! implementation and the three generic engines in
+//! `recdp_kernels::engine`; the only per-benchmark code here is input
+//! generation and the serial loops oracle (which is hand-written per
+//! benchmark by design — it is the ground truth the engines are
+//! checked against).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use recdp_cnc::{CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
-use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
-use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
+use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
+use recdp_kernels::{engine, fw, ge, paren, sw, CncVariant, Matrix};
+use recdp_kernels::{fw::FwSpec, ge::GeSpec, paren::ParenSpec, sw::SwSpec};
 use recdp_trace::{TraceSession, Tracer};
 
-/// The paper's three DP benchmarks.
+/// The DP benchmarks: the paper's three plus the matrix-chain
+/// parenthesization extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Benchmark {
     /// Gaussian Elimination without pivoting.
@@ -18,11 +27,22 @@ pub enum Benchmark {
     Sw,
     /// Floyd-Warshall all-pairs shortest paths.
     Fw,
+    /// Matrix-chain parenthesization (non-O(1)-dependency DP).
+    Paren,
 }
 
 impl Benchmark {
-    /// All benchmarks, paper order.
+    /// The paper's three benchmarks, paper order. Figure reproduction
+    /// (and the committed golden CSVs) enumerate exactly these.
     pub const ALL: [Benchmark; 3] = [Benchmark::Ge, Benchmark::Sw, Benchmark::Fw];
+
+    /// All four benchmarks including the parenthesization extension.
+    pub const ALL4: [Benchmark; 4] = [
+        Benchmark::Ge,
+        Benchmark::Sw,
+        Benchmark::Fw,
+        Benchmark::Paren,
+    ];
 
     /// Display name used in experiment output.
     pub fn name(self) -> &'static str {
@@ -30,6 +50,7 @@ impl Benchmark {
             Benchmark::Ge => "GE",
             Benchmark::Sw => "SW",
             Benchmark::Fw => "FW-APSP",
+            Benchmark::Paren => "PAREN",
         }
     }
 }
@@ -63,13 +84,111 @@ impl Execution {
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     /// The computed DP table (GE factor table / SW score table / FW
-    /// distance table).
+    /// distance table / parenthesization cost table).
     pub table: Matrix,
     /// Wall-clock seconds of the computation proper (excludes input
     /// generation).
     pub seconds: f64,
     /// CnC runtime statistics when `Execution::Cnc` was used.
     pub cnc_stats: Option<GraphStats>,
+}
+
+/// A benchmark's spec, erased to one dispatchable type (the `DpSpec`
+/// trait is not object safe — it requires `Clone` — so the engines are
+/// reached through a `match` instead of a vtable).
+enum AnySpec {
+    Ge(GeSpec),
+    Sw(SwSpec),
+    Fw(FwSpec),
+    Paren(ParenSpec),
+}
+
+macro_rules! with_spec {
+    ($any:expr, $s:ident => $body:expr) => {
+        match $any {
+            AnySpec::Ge($s) => $body,
+            AnySpec::Sw($s) => $body,
+            AnySpec::Fw($s) => $body,
+            AnySpec::Paren($s) => $body,
+        }
+    };
+}
+
+impl AnySpec {
+    fn serial(&self) {
+        with_spec!(self, s => engine::run_serial(s))
+    }
+
+    fn forkjoin(&self, pool: &ThreadPool) {
+        with_spec!(self, s => engine::run_forkjoin(s, pool))
+    }
+
+    fn cnc(&self, variant: CncVariant, threads: usize) -> GraphStats {
+        with_spec!(self, s => engine::run_cnc(s, variant, threads))
+    }
+
+    fn cnc_on(&self, variant: CncVariant, graph: &CncGraph) -> Result<GraphStats, CncError> {
+        with_spec!(self, s => engine::run_cnc_on(s, variant, graph))
+    }
+}
+
+/// A generated input instance: the table (which the spec's `TablePtr`
+/// points into), the erased spec, and the benchmark's serial loops
+/// oracle closed over its inputs.
+struct Problem {
+    table: Matrix,
+    spec: AnySpec,
+    loops: Box<dyn Fn(&mut Matrix)>,
+}
+
+/// Generates the standard seeded input for `benchmark` at size `n`.
+fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
+    const SEED: u64 = 0xD1CE;
+    assert!(
+        n.is_power_of_two() && base.is_power_of_two() && base <= n,
+        "n and base must be powers of two with base <= n"
+    );
+    match benchmark {
+        Benchmark::Ge => {
+            let mut table = ge_matrix(n, SEED);
+            let spec = AnySpec::Ge(GeSpec::new(table.ptr(), base));
+            Problem {
+                table,
+                spec,
+                loops: Box::new(ge::ge_loops),
+            }
+        }
+        Benchmark::Fw => {
+            let mut table = fw_matrix(n, SEED, 0.35);
+            let spec = AnySpec::Fw(FwSpec::new(table.ptr(), base));
+            Problem {
+                table,
+                spec,
+                loops: Box::new(fw::fw_loops),
+            }
+        }
+        Benchmark::Sw => {
+            let a = dna_sequence(n, SEED);
+            let b = dna_sequence(n, SEED ^ 0xFFFF);
+            let mut table = Matrix::zeros(n);
+            let spec = AnySpec::Sw(SwSpec::new(table.ptr(), &a, &b, base));
+            Problem {
+                table,
+                spec,
+                loops: Box::new(move |m| sw::sw_loops(m, &a, &b)),
+            }
+        }
+        Benchmark::Paren => {
+            let dims = chain_dims(n, SEED);
+            let mut table = Matrix::zeros(n);
+            let spec = AnySpec::Paren(ParenSpec::new(table.ptr(), &dims, base));
+            Problem {
+                table,
+                spec,
+                loops: Box::new(move |m| paren::paren_loops(m, &dims)),
+            }
+        }
+    }
 }
 
 /// Generates the standard seeded input and runs `benchmark` under
@@ -86,75 +205,28 @@ pub fn run_benchmark(
     base: usize,
     threads: usize,
 ) -> RunOutput {
-    const SEED: u64 = 0xD1CE;
-    match benchmark {
-        Benchmark::Ge => {
-            let mut m = ge_matrix(n, SEED);
-            let (seconds, stats) = time_table(
-                &mut m,
-                execution,
-                base,
-                threads,
-                TableOps {
-                    loops: ge::ge_loops,
-                    rdp: ge::ge_rdp,
-                    forkjoin: ge::ge_forkjoin,
-                    cnc: ge::ge_cnc,
-                },
-            );
-            RunOutput {
-                table: m,
-                seconds,
-                cnc_stats: stats,
-            }
+    let mut p = prepare(benchmark, n, base);
+    let start = Instant::now();
+    let stats = match execution {
+        Execution::SerialLoops => {
+            (p.loops)(&mut p.table);
+            None
         }
-        Benchmark::Fw => {
-            let mut m = fw_matrix(n, SEED, 0.35);
-            let (seconds, stats) = time_table(
-                &mut m,
-                execution,
-                base,
-                threads,
-                TableOps {
-                    loops: fw::fw_loops,
-                    rdp: fw::fw_rdp,
-                    forkjoin: fw::fw_forkjoin,
-                    cnc: fw::fw_cnc,
-                },
-            );
-            RunOutput {
-                table: m,
-                seconds,
-                cnc_stats: stats,
-            }
+        Execution::SerialRdp => {
+            p.spec.serial();
+            None
         }
-        Benchmark::Sw => {
-            let a = dna_sequence(n, SEED);
-            let b = dna_sequence(n, SEED ^ 0xFFFF);
-            let mut m = Matrix::zeros(n);
-            let start = Instant::now();
-            let stats = match execution {
-                Execution::SerialLoops => {
-                    sw::sw_loops(&mut m, &a, &b);
-                    None
-                }
-                Execution::SerialRdp => {
-                    sw::sw_rdp(&mut m, &a, &b, base);
-                    None
-                }
-                Execution::ForkJoin => {
-                    let pool = ThreadPoolBuilder::new().num_threads(threads).build();
-                    sw::sw_forkjoin(&mut m, &a, &b, base, &pool);
-                    None
-                }
-                Execution::Cnc(v) => Some(sw::sw_cnc(&mut m, &a, &b, base, v, threads)),
-            };
-            RunOutput {
-                table: m,
-                seconds: start.elapsed().as_secs_f64(),
-                cnc_stats: stats,
-            }
+        Execution::ForkJoin => {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+            p.spec.forkjoin(&pool);
+            None
         }
+        Execution::Cnc(v) => Some(p.spec.cnc(v, threads)),
+    };
+    RunOutput {
+        table: p.table,
+        seconds: start.elapsed().as_secs_f64(),
+        cnc_stats: stats,
     }
 }
 
@@ -176,7 +248,6 @@ pub fn run_benchmark_traced(
     base: usize,
     threads: usize,
 ) -> (RunOutput, TraceSession) {
-    const SEED: u64 = 0xD1CE;
     let tracer = Tracer::new();
     let session = TraceSession::with_tracer(Arc::clone(&tracer), threads);
     let pool = Arc::new(
@@ -185,59 +256,28 @@ pub fn run_benchmark_traced(
             .tracer(Arc::clone(&tracer))
             .build(),
     );
-    let (table, seconds, cnc_stats) = match benchmark {
-        Benchmark::Ge => {
-            let mut m = ge_matrix(n, SEED);
-            let (seconds, stats) = traced_table(
-                &mut m,
-                execution,
-                base,
-                &pool,
-                &tracer,
-                ge::ge_forkjoin,
-                ge::ge_cnc_on,
-            );
-            (m, seconds, stats)
+    let p = prepare(benchmark, n, base);
+    let start = Instant::now();
+    let stats = match execution {
+        Execution::ForkJoin => {
+            p.spec.forkjoin(&pool);
+            None
         }
-        Benchmark::Fw => {
-            let mut m = fw_matrix(n, SEED, 0.35);
-            let (seconds, stats) = traced_table(
-                &mut m,
-                execution,
-                base,
-                &pool,
-                &tracer,
-                fw::fw_forkjoin,
-                fw::fw_cnc_on,
-            );
-            (m, seconds, stats)
+        Execution::Cnc(v) => {
+            let graph = CncGraph::with_pool(Arc::clone(&pool));
+            graph.set_tracer(Arc::clone(&tracer));
+            Some(
+                p.spec
+                    .cnc_on(v, &graph)
+                    .expect("traced runs are fault-free"),
+            )
         }
-        Benchmark::Sw => {
-            let a = dna_sequence(n, SEED);
-            let b = dna_sequence(n, SEED ^ 0xFFFF);
-            let mut m = Matrix::zeros(n);
-            let start = Instant::now();
-            let stats = match execution {
-                Execution::ForkJoin => {
-                    sw::sw_forkjoin(&mut m, &a, &b, base, &pool);
-                    None
-                }
-                Execution::Cnc(v) => {
-                    let graph = CncGraph::with_pool(Arc::clone(&pool));
-                    graph.set_tracer(Arc::clone(&tracer));
-                    Some(
-                        sw::sw_cnc_on(&mut m, &a, &b, base, v, &graph)
-                            .expect("traced runs are fault-free"),
-                    )
-                }
-                other => panic!(
-                    "traced runs require a parallel execution model, got {}",
-                    other.label()
-                ),
-            };
-            (m, start.elapsed().as_secs_f64(), stats)
-        }
+        other => panic!(
+            "traced runs require a parallel execution model, got {}",
+            other.label()
+        ),
     };
+    let seconds = start.elapsed().as_secs_f64();
     // Tear the pool down before reading the trace so every worker's
     // final events are recorded (joining a worker publishes its lane).
     let Ok(pool) = Arc::try_unwrap(pool) else {
@@ -247,42 +287,12 @@ pub fn run_benchmark_traced(
     debug_assert_eq!(dropped, 0, "a quiesced traced run left queued jobs");
     (
         RunOutput {
-            table,
+            table: p.table,
             seconds,
-            cnc_stats,
+            cnc_stats: stats,
         },
         session,
     )
-}
-
-/// Shared GE/FW body of [`run_benchmark_traced`].
-#[allow(clippy::type_complexity)]
-fn traced_table(
-    m: &mut Matrix,
-    execution: Execution,
-    base: usize,
-    pool: &Arc<ThreadPool>,
-    tracer: &Arc<Tracer>,
-    forkjoin: fn(&mut Matrix, usize, &ThreadPool),
-    cnc: fn(&mut Matrix, usize, CncVariant, &CncGraph) -> Result<GraphStats, CncError>,
-) -> (f64, Option<GraphStats>) {
-    let start = Instant::now();
-    let stats = match execution {
-        Execution::ForkJoin => {
-            forkjoin(m, base, pool);
-            None
-        }
-        Execution::Cnc(v) => {
-            let graph = CncGraph::with_pool(Arc::clone(pool));
-            graph.set_tracer(Arc::clone(tracer));
-            Some(cnc(m, base, v, &graph).expect("traced runs are fault-free"))
-        }
-        other => panic!(
-            "traced runs require a parallel execution model, got {}",
-            other.label()
-        ),
-    };
-    (start.elapsed().as_secs_f64(), stats)
 }
 
 /// Resilience configuration for [`run_benchmark_resilient`]: how the CnC
@@ -324,7 +334,6 @@ pub fn run_benchmark_resilient(
     threads: usize,
     opts: &ResilienceOptions,
 ) -> Result<RunOutput, CncError> {
-    const SEED: u64 = 0xD1CE;
     let graph = CncGraph::with_threads(threads);
     graph.set_retry_policy(opts.retry);
     if let Some(d) = opts.deadline {
@@ -333,76 +342,14 @@ pub fn run_benchmark_resilient(
     if let Some(injector) = &opts.injector {
         graph.set_fault_injector(Arc::clone(injector));
     }
-    match benchmark {
-        Benchmark::Ge => {
-            let mut m = ge_matrix(n, SEED);
-            let start = Instant::now();
-            let stats = ge::ge_cnc_on(&mut m, base, variant, &graph)?;
-            Ok(RunOutput {
-                table: m,
-                seconds: start.elapsed().as_secs_f64(),
-                cnc_stats: Some(stats),
-            })
-        }
-        Benchmark::Fw => {
-            let mut m = fw_matrix(n, SEED, 0.35);
-            let start = Instant::now();
-            let stats = fw::fw_cnc_on(&mut m, base, variant, &graph)?;
-            Ok(RunOutput {
-                table: m,
-                seconds: start.elapsed().as_secs_f64(),
-                cnc_stats: Some(stats),
-            })
-        }
-        Benchmark::Sw => {
-            let a = dna_sequence(n, SEED);
-            let b = dna_sequence(n, SEED ^ 0xFFFF);
-            let mut m = Matrix::zeros(n);
-            let start = Instant::now();
-            let stats = sw::sw_cnc_on(&mut m, &a, &b, base, variant, &graph)?;
-            Ok(RunOutput {
-                table: m,
-                seconds: start.elapsed().as_secs_f64(),
-                cnc_stats: Some(stats),
-            })
-        }
-    }
-}
-
-/// Function table for the two square-matrix benchmarks (GE/FW share the
-/// signature shapes).
-struct TableOps {
-    loops: fn(&mut Matrix),
-    rdp: fn(&mut Matrix, usize),
-    forkjoin: fn(&mut Matrix, usize, &recdp_forkjoin::ThreadPool),
-    cnc: fn(&mut Matrix, usize, CncVariant, usize) -> GraphStats,
-}
-
-fn time_table(
-    m: &mut Matrix,
-    execution: Execution,
-    base: usize,
-    threads: usize,
-    ops: TableOps,
-) -> (f64, Option<GraphStats>) {
+    let p = prepare(benchmark, n, base);
     let start = Instant::now();
-    let stats = match execution {
-        Execution::SerialLoops => {
-            (ops.loops)(m);
-            None
-        }
-        Execution::SerialRdp => {
-            (ops.rdp)(m, base);
-            None
-        }
-        Execution::ForkJoin => {
-            let pool = ThreadPoolBuilder::new().num_threads(threads).build();
-            (ops.forkjoin)(m, base, &pool);
-            None
-        }
-        Execution::Cnc(v) => Some((ops.cnc)(m, base, v, threads)),
-    };
-    (start.elapsed().as_secs_f64(), stats)
+    let stats = p.spec.cnc_on(variant, &graph)?;
+    Ok(RunOutput {
+        table: p.table,
+        seconds: start.elapsed().as_secs_f64(),
+        cnc_stats: Some(stats),
+    })
 }
 
 #[cfg(test)]
@@ -411,7 +358,7 @@ mod tests {
 
     #[test]
     fn every_execution_agrees_with_loops() {
-        for benchmark in Benchmark::ALL {
+        for benchmark in Benchmark::ALL4 {
             let oracle = run_benchmark(benchmark, Execution::SerialLoops, 32, 8, 2);
             for execution in [
                 Execution::SerialRdp,
@@ -419,6 +366,7 @@ mod tests {
                 Execution::Cnc(CncVariant::Native),
                 Execution::Cnc(CncVariant::Tuner),
                 Execution::Cnc(CncVariant::Manual),
+                Execution::Cnc(CncVariant::NonBlocking),
             ] {
                 let out = run_benchmark(benchmark, execution, 32, 8, 2);
                 assert!(
@@ -500,9 +448,26 @@ mod tests {
     }
 
     #[test]
+    fn traced_paren_run_matches_oracle() {
+        let oracle = run_benchmark(Benchmark::Paren, Execution::SerialLoops, 32, 8, 2);
+        let (out, session) = run_benchmark_traced(
+            Benchmark::Paren,
+            Execution::Cnc(CncVariant::Tuner),
+            32,
+            8,
+            2,
+        );
+        assert!(out.table.bitwise_eq(&oracle.table));
+        assert!(session.report().work_ns > 0);
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(Execution::ForkJoin.label(), "OpenMP");
         assert_eq!(Execution::Cnc(CncVariant::Tuner).label(), "CnC_tuner");
         assert_eq!(Benchmark::Fw.name(), "FW-APSP");
+        assert_eq!(Benchmark::Paren.name(), "PAREN");
+        assert_eq!(Benchmark::ALL.len(), 3);
+        assert_eq!(Benchmark::ALL4.len(), 4);
     }
 }

@@ -65,6 +65,7 @@ fn workload_of(benchmark: Benchmark) -> Workload {
         Benchmark::Ge => Workload::Ge,
         Benchmark::Sw => Workload::Sw,
         Benchmark::Fw => Workload::Fw,
+        Benchmark::Paren => Workload::Paren,
     }
 }
 

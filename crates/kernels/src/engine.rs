@@ -1,0 +1,338 @@
+//! Generic execution engines over any [`DpSpec`]: one serial R-DP
+//! walker, one fork-join engine on `recdp-forkjoin`, and one CnC engine
+//! on `recdp-cnc` covering all four [`CncVariant`]s.
+//!
+//! These replace the per-benchmark driver triplication: a benchmark
+//! contributes only its spec (kernel + decomposition + dependencies) and
+//! gets every execution model of the paper for free.
+
+use recdp_cnc::{
+    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, StepResult, StepScope,
+    TagCollection,
+};
+use recdp_forkjoin::{join, ThreadPool};
+
+use crate::spec::{Call, DpSpec, Tag, TileKey};
+use crate::CncVariant;
+
+// ---------------------------------------------------------------------
+// Serial R-DP engine
+// ---------------------------------------------------------------------
+
+/// Runs the recursion depth-first on the calling thread — the serial
+/// R-DP execution (Fig. 2's order): stages in order, calls within a
+/// stage left to right.
+pub fn run_serial<S: DpSpec>(spec: &S) {
+    serial_call(spec, &spec.root());
+}
+
+fn serial_call<S: DpSpec>(spec: &S, call: &Call) {
+    if call.s == 1 {
+        // SAFETY: depth-first stage order is a topological order of the
+        // tile graph (stages sequence every dependency per the DpSpec
+        // contract), and a single thread runs one tile at a time.
+        unsafe { spec.run_tile(spec.tile(call)) };
+        return;
+    }
+    for stage in spec.expand(call) {
+        for sub in &stage {
+            serial_call(spec, sub);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fork-join engine
+// ---------------------------------------------------------------------
+
+/// Runs the recursion on `pool` with a fork per stage member and a join
+/// at every stage boundary — the paper's Listing-3 execution (`#pragma
+/// omp task` + `taskwait`), where the joins are exactly the *artificial
+/// dependencies* of Fig. 3.
+pub fn run_forkjoin<S: DpSpec>(spec: &S, pool: &ThreadPool) {
+    pool.install(|| forkjoin_call(spec, &spec.root()));
+}
+
+fn forkjoin_call<S: DpSpec>(spec: &S, call: &Call) {
+    if call.s == 1 {
+        // SAFETY: calls within a stage touch disjoint tiles (DpSpec
+        // contract) and the joins sequence every cross-stage dependency.
+        unsafe { spec.run_tile(spec.tile(call)) };
+        return;
+    }
+    for stage in spec.expand(call) {
+        forkjoin_stage(spec, &stage);
+    }
+}
+
+/// Executes one stage's independent calls as a binary fork tree.
+fn forkjoin_stage<S: DpSpec>(spec: &S, calls: &[Call]) {
+    match calls.len() {
+        0 => {}
+        1 => forkjoin_call(spec, &calls[0]),
+        n => {
+            let (left, right) = calls.split_at(n / 2);
+            join(
+                || forkjoin_stage(spec, left),
+                || forkjoin_stage(spec, right),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CnC engine
+// ---------------------------------------------------------------------
+
+/// The generic CnC program for a spec: one tag/step collection per
+/// recursive function, one tile-readiness item collection.
+struct EngineCtx<S: DpSpec> {
+    spec: S,
+    variant: CncVariant,
+    items: ItemCollection<TileKey, bool>,
+    tags: Vec<TagCollection<Tag>>,
+}
+
+// Manual impl: `derive(Clone)` would needlessly require `S: Clone`
+// bounds on the collections too.
+impl<S: DpSpec> Clone for EngineCtx<S> {
+    fn clone(&self) -> Self {
+        EngineCtx {
+            spec: self.spec.clone(),
+            variant: self.variant,
+            items: self.items.clone(),
+            tags: self.tags.clone(),
+        }
+    }
+}
+
+impl<S: DpSpec> EngineCtx<S> {
+    /// Declared dependency set of a base tile task (for `put_when`).
+    fn deps(&self, tile: TileKey) -> DepSet {
+        let mut deps = DepSet::new();
+        for r in self.spec.reads(tile) {
+            deps = deps.item(&self.items, r);
+        }
+        deps
+    }
+
+    /// Publishes a call: recursive tags are always plain puts (they have
+    /// no data dependencies — Listing 5 expands irrespective of data);
+    /// base tags go through the variant-aware path.
+    fn put_call(&self, call: &Call) {
+        if call.s == 1 {
+            self.put_base(call);
+        } else {
+            self.tags[call.func].put((*call).into());
+        }
+    }
+
+    /// Publishes a base tag, pre-scheduling it on its declared
+    /// dependencies under Tuner/Manual.
+    fn put_base(&self, call: &Call) {
+        let tag: Tag = (*call).into();
+        match self.variant {
+            CncVariant::Native | CncVariant::NonBlocking => self.tags[call.func].put(tag),
+            CncVariant::Tuner | CncVariant::Manual => {
+                let deps = self.deps(self.spec.tile(call));
+                self.tags[call.func].put_when(tag, &deps);
+            }
+        }
+    }
+
+    /// Runs a base tile task: blocking gets in the spec's read order,
+    /// the tile kernel, then the readiness put. Under the non-blocking
+    /// variant the gets become polls and a miss re-puts the task's own
+    /// tag (self-respawn) instead of parking.
+    fn run_base(&self, func: usize, tag: Tag, scope: &StepScope<'_>) -> StepResult {
+        let call = Call::new(func, tag.0, tag.1, tag.2, 1);
+        let tile = self.spec.tile(&call);
+        if self.variant == CncVariant::NonBlocking {
+            let ready = self
+                .spec
+                .reads(tile)
+                .iter()
+                .all(|r| self.items.try_get(r).is_some());
+            if !ready {
+                self.tags[func].put_retry(tag);
+                return Ok(StepOutcome::Done);
+            }
+        }
+        for r in self.spec.reads(tile) {
+            self.items.get(scope, &r)?;
+        }
+        // SAFETY: this task is the unique writer of its tile
+        // (single assignment on the item collection enforces it), and
+        // every tile in `reads` was completed by the task whose item the
+        // get above observed.
+        unsafe { self.spec.run_tile(tile) };
+        self.items.put(tile, true)?;
+        Ok(StepOutcome::Done)
+    }
+}
+
+/// Runs the spec's data-flow program on a fresh CnC graph with
+/// `threads` workers. Returns the graph's execution statistics (requeue
+/// counts etc. — the observable difference between the variants).
+pub fn run_cnc<S: DpSpec>(spec: &S, variant: CncVariant, threads: usize) -> GraphStats {
+    let graph = CncGraph::with_threads(threads);
+    run_cnc_on(spec, variant, &graph).expect("CnC graph failed")
+}
+
+/// Fallible form of [`run_cnc`] on a caller-supplied graph, so the
+/// caller can arm a retry policy, deadline, cancellation token or fault
+/// injector before execution. Propagates the graph's structured error
+/// (retry exhaustion, deadlock, timeout, cancellation) instead of
+/// panicking.
+pub fn run_cnc_on<S: DpSpec>(
+    spec: &S,
+    variant: CncVariant,
+    graph: &CncGraph,
+) -> Result<GraphStats, CncError> {
+    let func_names = spec.func_names();
+    let step_names = spec.step_names();
+    assert_eq!(func_names.len(), step_names.len());
+    let ctx = EngineCtx {
+        spec: spec.clone(),
+        variant,
+        items: graph.item_collection(spec.item_name()),
+        tags: func_names
+            .iter()
+            .map(|name| graph.tag_collection(name))
+            .collect(),
+    };
+
+    for (func, step_name) in step_names.iter().enumerate() {
+        let cx = ctx.clone();
+        ctx.tags[func].prescribe(step_name, move |&tag: &Tag, scope| {
+            let (i0, j0, k0, s) = tag;
+            if s == 1 {
+                return cx.run_base(func, tag, scope);
+            }
+            // The recursive part: put every sub-call's tag immediately,
+            // irrespective of data dependencies (Listing 5's tag loops).
+            let call = Call::new(func, i0, j0, k0, s);
+            for stage in cx.spec.expand(&call) {
+                for sub in &stage {
+                    cx.put_call(sub);
+                }
+            }
+            Ok(StepOutcome::Done)
+        });
+    }
+
+    match variant {
+        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
+            // Environment triggers the root of the recursion.
+            ctx.put_call(&spec.root());
+        }
+        CncVariant::Manual => {
+            // Environment pre-declares every base task with its full
+            // dependency set before execution.
+            for call in spec.manual_calls() {
+                ctx.put_base(&call);
+            }
+        }
+    }
+
+    graph.wait()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Call, DpSpec, TileKey};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A toy 1-D prefix chain: t tiles, tile i reads tile i-1. Exercises
+    /// the engines' plumbing independent of the real benchmarks.
+    #[derive(Clone)]
+    struct Chain {
+        t: u32,
+        ran: Arc<AtomicUsize>,
+    }
+
+    impl DpSpec for Chain {
+        fn func_names(&self) -> &'static [&'static str] {
+            &["chain"]
+        }
+        fn step_names(&self) -> &'static [&'static str] {
+            &["chain_step"]
+        }
+        fn item_name(&self) -> &'static str {
+            "chain_tiles"
+        }
+        fn t_tiles(&self) -> u32 {
+            self.t
+        }
+        fn root(&self) -> Call {
+            Call::new(0, 0, 0, 0, self.t)
+        }
+        fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+            let h = call.s / 2;
+            vec![
+                vec![Call::new(0, call.i0, 0, 0, h)],
+                vec![Call::new(0, call.i0 + h, 0, 0, h)],
+            ]
+        }
+        fn tile(&self, call: &Call) -> TileKey {
+            (call.i0, 0, 0)
+        }
+        fn reads(&self, tile: TileKey) -> Vec<TileKey> {
+            if tile.0 > 0 {
+                vec![(tile.0 - 1, 0, 0)]
+            } else {
+                vec![]
+            }
+        }
+        fn manual_calls(&self) -> Vec<Call> {
+            (0..self.t).map(|i| Call::new(0, i, 0, 0, 1)).collect()
+        }
+        unsafe fn run_tile(&self, _tile: TileKey) {
+            self.ran.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn chain(t: u32) -> Chain {
+        Chain {
+            t,
+            ran: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    #[test]
+    fn serial_engine_runs_every_tile_once() {
+        let spec = chain(8);
+        run_serial(&spec);
+        assert_eq!(spec.ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn forkjoin_engine_runs_every_tile_once() {
+        let pool = recdp_forkjoin::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build();
+        let spec = chain(8);
+        run_forkjoin(&spec, &pool);
+        assert_eq!(spec.ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn cnc_engine_runs_every_tile_once_under_all_variants() {
+        for variant in CncVariant::ALL4 {
+            let spec = chain(8);
+            let stats = run_cnc(&spec, variant, 2);
+            assert_eq!(spec.ran.load(Ordering::Relaxed), 8, "{variant:?}");
+            assert_eq!(stats.items_put, 8, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn manual_runs_only_base_steps() {
+        let spec = chain(8);
+        let stats = run_cnc(&spec, CncVariant::Manual, 2);
+        assert_eq!(stats.steps_completed, 8);
+        assert_eq!(stats.tags_put, 8);
+    }
+}

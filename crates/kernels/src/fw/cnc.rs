@@ -1,152 +1,21 @@
-//! Data-flow FW-APSP on `recdp-cnc`: recursive tag expansion mirroring
-//! the R-DP recursion, base tasks synchronised by tile-readiness items
-//! keyed `(k, i, j)` over the full task cube.
+//! Data-flow FW-APSP on `recdp-cnc`, via the generic CnC engine over
+//! [`FwSpec`]: recursive tag expansion mirroring the R-DP recursion,
+//! base tasks synchronised by tile-readiness items keyed `(k, i, j)`
+//! over the full task cube.
 
-use recdp_cnc::{
-    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
-};
+use recdp_cnc::{CncError, CncGraph, GraphStats};
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::{run_cnc, run_cnc_on};
+use crate::table::Matrix;
 use crate::CncVariant;
 
-use super::{base_kernel, check_sizes};
-
-/// `(i0, j0, k0, s)` in tile units.
-type Tag = (u32, u32, u32, u32);
-type TileKey = (u32, u32, u32);
-
-#[derive(Clone)]
-struct Ctx {
-    t: TablePtr,
-    m: usize,
-    variant: CncVariant,
-    tile_out: ItemCollection<TileKey, bool>,
-    a: TagCollection<Tag>,
-    b: TagCollection<Tag>,
-    c: TagCollection<Tag>,
-    d: TagCollection<Tag>,
-}
-
-impl Ctx {
-    fn deps(&self, k: u32, i: u32, j: u32) -> DepSet {
-        let mut deps = DepSet::new();
-        if k > 0 {
-            deps = deps.item(&self.tile_out, (k - 1, i, j));
-        }
-        if i != k || j != k {
-            deps = deps.item(&self.tile_out, (k, k, k));
-        }
-        if i != k {
-            deps = deps.item(&self.tile_out, (k, k, j));
-        }
-        if j != k {
-            deps = deps.item(&self.tile_out, (k, i, k));
-        }
-        deps
-    }
-
-    fn put_base(&self, tags: &TagCollection<Tag>, k: u32, i: u32, j: u32) {
-        let tag = (i, j, k, 1);
-        match self.variant {
-            CncVariant::Native | CncVariant::NonBlocking => tags.put(tag),
-            CncVariant::Tuner | CncVariant::Manual => tags.put_when(tag, &self.deps(k, i, j)),
-        }
-    }
-
-    /// Non-blocking poll of a base task's inputs.
-    fn inputs_ready(&self, k: u32, i: u32, j: u32) -> bool {
-        let ok = |key: TileKey| self.tile_out.try_get(&key).is_some();
-        if k > 0 && !ok((k - 1, i, j)) {
-            return false;
-        }
-        if (i != k || j != k) && !ok((k, k, k)) {
-            return false;
-        }
-        if i != k && !ok((k, k, j)) {
-            return false;
-        }
-        if j != k && !ok((k, i, k)) {
-            return false;
-        }
-        true
-    }
-
-    fn run_base(
-        &self,
-        k: u32,
-        i: u32,
-        j: u32,
-        scope: &recdp_cnc::StepScope<'_>,
-    ) -> recdp_cnc::StepResult {
-        if self.variant == CncVariant::NonBlocking && !self.inputs_ready(k, i, j) {
-            let which = match (i == k, j == k) {
-                (true, true) => Which::A,
-                (true, false) => Which::B,
-                (false, true) => Which::C,
-                (false, false) => Which::D,
-            };
-            let tags = match which {
-                Which::A => &self.a,
-                Which::B => &self.b,
-                Which::C => &self.c,
-                Which::D => &self.d,
-            };
-            tags.put_retry((i, j, k, 1));
-            return Ok(StepOutcome::Done);
-        }
-        if k > 0 {
-            self.tile_out.get(scope, &(k - 1, i, j))?;
-        }
-        if i != k || j != k {
-            self.tile_out.get(scope, &(k, k, k))?;
-        }
-        if i != k {
-            self.tile_out.get(scope, &(k, k, j))?;
-        }
-        if j != k {
-            self.tile_out.get(scope, &(k, i, k))?;
-        }
-        let m = self.m;
-        // SAFETY: unique writer of tile (i, j) at pivot step k; read
-        // tiles final per the gets above (or this tile itself, the
-        // in-place FW invariant).
-        unsafe {
-            base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
-        }
-        self.tile_out.put((k, i, j), true)?;
-        Ok(StepOutcome::Done)
-    }
-
-    /// Routes a sub-tag: base tags through the variant path, recursive
-    /// tags eagerly.
-    fn put_any(&self, which: Which, tag: Tag) {
-        let (i0, j0, k0, s) = tag;
-        let tags = match which {
-            Which::A => &self.a,
-            Which::B => &self.b,
-            Which::C => &self.c,
-            Which::D => &self.d,
-        };
-        if s == 1 {
-            self.put_base(tags, k0, i0, j0);
-        } else {
-            tags.put(tag);
-        }
-    }
-}
-
-#[derive(Clone, Copy)]
-enum Which {
-    A,
-    B,
-    C,
-    D,
-}
+use super::{check_sizes, spec::FwSpec};
 
 /// In-place data-flow FW with base size `base` on `threads` workers.
 pub fn fw_cnc(dist: &mut Matrix, base: usize, variant: CncVariant, threads: usize) -> GraphStats {
-    let graph = CncGraph::with_threads(threads);
-    fw_cnc_on(dist, base, variant, &graph).expect("FW CnC graph failed")
+    let n = dist.n();
+    check_sizes(n, base);
+    run_cnc(&FwSpec::new(dist.ptr(), base), variant, threads)
 }
 
 /// Fallible form of [`fw_cnc`] running on a caller-supplied graph, so the
@@ -161,116 +30,7 @@ pub fn fw_cnc_on(
 ) -> Result<GraphStats, CncError> {
     let n = dist.n();
     check_sizes(n, base);
-    let t_tiles = (n / base) as u32;
-    let ctx = Ctx {
-        t: dist.ptr(),
-        m: base,
-        variant,
-        tile_out: graph.item_collection("fw_tiles"),
-        a: graph.tag_collection("fwA"),
-        b: graph.tag_collection("fwB"),
-        c: graph.tag_collection("fwC"),
-        d: graph.tag_collection("fwD"),
-    };
-
-    let cx = ctx.clone();
-    ctx.a.prescribe("fwA", move |&(i0, _j0, k0, s), scope| {
-        if s == 1 {
-            return cx.run_base(k0, i0, i0, scope);
-        }
-        let h = s / 2;
-        let d = k0;
-        cx.put_any(Which::A, (d, d, d, h));
-        cx.put_any(Which::B, (d, d + h, d, h));
-        cx.put_any(Which::C, (d + h, d, d, h));
-        cx.put_any(Which::D, (d + h, d + h, d, h));
-        cx.put_any(Which::A, (d + h, d + h, d + h, h));
-        cx.put_any(Which::B, (d + h, d, d + h, h));
-        cx.put_any(Which::C, (d, d + h, d + h, h));
-        cx.put_any(Which::D, (d, d, d + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.b.prescribe("fwB", move |&(i0, j0, k0, s), scope| {
-        debug_assert_eq!(i0, k0);
-        if s == 1 {
-            return cx.run_base(k0, k0, j0, scope);
-        }
-        let h = s / 2;
-        cx.put_any(Which::B, (k0, j0, k0, h));
-        cx.put_any(Which::B, (k0, j0 + h, k0, h));
-        cx.put_any(Which::D, (k0 + h, j0, k0, h));
-        cx.put_any(Which::D, (k0 + h, j0 + h, k0, h));
-        cx.put_any(Which::B, (k0 + h, j0, k0 + h, h));
-        cx.put_any(Which::B, (k0 + h, j0 + h, k0 + h, h));
-        cx.put_any(Which::D, (k0, j0, k0 + h, h));
-        cx.put_any(Which::D, (k0, j0 + h, k0 + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.c.prescribe("fwC", move |&(i0, j0, k0, s), scope| {
-        debug_assert_eq!(j0, k0);
-        if s == 1 {
-            return cx.run_base(k0, i0, k0, scope);
-        }
-        let h = s / 2;
-        cx.put_any(Which::C, (i0, k0, k0, h));
-        cx.put_any(Which::C, (i0 + h, k0, k0, h));
-        cx.put_any(Which::D, (i0, k0 + h, k0, h));
-        cx.put_any(Which::D, (i0 + h, k0 + h, k0, h));
-        cx.put_any(Which::C, (i0, k0 + h, k0 + h, h));
-        cx.put_any(Which::C, (i0 + h, k0 + h, k0 + h, h));
-        cx.put_any(Which::D, (i0, k0, k0 + h, h));
-        cx.put_any(Which::D, (i0 + h, k0, k0 + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.d.prescribe("fwD", move |&(i0, j0, k0, s), scope| {
-        if s == 1 {
-            return cx.run_base(k0, i0, j0, scope);
-        }
-        let h = s / 2;
-        for dk in [0, h] {
-            for di in [0, h] {
-                for dj in [0, h] {
-                    cx.put_any(Which::D, (i0 + di, j0 + dj, k0 + dk, h));
-                }
-            }
-        }
-        Ok(StepOutcome::Done)
-    });
-
-    match variant {
-        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
-            ctx.put_any(Which::A, (0, 0, 0, t_tiles));
-        }
-        CncVariant::Manual => {
-            for k in 0..t_tiles {
-                for i in 0..t_tiles {
-                    for j in 0..t_tiles {
-                        let which = match (i == k, j == k) {
-                            (true, true) => Which::A,
-                            (true, false) => Which::B,
-                            (false, true) => Which::C,
-                            (false, false) => Which::D,
-                        };
-                        let tags = match which {
-                            Which::A => &ctx.a,
-                            Which::B => &ctx.b,
-                            Which::C => &ctx.c,
-                            Which::D => &ctx.d,
-                        };
-                        ctx.put_base(tags, k, i, j);
-                    }
-                }
-            }
-        }
-    }
-
-    graph.wait()
+    run_cnc_on(&FwSpec::new(dist.ptr(), base), variant, graph)
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! Fork-join FW-APSP: the R-DP recursion with joins at each stage
-//! boundary.
+//! boundary, via the generic fork-join engine over [`FwSpec`].
 //!
 //! Disjointness: within each stage the parallel calls update disjoint
 //! rectangles (`B` on the row panel vs `C` on the column panel; the four
@@ -7,90 +7,18 @@
 //! The diagonal `A` calls are self-contained (standard in-place FW
 //! invariant).
 
-use recdp_forkjoin::{join, ThreadPool};
+use recdp_forkjoin::ThreadPool;
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_forkjoin;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_sizes};
+use super::{check_sizes, spec::FwSpec};
 
 /// In-place fork-join R-DP FW with base size `base` on `pool`.
 pub fn fw_forkjoin(dist: &mut Matrix, base: usize, pool: &ThreadPool) {
     let n = dist.n();
     check_sizes(n, base);
-    let t = dist.ptr();
-    pool.install(|| a(t, 0, n, base));
-}
-
-fn a(t: TablePtr, d: usize, s: usize, m: usize) {
-    if s <= m {
-        // SAFETY: see module docs.
-        unsafe { base_kernel(t, d, d, d, s) };
-        return;
-    }
-    let h = s / 2;
-    a(t, d, h, m);
-    join(|| b(t, d, d + h, h, m), || c(t, d + h, d, h, m));
-    dd(t, d + h, d + h, d, h, m);
-    a(t, d + h, h, m);
-    join(|| b(t, d + h, d, h, m), || c(t, d, d + h, h, m));
-    dd(t, d, d, d + h, h, m);
-}
-
-fn b(t: TablePtr, k0: usize, xc: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, k0, xc, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    join(|| b(t, k0, xc, h, m), || b(t, k0, xc + h, h, m));
-    join(
-        || dd(t, k0 + h, xc, k0, h, m),
-        || dd(t, k0 + h, xc + h, k0, h, m),
-    );
-    join(|| b(t, k0 + h, xc, h, m), || b(t, k0 + h, xc + h, h, m));
-    join(
-        || dd(t, k0, xc, k0 + h, h, m),
-        || dd(t, k0, xc + h, k0 + h, h, m),
-    );
-}
-
-fn c(t: TablePtr, xr: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, xr, k0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    join(|| c(t, xr, k0, h, m), || c(t, xr + h, k0, h, m));
-    join(
-        || dd(t, xr, k0 + h, k0, h, m),
-        || dd(t, xr + h, k0 + h, k0, h, m),
-    );
-    join(|| c(t, xr, k0 + h, h, m), || c(t, xr + h, k0 + h, h, m));
-    join(
-        || dd(t, xr, k0, k0 + h, h, m),
-        || dd(t, xr + h, k0, k0 + h, h, m),
-    );
-}
-
-fn dd(t: TablePtr, xr: usize, xc: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, xr, xc, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    let quad = move |k: usize| {
-        join(
-            || join(|| dd(t, xr, xc, k, h, m), || dd(t, xr, xc + h, k, h, m)),
-            || {
-                join(
-                    || dd(t, xr + h, xc, k, h, m),
-                    || dd(t, xr + h, xc + h, k, h, m),
-                )
-            },
-        );
-    };
-    quad(k0);
-    quad(k0 + h);
+    run_forkjoin(&FwSpec::new(dist.ptr(), base), pool);
 }
 
 #[cfg(test)]

@@ -9,11 +9,13 @@ pub mod cnc;
 pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
+pub mod spec;
 
 pub use cnc::{fw_cnc, fw_cnc_on};
 pub use forkjoin::fw_forkjoin;
 pub use loops::fw_loops;
 pub use rdp::fw_rdp;
+pub use spec::FwSpec;
 
 use crate::table::TablePtr;
 

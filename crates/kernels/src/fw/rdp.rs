@@ -1,86 +1,20 @@
-//! Serial 2-way R-DP FW-APSP (Chowdhury-Ramachandran recursion).
+//! Serial 2-way R-DP FW-APSP (Chowdhury-Ramachandran recursion) — the
+//! generic serial engine over [`FwSpec`].
 //!
-//! Regions carry `(xr, xc, k0, s)`: update rows `[xr, xr+s)` x cols
-//! `[xc, xc+s)` through pivots `[k0, k0+s)`. Every element sees its
-//! pivots in strictly ascending order (the property that makes all
-//! variants bitwise-identical to the loop version).
+//! Every element sees its pivots in strictly ascending order (the
+//! property that makes all variants bitwise-identical to the loop
+//! version).
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_serial;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_sizes};
+use super::{check_sizes, spec::FwSpec};
 
 /// In-place serial R-DP FW with base size `base`.
 pub fn fw_rdp(dist: &mut Matrix, base: usize) {
     let n = dist.n();
     check_sizes(n, base);
-    let t = dist.ptr();
-    a(t, 0, n, base);
-}
-
-pub(crate) fn a(t: TablePtr, d: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, d, d, d, s) };
-        return;
-    }
-    let h = s / 2;
-    a(t, d, h, m);
-    b(t, d, d + h, d, h, m);
-    c(t, d + h, d, d, h, m);
-    dd(t, d + h, d + h, d, h, m);
-    a(t, d + h, h, m);
-    b(t, d + h, d, d + h, h, m);
-    c(t, d, d + h, d + h, h, m);
-    dd(t, d, d, d + h, h, m);
-}
-
-/// Row-panel function: `xr == k0` (the region's rows are the pivots).
-pub(crate) fn b(t: TablePtr, k0: usize, xc: usize, kk: usize, s: usize, m: usize) {
-    debug_assert_eq!(k0, kk);
-    if s <= m {
-        unsafe { base_kernel(t, k0, xc, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    b(t, k0, xc, k0, h, m);
-    b(t, k0, xc + h, k0, h, m);
-    dd(t, k0 + h, xc, k0, h, m);
-    dd(t, k0 + h, xc + h, k0, h, m);
-    b(t, k0 + h, xc, k0 + h, h, m);
-    b(t, k0 + h, xc + h, k0 + h, h, m);
-    dd(t, k0, xc, k0 + h, h, m);
-    dd(t, k0, xc + h, k0 + h, h, m);
-}
-
-/// Column-panel function: `xc == k0`.
-pub(crate) fn c(t: TablePtr, xr: usize, k0: usize, kk: usize, s: usize, m: usize) {
-    debug_assert_eq!(k0, kk);
-    if s <= m {
-        unsafe { base_kernel(t, xr, k0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    c(t, xr, k0, k0, h, m);
-    c(t, xr + h, k0, k0, h, m);
-    dd(t, xr, k0 + h, k0, h, m);
-    dd(t, xr + h, k0 + h, k0, h, m);
-    c(t, xr, k0 + h, k0 + h, h, m);
-    c(t, xr + h, k0 + h, k0 + h, h, m);
-    dd(t, xr, k0, k0 + h, h, m);
-    dd(t, xr + h, k0, k0 + h, h, m);
-}
-
-pub(crate) fn dd(t: TablePtr, xr: usize, xc: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, xr, xc, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
-        dd(t, xr + di, xc + dj, k0, h, m);
-    }
-    for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
-        dd(t, xr + di, xc + dj, k0 + h, h, m);
-    }
+    run_serial(&FwSpec::new(dist.ptr(), base));
 }
 
 #[cfg(test)]

@@ -1,0 +1,189 @@
+//! FW-APSP as a [`DpSpec`]: the Chowdhury-Ramachandran A/B/C/D
+//! recursion over the full `(k, i, j)` task cube.
+//!
+//! Unlike GE, *every* tile is updated at every pivot step, so each
+//! function recurses into both pivot halves (8 sub-calls) and the `A`
+//! expansion revisits the already-eliminated quadrant (the
+//! `B/C/D`-at-`k0+h` tail).
+
+use crate::spec::{Call, DpSpec, TileKey};
+use crate::table::TablePtr;
+
+use super::base_kernel;
+
+const A: usize = 0;
+const B: usize = 1;
+const C: usize = 2;
+const D: usize = 3;
+
+/// The FW recurrence specification over a shared distance table.
+#[derive(Clone, Copy)]
+pub struct FwSpec {
+    t: TablePtr,
+    m: usize,
+    t_tiles: u32,
+}
+
+impl FwSpec {
+    /// Spec for an `n x n` table with base-case (tile) size `m`; sizes
+    /// must already be validated by `check_sizes`.
+    pub fn new(t: TablePtr, m: usize) -> Self {
+        let t_tiles = (t.n / m) as u32;
+        FwSpec { t, m, t_tiles }
+    }
+}
+
+impl DpSpec for FwSpec {
+    fn func_names(&self) -> &'static [&'static str] {
+        &["fwA", "fwB", "fwC", "fwD"]
+    }
+
+    fn step_names(&self) -> &'static [&'static str] {
+        &["fwA", "fwB", "fwC", "fwD"]
+    }
+
+    fn item_name(&self) -> &'static str {
+        "fw_tiles"
+    }
+
+    fn t_tiles(&self) -> u32 {
+        self.t_tiles
+    }
+
+    fn root(&self) -> Call {
+        Call::new(A, 0, 0, 0, self.t_tiles)
+    }
+
+    fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+        let Call { i0, j0, k0, s, .. } = *call;
+        let h = s / 2;
+        match call.func {
+            A => {
+                let d = k0;
+                vec![
+                    vec![Call::new(A, d, d, d, h)],
+                    vec![Call::new(B, d, d + h, d, h), Call::new(C, d + h, d, d, h)],
+                    vec![Call::new(D, d + h, d + h, d, h)],
+                    vec![Call::new(A, d + h, d + h, d + h, h)],
+                    vec![
+                        Call::new(B, d + h, d, d + h, h),
+                        Call::new(C, d, d + h, d + h, h),
+                    ],
+                    vec![Call::new(D, d, d, d + h, h)],
+                ]
+            }
+            B => vec![
+                vec![Call::new(B, k0, j0, k0, h), Call::new(B, k0, j0 + h, k0, h)],
+                vec![
+                    Call::new(D, k0 + h, j0, k0, h),
+                    Call::new(D, k0 + h, j0 + h, k0, h),
+                ],
+                vec![
+                    Call::new(B, k0 + h, j0, k0 + h, h),
+                    Call::new(B, k0 + h, j0 + h, k0 + h, h),
+                ],
+                vec![
+                    Call::new(D, k0, j0, k0 + h, h),
+                    Call::new(D, k0, j0 + h, k0 + h, h),
+                ],
+            ],
+            C => vec![
+                vec![Call::new(C, i0, k0, k0, h), Call::new(C, i0 + h, k0, k0, h)],
+                vec![
+                    Call::new(D, i0, k0 + h, k0, h),
+                    Call::new(D, i0 + h, k0 + h, k0, h),
+                ],
+                vec![
+                    Call::new(C, i0, k0 + h, k0 + h, h),
+                    Call::new(C, i0 + h, k0 + h, k0 + h, h),
+                ],
+                vec![
+                    Call::new(D, i0, k0, k0 + h, h),
+                    Call::new(D, i0 + h, k0, k0 + h, h),
+                ],
+            ],
+            D => [k0, k0 + h]
+                .into_iter()
+                .map(|k| {
+                    [(0, 0), (0, h), (h, 0), (h, h)]
+                        .into_iter()
+                        .map(|(di, dj)| Call::new(D, i0 + di, j0 + dj, k, h))
+                        .collect()
+                })
+                .collect(),
+            f => unreachable!("FW has no function {f}"),
+        }
+    }
+
+    fn tile(&self, call: &Call) -> TileKey {
+        (call.k0, call.i0, call.j0)
+    }
+
+    fn reads(&self, tile: TileKey) -> Vec<TileKey> {
+        let (k, i, j) = tile;
+        let mut reads = Vec::with_capacity(4);
+        if k > 0 {
+            reads.push((k - 1, i, j)); // write-write chain
+        }
+        if i != k || j != k {
+            reads.push((k, k, k)); // pivot diagonal tile
+        }
+        if i != k {
+            reads.push((k, k, j)); // pivot row panel
+        }
+        if j != k {
+            reads.push((k, i, k)); // pivot column panel
+        }
+        reads
+    }
+
+    fn manual_calls(&self) -> Vec<Call> {
+        let t = self.t_tiles;
+        let mut calls = Vec::new();
+        for k in 0..t {
+            for i in 0..t {
+                for j in 0..t {
+                    let func = match (i == k, j == k) {
+                        (true, true) => A,
+                        (true, false) => B,
+                        (false, true) => C,
+                        (false, false) => D,
+                    };
+                    calls.push(Call::new(func, i, j, k, 1));
+                }
+            }
+        }
+        calls
+    }
+
+    unsafe fn run_tile(&self, tile: TileKey) {
+        let (k, i, j) = tile;
+        let m = self.m;
+        base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::fw_matrix;
+
+    #[test]
+    fn task_space_is_the_full_cube() {
+        let mut m = fw_matrix(32, 1, 0.4);
+        let spec = FwSpec::new(m.ptr(), 8);
+        assert_eq!(spec.manual_calls().len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn every_tile_reads_only_same_or_earlier_pivots() {
+        let mut m = fw_matrix(32, 1, 0.4);
+        let spec = FwSpec::new(m.ptr(), 8);
+        for call in spec.manual_calls() {
+            let tile = spec.tile(&call);
+            for r in spec.reads(tile) {
+                assert!(r.0 <= tile.0, "read {r:?} of tile {tile:?}");
+            }
+        }
+    }
+}

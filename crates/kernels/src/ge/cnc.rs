@@ -1,7 +1,7 @@
 //! Data-flow GE on `recdp-cnc` — the Rust analogue of the paper's
-//! Listings 4 and 5.
+//! Listings 4 and 5, via the generic CnC engine over [`GeSpec`].
 //!
-//! Structure mirrors the paper's CnC program:
+//! The engine builds the paper's CnC program from the spec:
 //!
 //! * four tag collections (`funcA`..`funcD`), one per recursive function,
 //!   tagged by `(i0, j0, k0, s)` in tile units;
@@ -9,153 +9,36 @@
 //!   sub-function tags immediately, irrespective of data dependencies
 //!   (exactly Listing 5's tag loop);
 //! * step instances with `s == 1` are base cases: they perform blocking
-//!   `get`s for their read and write-write dependencies, run the shared
-//!   base kernel on their tile, and `put` the tile's readiness item;
+//!   `get`s for their read and write-write dependencies
+//!   (`GeSpec::reads`), run the shared base kernel on their tile, and
+//!   `put` the tile's readiness item;
 //! * a single item collection keyed `(k, i, j)` holds tile readiness — a
 //!   keyed union of the paper's four `funcX_outputs` collections with
 //!   identical synchronisation semantics.
 //!
-//! The three execution variants of Sec. III-D/IV-B:
-//! [`CncVariant::Native`] dispatches base steps eagerly (failed gets
-//! abort-and-retry), [`CncVariant::Tuner`] pre-schedules each base step
-//! on its declared dependencies at prescription time, and
-//! [`CncVariant::Manual`] has the environment pre-declare every base
-//! task of the whole computation up front.
+//! The execution variants of Sec. III-D/IV-B map onto [`CncVariant`]:
+//! Native dispatches base steps eagerly (failed gets abort-and-retry),
+//! Tuner pre-schedules each base step on its declared dependencies at
+//! prescription time, Manual has the environment pre-declare every base
+//! task of the whole computation up front, and NonBlocking polls with
+//! `try_get` + self-respawn.
 
-use recdp_cnc::{
-    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
-};
+use recdp_cnc::{CncError, CncGraph, GraphStats};
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::{run_cnc, run_cnc_on};
+use crate::table::Matrix;
 use crate::CncVariant;
 
-use super::{base_kernel, check_rdp_sizes};
-
-/// `(i0, j0, k0, s)` in tile units.
-type Tag = (u32, u32, u32, u32);
-/// `(k, i, j)` tile-update identity.
-type TileKey = (u32, u32, u32);
-
-#[derive(Clone)]
-struct Ctx {
-    t: TablePtr,
-    m: usize,
-    variant: CncVariant,
-    tile_out: ItemCollection<TileKey, bool>,
-    a: TagCollection<Tag>,
-    b: TagCollection<Tag>,
-    c: TagCollection<Tag>,
-    d: TagCollection<Tag>,
-}
-
-/// Which base-case kernel a tile task runs (determines its read set).
-#[derive(Clone, Copy, PartialEq)]
-enum Kind {
-    A,
-    B,
-    C,
-    D,
-}
-
-impl Ctx {
-    fn deps(&self, kind: Kind, k: u32, i: u32, j: u32) -> DepSet {
-        let mut deps = DepSet::new();
-        if k > 0 {
-            deps = deps.item(&self.tile_out, (k - 1, i, j)); // write-write
-        }
-        match kind {
-            Kind::A => {}
-            Kind::B | Kind::C => {
-                deps = deps.item(&self.tile_out, (k, k, k)); // reads A's tile
-            }
-            Kind::D => {
-                deps = deps
-                    .item(&self.tile_out, (k, k, k)) // A
-                    .item(&self.tile_out, (k, k, j)) // B row panel
-                    .item(&self.tile_out, (k, i, k)); // C column panel
-            }
-        }
-        deps
-    }
-
-    /// Puts a base-level tag, pre-scheduling it under Tuner/Manual.
-    fn put_base(&self, tags: &TagCollection<Tag>, kind: Kind, k: u32, i: u32, j: u32) {
-        let tag = (i, j, k, 1);
-        match self.variant {
-            CncVariant::Native | CncVariant::NonBlocking => tags.put(tag),
-            CncVariant::Tuner | CncVariant::Manual => tags.put_when(tag, &self.deps(kind, k, i, j)),
-        }
-    }
-
-    /// True if all inputs of a base task are available (non-blocking
-    /// poll, Sec. IV's `try_get` style).
-    fn inputs_ready(&self, kind: Kind, k: u32, i: u32, j: u32) -> bool {
-        let ok = |key: TileKey| self.tile_out.try_get(&key).is_some();
-        if k > 0 && !ok((k - 1, i, j)) {
-            return false;
-        }
-        match kind {
-            Kind::A => true,
-            Kind::B | Kind::C => ok((k, k, k)),
-            Kind::D => ok((k, k, k)) && ok((k, k, j)) && ok((k, i, k)),
-        }
-    }
-
-    /// Runs a base tile task: blocking gets, kernel, readiness put.
-    /// Under the non-blocking variant the gets become polls and a miss
-    /// re-puts the task's own tag (self-respawn) instead of parking.
-    fn run_base(
-        &self,
-        kind: Kind,
-        k: u32,
-        i: u32,
-        j: u32,
-        scope: &recdp_cnc::StepScope<'_>,
-    ) -> recdp_cnc::StepResult {
-        if self.variant == CncVariant::NonBlocking && !self.inputs_ready(kind, k, i, j) {
-            let tags = match kind {
-                Kind::A => &self.a,
-                Kind::B => &self.b,
-                Kind::C => &self.c,
-                Kind::D => &self.d,
-            };
-            tags.put_retry((i, j, k, 1));
-            return Ok(StepOutcome::Done);
-        }
-        if k > 0 {
-            self.tile_out.get(scope, &(k - 1, i, j))?;
-        }
-        match kind {
-            Kind::A => {}
-            Kind::B | Kind::C => {
-                self.tile_out.get(scope, &(k, k, k))?;
-            }
-            Kind::D => {
-                self.tile_out.get(scope, &(k, k, k))?;
-                self.tile_out.get(scope, &(k, k, j))?;
-                self.tile_out.get(scope, &(k, i, k))?;
-            }
-        }
-        let m = self.m;
-        // SAFETY: this task is the unique writer of tile (i, j) at pivot
-        // step k (single-assignment on tile_out enforces it), and the
-        // tiles it reads were completed by the tasks whose items the gets
-        // above observed.
-        unsafe {
-            base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
-        }
-        self.tile_out.put((k, i, j), true)?;
-        Ok(StepOutcome::Done)
-    }
-}
+use super::{check_rdp_sizes, spec::GeSpec};
 
 /// In-place data-flow GE with base-case size `base` on a fresh CnC graph
 /// with `threads` workers. Returns the graph's execution statistics
 /// (requeue counts etc. — the observable difference between the
 /// variants).
 pub fn ge_cnc(mat: &mut Matrix, base: usize, variant: CncVariant, threads: usize) -> GraphStats {
-    let graph = CncGraph::with_threads(threads);
-    ge_cnc_on(mat, base, variant, &graph).expect("GE CnC graph failed")
+    let n = mat.n();
+    check_rdp_sizes(n, base);
+    run_cnc(&GeSpec::new(mat.ptr(), base), variant, threads)
 }
 
 /// Fallible form of [`ge_cnc`] running on a caller-supplied graph, so the
@@ -171,127 +54,7 @@ pub fn ge_cnc_on(
 ) -> Result<GraphStats, CncError> {
     let n = mat.n();
     check_rdp_sizes(n, base);
-    let t_tiles = (n / base) as u32;
-    let ctx = Ctx {
-        t: mat.ptr(),
-        m: base,
-        variant,
-        tile_out: graph.item_collection("tile_out"),
-        a: graph.tag_collection("funcA"),
-        b: graph.tag_collection("funcB"),
-        c: graph.tag_collection("funcC"),
-        d: graph.tag_collection("funcD"),
-    };
-
-    let cx = ctx.clone();
-    ctx.a.prescribe("funcA", move |&(i0, _j0, k0, s), scope| {
-        debug_assert_eq!(i0, k0);
-        if s == 1 {
-            return cx.run_base(Kind::A, k0, k0, k0, scope);
-        }
-        let h = s / 2;
-        let d = k0;
-        put_any(&cx, &cx.a.clone(), Kind::A, (d, d, d, h));
-        put_any(&cx, &cx.b.clone(), Kind::B, (d, d + h, d, h));
-        put_any(&cx, &cx.c.clone(), Kind::C, (d + h, d, d, h));
-        put_any(&cx, &cx.d.clone(), Kind::D, (d + h, d + h, d, h));
-        put_any(&cx, &cx.a.clone(), Kind::A, (d + h, d + h, d + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.b.prescribe("funcB", move |&(i0, j0, k0, s), scope| {
-        debug_assert_eq!(i0, k0);
-        if s == 1 {
-            return cx.run_base(Kind::B, k0, k0, j0, scope);
-        }
-        let h = s / 2;
-        put_any(&cx, &cx.b.clone(), Kind::B, (k0, j0, k0, h));
-        put_any(&cx, &cx.b.clone(), Kind::B, (k0, j0 + h, k0, h));
-        put_any(&cx, &cx.d.clone(), Kind::D, (k0 + h, j0, k0, h));
-        put_any(&cx, &cx.d.clone(), Kind::D, (k0 + h, j0 + h, k0, h));
-        put_any(&cx, &cx.b.clone(), Kind::B, (k0 + h, j0, k0 + h, h));
-        put_any(&cx, &cx.b.clone(), Kind::B, (k0 + h, j0 + h, k0 + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.c.prescribe("funcC", move |&(i0, j0, k0, s), scope| {
-        debug_assert_eq!(j0, k0);
-        if s == 1 {
-            return cx.run_base(Kind::C, k0, i0, k0, scope);
-        }
-        let h = s / 2;
-        put_any(&cx, &cx.c.clone(), Kind::C, (i0, k0, k0, h));
-        put_any(&cx, &cx.c.clone(), Kind::C, (i0 + h, k0, k0, h));
-        put_any(&cx, &cx.d.clone(), Kind::D, (i0, k0 + h, k0, h));
-        put_any(&cx, &cx.d.clone(), Kind::D, (i0 + h, k0 + h, k0, h));
-        put_any(&cx, &cx.c.clone(), Kind::C, (i0, k0 + h, k0 + h, h));
-        put_any(&cx, &cx.c.clone(), Kind::C, (i0 + h, k0 + h, k0 + h, h));
-        Ok(StepOutcome::Done)
-    });
-
-    let cx = ctx.clone();
-    ctx.d.prescribe("funcD", move |&(i0, j0, k0, s), scope| {
-        if s == 1 {
-            return cx.run_base(Kind::D, k0, i0, j0, scope);
-        }
-        let h = s / 2;
-        // Listing 5's kk/ii/jj loops: all eight sub-regions, put
-        // irrespective of data dependencies.
-        for dk in [0, h] {
-            for di in [0, h] {
-                for dj in [0, h] {
-                    put_any(&cx, &cx.d.clone(), Kind::D, (i0 + di, j0 + dj, k0 + dk, h));
-                }
-            }
-        }
-        Ok(StepOutcome::Done)
-    });
-
-    match variant {
-        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
-            // Environment triggers the root of the recursion.
-            ctx.a.put((0, 0, 0, t_tiles));
-        }
-        CncVariant::Manual => {
-            // Environment pre-declares every base task with its full
-            // dependency set before execution.
-            for k in 0..t_tiles {
-                ctx.put_base(&ctx.a, Kind::A, k, k, k);
-                for j in k + 1..t_tiles {
-                    ctx.put_base(&ctx.b, Kind::B, k, k, j);
-                }
-                for i in k + 1..t_tiles {
-                    ctx.put_base(&ctx.c, Kind::C, k, i, k);
-                }
-                for i in k + 1..t_tiles {
-                    for j in k + 1..t_tiles {
-                        ctx.put_base(&ctx.d, Kind::D, k, i, j);
-                    }
-                }
-            }
-        }
-    }
-
-    graph.wait()
-}
-
-/// Routes a sub-tag put: base-level tags go through the variant-aware
-/// path, recursive tags are always plain puts (they have no data deps).
-fn put_any(ctx: &Ctx, tags: &TagCollection<Tag>, kind: Kind, tag: Tag) {
-    let (i0, j0, k0, s) = tag;
-    if s == 1 {
-        let (k, i, j) = match kind {
-            Kind::A => (k0, k0, k0),
-            Kind::B => (k0, k0, j0),
-            Kind::C => (k0, i0, k0),
-            Kind::D => (k0, i0, j0),
-        };
-        ctx.put_base(tags, kind, k, i, j);
-    } else {
-        tags.put(tag);
-    }
+    run_cnc_on(&GeSpec::new(mat.ptr(), base), variant, graph)
 }
 
 #[cfg(test)]

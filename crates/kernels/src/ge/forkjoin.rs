@@ -1,98 +1,36 @@
 //! Fork-join GE on `recdp-forkjoin` — the Rust analogue of the paper's
-//! Listing 3 (`#pragma omp task` + `taskwait`).
+//! Listing 3 (`#pragma omp task` + `taskwait`), via the generic
+//! fork-join engine over [`GeSpec`].
 //!
 //! ## Disjointness argument (why the `TablePtr` sharing is sound)
 //!
-//! At every fork point the two (or four) parallel calls write disjoint
-//! element regions and read only regions whose writers completed before
-//! the fork (sequenced by the preceding joins):
+//! At every fork point the stage's parallel calls write disjoint element
+//! regions and read only regions whose writers completed before the fork
+//! (sequenced by the stage joins):
 //!
-//! * in `a`: `b` writes rows `K x cols J1` while `c` writes
+//! * in `A`: `B` writes `rows K x cols J1` while `C` writes
 //!   `rows I1 x cols K` — disjoint; both read only the diagonal block
-//!   finished by the prior `a` call;
-//! * in `b`/`c`: the parallel pairs split the column/row range;
-//! * in `d`: the four quadrants are disjoint and read panels finished
-//!   before `d` was called.
+//!   finished by the prior `A` call;
+//! * in `B`/`C`: the parallel pairs split the column/row range;
+//! * in `D`: the four quadrants are disjoint and read panels finished
+//!   before `D` was called.
 //!
 //! The joins that sequence the stages are exactly the artificial
 //! dependencies of Fig. 3.
 
-use recdp_forkjoin::{join, ThreadPool};
+use recdp_forkjoin::ThreadPool;
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_forkjoin;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_rdp_sizes};
+use super::{check_rdp_sizes, spec::GeSpec};
 
 /// In-place fork-join R-DP GE with base-case size `base`, executed on
 /// `pool`.
 pub fn ge_forkjoin(mat: &mut Matrix, base: usize, pool: &ThreadPool) {
     let n = mat.n();
     check_rdp_sizes(n, base);
-    let t = mat.ptr();
-    pool.install(|| a(t, 0, n, base));
-}
-
-fn a(t: TablePtr, d: usize, s: usize, m: usize) {
-    if s <= m {
-        // SAFETY: this task has exclusive write access to the diagonal
-        // block per the module-level disjointness argument.
-        unsafe { base_kernel(t, d, d, d, s) };
-        return;
-    }
-    let h = s / 2;
-    a(t, d, h, m);
-    join(|| b(t, d, d + h, h, m), || c(t, d + h, d, h, m));
-    dd(t, d + h, d + h, d, h, m);
-    a(t, d + h, h, m);
-}
-
-fn b(t: TablePtr, k0: usize, j0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, k0, j0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    join(|| b(t, k0, j0, h, m), || b(t, k0, j0 + h, h, m));
-    join(
-        || dd(t, k0 + h, j0, k0, h, m),
-        || dd(t, k0 + h, j0 + h, k0, h, m),
-    );
-    join(|| b(t, k0 + h, j0, h, m), || b(t, k0 + h, j0 + h, h, m));
-}
-
-fn c(t: TablePtr, i0: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, i0, k0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    join(|| c(t, i0, k0, h, m), || c(t, i0 + h, k0, h, m));
-    join(
-        || dd(t, i0, k0 + h, k0, h, m),
-        || dd(t, i0 + h, k0 + h, k0, h, m),
-    );
-    join(|| c(t, i0, k0 + h, h, m), || c(t, i0 + h, k0 + h, h, m));
-}
-
-fn dd(t: TablePtr, i0: usize, j0: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, i0, j0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    let quad = move |k: usize| {
-        join(
-            || join(|| dd(t, i0, j0, k, h, m), || dd(t, i0, j0 + h, k, h, m)),
-            || {
-                join(
-                    || dd(t, i0 + h, j0, k, h, m),
-                    || dd(t, i0 + h, j0 + h, k, h, m),
-                )
-            },
-        );
-    };
-    quad(k0);
-    quad(k0 + h);
+    run_forkjoin(&GeSpec::new(mat.ptr(), base), pool);
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Gaussian Elimination without pivoting (the paper's running example).
 //!
-//! All implementations share [`base_kernel`], so every variant performs
+//! All implementations share `base_kernel`, so every variant performs
 //! bitwise-identical arithmetic; they differ only in how the tile tasks
 //! are ordered and synchronised.
 
@@ -8,11 +8,13 @@ pub mod cnc;
 pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
+pub mod spec;
 
 pub use cnc::{ge_cnc, ge_cnc_on};
 pub use forkjoin::ge_forkjoin;
 pub use loops::ge_loops;
 pub use rdp::ge_rdp;
+pub use spec::GeSpec;
 
 use crate::table::TablePtr;
 

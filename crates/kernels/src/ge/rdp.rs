@@ -1,80 +1,17 @@
 //! Serial 2-way recursive divide-and-conquer GE (Fig. 2's recursion,
-//! executed depth-first on one thread).
-//!
-//! Region conventions (element offsets, region side `s`):
-//! * `a(d, s)` — GE on the diagonal block at offset `d`.
-//! * `b(k0, j0, s)` — row panels: rows = pivot range `[k0, k0+s)`,
-//!   columns `[j0, j0+s)`.
-//! * `c(i0, k0, s)` — column panels: rows `[i0, i0+s)`, columns = pivot
-//!   range.
-//! * `d(i0, j0, k0, s)` — trailing update.
+//! executed depth-first on one thread) — the generic serial engine over
+//! [`GeSpec`].
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_serial;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_rdp_sizes};
+use super::{check_rdp_sizes, spec::GeSpec};
 
 /// In-place serial R-DP GE with base-case size `base`.
 pub fn ge_rdp(mat: &mut Matrix, base: usize) {
     let n = mat.n();
     check_rdp_sizes(n, base);
-    let t = mat.ptr();
-    a(t, 0, n, base);
-}
-
-fn a(t: TablePtr, d: usize, s: usize, m: usize) {
-    if s <= m {
-        // SAFETY: serial execution; region in range by construction.
-        unsafe { base_kernel(t, d, d, d, s) };
-        return;
-    }
-    let h = s / 2;
-    a(t, d, h, m);
-    b(t, d, d + h, h, m);
-    c(t, d + h, d, h, m);
-    dd(t, d + h, d + h, d, h, m);
-    a(t, d + h, h, m);
-}
-
-fn b(t: TablePtr, k0: usize, j0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, k0, j0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    b(t, k0, j0, h, m);
-    b(t, k0, j0 + h, h, m);
-    dd(t, k0 + h, j0, k0, h, m);
-    dd(t, k0 + h, j0 + h, k0, h, m);
-    b(t, k0 + h, j0, h, m);
-    b(t, k0 + h, j0 + h, h, m);
-}
-
-fn c(t: TablePtr, i0: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, i0, k0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    c(t, i0, k0, h, m);
-    c(t, i0 + h, k0, h, m);
-    dd(t, i0, k0 + h, k0, h, m);
-    dd(t, i0 + h, k0 + h, k0, h, m);
-    c(t, i0, k0 + h, h, m);
-    c(t, i0 + h, k0 + h, h, m);
-}
-
-fn dd(t: TablePtr, i0: usize, j0: usize, k0: usize, s: usize, m: usize) {
-    if s <= m {
-        unsafe { base_kernel(t, i0, j0, k0, s) };
-        return;
-    }
-    let h = s / 2;
-    for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
-        dd(t, i0 + di, j0 + dj, k0, h, m);
-    }
-    for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
-        dd(t, i0 + di, j0 + dj, k0 + h, h, m);
-    }
+    run_serial(&GeSpec::new(mat.ptr(), base));
 }
 
 #[cfg(test)]

@@ -1,0 +1,188 @@
+//! GE as a [`DpSpec`]: the Chowdhury-Ramachandran A/B/C/D decomposition
+//! (Fig. 2) and the tile dependencies of Listing 5.
+//!
+//! Call coordinates (tile units): `A` has `i0 == j0 == k0 == d` (the
+//! diagonal block), `B` has `i0 == k0` (row panels), `C` has `j0 == k0`
+//! (column panels), `D` is the trailing update. A base call updates tile
+//! `(i0, j0)` at pivot step `k0`, so its task identity is
+//! `(k0, i0, j0)`.
+
+use crate::spec::{Call, DpSpec, TileKey};
+use crate::table::TablePtr;
+
+use super::base_kernel;
+
+const A: usize = 0;
+const B: usize = 1;
+const C: usize = 2;
+const D: usize = 3;
+
+/// The GE recurrence specification over a shared table.
+#[derive(Clone, Copy)]
+pub struct GeSpec {
+    t: TablePtr,
+    m: usize,
+    t_tiles: u32,
+}
+
+impl GeSpec {
+    /// Spec for an `n x n` table with base-case (tile) size `m`; sizes
+    /// must already be validated by `check_rdp_sizes`.
+    pub fn new(t: TablePtr, m: usize) -> Self {
+        let t_tiles = (t.n / m) as u32;
+        GeSpec { t, m, t_tiles }
+    }
+}
+
+impl DpSpec for GeSpec {
+    fn func_names(&self) -> &'static [&'static str] {
+        &["funcA", "funcB", "funcC", "funcD"]
+    }
+
+    fn step_names(&self) -> &'static [&'static str] {
+        &["funcA", "funcB", "funcC", "funcD"]
+    }
+
+    fn item_name(&self) -> &'static str {
+        "tile_out"
+    }
+
+    fn t_tiles(&self) -> u32 {
+        self.t_tiles
+    }
+
+    fn root(&self) -> Call {
+        Call::new(A, 0, 0, 0, self.t_tiles)
+    }
+
+    fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+        let Call { i0, j0, k0, s, .. } = *call;
+        let h = s / 2;
+        match call.func {
+            A => {
+                let d = k0;
+                vec![
+                    vec![Call::new(A, d, d, d, h)],
+                    vec![Call::new(B, d, d + h, d, h), Call::new(C, d + h, d, d, h)],
+                    vec![Call::new(D, d + h, d + h, d, h)],
+                    vec![Call::new(A, d + h, d + h, d + h, h)],
+                ]
+            }
+            B => vec![
+                vec![Call::new(B, k0, j0, k0, h), Call::new(B, k0, j0 + h, k0, h)],
+                vec![
+                    Call::new(D, k0 + h, j0, k0, h),
+                    Call::new(D, k0 + h, j0 + h, k0, h),
+                ],
+                vec![
+                    Call::new(B, k0 + h, j0, k0 + h, h),
+                    Call::new(B, k0 + h, j0 + h, k0 + h, h),
+                ],
+            ],
+            C => vec![
+                vec![Call::new(C, i0, k0, k0, h), Call::new(C, i0 + h, k0, k0, h)],
+                vec![
+                    Call::new(D, i0, k0 + h, k0, h),
+                    Call::new(D, i0 + h, k0 + h, k0, h),
+                ],
+                vec![
+                    Call::new(C, i0, k0 + h, k0 + h, h),
+                    Call::new(C, i0 + h, k0 + h, k0 + h, h),
+                ],
+            ],
+            D => {
+                // Listing 5's kk/ii/jj loops: the eight sub-regions,
+                // grouped by pivot half.
+                [k0, k0 + h]
+                    .into_iter()
+                    .map(|k| {
+                        [(0, 0), (0, h), (h, 0), (h, h)]
+                            .into_iter()
+                            .map(|(di, dj)| Call::new(D, i0 + di, j0 + dj, k, h))
+                            .collect()
+                    })
+                    .collect()
+            }
+            f => unreachable!("GE has no function {f}"),
+        }
+    }
+
+    fn tile(&self, call: &Call) -> TileKey {
+        // The A/B/C invariants (i0 == k0 and/or j0 == k0) make this the
+        // uniform form of the per-kind mapping.
+        (call.k0, call.i0, call.j0)
+    }
+
+    fn reads(&self, tile: TileKey) -> Vec<TileKey> {
+        let (k, i, j) = tile;
+        let mut reads = Vec::with_capacity(4);
+        if k > 0 {
+            reads.push((k - 1, i, j)); // write-write chain
+        }
+        if i != k || j != k {
+            reads.push((k, k, k)); // A's diagonal tile
+        }
+        if i != k && j != k {
+            reads.push((k, k, j)); // B row panel
+            reads.push((k, i, k)); // C column panel
+        }
+        reads
+    }
+
+    fn manual_calls(&self) -> Vec<Call> {
+        let t = self.t_tiles;
+        let mut calls = Vec::new();
+        for k in 0..t {
+            calls.push(Call::new(A, k, k, k, 1));
+            for j in k + 1..t {
+                calls.push(Call::new(B, k, j, k, 1));
+            }
+            for i in k + 1..t {
+                calls.push(Call::new(C, i, k, k, 1));
+            }
+            for i in k + 1..t {
+                for j in k + 1..t {
+                    calls.push(Call::new(D, i, j, k, 1));
+                }
+            }
+        }
+        calls
+    }
+
+    unsafe fn run_tile(&self, tile: TileKey) {
+        let (k, i, j) = tile;
+        let m = self.m;
+        base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ge_matrix;
+
+    #[test]
+    fn task_counts_match_the_ge_pyramid() {
+        let mut m = ge_matrix(32, 1);
+        let spec = GeSpec::new(m.ptr(), 8);
+        let t = 4u64;
+        assert_eq!(
+            spec.manual_calls().len() as u64,
+            t * (t + 1) * (2 * t + 1) / 6
+        );
+    }
+
+    #[test]
+    fn base_calls_map_to_their_tiles_and_back() {
+        let mut m = ge_matrix(32, 1);
+        let spec = GeSpec::new(m.ptr(), 8);
+        for call in spec.manual_calls() {
+            let (k, i, j) = spec.tile(&call);
+            assert_eq!((call.k0, call.i0, call.j0), (k, i, j));
+            // Every read points at an earlier manual call's tile.
+            for r in spec.reads((k, i, j)) {
+                assert!(r.0 <= k, "read {r:?} of tile {:?}", (k, i, j));
+            }
+        }
+    }
+}

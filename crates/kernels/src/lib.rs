@@ -1,17 +1,35 @@
-//! `recdp-kernels`: the paper's three DP benchmarks, runnable in every
+//! `recdp-kernels`: the paper's DP benchmarks (GE, SW, FW-APSP, plus a
+//! matrix-chain parenthesization extension), runnable in every
 //! execution model.
 //!
-//! Each benchmark ships five implementations with **bitwise-identical**
-//! results (each DP cell sees the same floating point operations in the
-//! same order in every variant — asserted by the test suites):
+//! ## The `DpSpec` layer
 //!
-//! | variant | module | execution model |
+//! Each benchmark is written **once**, as a [`spec::DpSpec`]
+//! implementation describing its base-case tile kernel, its 2-way
+//! recursive decomposition (stages of mutually independent calls) and
+//! its tile-level read set. Three generic engines in [`engine`] then
+//! execute any spec:
+//!
+//! | driver | engine | execution model |
 //! |---|---|---|
-//! | `*_loops` | `ge::loops` etc. | serial iterative (Listing 2) |
-//! | `*_rdp` | `ge::rdp` | serial 2-way recursive divide-and-conquer |
-//! | `*_forkjoin` | `ge::forkjoin` | R-DP on `recdp-forkjoin` (OpenMP-tasking stand-in, Listing 3) |
-//! | `*_cnc` (Native) | `ge::cnc` | recursive tag expansion + blocking gets on `recdp-cnc` (Listing 5) |
-//! | `*_cnc` (Tuner/Manual) | `ge::cnc` | pre-scheduled dependencies (Sec. III-D tuners) |
+//! | `*_loops` | (hand-written per benchmark) | serial iterative oracle (Listing 2) |
+//! | `*_rdp` | [`engine::run_serial`] | serial 2-way recursive divide-and-conquer |
+//! | `*_forkjoin` | [`engine::run_forkjoin`] | R-DP on `recdp-forkjoin` (OpenMP-tasking stand-in, Listing 3) |
+//! | `*_cnc` ([`CncVariant::Native`]) | [`engine::run_cnc`] | recursive tag expansion + blocking gets on `recdp-cnc` (Listing 5) |
+//! | `*_cnc` ([`CncVariant::Tuner`] / [`CncVariant::Manual`]) | [`engine::run_cnc`] | pre-scheduled dependencies (Sec. III-D tuners) |
+//! | `*_cnc` ([`CncVariant::NonBlocking`]) | [`engine::run_cnc`] | `try_get` polling + tag re-put (Sec. IV) |
+//!
+//! All drivers of a benchmark produce **bitwise-identical** tables
+//! (each DP cell sees the same floating point operations in the same
+//! order under every legal schedule — asserted against the `*_loops`
+//! oracle by the test suites).
+//!
+//! Benchmarks: [`ge`] (Gaussian elimination), [`sw`] (Smith-Waterman),
+//! [`fw`] (Floyd-Warshall APSP) from the paper, and [`paren`]
+//! (matrix-chain parenthesization) from Tang et al.'s
+//! non-O(1)-dependency R-DP family — added to demonstrate that a new
+//! benchmark needs only a `DpSpec` impl plus a loops oracle to get all
+//! four parallel models for free.
 //!
 //! ## Numerical convention for GE
 //!
@@ -26,12 +44,16 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod fw;
 pub mod ge;
+pub mod paren;
+pub mod spec;
 pub mod sw;
 pub mod table;
 pub mod workloads;
 
+pub use spec::{Call, DpSpec, Tag, TileKey};
 pub use table::{Matrix, TablePtr};
 
 /// Which CnC execution variant to run (Sec. III-D / IV-B).
@@ -58,8 +80,8 @@ impl CncVariant {
     /// The paper's three headline variants, in its order.
     pub const ALL: [CncVariant; 3] = [CncVariant::Native, CncVariant::Tuner, CncVariant::Manual];
 
-    /// All variants including the non-blocking-get alternative.
-    pub const ALL_EXTENDED: [CncVariant; 4] = [
+    /// All four variants including the non-blocking-get alternative.
+    pub const ALL4: [CncVariant; 4] = [
         CncVariant::Native,
         CncVariant::Tuner,
         CncVariant::Manual,
@@ -85,7 +107,7 @@ mod tests {
     fn variant_labels() {
         assert_eq!(CncVariant::Native.label(), "CnC");
         assert_eq!(CncVariant::ALL.len(), 3);
-        assert_eq!(CncVariant::ALL_EXTENDED.len(), 4);
+        assert_eq!(CncVariant::ALL4.len(), 4);
         assert_eq!(CncVariant::NonBlocking.label(), "CnC_nbget");
     }
 }

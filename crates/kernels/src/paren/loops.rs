@@ -1,0 +1,69 @@
+//! Looping parenthesization: the length-major textbook triple loop.
+//! Ground truth for the bitwise-equality tests — per cell it performs
+//! exactly the same `k`-ascending strict-`<` min sweep as the tiled
+//! base kernel, so any correct tiled schedule must reproduce its bits.
+
+use crate::table::Matrix;
+
+/// Fill `table` with the matrix-chain DP over dimensions `dims`
+/// (`dims.len() == n + 1`). Upper triangle only; `C[i][i] = 0`.
+pub fn paren_loops(table: &mut Matrix, dims: &[f64]) {
+    let n = table.n();
+    assert!(dims.len() == n + 1, "dims must have length n + 1");
+    let t = table.ptr();
+    for len in 1..n {
+        for i in 0..n - len {
+            let j = i + len;
+            let mut best = f64::INFINITY;
+            for k in i..j {
+                let cand =
+                    unsafe { t.get(i, k) + t.get(k + 1, j) } + dims[i] * dims[k + 1] * dims[j + 1];
+                if cand < best {
+                    best = cand;
+                }
+            }
+            unsafe { t.set(i, j, best) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paren::chain_cost;
+    use crate::workloads::chain_dims;
+
+    #[test]
+    fn matches_the_whole_table_base_kernel() {
+        let n = 32;
+        let dims = chain_dims(n, 77);
+        let mut lo = Matrix::zeros(n);
+        paren_loops(&mut lo, &dims);
+        let mut bk = Matrix::zeros(n);
+        unsafe { crate::paren::base_kernel(bk.ptr(), &dims, 0, 0, n) };
+        assert!(bk.bitwise_eq(&lo));
+    }
+
+    #[test]
+    fn textbook_chain_of_four() {
+        let dims = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut t = Matrix::zeros(4);
+        paren_loops(&mut t, &dims);
+        assert_eq!(chain_cost(&t), 38.0);
+    }
+
+    #[test]
+    fn off_diagonal_costs_are_strictly_positive() {
+        let n = 16;
+        let dims = chain_dims(n, 5);
+        let mut t = Matrix::zeros(n);
+        paren_loops(&mut t, &dims);
+        // Every multiplication costs at least 1 (dims are integers >= 1,
+        // arithmetic exact), so every real sub-chain has positive cost.
+        for i in 0..n {
+            for j in i + 1..n {
+                assert!(t[(i, j)] >= 1.0, "({i},{j}) = {}", t[(i, j)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Matrix-chain parenthesization (benchmark 4).
+//!
+//! `C[i][j] = min_{i <= k < j} ( C[i][k] + C[k+1][j] + d_i * d_{k+1} *
+//! d_{j+1} )` with `C[i][i] = 0`, over a chain of `n` matrices whose
+//! dimensions are `d_0 .. d_n`; the DP table is the upper triangle of an
+//! `n x n` matrix (the lower triangle is never touched and stays zero).
+//!
+//! Unlike GE, FW and SW, the cell update is *not* O(1): cell `(i, j)`
+//! sweeps all `j - i` split points, so a tile reads whole row- and
+//! column-*segments* of earlier tiles rather than a bounded stencil.
+//! This is Tang et al.'s "non-O(1) dependency" R-DP family
+//! (parenthesization / matrix-chain), and it is the stress test for the
+//! generic [`crate::spec::DpSpec`] layer: the dependency list per tile
+//! grows with the gap `J - I`, yet the same three engines (serial,
+//! fork-join, CnC) execute it unchanged.
+//!
+//! The 2-way decomposition uses two recursive functions:
+//!
+//! * `A` (triangle, on-diagonal): split into the two half-size
+//!   triangles — mutually independent, solvable in parallel — followed
+//!   by the square block `B` bridging them.
+//! * `B` (square block rows `[r, r+s)` x cols `[c, c+s)`): quadrants in
+//!   the order `X21; (X11 || X22); X12` — the bottom-left quadrant
+//!   first, then the two anti-diagonal quadrants in parallel (each
+//!   reads `X21`), then the top-right quadrant (reads both).
+//!
+//! Bitwise determinism holds for the same reason as the other
+//! benchmarks: each cell is written exactly once, by a fixed
+//! `k`-ascending min sweep over operands that are all final before the
+//! sweep starts, so every legal schedule performs the identical FP
+//! operation sequence per cell.
+
+pub mod cnc;
+pub mod forkjoin;
+pub mod loops;
+pub mod rdp;
+pub mod spec;
+
+pub use cnc::{paren_cnc, paren_cnc_on};
+pub use forkjoin::paren_forkjoin;
+pub use loops::paren_loops;
+pub use rdp::paren_rdp;
+pub use spec::ParenSpec;
+
+use crate::table::{Matrix, TablePtr};
+
+/// The parenthesization base-case kernel on tile
+/// `rows [i0, i0+m) x cols [j0, j0+m)` (upper-triangular cells only).
+///
+/// Cells are filled column-major ascending with rows descending inside
+/// each column, so intra-tile reads (`(i, k)` with `k < j`, `(k, j)`
+/// with `k > i`) always see final values. Each cell runs the full
+/// `k`-ascending split sweep with a strict `<` minimum, making the FP
+/// op sequence per cell schedule-independent.
+///
+/// # Safety
+/// Exclusive write access to the tile; every tile on row-segment
+/// `(I, I..J)` and column-segment `(I+1..=J, J)` must be final.
+pub(crate) unsafe fn base_kernel(t: TablePtr, dims: &[f64], i0: usize, j0: usize, m: usize) {
+    debug_assert!(i0 + m <= t.n && j0 + m <= t.n);
+    debug_assert!(dims.len() == t.n + 1);
+    for j in j0..j0 + m {
+        for i in (i0..i0 + m).rev() {
+            if i >= j {
+                continue; // diagonal stays 0; lower triangle unused
+            }
+            let mut best = f64::INFINITY;
+            for k in i..j {
+                let cand = t.get(i, k) + t.get(k + 1, j) + dims[i] * dims[k + 1] * dims[j + 1];
+                if cand < best {
+                    best = cand;
+                }
+            }
+            t.set(i, j, best);
+        }
+    }
+}
+
+/// Optimal multiplication cost of the whole chain in a computed table.
+pub fn chain_cost(table: &Matrix) -> f64 {
+    table[(0, table.n() - 1)]
+}
+
+pub(crate) fn check_sizes(n: usize, base: usize, dims: &[f64]) {
+    assert!(n.is_power_of_two() && base.is_power_of_two() && base <= n);
+    assert!(dims.len() == n + 1, "dims must have length n + 1");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_chain_of_four() {
+        // d = [1, 2, 3, 4, 5]: the optimal parenthesization is
+        // ((A1 (A2 A3)) A4)... worked by hand: C[0][3] = 38.
+        let dims = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut t = Matrix::zeros(4);
+        unsafe { base_kernel(t.ptr(), &dims, 0, 0, 4) };
+        assert_eq!(t[(0, 1)], 6.0);
+        assert_eq!(t[(1, 2)], 24.0);
+        assert_eq!(t[(2, 3)], 60.0);
+        assert_eq!(t[(0, 2)], 18.0);
+        assert_eq!(t[(1, 3)], 64.0);
+        assert_eq!(chain_cost(&t), 38.0);
+    }
+
+    #[test]
+    fn diagonal_and_lower_triangle_stay_zero() {
+        let dims = [2.0; 9];
+        let mut t = Matrix::zeros(8);
+        unsafe { base_kernel(t.ptr(), &dims, 0, 0, 8) };
+        for i in 0..8 {
+            for j in 0..=i {
+                assert_eq!(t[(i, j)], 0.0, "({i},{j})");
+            }
+        }
+    }
+}

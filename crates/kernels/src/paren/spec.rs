@@ -1,0 +1,191 @@
+//! Parenthesization as a [`DpSpec`]: two recursive functions over the
+//! upper-triangular tile space.
+//!
+//! * `A(d, s)` — the triangle of tiles `(I, J)`, `d <= I <= J < d+s`:
+//!   splits into the two half triangles (parallel) then the square `B`
+//!   bridging them.
+//! * `B(r, c, s)` — the square block of tiles rows `[r, r+s)` x cols
+//!   `[c, c+s)` (entirely above the diagonal): quadrants in the order
+//!   `X21; (X11 || X22); X12`.
+//!
+//! Tile `(I, J)` reads the row-segment `(I, I..J)` and column-segment
+//! `(I+1..=J, J)` — a dependency list that grows with the gap `J - I`,
+//! the defining feature of the non-O(1)-dependency DP family. There are
+//! `t(t+1)/2` tiles for `t = n / base`.
+
+use std::sync::Arc;
+
+use crate::spec::{Call, DpSpec, TileKey};
+use crate::table::TablePtr;
+
+use super::base_kernel;
+
+/// Function index for the on-diagonal triangle recursion.
+const A: usize = 0;
+/// Function index for the off-diagonal square recursion.
+const B: usize = 1;
+
+/// The parenthesization recurrence specification over a shared table
+/// and the chain dimensions.
+#[derive(Clone)]
+pub struct ParenSpec {
+    t: TablePtr,
+    dims: Arc<Vec<f64>>,
+    m: usize,
+    t_tiles: u32,
+}
+
+impl ParenSpec {
+    /// Spec for an `n x n` table over `n + 1` chain dimensions with
+    /// base-case (tile) size `m`; sizes must already be validated by
+    /// `check_sizes`.
+    pub fn new(t: TablePtr, dims: &[f64], m: usize) -> Self {
+        let t_tiles = (t.n / m) as u32;
+        ParenSpec {
+            t,
+            dims: Arc::new(dims.to_vec()),
+            m,
+            t_tiles,
+        }
+    }
+}
+
+impl DpSpec for ParenSpec {
+    fn func_names(&self) -> &'static [&'static str] {
+        &["parenA", "parenB"]
+    }
+
+    fn step_names(&self) -> &'static [&'static str] {
+        &["parenA", "parenB"]
+    }
+
+    fn item_name(&self) -> &'static str {
+        "paren_tiles"
+    }
+
+    fn t_tiles(&self) -> u32 {
+        self.t_tiles
+    }
+
+    fn root(&self) -> Call {
+        Call::new(A, 0, 0, 0, self.t_tiles)
+    }
+
+    fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+        let Call {
+            func, i0, j0, s, ..
+        } = *call;
+        let h = s / 2;
+        match func {
+            A => vec![
+                // The two half triangles share no cells and read
+                // nothing from each other.
+                vec![
+                    Call::new(A, i0, i0, 0, h),
+                    Call::new(A, i0 + h, i0 + h, 0, h),
+                ],
+                // The bridging square reads both finished triangles.
+                vec![Call::new(B, i0, i0 + h, 0, h)],
+            ],
+            _ => vec![
+                // X21: bottom-left quadrant, no reads inside this block.
+                vec![Call::new(B, i0 + h, j0, 0, h)],
+                // X11 and X22 each read only X21 within the block.
+                vec![
+                    Call::new(B, i0, j0, 0, h),
+                    Call::new(B, i0 + h, j0 + h, 0, h),
+                ],
+                // X12 reads X11 (row segments) and X22 (col segments).
+                vec![Call::new(B, i0, j0 + h, 0, h)],
+            ],
+        }
+    }
+
+    fn tile(&self, call: &Call) -> TileKey {
+        (call.i0, call.j0, 0)
+    }
+
+    fn reads(&self, tile: TileKey) -> Vec<TileKey> {
+        let (i, j, _) = tile;
+        if i == j {
+            return vec![]; // diagonal base tiles are self-contained
+        }
+        let mut reads = Vec::with_capacity(2 * (j - i) as usize);
+        for k in i..j {
+            reads.push((i, k, 0)); // row segment, split left parts
+        }
+        for k in i + 1..=j {
+            reads.push((k, j, 0)); // column segment, split right parts
+        }
+        reads
+    }
+
+    fn manual_calls(&self) -> Vec<Call> {
+        let t = self.t_tiles;
+        let mut calls = Vec::with_capacity((t * (t + 1) / 2) as usize);
+        // Gap-major: all tiles of gap g are satisfied once gaps < g are
+        // done, mirroring the length-major loop order.
+        for gap in 0..t {
+            for i in 0..t - gap {
+                let func = if gap == 0 { A } else { B };
+                calls.push(Call::new(func, i, i + gap, 0, 1));
+            }
+        }
+        calls
+    }
+
+    unsafe fn run_tile(&self, tile: TileKey) {
+        let (i, j, _) = tile;
+        let m = self.m;
+        base_kernel(self.t, &self.dims, i as usize * m, j as usize * m, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Matrix;
+    use crate::workloads::chain_dims;
+
+    fn spec(n: usize, m: usize) -> (Matrix, ParenSpec) {
+        let mut t = Matrix::zeros(n);
+        let dims = chain_dims(n, 1);
+        let s = ParenSpec::new(t.ptr(), &dims, m);
+        (t, s)
+    }
+
+    #[test]
+    fn task_space_is_the_upper_triangle() {
+        let (_t, spec) = spec(64, 8);
+        let calls = spec.manual_calls();
+        assert_eq!(calls.len(), 36, "t(t+1)/2 for t = 8");
+        assert!(calls.iter().all(|c| c.i0 <= c.j0 && c.s == 1));
+        assert!(calls.iter().all(|c| (c.func == 0) == (c.i0 == c.j0)));
+    }
+
+    #[test]
+    fn reads_grow_with_the_gap() {
+        let (_t, spec) = spec(64, 8);
+        assert_eq!(spec.reads((3, 3, 0)), vec![]);
+        assert_eq!(
+            spec.reads((0, 2, 0)),
+            vec![(0, 0, 0), (0, 1, 0), (1, 2, 0), (2, 2, 0)]
+        );
+        assert_eq!(spec.reads((1, 5, 0)).len(), 2 * 4);
+    }
+
+    #[test]
+    fn expansion_stays_above_the_diagonal() {
+        let (_t, spec) = spec(64, 8);
+        let mut stack = vec![spec.root()];
+        while let Some(call) = stack.pop() {
+            if call.s == 1 {
+                assert!(call.i0 <= call.j0);
+                continue;
+            }
+            for stage in spec.expand(&call) {
+                stack.extend(stage);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The [`DpSpec`] abstraction: a recursive divide-and-conquer DP as a
+//! first-class *recurrence specification* — a tile-update kernel, its
+//! 2-way decomposition into the paper's A/B/C/D-style recursive
+//! functions, and the true data dependencies of every tile task.
+//!
+//! A benchmark implements this trait once; the three generic engines in
+//! [`crate::engine`] then run it under every execution model the paper
+//! studies (serial R-DP, fork-join, and the four CnC variants) with no
+//! per-benchmark driver code. Dinh–Simhadri's nested-dataflow model and
+//! Tang's nested-dataflow DP paper argue for exactly this factoring: the
+//! dependency structure is independent of the scheduler.
+//!
+//! # The contract
+//!
+//! * [`DpSpec::expand`] decomposes a recursive call into **stages**: an
+//!   ordered list of groups of sub-calls. Calls inside a stage are
+//!   mutually independent (they may run in parallel); stages are
+//!   sequentially dependent. The serial engine flattens the stages
+//!   depth-first; the fork-join engine forks within a stage and joins at
+//!   each stage boundary (the paper's *artificial dependencies*); the
+//!   CnC engine ignores the stage structure entirely and puts every
+//!   sub-call's tag eagerly (Listing 5's tag loops), because data-flow
+//!   synchronisation comes from [`DpSpec::reads`] alone.
+//! * [`DpSpec::reads`] lists the tiles whose *final* values a base tile
+//!   task consumes, in the order the CnC engine performs its blocking
+//!   gets. Together with the single write per tile this is the exact
+//!   dependency structure of the computation — no joins, no barriers.
+//! * [`DpSpec::run_tile`] performs the in-place tile update. Every cell
+//!   of the DP table must see the identical floating-point operation
+//!   sequence under any topological order of the tile graph; this is
+//!   what makes all engines bitwise-identical to the serial loop oracle.
+
+/// A call to one of a spec's recursive functions, in **tile units**.
+///
+/// `func` indexes [`DpSpec::func_names`]; `(i0, j0, k0)` are the
+/// function-specific region coordinates and `s` is the region side in
+/// tiles. `s == 1` is a base call: it names exactly one tile task,
+/// [`DpSpec::tile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Call {
+    /// Which recursive function (index into [`DpSpec::func_names`]).
+    pub func: usize,
+    /// First region coordinate (tile units).
+    pub i0: u32,
+    /// Second region coordinate (tile units).
+    pub j0: u32,
+    /// Third region coordinate (tile units; `0` for 2-D recursions).
+    pub k0: u32,
+    /// Region side in tiles; `1` is a base call.
+    pub s: u32,
+}
+
+impl Call {
+    /// Convenience constructor.
+    pub fn new(func: usize, i0: u32, j0: u32, k0: u32, s: u32) -> Self {
+        Call {
+            func,
+            i0,
+            j0,
+            k0,
+            s,
+        }
+    }
+}
+
+/// The CnC tag a call is published under: `(i0, j0, k0, s)`.
+pub type Tag = (u32, u32, u32, u32);
+
+/// Identity of one base tile task. Benchmarks with a 2-D tile space use
+/// `0` for the unused coordinate.
+pub type TileKey = (u32, u32, u32);
+
+impl From<Call> for Tag {
+    fn from(c: Call) -> Tag {
+        (c.i0, c.j0, c.k0, c.s)
+    }
+}
+
+/// A recursive divide-and-conquer DP, specified independently of any
+/// execution model. See the module docs for the contract.
+///
+/// Implementations are cheap-to-clone handles (a [`crate::TablePtr`]
+/// plus problem parameters) shared across worker threads.
+pub trait DpSpec: Clone + Send + Sync + 'static {
+    /// CnC tag-collection name per recursive function. The length fixes
+    /// the valid range of [`Call::func`].
+    fn func_names(&self) -> &'static [&'static str];
+
+    /// CnC step-collection name per recursive function (same length as
+    /// [`DpSpec::func_names`]).
+    fn step_names(&self) -> &'static [&'static str];
+
+    /// CnC item-collection name for tile-readiness items.
+    fn item_name(&self) -> &'static str;
+
+    /// Problem size in tiles per dimension.
+    fn t_tiles(&self) -> u32;
+
+    /// The root call of the recursion (covers the whole table).
+    fn root(&self) -> Call;
+
+    /// Decomposes a recursive call (`s > 1`) into stages of independent
+    /// sub-calls; see the module docs.
+    fn expand(&self, call: &Call) -> Vec<Vec<Call>>;
+
+    /// The tile a base call (`s == 1`) updates.
+    fn tile(&self, call: &Call) -> TileKey;
+
+    /// Tiles whose final values the tile task reads, in blocking-get
+    /// order. Must be empty for source tiles.
+    fn reads(&self, tile: TileKey) -> Vec<TileKey>;
+
+    /// Every base call of the whole computation in a valid topological
+    /// order — the Manual-CnC pre-declaration sequence.
+    fn manual_calls(&self) -> Vec<Call>;
+
+    /// Runs the in-place tile update.
+    ///
+    /// # Safety
+    /// The caller must guarantee exclusive write access to the tile and
+    /// that every tile in [`DpSpec::reads`] holds its final value (the
+    /// engines establish this from the spec's own dependency data).
+    unsafe fn run_tile(&self, tile: TileKey);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_tag_roundtrip() {
+        let c = Call::new(2, 1, 4, 0, 8);
+        let tag: Tag = c.into();
+        assert_eq!(tag, (1, 4, 0, 8));
+    }
+}

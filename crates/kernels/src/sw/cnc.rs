@@ -1,65 +1,16 @@
-//! Data-flow SW on `recdp-cnc`: the wavefront, expressed as fine-grained
-//! tile dependencies — no per-antidiagonal barrier, so tiles of
-//! different wavefronts overlap freely (the paper's explanation for the
-//! data-flow win on SW).
+//! Data-flow SW on `recdp-cnc`, via the generic CnC engine over
+//! [`SwSpec`]: the wavefront, expressed as fine-grained tile
+//! dependencies — no per-antidiagonal barrier, so tiles of different
+//! wavefronts overlap freely (the paper's explanation for the data-flow
+//! win on SW).
 
-use std::sync::Arc;
+use recdp_cnc::{CncError, CncGraph, GraphStats};
 
-use recdp_cnc::{
-    CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, TagCollection,
-};
-
-use crate::table::{Matrix, TablePtr};
+use crate::engine::{run_cnc, run_cnc_on};
+use crate::table::Matrix;
 use crate::CncVariant;
 
-use super::{base_kernel, check_sizes};
-
-/// `(i0, j0, s)` in tile units.
-type Tag = (u32, u32, u32);
-type TileKey = (u32, u32);
-
-#[derive(Clone)]
-struct Ctx {
-    t: TablePtr,
-    a: Arc<Vec<u8>>,
-    b: Arc<Vec<u8>>,
-    m: usize,
-    variant: CncVariant,
-    tile_out: ItemCollection<TileKey, bool>,
-    tags: TagCollection<Tag>,
-}
-
-impl Ctx {
-    fn deps(&self, i: u32, j: u32) -> DepSet {
-        let mut deps = DepSet::new();
-        if i > 0 {
-            deps = deps.item(&self.tile_out, (i - 1, j));
-        }
-        if j > 0 {
-            deps = deps.item(&self.tile_out, (i, j - 1));
-        }
-        if i > 0 && j > 0 {
-            deps = deps.item(&self.tile_out, (i - 1, j - 1));
-        }
-        deps
-    }
-
-    fn put_tile(&self, i: u32, j: u32) {
-        let tag = (i, j, 1);
-        match self.variant {
-            CncVariant::Native | CncVariant::NonBlocking => self.tags.put(tag),
-            CncVariant::Tuner | CncVariant::Manual => self.tags.put_when(tag, &self.deps(i, j)),
-        }
-    }
-
-    /// Non-blocking poll of a tile's three neighbours.
-    fn neighbours_ready(&self, i: u32, j: u32) -> bool {
-        let ok = |key: TileKey| self.tile_out.try_get(&key).is_some();
-        (i == 0 || ok((i - 1, j)))
-            && (j == 0 || ok((i, j - 1)))
-            && (i == 0 || j == 0 || ok((i - 1, j - 1)))
-    }
-}
+use super::{check_sizes, spec::SwSpec};
 
 /// In-place data-flow SW with base size `base` on `threads` workers.
 pub fn sw_cnc(
@@ -70,8 +21,9 @@ pub fn sw_cnc(
     variant: CncVariant,
     threads: usize,
 ) -> GraphStats {
-    let graph = CncGraph::with_threads(threads);
-    sw_cnc_on(table, a, b, base, variant, &graph).expect("SW CnC graph failed")
+    let n = table.n();
+    check_sizes(n, base, a, b);
+    run_cnc(&SwSpec::new(table.ptr(), a, b, base), variant, threads)
 }
 
 /// Fallible form of [`sw_cnc`] running on a caller-supplied graph, so the
@@ -88,75 +40,7 @@ pub fn sw_cnc_on(
 ) -> Result<GraphStats, CncError> {
     let n = table.n();
     check_sizes(n, base, a, b);
-    let t_tiles = (n / base) as u32;
-    let ctx = Ctx {
-        t: table.ptr(),
-        a: Arc::new(a.to_vec()),
-        b: Arc::new(b.to_vec()),
-        m: base,
-        variant,
-        tile_out: graph.item_collection("sw_tiles"),
-        tags: graph.tag_collection("sw_tags"),
-    };
-
-    let cx = ctx.clone();
-    ctx.tags.prescribe("sw_step", move |&(i0, j0, s), scope| {
-        if s > 1 {
-            // Recursive quadrant expansion, tags put eagerly.
-            let h = s / 2;
-            for (di, dj) in [(0, 0), (0, h), (h, 0), (h, h)] {
-                let sub = (i0 + di, j0 + dj, h);
-                if h == 1 {
-                    cx.put_tile(sub.0, sub.1);
-                } else {
-                    cx.tags.put(sub);
-                }
-            }
-            return Ok(StepOutcome::Done);
-        }
-        let (i, j) = (i0, j0);
-        if cx.variant == CncVariant::NonBlocking && !cx.neighbours_ready(i, j) {
-            cx.tags.put_retry((i, j, 1));
-            return Ok(StepOutcome::Done);
-        }
-        // Blocking gets on the three neighbour tiles.
-        if i > 0 {
-            cx.tile_out.get(scope, &(i - 1, j))?;
-        }
-        if j > 0 {
-            cx.tile_out.get(scope, &(i, j - 1))?;
-        }
-        if i > 0 && j > 0 {
-            cx.tile_out.get(scope, &(i - 1, j - 1))?;
-        }
-        let m = cx.m;
-        // SAFETY: unique writer of tile (i, j); neighbour tiles final per
-        // the gets above.
-        unsafe {
-            base_kernel(cx.t, &cx.a, &cx.b, i as usize * m, j as usize * m, m);
-        }
-        cx.tile_out.put((i, j), true)?;
-        Ok(StepOutcome::Done)
-    });
-
-    match variant {
-        CncVariant::Native | CncVariant::Tuner | CncVariant::NonBlocking => {
-            if t_tiles == 1 {
-                ctx.put_tile(0, 0);
-            } else {
-                ctx.tags.put((0, 0, t_tiles));
-            }
-        }
-        CncVariant::Manual => {
-            for i in 0..t_tiles {
-                for j in 0..t_tiles {
-                    ctx.put_tile(i, j);
-                }
-            }
-        }
-    }
-
-    graph.wait()
+    run_cnc_on(&SwSpec::new(table.ptr(), a, b, base), variant, graph)
 }
 
 #[cfg(test)]

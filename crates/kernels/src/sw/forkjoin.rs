@@ -1,39 +1,24 @@
-//! Fork-join SW: the quadrant recursion with a join around the
-//! anti-diagonal pair — the per-level barrier that destroys wavefront
-//! parallelism (the reason OpenMP loses SW at *every* problem size in
-//! Figs. 6-7).
+//! Fork-join SW via the generic engine over [`SwSpec`]: the quadrant
+//! recursion with a join around the anti-diagonal pair — the per-level
+//! barrier that destroys wavefront parallelism (the reason OpenMP loses
+//! SW at *every* problem size in Figs. 6-7).
 //!
 //! Disjointness: `X01` and `X10` occupy disjoint index rectangles; both
 //! read only the final values of `X00` (sequenced before the fork) and
 //! of tiles outside the region (sequenced by the parent's structure).
 
-use recdp_forkjoin::{join, ThreadPool};
+use recdp_forkjoin::ThreadPool;
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_forkjoin;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_sizes};
+use super::{check_sizes, spec::SwSpec};
 
 /// In-place fork-join R-DP SW with base size `base` on `pool`.
 pub fn sw_forkjoin(table: &mut Matrix, a: &[u8], b: &[u8], base: usize, pool: &ThreadPool) {
     let n = table.n();
     check_sizes(n, base, a, b);
-    let t = table.ptr();
-    pool.install(|| rec(t, a, b, 0, 0, n, base));
-}
-
-fn rec(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, s: usize, m: usize) {
-    if s <= m {
-        // SAFETY: see module docs.
-        unsafe { base_kernel(t, a, b, i0, j0, s) };
-        return;
-    }
-    let h = s / 2;
-    rec(t, a, b, i0, j0, h, m);
-    join(
-        || rec(t, a, b, i0, j0 + h, h, m),
-        || rec(t, a, b, i0 + h, j0, h, m),
-    );
-    rec(t, a, b, i0 + h, j0 + h, h, m);
+    run_forkjoin(&SwSpec::new(table.ptr(), a, b, base), pool);
 }
 
 #[cfg(test)]

@@ -15,11 +15,13 @@ pub mod cnc;
 pub mod forkjoin;
 pub mod loops;
 pub mod rdp;
+pub mod spec;
 
 pub use cnc::{sw_cnc, sw_cnc_on};
 pub use forkjoin::sw_forkjoin;
 pub use loops::{sw_loops, sw_score_linear_space};
 pub use rdp::sw_rdp;
+pub use spec::SwSpec;
 
 use crate::table::{Matrix, TablePtr};
 

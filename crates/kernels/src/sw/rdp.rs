@@ -1,30 +1,16 @@
-//! Serial 2-way R-DP SW: quadrant recursion
-//! `X00; (X01, X10); X11`.
+//! Serial 2-way R-DP SW: quadrant recursion `X00; (X01, X10); X11` —
+//! the generic serial engine over [`SwSpec`].
 
-use crate::table::{Matrix, TablePtr};
+use crate::engine::run_serial;
+use crate::table::Matrix;
 
-use super::{base_kernel, check_sizes};
+use super::{check_sizes, spec::SwSpec};
 
 /// In-place serial R-DP SW with base size `base`.
 pub fn sw_rdp(table: &mut Matrix, a: &[u8], b: &[u8], base: usize) {
     let n = table.n();
     check_sizes(n, base, a, b);
-    let t = table.ptr();
-    rec(t, a, b, 0, 0, n, base);
-}
-
-fn rec(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, s: usize, m: usize) {
-    if s <= m {
-        // SAFETY: serial depth-first order computes tiles in a valid
-        // topological order of the wavefront.
-        unsafe { base_kernel(t, a, b, i0, j0, s) };
-        return;
-    }
-    let h = s / 2;
-    rec(t, a, b, i0, j0, h, m);
-    rec(t, a, b, i0, j0 + h, h, m);
-    rec(t, a, b, i0 + h, j0, h, m);
-    rec(t, a, b, i0 + h, j0 + h, h, m);
+    run_serial(&SwSpec::new(table.ptr(), a, b, base));
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! SW as a [`DpSpec`]: the quadrant recursion `X00; (X01, X10); X11`
+//! over the wavefront dependency structure.
+//!
+//! A single recursive function suffices (calls carry `(i0, j0)` tile
+//! coordinates; `k0` is unused). Tile `(i, j)` reads its north, west and
+//! north-west neighbours — no per-antidiagonal barrier, so under the CnC
+//! engine tiles of different wavefronts overlap freely (the paper's
+//! explanation for the data-flow win on SW).
+
+use std::sync::Arc;
+
+use crate::spec::{Call, DpSpec, TileKey};
+use crate::table::TablePtr;
+
+use super::base_kernel;
+
+/// The SW recurrence specification over a shared table and the two
+/// input sequences.
+#[derive(Clone)]
+pub struct SwSpec {
+    t: TablePtr,
+    a: Arc<Vec<u8>>,
+    b: Arc<Vec<u8>>,
+    m: usize,
+    t_tiles: u32,
+}
+
+impl SwSpec {
+    /// Spec for an `n x n` table over sequences `a`, `b` with base-case
+    /// (tile) size `m`; sizes must already be validated by
+    /// `check_sizes`.
+    pub fn new(t: TablePtr, a: &[u8], b: &[u8], m: usize) -> Self {
+        let t_tiles = (t.n / m) as u32;
+        SwSpec {
+            t,
+            a: Arc::new(a.to_vec()),
+            b: Arc::new(b.to_vec()),
+            m,
+            t_tiles,
+        }
+    }
+}
+
+impl DpSpec for SwSpec {
+    fn func_names(&self) -> &'static [&'static str] {
+        &["sw_tags"]
+    }
+
+    fn step_names(&self) -> &'static [&'static str] {
+        &["sw_step"]
+    }
+
+    fn item_name(&self) -> &'static str {
+        "sw_tiles"
+    }
+
+    fn t_tiles(&self) -> u32 {
+        self.t_tiles
+    }
+
+    fn root(&self) -> Call {
+        Call::new(0, 0, 0, 0, self.t_tiles)
+    }
+
+    fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+        let Call { i0, j0, s, .. } = *call;
+        let h = s / 2;
+        vec![
+            vec![Call::new(0, i0, j0, 0, h)],
+            vec![
+                Call::new(0, i0, j0 + h, 0, h),
+                Call::new(0, i0 + h, j0, 0, h),
+            ],
+            vec![Call::new(0, i0 + h, j0 + h, 0, h)],
+        ]
+    }
+
+    fn tile(&self, call: &Call) -> TileKey {
+        (call.i0, call.j0, 0)
+    }
+
+    fn reads(&self, tile: TileKey) -> Vec<TileKey> {
+        let (i, j, _) = tile;
+        let mut reads = Vec::with_capacity(3);
+        if i > 0 {
+            reads.push((i - 1, j, 0)); // north
+        }
+        if j > 0 {
+            reads.push((i, j - 1, 0)); // west
+        }
+        if i > 0 && j > 0 {
+            reads.push((i - 1, j - 1, 0)); // north-west corner
+        }
+        reads
+    }
+
+    fn manual_calls(&self) -> Vec<Call> {
+        let t = self.t_tiles;
+        (0..t)
+            .flat_map(|i| (0..t).map(move |j| Call::new(0, i, j, 0, 1)))
+            .collect()
+    }
+
+    unsafe fn run_tile(&self, tile: TileKey) {
+        let (i, j, _) = tile;
+        let m = self.m;
+        base_kernel(self.t, &self.a, &self.b, i as usize * m, j as usize * m, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Matrix;
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn wavefront_reads_point_north_west() {
+        let mut t = Matrix::zeros(32);
+        let a = dna_sequence(32, 1);
+        let b = dna_sequence(32, 2);
+        let spec = SwSpec::new(t.ptr(), &a, &b, 8);
+        assert_eq!(spec.reads((0, 0, 0)), vec![]);
+        assert_eq!(spec.reads((2, 3, 0)), vec![(1, 3, 0), (2, 2, 0), (1, 2, 0)]);
+        assert_eq!(spec.manual_calls().len(), 16);
+    }
+}

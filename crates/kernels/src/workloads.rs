@@ -1,4 +1,4 @@
-//! Seeded random workload generators for the three benchmarks.
+//! Seeded random workload generators for the four benchmarks.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +43,16 @@ pub fn fw_matrix(n: usize, seed: u64, edge_prob: f64) -> Matrix {
 /// and stays bitwise stable across variants.
 pub const INF_DIST: f64 = 1.0e15;
 
+/// Random matrix-chain dimensions for the parenthesization benchmark:
+/// `n + 1` small *integer-valued* dimensions (so every cost
+/// `d_i * d_{k+1} * d_{j+1}` and every prefix sum is exact in f64, and
+/// any valid evaluation order yields bitwise-identical minima — the
+/// same trick as [`fw_matrix`]).
+pub fn chain_dims(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..=n).map(|_| rng.gen_range(1..10) as f64).collect()
+}
+
 /// A random DNA-like sequence over {A, C, G, T}.
 pub fn dna_sequence(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -82,6 +92,14 @@ mod tests {
             .filter(|&(i, j)| i != j && m[(i, j)] < INF_DIST)
             .count();
         assert!(finite > 0, "some edges should exist");
+    }
+
+    #[test]
+    fn chain_dims_are_small_exact_integers() {
+        let d = chain_dims(16, 9);
+        assert_eq!(d.len(), 17);
+        assert!(d.iter().all(|&x| (1.0..10.0).contains(&x) && x.fract() == 0.0));
+        assert_eq!(chain_dims(16, 9), chain_dims(16, 9));
     }
 
     #[test]

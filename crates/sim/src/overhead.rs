@@ -19,6 +19,11 @@ pub enum Workload {
     /// Smith-Waterman: single-pass `4 m^2` flop tiles with streaming
     /// misses only.
     Sw,
+    /// Matrix-chain parenthesization: gap-dependent `~5 g m^3` flop
+    /// tiles; the normalising task is a gap-1 tile. Its row/column
+    /// segment sweeps reuse operands like the GE/FW kernels, so it
+    /// shares their capacity-aware miss model.
+    Paren,
 }
 
 impl Workload {
@@ -29,13 +34,16 @@ impl Workload {
             Workload::Ge => 3.0 * m * m * m,
             Workload::Fw => 2.0 * m * m * m,
             Workload::Sw => 4.0 * m * m,
+            Workload::Paren => 5.0 * m * m * m,
         }
     }
 
     /// Expected misses of one base-case task at one cache level.
     fn task_misses(self, m: usize, level: &recdp_machine::CacheLevel, line: usize) -> f64 {
         match self {
-            Workload::Ge | Workload::Fw => capacity_aware_misses_per_task(m, level, line),
+            Workload::Ge | Workload::Fw | Workload::Paren => {
+                capacity_aware_misses_per_task(m, level, line)
+            }
             Workload::Sw => {
                 // One streaming pass over the m x m tile plus boundary
                 // rows/columns from the three neighbours.

@@ -165,11 +165,79 @@ pub fn sw(t: usize, flops: &KernelFlops) -> TaskGraph {
     b.build()
 }
 
+/// Index helper for the triangular parenthesization task space: tiles
+/// `(i, j)` with `i <= j`, laid out row-major over the upper triangle.
+pub struct ParenIndex {
+    t: usize,
+}
+
+impl ParenIndex {
+    /// Builds the index for `t` tiles per side.
+    pub fn new(t: usize) -> Self {
+        Self { t }
+    }
+
+    /// Total number of tasks: `t (t + 1) / 2`.
+    pub fn len(&self) -> u64 {
+        (self.t * (self.t + 1) / 2) as u64
+    }
+
+    /// True if the index covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node id of tile `(i, j)`; requires `i <= j < t`.
+    pub fn id(&self, i: usize, j: usize) -> NodeId {
+        debug_assert!(i <= j && j < self.t);
+        // Rows above row i hold sum_{r < i} (t - r) = i (2t - i + 1) / 2
+        // tiles.
+        (i * (2 * self.t - i + 1) / 2 + (j - i)) as NodeId
+    }
+}
+
+/// Parenthesization data-flow DAG: the upper-triangular tile space where
+/// tile `(i, j)` reads its whole row segment `(i, i..j)` and column
+/// segment `(i+1..=j, j)` — a dependency *list* that grows with the gap
+/// `j - i` (the non-O(1)-dependency family), matching the blocking gets
+/// of the CnC steps. Node weights are gap-dependent: `a` for diagonal
+/// tiles, `(j - i) * d` otherwise (see
+/// [`crate::paren_kernel_flops`]).
+pub fn paren(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(t > 0);
+    let index = ParenIndex::new(t);
+    let nodes = index.len() as usize;
+    let mut b = GraphBuilder::with_capacity(nodes, nodes * t);
+    for i in 0..t {
+        for j in i..t {
+            let (kind, w) = if i == j {
+                (TaskKind::BaseA, flops.a)
+            } else {
+                (TaskKind::BaseB, (j - i) as f64 * flops.d)
+            };
+            let id = b.add_node(kind, w);
+            debug_assert_eq!(id, index.id(i, j));
+        }
+    }
+    for i in 0..t {
+        for j in i + 1..t {
+            let me = index.id(i, j);
+            for k in i..j {
+                b.add_edge(index.id(i, k), me); // row segment (split left)
+            }
+            for k in i + 1..=j {
+                b.add_edge(index.id(k, j), me); // col segment (split right)
+            }
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::analyze;
-    use crate::{fw_kernel_flops, ge_kernel_flops, sw_kernel_flops};
+    use crate::{fw_kernel_flops, ge_kernel_flops, paren_kernel_flops, sw_kernel_flops};
 
     #[test]
     fn ge_task_count_matches_formula() {
@@ -231,6 +299,39 @@ mod tests {
     fn ge_roots_single_a0() {
         let g = ge(4, &ge_kernel_flops(4));
         assert_eq!(g.roots(), vec![0], "only A(0) is initially ready");
+    }
+
+    #[test]
+    fn paren_task_count_is_triangular() {
+        for t in 1..=10usize {
+            let g = paren(t, &paren_kernel_flops(8));
+            assert_eq!(g.len(), t * (t + 1) / 2, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn paren_roots_are_the_diagonal() {
+        let t = 6;
+        let g = paren(t, &paren_kernel_flops(4));
+        let idx = ParenIndex::new(t);
+        let roots = g.roots();
+        assert_eq!(roots.len(), t, "every diagonal tile is initially ready");
+        for i in 0..t {
+            assert!(roots.contains(&idx.id(i, i)));
+        }
+    }
+
+    #[test]
+    fn paren_span_is_the_top_row_chain() {
+        // The critical path is (0,0) -> (0,1) -> ... -> (0,t-1): each
+        // top-row tile reads its left neighbour, and weights grow with
+        // the gap, so no other chain is heavier.
+        let t = 8;
+        let f = paren_kernel_flops(1);
+        let m = analyze(&paren(t, &f));
+        let expected = f.a + (1..t).map(|g| g as f64 * f.d).sum::<f64>();
+        assert!((m.span - expected).abs() < 1e-9, "span {}", m.span);
+        assert_eq!(m.critical_path_tasks, t);
     }
 
     #[test]

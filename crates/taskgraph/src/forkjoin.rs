@@ -299,11 +299,73 @@ pub fn fw(t: usize, flops: &KernelFlops) -> TaskGraph {
     fw.0.b.build()
 }
 
+// ---------------------------------------------------------------------
+// Parenthesization: triangle/square recursion over the upper-triangular
+// tile space. A(d, s) = (A || A); B. B(r, c, s) = X21; (X11 || X22); X12.
+// ---------------------------------------------------------------------
+
+struct Paren<'a>(Fj<'a>);
+
+impl Paren<'_> {
+    /// Gap-dependent leaf weight (see [`crate::paren_kernel_flops`]).
+    fn leaf(&mut self, kind: TaskKind, gap: usize) -> Block {
+        let w = if gap == 0 {
+            self.0.flops.a
+        } else {
+            gap as f64 * self.0.flops.d
+        };
+        let id = self.0.b.add_node(kind, w);
+        Block {
+            entries: vec![id],
+            exits: vec![id],
+        }
+    }
+
+    fn a(&mut self, d: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseA, 0);
+        }
+        let h = s / 2;
+        let a1 = self.a(d, h);
+        let a2 = self.a(d + h, h);
+        let tri = self.0.par(vec![a1, a2]);
+        let sq = self.bfun(d, d + h, h);
+        self.0.seq(tri, sq)
+    }
+
+    fn bfun(&mut self, r: usize, c: usize, s: usize) -> Block {
+        if s == 1 {
+            return self.leaf(TaskKind::BaseB, c - r);
+        }
+        let h = s / 2;
+        let x21 = self.bfun(r + h, c, h);
+        let x11 = self.bfun(r, c, h);
+        let x22 = self.bfun(r + h, c + h, h);
+        let mid = self.0.par(vec![x11, x22]);
+        let x12 = self.bfun(r, c + h, h);
+        self.0.seq_chain(vec![x21, mid, x12])
+    }
+}
+
+/// Fork-join DAG of R-DP parenthesization on `t` tiles per side (power
+/// of two). The join after the two half triangles — and after each
+/// quadrant stage of the square recursion — is an artificial barrier:
+/// the true dependencies only order tiles along growing gaps.
+pub fn paren(t: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(
+        t.is_power_of_two(),
+        "fork-join recursion needs a power-of-two tile count"
+    );
+    let mut p = Paren(Fj::new(flops));
+    let _ = p.a(0, t);
+    p.0.b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::analyze;
-    use crate::{dataflow, fw_kernel_flops, ge_kernel_flops, sw_kernel_flops};
+    use crate::{dataflow, fw_kernel_flops, ge_kernel_flops, paren_kernel_flops, sw_kernel_flops};
 
     #[test]
     fn ge_compute_count_matches_dataflow() {
@@ -392,6 +454,32 @@ mod tests {
     }
 
     #[test]
+    fn paren_compute_count_and_work_match_dataflow() {
+        for t in [1usize, 2, 4, 8, 16] {
+            let f = paren_kernel_flops(4);
+            let fj = paren(t, &f);
+            let df = dataflow::paren(t, &f);
+            assert_eq!(fj.num_compute_nodes(), df.len(), "t={t}");
+            let (mfj, mdf) = (analyze(&fj), analyze(&df));
+            assert!((mfj.work - mdf.work).abs() < 1e-6, "sync nodes are free");
+        }
+    }
+
+    #[test]
+    fn joins_inflate_paren_span() {
+        let f = paren_kernel_flops(1);
+        let t = 16;
+        let fj = analyze(&paren(t, &f));
+        let df = analyze(&dataflow::paren(t, &f));
+        assert!(
+            fj.span > df.span,
+            "fork-join {} must exceed data-flow {}",
+            fj.span,
+            df.span
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_rejected() {
         let _ = ge(6, &ge_kernel_flops(4));
@@ -402,5 +490,6 @@ mod tests {
         assert_eq!(ge(1, &ge_kernel_flops(4)).len(), 1);
         assert_eq!(sw(1, &sw_kernel_flops(4)).len(), 1);
         assert_eq!(fw(1, &fw_kernel_flops(4)).len(), 1);
+        assert_eq!(paren(1, &paren_kernel_flops(4)).len(), 1);
     }
 }

@@ -16,7 +16,7 @@ const ALL_EXECUTIONS: [Execution; 5] = [
 
 #[test]
 fn all_models_agree_at_moderate_size() {
-    for benchmark in Benchmark::ALL {
+    for benchmark in Benchmark::ALL4 {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, 128, 16, 4);
         for execution in ALL_EXECUTIONS {
             let out = run_benchmark(benchmark, execution, 128, 16, 4);
@@ -32,7 +32,7 @@ fn all_models_agree_at_moderate_size() {
 
 #[test]
 fn extreme_base_sizes() {
-    for benchmark in Benchmark::ALL {
+    for benchmark in Benchmark::ALL4 {
         // base == n (single tile) and base == 1/2/4 (deep recursion).
         for (n, base) in [(64, 64), (64, 2), (32, 4)] {
             let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, 2);
@@ -59,11 +59,11 @@ proptest! {
         n_exp in 5usize..8,          // n in {32, 64, 128}
         base_exp in 2usize..5,       // base in {4, 8, 16}
         threads in 1usize..5,
-        bench_idx in 0usize..3,
+        bench_idx in 0usize..4,
     ) {
         let n = 1 << n_exp;
         let base = 1 << base_exp.min(n_exp);
-        let benchmark = Benchmark::ALL[bench_idx];
+        let benchmark = Benchmark::ALL4[bench_idx];
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, threads);
         for execution in [
             Execution::ForkJoin,

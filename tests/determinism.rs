@@ -8,7 +8,7 @@ use recdp_suite::{run_benchmark, Benchmark, Execution};
 
 #[test]
 fn cnc_output_independent_of_thread_count() {
-    for benchmark in Benchmark::ALL {
+    for benchmark in Benchmark::ALL4 {
         let reference = run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 8, 1);
         for threads in [2usize, 3, 4, 8] {
             let out = run_benchmark(
@@ -30,7 +30,7 @@ fn cnc_output_independent_of_thread_count() {
 
 #[test]
 fn forkjoin_output_independent_of_thread_count() {
-    for benchmark in Benchmark::ALL {
+    for benchmark in Benchmark::ALL4 {
         let reference = run_benchmark(benchmark, Execution::ForkJoin, 64, 8, 1);
         for threads in [2usize, 4, 8] {
             let out = run_benchmark(benchmark, Execution::ForkJoin, 64, 8, threads);
@@ -57,7 +57,7 @@ fn repeated_runs_are_stable() {
 
 #[test]
 fn variants_agree_with_each_other() {
-    for benchmark in Benchmark::ALL {
+    for benchmark in Benchmark::ALL4 {
         let native = run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 16, 3);
         for variant in [CncVariant::Tuner, CncVariant::Manual] {
             let out = run_benchmark(benchmark, Execution::Cnc(variant), 64, 16, 3);
@@ -79,4 +79,13 @@ fn completed_base_tasks_match_theory() {
     // SW: 8^2 = 64 tiles.
     let out = run_benchmark(Benchmark::Sw, Execution::Cnc(CncVariant::Native), 64, 8, 4);
     assert_eq!(out.cnc_stats.expect("cnc stats").items_put, 64);
+    // Parenthesization: upper triangle, t(t+1)/2 = 36 tiles.
+    let out = run_benchmark(
+        Benchmark::Paren,
+        Execution::Cnc(CncVariant::Native),
+        64,
+        8,
+        4,
+    );
+    assert_eq!(out.cnc_stats.expect("cnc stats").items_put, 36);
 }

@@ -1,7 +1,11 @@
-//! Schedule invariance of the paper's three DP kernels: on every
-//! explored schedule of the managed CnC runtime, the final DP table is
-//! bit-identical to the serial `loops` oracle and the replay-stable
-//! counter projection is identical across schedules.
+//! Schedule invariance of the DP kernels: on every explored schedule of
+//! the managed CnC runtime, the final DP table is bit-identical to the
+//! serial `loops` oracle and the replay-stable counter projection is
+//! identical across schedules.
+//!
+//! The harness is generic over [`DpSpec`], so each benchmark is one
+//! call site handing the engine its spec — GE, SW, FW and the
+//! parenthesization extension all run through the same check.
 //!
 //! Exploration is driven by `recdp-check` (no proptest — the corpus is
 //! seeded, and any failure prints a `RECDP_CHECK_SEED` replay recipe).
@@ -9,11 +13,12 @@
 //! polling makes even `tags_put` schedule-dependent (that wasted work is
 //! what Table I measures), so it has no invariant counter projection.
 
-use recdp_check::{explore, replay_stable, Config, SharedScheduler};
+use recdp_check::{explore, replay_stable, Config, ReplayStats, SharedScheduler};
 use recdp_cnc::{CncGraph, RetryPolicy};
 use recdp_faults::FaultPlan;
-use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
-use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
+use recdp_kernels::engine::run_cnc_on;
+use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
+use recdp_kernels::{fw, ge, paren, sw, CncVariant, DpSpec, Matrix};
 use std::sync::Arc;
 
 const N: usize = 16;
@@ -35,95 +40,139 @@ fn managed(sched: &SharedScheduler) -> CncGraph {
     graph
 }
 
-#[test]
-fn ge_table_and_stats_invariant_across_schedules() {
-    let mut oracle = ge_matrix(N, SEED);
-    ge::ge_loops(&mut oracle);
+/// The generic invariance check. `fresh` builds the input table, `spec`
+/// wraps it in the benchmark's [`DpSpec`], `loops` is the serial oracle.
+/// Every blocking variant must reproduce the oracle bit for bit on every
+/// explored schedule, with a schedule-independent counter projection.
+fn invariant_across_schedules<S: DpSpec>(
+    name: &str,
+    fresh: &dyn Fn() -> Matrix,
+    spec: &dyn Fn(&mut Matrix) -> S,
+    loops: &dyn Fn(&mut Matrix),
+) {
+    let mut oracle = fresh();
+    loops(&mut oracle);
     let oracle_digest = oracle.bit_digest();
     for variant in VARIANTS {
         explore(&corpus(), |s| {
-            let mut m = ge_matrix(N, SEED);
+            let mut m = fresh();
+            let sp = spec(&mut m);
             let graph = managed(&s);
-            let stats = ge::ge_cnc_on(&mut m, BASE, variant, &graph)
-                .expect("GE must quiesce on every schedule");
+            let stats = run_cnc_on(&sp, variant, &graph).unwrap_or_else(|e| {
+                panic!("{name}/{variant:?} must quiesce on every schedule: {e:?}")
+            });
             assert_eq!(
                 m.bit_digest(),
                 oracle_digest,
-                "GE/{variant:?} table diverged from the serial-loops oracle"
+                "{name}/{variant:?} table diverged from the serial-loops oracle"
             );
             (m.bit_digest(), replay_stable(&stats))
         });
     }
+}
+
+/// The generic fault-absorption check: a fixed reseeded fault plan rides
+/// along with every schedule. Transient-fault decisions key on
+/// `(step, tag, attempt)`, so `faults_injected`/`steps_retried` join the
+/// invariant observation, and the retried table still matches the oracle
+/// bit for bit.
+fn faults_absorbed_across_schedules<S: DpSpec>(
+    name: &str,
+    fault_seed: u64,
+    fresh: &dyn Fn() -> Matrix,
+    spec: &dyn Fn(&mut Matrix) -> S,
+    loops: &dyn Fn(&mut Matrix),
+) -> ReplayStats {
+    let mut oracle = fresh();
+    loops(&mut oracle);
+    let oracle_digest = oracle.bit_digest();
+    let template = FaultPlan::new(0).transient_step_failures(0.25);
+    explore(&corpus(), |s| {
+        let mut m = fresh();
+        let sp = spec(&mut m);
+        let graph = managed(&s);
+        graph.set_retry_policy(RetryPolicy::attempts(10));
+        graph.set_fault_injector(Arc::new(template.reseeded(fault_seed)));
+        let stats = run_cnc_on(&sp, CncVariant::Native, &graph).unwrap_or_else(|e| {
+            panic!("{name}: retries must absorb the fault plan on every schedule: {e:?}")
+        });
+        assert_eq!(
+            m.bit_digest(),
+            oracle_digest,
+            "faulty {name} diverged from oracle"
+        );
+        replay_stable(&stats)
+    })
+}
+
+#[test]
+fn ge_table_and_stats_invariant_across_schedules() {
+    invariant_across_schedules(
+        "GE",
+        &|| ge_matrix(N, SEED),
+        &|m| ge::GeSpec::new(m.ptr(), BASE),
+        &|m| ge::ge_loops(m),
+    );
 }
 
 #[test]
 fn sw_table_and_stats_invariant_across_schedules() {
     let a = dna_sequence(N, SEED);
     let b = dna_sequence(N, SEED ^ 0xFFFF);
-    let mut oracle = Matrix::zeros(N);
-    sw::sw_loops(&mut oracle, &a, &b);
-    let oracle_digest = oracle.bit_digest();
-    for variant in VARIANTS {
-        explore(&corpus(), |s| {
-            let mut m = Matrix::zeros(N);
-            let graph = managed(&s);
-            let stats = sw::sw_cnc_on(&mut m, &a, &b, BASE, variant, &graph)
-                .expect("SW must quiesce on every schedule");
-            assert_eq!(
-                m.bit_digest(),
-                oracle_digest,
-                "SW/{variant:?} table diverged from the serial-loops oracle"
-            );
-            (m.bit_digest(), replay_stable(&stats))
-        });
-    }
+    invariant_across_schedules(
+        "SW",
+        &|| Matrix::zeros(N),
+        &|m| sw::SwSpec::new(m.ptr(), &a, &b, BASE),
+        &|m| sw::sw_loops(m, &a, &b),
+    );
 }
 
 #[test]
 fn fw_table_and_stats_invariant_across_schedules() {
-    let mut oracle = fw_matrix(N, SEED, 0.35);
-    fw::fw_loops(&mut oracle);
-    let oracle_digest = oracle.bit_digest();
-    for variant in VARIANTS {
-        explore(&corpus(), |s| {
-            let mut m = fw_matrix(N, SEED, 0.35);
-            let graph = managed(&s);
-            let stats = fw::fw_cnc_on(&mut m, BASE, variant, &graph)
-                .expect("FW must quiesce on every schedule");
-            assert_eq!(
-                m.bit_digest(),
-                oracle_digest,
-                "FW/{variant:?} table diverged from the serial-loops oracle"
-            );
-            (m.bit_digest(), replay_stable(&stats))
-        });
-    }
+    invariant_across_schedules(
+        "FW",
+        &|| fw_matrix(N, SEED, 0.35),
+        &|m| fw::FwSpec::new(m.ptr(), BASE),
+        &|m| fw::fw_loops(m),
+    );
+}
+
+#[test]
+fn paren_table_and_stats_invariant_across_schedules() {
+    let dims = chain_dims(N, SEED);
+    invariant_across_schedules(
+        "PAREN",
+        &|| Matrix::zeros(N),
+        &|m| paren::ParenSpec::new(m.ptr(), &dims, BASE),
+        &|m| paren::paren_loops(m, &dims),
+    );
 }
 
 #[test]
 fn ge_under_faults_stays_invariant_across_schedules() {
-    // A fixed reseeded fault plan rides along with every schedule:
-    // transient-fault decisions key on (step, tag, attempt), so
-    // `faults_injected`/`steps_retried` join the invariant observation,
-    // and the retried table still matches the oracle bit for bit.
-    let mut oracle = ge_matrix(N, SEED);
-    ge::ge_loops(&mut oracle);
-    let oracle_digest = oracle.bit_digest();
-    let template = FaultPlan::new(0).transient_step_failures(0.25);
-    let stable = explore(&corpus(), |s| {
-        let mut m = ge_matrix(N, SEED);
-        let graph = managed(&s);
-        graph.set_retry_policy(RetryPolicy::attempts(10));
-        graph.set_fault_injector(Arc::new(template.reseeded(0xFA57)));
-        let stats = ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph)
-            .expect("retries must absorb the fault plan on every schedule");
-        assert_eq!(
-            m.bit_digest(),
-            oracle_digest,
-            "faulty GE diverged from oracle"
-        );
-        replay_stable(&stats)
-    });
+    let stable = faults_absorbed_across_schedules(
+        "GE",
+        0xFA57,
+        &|| ge_matrix(N, SEED),
+        &|m| ge::GeSpec::new(m.ptr(), BASE),
+        &|m| ge::ge_loops(m),
+    );
+    assert!(
+        stable.faults_injected > 0,
+        "the fault plan injected nothing"
+    );
+}
+
+#[test]
+fn paren_under_faults_stays_invariant_across_schedules() {
+    let dims = chain_dims(N, SEED);
+    let stable = faults_absorbed_across_schedules(
+        "PAREN",
+        0x9A27,
+        &|| Matrix::zeros(N),
+        &|m| paren::ParenSpec::new(m.ptr(), &dims, BASE),
+        &|m| paren::paren_loops(m, &dims),
+    );
     assert!(
         stable.faults_injected > 0,
         "the fault plan injected nothing"
