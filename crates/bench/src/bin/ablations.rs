@@ -17,6 +17,11 @@
 //! 6. **Worker failures**: graceful-degradation makespan curves of the
 //!    simulated testbeds as fail-stop worker kills accumulate (lost
 //!    partial work is re-executed on the survivors).
+//! 7. **Checkpoint/resume recovery**: how much work a checkpoint saves
+//!    when a job is killed after k steps (real runtime, managed FIFO
+//!    mode), plus degrade-vs-respawn makespans of the fail-stop
+//!    simulator. Deterministic; written to `results/recovery.csv` and
+//!    golden-tested.
 //!
 //! Usage: `ablations`
 
@@ -44,6 +49,30 @@ fn main() {
     worker_failures(&mut csv);
     let path = recdp_bench::write_results("ablations.csv", &csv);
     println!("\nwrote {}", path.display());
+    recovery_costs();
+}
+
+fn recovery_costs() {
+    println!("\n== ablation 7: checkpoint/resume recovery (kill after k steps, managed FIFO) ==");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "bench", "kill after", "executed", "items", "skipped", "resumed run"
+    );
+    for r in recdp_bench::recovery::checkpoint_rows() {
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+            r.benchmark,
+            r.kill_after,
+            r.executed_steps,
+            r.snapshot_items,
+            r.steps_skipped,
+            r.resumed_steps_completed
+        );
+    }
+    println!("(a resumed run skips exactly the checkpointed steps; the sim section of the");
+    println!(" CSV adds degrade-vs-respawn makespans of the same kill schedules)");
+    let path = recdp_bench::write_results("recovery.csv", &recdp_bench::recovery::recovery_csv());
+    println!("wrote {}", path.display());
 }
 
 fn rway_sweep(csv: &mut String) {
@@ -191,6 +220,7 @@ fn resilience_overhead(csv: &mut String) {
             } else {
                 None
             },
+            ..Default::default()
         };
         let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 256, 32, 2, &opts)
             .expect("retry budget absorbs the injected transient faults");

@@ -493,3 +493,197 @@ pub mod figures {
         }
     }
 }
+
+/// Deterministic recovery-cost data behind `results/recovery.csv`,
+/// shared between the `ablations` binary and the golden-file tests.
+///
+/// Two sections, both free of wall-clock measurements so the CSV is a
+/// committable golden:
+///
+/// * **checkpoint** — on the real CnC runtime in managed (serialised
+///   FIFO) mode, kill each benchmark's job after a fixed number of
+///   steps, checkpoint, and resume: the row records how much work the
+///   checkpoint preserved (`executed_steps`, `snapshot_items`) and what
+///   the resumed run did (`steps_skipped` — work *not* repeated thanks
+///   to the checkpoint — and `resumed_steps_completed`, the re-run
+///   expansion steps plus the remaining data producers).
+/// * **sim** — discrete-event makespans of fail-stop kills under the
+///   degrade vs respawn recovery modes (mirroring the real pool's
+///   `RecoveryMode`), quantifying what respawning buys.
+pub mod recovery {
+    use recdp_cnc::CncGraph;
+    use recdp_kernels::engine::{register_cnc_on, run_cnc_on};
+    use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
+    use recdp_kernels::{fw, ge, paren, sw, CncVariant, DpSpec};
+    use recdp_machine::{epyc64, ParadigmOverheads};
+    use recdp_sim::{config_for, simulate, simulate_with_recovery, SimRecovery, Workload};
+    use recdp_taskgraph::{dataflow, ge_kernel_flops};
+
+    /// Problem size of the checkpoint section (kept test-sized: the
+    /// golden regenerates inside the goldens test).
+    pub const N: usize = 64;
+    /// Base-case size of the checkpoint section.
+    pub const BASE: usize = 16;
+    /// Workload seed of the checkpoint section (matrix *values* never
+    /// enter the CSV — every column is a schedule-structure count).
+    pub const SEED: u64 = 0xD1CE;
+    /// Steps run before the kill, per checkpoint row.
+    pub const KILL_POINTS: [usize; 4] = [0, 4, 16, 64];
+
+    /// One checkpoint-section row.
+    #[derive(Debug, Clone)]
+    pub struct CheckpointRow {
+        /// Benchmark label (GE / SW / FW / PAREN).
+        pub benchmark: &'static str,
+        /// Steps the first (killed) run completed before the kill.
+        pub kill_after: usize,
+        /// Data-producing steps the checkpoint preserved.
+        pub executed_steps: usize,
+        /// Item snapshots the checkpoint carried.
+        pub snapshot_items: usize,
+        /// Steps the resumed run skipped (work saved by the checkpoint).
+        pub steps_skipped: u64,
+        /// Steps the resumed run executed (re-run expansions + the rest).
+        pub resumed_steps_completed: u64,
+    }
+
+    /// FIFO picker: managed execution is single-threaded, so always
+    /// picking the oldest ready instance makes every run — and therefore
+    /// the whole CSV — deterministic.
+    fn fifo() -> recdp_cnc::PickFn {
+        Box::new(|_ready| 0)
+    }
+
+    /// Kills `spec`'s job after `kill_after` managed FIFO steps,
+    /// checkpoints, resumes on a fresh graph, and runs to quiescence.
+    fn checkpoint_cycle<S: DpSpec>(
+        benchmark: &'static str,
+        spec: &S,
+        kill_after: usize,
+    ) -> CheckpointRow {
+        let (killed, handle) = CncGraph::managed(fifo());
+        register_cnc_on(spec, CncVariant::Native, &killed);
+        for _ in 0..kill_after {
+            if !handle.run_one() {
+                break;
+            }
+        }
+        let cp = killed.checkpoint();
+        drop((handle, killed));
+
+        let (resumed, _handle) = CncGraph::managed(fifo());
+        resumed.resume_from(&cp);
+        let stats =
+            run_cnc_on(spec, CncVariant::Native, &resumed).expect("resumed managed run quiesces");
+        CheckpointRow {
+            benchmark,
+            kill_after,
+            executed_steps: cp.executed_steps(),
+            snapshot_items: cp.items(),
+            steps_skipped: stats.steps_skipped,
+            resumed_steps_completed: stats.steps_completed,
+        }
+    }
+
+    /// All checkpoint-section rows: four benchmarks × [`KILL_POINTS`].
+    pub fn checkpoint_rows() -> Vec<CheckpointRow> {
+        let mut rows = Vec::new();
+        for &kill_after in &KILL_POINTS {
+            let mut m = ge_matrix(N, SEED);
+            rows.push(checkpoint_cycle(
+                "GE",
+                &ge::GeSpec::new(m.ptr(), BASE),
+                kill_after,
+            ));
+        }
+        let a = dna_sequence(N, SEED);
+        let b = dna_sequence(N, SEED ^ 0xFFFF);
+        for &kill_after in &KILL_POINTS {
+            let mut m = recdp_kernels::Matrix::zeros(N);
+            rows.push(checkpoint_cycle(
+                "SW",
+                &sw::SwSpec::new(m.ptr(), &a, &b, BASE),
+                kill_after,
+            ));
+        }
+        for &kill_after in &KILL_POINTS {
+            let mut m = fw_matrix(N, SEED, 0.35);
+            rows.push(checkpoint_cycle(
+                "FW",
+                &fw::FwSpec::new(m.ptr(), BASE),
+                kill_after,
+            ));
+        }
+        let dims = chain_dims(N, SEED);
+        for &kill_after in &KILL_POINTS {
+            let mut m = recdp_kernels::Matrix::zeros(N);
+            rows.push(checkpoint_cycle(
+                "PAREN",
+                &paren::ParenSpec::new(m.ptr(), &dims, BASE),
+                kill_after,
+            ));
+        }
+        rows
+    }
+
+    /// The full `recovery.csv` content (checkpoint section, then the
+    /// degrade-vs-respawn simulation section).
+    pub fn recovery_csv() -> String {
+        let mut csv = String::from(
+            "section,benchmark,kill_after,executed_steps,snapshot_items,\
+             steps_skipped,resumed_steps_completed\n",
+        );
+        for r in checkpoint_rows() {
+            csv.push_str(&format!(
+                "checkpoint,{},{},{},{},{},{}\n",
+                r.benchmark,
+                r.kill_after,
+                r.executed_steps,
+                r.snapshot_items,
+                r.steps_skipped,
+                r.resumed_steps_completed
+            ));
+        }
+
+        csv.push_str(
+            "section,mode,kills,makespan_ns,wasted_ns,reexecuted_tasks,\
+             worker_failures,worker_respawns\n",
+        );
+        let graph = dataflow::ge(16, &ge_kernel_flops(128));
+        let cfg = config_for(
+            &epyc64(),
+            &ParadigmOverheads::cnc_tuner(),
+            Workload::Ge,
+            128,
+            64,
+        );
+        let base = simulate(&graph, &cfg);
+        for kills in [0usize, 4, 16, 32] {
+            // Kills evenly spaced across the failure-free makespan, as
+            // in the worker-failures ablation.
+            let times: Vec<u64> = (1..=kills)
+                .map(|i| (base.makespan_ns * i as f64 / (kills + 1) as f64) as u64)
+                .collect();
+            for (label, mode) in [
+                ("degrade", SimRecovery::Degrade),
+                (
+                    "respawn",
+                    SimRecovery::Respawn {
+                        delay_ns: base.makespan_ns * 0.01,
+                    },
+                ),
+            ] {
+                let r = simulate_with_recovery(&graph, &cfg, &times, mode);
+                csv.push_str(&format!(
+                    "sim,{label},{kills},{:.6e},{:.6e},{},{},{}\n",
+                    r.makespan_ns,
+                    r.wasted_ns,
+                    r.reexecuted_tasks,
+                    r.worker_failures,
+                    r.worker_respawns
+                ));
+            }
+        }
+        csv
+    }
+}

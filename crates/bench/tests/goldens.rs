@@ -1,5 +1,6 @@
-//! Golden-file tests: the committed `results/table1.csv` and
-//! `results/span_work.csv` must match what the current code regenerates.
+//! Golden-file tests: the committed `results/table1.csv`,
+//! `results/span_work.csv` and `results/recovery.csv` must match what
+//! the current code regenerates.
 //!
 //! Table I is regenerated in `--quick` mode (trace limit 128), so rows
 //! above the quick limit have `-` in the traced columns where the
@@ -82,4 +83,14 @@ fn span_work_matches_committed_golden() {
     let golden = read_golden("span_work.csv");
     let regenerated = span_work_csv();
     assert_csv_close("span_work.csv", &golden, &regenerated);
+}
+
+#[test]
+fn recovery_matches_committed_golden() {
+    // Every cell is a schedule-structure count or a simulated makespan —
+    // deterministic by construction (managed FIFO serialises the real
+    // runtime; the simulator is a pure function of the graph).
+    let golden = read_golden("recovery.csv");
+    let regenerated = recdp_bench::recovery::recovery_csv();
+    assert_csv_close("recovery.csv", &golden, &regenerated);
 }

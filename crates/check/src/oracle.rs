@@ -21,6 +21,11 @@
 //! execution, so requeue-dependent), and `nb_retries` (non-blocking
 //! self-respawns are the schedule-dependent wasted work the paper
 //! measures — Table I exists because that number varies).
+//!
+//! `steps_skipped` and `items_restored` *are* included: on a resumed
+//! graph they are pure functions of the checkpoint it was seeded from
+//! (skip-set and snapshot cardinality), not of the replay interleaving,
+//! which is exactly what the kill/resume exploration needs to assert.
 
 use recdp_cnc::GraphStats;
 
@@ -39,6 +44,12 @@ pub struct ReplayStats {
     /// Transient-failure retries taken (attempt numbers advance only on
     /// real retries, so this is as replay-stable as the plan itself).
     pub steps_retried: u64,
+    /// Instances skipped because a resume skip-set marked them executed
+    /// (a pure function of the checkpoint, not the interleaving).
+    pub steps_skipped: u64,
+    /// Items re-seeded from a checkpoint snapshot at collection
+    /// creation (ditto: snapshot cardinality, schedule-free).
+    pub items_restored: u64,
 }
 
 /// Projects the replay-stable counters out of a stats snapshot.
@@ -49,6 +60,8 @@ pub fn replay_stable(stats: &GraphStats) -> ReplayStats {
         tags_put: stats.tags_put,
         faults_injected: stats.faults_injected,
         steps_retried: stats.steps_retried,
+        steps_skipped: stats.steps_skipped,
+        items_restored: stats.items_restored,
     }
 }
 
@@ -71,6 +84,8 @@ mod tests {
             gets_nb_missing: 0,
             nb_retries: 0,
             tags_put: 7,
+            steps_skipped: 2,
+            items_restored: 4,
         };
         let stable = replay_stable(&stats);
         assert_eq!(
@@ -81,6 +96,8 @@ mod tests {
                 tags_put: 7,
                 faults_injected: 1,
                 steps_retried: 1,
+                steps_skipped: 2,
+                items_restored: 4,
             }
         );
     }

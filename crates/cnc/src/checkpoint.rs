@@ -1,0 +1,89 @@
+//! Job-level checkpoint/resume for CnC graphs.
+//!
+//! Single assignment is what makes this sound: a completed step's items
+//! can never be overwritten, so the pair (ready items, completed steps)
+//! is a consistent cut of the computation at any quiescent point — there
+//! is no in-place mutable state inside the graph whose partial updates a
+//! snapshot could tear. [`crate::CncGraph::checkpoint`] captures that
+//! cut; [`crate::CncGraph::resume_from`] installs it on a fresh graph so
+//! a job aborted by a deadline, a cancellation, or worker loss restarts
+//! from its completed tiles instead of from zero.
+//!
+//! What is recorded:
+//!
+//! * every *ready* entry of every item collection (type-erased, shared
+//!   by `Arc` so a checkpoint is cheap to clone and can seed several
+//!   resume attempts);
+//! * the executed-step set: `(step name, tag hash)` of every completed
+//!   execution that put **no tags**. Steps that put tags are the
+//!   recursive expansion of the computation — they must re-run on resume
+//!   so the tag tree is rebuilt — and re-running them is idempotent
+//!   precisely because their spawned children are themselves either
+//!   skipped (in the set) or safe to re-run. Data-producing steps (zero
+//!   tag puts) are skipped on resume; their outputs arrive via the item
+//!   snapshot instead, so no item is ever put twice.
+//!
+//! The contract this relies on (and the generic `DpSpec` engine
+//! satisfies): a step either produces items *or* expands by putting
+//! tags, never both. A step that did both would re-put its items when
+//! its re-run expansion fires, and the single-assignment check reports
+//! exactly that violation rather than corrupting the graph silently.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A type-erased snapshot of one item collection's ready entries
+/// (`Arc<Vec<(K, V)>>` behind `dyn Any`), restored by the matching
+/// collection when it is re-created on a resumed graph.
+#[derive(Clone)]
+pub(crate) struct ItemSnapshot {
+    pub(crate) name: &'static str,
+    pub(crate) len: usize,
+    pub(crate) data: Arc<dyn Any + Send + Sync>,
+}
+
+/// A consistent cut of a CnC graph's progress: the ready items of every
+/// collection plus the set of completed data-producing steps. Taken with
+/// [`crate::CncGraph::checkpoint`], installed on a fresh graph with
+/// [`crate::CncGraph::resume_from`]. Cloning is cheap (snapshots are
+/// shared), so one checkpoint can seed several resume attempts.
+#[derive(Clone)]
+pub struct Checkpoint {
+    pub(crate) items: Vec<ItemSnapshot>,
+    pub(crate) executed: HashSet<(&'static str, u64)>,
+}
+
+impl Checkpoint {
+    /// Number of completed step executions the checkpoint records (the
+    /// steps a resumed run will skip).
+    pub fn executed_steps(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Total ready items snapshotted across all collections.
+    pub fn items(&self) -> usize {
+        self.items.iter().map(|s| s.len).sum()
+    }
+
+    /// Number of item collections snapshotted.
+    pub fn collections(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the checkpoint records no progress at all (resuming
+    /// from it is equivalent to a fresh run).
+    pub fn is_empty(&self) -> bool {
+        self.executed.is_empty() && self.items() == 0
+    }
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("collections", &self.collections())
+            .field("items", &self.items())
+            .field("executed_steps", &self.executed_steps())
+            .finish()
+    }
+}

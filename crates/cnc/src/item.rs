@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::checkpoint::ItemSnapshot;
 use crate::error::{CncError, StepAbort};
 use crate::fault::PutAction;
 use crate::runtime::{note_body_put, Countdown, ProbeWait, RuntimeCore, StepScope};
@@ -55,7 +56,29 @@ where
 {
     pub(crate) fn new(name: &'static str, core: Arc<RuntimeCore>) -> Self {
         core.spec.lock().push(format!("[{name}];"));
-        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        let shards: Vec<Mutex<HashMap<K, Entry<V>>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        // Resume: if a checkpoint installed via `CncGraph::resume_from`
+        // snapshotted a collection of this name, pre-seed its ready
+        // items before any step can get them. The seed is counted in
+        // `items_restored`, not `items_put` (nothing was put this run).
+        if let Some(seed) = core.take_resume_seed(name) {
+            let seed: Arc<Vec<(K, V)>> = seed.downcast().unwrap_or_else(|_| {
+                panic!(
+                    "resume seed for collection [{name}] has a different \
+                     key/value type than the original run"
+                )
+            });
+            for (key, value) in seed.iter() {
+                let mut h = DefaultHasher::new();
+                key.hash(&mut h);
+                let shard = &shards[(h.finish() as usize) % SHARDS];
+                shard
+                    .lock()
+                    .insert(key.clone(), Entry::Ready(value.clone()));
+                crate::stats::bump(&core.stats.items_restored);
+            }
+        }
         let inner = Arc::new(ItemInner { name, core, shards });
         // Deadlock diagnostics: let the runtime scan this collection for
         // parked waiters. The probe holds the collection weakly — the
@@ -81,6 +104,28 @@ where
                     }
                 }
             }));
+        // Checkpointing: snapshot this collection's ready entries (the
+        // single-assignment guarantee makes any quiescent snapshot a
+        // consistent cut — ready items are immutable once put).
+        let weak = Arc::downgrade(&inner);
+        inner.core.register_checkpoint_probe(Box::new(move || {
+            let mut ready: Vec<(K, V)> = Vec::new();
+            if let Some(inner) = weak.upgrade() {
+                for shard in &inner.shards {
+                    let map = shard.lock();
+                    for (key, entry) in map.iter() {
+                        if let Entry::Ready(v) = entry {
+                            ready.push((key.clone(), v.clone()));
+                        }
+                    }
+                }
+            }
+            ItemSnapshot {
+                name,
+                len: ready.len(),
+                data: Arc::new(ready) as Arc<dyn std::any::Any + Send + Sync>,
+            }
+        }));
         Self { inner }
     }
 

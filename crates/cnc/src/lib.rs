@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod error;
 mod fault;
 mod item;
@@ -65,6 +66,7 @@ mod runtime;
 mod stats;
 mod tag;
 
+pub use checkpoint::Checkpoint;
 pub use error::{BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure};
 pub use fault::{FaultAction, FaultInjector, FaultSite, PutAction};
 pub use item::ItemCollection;

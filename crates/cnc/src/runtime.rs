@@ -2,15 +2,18 @@
 //! cancellation handling, retry policies, deadlock diagnostics, and the
 //! pre-scheduling (tuner) machinery.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
-use recdp_trace::{EventKind, StepOutcomeKind, Tracer};
+use recdp_trace::{panic_message, EventKind, StepOutcomeKind, Tracer};
 
+use crate::checkpoint::{Checkpoint, ItemSnapshot};
 use crate::error::{
     BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure,
 };
@@ -396,6 +399,83 @@ impl CncGraph {
     pub fn num_threads(&self) -> usize {
         self.pool.as_ref().map_or(1, |p| p.num_threads())
     }
+
+    /// Snapshots the graph's progress as a [`Checkpoint`]: every ready
+    /// item of every collection plus the set of completed data-producing
+    /// steps (see [`crate::checkpoint`] for why that pair is a consistent
+    /// cut). In-flight instances are drained first (bounded wait, skipped
+    /// for managed graphs where nothing runs concurrently with the
+    /// caller), so no step body is mid-execution while the snapshot is
+    /// taken. Call after an aborted `wait` (deadline, cancellation,
+    /// worker loss) and install the result on a *fresh* graph with
+    /// [`CncGraph::resume_from`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        if self.pool.is_some() {
+            // Drain: fail-fast makes queued instances retire in
+            // microseconds; the bound only avoids masking a genuine
+            // runtime hang (same discipline as `Drop`).
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut guard = self.core.quiesce_mutex.lock();
+            while self.core.pending.load(Ordering::Acquire) > 0 {
+                if self
+                    .core
+                    .quiesce_cond
+                    .wait_until(&mut guard, deadline)
+                    .timed_out()
+                {
+                    break;
+                }
+            }
+        }
+        let items: Vec<ItemSnapshot> = self
+            .core
+            .checkpoint_probes
+            .lock()
+            .iter()
+            .map(|probe| probe())
+            .collect();
+        let mut executed = self.core.executed_log.lock().clone();
+        if let Some(skips) = self.core.skip_set.get() {
+            // Checkpointing a *resumed* graph carries the inherited skip
+            // set forward: those steps are still completed.
+            executed.extend(skips.iter().copied());
+        }
+        Checkpoint { items, executed }
+    }
+
+    /// Installs `checkpoint` on this graph: item collections created
+    /// afterwards are pre-seeded with the snapshotted ready items
+    /// (counted in [`GraphStats::items_restored`]), and step instances
+    /// the checkpoint records as completed retire without executing
+    /// their bodies (counted in [`GraphStats::steps_skipped`]).
+    ///
+    /// Call it on a fresh graph *before* creating any collection, then
+    /// re-register the same collections, steps, and environment puts as
+    /// the original run and call [`CncGraph::wait`]: only unproduced
+    /// steps re-execute, and single assignment guarantees the result is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a collection was already created on this graph, or if
+    /// called twice.
+    pub fn resume_from(&self, checkpoint: &Checkpoint) {
+        assert!(
+            self.core.spec.lock().is_empty(),
+            "resume_from must be called before any collection is created"
+        );
+        assert!(
+            self.core
+                .skip_set
+                .set(Arc::new(checkpoint.executed.clone()))
+                .is_ok(),
+            "resume_from called twice on the same graph"
+        );
+        let mut seeds = self.core.resume_seeds.lock();
+        for snap in &checkpoint.items {
+            seeds.insert(snap.name, snap.clone());
+        }
+    }
 }
 
 impl Default for CncGraph {
@@ -444,6 +524,11 @@ pub(crate) struct ProbeWait {
 
 pub(crate) type DiagProbe = Box<dyn Fn(&mut Vec<ProbeWait>) + Send + Sync>;
 
+/// Snapshots one item collection's ready entries for
+/// [`CncGraph::checkpoint`] (registered by `ItemCollection::new`, held
+/// weakly inside the closure like the diagnostic probes).
+pub(crate) type CheckpointProbe = Box<dyn Fn() -> ItemSnapshot + Send + Sync>;
+
 /// Shared runtime state. Step instances hold `Arc<RuntimeCore>`; the pool
 /// is held weakly so the graph owner controls its lifetime (dropping the
 /// graph mid-flight discards still-queued instances).
@@ -484,6 +569,22 @@ pub(crate) struct RuntimeCore {
     /// Event tracer, installed at most once via [`CncGraph::set_tracer`].
     /// `None` keeps every instrumentation site a single branch.
     tracer: OnceLock<Arc<Tracer>>,
+    /// Completed executions that put no tags: `(step name, tag hash)`.
+    /// The data-producing steps a checkpoint records and a resumed run
+    /// skips (tag-putting expansion steps re-run instead; see
+    /// [`crate::checkpoint`]).
+    executed_log: Mutex<HashSet<(&'static str, u64)>>,
+    /// Steps a checkpoint installed by [`CncGraph::resume_from`] marks
+    /// as already completed: instances whose identity is in the set
+    /// retire without executing their bodies.
+    skip_set: OnceLock<Arc<HashSet<(&'static str, u64)>>>,
+    /// Per-collection-name item snapshots installed by
+    /// [`CncGraph::resume_from`], consumed by `ItemCollection::new` when
+    /// the matching collection is re-created on the resumed graph.
+    resume_seeds: Mutex<HashMap<&'static str, ItemSnapshot>>,
+    /// One probe per item collection, snapshotting its ready entries for
+    /// [`CncGraph::checkpoint`].
+    checkpoint_probes: Mutex<Vec<CheckpointProbe>>,
     pub(crate) stats: StatCounters,
 }
 
@@ -520,6 +621,10 @@ impl RuntimeCore {
                 trace: Mutex::new(Vec::new()),
             }),
             tracer: OnceLock::new(),
+            executed_log: Mutex::new(HashSet::new()),
+            skip_set: OnceLock::new(),
+            resume_seeds: Mutex::new(HashMap::new()),
+            checkpoint_probes: Mutex::new(Vec::new()),
             stats: StatCounters::default(),
         })
     }
@@ -613,6 +718,27 @@ impl RuntimeCore {
         self.diag_probes.lock().push(probe);
     }
 
+    pub(crate) fn register_checkpoint_probe(&self, probe: CheckpointProbe) {
+        self.checkpoint_probes.lock().push(probe);
+    }
+
+    /// Removes and returns the resume seed for collection `name`, if a
+    /// checkpoint installed one (type-erased `Arc<Vec<(K, V)>>`).
+    pub(crate) fn take_resume_seed(
+        &self,
+        name: &'static str,
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.resume_seeds.lock().remove(name).map(|s| s.data)
+    }
+
+    /// True when an installed checkpoint records this instance as
+    /// already completed (its body must not run again).
+    pub(crate) fn should_skip(&self, step: &'static str, tag_hash: u64) -> bool {
+        self.skip_set
+            .get()
+            .is_some_and(|s| s.contains(&(step, tag_hash)))
+    }
+
     /// The installed fault injector, if any (for item-put interception).
     pub(crate) fn injector(&self) -> Option<Arc<dyn FaultInjector>> {
         self.fault_injector.read().clone()
@@ -703,7 +829,6 @@ fn build_diagnostic(raw: Vec<ProbeWait>) -> DeadlockDiagnostic {
 /// longest path is exponential in the worst case, so exploration stops
 /// after a fixed number of extensions and reports the best path found.
 fn longest_chain(raw: &[ProbeWait]) -> Vec<String> {
-    use std::collections::HashMap;
     if raw.is_empty() {
         return Vec::new();
     }
@@ -859,6 +984,15 @@ impl InstanceTask {
             self.core.finish_one();
             return;
         }
+        // Resume skip: a checkpoint installed via `resume_from` records
+        // this instance as already completed. Its outputs were restored
+        // into the item collections, so the body must not run again —
+        // single assignment forbids re-putting them.
+        if self.core.should_skip(self.step_name, self.tag_hash) {
+            crate::stats::bump(&self.core.stats.steps_skipped);
+            self.core.finish_one();
+            return;
+        }
         crate::stats::bump(&self.core.stats.steps_started);
         let lane = self.core.tracer.get().map(|t| t.lane());
         let t0 = lane.as_ref().map(|l| l.now());
@@ -874,6 +1008,7 @@ impl InstanceTask {
             Some(abort) => Ok(Err(abort)),
             None => {
                 BODY_PUTS.with(|c| c.set(Some(0)));
+                BODY_TAG_PUTS.with(|c| c.set(Some(0)));
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.exec)(&scope)))
             }
         };
@@ -881,6 +1016,7 @@ impl InstanceTask {
         // aborts, which fire before the body runs). `take` resets the
         // slot to None so environment code on this thread is not counted.
         let body_puts = BODY_PUTS.with(|c| c.take()).unwrap_or(0);
+        let body_tag_puts = BODY_TAG_PUTS.with(|c| c.take()).unwrap_or(0);
         let blocked_outcome = matches!(outcome, Ok(Err(StepAbort::Blocked)));
         let outcome_kind = match &outcome {
             Ok(Ok(_)) => StepOutcomeKind::Completed,
@@ -911,6 +1047,18 @@ impl InstanceTask {
         match outcome {
             Ok(Ok(_)) => {
                 crate::stats::bump(&self.core.stats.steps_completed);
+                // Only zero-tag-put completions enter the checkpoint log:
+                // they are pure data producers whose effects the item
+                // snapshot captures, so a resumed run can skip them. A
+                // tag-putting execution is recursive expansion — it must
+                // re-run on resume to rebuild the tag tree (and doing so
+                // is safe precisely because it put no items).
+                if body_tag_puts == 0 {
+                    self.core
+                        .executed_log
+                        .lock()
+                        .insert((self.step_name, self.tag_hash));
+                }
             }
             Ok(Err(StepAbort::Blocked)) => {
                 crate::stats::bump(&self.core.stats.steps_requeued);
@@ -1062,6 +1210,13 @@ thread_local! {
     /// already published effects: re-running it would repeat the puts,
     /// and single assignment forbids that.
     static BODY_PUTS: Cell<Option<u64>> = const { Cell::new(None) };
+
+    /// Tag puts performed by the step body currently executing on this
+    /// thread (a subset of `BODY_PUTS`); `None` outside a body. Used by
+    /// checkpointing: only executions that put no tags are recorded as
+    /// completed, so resume skips data producers and re-runs expansion
+    /// (see [`crate::checkpoint`]).
+    static BODY_TAG_PUTS: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Notes one put made by the step body running on this thread (no-op on
@@ -1074,14 +1229,15 @@ pub(crate) fn note_body_put() {
     });
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic>".to_string()
-    }
+/// Notes one *tag* put made by the step body running on this thread
+/// (no-op on environment threads). Called by tag collections alongside
+/// [`note_body_put`].
+pub(crate) fn note_body_tag_put() {
+    BODY_TAG_PUTS.with(|c| {
+        if let Some(n) = c.get() {
+            c.set(Some(n + 1));
+        }
+    });
 }
 
 /// The execution context handed to a step body. Blocking gets use it to

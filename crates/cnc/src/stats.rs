@@ -17,6 +17,8 @@ pub(crate) struct StatCounters {
     pub gets_nb_missing: AtomicU64,
     pub nb_retries: AtomicU64,
     pub tags_put: AtomicU64,
+    pub steps_skipped: AtomicU64,
+    pub items_restored: AtomicU64,
 }
 
 /// Publishes one count. Every increment is a release store so that an
@@ -53,6 +55,8 @@ impl StatCounters {
         let tags_put = self.tags_put.load(Ordering::Acquire);
         let faults_injected = self.faults_injected.load(Ordering::Acquire);
         let delays_injected = self.delays_injected.load(Ordering::Acquire);
+        let steps_skipped = self.steps_skipped.load(Ordering::Acquire);
+        let items_restored = self.items_restored.load(Ordering::Acquire);
         let steps_started = self.steps_started.load(Ordering::Acquire);
         GraphStats {
             steps_started,
@@ -67,6 +71,8 @@ impl StatCounters {
             gets_nb_missing,
             nb_retries,
             tags_put,
+            steps_skipped,
+            items_restored,
         }
     }
 }
@@ -117,6 +123,15 @@ pub struct GraphStats {
     pub nb_retries: u64,
     /// Tags put.
     pub tags_put: u64,
+    /// Step instances whose bodies were *not* executed because a
+    /// checkpoint installed via [`crate::CncGraph::resume_from`] already
+    /// records them as completed. A resumed run re-executes only
+    /// unproduced steps; this counter is the proof.
+    pub steps_skipped: u64,
+    /// Ready items pre-seeded into collections from a checkpoint by
+    /// [`crate::CncGraph::resume_from`] (not counted in `items_put`,
+    /// which tracks puts performed during this run).
+    pub items_restored: u64,
 }
 
 impl GraphStats {

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::runtime::{note_body_put, Countdown, DepSet, InstanceTask, RuntimeCore, StepScope};
+use crate::runtime::{
+    note_body_put, note_body_tag_put, Countdown, DepSet, InstanceTask, RuntimeCore, StepScope,
+};
 use crate::StepResult;
 
 type StepBody<T> = Arc<dyn Fn(&T, &StepScope) -> StepResult + Send + Sync>;
@@ -112,8 +114,11 @@ where
         crate::stats::bump(&self.inner.core.stats.tags_put);
         // A tag put from inside a body spawns instances — re-executing
         // the body would spawn them again, so it counts as a
-        // non-retryable side effect like an item put.
+        // non-retryable side effect like an item put. It also marks the
+        // execution as expansion, which checkpoints never record as
+        // completed (see `crate::checkpoint`).
         note_body_put();
+        note_body_tag_put();
         for task in self.instances(&tag) {
             task.enqueue();
         }
@@ -127,6 +132,7 @@ where
         crate::stats::bump(&self.inner.core.stats.nb_retries);
         crate::stats::bump(&self.inner.core.stats.tags_put);
         note_body_put();
+        note_body_tag_put();
         for task in self.instances(&tag) {
             // Fair (global-injector) dispatch: a self-respawning step on
             // a LIFO deque would otherwise be popped straight back and
@@ -142,6 +148,7 @@ where
     pub fn put_when(&self, tag: T, deps: &DepSet) {
         crate::stats::bump(&self.inner.core.stats.tags_put);
         note_body_put();
+        note_body_tag_put();
         for task in self.instances(&tag) {
             let countdown = Countdown::arm(task);
             deps.register_all(&countdown);

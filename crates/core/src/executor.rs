@@ -10,8 +10,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use recdp_cnc::{CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
-use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
+use recdp_cnc::{Checkpoint, CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
+use recdp_forkjoin::{RecoveryMode, ThreadPool, ThreadPoolBuilder};
 use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{engine, fw, ge, paren, sw, CncVariant, Matrix};
 use recdp_kernels::{fw::FwSpec, ge::GeSpec, paren::ParenSpec, sw::SwSpec};
@@ -295,9 +295,40 @@ pub fn run_benchmark_traced(
     )
 }
 
+/// How [`run_benchmark_resilient`] reacts to fail-stop loss: worker
+/// deaths during the run, and jobs that blow their deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// No recovery: worker kills degrade the pool (the runtime's
+    /// default, which still requeues a dying worker's work) and a
+    /// missed deadline is a terminal [`CncError::Timeout`].
+    #[default]
+    None,
+    /// Every killed worker is replaced by a fresh thread; a missed
+    /// deadline is still terminal.
+    Respawn,
+    /// Killed workers are not replaced — the pool shrinks (never below
+    /// one, so the job always finishes); a missed deadline is terminal.
+    Degrade,
+    /// Checkpoint/resume: the job runs in bounded time slices. A slice
+    /// that times out is checkpointed ([`CncGraph::checkpoint`]) and the
+    /// job resumes on a fresh graph ([`CncGraph::resume_from`]) that
+    /// skips every step the previous slices completed. Worker kills are
+    /// handled by respawn within each slice.
+    CheckpointInterval {
+        /// Deadline of each attempt. (Overrides
+        /// [`ResilienceOptions::deadline`], which bounds single-attempt
+        /// policies.)
+        slice: Duration,
+        /// Resume budget: at most this many checkpoint/resume cycles
+        /// before the timeout becomes terminal.
+        max_resumes: u32,
+    },
+}
+
 /// Resilience configuration for [`run_benchmark_resilient`]: how the CnC
-/// graph behind a benchmark run reacts to transient step failures, and
-/// the time/cancellation bounds on the run.
+/// graph behind a benchmark run reacts to transient step failures and
+/// fail-stop worker loss, and the time/cancellation bounds on the run.
 #[derive(Clone, Default)]
 pub struct ResilienceOptions {
     /// Retry budget for transient step failures (default: one attempt,
@@ -308,6 +339,13 @@ pub struct ResilienceOptions {
     /// Fault injector armed on the graph (e.g. a seeded
     /// `recdp_faults::FaultPlan`); `None` runs fault-free.
     pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Reaction to fail-stop loss (worker deaths, missed deadlines).
+    pub recovery: RecoveryPolicy,
+    /// Fail-stop kill schedule for the pool backing the graph: offsets
+    /// in nanoseconds from pool start at which one worker dies (e.g.
+    /// `recdp_faults::FaultPlan::worker_kill_times_ns`). Empty runs on
+    /// an unsupervised pool.
+    pub worker_kills: Vec<u64>,
 }
 
 impl std::fmt::Debug for ResilienceOptions {
@@ -316,16 +354,66 @@ impl std::fmt::Debug for ResilienceOptions {
             .field("retry", &self.retry)
             .field("deadline", &self.deadline)
             .field("injector", &self.injector.as_ref().map(|_| "<injector>"))
+            .field("recovery", &self.recovery)
+            .field("worker_kills", &self.worker_kills)
             .finish()
     }
 }
 
+/// Builds one attempt's graph per `opts`: armed with the retry policy
+/// and fault injector, backed by a supervised pool when a kill schedule
+/// is set, and — when resuming — seeded from `checkpoint` *before* any
+/// collection exists (the [`CncGraph::resume_from`] contract).
+fn resilient_graph(
+    threads: usize,
+    opts: &ResilienceOptions,
+    deadline: Option<Duration>,
+    checkpoint: Option<&Checkpoint>,
+) -> CncGraph {
+    let graph = if opts.worker_kills.is_empty() {
+        CncGraph::with_threads(threads)
+    } else {
+        let mode = match opts.recovery {
+            RecoveryPolicy::Degrade => RecoveryMode::Degrade,
+            // `None` still survives kills — the pool's built-in requeue
+            // makes fail-stop loss a degradation, never lost work.
+            _ => RecoveryMode::Respawn,
+        };
+        let pool = Arc::new(
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .worker_kill_schedule(opts.worker_kills.clone())
+                .recovery_mode(mode)
+                .build(),
+        );
+        CncGraph::with_pool(pool)
+    };
+    if let Some(cp) = checkpoint {
+        graph.resume_from(cp);
+    }
+    graph.set_retry_policy(opts.retry);
+    if let Some(d) = deadline {
+        graph.set_deadline(d);
+    }
+    if let Some(injector) = &opts.injector {
+        graph.set_fault_injector(Arc::clone(injector));
+    }
+    graph
+}
+
 /// Like [`run_benchmark`] restricted to the data-flow executions, but
 /// resilient: the CnC graph is armed with `opts` (retry policy, deadline,
-/// fault injector) before execution and structured failures are returned
-/// instead of panicking. The returned [`RunOutput`] always carries
-/// `cnc_stats` (`steps_retried` / `faults_injected` quantify the
-/// resilience cost).
+/// fault injector, recovery policy, worker-kill schedule) before
+/// execution and structured failures are returned instead of panicking.
+/// The returned [`RunOutput`] always carries `cnc_stats`
+/// (`steps_retried` / `faults_injected` / `steps_skipped` /
+/// `items_restored` quantify the resilience cost).
+///
+/// Under [`RecoveryPolicy::CheckpointInterval`] a timed-out slice is
+/// checkpointed and the job resumes on a fresh graph over the *same*
+/// table, re-running only the steps no earlier slice completed; the
+/// stats of the final (successful) attempt are returned, so
+/// `steps_skipped` reports how much work the last resume avoided.
 pub fn run_benchmark_resilient(
     benchmark: Benchmark,
     variant: CncVariant,
@@ -334,22 +422,42 @@ pub fn run_benchmark_resilient(
     threads: usize,
     opts: &ResilienceOptions,
 ) -> Result<RunOutput, CncError> {
-    let graph = CncGraph::with_threads(threads);
-    graph.set_retry_policy(opts.retry);
-    if let Some(d) = opts.deadline {
-        graph.set_deadline(d);
-    }
-    if let Some(injector) = &opts.injector {
-        graph.set_fault_injector(Arc::clone(injector));
-    }
     let p = prepare(benchmark, n, base);
     let start = Instant::now();
-    let stats = p.spec.cnc_on(variant, &graph)?;
-    Ok(RunOutput {
-        table: p.table,
-        seconds: start.elapsed().as_secs_f64(),
-        cnc_stats: Some(stats),
-    })
+    match opts.recovery {
+        RecoveryPolicy::None | RecoveryPolicy::Respawn | RecoveryPolicy::Degrade => {
+            let graph = resilient_graph(threads, opts, opts.deadline, None);
+            let stats = p.spec.cnc_on(variant, &graph)?;
+            Ok(RunOutput {
+                table: p.table,
+                seconds: start.elapsed().as_secs_f64(),
+                cnc_stats: Some(stats),
+            })
+        }
+        RecoveryPolicy::CheckpointInterval { slice, max_resumes } => {
+            let mut checkpoint: Option<Checkpoint> = None;
+            let mut resumes = 0u32;
+            loop {
+                let graph = resilient_graph(threads, opts, Some(slice), checkpoint.as_ref());
+                match p.spec.cnc_on(variant, &graph) {
+                    Ok(stats) => {
+                        return Ok(RunOutput {
+                            table: p.table,
+                            seconds: start.elapsed().as_secs_f64(),
+                            cnc_stats: Some(stats),
+                        })
+                    }
+                    Err(CncError::Timeout { .. }) if resumes < max_resumes => {
+                        // Snapshot what this slice (plus everything it
+                        // inherited) completed; the next attempt skips it.
+                        checkpoint = Some(graph.checkpoint());
+                        resumes += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +504,7 @@ mod tests {
             retry: RetryPolicy::attempts(8),
             deadline: Some(Duration::from_secs(60)),
             injector: Some(Arc::new(FaultPlan::new(7).transient_step_failures(0.2))),
+            ..Default::default()
         };
         let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 32, 8, 2, &opts)
             .expect("retries absorb the injected transient faults");
@@ -419,6 +528,93 @@ mod tests {
             CncError::StepFailed { .. } | CncError::RetryExhausted { .. } => {}
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn resilient_run_survives_worker_kills() {
+        use recdp_faults::FaultPlan;
+        let plan = FaultPlan::new(21)
+            .kill_worker_at_ns(200_000)
+            .kill_worker_at_ns(900_000);
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 64, 8, 1);
+        for recovery in [RecoveryPolicy::Respawn, RecoveryPolicy::Degrade] {
+            let opts = ResilienceOptions {
+                recovery,
+                worker_kills: plan.worker_kill_times_ns().to_vec(),
+                ..Default::default()
+            };
+            let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 64, 8, 3, &opts)
+                .expect("kills degrade or respawn, never abort the job");
+            assert!(out.table.bitwise_eq(&oracle.table), "{recovery:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_resumes_and_matches_oracle() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Fw, Execution::SerialLoops, 32, 8, 1);
+        // Every step sleeps 1ms. The 32/8 FW graph is 73 steps (64 base
+        // + 9 expansions), so its injected delay alone is 36.5ms of
+        // perfectly-packed work on 2 workers — one 30ms slice *cannot*
+        // finish it and at least one timeout -> checkpoint -> resume
+        // cycle is forced. Under Tuner, steps are pre-scheduled on their
+        // dependencies and execute exactly once, so every slice makes
+        // real progress and the budget below is generous.
+        let opts = ResilienceOptions {
+            injector: Some(Arc::new(
+                FaultPlan::new(11).slow_steps(1.0, Duration::from_millis(1)),
+            )),
+            recovery: RecoveryPolicy::CheckpointInterval {
+                slice: Duration::from_millis(30),
+                max_resumes: 40,
+            },
+            ..Default::default()
+        };
+        let out = run_benchmark_resilient(Benchmark::Fw, CncVariant::Tuner, 32, 8, 2, &opts)
+            .expect("checkpoint/resume absorbs the slice timeouts");
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let stats = out.cnc_stats.expect("resilient runs always carry stats");
+        assert!(
+            stats.steps_skipped > 0,
+            "no resume happened; the forced timeout did not fire: {stats:?}"
+        );
+        assert!(stats.items_restored > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn checkpoint_interval_without_timeouts_is_a_plain_run() {
+        let oracle = run_benchmark(Benchmark::Sw, Execution::SerialLoops, 32, 8, 1);
+        let opts = ResilienceOptions {
+            recovery: RecoveryPolicy::CheckpointInterval {
+                slice: Duration::from_secs(60),
+                max_resumes: 3,
+            },
+            ..Default::default()
+        };
+        let out = run_benchmark_resilient(Benchmark::Sw, CncVariant::Tuner, 32, 8, 2, &opts)
+            .expect("a generous slice never times out");
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let stats = out.cnc_stats.unwrap();
+        assert_eq!(stats.steps_skipped, 0);
+        assert_eq!(stats.items_restored, 0);
+    }
+
+    #[test]
+    fn exhausted_resume_budget_is_a_terminal_timeout() {
+        use recdp_faults::FaultPlan;
+        let opts = ResilienceOptions {
+            injector: Some(Arc::new(
+                FaultPlan::new(5).slow_steps(1.0, Duration::from_millis(20)),
+            )),
+            recovery: RecoveryPolicy::CheckpointInterval {
+                slice: Duration::from_millis(10),
+                max_resumes: 2,
+            },
+            ..Default::default()
+        };
+        let err = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 64, 8, 2, &opts)
+            .expect_err("10ms slices cannot finish 20ms steps within 2 resumes");
+        assert!(matches!(err, CncError::Timeout { .. }), "{err:?}");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod experiment;
 pub use analysis::{dag, dag_metrics, Model};
 pub use executor::{
     run_benchmark, run_benchmark_resilient, run_benchmark_traced, Benchmark, Execution,
-    ResilienceOptions, RunOutput,
+    RecoveryPolicy, ResilienceOptions, RunOutput,
 };
 pub use experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
 
@@ -53,11 +53,11 @@ pub mod prelude {
     pub use crate::analysis::{dag, dag_metrics, Model};
     pub use crate::executor::{
         run_benchmark, run_benchmark_resilient, run_benchmark_traced, Benchmark, Execution,
-        ResilienceOptions, RunOutput,
+        RecoveryPolicy, ResilienceOptions, RunOutput,
     };
     pub use crate::experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
-    pub use recdp_cnc::{CancelToken, CncError, CncGraph, RetryPolicy};
-    pub use recdp_forkjoin::{join, scope, ThreadPool, ThreadPoolBuilder};
+    pub use recdp_cnc::{CancelToken, Checkpoint, CncError, CncGraph, RetryPolicy};
+    pub use recdp_forkjoin::{join, scope, RecoveryMode, ThreadPool, ThreadPoolBuilder};
     pub use recdp_kernels::{CncVariant, Matrix};
     pub use recdp_machine::{epyc64, skylake192, MachineConfig};
     pub use recdp_trace::{TraceReport, TraceSession, Tracer};

@@ -69,7 +69,9 @@ mod latch;
 mod registry;
 mod scope;
 
-pub use registry::{current_num_threads, StealPolicy, TaskHook, ThreadPool, ThreadPoolBuilder};
+pub use registry::{
+    current_num_threads, RecoveryMode, StealPolicy, TaskHook, ThreadPool, ThreadPoolBuilder,
+};
 pub use scope::{scope, Scope};
 
 use job::StackJob;

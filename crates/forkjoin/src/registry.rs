@@ -3,10 +3,10 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use recdp_trace::{EventKind, Lane, TaskSource, Tracer};
 
 use crate::job::{HeapJob, JobRef, StackJob};
@@ -32,6 +32,19 @@ pub trait StealPolicy: Send + Sync {
     fn steal_start(&self, thief: usize, workers: usize) -> usize;
 }
 
+/// How the pool reacts when a seeded kill schedule fells a worker
+/// (see [`ThreadPoolBuilder::worker_kill_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Replace each dead worker with a fresh thread on the same slot,
+    /// restoring the configured parallelism.
+    #[default]
+    Respawn,
+    /// Keep running on the surviving workers: the pool permanently
+    /// degrades by one thread per death.
+    Degrade,
+}
+
 /// Builder for a [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
@@ -39,6 +52,8 @@ pub struct ThreadPoolBuilder {
     task_hook: Option<TaskHook>,
     steal_policy: Option<Arc<dyn StealPolicy>>,
     tracer: Option<Arc<Tracer>>,
+    worker_kill_schedule: Vec<u64>,
+    recovery_mode: RecoveryMode,
 }
 
 impl std::fmt::Debug for ThreadPoolBuilder {
@@ -51,6 +66,8 @@ impl std::fmt::Debug for ThreadPoolBuilder {
                 &self.steal_policy.as_ref().map(|_| "<policy>"),
             )
             .field("tracer", &self.tracer.as_ref().map(|_| "<tracer>"))
+            .field("worker_kill_schedule", &self.worker_kill_schedule)
+            .field("recovery_mode", &self.recovery_mode)
             .finish()
     }
 }
@@ -89,6 +106,28 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Arms a fail-stop kill schedule: each entry is an offset in
+    /// nanoseconds from pool start at which one worker thread *dies* —
+    /// it drains its deque back into the shared injector (so held work
+    /// is requeued, never lost) and exits. What happens next is decided
+    /// by [`ThreadPoolBuilder::recovery_mode`]. Kills fire between
+    /// queued jobs (fail-stop at task granularity), and the last alive
+    /// worker never dies, so the pool always makes progress — the same
+    /// one-survivor rule `recdp-sim`'s fail-stop model uses.
+    pub fn worker_kill_schedule(mut self, mut kill_times_ns: Vec<u64>) -> Self {
+        kill_times_ns.sort_unstable();
+        self.worker_kill_schedule = kill_times_ns;
+        self
+    }
+
+    /// Sets how the pool recovers from scheduled worker deaths
+    /// (defaults to [`RecoveryMode::Respawn`]). Irrelevant without a
+    /// [`ThreadPoolBuilder::worker_kill_schedule`].
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery_mode = mode;
+        self
+    }
+
     /// Installs a tracer: each worker records task-run (with steal
     /// provenance), spawn, join-wait and park events into its own
     /// [`recdp_trace::Lane`]. Without a tracer every instrumentation
@@ -103,7 +142,14 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> ThreadPool {
         let n = self.num_threads.unwrap_or_else(default_num_threads);
         ThreadPool {
-            registry: Registry::new(n, self.task_hook, self.steal_policy, self.tracer),
+            registry: Registry::new(
+                n,
+                self.task_hook,
+                self.steal_policy,
+                self.tracer,
+                self.worker_kill_schedule,
+                self.recovery_mode,
+            ),
         }
     }
 }
@@ -198,9 +244,33 @@ impl ThreadPool {
         self.registry.inject(HeapJob::into_job_ref(f));
     }
 
-    /// Number of worker threads.
+    /// Number of worker slots the pool was configured with. Under
+    /// [`RecoveryMode::Degrade`] fewer threads may actually be alive —
+    /// see [`ThreadPool::alive_workers`].
     pub fn num_threads(&self) -> usize {
-        self.registry.stealers.len()
+        self.registry.stealers.read().len()
+    }
+
+    /// Number of worker threads currently alive (configured count,
+    /// minus deaths, plus respawns).
+    pub fn alive_workers(&self) -> usize {
+        self.registry.alive.load(Ordering::Acquire)
+    }
+
+    /// Workers felled so far by the seeded kill schedule.
+    pub fn worker_deaths(&self) -> usize {
+        self.registry.worker_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Jobs drained from dying workers' deques back into the injector
+    /// (requeued and re-run, as opposed to the dropped-jobs count).
+    pub fn tasks_requeued(&self) -> usize {
+        self.registry.tasks_requeued.load(Ordering::Relaxed)
+    }
+
+    /// Replacement workers started under [`RecoveryMode::Respawn`].
+    pub fn worker_respawns(&self) -> usize {
+        self.registry.worker_respawns.load(Ordering::Relaxed)
     }
 
     /// The tracer installed at build time, if any.
@@ -247,7 +317,7 @@ impl Drop for ThreadPool {
 /// global pool otherwise.
 pub fn current_num_threads() -> usize {
     match WorkerThread::current() {
-        Some(wt) => wt.registry.stealers.len(),
+        Some(wt) => wt.registry.stealers.read().len(),
         None => global().num_threads(),
     }
 }
@@ -261,7 +331,10 @@ pub(crate) fn global() -> &'static ThreadPool {
 
 pub(crate) struct Registry {
     injector: Injector<JobRef>,
-    stealers: Vec<Stealer<JobRef>>,
+    /// One stealer per worker slot. Behind an `RwLock` so a respawned
+    /// worker can swap its fresh deque's stealer into its slot; the
+    /// steal sweep only ever takes the (uncontended) read side.
+    stealers: RwLock<Vec<Stealer<JobRef>>>,
     terminate: AtomicBool,
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
@@ -276,12 +349,28 @@ pub(crate) struct Registry {
     /// Set by an explicit `ThreadPool::shutdown`, which suppresses the
     /// debug-build lost-work panic in `Drop`.
     dropped_acknowledged: AtomicBool,
+    /// Sorted fail-stop kill offsets (ns from `started`); each entry
+    /// fells one worker. Empty on pools without a kill schedule, making
+    /// the per-iteration check a single `len == 0` branch.
+    kill_times_ns: Vec<u64>,
+    /// Index of the next unclaimed kill in `kill_times_ns`; workers
+    /// CAS-claim entries so each kill fells exactly one worker.
+    next_kill: AtomicUsize,
+    /// Pool start time — the epoch of the kill schedule.
+    started: Instant,
+    recovery: RecoveryMode,
+    /// Workers currently alive. Never driven below one: the one-survivor
+    /// rule discards kills that would leave the pool empty.
+    alive: AtomicUsize,
+    worker_deaths: AtomicUsize,
+    tasks_requeued: AtomicUsize,
+    worker_respawns: AtomicUsize,
 }
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("workers", &self.stealers.len())
+            .field("workers", &self.stealers.read().len())
             .field("task_hook", &self.task_hook.as_ref().map(|_| "<hook>"))
             .finish()
     }
@@ -293,9 +382,11 @@ impl Registry {
         task_hook: Option<TaskHook>,
         steal_policy: Option<Arc<dyn StealPolicy>>,
         tracer: Option<Arc<Tracer>>,
+        kill_times_ns: Vec<u64>,
+        recovery: RecoveryMode,
     ) -> Arc<Self> {
         let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
-        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let stealers = RwLock::new(workers.iter().map(|w| w.stealer()).collect());
         let registry = Arc::new(Registry {
             injector: Injector::new(),
             stealers,
@@ -308,6 +399,14 @@ impl Registry {
             tracer,
             dropped_jobs: AtomicUsize::new(0),
             dropped_acknowledged: AtomicBool::new(false),
+            kill_times_ns,
+            next_kill: AtomicUsize::new(0),
+            started: Instant::now(),
+            recovery,
+            alive: AtomicUsize::new(n),
+            worker_deaths: AtomicUsize::new(0),
+            tasks_requeued: AtomicUsize::new(0),
+            worker_respawns: AtomicUsize::new(0),
         });
         let mut handles = registry.handles.lock();
         for (index, worker) in workers.into_iter().enumerate() {
@@ -370,6 +469,61 @@ impl Registry {
         // bounded wait below covers the remaining benign race.
         let _guard = self.sleep_mutex.lock();
         self.sleep_cond.notify_all();
+    }
+
+    /// Checks the kill schedule: returns `true` when a kill point is
+    /// due, this worker won the CAS race to claim it, and dying would
+    /// not leave the pool empty. The caller must then retire.
+    fn claim_kill(&self) -> bool {
+        if self.kill_times_ns.is_empty() {
+            return false;
+        }
+        loop {
+            let idx = self.next_kill.load(Ordering::Acquire);
+            if idx >= self.kill_times_ns.len() {
+                return false;
+            }
+            if (self.started.elapsed().as_nanos() as u64) < self.kill_times_ns[idx] {
+                return false;
+            }
+            if self
+                .next_kill
+                .compare_exchange(idx, idx + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Another worker claimed this kill; maybe the next one
+                // is also due — re-check.
+                continue;
+            }
+            // One-survivor rule: a kill that would leave the pool empty
+            // is discarded, exactly like the simulator's fail-stop
+            // model — a pool with no workers can never finish its job.
+            return self
+                .alive
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
+                    if a > 1 {
+                        Some(a - 1)
+                    } else {
+                        None
+                    }
+                })
+                .is_ok();
+        }
+    }
+
+    /// Starts a replacement worker on `index`'s slot: fresh deque, its
+    /// stealer swapped into the slot so thieves see the new queue.
+    fn respawn(self: &Arc<Self>, index: usize) {
+        let worker = Worker::new_lifo();
+        self.stealers.write()[index] = worker.stealer();
+        self.alive.fetch_add(1, Ordering::AcqRel);
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        let reg = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("recdp-fj-{index}"))
+            .spawn(move || worker_main(worker, reg, index))
+            .expect("failed to respawn worker thread");
+        self.handles.lock().push(handle);
     }
 }
 
@@ -442,7 +596,8 @@ impl WorkerThread {
                 crossbeam_deque::Steal::Retry => continue,
             }
         }
-        let n = self.registry.stealers.len();
+        let stealers = self.registry.stealers.read();
+        let n = stealers.len();
         let start = match &self.registry.steal_policy {
             Some(policy) => policy.steal_start(self.index, n) % n,
             None => (self.next_rand() as usize) % n,
@@ -453,7 +608,7 @@ impl WorkerThread {
                 continue;
             }
             loop {
-                match self.registry.stealers[victim].steal() {
+                match stealers[victim].steal() {
                     crossbeam_deque::Steal::Success(job) => {
                         return Some((
                             job,
@@ -530,6 +685,14 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
     CURRENT_WORKER.with(|c| c.set(&wt as *const WorkerThread));
 
     while !registry.terminate.load(Ordering::Acquire) {
+        // Fail-stop check: kills fire between queued jobs, never inside
+        // one (dying mid-join would strand StackJob latches that other
+        // workers still reference).
+        if registry.claim_kill() {
+            retire_worker(&wt, &registry);
+            CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+            return;
+        }
         if let Some((job, source)) = wt.find_work() {
             if let Some(hook) = &registry.task_hook {
                 hook();
@@ -569,6 +732,46 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
         registry.dropped_jobs.fetch_add(leftover, Ordering::Relaxed);
     }
     CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+}
+
+/// Fail-stop death of a worker that claimed a kill: requeue every job
+/// still in its deque (into the injector, so survivors pick them up),
+/// record the death, and — under [`RecoveryMode::Respawn`] — start a
+/// replacement on the same slot. The caller's thread exits afterwards.
+fn retire_worker(wt: &WorkerThread, registry: &Arc<Registry>) {
+    let mut requeued = 0u64;
+    while let Some(job) = wt.take_local() {
+        registry.injector.push(job);
+        requeued += 1;
+    }
+    if requeued > 0 {
+        registry
+            .tasks_requeued
+            .fetch_add(requeued as usize, Ordering::Relaxed);
+    }
+    registry.worker_deaths.fetch_add(1, Ordering::Relaxed);
+    if let Some(lane) = wt.lane() {
+        if requeued > 0 {
+            lane.instant(EventKind::WorkRequeued {
+                worker: wt.index as u32,
+                tasks: requeued,
+            });
+        }
+        lane.instant(EventKind::WorkerDied {
+            worker: wt.index as u32,
+        });
+    }
+    // Wake sleepers: the requeued jobs need picking up, and a degraded
+    // pool must notice its work sooner rather than on a sleep-slice tick.
+    registry.wake_all();
+    if registry.recovery == RecoveryMode::Respawn && !registry.terminate.load(Ordering::Acquire) {
+        registry.respawn(wt.index);
+        if let Some(lane) = wt.lane() {
+            lane.instant(EventKind::WorkerRespawned {
+                worker: wt.index as u32,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -749,6 +952,149 @@ mod tests {
         let err = result.expect_err("silent drop of queued jobs must panic in debug builds");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("never executed"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn scheduled_kill_fells_and_respawns_a_worker() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .worker_kill_schedule(vec![1]) // due immediately
+            .recovery_mode(RecoveryMode::Respawn)
+            .build();
+        for _ in 0..10_000 {
+            if pool.worker_respawns() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(pool.worker_deaths(), 1);
+        assert_eq!(pool.worker_respawns(), 1);
+        assert_eq!(pool.alive_workers(), 2);
+        // The respawned pool still computes.
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn degrade_mode_shrinks_the_pool() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .worker_kill_schedule(vec![1, 2])
+            .recovery_mode(RecoveryMode::Degrade)
+            .build();
+        for _ in 0..10_000 {
+            if pool.worker_deaths() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(pool.worker_deaths(), 2);
+        assert_eq!(pool.worker_respawns(), 0);
+        assert_eq!(pool.alive_workers(), 1);
+        // One survivor still runs everything.
+        assert_eq!(pool.install(|| (1..=10).sum::<u32>()), 55);
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn last_worker_is_never_killed() {
+        // More kills than workers: the one-survivor rule discards the
+        // excess so the pool can always finish its job.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .worker_kill_schedule(vec![1, 2, 3, 4])
+            .recovery_mode(RecoveryMode::Degrade)
+            .build();
+        for _ in 0..10_000 {
+            if pool.worker_deaths() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(pool.install(|| 2 + 2), 4);
+        assert!(pool.alive_workers() >= 1);
+        assert!(pool.worker_deaths() <= 1, "a kill emptied the pool");
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn dying_worker_requeues_its_deque() {
+        // One worker, killed while it holds queued jobs: the drain must
+        // push them back through the injector, where (after respawn)
+        // they all still run — requeued, not dropped.
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .worker_kill_schedule(vec![10_000_000]) // 10ms in
+            .recovery_mode(RecoveryMode::Respawn)
+            .build();
+        // A long job occupies the worker; spawns landing *on the worker*
+        // would go to its local deque, but from outside they go to the
+        // injector — so make the running job spawn more work locally.
+        pool.spawn(|| {
+            let pool_threads = current_num_threads();
+            assert_eq!(pool_threads, 1);
+            if let Some(wt) = WorkerThread::current() {
+                for _ in 0..8 {
+                    wt.push(crate::job::HeapJob::into_job_ref(|| {
+                        RAN.fetch_add(1, Ordering::SeqCst);
+                    }));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        for _ in 0..10_000 {
+            if RAN.load(Ordering::SeqCst) == 8 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 8, "requeued jobs were lost");
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn kills_during_forkjoin_work_preserve_results() {
+        // Kills land mid-computation; respawn keeps the answer exact.
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 4 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = crate::join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .worker_kill_schedule(vec![50_000, 200_000, 500_000])
+            .recovery_mode(RecoveryMode::Respawn)
+            .build();
+        for round in 0..20 {
+            assert_eq!(pool.install(|| sum(0, 2048)), 2048 * 2047 / 2, "{round}");
+        }
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn tracer_sees_death_and_respawn_events() {
+        let tracer = recdp_trace::Tracer::new();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .worker_kill_schedule(vec![1])
+            .recovery_mode(RecoveryMode::Respawn)
+            .tracer(Arc::clone(&tracer))
+            .build();
+        for _ in 0..10_000 {
+            if pool.worker_respawns() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(pool.install(|| 1), 1);
+        assert_eq!(pool.shutdown(), 0);
+        let report = recdp_trace::TraceSession::with_tracer(tracer, 2).report();
+        assert_eq!(report.worker_deaths, 1);
+        assert_eq!(report.worker_respawns, 1);
     }
 
     #[test]

@@ -189,6 +189,18 @@ pub fn run_cnc_on<S: DpSpec>(
     variant: CncVariant,
     graph: &CncGraph,
 ) -> Result<GraphStats, CncError> {
+    register_cnc_on(spec, variant, graph);
+    graph.wait()
+}
+
+/// Registers the spec's data-flow program on `graph` and publishes the
+/// environment puts, but does **not** wait for completion. This is the
+/// registration half of [`run_cnc_on`], split out so checkpoint/resume
+/// drivers can re-register the same program on a fresh graph seeded
+/// via [`CncGraph::resume_from`] (which must happen *before* any
+/// collection exists) and so managed-scheduler harnesses can drive the
+/// ready queue step by step.
+pub fn register_cnc_on<S: DpSpec>(spec: &S, variant: CncVariant, graph: &CncGraph) {
     let func_names = spec.func_names();
     let step_names = spec.step_names();
     assert_eq!(func_names.len(), step_names.len());
@@ -234,8 +246,6 @@ pub fn run_cnc_on<S: DpSpec>(
             }
         }
     }
-
-    graph.wait()
 }
 
 #[cfg(test)]

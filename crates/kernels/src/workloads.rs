@@ -98,7 +98,9 @@ mod tests {
     fn chain_dims_are_small_exact_integers() {
         let d = chain_dims(16, 9);
         assert_eq!(d.len(), 17);
-        assert!(d.iter().all(|&x| (1.0..10.0).contains(&x) && x.fract() == 0.0));
+        assert!(d
+            .iter()
+            .all(|&x| (1.0..10.0).contains(&x) && x.fract() == 0.0));
         assert_eq!(chain_dims(16, 9), chain_dims(16, 9));
     }
 

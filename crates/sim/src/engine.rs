@@ -215,6 +215,7 @@ pub fn simulate_with_timeline(
             wasted_ns: 0.0,
             reexecuted_tasks: 0,
             worker_failures: 0,
+            worker_respawns: 0,
         },
         timeline,
     )

@@ -8,6 +8,13 @@
 //! curves). The victim is chosen adversarially: the alive worker whose
 //! current task would finish last, maximising the work thrown away.
 //!
+//! The recovery model mirrors the real pool's
+//! `recdp_forkjoin::RecoveryMode`: [`SimRecovery::Degrade`] (the
+//! default, and the semantics of the original `simulate_with_failures`
+//! signature) leaves the victim dead for the rest of the run, while
+//! [`SimRecovery::Respawn`] brings a replacement worker online after a
+//! configurable delay — the supervisor's detect-and-respawn latency.
+//!
 //! One survivor is always kept (a kill that would take the last alive
 //! worker is skipped), so every run completes and the makespan measures
 //! degradation, not starvation.
@@ -57,17 +64,47 @@ struct Running {
     epoch: u32,
 }
 
+/// What happens to a killed worker, mirroring the real pool's
+/// `recdp_forkjoin::RecoveryMode`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SimRecovery {
+    /// The victim stays dead; the pool degrades to the survivors.
+    #[default]
+    Degrade,
+    /// A replacement worker comes online `delay_ns` after the kill (the
+    /// supervisor's detect-and-respawn latency; `0.0` models an instant
+    /// respawn).
+    Respawn {
+        /// Nanoseconds between the kill and the replacement going live.
+        delay_ns: f64,
+    },
+}
+
 /// Simulates `graph` under greedy list scheduling with one fail-stop
 /// worker failure per entry of `kill_times_ns` (ascending order not
-/// required; times are sorted internally). Returns the usual
-/// [`SimResult`] with the resilience fields populated: `wasted_ns`
-/// (partial executions lost), `reexecuted_tasks`, and `worker_failures`
-/// (kills actually applied — a kill arriving after the run finished, or
-/// when only one worker survives, is skipped).
+/// required; times are sorted internally), under [`SimRecovery::Degrade`].
+/// Returns the usual [`SimResult`] with the resilience fields populated:
+/// `wasted_ns` (partial executions lost), `reexecuted_tasks`, and
+/// `worker_failures` (kills actually applied — a kill arriving after the
+/// run finished, or when only one worker survives, is skipped).
 pub fn simulate_with_failures(
     graph: &TaskGraph,
     cfg: &SimConfig,
     kill_times_ns: &[u64],
+) -> SimResult {
+    simulate_with_recovery(graph, cfg, kill_times_ns, SimRecovery::Degrade)
+}
+
+/// [`simulate_with_failures`] with an explicit [`SimRecovery`] mode:
+/// degrade reproduces `simulate_with_failures` exactly, respawn revives
+/// each victim's slot after the configured delay (so capacity dips only
+/// transiently, like the real pool's supervisor under
+/// `RecoveryMode::Respawn`).
+pub fn simulate_with_recovery(
+    graph: &TaskGraph,
+    cfg: &SimConfig,
+    kill_times_ns: &[u64],
+    recovery: SimRecovery,
 ) -> SimResult {
     assert!(cfg.processors > 0, "need at least one processor");
     let mut kills: Vec<f64> = kill_times_ns.iter().map(|&t| t as f64).collect();
@@ -91,7 +128,12 @@ pub fn simulate_with_failures(
     let mut compute_tasks = 0usize;
     let mut reexecuted_tasks = 0usize;
     let mut worker_failures = 0usize;
+    let mut worker_respawns = 0usize;
     let mut executed = 0usize;
+    // Pending respawns as (time, worker). Kills are processed in
+    // ascending time order and the respawn delay is constant, so pushes
+    // arrive in non-decreasing time order and a FIFO queue stays sorted.
+    let mut revives: VecDeque<(f64, usize)> = VecDeque::new();
 
     loop {
         // Dispatch everything we can at the current instant.
@@ -145,14 +187,38 @@ pub fn simulate_with_failures(
             }
         };
 
-        // Interleave kills with finishes in time order. A kill is only
-        // meaningful while work remains in flight.
-        let kill_due = next_kill < kills.len()
-            && match next_finish {
-                Some(t) => kills[next_kill] <= t,
-                None => false,
-            };
-        if kill_due {
+        // Interleave kills and respawns with finishes in time order.
+        // Administrative events only matter while work remains in
+        // flight (a kill or respawn after the last finish is moot).
+        let pending_kill = (next_kill < kills.len()).then(|| kills[next_kill]);
+        let pending_revive = revives.front().map(|&(t, _)| t);
+        // A respawn tying with a kill applies first: it was scheduled
+        // by an earlier kill.
+        let revive_first = match (pending_revive, pending_kill) {
+            (Some(r), Some(k)) => r <= k,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let next_admin = if revive_first {
+            pending_revive
+        } else {
+            pending_kill
+        };
+        let admin_due = match (next_admin, next_finish) {
+            (Some(a), Some(t)) => a <= t,
+            _ => false,
+        };
+        if admin_due {
+            if revive_first {
+                let (t, w) = revives
+                    .pop_front()
+                    .expect("revive_first implies a pending revive");
+                now = now.max(t);
+                alive[w] = true;
+                alive_count += 1;
+                worker_respawns += 1;
+                continue;
+            }
             now = now.max(kills[next_kill]);
             next_kill += 1;
             if alive_count <= 1 {
@@ -182,6 +248,9 @@ pub fn simulate_with_failures(
                 reexecuted_tasks += 1;
                 compute_tasks -= 1; // re-counted when re-dispatched
                 ready.push_front(r.node);
+            }
+            if let SimRecovery::Respawn { delay_ns } = recovery {
+                revives.push_back((now + delay_ns, victim));
             }
             continue;
         }
@@ -226,6 +295,7 @@ pub fn simulate_with_failures(
         wasted_ns,
         reexecuted_tasks,
         worker_failures,
+        worker_respawns,
     }
 }
 
@@ -314,6 +384,66 @@ mod tests {
         // makespan 2 rounds of 10ns.
         assert!((r.makespan_ns - 20.0).abs() < 1e-9, "{}", r.makespan_ns);
         assert!((r.wasted_ns - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respawn_restores_capacity() {
+        // 6 tasks of 10ns on 3 workers; kill at t=4, replacement live at
+        // t=6. Degrade serialises the tail on 2 workers (makespan 30);
+        // respawn recovers the third slot and finishes at 26.
+        let g = independent(6, 10.0);
+        let degrade = simulate_with_recovery(&g, &cfg(3), &[4], SimRecovery::Degrade);
+        assert!((degrade.makespan_ns - 30.0).abs() < 1e-9, "{degrade:?}");
+        assert_eq!(degrade.worker_respawns, 0);
+        let respawn =
+            simulate_with_recovery(&g, &cfg(3), &[4], SimRecovery::Respawn { delay_ns: 2.0 });
+        assert_eq!(respawn.worker_failures, 1);
+        assert_eq!(respawn.worker_respawns, 1);
+        assert_eq!(respawn.reexecuted_tasks, 1);
+        assert!((respawn.wasted_ns - 4.0).abs() < 1e-9, "{respawn:?}");
+        assert!((respawn.makespan_ns - 26.0).abs() < 1e-9, "{respawn:?}");
+        // All six tasks complete under both modes.
+        assert_eq!(degrade.compute_tasks, 6);
+        assert_eq!(respawn.compute_tasks, 6);
+    }
+
+    #[test]
+    fn respawned_worker_can_be_killed_again() {
+        // Two kills with an instant respawn: the replacement slot is a
+        // legitimate second victim, and the pool ends at full width.
+        let g = independent(6, 10.0);
+        let r =
+            simulate_with_recovery(&g, &cfg(2), &[2, 4], SimRecovery::Respawn { delay_ns: 0.0 });
+        assert_eq!(r.worker_failures, 2);
+        assert_eq!(r.worker_respawns, 2);
+        assert_eq!(r.compute_tasks, 6);
+    }
+
+    #[test]
+    fn degrade_mode_matches_the_original_signature() {
+        use recdp_taskgraph::{dataflow, ge_kernel_flops};
+        let g = dataflow::ge(16, &ge_kernel_flops(8));
+        let kills = [1_000, 2_000, 3_000];
+        let a = simulate_with_failures(&g, &cfg(8), &kills);
+        let b = simulate_with_recovery(&g, &cfg(8), &kills, SimRecovery::Degrade);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respawn_never_beats_failure_free_and_never_loses_to_degrade() {
+        use recdp_taskgraph::{dataflow, ge_kernel_flops};
+        let g = dataflow::ge(16, &ge_kernel_flops(8));
+        let kills = [1_000, 5_000];
+        let base = simulate_with_failures(&g, &cfg(8), &[]);
+        let respawn = simulate_with_recovery(
+            &g,
+            &cfg(8),
+            &kills,
+            SimRecovery::Respawn { delay_ns: 500.0 },
+        );
+        let degrade = simulate_with_recovery(&g, &cfg(8), &kills, SimRecovery::Degrade);
+        assert!(respawn.makespan_ns >= base.makespan_ns - 1e-9);
+        assert!(degrade.makespan_ns >= respawn.makespan_ns - 1e-9);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod overhead;
 pub mod result;
 
 pub use engine::{simulate, simulate_with_timeline, QueuePolicy, SimConfig};
-pub use failures::simulate_with_failures;
+pub use failures::{simulate_with_failures, simulate_with_recovery, SimRecovery};
 pub use overhead::{config_for, Workload};
 pub use result::SimResult;

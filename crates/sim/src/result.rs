@@ -22,6 +22,9 @@ pub struct SimResult {
     pub reexecuted_tasks: usize,
     /// Workers killed during the run (fail-stop events actually applied).
     pub worker_failures: usize,
+    /// Killed workers brought back by the respawn recovery mode. Zero
+    /// under degrade recovery and in failure-free runs.
+    pub worker_respawns: usize,
 }
 
 impl SimResult {
@@ -52,6 +55,7 @@ mod tests {
             wasted_ns: 0.0,
             reexecuted_tasks: 0,
             worker_failures: 0,
+            worker_respawns: 0,
         };
         assert!((r.seconds() - 2.0).abs() < 1e-12);
         assert!((r.speedup_over(8e9) - 4.0).abs() < 1e-12);

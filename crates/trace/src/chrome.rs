@@ -116,6 +116,18 @@ fn describe(tracer: &Tracer, kind: EventKind) -> (String, Vec<(&'static str, Str
                 vec![("step", name), ("tag", format!("{tag:#x}"))],
             )
         }
+        EventKind::WorkerDied { worker } => (
+            "worker-died".to_string(),
+            vec![("worker", worker.to_string())],
+        ),
+        EventKind::WorkRequeued { worker, tasks } => (
+            "work-requeued".to_string(),
+            vec![("worker", worker.to_string()), ("tasks", tasks.to_string())],
+        ),
+        EventKind::WorkerRespawned { worker } => (
+            "worker-respawned".to_string(),
+            vec![("worker", worker.to_string())],
+        ),
     }
 }
 

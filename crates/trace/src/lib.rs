@@ -139,6 +139,26 @@ pub enum EventKind {
         /// Deterministic hash of the prescribing tag.
         tag: u64,
     },
+    /// fork-join: a worker honoured its fail-stop schedule and exited
+    /// mid-run (instant, recorded on the dying worker's lane).
+    WorkerDied {
+        /// Index of the dead worker.
+        worker: u32,
+    },
+    /// fork-join: the dying worker drained queued tasks from its deque
+    /// back into the shared injector so survivors pick them up (instant).
+    WorkRequeued {
+        /// Index of the worker whose deque was drained.
+        worker: u32,
+        /// Number of tasks moved to the injector.
+        tasks: u64,
+    },
+    /// fork-join: a replacement worker thread took over a dead worker's
+    /// slot (instant, recorded on the replacement's lane).
+    WorkerRespawned {
+        /// Index of the revived worker slot.
+        worker: u32,
+    },
 }
 
 /// One timestamped event in a [`Lane`].
@@ -385,6 +405,13 @@ impl Tracer {
                         step: self.step_name(step).unwrap_or_default(),
                         tag,
                     },
+                    EventKind::WorkerDied { worker } => NormalizedEvent::WorkerDied { worker },
+                    EventKind::WorkRequeued { worker, tasks } => {
+                        NormalizedEvent::WorkRequeued { worker, tasks }
+                    }
+                    EventKind::WorkerRespawned { worker } => {
+                        NormalizedEvent::WorkerRespawned { worker }
+                    }
                 });
             }
         }
@@ -433,6 +460,36 @@ pub enum NormalizedEvent {
         /// Deterministic hash of the prescribing tag.
         tag: u64,
     },
+    /// A fork-join worker honoured its fail-stop schedule and exited.
+    WorkerDied {
+        /// Index of the dead worker.
+        worker: u32,
+    },
+    /// A dying worker's queued tasks were requeued on the injector.
+    WorkRequeued {
+        /// Index of the drained worker.
+        worker: u32,
+        /// Number of tasks requeued.
+        tasks: u64,
+    },
+    /// A replacement worker took over a dead worker's slot.
+    WorkerRespawned {
+        /// Index of the revived worker slot.
+        worker: u32,
+    },
+}
+
+/// Renders a `catch_unwind` payload as a human-readable message. Shared
+/// by the runtimes' recovery paths so panics are reported uniformly
+/// (step panics in `recdp-cnc`, task panics in `recdp-forkjoin`).
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
 }
 
 /// A measurement session: a [`Tracer`] plus the worker count its

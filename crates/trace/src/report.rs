@@ -73,6 +73,12 @@ pub struct TraceReport {
     pub steps_requeued: u64,
     /// CnC transient-failure retries re-dispatched.
     pub retries: u64,
+    /// Fork-join workers that died fail-stop mid-run.
+    pub worker_deaths: u64,
+    /// Tasks drained from dead workers' deques back to the injector.
+    pub tasks_requeued: u64,
+    /// Replacement workers spawned into dead workers' slots.
+    pub worker_respawns: u64,
     /// Events lost to lane-ring overflow (nonzero means the other
     /// numbers undercount).
     pub dropped_events: u64,
@@ -106,6 +112,9 @@ impl TraceReport {
             steps: 0,
             steps_requeued: 0,
             retries: 0,
+            worker_deaths: 0,
+            tasks_requeued: 0,
+            worker_respawns: 0,
             dropped_events: 0,
         };
         for lane in tracer.lanes() {
@@ -151,6 +160,9 @@ impl TraceReport {
                         resumes.entry(instance).or_default().push(event.t_ns);
                     }
                     EventKind::StepRetry { .. } => report.retries += 1,
+                    EventKind::WorkerDied { .. } => report.worker_deaths += 1,
+                    EventKind::WorkRequeued { tasks, .. } => report.tasks_requeued += tasks,
+                    EventKind::WorkerRespawned { .. } => report.worker_respawns += 1,
                 }
             }
             // A lane is one thread, so its busy set is the union of its

@@ -19,9 +19,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use recdp::{run_benchmark_resilient, Benchmark, ResilienceOptions};
+use recdp::{run_benchmark_resilient, Benchmark, RecoveryPolicy, ResilienceOptions};
 use recdp_cnc::{CncError, CncGraph, RetryPolicy, StepOutcome};
 use recdp_faults::FaultPlan;
+use recdp_forkjoin::{RecoveryMode, ThreadPoolBuilder};
 use recdp_kernels::workloads::{dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{fw, ge, sw, CncVariant, Matrix};
 
@@ -272,6 +273,64 @@ fn dropped_put_produces_actionable_deadlock_diagnostic() {
 }
 
 #[test]
+fn worker_kill_chaos_all_benchmarks_match_oracle() {
+    // Fail-stop chaos through the facade: seeded kill times fell real
+    // worker threads mid-run on every benchmark (slow steps stretch the
+    // run past both kill times), under both recovery policies. The
+    // supervisor requeues the dead worker's deque, so the table still
+    // matches the fault-free serial loops bit for bit.
+    for bench in Benchmark::ALL4 {
+        let oracle = recdp::run_benchmark(bench, recdp::Execution::SerialLoops, N, BASE, 1);
+        for recovery in [RecoveryPolicy::Respawn, RecoveryPolicy::Degrade] {
+            let plan = FaultPlan::new(0x51AB)
+                .slow_steps(1.0, Duration::from_micros(200))
+                .kill_worker_at_ns(100_000)
+                .kill_worker_at_ns(500_000);
+            let worker_kills = plan.worker_kill_times_ns().to_vec();
+            let opts = ResilienceOptions {
+                injector: Some(Arc::new(plan)),
+                worker_kills,
+                recovery,
+                ..Default::default()
+            };
+            let out = run_benchmark_resilient(bench, CncVariant::Native, N, BASE, THREADS, &opts)
+                .unwrap_or_else(|e| panic!("{bench:?}/{recovery:?}: {e}"));
+            assert!(
+                out.table.bitwise_eq(&oracle.table),
+                "{bench:?}/{recovery:?} diverged under worker kills"
+            );
+        }
+    }
+}
+
+#[test]
+fn cnc_on_a_kill_scheduled_pool_reports_the_deaths() {
+    // Direct pool observation: a CnC run on a pool with a kill schedule
+    // loses two workers mid-run, respawns both, and still matches the
+    // oracle. Slow steps keep the graph busy past the second kill time.
+    let pool = Arc::new(
+        ThreadPoolBuilder::new()
+            .num_threads(THREADS)
+            .worker_kill_schedule(vec![100_000, 500_000])
+            .recovery_mode(RecoveryMode::Respawn)
+            .build(),
+    );
+    let graph = CncGraph::with_pool(Arc::clone(&pool));
+    graph.set_fault_injector(Arc::new(
+        FaultPlan::new(3).slow_steps(1.0, Duration::from_micros(300)),
+    ));
+    let m0 = ge_matrix(N, 11);
+    let mut oracle = m0.clone();
+    ge::ge_loops(&mut oracle);
+    let mut m = m0.clone();
+    ge::ge_cnc_on(&mut m, BASE, CncVariant::Native, &graph).expect("killed pool must converge");
+    assert!(m.bitwise_eq(&oracle), "table diverged across worker deaths");
+    assert_eq!(pool.worker_deaths(), 2, "both scheduled kills must bite");
+    assert_eq!(pool.worker_respawns(), 2);
+    assert_eq!(pool.alive_workers(), THREADS);
+}
+
+#[test]
 fn resilient_executor_under_chaos_matches_oracle() {
     // The top-level facade: run_benchmark_resilient with a fault plan
     // produces the same table as the fault-free serial loops.
@@ -280,6 +339,7 @@ fn resilient_executor_under_chaos_matches_oracle() {
         retry: RetryPolicy::attempts(10),
         deadline: Some(Duration::from_secs(60)),
         injector: Some(Arc::new(FaultPlan::new(0xAB).transient_step_failures(0.2))),
+        ..Default::default()
     };
     let out = run_benchmark_resilient(Benchmark::Fw, CncVariant::Native, N, BASE, THREADS, &opts)
         .expect("retries absorb the plan");
