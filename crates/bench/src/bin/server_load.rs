@@ -1,0 +1,34 @@
+//! Regenerates `results/server_load.csv`: throughput and p50/p95/p99
+//! latency of the `recdp-server` job server under a heavy mixed
+//! GE/SW/FW/Paren load on one shared pool, plus the batched-vs-
+//! per-query Smith-Waterman comparison.
+//!
+//! `--quick` runs the small CI grid (same row labels, lighter load)
+//! and is what the golden structural test regenerates with.
+
+use recdp_bench::server_load::{server_load_csv, server_load_rows, FULL, QUICK};
+use recdp_bench::write_results;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { QUICK } else { FULL };
+    let rows = server_load_rows(&params);
+    let csv = server_load_csv(&rows);
+    print!("{csv}");
+    let path = write_results("server_load.csv", &csv);
+    println!("wrote {}", path.display());
+    let per_query = rows
+        .iter()
+        .find(|r| r.label == "per_query")
+        .expect("swbatch section present");
+    let coalesced = rows
+        .iter()
+        .find(|r| r.label == "coalesced")
+        .expect("swbatch section present");
+    println!(
+        "swbatch: coalesced {:.1} q/s vs per-query {:.1} q/s ({:.2}x)",
+        coalesced.throughput,
+        per_query.throughput,
+        coalesced.throughput / per_query.throughput.max(1e-9)
+    );
+}

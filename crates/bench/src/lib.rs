@@ -687,3 +687,319 @@ pub mod recovery {
         csv
     }
 }
+
+/// Throughput and latency of the multi-tenant job server
+/// (`recdp-server`) under heavy mixed load, behind
+/// `results/server_load.csv`.
+///
+/// Three sections, all on **one** shared pool per section:
+///
+/// * **mixed** — a two-tenant (3:1 weighted) blast of GE/SW/FW/Paren
+///   jobs of mixed sizes under fork-join and two data-flow variants;
+///   one row per benchmark plus a `total` row.
+/// * **tenant** — the same run sliced by tenant, showing the weighted
+///   fair share (alpha completes ~3x bravo's work at equal demand).
+/// * **swbatch** — many small Smith-Waterman alignment queries served
+///   one-graph-per-query (`per_query`) vs coalesced onto shared
+///   wavefront graphs (`coalesced`); the committed CSV must show the
+///   coalesced mode's throughput above the per-query baseline — that
+///   gap is the amortized graph setup/quiescence cost.
+///
+/// Every timing cell is machine-dependent, so the golden test
+/// validates shape and invariants (labels, counts,
+/// `p50 <= p95 <= p99`, the coalesced win), never timing values.
+pub mod server_load {
+    use std::time::Instant;
+
+    use recdp::{Benchmark, Execution};
+    use recdp_kernels::workloads::dna_sequence;
+    use recdp_kernels::CncVariant;
+    use recdp_server::{BatchMode, DpServer, JobHandle, JobSpec, ServerConfig, SwQuery};
+
+    /// Load-shape knobs shared by the binary and the golden test.
+    #[derive(Debug, Clone)]
+    pub struct LoadParams {
+        /// Jobs per (benchmark, size, execution) combination in the
+        /// mixed section.
+        pub jobs_per_combo: usize,
+        /// Problem sizes cycled through in the mixed section.
+        pub sizes: &'static [usize],
+        /// Total Smith-Waterman queries in the swbatch section.
+        pub queries: usize,
+        /// Queries per coalesced batch job.
+        pub batch: usize,
+        /// Shared-pool workers.
+        pub threads: usize,
+    }
+
+    /// CI/golden-test grid: small but exercising every row label.
+    pub const QUICK: LoadParams = LoadParams {
+        jobs_per_combo: 1,
+        sizes: &[32],
+        queries: 16,
+        batch: 4,
+        threads: 4,
+    };
+
+    /// Default grid for the committed CSV.
+    pub const FULL: LoadParams = LoadParams {
+        jobs_per_combo: 3,
+        sizes: &[32, 64],
+        queries: 64,
+        batch: 8,
+        threads: 4,
+    };
+
+    /// One CSV row: counts plus a throughput/latency summary.
+    #[derive(Debug, Clone)]
+    pub struct LoadRow {
+        /// Section label (`mixed` / `tenant` / `swbatch`).
+        pub section: &'static str,
+        /// Row label (benchmark name, tenant name, or batch mode).
+        pub label: String,
+        /// Jobs (or queries, in the swbatch section) offered.
+        pub jobs: u64,
+        /// Jobs completed with a result.
+        pub completed: u64,
+        /// Jobs that failed.
+        pub failed: u64,
+        /// Submissions refused by admission control.
+        pub rejected: u64,
+        /// Completed jobs (swbatch: queries) per second of section
+        /// wall time.
+        pub throughput: f64,
+        /// Median end-to-end latency (queue wait + execution), ms.
+        pub p50_ms: f64,
+        /// 95th-percentile latency, ms.
+        pub p95_ms: f64,
+        /// 99th-percentile latency, ms.
+        pub p99_ms: f64,
+    }
+
+    /// Nearest-rank percentile of an unsorted sample, in the sample's
+    /// unit.
+    fn percentile(latencies: &mut [f64], p: f64) -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0 * latencies.len() as f64).ceil() as usize).max(1);
+        latencies[rank - 1]
+    }
+
+    fn summarize(
+        section: &'static str,
+        label: String,
+        offered: u64,
+        rejected: u64,
+        outcomes: &[(bool, f64)],
+        wall_s: f64,
+        per_completion: f64,
+    ) -> LoadRow {
+        // `per_completion` scales job counts to the unit the section
+        // reports (queries per batch job in swbatch, 1 elsewhere).
+        let unit = per_completion as u64;
+        let completed = outcomes.iter().filter(|(ok, _)| *ok).count() as u64;
+        let failed = outcomes.len() as u64 - completed;
+        let mut lat: Vec<f64> = outcomes.iter().map(|(_, ms)| *ms).collect();
+        LoadRow {
+            section,
+            label,
+            jobs: offered,
+            completed: completed * unit,
+            failed: failed * unit,
+            rejected,
+            throughput: completed as f64 * per_completion / wall_s.max(1e-9),
+            p50_ms: percentile(&mut lat, 50.0),
+            p95_ms: percentile(&mut lat, 95.0),
+            p99_ms: percentile(&mut lat, 99.0),
+        }
+    }
+
+    /// End-to-end latency of one finished job in milliseconds.
+    fn wait_ms(handle: &JobHandle) -> (bool, f64) {
+        match handle.wait() {
+            Ok(r) => (true, (r.queued_seconds + r.seconds) * 1e3),
+            Err(_) => (false, 0.0),
+        }
+    }
+
+    /// The mixed-workload blast: submits the full job matrix to a
+    /// paused server (building a saturating backlog), resumes, waits
+    /// everything out, and slices the outcome per benchmark and per
+    /// tenant.
+    pub fn mixed_rows(params: &LoadParams) -> Vec<LoadRow> {
+        const EXECUTIONS: [Execution; 3] = [
+            Execution::ForkJoin,
+            Execution::Cnc(CncVariant::Native),
+            Execution::Cnc(CncVariant::Tuner),
+        ];
+        const TENANTS: [&str; 2] = ["alpha", "bravo"];
+        let server = DpServer::new(ServerConfig {
+            threads: params.threads,
+            queue_depth: 4096,
+            max_inflight: 2,
+            paused: true,
+            trace_utilization: true,
+        });
+        server.set_tenant_weight("alpha", 3.0);
+        server.set_tenant_weight("bravo", 1.0);
+        let mut handles: Vec<(Benchmark, &str, JobHandle)> = Vec::new();
+        let mut rejected = 0u64;
+        let mut i = 0usize;
+        for benchmark in Benchmark::ALL4 {
+            for &n in params.sizes {
+                for execution in EXECUTIONS {
+                    for _ in 0..params.jobs_per_combo {
+                        let tenant = TENANTS[i % TENANTS.len()];
+                        i += 1;
+                        match server.submit(JobSpec::benchmark(tenant, benchmark, execution, n, 8))
+                        {
+                            Ok(h) => handles.push((benchmark, tenant, h)),
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                }
+            }
+        }
+        let start = Instant::now();
+        server.resume();
+        let outcomes: Vec<(Benchmark, &str, (bool, f64))> = handles
+            .iter()
+            .map(|(b, t, h)| (*b, *t, wait_ms(h)))
+            .collect();
+        let wall_s = start.elapsed().as_secs_f64();
+        server.shutdown();
+
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::ALL4 {
+            let slice: Vec<(bool, f64)> = outcomes
+                .iter()
+                .filter(|(b, _, _)| *b == benchmark)
+                .map(|(_, _, o)| *o)
+                .collect();
+            rows.push(summarize(
+                "mixed",
+                benchmark.name().to_string(),
+                slice.len() as u64,
+                0,
+                &slice,
+                wall_s,
+                1.0,
+            ));
+        }
+        let all: Vec<(bool, f64)> = outcomes.iter().map(|(_, _, o)| *o).collect();
+        rows.push(summarize(
+            "mixed",
+            "total".to_string(),
+            (handles.len() as u64) + rejected,
+            rejected,
+            &all,
+            wall_s,
+            1.0,
+        ));
+        for tenant in TENANTS {
+            let slice: Vec<(bool, f64)> = outcomes
+                .iter()
+                .filter(|(_, t, _)| *t == tenant)
+                .map(|(_, _, o)| *o)
+                .collect();
+            rows.push(summarize(
+                "tenant",
+                tenant.to_string(),
+                slice.len() as u64,
+                0,
+                &slice,
+                wall_s,
+                1.0,
+            ));
+        }
+        rows
+    }
+
+    /// The batching comparison: the same query stream served
+    /// one-graph-per-query vs coalesced onto one wavefront graph per
+    /// batch. Both run on a fresh server (one shared pool each) so
+    /// neither mode inherits the other's warm-up.
+    pub fn swbatch_rows(params: &LoadParams) -> Vec<LoadRow> {
+        let queries: Vec<SwQuery> = (0..params.queries)
+            .map(|i| SwQuery {
+                a: dna_sequence(32, 0x5EED + i as u64),
+                b: dna_sequence(32, 0xFEED + i as u64),
+                n: 32,
+                base: 8,
+            })
+            .collect();
+        let mut rows = Vec::new();
+        for (label, chunk, mode) in [
+            ("per_query", 1usize, BatchMode::PerQuery),
+            ("coalesced", params.batch, BatchMode::Coalesced),
+        ] {
+            let server = DpServer::new(ServerConfig {
+                threads: params.threads,
+                queue_depth: 4096,
+                max_inflight: 2,
+                paused: true,
+                trace_utilization: true,
+            });
+            let handles: Vec<JobHandle> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    server
+                        .submit(JobSpec::sw_batch(
+                            "batch",
+                            qs.to_vec(),
+                            mode,
+                            CncVariant::Native,
+                        ))
+                        .expect("queue sized for the stream")
+                })
+                .collect();
+            let start = Instant::now();
+            server.resume();
+            let outcomes: Vec<(bool, f64)> = handles.iter().map(wait_ms).collect();
+            let wall_s = start.elapsed().as_secs_f64();
+            server.shutdown();
+            rows.push(summarize(
+                "swbatch",
+                label.to_string(),
+                params.queries as u64,
+                0,
+                &outcomes,
+                wall_s,
+                chunk as f64,
+            ));
+        }
+        rows
+    }
+
+    /// All sections of `results/server_load.csv`, in committed order.
+    pub fn server_load_rows(params: &LoadParams) -> Vec<LoadRow> {
+        let mut rows = mixed_rows(params);
+        rows.extend(swbatch_rows(params));
+        rows
+    }
+
+    /// Renders rows as the committed CSV.
+    pub fn server_load_csv(rows: &[LoadRow]) -> String {
+        let mut csv = String::from(
+            "section,label,jobs,completed,failed,rejected,throughput_per_s,p50_ms,p95_ms,p99_ms\n",
+        );
+        for r in rows {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3}\n",
+                r.section,
+                r.label,
+                r.jobs,
+                r.completed,
+                r.failed,
+                r.rejected,
+                r.throughput,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms
+            ));
+        }
+        csv
+    }
+}

@@ -85,6 +85,102 @@ fn span_work_matches_committed_golden() {
     assert_csv_close("span_work.csv", &golden, &regenerated);
 }
 
+/// `server_load.csv` is timing-based (real wall-clock under load), so
+/// unlike the deterministic goldens above it is validated
+/// *structurally*, mirroring the `measured_span.csv` pattern: the
+/// quick-mode regeneration must produce the committed row/label
+/// skeleton, every numeric cell (committed and regenerated) must
+/// parse, percentiles must be ordered, and the committed CSV must
+/// show the batching win the serving layer exists for — coalesced
+/// Smith-Waterman throughput above the one-graph-per-query baseline.
+#[test]
+fn server_load_matches_committed_shape() {
+    use recdp_bench::server_load::{server_load_csv, server_load_rows, QUICK};
+
+    let rows = server_load_rows(&QUICK);
+    for r in &rows {
+        assert!(
+            r.completed > 0,
+            "{}/{}: nothing completed",
+            r.section,
+            r.label
+        );
+        assert_eq!(
+            r.failed, 0,
+            "{}/{}: jobs failed under load",
+            r.section, r.label
+        );
+        assert!(r.throughput > 0.0, "{}/{}", r.section, r.label);
+        assert!(
+            r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms,
+            "{}/{}: percentiles out of order ({} / {} / {})",
+            r.section,
+            r.label,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms
+        );
+    }
+    let per_query = rows.iter().find(|r| r.label == "per_query").unwrap();
+    let coalesced = rows.iter().find(|r| r.label == "coalesced").unwrap();
+    // Quick mode on a loaded CI box is noisy; the committed (full-load)
+    // CSV asserts the strict win below. Here coalescing merely must not
+    // collapse.
+    assert!(
+        coalesced.throughput > 0.5 * per_query.throughput,
+        "coalesced batching collapsed: {} q/s vs {} q/s per-query",
+        coalesced.throughput,
+        per_query.throughput
+    );
+
+    let regenerated = server_load_csv(&rows);
+    let committed = read_golden("server_load.csv");
+    let r_lines: Vec<&str> = regenerated.trim_end().lines().collect();
+    let c_lines: Vec<&str> = committed.trim_end().lines().collect();
+    assert_eq!(c_lines.len(), r_lines.len(), "row count changed");
+    assert_eq!(c_lines[0], r_lines[0], "header changed");
+    let cols = c_lines[0].split(',').count();
+    let mut committed_swbatch: Vec<(String, f64)> = Vec::new();
+    for (row, (c, r)) in c_lines.iter().zip(&r_lines).enumerate().skip(1) {
+        let c_cells: Vec<&str> = c.split(',').collect();
+        let r_cells: Vec<&str> = r.split(',').collect();
+        assert_eq!(c_cells.len(), cols, "committed row {row} column count");
+        assert_eq!(r_cells.len(), cols, "regenerated row {row} column count");
+        assert_eq!(
+            &c_cells[..2],
+            &r_cells[..2],
+            "row {row}: section/label changed"
+        );
+        for cells in [&c_cells, &r_cells] {
+            for (col, cell) in cells[2..].iter().enumerate() {
+                let v: f64 = cell
+                    .parse()
+                    .unwrap_or_else(|e| panic!("row {row} col {}: {cell:?}: {e}", col + 2));
+                assert!(v >= 0.0, "row {row} col {}: negative", col + 2);
+            }
+        }
+        let c_p = |i: usize| c_cells[i].parse::<f64>().unwrap();
+        assert!(
+            c_p(7) <= c_p(8) && c_p(8) <= c_p(9),
+            "committed row {row}: percentiles out of order"
+        );
+        if c_cells[0] == "swbatch" {
+            committed_swbatch.push((c_cells[1].to_string(), c_p(6)));
+        }
+    }
+    let committed_of = |label: &str| {
+        committed_swbatch
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("committed CSV lost its swbatch {label} row"))
+            .1
+    };
+    assert!(
+        committed_of("coalesced") > committed_of("per_query"),
+        "the committed golden must show the coalesced batching win"
+    );
+}
+
 #[test]
 fn recovery_matches_committed_golden() {
     // Every cell is a schedule-structure count or a simulated makespan —

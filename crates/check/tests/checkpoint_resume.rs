@@ -237,8 +237,7 @@ fn checkpoint_of_a_finished_run_resumes_to_a_pure_skip() {
 
         let (g2, _h2) = CncGraph::managed(s.pick_fn());
         g2.resume_from(&cp);
-        let second =
-            run_cnc_on(&sp, CncVariant::Native, &g2).expect("resumed run must quiesce");
+        let second = run_cnc_on(&sp, CncVariant::Native, &g2).expect("resumed run must quiesce");
         assert_eq!(
             second.steps_skipped,
             cp.executed_steps() as u64,

@@ -130,19 +130,77 @@ impl AnySpec {
     fn cnc_on(&self, variant: CncVariant, graph: &CncGraph) -> Result<GraphStats, CncError> {
         with_spec!(self, s => engine::run_cnc_on(s, variant, graph))
     }
+
+    fn register_cnc(&self, variant: CncVariant, graph: &CncGraph) {
+        with_spec!(self, s => engine::register_cnc_on(s, variant, graph))
+    }
 }
 
-/// A generated input instance: the table (which the spec's `TablePtr`
-/// points into), the erased spec, and the benchmark's serial loops
-/// oracle closed over its inputs.
-struct Problem {
+/// A generated input instance ready to run under any execution model:
+/// the table (which the spec's `TablePtr` points into), the erased
+/// spec, and the benchmark's serial loops oracle closed over its
+/// inputs.
+///
+/// This is the unit of work a long-lived executor (e.g.
+/// `recdp-server`) schedules: prepare once, then run on whatever pool
+/// or graph the host provides. The job is `Send`, so it can be
+/// prepared on a submission thread and executed on a runner thread.
+pub struct PreparedJob {
     table: Matrix,
     spec: AnySpec,
-    loops: Box<dyn Fn(&mut Matrix)>,
+    loops: Box<dyn Fn(&mut Matrix) + Send + Sync>,
 }
 
-/// Generates the standard seeded input for `benchmark` at size `n`.
-fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
+impl PreparedJob {
+    /// Runs the hand-written serial loops oracle over the table.
+    pub fn run_loops(&mut self) {
+        (self.loops)(&mut self.table);
+    }
+
+    /// Runs the serial recursive divide-and-conquer walker.
+    pub fn run_serial_rdp(&self) {
+        self.spec.serial();
+    }
+
+    /// Runs the fork-join engine on a caller-supplied pool — the pool
+    /// outlives the job and can serve many jobs back-to-back.
+    pub fn run_forkjoin(&self, pool: &ThreadPool) {
+        self.spec.forkjoin(pool);
+    }
+
+    /// Runs the data-flow engine on a caller-supplied graph (which may
+    /// share its pool with other graphs). The caller arms deadlines,
+    /// retry policies or injectors on the graph beforehand.
+    pub fn run_cnc_on(
+        &self,
+        variant: CncVariant,
+        graph: &CncGraph,
+    ) -> Result<GraphStats, CncError> {
+        self.spec.cnc_on(variant, graph)
+    }
+
+    /// Registers this job's collections and root tag on `graph`
+    /// without waiting — the batching half of [`Self::run_cnc_on`].
+    /// Many small jobs registered on one graph execute as a single
+    /// coalesced wavefront behind one `graph.wait()`.
+    pub fn register_cnc(&self, variant: CncVariant, graph: &CncGraph) {
+        self.spec.register_cnc(variant, graph);
+    }
+
+    /// The DP table the job computes into.
+    pub fn table(&self) -> &Matrix {
+        &self.table
+    }
+
+    /// Consumes the job, returning the computed table.
+    pub fn into_table(self) -> Matrix {
+        self.table
+    }
+}
+
+/// Generates the standard seeded input for `benchmark` at size `n` as
+/// a [`PreparedJob`].
+pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
     const SEED: u64 = 0xD1CE;
     assert!(
         n.is_power_of_two() && base.is_power_of_two() && base <= n,
@@ -152,7 +210,7 @@ fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
         Benchmark::Ge => {
             let mut table = ge_matrix(n, SEED);
             let spec = AnySpec::Ge(GeSpec::new(table.ptr(), base));
-            Problem {
+            PreparedJob {
                 table,
                 spec,
                 loops: Box::new(ge::ge_loops),
@@ -161,7 +219,7 @@ fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
         Benchmark::Fw => {
             let mut table = fw_matrix(n, SEED, 0.35);
             let spec = AnySpec::Fw(FwSpec::new(table.ptr(), base));
-            Problem {
+            PreparedJob {
                 table,
                 spec,
                 loops: Box::new(fw::fw_loops),
@@ -172,7 +230,7 @@ fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
             let b = dna_sequence(n, SEED ^ 0xFFFF);
             let mut table = Matrix::zeros(n);
             let spec = AnySpec::Sw(SwSpec::new(table.ptr(), &a, &b, base));
-            Problem {
+            PreparedJob {
                 table,
                 spec,
                 loops: Box::new(move |m| sw::sw_loops(m, &a, &b)),
@@ -182,12 +240,34 @@ fn prepare(benchmark: Benchmark, n: usize, base: usize) -> Problem {
             let dims = chain_dims(n, SEED);
             let mut table = Matrix::zeros(n);
             let spec = AnySpec::Paren(ParenSpec::new(table.ptr(), &dims, base));
-            Problem {
+            PreparedJob {
                 table,
                 spec,
                 loops: Box::new(move |m| paren::paren_loops(m, &dims)),
             }
         }
+    }
+}
+
+/// A Smith-Waterman alignment job over caller-supplied sequences
+/// (rather than the standard seeded workload), sized to the shorter
+/// power-of-two prefix the table requires. This is the building block
+/// for batched alignment serving: many small queries, each its own
+/// table, coalesced onto one graph via [`PreparedJob::register_cnc`].
+pub fn prepare_sw_query(a: &[u8], b: &[u8], n: usize, base: usize) -> PreparedJob {
+    assert!(
+        n.is_power_of_two() && base.is_power_of_two() && base <= n,
+        "n and base must be powers of two with base <= n"
+    );
+    assert!(a.len() >= n && b.len() >= n, "sequences must cover n");
+    let a = a[..n].to_vec();
+    let b = b[..n].to_vec();
+    let mut table = Matrix::zeros(n);
+    let spec = AnySpec::Sw(SwSpec::new(table.ptr(), &a, &b, base));
+    PreparedJob {
+        table,
+        spec,
+        loops: Box::new(move |m| sw::sw_loops(m, &a, &b)),
     }
 }
 
@@ -205,7 +285,7 @@ pub fn run_benchmark(
     base: usize,
     threads: usize,
 ) -> RunOutput {
-    let mut p = prepare(benchmark, n, base);
+    let mut p = prepare_job(benchmark, n, base);
     let start = Instant::now();
     let stats = match execution {
         Execution::SerialLoops => {
@@ -228,6 +308,50 @@ pub fn run_benchmark(
         seconds: start.elapsed().as_secs_f64(),
         cnc_stats: stats,
     }
+}
+
+/// Like [`run_benchmark`], but executing on a caller-supplied shared
+/// pool instead of building (and tearing down) a private one per call.
+/// The serial models ignore the pool; fork-join installs into it; the
+/// data-flow models run a fresh [`CncGraph`] sharing it (as CnC
+/// programs share a TBB arena). Per-call pool construction — the
+/// scheduling overhead a long-lived server must not pay — is gone, and
+/// many calls (even concurrent ones) may use one pool.
+///
+/// Data-flow failures are returned instead of panicking; the serial
+/// and fork-join models are infallible here and always return `Ok`.
+pub fn run_benchmark_on(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    pool: &Arc<ThreadPool>,
+) -> Result<RunOutput, CncError> {
+    let mut p = prepare_job(benchmark, n, base);
+    let start = Instant::now();
+    let stats = match execution {
+        Execution::SerialLoops => {
+            p.run_loops();
+            None
+        }
+        Execution::SerialRdp => {
+            p.run_serial_rdp();
+            None
+        }
+        Execution::ForkJoin => {
+            p.run_forkjoin(pool);
+            None
+        }
+        Execution::Cnc(v) => {
+            let graph = CncGraph::with_pool(Arc::clone(pool));
+            Some(p.run_cnc_on(v, &graph)?)
+        }
+    };
+    Ok(RunOutput {
+        table: p.table,
+        seconds: start.elapsed().as_secs_f64(),
+        cnc_stats: stats,
+    })
 }
 
 /// Like [`run_benchmark`] restricted to the parallel execution models,
@@ -256,7 +380,7 @@ pub fn run_benchmark_traced(
             .tracer(Arc::clone(&tracer))
             .build(),
     );
-    let p = prepare(benchmark, n, base);
+    let p = prepare_job(benchmark, n, base);
     let start = Instant::now();
     let stats = match execution {
         Execution::ForkJoin => {
@@ -422,7 +546,7 @@ pub fn run_benchmark_resilient(
     threads: usize,
     opts: &ResilienceOptions,
 ) -> Result<RunOutput, CncError> {
-    let p = prepare(benchmark, n, base);
+    let p = prepare_job(benchmark, n, base);
     let start = Instant::now();
     match opts.recovery {
         RecoveryPolicy::None | RecoveryPolicy::Respawn | RecoveryPolicy::Degrade => {

@@ -1,0 +1,404 @@
+//! Job descriptions ([`JobSpec`]) and completion futures
+//! ([`JobHandle`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use recdp::{Benchmark, Execution};
+use recdp_cnc::{CancelToken, CncError, FaultInjector, GraphStats, RetryPolicy};
+use recdp_kernels::{CncVariant, Matrix};
+
+/// One Smith-Waterman alignment query inside a
+/// [`JobPayload::SwBatch`]: two sequences and the table geometry.
+#[derive(Clone)]
+pub struct SwQuery {
+    /// First sequence (at least `n` symbols).
+    pub a: Vec<u8>,
+    /// Second sequence (at least `n` symbols).
+    pub b: Vec<u8>,
+    /// Table side (power of two).
+    pub n: usize,
+    /// Base-case tile side (power of two, `<= n`).
+    pub base: usize,
+}
+
+/// How a [`JobPayload::SwBatch`] maps queries onto CnC graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// All queries register on one graph and execute as a single
+    /// coalesced wavefront behind one `wait()` — graph setup, deadline
+    /// arming and quiescence detection are paid once per batch.
+    Coalesced,
+    /// One graph per query, executed sequentially — the per-call
+    /// overhead baseline the coalesced mode amortizes away.
+    PerQuery,
+}
+
+/// What a job computes.
+#[derive(Clone)]
+pub enum JobPayload {
+    /// One standard seeded benchmark instance under any execution
+    /// model (the same inputs `run_benchmark` uses, so digests are
+    /// comparable to standalone runs).
+    Benchmark {
+        /// Which DP kernel.
+        benchmark: Benchmark,
+        /// Which execution model.
+        execution: Execution,
+        /// Problem side (power of two).
+        n: usize,
+        /// Base-case tile side (power of two, `<= n`).
+        base: usize,
+    },
+    /// Many small Smith-Waterman alignments over caller-supplied
+    /// sequences, all under the data-flow engine.
+    SwBatch {
+        /// The alignment queries.
+        queries: Vec<SwQuery>,
+        /// One coalesced graph or one graph per query.
+        mode: BatchMode,
+        /// CnC scheduling variant for the batch.
+        variant: CncVariant,
+    },
+}
+
+/// A job submission: tenant, scheduling knobs, SLA, and payload.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Named tenant the job is accounted to; fair-share weights are
+    /// per tenant ([`crate::DpServer::set_tenant_weight`]).
+    pub tenant: String,
+    /// Priority *within* the tenant: higher runs first. Priorities do
+    /// not cross tenant boundaries (a flood of high-priority jobs from
+    /// one tenant cannot starve another — that is the fair-share
+    /// scheduler's job).
+    pub priority: i32,
+    /// What to compute.
+    pub payload: JobPayload,
+    /// End-to-end SLA measured from submission: if the job has not
+    /// finished `deadline` after `submit`, it fails with
+    /// [`CncError::Timeout`] (expired-in-queue jobs fail at dispatch
+    /// without running; data-flow jobs arm the remaining budget on
+    /// their graph).
+    pub deadline: Option<Duration>,
+    /// Retry budget for transient step failures (data-flow payloads).
+    pub retry: RetryPolicy,
+    /// Fault injector armed on the job's graph(s); `None` runs
+    /// fault-free.
+    pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Cost charged to the tenant's fair-share pass when the job is
+    /// dispatched; defaults to an `O(n^3)`-shaped estimate from the
+    /// payload geometry.
+    pub work_estimate: Option<f64>,
+}
+
+impl JobSpec {
+    /// A standard seeded benchmark job for `tenant` with default
+    /// priority and no SLA.
+    pub fn benchmark(
+        tenant: impl Into<String>,
+        benchmark: Benchmark,
+        execution: Execution,
+        n: usize,
+        base: usize,
+    ) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: 0,
+            payload: JobPayload::Benchmark {
+                benchmark,
+                execution,
+                n,
+                base,
+            },
+            deadline: None,
+            retry: RetryPolicy::default(),
+            injector: None,
+            work_estimate: None,
+        }
+    }
+
+    /// A Smith-Waterman batch job for `tenant`.
+    pub fn sw_batch(
+        tenant: impl Into<String>,
+        queries: Vec<SwQuery>,
+        mode: BatchMode,
+        variant: CncVariant,
+    ) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: 0,
+            payload: JobPayload::SwBatch {
+                queries,
+                mode,
+                variant,
+            },
+            deadline: None,
+            retry: RetryPolicy::default(),
+            injector: None,
+            work_estimate: None,
+        }
+    }
+
+    /// Sets the within-tenant priority (higher runs first).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the end-to-end deadline measured from submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the transient-failure retry budget.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a fault injector on the job's graph(s).
+    pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Overrides the fair-share cost charged at dispatch.
+    pub fn with_work_estimate(mut self, cost: f64) -> Self {
+        self.work_estimate = Some(cost);
+        self
+    }
+
+    /// The fair-share cost of this job: the explicit estimate if set,
+    /// otherwise an `O(n^3)`-shaped default from the payload geometry
+    /// (`n^3` per table; SW tables are quadratic-work but the cube
+    /// still orders small-vs-large correctly, which is all stride
+    /// scheduling needs).
+    pub fn cost(&self) -> f64 {
+        if let Some(c) = self.work_estimate {
+            return c;
+        }
+        match &self.payload {
+            JobPayload::Benchmark { n, .. } => (*n as f64).powi(3),
+            JobPayload::SwBatch { queries, .. } => {
+                queries.iter().map(|q| (q.n as f64).powi(3)).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// Why a job did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// Cancelled via [`JobHandle::cancel`] (in queue or mid-run).
+    Cancelled(String),
+    /// The data-flow runtime failed the job (timeout, step failure,
+    /// retry exhaustion, deadlock, ...).
+    Cnc(CncError),
+    /// The job's body panicked on the runner; the pool survives.
+    Panicked(String),
+    /// The server shut down before the job was dispatched.
+    ShutDown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled(reason) => write!(f, "job cancelled: {reason}"),
+            JobError::Cnc(e) => write!(f, "data-flow failure: {e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::ShutDown => write!(f, "server shut down before dispatch"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at its configured depth; resubmit later.
+    QueueFull {
+        /// The configured depth the queue was at.
+        depth: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue full (depth {depth})")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What a completed job produced. Batch jobs carry one table/digest
+/// per query, in submission order.
+#[derive(Clone)]
+pub struct JobResult {
+    /// The computed DP table(s).
+    pub tables: Vec<Matrix>,
+    /// [`Matrix::bit_digest`] of each table (cheap cross-run identity
+    /// checks without cloning tables around).
+    pub digests: Vec<u64>,
+    /// Wall-clock seconds of the execution proper.
+    pub seconds: f64,
+    /// Seconds the job waited in the admission queue.
+    pub queued_seconds: f64,
+    /// Aggregate CnC statistics over the job's graph(s), when the
+    /// data-flow engine ran.
+    pub cnc_stats: Option<GraphStats>,
+}
+
+impl std::fmt::Debug for JobResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobResult")
+            .field("digests", &self.digests)
+            .field("seconds", &self.seconds)
+            .field("queued_seconds", &self.queued_seconds)
+            .field("cnc_stats", &self.cnc_stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Observable lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In the admission queue.
+    Queued,
+    /// Dispatched to a runner.
+    Running,
+    /// Finished (successfully or not); [`JobHandle::wait`] returns
+    /// immediately.
+    Done,
+}
+
+pub(crate) enum JobState {
+    Queued,
+    Running,
+    Done(Result<JobResult, JobError>),
+}
+
+/// State shared between the handle, the scheduler and the runner.
+pub(crate) struct JobShared {
+    pub id: u64,
+    pub tenant: String,
+    pub submitted_at: Instant,
+    pub state: Mutex<JobState>,
+    pub done: Condvar,
+    /// Set by [`JobHandle::cancel`]; checked by the runner right after
+    /// installing the run token (covering the install race) and at
+    /// dispatch.
+    pub cancel_requested: AtomicBool,
+    pub cancel_reason: Mutex<String>,
+    /// The running graph's [`CancelToken`], installed at dispatch so a
+    /// mid-run [`JobHandle::cancel`] can reach into the execution.
+    pub run_token: Mutex<Option<CancelToken>>,
+}
+
+impl JobShared {
+    pub(crate) fn new(id: u64, tenant: String) -> Arc<Self> {
+        Arc::new(JobShared {
+            id,
+            tenant,
+            submitted_at: Instant::now(),
+            state: Mutex::new(JobState::Queued),
+            done: Condvar::new(),
+            cancel_requested: AtomicBool::new(false),
+            cancel_reason: Mutex::new(String::new()),
+            run_token: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn finish(&self, result: Result<JobResult, JobError>) {
+        let mut state = self.state.lock();
+        if !matches!(*state, JobState::Done(_)) {
+            *state = JobState::Done(result);
+            self.done.notify_all();
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(*self.state.lock(), JobState::Done(_))
+    }
+}
+
+/// A handle on a submitted job: poll its status, block for its result,
+/// or cancel it. Cloneable; all clones observe the same job.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// Server-assigned job id (unique per server, submission order).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// The tenant the job is accounted to.
+    pub fn tenant(&self) -> &str {
+        &self.shared.tenant
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        match *self.shared.state.lock() {
+            JobState::Queued => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Done(_) => JobStatus::Done,
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(&self) -> Result<JobResult, JobError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            if let JobState::Done(result) = &*state {
+                return result.clone();
+            }
+            self.shared.done.wait(&mut state);
+        }
+    }
+
+    /// Cancels the job. A queued job completes immediately with
+    /// [`JobError::Cancelled`] (the scheduler discards its entry at
+    /// dispatch); a running data-flow job is cancelled through its
+    /// graph's [`CancelToken`] and returns as soon as in-flight steps
+    /// drain. Cancelling a finished job is a no-op.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let reason = reason.into();
+        *self.shared.cancel_reason.lock() = reason.clone();
+        self.shared.cancel_requested.store(true, Ordering::SeqCst);
+        let was_queued = {
+            let mut state = self.shared.state.lock();
+            match &*state {
+                JobState::Queued => {
+                    *state = JobState::Done(Err(JobError::Cancelled(reason.clone())));
+                    self.shared.done.notify_all();
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !was_queued {
+            // Running (or finishing): reach into the graph if one is
+            // installed. The runner re-checks `cancel_requested` right
+            // after installing the token, so a cancel landing between
+            // dispatch and install is still honoured.
+            if let Some(token) = self.shared.run_token.lock().as_ref() {
+                token.cancel(reason);
+            }
+        }
+    }
+}

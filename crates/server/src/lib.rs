@@ -1,0 +1,261 @@
+//! `recdp-server` — DP-as-a-service: a multi-tenant job server
+//! running every job on **one** long-lived work-stealing pool.
+//!
+//! The paper's central cost axis is scheduling overhead: fork-join
+//! pays it in joins, data-flow pays it in graph bookkeeping, and the
+//! facade's `run_benchmark` pays it *again* on every call by building
+//! and tearing down a fresh pool. This crate is the serving layer
+//! that stops paying: one [`DpServer`] owns one pool (and with it the
+//! CnC executor — graphs share the pool the way CnC programs share a
+//! TBB arena), and every submitted job — GE / SW / FW / Paren of any
+//! size, under any `Execution` model — runs on it.
+//!
+//! The server adds the policy a shared executor needs:
+//!
+//! * **Admission control** — a bounded queue
+//!   ([`ServerConfig::queue_depth`]); beyond it, [`DpServer::submit`]
+//!   refuses with [`SubmitError::QueueFull`] instead of buffering
+//!   without bound.
+//! * **Weighted fair share** — stride scheduling over named tenants
+//!   ([`DpServer::set_tenant_weight`]): over a saturated interval each
+//!   tenant's dispatched work converges to its weight share, and no
+//!   backlogged tenant starves. Within a tenant, higher
+//!   [`JobSpec::priority`] dispatches first.
+//! * **Batch coalescing** — [`JobPayload::SwBatch`] registers many
+//!   small Smith-Waterman queries on one graph and waits once
+//!   ([`BatchMode::Coalesced`]), amortizing graph setup and
+//!   quiescence across the batch; [`BatchMode::PerQuery`] is the
+//!   one-graph-per-query baseline it beats.
+//! * **Per-job SLAs** — [`JobSpec::deadline`] counts from submission
+//!   (expired-in-queue jobs fail without running; the remainder is
+//!   armed on the job's graph), [`JobSpec::retry`] and
+//!   [`JobSpec::injector`] reuse the resilience surface, and
+//!   [`JobHandle::cancel`] works both mid-queue and mid-run through
+//!   the graph's `CancelToken`.
+//! * **Utilization accounting** — data-flow jobs carry a per-job
+//!   tracer; the measured step thread-time is charged to the owning
+//!   tenant ([`TenantStats`]), not smeared across whoever shared the
+//!   pool at the time.
+//!
+//! Isolation boundary: per-job runtime state (graph stats, retry
+//! budgets, deadlines, checkpoints) lives on the job's own `CncGraph`
+//! and dies with it; the pool contributes only threads and its own
+//! supervision counters (worker deaths survive across jobs — that is
+//! pool state, not job state).
+
+#![warn(missing_docs)]
+
+mod job;
+mod scheduler;
+mod server;
+mod stats;
+
+pub use job::{
+    BatchMode, JobError, JobHandle, JobPayload, JobResult, JobSpec, JobStatus, SubmitError, SwQuery,
+};
+pub use server::{DpServer, ServerConfig};
+pub use stats::{ServerStats, TenantStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdp::{run_benchmark, Benchmark, Execution};
+    use recdp_kernels::CncVariant;
+    use std::time::Duration;
+
+    fn small_server() -> DpServer {
+        DpServer::new(ServerConfig {
+            threads: 2,
+            queue_depth: 16,
+            max_inflight: 1,
+            paused: false,
+            trace_utilization: true,
+        })
+    }
+
+    #[test]
+    fn benchmark_job_matches_standalone_run() {
+        let server = small_server();
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+        let handle = server
+            .submit(JobSpec::benchmark(
+                "t",
+                Benchmark::Ge,
+                Execution::Cnc(CncVariant::Native),
+                32,
+                8,
+            ))
+            .unwrap();
+        let result = handle.wait().unwrap();
+        assert_eq!(result.digests, vec![oracle.table.bit_digest()]);
+        assert!(result.cnc_stats.unwrap().steps_completed > 0);
+        let stats = server.tenant_stats("t").unwrap();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.busy_ns > 0);
+        assert!(stats.steps_completed > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn every_execution_model_is_servable() {
+        let server = small_server();
+        let oracle = run_benchmark(Benchmark::Fw, Execution::SerialLoops, 32, 8, 1);
+        for execution in [
+            Execution::SerialLoops,
+            Execution::SerialRdp,
+            Execution::ForkJoin,
+            Execution::Cnc(CncVariant::Native),
+            Execution::Cnc(CncVariant::Tuner),
+            Execution::Cnc(CncVariant::Manual),
+            Execution::Cnc(CncVariant::NonBlocking),
+        ] {
+            let handle = server
+                .submit(JobSpec::benchmark("t", Benchmark::Fw, execution, 32, 8))
+                .unwrap();
+            let result = handle.wait().unwrap();
+            assert_eq!(
+                result.digests,
+                vec![oracle.table.bit_digest()],
+                "{}",
+                execution.label()
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_refuses_beyond_depth() {
+        let server = DpServer::new(ServerConfig {
+            threads: 2,
+            queue_depth: 2,
+            max_inflight: 1,
+            paused: true,
+            trace_utilization: false,
+        });
+        let spec =
+            || JobSpec::benchmark("t", Benchmark::Ge, Execution::Cnc(CncVariant::Tuner), 32, 8);
+        let a = server.submit(spec()).unwrap();
+        let b = server.submit(spec()).unwrap();
+        let refused = server.submit(spec());
+        assert!(matches!(refused, Err(SubmitError::QueueFull { depth: 2 })));
+        assert_eq!(server.tenant_stats("t").unwrap().rejected, 1);
+        server.resume();
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs() {
+        let server = DpServer::new(ServerConfig {
+            threads: 2,
+            queue_depth: 16,
+            max_inflight: 1,
+            paused: true,
+            trace_utilization: false,
+        });
+        let handle = server
+            .submit(JobSpec::benchmark(
+                "t",
+                Benchmark::Sw,
+                Execution::SerialRdp,
+                32,
+                8,
+            ))
+            .unwrap();
+        server.shutdown();
+        assert_eq!(handle.wait().unwrap_err(), JobError::ShutDown);
+    }
+
+    #[test]
+    fn sw_batch_modes_agree() {
+        use recdp_kernels::workloads::dna_sequence;
+        let server = small_server();
+        let queries: Vec<SwQuery> = (0..4)
+            .map(|i| SwQuery {
+                a: dna_sequence(32, 100 + i),
+                b: dna_sequence(32, 200 + i),
+                n: 32,
+                base: 8,
+            })
+            .collect();
+        let coalesced = server
+            .submit(JobSpec::sw_batch(
+                "t",
+                queries.clone(),
+                BatchMode::Coalesced,
+                CncVariant::Native,
+            ))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let per_query = server
+            .submit(JobSpec::sw_batch(
+                "t",
+                queries,
+                BatchMode::PerQuery,
+                CncVariant::Native,
+            ))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(coalesced.digests.len(), 4);
+        assert_eq!(coalesced.digests, per_query.digests);
+        // Same steps run either way; only the graph count differs.
+        assert_eq!(
+            coalesced.cnc_stats.unwrap().steps_completed,
+            per_query.cnc_stats.unwrap().steps_completed
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_cancel_resolves_immediately() {
+        let server = DpServer::new(ServerConfig {
+            paused: true,
+            ..ServerConfig::default()
+        });
+        let handle = server
+            .submit(JobSpec::benchmark(
+                "t",
+                Benchmark::Ge,
+                Execution::Cnc(CncVariant::Native),
+                64,
+                8,
+            ))
+            .unwrap();
+        handle.cancel("changed my mind");
+        assert_eq!(
+            handle.wait().unwrap_err(),
+            JobError::Cancelled("changed my mind".into())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_running() {
+        let server = DpServer::new(ServerConfig {
+            paused: true,
+            ..ServerConfig::default()
+        });
+        let handle = server
+            .submit(
+                JobSpec::benchmark(
+                    "t",
+                    Benchmark::Ge,
+                    Execution::Cnc(CncVariant::Native),
+                    32,
+                    8,
+                )
+                .with_deadline(Duration::from_nanos(1)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        server.resume();
+        match handle.wait() {
+            Err(JobError::Cnc(recdp_cnc::CncError::Timeout { .. })) => {}
+            other => panic!("expected queue-expired timeout, got {other:?}"),
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,142 @@
+//! Weighted fair-share admission scheduling (stride scheduling over
+//! named tenants, strict priority within a tenant).
+//!
+//! Each tenant carries a virtual-time `pass`; dispatching one of its
+//! jobs advances the pass by `cost / weight`. The scheduler always
+//! dispatches from the backlogged tenant with the smallest pass, so
+//! over a saturated interval each tenant's dispatched cost converges
+//! to its weight share — and because every dispatch advances the
+//! winner's pass, no backlogged tenant waits forever (stride
+//! scheduling is starvation-free for positive weights).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::job::{JobShared, JobSpec};
+
+/// A queued submission: the shared handle state plus the spec the
+/// runner needs to execute it.
+pub(crate) struct QueuedJob {
+    pub shared: Arc<JobShared>,
+    pub spec: JobSpec,
+    /// Global submission sequence — the FIFO tie-break.
+    pub seq: u64,
+}
+
+struct TenantQueue {
+    weight: f64,
+    /// Virtual time already consumed, in cost-per-weight units.
+    pass: f64,
+    jobs: Vec<QueuedJob>,
+}
+
+/// The admission queue: per-tenant FIFOs under one bounded depth.
+pub(crate) struct Scheduler {
+    tenants: HashMap<String, TenantQueue>,
+    queued: usize,
+    /// Pass floor for tenants that go idle: a tenant with an empty
+    /// queue must not bank virtual time while others run, or it could
+    /// monopolize the pool when it returns.
+    vtime: f64,
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Self {
+        Scheduler {
+            tenants: HashMap::new(),
+            queued: 0,
+            vtime: 0.0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Sets (or pre-registers) a tenant's weight. Joining tenants
+    /// start at the current virtual-time floor.
+    pub(crate) fn set_weight(&mut self, tenant: &str, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "tenant weight must be positive and finite"
+        );
+        let vtime = self.vtime;
+        let entry = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantQueue {
+                weight,
+                pass: vtime,
+                jobs: Vec::new(),
+            });
+        entry.weight = weight;
+    }
+
+    pub(crate) fn weight_of(&self, tenant: &str) -> f64 {
+        self.tenants.get(tenant).map_or(1.0, |t| t.weight)
+    }
+
+    pub(crate) fn enqueue(&mut self, job: QueuedJob) {
+        let vtime = self.vtime;
+        let entry = self
+            .tenants
+            .entry(job.shared.tenant.clone())
+            .or_insert_with(|| TenantQueue {
+                weight: 1.0,
+                pass: vtime,
+                jobs: Vec::new(),
+            });
+        if entry.jobs.is_empty() {
+            // Re-activating after idleness: forfeit banked credit.
+            entry.pass = entry.pass.max(vtime);
+        }
+        entry.jobs.push(job);
+        self.queued += 1;
+    }
+
+    /// Dispatches the next job: the backlogged tenant with the
+    /// smallest pass (FIFO on ties via each queue's oldest seq), and
+    /// within it the highest-priority job (oldest on priority ties).
+    /// Charges `cost / weight` to the tenant at dispatch.
+    pub(crate) fn pick(&mut self) -> Option<QueuedJob> {
+        let winner = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.jobs.is_empty())
+            .min_by(|(_, a), (_, b)| {
+                let oldest = |t: &TenantQueue| t.jobs.iter().map(|j| j.seq).min().unwrap();
+                (a.pass, oldest(a))
+                    .partial_cmp(&(b.pass, oldest(b)))
+                    .expect("passes are finite")
+            })?
+            .0
+            .clone();
+        let tenant = self.tenants.get_mut(&winner).expect("winner exists");
+        let best = tenant
+            .jobs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.seq)))
+            .map(|(i, _)| i)
+            .expect("winner is backlogged");
+        let job = tenant.jobs.remove(best);
+        self.queued -= 1;
+        // The winner's pre-charge pass is the minimum over backlogged
+        // tenants — the classic virtual-time floor re-activating
+        // tenants join at.
+        self.vtime = self.vtime.max(tenant.pass);
+        tenant.pass += job.spec.cost() / tenant.weight;
+        Some(job)
+    }
+
+    /// Empties every queue, returning the abandoned jobs (shutdown).
+    pub(crate) fn drain(&mut self) -> Vec<QueuedJob> {
+        let mut out = Vec::new();
+        for tenant in self.tenants.values_mut() {
+            out.append(&mut tenant.jobs);
+        }
+        self.queued = 0;
+        out.sort_by_key(|j| j.seq);
+        out
+    }
+}

@@ -1,0 +1,159 @@
+//! Pool-reuse isolation: jobs served back-to-back on one shared pool
+//! must behave exactly like jobs run on fresh private pools. Runtime
+//! state is graph-scoped (stats, retry budgets, deadlines), so nothing
+//! a job does may leak into the next one — and the pool contributes
+//! only threads plus its own supervision counters, which must stay
+//! quiet under healthy load.
+
+use recdp::{run_benchmark, Benchmark, Execution};
+use recdp_kernels::CncVariant;
+use recdp_server::{DpServer, JobSpec, ServerConfig};
+
+const N: usize = 32;
+const BASE: usize = 8;
+const THREADS: usize = 2;
+
+fn server() -> DpServer {
+    DpServer::new(ServerConfig {
+        threads: THREADS,
+        queue_depth: 64,
+        max_inflight: 1,
+        paused: false,
+        trace_utilization: true,
+    })
+}
+
+/// Five jobs back-to-back on one shared pool: per-job digests and
+/// GraphStats are identical to fresh-pool runs of the same spec, and
+/// the pool's supervision counters never move. The Tuner variant
+/// pre-schedules each step on its dependencies, so its GraphStats are
+/// schedule-independent and the comparison can be *exact* — any
+/// carried-over runtime state (a leftover retry budget, a stale
+/// checkpoint skip-set, a reused stats block) would show up as a
+/// counter mismatch.
+#[test]
+fn shared_pool_jobs_match_fresh_pool_runs_exactly() {
+    let server = server();
+    let round = [
+        (Benchmark::Ge, CncVariant::Tuner),
+        (Benchmark::Sw, CncVariant::Tuner),
+        (Benchmark::Fw, CncVariant::Tuner),
+        (Benchmark::Paren, CncVariant::Tuner),
+        // Re-run the first spec last: if job 1 left state behind, the
+        // repeat is where it would surface.
+        (Benchmark::Ge, CncVariant::Tuner),
+    ];
+    for (i, (benchmark, variant)) in round.into_iter().enumerate() {
+        let fresh = run_benchmark(benchmark, Execution::Cnc(variant), N, BASE, THREADS);
+        let handle = server
+            .submit(JobSpec::benchmark(
+                "iso",
+                benchmark,
+                Execution::Cnc(variant),
+                N,
+                BASE,
+            ))
+            .expect("queue has room");
+        let served = handle.wait().expect("healthy job");
+        assert_eq!(
+            served.digests,
+            vec![fresh.table.bit_digest()],
+            "job {i} ({}): digest diverged from fresh-pool run",
+            benchmark.name()
+        );
+        assert_eq!(
+            served.cnc_stats.expect("cnc job carries stats"),
+            fresh.cnc_stats.expect("cnc run carries stats"),
+            "job {i} ({}): GraphStats diverged from fresh-pool run — \
+             state leaked across jobs on the shared pool",
+            benchmark.name()
+        );
+        assert_eq!(
+            server.worker_deaths(),
+            0,
+            "job {i}: healthy jobs must not consume pool supervision state"
+        );
+        assert_eq!(server.alive_workers(), THREADS, "job {i}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 0);
+    server.shutdown();
+}
+
+/// The schedule-dependent variants can't promise identical counters,
+/// but their *results* must still be bit-identical to fresh-pool runs,
+/// and the invariant counters (work actually performed) must match.
+#[test]
+fn shared_pool_preserves_digests_for_every_variant() {
+    let server = server();
+    let oracle = run_benchmark(Benchmark::Fw, Execution::SerialLoops, N, BASE, 1);
+    for variant in CncVariant::ALL4 {
+        let handle = server
+            .submit(JobSpec::benchmark(
+                "iso",
+                Benchmark::Fw,
+                Execution::Cnc(variant),
+                N,
+                BASE,
+            ))
+            .expect("queue has room");
+        let served = handle.wait().expect("healthy job");
+        assert_eq!(
+            served.digests,
+            vec![oracle.table.bit_digest()],
+            "{}",
+            variant.label()
+        );
+        let stats = served.cnc_stats.unwrap();
+        let fresh = run_benchmark(Benchmark::Fw, Execution::Cnc(variant), N, BASE, THREADS)
+            .cnc_stats
+            .unwrap();
+        // The single-assignment item counter is schedule-independent
+        // for every variant; steps and tags are too except under
+        // NonBlocking, which re-runs steps (and re-puts their tags)
+        // whenever a non-blocking get fails, so those counts vary with
+        // timing.
+        assert_eq!(stats.items_put, fresh.items_put, "{}", variant.label());
+        if variant != CncVariant::NonBlocking {
+            assert_eq!(
+                stats.steps_completed,
+                fresh.steps_completed,
+                "{}",
+                variant.label()
+            );
+            assert_eq!(stats.tags_put, fresh.tags_put, "{}", variant.label());
+        }
+    }
+    server.shutdown();
+}
+
+/// Fork-join jobs interleaved with data-flow jobs on the same pool:
+/// every result matches its serial oracle (the pool's deques carry
+/// both engines' tasks without cross-talk).
+#[test]
+fn mixed_engines_share_the_pool_without_crosstalk() {
+    let server = server();
+    for benchmark in Benchmark::ALL4 {
+        let oracle = run_benchmark(benchmark, Execution::SerialLoops, N, BASE, 1);
+        for execution in [
+            Execution::ForkJoin,
+            Execution::Cnc(CncVariant::Native),
+            Execution::ForkJoin,
+        ] {
+            let handle = server
+                .submit(JobSpec::benchmark("mix", benchmark, execution, N, BASE))
+                .expect("queue has room");
+            let served = handle.wait().expect("healthy job");
+            assert_eq!(
+                served.digests,
+                vec![oracle.table.bit_digest()],
+                "{} under {}",
+                benchmark.name(),
+                execution.label()
+            );
+        }
+    }
+    assert_eq!(server.worker_deaths(), 0);
+    server.shutdown();
+}

@@ -1,0 +1,200 @@
+//! SLA conformance of the job server: per-job deadlines surface as
+//! [`CncError::Timeout`], cancellation works both mid-queue and
+//! mid-run and returns promptly, and none of it poisons the shared
+//! pool — the next tenant's job on the same server still produces the
+//! bit-exact table.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use recdp::{run_benchmark, Benchmark, Execution};
+use recdp_cnc::CncError;
+use recdp_faults::FaultPlan;
+use recdp_kernels::CncVariant;
+use recdp_server::{DpServer, JobError, JobSpec, JobStatus, ServerConfig};
+
+const N: usize = 32;
+const BASE: usize = 8;
+
+fn server() -> DpServer {
+    DpServer::new(ServerConfig {
+        threads: 2,
+        queue_depth: 64,
+        max_inflight: 1,
+        paused: false,
+        trace_utilization: false,
+    })
+}
+
+fn cnc_job(tenant: &str) -> JobSpec {
+    JobSpec::benchmark(
+        tenant,
+        Benchmark::Ge,
+        Execution::Cnc(CncVariant::Native),
+        N,
+        BASE,
+    )
+}
+
+/// A job that cannot finish quickly: every step sleeps `delay`.
+fn dragging_job(tenant: &str, delay: Duration) -> JobSpec {
+    cnc_job(tenant).with_injector(Arc::new(FaultPlan::new(0x51A0).slow_steps(1.0, delay)))
+}
+
+/// Asserts the shared pool still serves correct results after `server`
+/// absorbed an SLA violation.
+fn assert_pool_unpoisoned(server: &DpServer) {
+    let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, N, BASE, 1);
+    let handle = server
+        .submit(cnc_job("after"))
+        .expect("queue has room after SLA failure");
+    let served = handle.wait().expect("follow-up job must run clean");
+    assert_eq!(served.digests, vec![oracle.table.bit_digest()]);
+    assert_eq!(
+        server.worker_deaths(),
+        0,
+        "SLA failures are job-level, not pool-level"
+    );
+}
+
+/// A running job that blows its deadline fails with the runtime's own
+/// `Timeout` error (deadline measured from submission), within a
+/// bounded wait.
+#[test]
+fn deadline_expiry_surfaces_as_timeout() {
+    let server = server();
+    // ~30 steps x 5ms of injected delay across 2 workers >> 40ms SLA.
+    let handle = server
+        .submit(
+            dragging_job("sla", Duration::from_millis(5)).with_deadline(Duration::from_millis(40)),
+        )
+        .expect("queue has room");
+    let begin = Instant::now();
+    let err = handle.wait().unwrap_err();
+    assert!(
+        matches!(err, JobError::Cnc(CncError::Timeout { .. })),
+        "expected Timeout, got {err}"
+    );
+    assert!(
+        begin.elapsed() < Duration::from_secs(10),
+        "a 40ms deadline must not take {:?} to report",
+        begin.elapsed()
+    );
+    assert_pool_unpoisoned(&server);
+    let sla = server.tenant_stats("sla").unwrap();
+    assert_eq!(sla.failed, 1);
+    assert_eq!(sla.completed, 0);
+    server.shutdown();
+}
+
+/// A deadline that expires while the job is still queued fails at
+/// dispatch without the job ever running.
+#[test]
+fn deadline_can_expire_in_queue() {
+    let server = server();
+    server.pause();
+    let handle = server
+        .submit(cnc_job("sla").with_deadline(Duration::from_millis(1)))
+        .expect("queue has room");
+    std::thread::sleep(Duration::from_millis(15));
+    server.resume();
+    let err = handle.wait().unwrap_err();
+    match err {
+        JobError::Cnc(CncError::Timeout {
+            pending, blocked, ..
+        }) => {
+            assert_eq!((pending, blocked), (0, 0), "the job never started");
+        }
+        other => panic!("expected queue-expired Timeout, got {other}"),
+    }
+    assert_pool_unpoisoned(&server);
+    server.shutdown();
+}
+
+/// Cancelling a job that is still in the queue resolves it
+/// immediately — before the server is even resumed — and the
+/// scheduler skips its corpse without disturbing its neighbours.
+#[test]
+fn mid_queue_cancel_resolves_immediately() {
+    let server = server();
+    server.pause();
+    let doomed = server.submit(cnc_job("cx")).expect("queue has room");
+    let survivor = server.submit(cnc_job("cx")).expect("queue has room");
+    doomed.cancel("user abort");
+    assert_eq!(
+        doomed.status(),
+        JobStatus::Done,
+        "queued cancellation must not wait for a runner"
+    );
+    assert_eq!(
+        doomed.wait().unwrap_err(),
+        JobError::Cancelled("user abort".into())
+    );
+    server.resume();
+    survivor.wait().expect("the neighbouring job is untouched");
+    let cx = server.tenant_stats("cx").unwrap();
+    assert_eq!(cx.cancelled, 1);
+    assert_eq!(cx.completed, 1);
+    assert_pool_unpoisoned(&server);
+    server.shutdown();
+}
+
+/// Cancelling a job mid-run fires its graph's `CancelToken`: the wait
+/// returns promptly with `Cancelled`, and the shared pool keeps
+/// serving subsequent jobs.
+#[test]
+fn mid_run_cancel_returns_promptly_without_poisoning_the_pool() {
+    let server = server();
+    // Each step drags 20ms, so the job runs for hundreds of
+    // milliseconds — comfortably long enough to observe `Running` and
+    // cancel it in flight.
+    let handle = server
+        .submit(dragging_job("cx", Duration::from_millis(20)))
+        .expect("queue has room");
+    let spin = Instant::now();
+    while handle.status() != JobStatus::Running {
+        assert!(
+            spin.elapsed() < Duration::from_secs(10),
+            "job never started running"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.cancel("operator request");
+    let begin = Instant::now();
+    let err = handle.wait().unwrap_err();
+    assert!(
+        matches!(&err, JobError::Cancelled(reason) if reason.contains("operator request")),
+        "expected mid-run Cancelled, got {err}"
+    );
+    assert!(
+        begin.elapsed() < Duration::from_secs(10),
+        "mid-run cancellation must drain promptly, took {:?}",
+        begin.elapsed()
+    );
+    // The pool outlives the cancelled graph: every benchmark still
+    // runs bit-exact on the same server.
+    for benchmark in Benchmark::ALL4 {
+        let oracle = run_benchmark(benchmark, Execution::SerialLoops, N, BASE, 1);
+        let served = server
+            .submit(JobSpec::benchmark(
+                "after",
+                benchmark,
+                Execution::Cnc(CncVariant::Native),
+                N,
+                BASE,
+            ))
+            .expect("queue has room")
+            .wait()
+            .expect("follow-up job must run clean");
+        assert_eq!(
+            served.digests,
+            vec![oracle.table.bit_digest()],
+            "{}",
+            benchmark.name()
+        );
+    }
+    assert_eq!(server.worker_deaths(), 0);
+    let cx = server.tenant_stats("cx").unwrap();
+    assert_eq!(cx.cancelled, 1);
+    server.shutdown();
+}
