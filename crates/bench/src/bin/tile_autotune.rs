@@ -1,0 +1,56 @@
+//! Regenerates `results/tile_autotune.csv`: per-tile kernel timings
+//! (scalar vs vector backend), the autotuner's model/sim/measured audit
+//! with the chosen base per kernel, and the fork-join vs data-flow
+//! crossover per backend.
+//!
+//! Run with `--features simd` for the vector rows to mean anything —
+//! without it (or without AVX) both backends time the scalar kernel and
+//! the speedups sit at ~1, which the CSV records in its
+//! `vector_backend_active` row.
+//!
+//! `--quick` runs the same grid at CI effort (tiny timing budgets, one
+//! crossover rep) and is what the golden structural test regenerates
+//! with.
+
+use recdp_bench::tile::{tile_csv, tile_rows, FULL, QUICK};
+use recdp_bench::write_results;
+use recdp_kernels::simd::{backend_label, simd_supported};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { QUICK } else { FULL };
+    println!(
+        "backend: {} (vector support: {})",
+        backend_label(),
+        simd_supported()
+    );
+    let rows = tile_rows(&params);
+    let csv = tile_csv(&rows);
+    print!("{csv}");
+    let path = write_results("tile_autotune.csv", &csv);
+    println!("wrote {}", path.display());
+
+    for r in rows.iter().filter(|r| r.metric == "chosen_base") {
+        let speedup = rows
+            .iter()
+            .find(|s| s.kernel == r.kernel && s.metric == "speedup_vs_base8")
+            .expect("every tuned kernel has a speedup row")
+            .value;
+        println!(
+            "autotune: {} chose base {} ({:.2}x over fixed base 8 per tile)",
+            r.kernel, r.value as usize, speedup
+        );
+    }
+    for r in rows.iter().filter(|r| r.metric == "crossover_base") {
+        println!(
+            "crossover: {} [{}] data-flow takes over at base {}",
+            r.kernel,
+            r.backend,
+            if r.value == 0.0 {
+                "- (fork-join holds the grid)".to_string()
+            } else {
+                format!("{}", r.value as usize)
+            }
+        );
+    }
+}

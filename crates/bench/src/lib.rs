@@ -1003,3 +1003,348 @@ pub mod server_load {
         csv
     }
 }
+
+/// Per-tile kernel timing, the autotuner's model-vs-measured audit, and
+/// the fork-join/data-flow crossover shift, behind
+/// `results/tile_autotune.csv`.
+///
+/// Long-format rows `section,kernel,backend,n,base,metric,value`:
+///
+/// * **pertile** — measured ns per work unit of one base-case tile per
+///   kernel, tile size, and backend (`scalar` vs `simd`; the vector
+///   backend exists for GE and FW only). Tiles run on a `2m x 2m`
+///   working set, the steady-state shape of an R-DP run.
+/// * **simd** — per-tile vector speedup (`scalar / simd` time) derived
+///   from the pertile section, plus one `vector_backend_active` row
+///   recording whether this build + CPU actually ran vector code
+///   (without the `simd` feature both backends are the scalar kernel
+///   and the speedups sit at ~1).
+/// * **model** — the autotuner's three stages per candidate base:
+///   closed-form miss-model score, cache-simulator replay (GE/FW, small
+///   tiles), and the calibration measurement, all in ns per work unit.
+/// * **autotune** — the chosen base per kernel, the deepest-private-
+///   level fitting tile, and `speedup_vs_base8`: measured per-tile time
+///   at the fixed base 8 over the autotuned base. The tuner picks the
+///   measured argmin over all candidates, so this is `>= 1` by
+///   construction; the committed golden shows how much headroom the
+///   fixed base leaves on a real machine.
+/// * **crossover** — wall time of full GE/FW runs under fork-join vs
+///   data-flow (CnC) over a base grid, per backend, plus a
+///   `crossover_base` summary row: the smallest base where data-flow
+///   wins (0 when fork-join holds the whole grid). Comparing the
+///   scalar and simd summaries shows the paper's Sec. IV effect —
+///   shrinking per-tile cost moves the crossover.
+///
+/// Every timing cell is machine-dependent; the golden test validates
+/// the row skeleton and the invariants above, never timing values.
+pub mod tile {
+    use std::time::Duration;
+
+    use recdp::{run_benchmark, Benchmark, Execution};
+    use recdp_kernels::simd::{set_simd_enabled, simd_active, simd_supported};
+    use recdp_kernels::tune::calibrate;
+    use recdp_kernels::{tune, CncVariant, TuneKernel, TuneOptions};
+    use recdp_machine::host_geometry;
+
+    /// Tile-size axis of the pertile/simd sections.
+    pub const PERTILE_BASES: [usize; 5] = [8, 16, 32, 64, 128];
+    /// Problem size the model/autotune sections tune for.
+    pub const MODEL_N: usize = 256;
+    /// Problem size of the crossover section.
+    pub const CROSSOVER_N: usize = 128;
+    /// Base-size axis of the crossover section.
+    pub const CROSSOVER_BASES: [usize; 3] = [8, 16, 32];
+    /// Worker threads of the crossover runs.
+    pub const CROSSOVER_THREADS: usize = 4;
+
+    /// All four kernels, CSV order.
+    pub const KERNELS: [TuneKernel; 4] = [
+        TuneKernel::Ge,
+        TuneKernel::Fw,
+        TuneKernel::Sw,
+        TuneKernel::Paren,
+    ];
+    /// The kernels with a vector backend.
+    pub const VECTOR_KERNELS: [TuneKernel; 2] = [TuneKernel::Ge, TuneKernel::Fw];
+
+    /// Measurement-effort knobs. Both grids emit the **same rows**; only
+    /// budgets and repetitions differ, so the quick regeneration matches
+    /// the committed skeleton cell for cell.
+    #[derive(Debug, Clone)]
+    pub struct TileParams {
+        /// Timing budget per (kernel, base, backend) point.
+        pub budget: Duration,
+        /// Crossover repetitions per point (minimum wall time wins).
+        pub reps: usize,
+    }
+
+    /// CI/golden-test effort.
+    pub const QUICK: TileParams = TileParams {
+        budget: Duration::from_micros(200),
+        reps: 1,
+    };
+
+    /// Effort of the committed CSV.
+    pub const FULL: TileParams = TileParams {
+        budget: Duration::from_millis(5),
+        reps: 3,
+    };
+
+    /// One long-format CSV row.
+    #[derive(Debug, Clone)]
+    pub struct TileRow {
+        /// Section label (`pertile` / `simd` / `model` / `autotune` /
+        /// `crossover`).
+        pub section: &'static str,
+        /// Kernel label (`ge` / `fw` / `sw` / `paren`, or `-`).
+        pub kernel: &'static str,
+        /// Backend label (`scalar` / `simd`, or `-` where the metric is
+        /// backend-independent).
+        pub backend: &'static str,
+        /// Working-set or problem side the metric was taken at (0 for
+        /// summary rows).
+        pub n: usize,
+        /// Base-case size the metric was taken at (0 for summary rows).
+        pub base: usize,
+        /// Metric name.
+        pub metric: &'static str,
+        /// Metric value.
+        pub value: f64,
+    }
+
+    /// Backends a kernel can time.
+    fn backends_for(kernel: TuneKernel) -> &'static [&'static str] {
+        match kernel {
+            TuneKernel::Ge | TuneKernel::Fw => &["scalar", "simd"],
+            TuneKernel::Sw | TuneKernel::Paren => &["scalar"],
+        }
+    }
+
+    /// Runs `f` with the dispatcher pinned to `backend`, restoring the
+    /// previous backend afterwards. Requesting `simd` without vector
+    /// support silently times the scalar path (the dispatcher's own
+    /// fallback), which is exactly what that build would execute.
+    fn with_backend<T>(backend: &str, f: impl FnOnce() -> T) -> T {
+        let initial = simd_active();
+        set_simd_enabled(backend == "simd");
+        let out = f();
+        set_simd_enabled(initial);
+        out
+    }
+
+    /// The pertile section: every kernel x backend x tile size, timed
+    /// by the tuner's own calibration measurement ([`calibrate`]: one
+    /// base-case tile through the dispatcher on a `2m x 2m` working
+    /// set, ns per work unit) with the dispatcher pinned per backend.
+    pub fn pertile_rows(params: &TileParams) -> Vec<TileRow> {
+        let mut rows = Vec::new();
+        for kernel in KERNELS {
+            for &backend in backends_for(kernel) {
+                for m in PERTILE_BASES {
+                    let value = with_backend(backend, || calibrate(kernel, m, params.budget));
+                    rows.push(TileRow {
+                        section: "pertile",
+                        kernel: kernel.label(),
+                        backend,
+                        n: 2 * m,
+                        base: m,
+                        metric: "ns_per_unit",
+                        value,
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// The simd section, derived from the pertile rows.
+    pub fn simd_rows(pertile: &[TileRow]) -> Vec<TileRow> {
+        let time_of = |kernel: &str, backend: &str, m: usize| {
+            pertile
+                .iter()
+                .find(|r| r.kernel == kernel && r.backend == backend && r.base == m)
+                .expect("pertile grid covers every (kernel, backend, base)")
+                .value
+        };
+        let mut rows = Vec::new();
+        for kernel in VECTOR_KERNELS {
+            for m in PERTILE_BASES {
+                let scalar = time_of(kernel.label(), "scalar", m);
+                let simd = time_of(kernel.label(), "simd", m);
+                rows.push(TileRow {
+                    section: "simd",
+                    kernel: kernel.label(),
+                    backend: "simd",
+                    n: 2 * m,
+                    base: m,
+                    metric: "simd_speedup",
+                    value: scalar / simd.max(f64::MIN_POSITIVE),
+                });
+            }
+        }
+        rows.push(TileRow {
+            section: "simd",
+            kernel: "-",
+            backend: "simd",
+            n: 0,
+            base: 0,
+            metric: "vector_backend_active",
+            value: simd_supported() as u8 as f64,
+        });
+        rows
+    }
+
+    /// The model and autotune sections: one tuning run per kernel with
+    /// every candidate measured (infinite shortlist slack), so the CSV
+    /// carries all three stages for every base and `speedup_vs_base8`
+    /// always has both endpoints.
+    pub fn autotune_rows(params: &TileParams) -> Vec<TileRow> {
+        let geometry = host_geometry();
+        let opts = TuneOptions {
+            min_base: PERTILE_BASES[0],
+            max_base: PERTILE_BASES[PERTILE_BASES.len() - 1],
+            calib_budget: params.budget,
+            model_slack: f64::INFINITY,
+            ..TuneOptions::default()
+        };
+        let mut model = Vec::new();
+        let mut autotune = Vec::new();
+        for kernel in KERNELS {
+            let report = tune(kernel, MODEL_N, &geometry, &opts);
+            let measured_at = |base: usize| {
+                report
+                    .candidates
+                    .iter()
+                    .find(|c| c.base == base)
+                    .and_then(|c| c.measured_ns_per_unit)
+                    .expect("infinite slack measures every candidate")
+            };
+            for c in &report.candidates {
+                let mut push = |metric: &'static str, value: f64| {
+                    model.push(TileRow {
+                        section: "model",
+                        kernel: kernel.label(),
+                        backend: "-",
+                        n: MODEL_N,
+                        base: c.base,
+                        metric,
+                        value,
+                    });
+                };
+                push("model_ns_per_unit", c.model_ns_per_unit);
+                if let Some(sim) = c.sim_ns_per_unit {
+                    push("sim_ns_per_unit", sim);
+                }
+                if let Some(measured) = c.measured_ns_per_unit {
+                    push("measured_ns_per_unit", measured);
+                }
+            }
+            let mut push = |metric: &'static str, value: f64| {
+                autotune.push(TileRow {
+                    section: "autotune",
+                    kernel: kernel.label(),
+                    backend: "-",
+                    n: MODEL_N,
+                    base: 0,
+                    metric,
+                    value,
+                });
+            };
+            push("chosen_base", report.chosen as f64);
+            push("fits_private", report.fits_private as f64);
+            push(
+                "speedup_vs_base8",
+                measured_at(opts.min_base) / measured_at(report.chosen),
+            );
+        }
+        model.extend(autotune);
+        model
+    }
+
+    /// The crossover section: full GE/FW runs, fork-join vs data-flow,
+    /// per backend over the base grid, with a `crossover_base` summary.
+    pub fn crossover_rows(params: &TileParams) -> Vec<TileRow> {
+        let benchmark_of = |kernel: TuneKernel| match kernel {
+            TuneKernel::Ge => Benchmark::Ge,
+            TuneKernel::Fw => Benchmark::Fw,
+            _ => unreachable!("only vector kernels cross over here"),
+        };
+        let mut rows = Vec::new();
+        for kernel in VECTOR_KERNELS {
+            let benchmark = benchmark_of(kernel);
+            for &backend in backends_for(kernel) {
+                let mut crossover_base = 0usize;
+                for base in CROSSOVER_BASES {
+                    let time = |execution: Execution| {
+                        with_backend(backend, || {
+                            (0..params.reps.max(1))
+                                .map(|_| {
+                                    run_benchmark(
+                                        benchmark,
+                                        execution,
+                                        CROSSOVER_N,
+                                        base,
+                                        CROSSOVER_THREADS,
+                                    )
+                                    .seconds
+                                        * 1e9
+                                })
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                    };
+                    let forkjoin = time(Execution::ForkJoin);
+                    let cnc = time(Execution::Cnc(CncVariant::Native));
+                    if crossover_base == 0 && cnc < forkjoin {
+                        crossover_base = base;
+                    }
+                    let mut push = |metric: &'static str, value: f64| {
+                        rows.push(TileRow {
+                            section: "crossover",
+                            kernel: kernel.label(),
+                            backend,
+                            n: CROSSOVER_N,
+                            base,
+                            metric,
+                            value,
+                        });
+                    };
+                    push("forkjoin_wall_ns", forkjoin);
+                    push("cnc_wall_ns", cnc);
+                }
+                rows.push(TileRow {
+                    section: "crossover",
+                    kernel: kernel.label(),
+                    backend,
+                    n: CROSSOVER_N,
+                    base: 0,
+                    metric: "crossover_base",
+                    value: crossover_base as f64,
+                });
+            }
+        }
+        rows
+    }
+
+    /// All sections of `results/tile_autotune.csv`, committed order.
+    pub fn tile_rows(params: &TileParams) -> Vec<TileRow> {
+        let pertile = pertile_rows(params);
+        let simd = simd_rows(&pertile);
+        let mut rows = pertile;
+        rows.extend(simd);
+        rows.extend(autotune_rows(params));
+        rows.extend(crossover_rows(params));
+        rows
+    }
+
+    /// Renders rows as the committed CSV.
+    pub fn tile_csv(rows: &[TileRow]) -> String {
+        let mut csv = String::from("section,kernel,backend,n,base,metric,value\n");
+        for r in rows {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{:.6}\n",
+                r.section, r.kernel, r.backend, r.n, r.base, r.metric, r.value
+            ));
+        }
+        csv
+    }
+}

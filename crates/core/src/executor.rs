@@ -15,7 +15,14 @@ use recdp_forkjoin::{RecoveryMode, ThreadPool, ThreadPoolBuilder};
 use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{engine, fw, ge, paren, sw, CncVariant, Matrix};
 use recdp_kernels::{fw::FwSpec, ge::GeSpec, paren::ParenSpec, sw::SwSpec};
+use recdp_kernels::{tuned_base, TuneKernel};
 use recdp_trace::{TraceSession, Tracer};
+
+/// Sentinel base-case size meaning "let the autotuner decide": every
+/// entry point taking a `base` resolves this to [`auto_base`] before
+/// validating. `0` can never be a legal base (bases are powers of two),
+/// so the sentinel is unambiguous.
+pub const AUTO_BASE: usize = 0;
 
 /// The DP benchmarks: the paper's three plus the matrix-chain
 /// parenthesization extension.
@@ -198,10 +205,36 @@ impl PreparedJob {
     }
 }
 
+/// The autotuned base-case size for `benchmark` at problem size `n` on
+/// this host: one calibrated tuning run per kernel per process (see
+/// `recdp_kernels::tune`), clamped to `n`. Tuning can never change
+/// results — every base size produces bitwise-identical tables — so
+/// this is purely a throughput knob.
+pub fn auto_base(benchmark: Benchmark, n: usize) -> usize {
+    let kernel = match benchmark {
+        Benchmark::Ge => TuneKernel::Ge,
+        Benchmark::Sw => TuneKernel::Sw,
+        Benchmark::Fw => TuneKernel::Fw,
+        Benchmark::Paren => TuneKernel::Paren,
+    };
+    tuned_base(kernel, n)
+}
+
+/// Resolves the [`AUTO_BASE`] sentinel, leaving explicit bases alone.
+fn resolve_base(benchmark: Benchmark, n: usize, base: usize) -> usize {
+    if base == AUTO_BASE {
+        auto_base(benchmark, n)
+    } else {
+        base
+    }
+}
+
 /// Generates the standard seeded input for `benchmark` at size `n` as
-/// a [`PreparedJob`].
+/// a [`PreparedJob`]. `base` may be [`AUTO_BASE`] to use the host-tuned
+/// tile size.
 pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
     const SEED: u64 = 0xD1CE;
+    let base = resolve_base(benchmark, n, base);
     assert!(
         n.is_power_of_two() && base.is_power_of_two() && base <= n,
         "n and base must be powers of two with base <= n"
@@ -255,6 +288,7 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
 /// for batched alignment serving: many small queries, each its own
 /// table, coalesced onto one graph via [`PreparedJob::register_cnc`].
 pub fn prepare_sw_query(a: &[u8], b: &[u8], n: usize, base: usize) -> PreparedJob {
+    let base = resolve_base(Benchmark::Sw, n, base);
     assert!(
         n.is_power_of_two() && base.is_power_of_two() && base <= n,
         "n and base must be powers of two with base <= n"
@@ -779,6 +813,40 @@ mod tests {
         );
         assert!(out.table.bitwise_eq(&oracle.table));
         assert!(session.report().work_ns > 0);
+    }
+
+    #[test]
+    fn auto_base_is_legal_and_tuned_runs_match_explicit_base() {
+        for benchmark in Benchmark::ALL4 {
+            let b = auto_base(benchmark, 32);
+            assert!(
+                b.is_power_of_two() && (1..=32).contains(&b),
+                "{}: auto base {b}",
+                benchmark.name()
+            );
+            // AUTO_BASE resolves to exactly auto_base(n), and the tuned
+            // run is bitwise-identical to any explicitly-based run —
+            // base size can never change results.
+            let tuned = run_benchmark(benchmark, Execution::SerialRdp, 32, AUTO_BASE, 1);
+            let explicit = run_benchmark(benchmark, Execution::SerialLoops, 32, 8, 1);
+            assert!(
+                tuned.table.bitwise_eq(&explicit.table),
+                "{} tuned vs explicit",
+                benchmark.name()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_base_sw_query_matches_explicit() {
+        use recdp_kernels::workloads::dna_sequence;
+        let a = dna_sequence(64, 3);
+        let b = dna_sequence(64, 4);
+        let mut tuned = prepare_sw_query(&a, &b, 32, AUTO_BASE);
+        let mut explicit = prepare_sw_query(&a, &b, 32, 8);
+        tuned.run_loops();
+        explicit.run_loops();
+        assert!(tuned.table().bitwise_eq(explicit.table()));
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub mod experiment;
 
 pub use analysis::{dag, dag_metrics, Model};
 pub use executor::{
-    prepare_job, prepare_sw_query, run_benchmark, run_benchmark_on, run_benchmark_resilient,
-    run_benchmark_traced, Benchmark, Execution, PreparedJob, RecoveryPolicy, ResilienceOptions,
-    RunOutput,
+    auto_base, prepare_job, prepare_sw_query, run_benchmark, run_benchmark_on,
+    run_benchmark_resilient, run_benchmark_traced, Benchmark, Execution, PreparedJob,
+    RecoveryPolicy, ResilienceOptions, RunOutput, AUTO_BASE,
 };
 pub use experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
 
@@ -53,9 +53,9 @@ pub use experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
 pub mod prelude {
     pub use crate::analysis::{dag, dag_metrics, Model};
     pub use crate::executor::{
-        prepare_job, prepare_sw_query, run_benchmark, run_benchmark_on, run_benchmark_resilient,
-        run_benchmark_traced, Benchmark, Execution, PreparedJob, RecoveryPolicy, ResilienceOptions,
-        RunOutput,
+        auto_base, prepare_job, prepare_sw_query, run_benchmark, run_benchmark_on,
+        run_benchmark_resilient, run_benchmark_traced, Benchmark, Execution, PreparedJob,
+        RecoveryPolicy, ResilienceOptions, RunOutput, AUTO_BASE,
     };
     pub use crate::experiment::{predict_seconds, FigurePanel, PanelRow, Paradigm};
     pub use recdp_cnc::{CancelToken, Checkpoint, CncError, CncGraph, RetryPolicy};

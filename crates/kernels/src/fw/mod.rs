@@ -27,8 +27,40 @@ use crate::table::TablePtr;
 /// and column tiles it reads must have completed their updates for the
 /// same pivot range (or be the region itself — the in-place diagonal
 /// case is the standard FW invariant).
+///
+/// Dispatches to the vectorized backend when the `simd` feature is on
+/// and [`crate::simd::simd_active`] holds; backends are
+/// bitwise-identical (property-tested in [`crate::simd`]). With the
+/// feature off this is exactly [`base_kernel_scalar`].
 pub(crate) unsafe fn base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
-    debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::simd_active() {
+        // SAFETY: forwarded contract; simd_active() checked AVX support.
+        return crate::simd::avx::fw_base_kernel(t, i0, j0, k0, m);
+    }
+    base_kernel_scalar(t, i0, j0, k0, m)
+}
+
+/// The scalar FW base case. See [`base_kernel`] for semantics and the
+/// safety contract.
+///
+/// The debug asserts cover the full access footprint: the kernel writes
+/// the region and *reads* the pivot column `(i, k)` and pivot row
+/// `(k, j)` for every `k in [k0, k0+m)`.
+pub(crate) unsafe fn base_kernel_scalar(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
+    debug_assert!(
+        i0 + m <= t.n && j0 + m <= t.n,
+        "FW write region [{i0}..{}) x [{j0}..{}) out of range for n={}",
+        i0 + m,
+        j0 + m,
+        t.n
+    );
+    debug_assert!(
+        k0 + m <= t.n,
+        "FW pivot range [{k0}..{}) reads rows/columns past n={}",
+        k0 + m,
+        t.n
+    );
     for k in k0..k0 + m {
         for i in i0..i0 + m {
             let dik = t.get(i, k);

@@ -30,8 +30,43 @@ use crate::table::TablePtr;
 /// the caller must guarantee exclusive write access to the region plus
 /// stable (no concurrent writer) pivot data, per the [`TablePtr`]
 /// discipline.
+///
+/// Dispatches to the vectorized backend when the `simd` feature is on
+/// and [`crate::simd::simd_active`] holds; the backends are
+/// bitwise-identical (asserted by the property tests in [`crate::simd`]),
+/// so the choice affects throughput only. With the feature off this is
+/// exactly [`base_kernel_scalar`].
 pub(crate) unsafe fn base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
-    debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::simd_active() {
+        // SAFETY: forwarded contract; simd_active() checked AVX support.
+        return crate::simd::avx::ge_base_kernel(t, i0, j0, k0, m);
+    }
+    base_kernel_scalar(t, i0, j0, k0, m)
+}
+
+/// The scalar GE base case (the loops oracle's arithmetic). See
+/// [`base_kernel`] for the region semantics and safety contract.
+///
+/// The debug asserts cover the kernel's full access footprint, not just
+/// the write region: it writes `rows [max(i0,k+1), i0+m) x cols
+/// [max(j0,k+1), j0+m)` and *reads* the pivot diagonal `(k, k)`, the
+/// factor column `(i, k)` and the pivot rows `(k, j)` for every
+/// `k in [k0, k0+m)`.
+pub(crate) unsafe fn base_kernel_scalar(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
+    debug_assert!(
+        i0 + m <= t.n && j0 + m <= t.n,
+        "GE write region [{i0}..{}) x [{j0}..{}) out of range for n={}",
+        i0 + m,
+        j0 + m,
+        t.n
+    );
+    debug_assert!(
+        k0 + m <= t.n,
+        "GE pivot range [{k0}..{}) reads rows/columns past n={}",
+        k0 + m,
+        t.n
+    );
     for k in k0..k0 + m {
         let pivot = t.get(k, k);
         for i in i0.max(k + 1)..i0 + m {

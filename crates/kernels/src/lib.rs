@@ -48,13 +48,16 @@ pub mod engine;
 pub mod fw;
 pub mod ge;
 pub mod paren;
+pub mod simd;
 pub mod spec;
 pub mod sw;
 pub mod table;
+pub mod tune;
 pub mod workloads;
 
 pub use spec::{Call, DpSpec, Tag, TileKey};
 pub use table::{Matrix, TablePtr};
+pub use tune::{tune, tuned_base, TileCandidate, TuneKernel, TuneOptions, TuneReport};
 
 /// Which CnC execution variant to run (Sec. III-D / IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

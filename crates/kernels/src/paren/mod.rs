@@ -57,8 +57,24 @@ use crate::table::{Matrix, TablePtr};
 /// Exclusive write access to the tile; every tile on row-segment
 /// `(I, I..J)` and column-segment `(I+1..=J, J)` must be final.
 pub(crate) unsafe fn base_kernel(t: TablePtr, dims: &[f64], i0: usize, j0: usize, m: usize) {
-    debug_assert!(i0 + m <= t.n && j0 + m <= t.n);
-    debug_assert!(dims.len() == t.n + 1);
+    debug_assert!(
+        i0 + m <= t.n && j0 + m <= t.n,
+        "Paren write region [{i0}..{}) x [{j0}..{}) out of range for n={}",
+        i0 + m,
+        j0 + m,
+        t.n
+    );
+    // Cell (i, j) reads row-segment (i, i..j) and column-segment
+    // (i+1..=j, j): rows and columns up to j < j0 + m <= t.n, so the
+    // write-region check above also bounds every table read. The dims
+    // reads reach dims[j + 1] <= dims[j0 + m].
+    debug_assert!(
+        dims.len() == t.n + 1 && dims.len() > j0 + m,
+        "Paren dims reads dims[..={}] out of range (len {}, need n+1={})",
+        j0 + m,
+        dims.len(),
+        t.n + 1
+    );
     for j in j0..j0 + m {
         for i in (i0..i0 + m).rev() {
             if i >= j {

@@ -1,0 +1,366 @@
+//! Vectorized tile kernels for GE and FW, bitwise-identical to the
+//! scalar base kernels.
+//!
+//! ## The bitwise-equivalence contract
+//!
+//! Every execution model in this repo is checked against the serial
+//! loops oracles by *bit digest*, so a kernel backend is only admissible
+//! if each DP cell sees the **identical IEEE-754 operation sequence**
+//! the scalar kernel performs. The vector kernels here satisfy that by
+//! construction: they vectorize across the innermost `j` loop, whose
+//! iterations are independent in both kernels (GE updates row `i` from
+//! pivot-row values; FW relaxes row `i` against a broadcast `d[i][k]`),
+//! and each lane performs exactly the scalar op chain in the scalar
+//! order — `mul, div, sub` for GE (`x - f*p/d`, no FMA contraction) and
+//! `add, min` for FW (`VMINPD(via, cur)` has exactly the semantics of
+//! `if via < cur { via } else { cur }`, including `-0.0` and NaN
+//! handling). Loop tails shorter than a vector run the scalar statement
+//! verbatim. The property tests at the bottom of this module assert the
+//! identity over randomized matrices, tile offsets and sizes rather
+//! than assuming it.
+//!
+//! ## Dispatch
+//!
+//! With the `simd` cargo feature **off** (the default), none of this
+//! module's vector code exists and `ge::base_kernel` / `fw::base_kernel`
+//! compile to exactly the scalar loops — the feature-off build is
+//! bit-for-bit the pre-SIMD code. With the feature on, the kernels
+//! consult [`simd_active`] once per tile: AVX presence is detected at
+//! runtime (cached), `RECDP_NO_SIMD=1` opts out at process start, and
+//! [`set_simd_enabled`] lets benchmarks and tests flip backends
+//! in-process to measure scalar-vs-vector on identical inputs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Tri-state runtime switch: `UNKNOWN` until first query, then `ON`/`OFF`.
+static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+const UNKNOWN: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Whether the vector backend is compiled in, supported by this CPU and
+/// currently enabled. The kernels consult this once per tile task.
+#[inline]
+pub fn simd_active() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => {
+            let on = detect();
+            STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Label of the backend [`simd_active`] currently selects, for bench
+/// output and logs.
+pub fn backend_label() -> &'static str {
+    if simd_active() {
+        "avx"
+    } else {
+        "scalar"
+    }
+}
+
+/// Forces the backend choice for this process: `set_simd_enabled(false)`
+/// always selects the scalar path; `set_simd_enabled(true)` selects the
+/// vector path *if* it is compiled in and the CPU supports it (silently
+/// staying scalar otherwise — results are identical either way, only
+/// throughput differs). This is the measurement hook the autotuner and
+/// the `tile_autotune` bench use to compare backends on identical
+/// inputs in one process.
+pub fn set_simd_enabled(on: bool) {
+    let state = if on && detect() { ON } else { OFF };
+    STATE.store(state, Ordering::Relaxed);
+}
+
+/// Whether the vector backend could run on this build + CPU at all,
+/// ignoring the [`set_simd_enabled`] override and `RECDP_NO_SIMD`.
+pub fn simd_supported() -> bool {
+    compiled_and_supported()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn compiled_and_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx")
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn compiled_and_supported() -> bool {
+    false
+}
+
+fn detect() -> bool {
+    if std::env::var_os("RECDP_NO_SIMD").is_some_and(|v| v != "0") {
+        return false;
+    }
+    compiled_and_supported()
+}
+
+/// The AVX kernels proper. Only compiled with the `simd` feature on an
+/// x86-64 target; callers must gate on [`simd_active`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod avx {
+    use crate::table::TablePtr;
+    use core::arch::x86_64::*;
+
+    /// Doubles per AVX vector.
+    const W: usize = 4;
+
+    /// Vectorized GE base case; same region/pivot semantics (and the
+    /// same safety contract) as `ge::base_kernel_scalar`, bit-for-bit.
+    ///
+    /// # Safety
+    /// Caller guarantees the `ge::base_kernel` contract *and* that the
+    /// CPU supports AVX (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn ge_base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
+        debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+        for k in k0..k0 + m {
+            let pivot = t.get(k, k);
+            let vpivot = _mm256_set1_pd(pivot);
+            let row_k = t.row_ptr(k);
+            let jlo = j0.max(k + 1);
+            let jhi = j0 + m;
+            for i in i0.max(k + 1)..i0 + m {
+                let factor = t.get(i, k);
+                let vfactor = _mm256_set1_pd(factor);
+                let row_i = t.row_ptr(i);
+                let mut j = jlo;
+                // Lane j computes sub(x, div(mul(factor, p), pivot)) —
+                // the scalar `x - factor * p / pivot` op chain exactly.
+                while j + W <= jhi {
+                    let x = _mm256_loadu_pd(row_i.add(j));
+                    let p = _mm256_loadu_pd(row_k.add(j));
+                    let v = _mm256_sub_pd(x, _mm256_div_pd(_mm256_mul_pd(vfactor, p), vpivot));
+                    _mm256_storeu_pd(row_i.add(j), v);
+                    j += W;
+                }
+                while j < jhi {
+                    let v = t.get(i, j) - factor * t.get(k, j) / pivot;
+                    t.set(i, j, v);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Vectorized FW base case; same semantics (and safety contract) as
+    /// `fw::base_kernel_scalar`, bit-for-bit. `VMINPD(via, cur)`
+    /// returns `via` iff `via < cur` — identical to the scalar
+    /// conditional store, including NaN and signed-zero cases — and
+    /// in-place pivot-row/column overlap behaves as in the scalar loop
+    /// because lanes only read values the scalar iteration would have
+    /// read before its own write.
+    ///
+    /// # Safety
+    /// Caller guarantees the `fw::base_kernel` contract and AVX support.
+    #[target_feature(enable = "avx")]
+    pub(crate) unsafe fn fw_base_kernel(t: TablePtr, i0: usize, j0: usize, k0: usize, m: usize) {
+        debug_assert!(i0 + m <= t.n && j0 + m <= t.n && k0 + m <= t.n);
+        for k in k0..k0 + m {
+            let row_k = t.row_ptr(k);
+            for i in i0..i0 + m {
+                let dik = t.get(i, k);
+                let vdik = _mm256_set1_pd(dik);
+                let row_i = t.row_ptr(i);
+                let mut j = j0;
+                while j + W <= j0 + m {
+                    let kj = _mm256_loadu_pd(row_k.add(j));
+                    let cur = _mm256_loadu_pd(row_i.add(j));
+                    let via = _mm256_add_pd(vdik, kj);
+                    _mm256_storeu_pd(row_i.add(j), _mm256_min_pd(via, cur));
+                    j += W;
+                }
+                while j < j0 + m {
+                    let via = dik + t.get(k, j);
+                    if via < t.get(i, j) {
+                        t.set(i, j, via);
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_label_matches_state() {
+        // Whatever the build/CPU, the label and the predicate agree.
+        assert_eq!(backend_label() == "avx", simd_active());
+    }
+
+    #[test]
+    fn supported_implies_feature_and_arch() {
+        let build_has_vector_path = cfg!(all(feature = "simd", target_arch = "x86_64"));
+        if simd_supported() {
+            assert!(build_has_vector_path);
+        }
+    }
+}
+
+/// Property tests of the bitwise-equivalence contract: the vector
+/// kernels against the scalar kernels on randomized matrices, region
+/// offsets and tile sizes. Only meaningful when the vector code exists.
+#[cfg(all(test, feature = "simd", target_arch = "x86_64"))]
+mod equivalence_tests {
+    use super::*;
+    use crate::table::Matrix;
+    use crate::workloads::{fw_matrix, ge_matrix};
+    use proptest::prelude::*;
+
+    /// Tile geometries worth testing: every (i0, j0, k0) tile-aligned
+    /// offset combination for a few (n, m) shapes, including unaligned
+    /// vector starts (m = 4 with odd `k` gives `j0.max(k+1)` starts).
+    fn geometries() -> Vec<(usize, usize)> {
+        vec![(8, 8), (16, 4), (16, 8), (32, 8), (32, 16), (64, 16)]
+    }
+
+    #[test]
+    fn ge_avx_is_bit_identical_to_scalar_across_tiles() {
+        if !simd_supported() {
+            eprintln!("skipping: AVX unavailable on this CPU");
+            return;
+        }
+        for (n, m) in geometries() {
+            let t = n / m;
+            let reference = ge_matrix(n, 42);
+            for tk in 0..t {
+                for ti in 0..t {
+                    for tj in 0..t {
+                        let mut a = reference.clone();
+                        let mut b = reference.clone();
+                        unsafe {
+                            crate::ge::base_kernel_scalar(a.ptr(), ti * m, tj * m, tk * m, m);
+                            avx::ge_base_kernel(b.ptr(), ti * m, tj * m, tk * m, m);
+                        }
+                        assert!(
+                            a.bitwise_eq(&b),
+                            "GE n={n} m={m} tile=({tk},{ti},{tj}) diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fw_avx_is_bit_identical_to_scalar_across_tiles() {
+        if !simd_supported() {
+            eprintln!("skipping: AVX unavailable on this CPU");
+            return;
+        }
+        for (n, m) in geometries() {
+            let t = n / m;
+            let reference = fw_matrix(n, 77, 0.4);
+            for tk in 0..t {
+                for ti in 0..t {
+                    for tj in 0..t {
+                        let mut a = reference.clone();
+                        let mut b = reference.clone();
+                        unsafe {
+                            crate::fw::base_kernel_scalar(a.ptr(), ti * m, tj * m, tk * m, m);
+                            avx::fw_base_kernel(b.ptr(), ti * m, tj * m, tk * m, m);
+                        }
+                        assert!(
+                            a.bitwise_eq(&b),
+                            "FW n={n} m={m} tile=({tk},{ti},{tj}) diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Randomized matrices and seeds: a full scalar GE elimination
+        /// must digest-equal a full vector elimination, for sizes that
+        /// exercise both the vector body and the scalar tail.
+        #[test]
+        fn ge_full_elimination_digest_equal(seed in 0u64..1000, npow in 2u32..7) {
+            if simd_supported() {
+                let n = 1usize << npow;
+                let mut a = ge_matrix(n, seed);
+                let mut b = a.clone();
+                unsafe {
+                    crate::ge::base_kernel_scalar(a.ptr(), 0, 0, 0, n);
+                    avx::ge_base_kernel(b.ptr(), 0, 0, 0, n);
+                }
+                prop_assert_eq!(a.bit_digest(), b.bit_digest());
+            }
+        }
+
+        /// Same for FW, over random densities (INF-heavy tables stress
+        /// the min semantics).
+        #[test]
+        fn fw_full_relaxation_digest_equal(seed in 0u64..1000, npow in 2u32..7, density in 0.05f64..0.95) {
+            if simd_supported() {
+                let n = 1usize << npow;
+                let mut a = fw_matrix(n, seed, density);
+                let mut b = a.clone();
+                unsafe {
+                    crate::fw::base_kernel_scalar(a.ptr(), 0, 0, 0, n);
+                    avx::fw_base_kernel(b.ptr(), 0, 0, 0, n);
+                }
+                prop_assert_eq!(a.bit_digest(), b.bit_digest());
+            }
+        }
+
+        /// The dispatching `base_kernel` (whatever backend it picks)
+        /// stays bit-identical to the scalar kernel — the oracle the
+        /// whole repo's determinism suites lean on.
+        #[test]
+        fn dispatcher_matches_scalar(seed in 0u64..500, npow in 2u32..6) {
+            let n = 1usize << npow;
+            let mut a = ge_matrix(n, seed);
+            let mut b = a.clone();
+            unsafe {
+                crate::ge::base_kernel_scalar(a.ptr(), 0, 0, 0, n);
+                crate::ge::base_kernel(b.ptr(), 0, 0, 0, n);
+            }
+            prop_assert_eq!(a.bit_digest(), b.bit_digest());
+            let mut c = fw_matrix(n, seed, 0.4);
+            let mut d = c.clone();
+            unsafe {
+                crate::fw::base_kernel_scalar(c.ptr(), 0, 0, 0, n);
+                crate::fw::base_kernel(d.ptr(), 0, 0, 0, n);
+            }
+            prop_assert_eq!(c.bit_digest(), d.bit_digest());
+        }
+    }
+
+    /// NaN / signed-zero edge cases for the FW min: `VMINPD` must agree
+    /// with the scalar strict-less-than conditional store on the exact
+    /// bit patterns.
+    #[test]
+    fn fw_min_edge_cases_bit_identical() {
+        if !simd_supported() {
+            return;
+        }
+        let specials = [0.0, -0.0, 1.0, -1.0, f64::INFINITY, f64::NAN, 1e300, -1e300];
+        let n = 8;
+        for (si, &x) in specials.iter().enumerate() {
+            let base = Matrix::from_fn(n, |i, j| {
+                if (i + j + si) % 3 == 0 {
+                    x
+                } else {
+                    ((i * n + j) as f64) - 17.0
+                }
+            });
+            let mut a = base.clone();
+            let mut b = base.clone();
+            unsafe {
+                crate::fw::base_kernel_scalar(a.ptr(), 0, 0, 0, n);
+                avx::fw_base_kernel(b.ptr(), 0, 0, 0, n);
+            }
+            assert!(a.bitwise_eq(&b), "special {x:?} diverged");
+        }
+    }
+}

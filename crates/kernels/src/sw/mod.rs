@@ -39,8 +39,24 @@ pub const GAP: f64 = 1.0;
 /// corner cell must be final (their tiles' tasks completed first).
 #[allow(clippy::needless_range_loop)] // index loops mirror the DP recurrence
 pub(crate) unsafe fn base_kernel(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, m: usize) {
-    debug_assert!(i0 + m <= t.n && j0 + m <= t.n);
-    debug_assert!(a.len() >= i0 + m && b.len() >= j0 + m);
+    debug_assert!(
+        i0 + m <= t.n && j0 + m <= t.n,
+        "SW write region [{i0}..{}) x [{j0}..{}) out of range for n={} \
+         (the boundary reads at row {} / col {} are then in range too)",
+        i0 + m,
+        j0 + m,
+        t.n,
+        i0.wrapping_sub(1),
+        j0.wrapping_sub(1)
+    );
+    debug_assert!(
+        a.len() >= i0 + m && b.len() >= j0 + m,
+        "SW sequence reads a[..{}] / b[..{}] out of range (lens {} / {})",
+        i0 + m,
+        j0 + m,
+        a.len(),
+        b.len()
+    );
     for i in i0..i0 + m {
         for j in j0..j0 + m {
             let diag = if i > 0 && j > 0 {

@@ -152,6 +152,19 @@ impl TablePtr {
         debug_assert!(i < self.n && j < self.n);
         *self.ptr.add(i * self.n + j) = v;
     }
+
+    /// Raw pointer to the start of row `i`, for vectorized kernels that
+    /// load/store several contiguous elements at once.
+    ///
+    /// # Safety
+    /// `i` must be in range; every element accessed through the
+    /// returned pointer carries the same obligations as [`TablePtr::get`]
+    /// / [`TablePtr::set`] on that element.
+    #[inline]
+    pub unsafe fn row_ptr(self, i: usize) -> *mut f64 {
+        debug_assert!(i < self.n);
+        self.ptr.add(i * self.n)
+    }
 }
 
 #[cfg(test)]

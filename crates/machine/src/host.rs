@@ -1,0 +1,172 @@
+//! Cache geometry of the machine the process is running on.
+//!
+//! The autotuner in `recdp-kernels` picks tile sizes from the analytical
+//! miss bound evaluated against a [`CacheGeometry`]; for that to mean
+//! anything on a developer box or CI runner, the geometry should be the
+//! *host's*, not a paper testbed's. [`host_geometry`] reads the Linux
+//! sysfs cache topology (`/sys/devices/system/cpu/cpu0/cache`) and falls
+//! back to the conservative [`crate::generic`] preset wherever sysfs is
+//! absent (non-Linux, containers with masked sysfs) or malformed.
+//!
+//! Only data/unified caches are considered; per-level miss penalties are
+//! not discoverable from sysfs, so representative defaults per level
+//! depth are used (they only weight the model's level mix, and the
+//! autotuner validates its pick with a real calibration run anyway).
+
+use std::path::Path;
+
+use crate::cache::{CacheGeometry, CacheLevel, WritePolicy};
+
+/// Default per-level miss penalties (ns) by level index, and the DRAM
+/// latency after the last level. Representative of recent x86 parts;
+/// see the module docs for why rough values suffice here.
+const LEVEL_PENALTY_NS: [f64; 4] = [4.0, 12.0, 38.0, 60.0];
+const DRAM_LATENCY_NS: f64 = 95.0;
+
+/// Names for detected levels (sysfs reports a numeric `level`).
+const LEVEL_NAMES: [&str; 4] = ["L1d", "L2", "L3", "L4"];
+
+/// The cache geometry of this host, detected from sysfs when possible.
+///
+/// Falls back to [`crate::generic`]'s geometry when detection fails, so
+/// the result is always a valid, non-empty hierarchy.
+pub fn host_geometry() -> CacheGeometry {
+    detect_sysfs(Path::new("/sys/devices/system/cpu/cpu0/cache"))
+        .unwrap_or_else(|| crate::generic(1).caches)
+}
+
+/// One parsed sysfs cache directory.
+struct SysfsLevel {
+    level: usize,
+    capacity_bytes: usize,
+    line_bytes: usize,
+    associativity: usize,
+    shared: bool,
+}
+
+fn detect_sysfs(root: &Path) -> Option<CacheGeometry> {
+    let mut levels: Vec<SysfsLevel> = Vec::new();
+    for entry in std::fs::read_dir(root).ok()? {
+        let dir = entry.ok()?.path();
+        if !dir
+            .file_name()
+            .and_then(|f| f.to_str())
+            .is_some_and(|f| f.starts_with("index"))
+        {
+            continue;
+        }
+        let read = |f: &str| -> Option<String> {
+            std::fs::read_to_string(dir.join(f))
+                .ok()
+                .map(|s| s.trim().to_string())
+        };
+        // Instruction caches do not hold DP tables.
+        let ty = read("type")?;
+        if ty != "Data" && ty != "Unified" {
+            continue;
+        }
+        let level: usize = read("level")?.parse().ok()?;
+        let capacity_bytes = parse_size(&read("size")?)?;
+        let line_bytes: usize = read("coherency_line_size")?.parse().ok()?;
+        let associativity: usize = read("ways_of_associativity")?.parse().ok()?;
+        // A level shared beyond this core lists more than one CPU.
+        let shared = read("shared_cpu_list").is_some_and(|l| l.contains(['-', ',']));
+        if capacity_bytes == 0 || line_bytes == 0 || associativity == 0 {
+            return None;
+        }
+        levels.push(SysfsLevel {
+            level,
+            capacity_bytes,
+            line_bytes,
+            associativity,
+            shared,
+        });
+    }
+    levels.sort_by_key(|l| l.level);
+    // CacheGeometry requires strictly increasing capacities and a
+    // uniform line size; drop levels that violate monotonicity (e.g. a
+    // victim L3 no larger than L2) and bail out on mixed line sizes.
+    let line = levels.first()?.line_bytes;
+    let mut out: Vec<CacheLevel> = Vec::new();
+    for l in levels {
+        if l.line_bytes != line {
+            return None;
+        }
+        if out
+            .last()
+            .is_some_and(|prev| prev.capacity_bytes >= l.capacity_bytes)
+        {
+            continue;
+        }
+        let depth = out.len();
+        out.push(CacheLevel {
+            name: LEVEL_NAMES.get(depth).copied().unwrap_or("L?"),
+            capacity_bytes: l.capacity_bytes,
+            line_bytes: l.line_bytes,
+            associativity: l.associativity,
+            miss_penalty_ns: LEVEL_PENALTY_NS
+                .get(depth)
+                .copied()
+                .unwrap_or(DRAM_LATENCY_NS),
+            write_policy: WritePolicy::WriteBack,
+            shared: l.shared,
+        });
+    }
+    if out.is_empty() {
+        return None;
+    }
+    // num_sets() must hold for the simulator to accept the level.
+    for l in &out {
+        if !l
+            .capacity_bytes
+            .is_multiple_of(l.line_bytes * l.associativity)
+        {
+            return None;
+        }
+    }
+    Some(CacheGeometry::new(out, DRAM_LATENCY_NS))
+}
+
+/// Parses sysfs size strings: `"32K"`, `"1024K"`, `"8M"`, plain bytes.
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|v| v * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_geometry_is_always_valid() {
+        let g = host_geometry();
+        assert!(g.depth() >= 1);
+        assert!(g.line_doubles() >= 1);
+        for w in g.levels.windows(2) {
+            assert!(w[0].capacity_bytes < w[1].capacity_bytes);
+        }
+        // Every level accepted must be simulable.
+        for l in &g.levels {
+            assert!(l.num_sets() >= 1);
+        }
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_size("8M"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn missing_sysfs_falls_back() {
+        assert!(detect_sysfs(Path::new("/nonexistent/recdp")).is_none());
+    }
+}

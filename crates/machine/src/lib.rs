@@ -16,10 +16,12 @@
 
 pub mod cache;
 pub mod cost;
+pub mod host;
 pub mod presets;
 pub mod topology;
 
 pub use cache::{CacheGeometry, CacheLevel, WritePolicy};
 pub use cost::{CostParams, ParadigmOverheads};
+pub use host::host_geometry;
 pub use presets::{epyc64, generic, skylake192};
 pub use topology::MachineConfig;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use recdp::{Benchmark, Execution};
+use recdp::{Benchmark, Execution, AUTO_BASE};
 use recdp_cnc::{CancelToken, CncError, FaultInjector, GraphStats, RetryPolicy};
 use recdp_kernels::{CncVariant, Matrix};
 
@@ -120,6 +120,20 @@ impl JobSpec {
         }
     }
 
+    /// Like [`JobSpec::benchmark`] with the base-case size left to the
+    /// host autotuner ([`recdp::auto_base`]): the server resolves
+    /// [`AUTO_BASE`] when the job is dispatched. Tile size never
+    /// changes results — only throughput — so tuned jobs digest-match
+    /// explicit-base runs.
+    pub fn benchmark_tuned(
+        tenant: impl Into<String>,
+        benchmark: Benchmark,
+        execution: Execution,
+        n: usize,
+    ) -> Self {
+        Self::benchmark(tenant, benchmark, execution, n, AUTO_BASE)
+    }
+
     /// A Smith-Waterman batch job for `tenant`.
     pub fn sw_batch(
         tenant: impl Into<String>,
@@ -172,6 +186,42 @@ impl JobSpec {
         self
     }
 
+    /// Checks the payload's geometry against the kernel contracts
+    /// (power-of-two sizes, `base <= n`, sequences covering the
+    /// table). [`crate::DpServer::submit`] runs this at the door so a
+    /// bad size is a structured [`SubmitError::InvalidSpec`] refusal
+    /// instead of a panic deep inside a runner. [`AUTO_BASE`] is
+    /// always valid — it resolves to a tuned legal base at dispatch.
+    pub fn validate(&self) -> Result<(), SpecViolation> {
+        fn table(n: usize, base: usize) -> Result<(), SpecViolation> {
+            if !n.is_power_of_two() {
+                return Err(SpecViolation::NonPowerOfTwoSize { n });
+            }
+            if base != AUTO_BASE {
+                if !base.is_power_of_two() {
+                    return Err(SpecViolation::NonPowerOfTwoBase { base });
+                }
+                if base > n {
+                    return Err(SpecViolation::BaseExceedsSize { n, base });
+                }
+            }
+            Ok(())
+        }
+        match &self.payload {
+            JobPayload::Benchmark { n, base, .. } => table(*n, *base),
+            JobPayload::SwBatch { queries, .. } => {
+                for q in queries {
+                    table(q.n, q.base)?;
+                    let len = q.a.len().min(q.b.len());
+                    if len < q.n {
+                        return Err(SpecViolation::SequenceTooShort { len, n: q.n });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// The fair-share cost of this job: the explicit estimate if set,
     /// otherwise an `O(n^3)`-shaped default from the payload geometry
     /// (`n^3` per table; SW tables are quadratic-work but the cube
@@ -217,6 +267,55 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// A geometry constraint a [`JobSpec`] payload violates, found by
+/// [`JobSpec::validate`] before the job is admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// Table side is not a power of two.
+    NonPowerOfTwoSize {
+        /// The offending table side.
+        n: usize,
+    },
+    /// Base-case side is neither a power of two nor [`AUTO_BASE`].
+    NonPowerOfTwoBase {
+        /// The offending base-case side.
+        base: usize,
+    },
+    /// Base-case side exceeds the table side.
+    BaseExceedsSize {
+        /// The table side.
+        n: usize,
+        /// The offending base-case side.
+        base: usize,
+    },
+    /// A batch query's sequences do not cover its table.
+    SequenceTooShort {
+        /// The shorter sequence's length.
+        len: usize,
+        /// The table side the sequences must cover.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecViolation::NonPowerOfTwoSize { n } => {
+                write!(f, "table side {n} is not a power of two")
+            }
+            SpecViolation::NonPowerOfTwoBase { base } => {
+                write!(f, "base-case side {base} is not a power of two")
+            }
+            SpecViolation::BaseExceedsSize { n, base } => {
+                write!(f, "base-case side {base} exceeds table side {n}")
+            }
+            SpecViolation::SequenceTooShort { len, n } => {
+                write!(f, "sequence of length {len} cannot cover an {n}x{n} table")
+            }
+        }
+    }
+}
+
 /// Why a submission was refused at the door.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -227,6 +326,9 @@ pub enum SubmitError {
     },
     /// The server is shutting down.
     ShuttingDown,
+    /// The job's payload violates a kernel geometry contract; it would
+    /// panic on a runner, so it is refused before queueing.
+    InvalidSpec(SpecViolation),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -236,6 +338,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission queue full (depth {depth})")
             }
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::InvalidSpec(v) => write!(f, "invalid job spec: {v}"),
         }
     }
 }

@@ -51,7 +51,8 @@ mod server;
 mod stats;
 
 pub use job::{
-    BatchMode, JobError, JobHandle, JobPayload, JobResult, JobSpec, JobStatus, SubmitError, SwQuery,
+    BatchMode, JobError, JobHandle, JobPayload, JobResult, JobSpec, JobStatus, SpecViolation,
+    SubmitError, SwQuery,
 };
 pub use server::{DpServer, ServerConfig};
 pub use stats::{ServerStats, TenantStats};

@@ -123,6 +123,13 @@ impl DpServer {
         if inner.shutting_down.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
+        // Refuse geometry the kernels would reject at the door: a bad
+        // size used to surface as `JobError::Panicked` from deep inside
+        // a runner (survivable, but opaque and charged to the tenant).
+        if let Err(violation) = spec.validate() {
+            bump_tenant(inner, &spec.tenant, |t| t.rejected += 1);
+            return Err(SubmitError::InvalidSpec(violation));
+        }
         let tenant = spec.tenant.clone();
         let (outcome, weight) = {
             let mut sched = inner.sched.lock();

@@ -1,0 +1,133 @@
+//! Submission-time validation of the job server: geometry the kernels
+//! would reject is refused at the door as a structured
+//! [`SubmitError::InvalidSpec`] — it used to reach a runner and
+//! surface as an opaque `JobError::Panicked` from a kernel `assert!`
+//! deep inside the run. The pool must be untouched by refusals, and
+//! autotuned jobs ([`JobSpec::benchmark_tuned`]) must digest-match
+//! explicit-base runs.
+
+use recdp::{auto_base, run_benchmark, Benchmark, Execution};
+use recdp_kernels::CncVariant;
+use recdp_server::{
+    BatchMode, DpServer, JobSpec, ServerConfig, SpecViolation, SubmitError, SwQuery,
+};
+
+const THREADS: usize = 2;
+
+fn server() -> DpServer {
+    DpServer::new(ServerConfig {
+        threads: THREADS,
+        queue_depth: 64,
+        max_inflight: 1,
+        paused: false,
+        trace_utilization: false,
+    })
+}
+
+fn expect_invalid(result: Result<recdp_server::JobHandle, SubmitError>) -> SpecViolation {
+    match result {
+        Err(SubmitError::InvalidSpec(v)) => v,
+        Ok(_) => panic!("bad spec was admitted"),
+        Err(other) => panic!("wrong refusal: {other}"),
+    }
+}
+
+#[test]
+fn bad_geometry_is_refused_at_submit_and_pool_survives() {
+    let server = server();
+    let cnc = Execution::Cnc(CncVariant::Native);
+
+    // Non-power-of-two table side (the original panic path: 48 passes
+    // no submission check and trips `check_rdp_sizes` on a runner).
+    let v = expect_invalid(server.submit(JobSpec::benchmark("t", Benchmark::Ge, cnc, 48, 8)));
+    assert_eq!(v, SpecViolation::NonPowerOfTwoSize { n: 48 });
+
+    // Non-power-of-two base.
+    let v = expect_invalid(server.submit(JobSpec::benchmark("t", Benchmark::Fw, cnc, 32, 12)));
+    assert_eq!(v, SpecViolation::NonPowerOfTwoBase { base: 12 });
+
+    // Base exceeding the table side.
+    let v = expect_invalid(server.submit(JobSpec::benchmark("t", Benchmark::Sw, cnc, 32, 64)));
+    assert_eq!(v, SpecViolation::BaseExceedsSize { n: 32, base: 64 });
+
+    // Batch query whose sequences cannot cover its table.
+    let v = expect_invalid(server.submit(JobSpec::sw_batch(
+        "t",
+        vec![SwQuery {
+            a: vec![b'A'; 16],
+            b: vec![b'C'; 32],
+            n: 32,
+            base: 8,
+        }],
+        BatchMode::Coalesced,
+        CncVariant::Native,
+    )));
+    assert_eq!(v, SpecViolation::SequenceTooShort { len: 16, n: 32 });
+
+    // Nothing was queued, every refusal was accounted, and the pool is
+    // fully alive: the next (valid) job runs and is bit-exact.
+    assert_eq!(server.queue_len(), 0);
+    assert_eq!(server.tenant_stats("t").unwrap().rejected, 4);
+    assert_eq!(server.alive_workers(), THREADS);
+    let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+    let result = server
+        .submit(JobSpec::benchmark("t", Benchmark::Ge, cnc, 32, 8))
+        .expect("valid job must be admitted after refusals")
+        .wait()
+        .expect("valid job must run");
+    assert_eq!(result.digests, vec![oracle.table.bit_digest()]);
+    assert_eq!(server.tenant_stats("t").unwrap().completed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn zero_n_is_invalid_but_auto_base_is_not() {
+    let server = server();
+    // n = 0 is caught as a size violation (0 is not a power of two)...
+    let v = expect_invalid(server.submit(JobSpec::benchmark(
+        "t",
+        Benchmark::Ge,
+        Execution::SerialRdp,
+        0,
+        8,
+    )));
+    assert_eq!(v, SpecViolation::NonPowerOfTwoSize { n: 0 });
+    // ...while base = 0 is AUTO_BASE, which is always admissible.
+    let handle = server
+        .submit(JobSpec::benchmark_tuned(
+            "t",
+            Benchmark::Ge,
+            Execution::SerialRdp,
+            32,
+        ))
+        .expect("AUTO_BASE is a valid base");
+    assert!(handle.wait().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn tuned_jobs_digest_match_explicit_base_runs() {
+    let server = server();
+    let n = 32;
+    for benchmark in Benchmark::ALL4 {
+        let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, 8, 1);
+        let tuned = server
+            .submit(JobSpec::benchmark_tuned(
+                "t",
+                benchmark,
+                Execution::Cnc(CncVariant::Tuner),
+                n,
+            ))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            tuned.digests,
+            vec![oracle.table.bit_digest()],
+            "{}: tuned (base {}) vs explicit",
+            benchmark.name(),
+            auto_base(benchmark, n)
+        );
+    }
+    server.shutdown();
+}
