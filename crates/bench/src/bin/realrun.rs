@@ -45,7 +45,7 @@ fn main() {
         Execution::Cnc(CncVariant::Tuner),
         Execution::Cnc(CncVariant::Manual),
     ];
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, threads);
         for execution in executions {
             let out = run_benchmark(benchmark, execution, n, base, threads);

@@ -1,0 +1,44 @@
+//! The decomposition-width sweep: every extended benchmark under
+//! fork-join at r in {2, 4, 8} on a t = 64 tile grid, printing the
+//! measured join count against the `recdp-taskgraph` r-way model, the
+//! traced join-idle/starvation time, and the output digest (which must
+//! be constant across r).
+//!
+//! Usage: `rway_sweep`
+
+use recdp_bench::rway_sweep::{rway_sweep_csv, rway_sweep_rows, SWEEP_BASE, SWEEP_N};
+
+fn main() {
+    println!("# r-way decomposition sweep (n = {SWEEP_N}, base = {SWEEP_BASE})");
+    println!(
+        "{:>8} {:>4} {:>6} {:>14} {:>12} {:>14} {:>12} {:>10} {:>18}",
+        "bench", "r", "t", "joins", "model", "join_idle_ns", "starved_ns", "fj_ms", "digest"
+    );
+    let rows = rway_sweep_rows();
+    for row in &rows {
+        let model = row
+            .joins_model
+            .map_or_else(|| "-".to_string(), |m| m.to_string());
+        println!(
+            "{:>8} {:>4} {:>6} {:>14} {:>12} {:>14} {:>12} {:>10.3} {:>18}",
+            row.bench,
+            row.r,
+            row.t,
+            row.joins_measured,
+            model,
+            row.join_idle_ns,
+            row.starved_ns,
+            row.fj_ms,
+            format!("{:016x}", row.digest),
+        );
+        if let Some(model) = row.joins_model {
+            assert_eq!(
+                row.joins_measured, model,
+                "{} r={}: engine diverged from the r-way model",
+                row.bench, row.r
+            );
+        }
+    }
+    let path = recdp_bench::write_results("rway_sweep.csv", &rway_sweep_csv(&rows));
+    println!("wrote {}", path.display());
+}

@@ -439,6 +439,7 @@ pub mod figures {
             Benchmark::Sw => ("fig6_7_sw", false),
             Benchmark::Fw => ("fig8_9_fw", false),
             Benchmark::Paren => ("fig_paren", false),
+            Benchmark::Lcs => ("fig_lcs", false),
         }
     }
 
@@ -447,7 +448,7 @@ pub mod figures {
         let t = (n / m) as u64;
         match benchmark {
             Benchmark::Ge => t * (t + 1) * (2 * t + 1) / 6,
-            Benchmark::Sw => t * t,
+            Benchmark::Sw | Benchmark::Lcs => t * t,
             Benchmark::Fw => t * t * t,
             Benchmark::Paren => t * (t + 1) / 2,
         }
@@ -847,7 +848,7 @@ pub mod server_load {
         let mut handles: Vec<(Benchmark, &str, JobHandle)> = Vec::new();
         let mut rejected = 0u64;
         let mut i = 0usize;
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             for &n in params.sizes {
                 for execution in EXECUTIONS {
                     for _ in 0..params.jobs_per_combo {
@@ -872,7 +873,7 @@ pub mod server_load {
         server.shutdown();
 
         let mut rows = Vec::new();
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             let slice: Vec<(bool, f64)> = outcomes
                 .iter()
                 .filter(|(b, _, _)| *b == benchmark)
@@ -1116,7 +1117,7 @@ pub mod tile {
     fn backends_for(kernel: TuneKernel) -> &'static [&'static str] {
         match kernel {
             TuneKernel::Ge | TuneKernel::Fw => &["scalar", "simd"],
-            TuneKernel::Sw | TuneKernel::Paren => &["scalar"],
+            TuneKernel::Sw | TuneKernel::Paren | TuneKernel::Lcs => &["scalar"],
         }
     }
 
@@ -1343,6 +1344,136 @@ pub mod tile {
             csv.push_str(&format!(
                 "{},{},{},{},{},{},{:.6}\n",
                 r.section, r.kernel, r.backend, r.n, r.base, r.metric, r.value
+            ));
+        }
+        csv
+    }
+}
+
+pub mod rway_sweep {
+    //! The decomposition-width sweep (`results/rway_sweep.csv`): every
+    //! extended benchmark under fork-join at `r` in {2, 4, 8}, with the
+    //! measured join count, the `recdp-taskgraph` r-way model's
+    //! prediction, the traced join-idle/starvation time, and the output
+    //! digest.
+    //!
+    //! The join columns are exact (deterministic stage structure, so
+    //! measured must equal the model wherever a model exists); the
+    //! timing columns are wall-clock and only structurally validated.
+    //! The digest column is the paper's correctness anchor: it must be
+    //! constant across `r` — the decomposition reshapes the schedule,
+    //! never the arithmetic.
+
+    use recdp::prelude::*;
+    use recdp_taskgraph::rway;
+
+    /// Problem size of the sweep.
+    pub const SWEEP_N: usize = 256;
+    /// Base (tile) size: `t = SWEEP_N / SWEEP_BASE = 64` tiles per
+    /// side, a power of 2, 4 and 8 simultaneously, so every swept
+    /// width recurses at full radix (the aligned case the model
+    /// predicts exactly).
+    pub const SWEEP_BASE: usize = 4;
+    /// Worker threads of the measured runs.
+    pub const SWEEP_THREADS: usize = 4;
+    /// The swept decomposition widths.
+    pub const SWEEP_WIDTHS: [u32; 3] = [2, 4, 8];
+    /// Wide-stage forking grain of the counting runs.
+    pub const SWEEP_GRAIN: usize = 1;
+
+    /// One row of the sweep: a (benchmark, r) point.
+    #[derive(Debug, Clone)]
+    pub struct RwayRow {
+        /// Benchmark label.
+        pub bench: &'static str,
+        /// Decomposition width.
+        pub r: u32,
+        /// Tiles per side.
+        pub t: usize,
+        /// Joins the fork-join engine actually executed (one per
+        /// forked stage barrier) at [`SWEEP_GRAIN`].
+        pub joins_measured: u64,
+        /// The taskgraph r-way model's predicted join count; `None`
+        /// for Paren, which has no closed r-way model yet.
+        pub joins_model: Option<u64>,
+        /// Total owner-side join wait across workers (traced run).
+        pub join_idle_ns: u64,
+        /// Total mid-run worker starvation (traced run).
+        pub starved_ns: u64,
+        /// Wall-clock milliseconds of the traced fork-join run.
+        pub fj_ms: f64,
+        /// [`Matrix::bit_digest`] of the output table.
+        pub digest: u64,
+    }
+
+    fn model_joins(benchmark: Benchmark, t: usize, r: u32, grain: usize) -> Option<u64> {
+        match benchmark {
+            Benchmark::Ge => Some(rway::ge_join_count(t, r as usize, grain)),
+            Benchmark::Fw => Some(rway::fw_join_count(t, r as usize, grain)),
+            // LCS shares SW's wavefront recursion, hence SW's model.
+            Benchmark::Sw | Benchmark::Lcs => Some(rway::sw_join_count(t, r as usize, grain)),
+            Benchmark::Paren => None,
+        }
+    }
+
+    /// Runs the sweep: `Benchmark::EXTENDED` x [`SWEEP_WIDTHS`].
+    pub fn rway_sweep_rows() -> Vec<RwayRow> {
+        let pool = ThreadPoolBuilder::new().num_threads(SWEEP_THREADS).build();
+        let t = SWEEP_N / SWEEP_BASE;
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::EXTENDED {
+            for r in SWEEP_WIDTHS {
+                let decomp = Decomposition::new(r);
+                let p = prepare_job_with(benchmark, SWEEP_N, SWEEP_BASE, decomp);
+                let joins_measured = p.run_forkjoin_counting(&pool, SWEEP_GRAIN);
+                let (out, session) = run_benchmark_traced_with(
+                    benchmark,
+                    Execution::ForkJoin,
+                    SWEEP_N,
+                    SWEEP_BASE,
+                    SWEEP_THREADS,
+                    decomp,
+                );
+                let report = session.report();
+                rows.push(RwayRow {
+                    bench: benchmark.name(),
+                    r,
+                    t,
+                    joins_measured,
+                    joins_model: model_joins(benchmark, t, r, SWEEP_GRAIN),
+                    join_idle_ns: report.join_idle_ns,
+                    starved_ns: report.starved_ns,
+                    fj_ms: out.seconds * 1e3,
+                    digest: out.table.bit_digest(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Long-format CSV; `joins_model` is `-` where no model exists.
+    pub fn rway_sweep_csv(rows: &[RwayRow]) -> String {
+        let mut csv = String::from(
+            "bench,r,n,base,t,threads,joins_measured,joins_model,join_idle_ns,starved_ns,fj_ms,digest\n",
+        );
+        for row in rows {
+            let model = row
+                .joins_model
+                .map_or_else(|| "-".to_string(), |m| m.to_string());
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{:.3},{:016x}\n",
+                row.bench,
+                row.r,
+                SWEEP_N,
+                SWEEP_BASE,
+                row.t,
+                SWEEP_THREADS,
+                row.joins_measured,
+                model,
+                row.join_idle_ns,
+                row.starved_ns,
+                row.fj_ms,
+                row.digest,
             ));
         }
         csv

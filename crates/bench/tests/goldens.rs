@@ -298,3 +298,78 @@ fn recovery_matches_committed_golden() {
     let regenerated = recdp_bench::recovery::recovery_csv();
     assert_csv_close("recovery.csv", &golden, &regenerated);
 }
+
+/// `rway_sweep.csv` mixes exact and timing columns, so it is validated
+/// structurally: the regeneration must reproduce the committed
+/// bench/r/geometry skeleton *and* the exact join and digest columns
+/// (stage structure and arithmetic are deterministic), while the
+/// join-idle/starvation/wall-clock columns only need to parse
+/// non-negative. On both CSVs the acceptance claims are asserted
+/// directly: measured joins equal the r-way model wherever a model
+/// exists, GE and FW join counts strictly decrease in r, and each
+/// benchmark's digest is constant across r.
+#[test]
+fn rway_sweep_matches_committed_shape_and_exact_joins() {
+    use recdp_bench::rway_sweep::{rway_sweep_csv, rway_sweep_rows};
+    use std::collections::HashMap;
+
+    let committed = read_golden("rway_sweep.csv");
+    let regenerated = rway_sweep_csv(&rway_sweep_rows());
+    let c_lines: Vec<&str> = committed.trim_end().lines().collect();
+    let r_lines: Vec<&str> = regenerated.trim_end().lines().collect();
+    assert_eq!(c_lines.len(), r_lines.len(), "row count changed");
+    assert_eq!(c_lines[0], r_lines[0], "header changed");
+
+    for (row, (c, r)) in c_lines.iter().zip(&r_lines).enumerate().skip(1) {
+        let c_cells: Vec<&str> = c.split(',').collect();
+        let r_cells: Vec<&str> = r.split(',').collect();
+        assert_eq!(c_cells.len(), 12, "committed row {row} column count");
+        assert_eq!(r_cells.len(), 12, "regenerated row {row} column count");
+        // bench,r,n,base,t,threads and both join columns are exact.
+        assert_eq!(
+            &c_cells[..8],
+            &r_cells[..8],
+            "row {row}: skeleton or join counts changed"
+        );
+        // The digest is bit-exact across runs and machines.
+        assert_eq!(c_cells[11], r_cells[11], "row {row}: digest changed");
+        for cells in [&c_cells, &r_cells] {
+            for col in [8usize, 9, 10] {
+                let v: f64 = cells[col]
+                    .parse()
+                    .unwrap_or_else(|e| panic!("row {row} col {col}: {:?}: {e}", cells[col]));
+                assert!(v >= 0.0, "row {row} col {col}: negative");
+            }
+        }
+    }
+
+    // Acceptance claims, checked on the committed CSV's cells.
+    let mut joins_by_bench: HashMap<&str, Vec<u64>> = HashMap::new();
+    let mut digests_by_bench: HashMap<&str, Vec<&str>> = HashMap::new();
+    for line in c_lines.iter().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let measured: u64 = cells[6].parse().unwrap();
+        if cells[7] != "-" {
+            let model: u64 = cells[7].parse().unwrap();
+            assert_eq!(measured, model, "{}/r={}: model drift", cells[0], cells[1]);
+        }
+        joins_by_bench.entry(cells[0]).or_default().push(measured);
+        digests_by_bench
+            .entry(cells[0])
+            .or_default()
+            .push(cells[11]);
+    }
+    for bench in ["GE", "FW-APSP"] {
+        let joins = &joins_by_bench[bench];
+        assert!(
+            joins.windows(2).all(|w| w[0] > w[1]),
+            "{bench}: join counts must strictly decrease in r: {joins:?}"
+        );
+    }
+    for (bench, digests) in &digests_by_bench {
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{bench}: digest must be constant across r: {digests:?}"
+        );
+    }
+}

@@ -39,6 +39,11 @@ pub fn dag(benchmark: Benchmark, model: Model, t: usize, m: usize) -> TaskGraph 
         (Benchmark::Fw, Model::DataFlow) => dataflow::fw(t, &fw_kernel_flops(m)),
         (Benchmark::Paren, Model::ForkJoin) => forkjoin::paren(t, &paren_kernel_flops(m)),
         (Benchmark::Paren, Model::DataFlow) => dataflow::paren(t, &paren_kernel_flops(m)),
+        // LCS shares SW's wavefront structure exactly — same tile DAG,
+        // same recursion — so it reuses the SW builders (its per-tile
+        // flop count is the same `O(m^2)` sweep with ~4 ops per cell).
+        (Benchmark::Lcs, Model::ForkJoin) => forkjoin::sw(t, &sw_kernel_flops(m)),
+        (Benchmark::Lcs, Model::DataFlow) => dataflow::sw(t, &sw_kernel_flops(m)),
     }
 }
 
@@ -53,7 +58,7 @@ mod tests {
 
     #[test]
     fn every_pair_builds() {
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             for model in [Model::ForkJoin, Model::DataFlow] {
                 let g = dag(benchmark, model, 4, 16);
                 assert!(!g.is_empty(), "{} {}", benchmark.name(), model.name());
@@ -63,7 +68,7 @@ mod tests {
 
     #[test]
     fn span_gap_holds_for_all_benchmarks() {
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             let fj = dag_metrics(benchmark, Model::ForkJoin, 16, 32);
             let df = dag_metrics(benchmark, Model::DataFlow, 16, 32);
             assert!(

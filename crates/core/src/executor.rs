@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 use recdp_cnc::{Checkpoint, CncError, CncGraph, FaultInjector, GraphStats, RetryPolicy};
 use recdp_forkjoin::{RecoveryMode, ThreadPool, ThreadPoolBuilder};
 use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
-use recdp_kernels::{engine, fw, ge, paren, sw, CncVariant, Matrix};
-use recdp_kernels::{fw::FwSpec, ge::GeSpec, paren::ParenSpec, sw::SwSpec};
+use recdp_kernels::{engine, fw, ge, lcs, paren, sw, CncVariant, Decomposition, Matrix};
+use recdp_kernels::{fw::FwSpec, ge::GeSpec, lcs::LcsSpec, paren::ParenSpec, sw::SwSpec};
 use recdp_kernels::{tuned_base, TuneKernel};
 use recdp_trace::{TraceSession, Tracer};
 
@@ -25,7 +25,7 @@ use recdp_trace::{TraceSession, Tracer};
 pub const AUTO_BASE: usize = 0;
 
 /// The DP benchmarks: the paper's three plus the matrix-chain
-/// parenthesization extension.
+/// parenthesization and LCS-with-traceback extensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Benchmark {
     /// Gaussian Elimination without pivoting.
@@ -36,6 +36,8 @@ pub enum Benchmark {
     Fw,
     /// Matrix-chain parenthesization (non-O(1)-dependency DP).
     Paren,
+    /// Longest common subsequence with traceback.
+    Lcs,
 }
 
 impl Benchmark {
@@ -43,12 +45,16 @@ impl Benchmark {
     /// (and the committed golden CSVs) enumerate exactly these.
     pub const ALL: [Benchmark; 3] = [Benchmark::Ge, Benchmark::Sw, Benchmark::Fw];
 
-    /// All four benchmarks including the parenthesization extension.
-    pub const ALL4: [Benchmark; 4] = [
+    /// Every benchmark in the suite: the paper's three plus the
+    /// extensions, in addition order. This is the single growth point —
+    /// a new benchmark is appended here (and nowhere else) to enter
+    /// every cross-model equivalence, determinism and server test.
+    pub const EXTENDED: [Benchmark; 5] = [
         Benchmark::Ge,
         Benchmark::Sw,
         Benchmark::Fw,
         Benchmark::Paren,
+        Benchmark::Lcs,
     ];
 
     /// Display name used in experiment output.
@@ -58,6 +64,7 @@ impl Benchmark {
             Benchmark::Sw => "SW",
             Benchmark::Fw => "FW-APSP",
             Benchmark::Paren => "PAREN",
+            Benchmark::Lcs => "LCS",
         }
     }
 }
@@ -108,6 +115,7 @@ enum AnySpec {
     Sw(SwSpec),
     Fw(FwSpec),
     Paren(ParenSpec),
+    Lcs(LcsSpec),
 }
 
 macro_rules! with_spec {
@@ -117,6 +125,7 @@ macro_rules! with_spec {
             AnySpec::Sw($s) => $body,
             AnySpec::Fw($s) => $body,
             AnySpec::Paren($s) => $body,
+            AnySpec::Lcs($s) => $body,
         }
     };
 }
@@ -128,6 +137,14 @@ impl AnySpec {
 
     fn forkjoin(&self, pool: &ThreadPool) {
         with_spec!(self, s => engine::run_forkjoin(s, pool))
+    }
+
+    fn forkjoin_counting(&self, pool: &ThreadPool, grain: usize) -> u64 {
+        with_spec!(self, s => engine::run_forkjoin_counting(s, pool, grain))
+    }
+
+    fn forkjoin_join_count(&self, grain: usize) -> u64 {
+        with_spec!(self, s => engine::forkjoin_join_count(s, grain))
     }
 
     fn cnc(&self, variant: CncVariant, threads: usize) -> GraphStats {
@@ -175,6 +192,22 @@ impl PreparedJob {
         self.spec.forkjoin(pool);
     }
 
+    /// Runs the fork-join engine and returns the number of joins the
+    /// schedule actually executed (the paper's artificial-dependency
+    /// count). `grain` is the wide-stage forking grain: sibling groups
+    /// of at most `grain` calls run serially instead of splitting.
+    pub fn run_forkjoin_counting(&self, pool: &ThreadPool, grain: usize) -> u64 {
+        self.spec.forkjoin_counting(pool, grain)
+    }
+
+    /// The number of joins [`Self::run_forkjoin_counting`] will report,
+    /// computed by a static walk of the spec's expansion (no pool, no
+    /// execution) — the schedule-independent join count of the
+    /// fork-join DAG at this decomposition width and grain.
+    pub fn forkjoin_join_count(&self, grain: usize) -> u64 {
+        self.spec.forkjoin_join_count(grain)
+    }
+
     /// Runs the data-flow engine on a caller-supplied graph (which may
     /// share its pool with other graphs). The caller arms deadlines,
     /// retry policies or injectors on the graph beforehand.
@@ -211,19 +244,36 @@ impl PreparedJob {
 /// results — every base size produces bitwise-identical tables — so
 /// this is purely a throughput knob.
 pub fn auto_base(benchmark: Benchmark, n: usize) -> usize {
+    auto_base_with(benchmark, n, Decomposition::BINARY)
+}
+
+/// Decomposition-aware form of [`auto_base`]: the tuned base is
+/// additionally clamped so the top-level split is genuinely `r`-wide
+/// (`r * base <= n` whenever `r <= n`). A base larger than `n / r`
+/// would make the root region's effective radix smaller than asked —
+/// legal (the kernels clamp), but it silently erases the decomposition
+/// the caller chose, so the tuner backs the tile off instead.
+pub fn auto_base_with(benchmark: Benchmark, n: usize, decomposition: Decomposition) -> usize {
     let kernel = match benchmark {
         Benchmark::Ge => TuneKernel::Ge,
         Benchmark::Sw => TuneKernel::Sw,
         Benchmark::Fw => TuneKernel::Fw,
         Benchmark::Paren => TuneKernel::Paren,
+        Benchmark::Lcs => TuneKernel::Lcs,
     };
-    tuned_base(kernel, n)
+    let widest = (n / decomposition.r() as usize).max(1);
+    tuned_base(kernel, n).min(widest)
 }
 
 /// Resolves the [`AUTO_BASE`] sentinel, leaving explicit bases alone.
-fn resolve_base(benchmark: Benchmark, n: usize, base: usize) -> usize {
+fn resolve_base(
+    benchmark: Benchmark,
+    n: usize,
+    base: usize,
+    decomposition: Decomposition,
+) -> usize {
     if base == AUTO_BASE {
-        auto_base(benchmark, n)
+        auto_base_with(benchmark, n, decomposition)
     } else {
         base
     }
@@ -233,8 +283,22 @@ fn resolve_base(benchmark: Benchmark, n: usize, base: usize) -> usize {
 /// a [`PreparedJob`]. `base` may be [`AUTO_BASE`] to use the host-tuned
 /// tile size.
 pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
+    prepare_job_with(benchmark, n, base, Decomposition::BINARY)
+}
+
+/// Like [`prepare_job`] with an explicit decomposition width `r`: the
+/// spec recurses into `r x r` sub-blocks per level instead of
+/// quadrants. The width is purely structural — every `r` produces the
+/// bitwise-identical table — so prepared jobs at different widths
+/// digest-match each other.
+pub fn prepare_job_with(
+    benchmark: Benchmark,
+    n: usize,
+    base: usize,
+    decomposition: Decomposition,
+) -> PreparedJob {
     const SEED: u64 = 0xD1CE;
-    let base = resolve_base(benchmark, n, base);
+    let base = resolve_base(benchmark, n, base, decomposition);
     assert!(
         n.is_power_of_two() && base.is_power_of_two() && base <= n,
         "n and base must be powers of two with base <= n"
@@ -242,7 +306,8 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
     match benchmark {
         Benchmark::Ge => {
             let mut table = ge_matrix(n, SEED);
-            let spec = AnySpec::Ge(GeSpec::new(table.ptr(), base));
+            let spec =
+                AnySpec::Ge(GeSpec::new(table.ptr(), base).with_decomposition(decomposition));
             PreparedJob {
                 table,
                 spec,
@@ -251,7 +316,8 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
         }
         Benchmark::Fw => {
             let mut table = fw_matrix(n, SEED, 0.35);
-            let spec = AnySpec::Fw(FwSpec::new(table.ptr(), base));
+            let spec =
+                AnySpec::Fw(FwSpec::new(table.ptr(), base).with_decomposition(decomposition));
             PreparedJob {
                 table,
                 spec,
@@ -262,7 +328,9 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
             let a = dna_sequence(n, SEED);
             let b = dna_sequence(n, SEED ^ 0xFFFF);
             let mut table = Matrix::zeros(n);
-            let spec = AnySpec::Sw(SwSpec::new(table.ptr(), &a, &b, base));
+            let spec = AnySpec::Sw(
+                SwSpec::new(table.ptr(), &a, &b, base).with_decomposition(decomposition),
+            );
             PreparedJob {
                 table,
                 spec,
@@ -272,11 +340,26 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
         Benchmark::Paren => {
             let dims = chain_dims(n, SEED);
             let mut table = Matrix::zeros(n);
-            let spec = AnySpec::Paren(ParenSpec::new(table.ptr(), &dims, base));
+            let spec = AnySpec::Paren(
+                ParenSpec::new(table.ptr(), &dims, base).with_decomposition(decomposition),
+            );
             PreparedJob {
                 table,
                 spec,
                 loops: Box::new(move |m| paren::paren_loops(m, &dims)),
+            }
+        }
+        Benchmark::Lcs => {
+            let a = dna_sequence(n, SEED ^ 0x7C5);
+            let b = dna_sequence(n, SEED ^ 0x3A7);
+            let mut table = Matrix::zeros(n);
+            let spec = AnySpec::Lcs(
+                LcsSpec::new(table.ptr(), &a, &b, base).with_decomposition(decomposition),
+            );
+            PreparedJob {
+                table,
+                spec,
+                loops: Box::new(move |m| lcs::lcs_loops(m, &a, &b)),
             }
         }
     }
@@ -288,7 +371,7 @@ pub fn prepare_job(benchmark: Benchmark, n: usize, base: usize) -> PreparedJob {
 /// for batched alignment serving: many small queries, each its own
 /// table, coalesced onto one graph via [`PreparedJob::register_cnc`].
 pub fn prepare_sw_query(a: &[u8], b: &[u8], n: usize, base: usize) -> PreparedJob {
-    let base = resolve_base(Benchmark::Sw, n, base);
+    let base = resolve_base(Benchmark::Sw, n, base, Decomposition::BINARY);
     assert!(
         n.is_power_of_two() && base.is_power_of_two() && base <= n,
         "n and base must be powers of two with base <= n"
@@ -319,7 +402,29 @@ pub fn run_benchmark(
     base: usize,
     threads: usize,
 ) -> RunOutput {
-    let mut p = prepare_job(benchmark, n, base);
+    run_benchmark_with(
+        benchmark,
+        execution,
+        n,
+        base,
+        threads,
+        Decomposition::BINARY,
+    )
+}
+
+/// Like [`run_benchmark`] with an explicit decomposition width. The
+/// width changes only the schedule (recursion depth, stage widths,
+/// fork-join join count) — the output table is bitwise identical to
+/// the binary run's for every `r`.
+pub fn run_benchmark_with(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    threads: usize,
+    decomposition: Decomposition,
+) -> RunOutput {
+    let mut p = prepare_job_with(benchmark, n, base, decomposition);
     let start = Instant::now();
     let stats = match execution {
         Execution::SerialLoops => {
@@ -361,7 +466,19 @@ pub fn run_benchmark_on(
     base: usize,
     pool: &Arc<ThreadPool>,
 ) -> Result<RunOutput, CncError> {
-    let mut p = prepare_job(benchmark, n, base);
+    run_benchmark_on_with(benchmark, execution, n, base, pool, Decomposition::BINARY)
+}
+
+/// Like [`run_benchmark_on`] with an explicit decomposition width.
+pub fn run_benchmark_on_with(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    pool: &Arc<ThreadPool>,
+    decomposition: Decomposition,
+) -> Result<RunOutput, CncError> {
+    let mut p = prepare_job_with(benchmark, n, base, decomposition);
     let start = Instant::now();
     let stats = match execution {
         Execution::SerialLoops => {
@@ -406,6 +523,27 @@ pub fn run_benchmark_traced(
     base: usize,
     threads: usize,
 ) -> (RunOutput, TraceSession) {
+    run_benchmark_traced_with(
+        benchmark,
+        execution,
+        n,
+        base,
+        threads,
+        Decomposition::BINARY,
+    )
+}
+
+/// Like [`run_benchmark_traced`] with an explicit decomposition width —
+/// the instrumented path the r-way sweep uses to read `join_idle_ns`
+/// (time workers stall on artificial join dependencies) as `r` varies.
+pub fn run_benchmark_traced_with(
+    benchmark: Benchmark,
+    execution: Execution,
+    n: usize,
+    base: usize,
+    threads: usize,
+    decomposition: Decomposition,
+) -> (RunOutput, TraceSession) {
     let tracer = Tracer::new();
     let session = TraceSession::with_tracer(Arc::clone(&tracer), threads);
     let pool = Arc::new(
@@ -414,7 +552,7 @@ pub fn run_benchmark_traced(
             .tracer(Arc::clone(&tracer))
             .build(),
     );
-    let p = prepare_job(benchmark, n, base);
+    let p = prepare_job_with(benchmark, n, base, decomposition);
     let start = Instant::now();
     let stats = match execution {
         Execution::ForkJoin => {
@@ -624,7 +762,7 @@ mod tests {
 
     #[test]
     fn every_execution_agrees_with_loops() {
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             let oracle = run_benchmark(benchmark, Execution::SerialLoops, 32, 8, 2);
             for execution in [
                 Execution::SerialRdp,
@@ -817,7 +955,7 @@ mod tests {
 
     #[test]
     fn auto_base_is_legal_and_tuned_runs_match_explicit_base() {
-        for benchmark in Benchmark::ALL4 {
+        for benchmark in Benchmark::EXTENDED {
             let b = auto_base(benchmark, 32);
             assert!(
                 b.is_power_of_two() && (1..=32).contains(&b),
@@ -855,7 +993,76 @@ mod tests {
         assert_eq!(Execution::Cnc(CncVariant::Tuner).label(), "CnC_tuner");
         assert_eq!(Benchmark::Fw.name(), "FW-APSP");
         assert_eq!(Benchmark::Paren.name(), "PAREN");
+        assert_eq!(Benchmark::Lcs.name(), "LCS");
         assert_eq!(Benchmark::ALL.len(), 3);
-        assert_eq!(Benchmark::ALL4.len(), 4);
+        assert_eq!(Benchmark::EXTENDED.len(), 5);
+    }
+
+    #[test]
+    fn decomposition_width_never_changes_results() {
+        for benchmark in Benchmark::EXTENDED {
+            let oracle = run_benchmark(benchmark, Execution::SerialLoops, 32, 4, 2);
+            for r in [2u32, 4] {
+                for execution in [Execution::SerialRdp, Execution::ForkJoin] {
+                    let out =
+                        run_benchmark_with(benchmark, execution, 32, 4, 2, Decomposition::new(r));
+                    assert!(
+                        out.table.bitwise_eq(&oracle.table),
+                        "{} under {} at r={r}",
+                        benchmark.name(),
+                        execution.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_base_with_keeps_the_top_split_r_wide() {
+        for benchmark in Benchmark::EXTENDED {
+            for r in [2u32, 4, 8] {
+                let d = Decomposition::new(r);
+                let base = auto_base_with(benchmark, 64, d);
+                assert!(
+                    base.is_power_of_two() && base * r as usize <= 64,
+                    "{} r={r}: clamped base {base} must leave room for an r-wide root",
+                    benchmark.name()
+                );
+                // And the clamp never changes results, only tiling.
+                let tuned =
+                    run_benchmark_with(benchmark, Execution::SerialRdp, 64, AUTO_BASE, 1, d);
+                let oracle = run_benchmark(benchmark, Execution::SerialLoops, 64, 8, 1);
+                assert!(
+                    tuned.table.bitwise_eq(&oracle.table),
+                    "{}",
+                    benchmark.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_joins_shrink_as_r_widens() {
+        // The artificial-dependency count (joins) of the fork-join
+        // schedule is a function of the decomposition: wider r means
+        // fewer, wider stages and strictly fewer joins for GE/FW.
+        // n=64 with base=1 gives t=64 tiles, a power of 2, 4 and 8, so
+        // every width recurses uniformly.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        for benchmark in [Benchmark::Ge, Benchmark::Fw] {
+            let mut last = u64::MAX;
+            for r in [2u32, 4, 8] {
+                let p = prepare_job_with(benchmark, 64, 1, Decomposition::new(r));
+                let measured = p.run_forkjoin_counting(&pool, 1);
+                let walked = p.forkjoin_join_count(1);
+                assert_eq!(measured, walked, "{} r={r}", benchmark.name());
+                assert!(
+                    measured < last,
+                    "{} r={r}: joins {measured} must shrink (was {last})",
+                    benchmark.name()
+                );
+                last = measured;
+            }
+        }
     }
 }

@@ -63,7 +63,9 @@ impl Paradigm {
 fn workload_of(benchmark: Benchmark) -> Workload {
     match benchmark {
         Benchmark::Ge => Workload::Ge,
-        Benchmark::Sw => Workload::Sw,
+        // LCS shares SW's tile shape and cost model (a single-pass
+        // `O(m^2)` sweep per tile on the same wavefront DAG).
+        Benchmark::Sw | Benchmark::Lcs => Workload::Sw,
         Benchmark::Fw => Workload::Fw,
         Benchmark::Paren => Workload::Paren,
     }

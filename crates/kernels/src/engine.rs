@@ -6,6 +6,8 @@
 //! contributes only its spec (kernel + decomposition + dependencies) and
 //! gets every execution model of the paper for free.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use recdp_cnc::{
     CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, StepResult, StepScope,
     TagCollection,
@@ -50,10 +52,36 @@ fn serial_call<S: DpSpec>(spec: &S, call: &Call) {
 /// omp task` + `taskwait`), where the joins are exactly the *artificial
 /// dependencies* of Fig. 3.
 pub fn run_forkjoin<S: DpSpec>(spec: &S, pool: &ThreadPool) {
-    pool.install(|| forkjoin_call(spec, &spec.root()));
+    run_forkjoin_grained(spec, pool, 1);
 }
 
-fn forkjoin_call<S: DpSpec>(spec: &S, call: &Call) {
+/// [`run_forkjoin`] with **grain control** for wide stages: a chunk of
+/// at most `grain` sibling calls runs sequentially instead of forking
+/// further. `grain = 1` is exactly [`run_forkjoin`] (every sibling pair
+/// forks); wider decompositions produce stages of up to `r^2` siblings,
+/// and a larger grain trades stage parallelism for fewer forks/joins.
+pub fn run_forkjoin_grained<S: DpSpec>(spec: &S, pool: &ThreadPool, grain: usize) {
+    let grain = grain.max(1);
+    pool.install(|| forkjoin_call(spec, &spec.root(), grain, None));
+}
+
+/// Runs the recursion like [`run_forkjoin_grained`] while counting the
+/// joins actually executed — one per *forked stage barrier*, i.e. each
+/// stage whose sibling list is forked onto the pool and then waited
+/// for (Listing 3's `taskwait`), the paper's *artificial dependencies*.
+/// How the work-stealing pool realises an N-way fork internally (a
+/// binary split tree) is a runtime detail and is not counted: the join
+/// count is a property of the algorithm's stage structure, so it is
+/// deterministic and schedule-independent. Stages of at most `grain`
+/// calls run serially and contribute no join.
+pub fn run_forkjoin_counting<S: DpSpec>(spec: &S, pool: &ThreadPool, grain: usize) -> u64 {
+    let grain = grain.max(1);
+    let joins = AtomicU64::new(0);
+    pool.install(|| forkjoin_call(spec, &spec.root(), grain, Some(&joins)));
+    joins.into_inner()
+}
+
+fn forkjoin_call<S: DpSpec>(spec: &S, call: &Call, grain: usize, joins: Option<&AtomicU64>) {
     if call.s == 1 {
         // SAFETY: calls within a stage touch disjoint tiles (DpSpec
         // contract) and the joins sequence every cross-stage dependency.
@@ -61,23 +89,61 @@ fn forkjoin_call<S: DpSpec>(spec: &S, call: &Call) {
         return;
     }
     for stage in spec.expand(call) {
-        forkjoin_stage(spec, &stage);
+        if stage.len() <= grain {
+            for sub in &stage {
+                forkjoin_call(spec, sub, grain, joins);
+            }
+        } else {
+            if let Some(j) = joins {
+                j.fetch_add(1, Ordering::Relaxed);
+            }
+            forkjoin_split(spec, &stage, grain, joins);
+        }
     }
 }
 
-/// Executes one stage's independent calls as a binary fork tree.
-fn forkjoin_stage<S: DpSpec>(spec: &S, calls: &[Call]) {
-    match calls.len() {
-        0 => {}
-        1 => forkjoin_call(spec, &calls[0]),
-        n => {
-            let (left, right) = calls.split_at(n / 2);
-            join(
-                || forkjoin_stage(spec, left),
-                || forkjoin_stage(spec, right),
-            );
+/// Executes one forked stage's independent calls as a binary split
+/// tree, stopping the splitting at `grain` calls per leaf chunk.
+fn forkjoin_split<S: DpSpec>(spec: &S, calls: &[Call], grain: usize, joins: Option<&AtomicU64>) {
+    if calls.len() <= grain {
+        for call in calls {
+            forkjoin_call(spec, call, grain, joins);
         }
+    } else {
+        let (left, right) = calls.split_at(calls.len() / 2);
+        join(
+            || forkjoin_split(spec, left, grain, joins),
+            || forkjoin_split(spec, right, grain, joins),
+        );
     }
+}
+
+/// Predicts the join count of [`run_forkjoin_counting`] by statically
+/// walking the spec's stage structure without executing any tile: each
+/// stage wider than `grain` is one forked barrier and contributes one
+/// join, plus whatever its sub-calls' own expansions contribute.
+/// Independent cross-check: `recdp-taskgraph`'s r-way predictors must
+/// agree with this walk *and* with the measured count from
+/// [`run_forkjoin_counting`].
+pub fn forkjoin_join_count<S: DpSpec>(spec: &S, grain: usize) -> u64 {
+    count_call(spec, &spec.root(), grain.max(1))
+}
+
+fn count_call<S: DpSpec>(spec: &S, call: &Call, grain: usize) -> u64 {
+    if call.s == 1 {
+        return 0;
+    }
+    spec.expand(call)
+        .iter()
+        .map(|stage| {
+            let barrier = u64::from(stage.len() > grain);
+            barrier
+                + stage
+                    .iter()
+                    .map(|c| count_call(spec, c, grain))
+                    .sum::<u64>()
+        })
+        .sum()
 }
 
 // ---------------------------------------------------------------------
@@ -335,6 +401,90 @@ mod tests {
             let stats = run_cnc(&spec, variant, 2);
             assert_eq!(spec.ran.load(Ordering::Relaxed), 8, "{variant:?}");
             assert_eq!(stats.items_put, 8, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn grained_forkjoin_runs_every_tile_and_counts_no_chain_joins() {
+        // Chain's stages all have width 1, so no fork ever happens and
+        // the measured join count is 0 at every grain.
+        let pool = recdp_forkjoin::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build();
+        for grain in [1usize, 4] {
+            let spec = chain(8);
+            assert_eq!(run_forkjoin_counting(&spec, &pool, grain), 0);
+            assert_eq!(spec.ran.load(Ordering::Relaxed), 8);
+            assert_eq!(forkjoin_join_count(&spec, grain), 0);
+        }
+    }
+
+    /// A toy spec with one stage of `w` independent tiles, to pin the
+    /// join arithmetic: a stage wider than the grain is one forked
+    /// barrier (one join), a stage at or under the grain runs serially
+    /// (no join) — regardless of the pool's internal binary split tree.
+    #[derive(Clone)]
+    struct Wide {
+        w: u32,
+        ran: Arc<AtomicUsize>,
+    }
+
+    impl DpSpec for Wide {
+        fn func_names(&self) -> &'static [&'static str] {
+            &["wide"]
+        }
+        fn step_names(&self) -> &'static [&'static str] {
+            &["wide_step"]
+        }
+        fn item_name(&self) -> &'static str {
+            "wide_tiles"
+        }
+        fn t_tiles(&self) -> u32 {
+            self.w
+        }
+        fn root(&self) -> Call {
+            Call::new(0, 0, 0, 0, self.w)
+        }
+        fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
+            vec![(0..call.s).map(|i| Call::new(0, i, 0, 0, 1)).collect()]
+        }
+        fn tile(&self, call: &Call) -> TileKey {
+            (call.i0, 0, 0)
+        }
+        fn reads(&self, _tile: TileKey) -> Vec<TileKey> {
+            vec![]
+        }
+        fn manual_calls(&self) -> Vec<Call> {
+            (0..self.w).map(|i| Call::new(0, i, 0, 0, 1)).collect()
+        }
+        unsafe fn run_tile(&self, _tile: TileKey) {
+            self.ran.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn wide_stage_join_count_measured_matches_static_walk() {
+        let pool = recdp_forkjoin::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build();
+        for (w, grain, expect) in [
+            (8u32, 1usize, 1u64),
+            (8, 2, 1),
+            (8, 8, 0),
+            (6, 1, 1),
+            (1, 1, 0),
+        ] {
+            let spec = Wide {
+                w,
+                ran: Arc::new(AtomicUsize::new(0)),
+            };
+            assert_eq!(
+                run_forkjoin_counting(&spec, &pool, grain),
+                expect,
+                "w={w} grain={grain}"
+            );
+            assert_eq!(spec.ran.load(Ordering::Relaxed), w as usize);
+            assert_eq!(forkjoin_join_count(&spec, grain), expect);
         }
     }
 

@@ -6,7 +6,7 @@
 //! expansion revisits the already-eliminated quadrant (the
 //! `B/C/D`-at-`k0+h` tail).
 
-use crate::spec::{Call, DpSpec, TileKey};
+use crate::spec::{Call, Decomposition, DpSpec, TileKey};
 use crate::table::TablePtr;
 
 use super::base_kernel;
@@ -22,6 +22,7 @@ pub struct FwSpec {
     t: TablePtr,
     m: usize,
     t_tiles: u32,
+    decomp: Decomposition,
 }
 
 impl FwSpec {
@@ -29,7 +30,18 @@ impl FwSpec {
     /// must already be validated by `check_sizes`.
     pub fn new(t: TablePtr, m: usize) -> Self {
         let t_tiles = (t.n / m) as u32;
-        FwSpec { t, m, t_tiles }
+        FwSpec {
+            t,
+            m,
+            t_tiles,
+            decomp: Decomposition::BINARY,
+        }
+    }
+
+    /// The same spec with decomposition width `r` (default 2-way).
+    pub fn with_decomposition(mut self, decomp: Decomposition) -> Self {
+        self.decomp = decomp;
+        self
     }
 }
 
@@ -56,58 +68,100 @@ impl DpSpec for FwSpec {
 
     fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
         let Call { i0, j0, k0, s, .. } = *call;
-        let h = s / 2;
+        let rr = self.decomp.radix(s);
+        let step = s / rr;
         match call.func {
             A => {
-                let d = k0;
-                vec![
-                    vec![Call::new(A, d, d, d, h)],
-                    vec![Call::new(B, d, d + h, d, h), Call::new(C, d + h, d, d, h)],
-                    vec![Call::new(D, d + h, d + h, d, h)],
-                    vec![Call::new(A, d + h, d + h, d + h, h)],
-                    vec![
-                        Call::new(B, d + h, d, d + h, h),
-                        Call::new(C, d, d + h, d + h, h),
-                    ],
-                    vec![Call::new(D, d, d, d + h, h)],
-                ]
+                // r diagonal rounds; unlike GE every off-pivot block is
+                // updated in *every* round (the revisit of the
+                // already-eliminated quadrant generalises to all p != q).
+                let at = |p: u32| k0 + p * step;
+                let mut stages = Vec::with_capacity(3 * rr as usize);
+                for q in 0..rr {
+                    let kq = at(q);
+                    stages.push(vec![Call::new(A, kq, kq, kq, step)]);
+                    let panels: Vec<Call> = (0..rr)
+                        .filter(|&p| p != q)
+                        .map(|p| Call::new(B, kq, at(p), kq, step))
+                        .chain(
+                            (0..rr)
+                                .filter(|&p| p != q)
+                                .map(|p| Call::new(C, at(p), kq, kq, step)),
+                        )
+                        .collect();
+                    if !panels.is_empty() {
+                        stages.push(panels);
+                    }
+                    let trailing: Vec<Call> = (0..rr)
+                        .filter(|&p| p != q)
+                        .flat_map(|p| {
+                            (0..rr)
+                                .filter(move |&p2| p2 != q)
+                                .map(move |p2| Call::new(D, at(p), at(p2), kq, step))
+                        })
+                        .collect();
+                    if !trailing.is_empty() {
+                        stages.push(trailing);
+                    }
+                }
+                stages
             }
-            B => vec![
-                vec![Call::new(B, k0, j0, k0, h), Call::new(B, k0, j0 + h, k0, h)],
-                vec![
-                    Call::new(D, k0 + h, j0, k0, h),
-                    Call::new(D, k0 + h, j0 + h, k0, h),
-                ],
-                vec![
-                    Call::new(B, k0 + h, j0, k0 + h, h),
-                    Call::new(B, k0 + h, j0 + h, k0 + h, h),
-                ],
-                vec![
-                    Call::new(D, k0, j0, k0 + h, h),
-                    Call::new(D, k0, j0 + h, k0 + h, h),
-                ],
-            ],
-            C => vec![
-                vec![Call::new(C, i0, k0, k0, h), Call::new(C, i0 + h, k0, k0, h)],
-                vec![
-                    Call::new(D, i0, k0 + h, k0, h),
-                    Call::new(D, i0 + h, k0 + h, k0, h),
-                ],
-                vec![
-                    Call::new(C, i0, k0 + h, k0 + h, h),
-                    Call::new(C, i0 + h, k0 + h, k0 + h, h),
-                ],
-                vec![
-                    Call::new(D, i0, k0, k0 + h, h),
-                    Call::new(D, i0 + h, k0, k0 + h, h),
-                ],
-            ],
-            D => [k0, k0 + h]
-                .into_iter()
-                .map(|k| {
-                    [(0, 0), (0, h), (h, 0), (h, h)]
-                        .into_iter()
-                        .map(|(di, dj)| Call::new(D, i0 + di, j0 + dj, k, h))
+            B => {
+                // Row panel: all rows are updated at every pivot round.
+                let mut stages = Vec::with_capacity(2 * rr as usize);
+                for q in 0..rr {
+                    let kq = k0 + q * step;
+                    stages.push(
+                        (0..rr)
+                            .map(|p| Call::new(B, kq, j0 + p * step, kq, step))
+                            .collect(),
+                    );
+                    let updates: Vec<Call> = (0..rr)
+                        .filter(|&p| p != q)
+                        .flat_map(|p| {
+                            (0..rr).map(move |p2| {
+                                Call::new(D, k0 + p * step, j0 + p2 * step, kq, step)
+                            })
+                        })
+                        .collect();
+                    if !updates.is_empty() {
+                        stages.push(updates);
+                    }
+                }
+                stages
+            }
+            C => {
+                // Column panel: mirror of B.
+                let mut stages = Vec::with_capacity(2 * rr as usize);
+                for q in 0..rr {
+                    let kq = k0 + q * step;
+                    stages.push(
+                        (0..rr)
+                            .map(|p| Call::new(C, i0 + p * step, kq, kq, step))
+                            .collect(),
+                    );
+                    let updates: Vec<Call> = (0..rr)
+                        .flat_map(|p| {
+                            (0..rr).filter(move |&p2| p2 != q).map(move |p2| {
+                                Call::new(D, i0 + p * step, k0 + p2 * step, kq, step)
+                            })
+                        })
+                        .collect();
+                    if !updates.is_empty() {
+                        stages.push(updates);
+                    }
+                }
+                stages
+            }
+            D => (0..rr)
+                .map(|q| {
+                    let kq = k0 + q * step;
+                    (0..rr)
+                        .flat_map(|p| {
+                            (0..rr).map(move |p2| {
+                                Call::new(D, i0 + p * step, j0 + p2 * step, kq, step)
+                            })
+                        })
                         .collect()
                 })
                 .collect(),
@@ -173,6 +227,42 @@ mod tests {
         let mut m = fw_matrix(32, 1, 0.4);
         let spec = FwSpec::new(m.ptr(), 8);
         assert_eq!(spec.manual_calls().len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn wider_decompositions_are_bitwise_identical_to_binary() {
+        use crate::engine::run_serial;
+        let n = 64;
+        let base = 4;
+        let mut reference = fw_matrix(n, 7, 0.4);
+        run_serial(&FwSpec::new(reference.ptr(), base));
+        for r in [4u32, 8, 16] {
+            let mut m = fw_matrix(n, 7, 0.4);
+            let spec = FwSpec::new(m.ptr(), base).with_decomposition(Decomposition::new(r));
+            run_serial(&spec);
+            assert!(m.bitwise_eq(&reference), "r={r}");
+        }
+    }
+
+    #[test]
+    fn rway_expansion_covers_the_full_cube_once() {
+        let mut m = fw_matrix(64, 1, 0.4);
+        for r in [2u32, 4, 8] {
+            let spec = FwSpec::new(m.ptr(), 8).with_decomposition(Decomposition::new(r));
+            let mut seen = std::collections::HashMap::new();
+            let mut stack = vec![spec.root()];
+            while let Some(call) = stack.pop() {
+                if call.s == 1 {
+                    *seen.entry(spec.tile(&call)).or_insert(0u32) += 1;
+                } else {
+                    for stage in spec.expand(&call) {
+                        stack.extend(stage);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 8 * 8 * 8, "r={r}");
+            assert!(seen.values().all(|&c| c == 1), "r={r}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `(i0, j0)` at pivot step `k0`, so its task identity is
 //! `(k0, i0, j0)`.
 
-use crate::spec::{Call, DpSpec, TileKey};
+use crate::spec::{Call, Decomposition, DpSpec, TileKey};
 use crate::table::TablePtr;
 
 use super::base_kernel;
@@ -23,6 +23,7 @@ pub struct GeSpec {
     t: TablePtr,
     m: usize,
     t_tiles: u32,
+    decomp: Decomposition,
 }
 
 impl GeSpec {
@@ -30,7 +31,18 @@ impl GeSpec {
     /// must already be validated by `check_rdp_sizes`.
     pub fn new(t: TablePtr, m: usize) -> Self {
         let t_tiles = (t.n / m) as u32;
-        GeSpec { t, m, t_tiles }
+        GeSpec {
+            t,
+            m,
+            t_tiles,
+            decomp: Decomposition::BINARY,
+        }
+    }
+
+    /// The same spec with decomposition width `r` (default 2-way).
+    pub fn with_decomposition(mut self, decomp: Decomposition) -> Self {
+        self.decomp = decomp;
+        self
     }
 }
 
@@ -57,48 +69,100 @@ impl DpSpec for GeSpec {
 
     fn expand(&self, call: &Call) -> Vec<Vec<Call>> {
         let Call { i0, j0, k0, s, .. } = *call;
-        let h = s / 2;
+        let rr = self.decomp.radix(s);
+        let step = s / rr;
         match call.func {
             A => {
-                let d = k0;
-                vec![
-                    vec![Call::new(A, d, d, d, h)],
-                    vec![Call::new(B, d, d + h, d, h), Call::new(C, d + h, d, d, h)],
-                    vec![Call::new(D, d + h, d + h, d, h)],
-                    vec![Call::new(A, d + h, d + h, d + h, h)],
-                ]
+                // r diagonal rounds: eliminate pivot block q, update its
+                // row/column panels, then the trailing sub-grid — the
+                // r-way generalisation of the A; (B || C); D; A chain.
+                let at = |p: u32| k0 + p * step;
+                let mut stages = Vec::with_capacity(3 * rr as usize);
+                for q in 0..rr {
+                    let kq = at(q);
+                    stages.push(vec![Call::new(A, kq, kq, kq, step)]);
+                    let panels: Vec<Call> = (q + 1..rr)
+                        .flat_map(|p| {
+                            [
+                                Call::new(B, kq, at(p), kq, step),
+                                Call::new(C, at(p), kq, kq, step),
+                            ]
+                        })
+                        .collect();
+                    if !panels.is_empty() {
+                        stages.push(panels);
+                    }
+                    let trailing: Vec<Call> = (q + 1..rr)
+                        .flat_map(|p| {
+                            (q + 1..rr).map(move |p2| Call::new(D, at(p), at(p2), kq, step))
+                        })
+                        .collect();
+                    if !trailing.is_empty() {
+                        stages.push(trailing);
+                    }
+                }
+                stages
             }
-            B => vec![
-                vec![Call::new(B, k0, j0, k0, h), Call::new(B, k0, j0 + h, k0, h)],
-                vec![
-                    Call::new(D, k0 + h, j0, k0, h),
-                    Call::new(D, k0 + h, j0 + h, k0, h),
-                ],
-                vec![
-                    Call::new(B, k0 + h, j0, k0 + h, h),
-                    Call::new(B, k0 + h, j0 + h, k0 + h, h),
-                ],
-            ],
-            C => vec![
-                vec![Call::new(C, i0, k0, k0, h), Call::new(C, i0 + h, k0, k0, h)],
-                vec![
-                    Call::new(D, i0, k0 + h, k0, h),
-                    Call::new(D, i0 + h, k0 + h, k0, h),
-                ],
-                vec![
-                    Call::new(C, i0, k0 + h, k0 + h, h),
-                    Call::new(C, i0 + h, k0 + h, k0 + h, h),
-                ],
-            ],
+            B => {
+                // Row panel: per pivot round q, update all column
+                // sub-panels at pivot kq, then the not-yet-eliminated
+                // rows below the pivot block.
+                let mut stages = Vec::with_capacity(2 * rr as usize);
+                for q in 0..rr {
+                    let kq = k0 + q * step;
+                    stages.push(
+                        (0..rr)
+                            .map(|p| Call::new(B, kq, j0 + p * step, kq, step))
+                            .collect(),
+                    );
+                    let updates: Vec<Call> = (q + 1..rr)
+                        .flat_map(|p| {
+                            (0..rr).map(move |p2| {
+                                Call::new(D, k0 + p * step, j0 + p2 * step, kq, step)
+                            })
+                        })
+                        .collect();
+                    if !updates.is_empty() {
+                        stages.push(updates);
+                    }
+                }
+                stages
+            }
+            C => {
+                // Column panel: mirror of B.
+                let mut stages = Vec::with_capacity(2 * rr as usize);
+                for q in 0..rr {
+                    let kq = k0 + q * step;
+                    stages.push(
+                        (0..rr)
+                            .map(|p| Call::new(C, i0 + p * step, kq, kq, step))
+                            .collect(),
+                    );
+                    let updates: Vec<Call> = (0..rr)
+                        .flat_map(|p| {
+                            (q + 1..rr).map(move |p2| {
+                                Call::new(D, i0 + p * step, k0 + p2 * step, kq, step)
+                            })
+                        })
+                        .collect();
+                    if !updates.is_empty() {
+                        stages.push(updates);
+                    }
+                }
+                stages
+            }
             D => {
-                // Listing 5's kk/ii/jj loops: the eight sub-regions,
-                // grouped by pivot half.
-                [k0, k0 + h]
-                    .into_iter()
-                    .map(|k| {
-                        [(0, 0), (0, h), (h, 0), (h, h)]
-                            .into_iter()
-                            .map(|(di, dj)| Call::new(D, i0 + di, j0 + dj, k, h))
+                // Listing 5's kk/ii/jj loops: the r^3 sub-regions,
+                // grouped by pivot round.
+                (0..rr)
+                    .map(|q| {
+                        let kq = k0 + q * step;
+                        (0..rr)
+                            .flat_map(|p| {
+                                (0..rr).map(move |p2| {
+                                    Call::new(D, i0 + p * step, j0 + p2 * step, kq, step)
+                                })
+                            })
                             .collect()
                     })
                     .collect()
@@ -170,6 +234,45 @@ mod tests {
             spec.manual_calls().len() as u64,
             t * (t + 1) * (2 * t + 1) / 6
         );
+    }
+
+    #[test]
+    fn wider_decompositions_are_bitwise_identical_to_binary() {
+        use crate::engine::run_serial;
+        let n = 64;
+        let base = 4; // t = 16 tiles: r in {2, 4} aligned, 8 clamps
+        let mut reference = ge_matrix(n, 7);
+        run_serial(&GeSpec::new(reference.ptr(), base));
+        for r in [4u32, 8, 16] {
+            let mut m = ge_matrix(n, 7);
+            let spec = GeSpec::new(m.ptr(), base).with_decomposition(Decomposition::new(r));
+            run_serial(&spec);
+            assert!(m.bitwise_eq(&reference), "r={r}");
+        }
+    }
+
+    #[test]
+    fn rway_expansion_reaches_every_manual_tile_once() {
+        let mut m = ge_matrix(64, 1);
+        for r in [2u32, 4, 8] {
+            let spec = GeSpec::new(m.ptr(), 8).with_decomposition(Decomposition::new(r));
+            let mut seen = std::collections::HashMap::new();
+            let mut stack = vec![spec.root()];
+            while let Some(call) = stack.pop() {
+                if call.s == 1 {
+                    *seen.entry(spec.tile(&call)).or_insert(0u32) += 1;
+                } else {
+                    for stage in spec.expand(&call) {
+                        stack.extend(stage);
+                    }
+                }
+            }
+            let manual: Vec<_> = spec.manual_calls().iter().map(|c| spec.tile(c)).collect();
+            assert_eq!(seen.len(), manual.len(), "r={r}");
+            for t in manual {
+                assert_eq!(seen.get(&t), Some(&1), "r={r} tile {t:?}");
+            }
+        }
     }
 
     #[test]

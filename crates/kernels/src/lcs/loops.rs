@@ -1,0 +1,35 @@
+//! Serial loop-based LCS — the iterative oracle all parallel models
+//! are digest-checked against.
+
+use crate::table::Matrix;
+
+use super::base_kernel;
+
+/// Fills the full `n x n` LCS table for sequences `a`, `b` (length `n`).
+pub fn lcs_loops(table: &mut Matrix, a: &[u8], b: &[u8]) {
+    let n = table.n();
+    assert!(a.len() == n && b.len() == n);
+    // SAFETY: single-threaded full-table sweep.
+    unsafe { base_kernel(table.ptr(), a, b, 0, 0, n) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::{lcs_len, lcs_traceback};
+    use crate::workloads::dna_sequence;
+
+    #[test]
+    fn loops_fill_is_deterministic() {
+        let n = 32;
+        let a = dna_sequence(n, 21);
+        let b = dna_sequence(n, 22);
+        let mut t1 = Matrix::zeros(n);
+        lcs_loops(&mut t1, &a, &b);
+        let mut t2 = Matrix::zeros(n);
+        lcs_loops(&mut t2, &a, &b);
+        assert!(t1.bitwise_eq(&t2));
+        assert_eq!(lcs_traceback(&t1, &a, &b), lcs_traceback(&t2, &a, &b));
+        assert!(lcs_len(&t1) > 0.0, "random DNA pairs share a subsequence");
+    }
+}

@@ -1,0 +1,203 @@
+//! Longest common subsequence with traceback (benchmark 5).
+//!
+//! `L[i][j] = L[i-1][j-1] + 1` when `a_i == b_j`, else
+//! `max(L[i-1][j], L[i][j-1])`, with a zero boundary — the textbook LCS
+//! table over two length-`n` sequences. Values are small non-negative
+//! integers, exact in `f64`, and every cell is written exactly once from
+//! final operands, so all execution models are bitwise identical (the
+//! same argument as SW).
+//!
+//! The tile dependency structure is the SW wavefront — north, west and
+//! north-west neighbours — so [`spec::LcsSpec`] shares the r-way
+//! wavefront expansion with `SwSpec` and acquires all six execution
+//! models × decomposition widths from one spec impl. Ding, Gu & Sun
+//! (arXiv:2404.16314) motivate exactly this recurrence family as the
+//! workload where decomposition choice separates work-efficient from
+//! work-inflating parallel schedules.
+//!
+//! On top of the table, [`lcs_traceback`] recovers one witness
+//! subsequence deterministically (ties broken toward the north
+//! predecessor), a serial `O(n)` walk over the finished table.
+
+pub mod cnc;
+pub mod forkjoin;
+pub mod loops;
+pub mod rdp;
+pub mod spec;
+
+pub use cnc::{lcs_cnc, lcs_cnc_on};
+pub use forkjoin::lcs_forkjoin;
+pub use loops::lcs_loops;
+pub use rdp::lcs_rdp;
+pub use spec::LcsSpec;
+
+use crate::table::{Matrix, TablePtr};
+
+/// The LCS base-case kernel on tile `rows [i0, i0+m) x cols [j0, j0+m)`.
+///
+/// # Safety
+/// Exclusive write access to the tile; the row above, column left and
+/// corner cell must be final (their tiles' tasks completed first).
+#[allow(clippy::needless_range_loop)] // index loops mirror the DP recurrence
+pub(crate) unsafe fn base_kernel(t: TablePtr, a: &[u8], b: &[u8], i0: usize, j0: usize, m: usize) {
+    debug_assert!(
+        i0 + m <= t.n && j0 + m <= t.n,
+        "LCS write region [{i0}..{}) x [{j0}..{}) out of range for n={}",
+        i0 + m,
+        j0 + m,
+        t.n
+    );
+    debug_assert!(
+        a.len() >= i0 + m && b.len() >= j0 + m,
+        "LCS sequence reads a[..{}] / b[..{}] out of range (lens {} / {})",
+        i0 + m,
+        j0 + m,
+        a.len(),
+        b.len()
+    );
+    for i in i0..i0 + m {
+        for j in j0..j0 + m {
+            let v = if a[i] == b[j] {
+                let diag = if i > 0 && j > 0 {
+                    t.get(i - 1, j - 1)
+                } else {
+                    0.0
+                };
+                diag + 1.0
+            } else {
+                let up = if i > 0 { t.get(i - 1, j) } else { 0.0 };
+                let left = if j > 0 { t.get(i, j - 1) } else { 0.0 };
+                up.max(left)
+            };
+            t.set(i, j, v);
+        }
+    }
+}
+
+/// Length of the LCS in a computed table.
+pub fn lcs_len(table: &Matrix) -> f64 {
+    let n = table.n();
+    table[(n - 1, n - 1)]
+}
+
+/// Recovers one longest common subsequence from a computed table.
+///
+/// Deterministic: on a tie between the north and west predecessors the
+/// walk moves north, so every execution model (whose tables are bitwise
+/// identical) yields the identical witness string.
+pub fn lcs_traceback(table: &Matrix, a: &[u8], b: &[u8]) -> Vec<u8> {
+    let n = table.n();
+    assert!(a.len() == n && b.len() == n, "sequences must have length n");
+    let mut out = Vec::new();
+    let (mut i, mut j) = (n - 1, n - 1);
+    loop {
+        if table[(i, j)] == 0.0 {
+            break;
+        }
+        if a[i] == b[j] {
+            out.push(a[i]);
+            if i == 0 || j == 0 {
+                break;
+            }
+            i -= 1;
+            j -= 1;
+        } else {
+            // A positive cell without a match equals one of its
+            // neighbours; missing neighbours (walk at the boundary)
+            // rank below any real value.
+            let up = if i > 0 { table[(i - 1, j)] } else { -1.0 };
+            let left = if j > 0 { table[(i, j - 1)] } else { -1.0 };
+            if up >= left {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+    }
+    out.reverse();
+    out
+}
+
+pub(crate) fn check_sizes(n: usize, base: usize, a: &[u8], b: &[u8]) {
+    assert!(n.is_power_of_two() && base.is_power_of_two() && base <= n);
+    assert!(a.len() == n && b.len() == n, "sequences must have length n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::dna_sequence;
+
+    fn is_subsequence(needle: &[u8], hay: &[u8]) -> bool {
+        let mut it = hay.iter();
+        needle.iter().all(|c| it.any(|h| h == c))
+    }
+
+    /// Independent O(n^2) reference: LCS length by the classic
+    /// row-sweep recurrence with explicit boundary rows.
+    fn reference_len(a: &[u8], b: &[u8]) -> usize {
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut cur = vec![0usize; b.len() + 1];
+        for &ca in a {
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] = if ca == cb {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(cur[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn identical_sequences_have_full_length_lcs() {
+        let n = 16;
+        let a = dna_sequence(n, 1);
+        let mut t = Matrix::zeros(n);
+        unsafe { base_kernel(t.ptr(), &a, &a, 0, 0, n) };
+        assert_eq!(lcs_len(&t), n as f64);
+        assert_eq!(lcs_traceback(&t, &a, &a), a);
+    }
+
+    #[test]
+    fn matches_independent_reference_and_traceback_is_a_witness() {
+        for (sa, sb) in [(3u64, 4u64), (7, 8), (11, 12)] {
+            let n = 32;
+            let a = dna_sequence(n, sa);
+            let b = dna_sequence(n, sb);
+            let mut t = Matrix::zeros(n);
+            unsafe { base_kernel(t.ptr(), &a, &b, 0, 0, n) };
+            assert_eq!(lcs_len(&t) as usize, reference_len(&a, &b));
+            let w = lcs_traceback(&t, &a, &b);
+            assert_eq!(w.len(), lcs_len(&t) as usize);
+            assert!(is_subsequence(&w, &a), "witness not in a");
+            assert!(is_subsequence(&w, &b), "witness not in b");
+        }
+    }
+
+    #[test]
+    fn disjoint_alphabets_have_empty_lcs() {
+        let n = 8;
+        let a = vec![b'A'; n];
+        let b = vec![b'T'; n];
+        let mut t = Matrix::zeros(n);
+        unsafe { base_kernel(t.ptr(), &a, &b, 0, 0, n) };
+        assert_eq!(lcs_len(&t), 0.0);
+        assert!(lcs_traceback(&t, &a, &b).is_empty());
+    }
+
+    #[test]
+    fn textbook_pair() {
+        // LCS("GATTACA", "TACGAAC") worked by hand has length 4
+        // (e.g. "TACA" / "ATAC" family); pad to 8 with a shared
+        // sentinel so the padded LCS is exactly one longer.
+        let a = b"GATTACA$".to_vec();
+        let b = b"TACGAAC$".to_vec();
+        let mut t = Matrix::zeros(8);
+        unsafe { base_kernel(t.ptr(), &a, &b, 0, 0, 8) };
+        assert_eq!(lcs_len(&t) as usize, reference_len(&a, &b));
+        assert_eq!(lcs_len(&t), 5.0);
+    }
+}

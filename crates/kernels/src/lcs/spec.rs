@@ -1,11 +1,6 @@
-//! SW as a [`DpSpec`]: the quadrant recursion `X00; (X01, X10); X11`
-//! over the wavefront dependency structure.
-//!
-//! A single recursive function suffices (calls carry `(i0, j0)` tile
-//! coordinates; `k0` is unused). Tile `(i, j)` reads its north, west and
-//! north-west neighbours — no per-antidiagonal barrier, so under the CnC
-//! engine tiles of different wavefronts overlap freely (the paper's
-//! explanation for the data-flow win on SW).
+//! LCS as a [`DpSpec`]: the same wavefront dependency structure as SW
+//! (north / west / north-west), so the spec shares the r-way wavefront
+//! expansion and differs from `SwSpec` only in its tile kernel.
 
 use std::sync::Arc;
 
@@ -14,10 +9,10 @@ use crate::table::TablePtr;
 
 use super::base_kernel;
 
-/// The SW recurrence specification over a shared table and the two
+/// The LCS recurrence specification over a shared table and the two
 /// input sequences.
 #[derive(Clone)]
-pub struct SwSpec {
+pub struct LcsSpec {
     t: TablePtr,
     a: Arc<Vec<u8>>,
     b: Arc<Vec<u8>>,
@@ -26,13 +21,13 @@ pub struct SwSpec {
     decomp: Decomposition,
 }
 
-impl SwSpec {
+impl LcsSpec {
     /// Spec for an `n x n` table over sequences `a`, `b` with base-case
     /// (tile) size `m`; sizes must already be validated by
     /// `check_sizes`.
     pub fn new(t: TablePtr, a: &[u8], b: &[u8], m: usize) -> Self {
         let t_tiles = (t.n / m) as u32;
-        SwSpec {
+        LcsSpec {
             t,
             a: Arc::new(a.to_vec()),
             b: Arc::new(b.to_vec()),
@@ -49,17 +44,17 @@ impl SwSpec {
     }
 }
 
-impl DpSpec for SwSpec {
+impl DpSpec for LcsSpec {
     fn func_names(&self) -> &'static [&'static str] {
-        &["sw_tags"]
+        &["lcs_tags"]
     }
 
     fn step_names(&self) -> &'static [&'static str] {
-        &["sw_step"]
+        &["lcs_step"]
     }
 
     fn item_name(&self) -> &'static str {
-        "sw_tiles"
+        "lcs_tiles"
     }
 
     fn t_tiles(&self) -> u32 {
@@ -115,29 +110,29 @@ mod tests {
     use crate::workloads::dna_sequence;
 
     #[test]
-    fn wider_decompositions_are_bitwise_identical_to_binary() {
-        use crate::engine::run_serial;
-        let n = 64;
-        let a = dna_sequence(n, 1);
-        let b = dna_sequence(n, 2);
-        let mut reference = Matrix::zeros(n);
-        run_serial(&SwSpec::new(reference.ptr(), &a, &b, 4));
-        for r in [4u32, 8, 16] {
-            let mut m = Matrix::zeros(n);
-            let spec = SwSpec::new(m.ptr(), &a, &b, 4).with_decomposition(Decomposition::new(r));
-            run_serial(&spec);
-            assert!(m.bitwise_eq(&reference), "r={r}");
-        }
-    }
-
-    #[test]
-    fn wavefront_reads_point_north_west() {
+    fn wavefront_reads_match_sw() {
         let mut t = Matrix::zeros(32);
         let a = dna_sequence(32, 1);
         let b = dna_sequence(32, 2);
-        let spec = SwSpec::new(t.ptr(), &a, &b, 8);
+        let spec = LcsSpec::new(t.ptr(), &a, &b, 8);
         assert_eq!(spec.reads((0, 0, 0)), vec![]);
         assert_eq!(spec.reads((2, 3, 0)), vec![(1, 3, 0), (2, 2, 0), (1, 2, 0)]);
         assert_eq!(spec.manual_calls().len(), 16);
+    }
+
+    #[test]
+    fn wider_decompositions_are_bitwise_identical_to_binary() {
+        use crate::engine::run_serial;
+        let n = 64;
+        let a = dna_sequence(n, 5);
+        let b = dna_sequence(n, 6);
+        let mut reference = Matrix::zeros(n);
+        run_serial(&LcsSpec::new(reference.ptr(), &a, &b, 4));
+        for r in [4u32, 8, 16] {
+            let mut m = Matrix::zeros(n);
+            let spec = LcsSpec::new(m.ptr(), &a, &b, 4).with_decomposition(Decomposition::new(r));
+            run_serial(&spec);
+            assert!(m.bitwise_eq(&reference), "r={r}");
+        }
     }
 }

@@ -25,11 +25,19 @@
 //! oracle by the test suites).
 //!
 //! Benchmarks: [`ge`] (Gaussian elimination), [`sw`] (Smith-Waterman),
-//! [`fw`] (Floyd-Warshall APSP) from the paper, and [`paren`]
+//! [`fw`] (Floyd-Warshall APSP) from the paper, plus [`paren`]
 //! (matrix-chain parenthesization) from Tang et al.'s
-//! non-O(1)-dependency R-DP family — added to demonstrate that a new
+//! non-O(1)-dependency R-DP family and [`lcs`] (longest common
+//! subsequence with traceback) — added to demonstrate that a new
 //! benchmark needs only a `DpSpec` impl plus a loops oracle to get all
 //! four parallel models for free.
+//!
+//! Every spec also carries a [`spec::Decomposition`] width `r`
+//! (default 2): `expand` generalises the A/B/C/D quadrant stages to
+//! `r x r` sub-block stages with `r` diagonal rounds, shrinking
+//! recursion depth and fork-join join count while keeping all engines
+//! bitwise identical (stage grouping never changes the per-cell FP
+//! sequence).
 //!
 //! ## Numerical convention for GE
 //!
@@ -47,6 +55,7 @@
 pub mod engine;
 pub mod fw;
 pub mod ge;
+pub mod lcs;
 pub mod paren;
 pub mod simd;
 pub mod spec;
@@ -55,7 +64,7 @@ pub mod table;
 pub mod tune;
 pub mod workloads;
 
-pub use spec::{Call, DpSpec, Tag, TileKey};
+pub use spec::{Call, Decomposition, DpSpec, Tag, TileKey};
 pub use table::{Matrix, TablePtr};
 pub use tune::{tune, tuned_base, TileCandidate, TuneKernel, TuneOptions, TuneReport};
 

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use crate::spec::{Call, DpSpec, TileKey};
+use crate::spec::{Call, Decomposition, DpSpec, TileKey};
 use crate::table::TablePtr;
 
 use super::base_kernel;
@@ -33,6 +33,7 @@ pub struct ParenSpec {
     dims: Arc<Vec<f64>>,
     m: usize,
     t_tiles: u32,
+    decomp: Decomposition,
 }
 
 impl ParenSpec {
@@ -46,7 +47,14 @@ impl ParenSpec {
             dims: Arc::new(dims.to_vec()),
             m,
             t_tiles,
+            decomp: Decomposition::BINARY,
         }
+    }
+
+    /// The same spec with decomposition width `r` (default 2-way).
+    pub fn with_decomposition(mut self, decomp: Decomposition) -> Self {
+        self.decomp = decomp;
+        self
     }
 }
 
@@ -75,29 +83,49 @@ impl DpSpec for ParenSpec {
         let Call {
             func, i0, j0, s, ..
         } = *call;
-        let h = s / 2;
+        let rr = self.decomp.radix(s);
+        let step = s / rr;
         match func {
-            A => vec![
-                // The two half triangles share no cells and read
-                // nothing from each other.
-                vec![
-                    Call::new(A, i0, i0, 0, h),
-                    Call::new(A, i0 + h, i0 + h, 0, h),
-                ],
-                // The bridging square reads both finished triangles.
-                vec![Call::new(B, i0, i0 + h, 0, h)],
-            ],
-            _ => vec![
-                // X21: bottom-left quadrant, no reads inside this block.
-                vec![Call::new(B, i0 + h, j0, 0, h)],
-                // X11 and X22 each read only X21 within the block.
-                vec![
-                    Call::new(B, i0, j0, 0, h),
-                    Call::new(B, i0 + h, j0 + h, 0, h),
-                ],
-                // X12 reads X11 (row segments) and X22 (col segments).
-                vec![Call::new(B, i0, j0 + h, 0, h)],
-            ],
+            A => {
+                let at = |p: u32| i0 + p * step;
+                // The r diagonal sub-triangles share no cells and read
+                // nothing from each other; then the bridging squares by
+                // ascending block gap g — a gap-g square reads only
+                // squares of gap < g (row/column segments) and the
+                // finished triangles.
+                let mut stages = Vec::with_capacity(rr as usize);
+                stages.push(
+                    (0..rr)
+                        .map(|p| Call::new(A, at(p), at(p), 0, step))
+                        .collect(),
+                );
+                for g in 1..rr {
+                    stages.push(
+                        (0..rr - g)
+                            .map(|p| Call::new(B, at(p), at(p + g), 0, step))
+                            .collect(),
+                    );
+                }
+                stages
+            }
+            _ => {
+                // Square block: sub-block (a, b) reads (a, b' < b) via
+                // row segments and (a' > a, b) via column segments, so
+                // anti-diagonal stages indexed dg = b + (rr-1-a) (the
+                // bottom-left corner first) sequence every within-block
+                // dependency. At r = 2 this is `X21; (X11, X22); X12`.
+                (0..2 * rr - 1)
+                    .map(|dg| {
+                        (0..rr)
+                            .filter_map(|a| {
+                                let b = (dg + a).checked_sub(rr - 1)?;
+                                (b < rr)
+                                    .then(|| Call::new(B, i0 + a * step, j0 + b * step, 0, step))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -186,6 +214,45 @@ mod tests {
             for stage in spec.expand(&call) {
                 stack.extend(stage);
             }
+        }
+    }
+
+    #[test]
+    fn wider_decompositions_are_bitwise_identical_to_binary() {
+        use crate::engine::run_serial;
+        let n = 64;
+        let dims = chain_dims(n, 9);
+        let mut reference = Matrix::zeros(n);
+        run_serial(&ParenSpec::new(reference.ptr(), &dims, 4));
+        for r in [4u32, 8, 16] {
+            let mut m = Matrix::zeros(n);
+            let s = ParenSpec::new(m.ptr(), &dims, 4)
+                .with_decomposition(crate::spec::Decomposition::new(r));
+            run_serial(&s);
+            assert!(m.bitwise_eq(&reference), "r={r}");
+        }
+    }
+
+    #[test]
+    fn rway_expansion_covers_the_upper_triangle_once() {
+        let (_t, sp) = spec(64, 8);
+        for r in [2u32, 4, 8] {
+            let sp = sp
+                .clone()
+                .with_decomposition(crate::spec::Decomposition::new(r));
+            let mut seen = std::collections::HashMap::new();
+            let mut stack = vec![sp.root()];
+            while let Some(call) = stack.pop() {
+                if call.s == 1 {
+                    *seen.entry(sp.tile(&call)).or_insert(0u32) += 1;
+                } else {
+                    for stage in sp.expand(&call) {
+                        stack.extend(stage);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 36, "r={r}");
+            assert!(seen.values().all(|&c| c == 1), "r={r}");
         }
     }
 }

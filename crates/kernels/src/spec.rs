@@ -1,7 +1,8 @@
 //! The [`DpSpec`] abstraction: a recursive divide-and-conquer DP as a
 //! first-class *recurrence specification* — a tile-update kernel, its
-//! 2-way decomposition into the paper's A/B/C/D-style recursive
-//! functions, and the true data dependencies of every tile task.
+//! parametric r-way decomposition into the paper's A/B/C/D-style
+//! recursive functions, and the true data dependencies of every tile
+//! task.
 //!
 //! A benchmark implements this trait once; the three generic engines in
 //! [`crate::engine`] then run it under every execution model the paper
@@ -29,6 +30,98 @@
 //!   of the DP table must see the identical floating-point operation
 //!   sequence under any topological order of the tile graph; this is
 //!   what makes all engines bitwise-identical to the serial loop oracle.
+
+/// The decomposition width `r` of a recursive divide-and-conquer DP:
+/// every recursive call splits its region into an `r x r` grid of
+/// sub-blocks (the paper's 2-way A/B/C/D scheme is `r = 2`).
+///
+/// `r` must be a power of two `>= 2`. When a region is smaller than `r`
+/// tiles the effective radix clamps to the region side
+/// ([`Decomposition::radix`]), so any power-of-two `r` is well-defined
+/// on any power-of-two tile count; the *aligned* case — `t_tiles` a
+/// power of `r`, checked by [`Decomposition::aligned_to`] — is the one
+/// the `recdp-taskgraph` r-way model predicts exactly, and the one the
+/// server admits.
+///
+/// Wider decompositions shrink recursion depth from `log2 t` to
+/// `log_r t` and with it the fork-join join count — the paper's
+/// *artificial dependencies* (Fig. 3). `r = 2` is bit-identical to the
+/// historical fixed 2-way expansion: the generalized `expand` loops
+/// degenerate to the exact same stage lists, and the per-cell FP
+/// operation sequence never depends on `r` at all (only stage grouping
+/// does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decomposition(u32);
+
+impl Decomposition {
+    /// The classic 2-way (quadrant) decomposition — the default, and
+    /// the paper's Fig. 2 scheme.
+    pub const BINARY: Decomposition = Decomposition(2);
+
+    /// A decomposition of width `r`; panics unless `r` is a power of
+    /// two `>= 2`.
+    pub fn new(r: u32) -> Self {
+        assert!(
+            r >= 2 && r.is_power_of_two(),
+            "decomposition width must be a power of two >= 2, got {r}"
+        );
+        Decomposition(r)
+    }
+
+    /// The decomposition width `r`.
+    pub fn r(self) -> u32 {
+        self.0
+    }
+
+    /// The effective split radix for a region of side `s` tiles:
+    /// `min(r, s)`, so undersized regions still split evenly (both are
+    /// powers of two).
+    pub fn radix(self, s: u32) -> u32 {
+        self.0.min(s)
+    }
+
+    /// Whether `t_tiles` is a power of `r`, i.e. every recursion level
+    /// splits at the full width `r` with no clamped tail level.
+    pub fn aligned_to(self, t_tiles: u32) -> bool {
+        let mut t = t_tiles;
+        while t > 1 && t.is_multiple_of(self.0) {
+            t /= self.0;
+        }
+        t == 1
+    }
+}
+
+impl Default for Decomposition {
+    fn default() -> Self {
+        Decomposition::BINARY
+    }
+}
+
+/// The r-way wavefront expansion shared by the SW and LCS specs: split
+/// the square region into `radix x radix` sub-blocks and emit them in
+/// anti-diagonal stages (block `(p, q)` in stage `p + q`, `p`
+/// ascending within a stage). Block `(p, q)` reads only its north /
+/// west / north-west neighbours, all on earlier anti-diagonals, so
+/// calls within a stage are mutually independent. At `radix = 2` this
+/// is exactly the historical `X00; (X01, X10); X11` quadrant order.
+pub(crate) fn wavefront_expand(
+    func: usize,
+    i0: u32,
+    j0: u32,
+    s: u32,
+    radix: u32,
+) -> Vec<Vec<Call>> {
+    let step = s / radix;
+    (0..2 * radix - 1)
+        .map(|dg| {
+            let lo = dg.saturating_sub(radix - 1);
+            let hi = dg.min(radix - 1);
+            (lo..=hi)
+                .map(|p| Call::new(func, i0 + p * step, j0 + (dg - p) * step, 0, step))
+                .collect()
+        })
+        .collect()
+}
 
 /// A call to one of a spec's recursive functions, in **tile units**.
 ///
@@ -132,5 +225,68 @@ mod tests {
         let c = Call::new(2, 1, 4, 0, 8);
         let tag: Tag = c.into();
         assert_eq!(tag, (1, 4, 0, 8));
+    }
+
+    #[test]
+    fn decomposition_radix_clamps_to_region() {
+        let d = Decomposition::new(8);
+        assert_eq!(d.r(), 8);
+        assert_eq!(d.radix(64), 8);
+        assert_eq!(d.radix(8), 8);
+        assert_eq!(d.radix(4), 4);
+        assert_eq!(d.radix(1), 1);
+        assert_eq!(Decomposition::default(), Decomposition::BINARY);
+    }
+
+    #[test]
+    fn decomposition_alignment() {
+        assert!(Decomposition::new(4).aligned_to(64)); // 64 = 4^3
+        assert!(Decomposition::new(8).aligned_to(64)); // 64 = 8^2
+        assert!(!Decomposition::new(8).aligned_to(16)); // 16 != 8^k
+        assert!(Decomposition::BINARY.aligned_to(1));
+        assert!(!Decomposition::new(4).aligned_to(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn decomposition_rejects_non_power() {
+        Decomposition::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn decomposition_rejects_degenerate_one() {
+        Decomposition::new(1);
+    }
+
+    #[test]
+    fn wavefront_expand_binary_matches_quadrant_order() {
+        let stages = wavefront_expand(0, 4, 8, 2, 2);
+        assert_eq!(
+            stages,
+            vec![
+                vec![Call::new(0, 4, 8, 0, 1)],
+                vec![Call::new(0, 4, 9, 0, 1), Call::new(0, 5, 8, 0, 1)],
+                vec![Call::new(0, 5, 9, 0, 1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn wavefront_expand_covers_the_grid_once() {
+        for radix in [2u32, 4, 8] {
+            let stages = wavefront_expand(0, 0, 0, 8, radix);
+            assert_eq!(stages.len() as u32, 2 * radix - 1);
+            let step = 8 / radix;
+            let mut seen = std::collections::HashSet::new();
+            for (dg, stage) in stages.iter().enumerate() {
+                for c in stage {
+                    assert_eq!(c.s, step);
+                    assert_eq!((c.i0 + c.j0) / step, dg as u32);
+                    assert!(seen.insert((c.i0, c.j0)));
+                }
+            }
+            assert_eq!(seen.len() as u32, radix * radix);
+        }
     }
 }

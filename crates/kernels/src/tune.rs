@@ -57,6 +57,8 @@ pub enum TuneKernel {
     Sw,
     /// Matrix-chain parenthesization (row/column segment reads).
     Paren,
+    /// Longest common subsequence (same 2D stencil shape as SW).
+    Lcs,
 }
 
 impl TuneKernel {
@@ -67,6 +69,7 @@ impl TuneKernel {
             TuneKernel::Fw => "fw",
             TuneKernel::Sw => "sw",
             TuneKernel::Paren => "paren",
+            TuneKernel::Lcs => "lcs",
         }
     }
 
@@ -75,20 +78,20 @@ impl TuneKernel {
     fn tiles_resident(self) -> usize {
         match self {
             TuneKernel::Ge | TuneKernel::Fw | TuneKernel::Paren => 3,
-            TuneKernel::Sw => 1,
+            TuneKernel::Sw | TuneKernel::Lcs => 1,
         }
     }
 
     /// Work units of one `m x m` base case, for normalising scores. GE
     /// uses the paper's D-kernel assignment count; the min/add updates of
-    /// FW and the split sweeps of Paren are both `m^3`; SW is `m^2`.
-    /// Public so the bench layer normalises its per-tile timings with
-    /// the same unit the tuner scores in.
+    /// FW and the split sweeps of Paren are both `m^3`; SW and LCS are
+    /// `m^2`. Public so the bench layer normalises its per-tile timings
+    /// with the same unit the tuner scores in.
     pub fn work(self, m: usize) -> f64 {
         match self {
             TuneKernel::Ge => ge_base_case_assignments_max(m) as f64,
             TuneKernel::Fw | TuneKernel::Paren => (m as f64).powi(3),
-            TuneKernel::Sw => (m as f64).powi(2),
+            TuneKernel::Sw | TuneKernel::Lcs => (m as f64).powi(2),
         }
     }
 }
@@ -294,11 +297,11 @@ fn level_misses(kernel: TuneKernel, m: usize, level: &CacheLevel, line_doubles: 
                 ge_miss_upper_bound(m, line_doubles) as f64
             }
         }
-        TuneKernel::Sw => {
+        TuneKernel::Sw | TuneKernel::Lcs => {
             // One pass over the tile plus its boundary row/column; the
             // previous-row reuse fits any real cache, so overflow does
             // not change the count. The model is flat — calibration
-            // (scheduling overhead vs tile size) decides for SW.
+            // (scheduling overhead vs tile size) decides for SW/LCS.
             (mf * mf + 2.0 * mf) / l
         }
         TuneKernel::Paren => {
@@ -415,6 +418,18 @@ pub fn calibrate(kernel: TuneKernel, m: usize, budget: Duration) -> f64 {
                 reps += 1;
             }
         }
+        TuneKernel::Lcs => {
+            let a = workloads::dna_sequence(n, SEED);
+            let b = workloads::dna_sequence(n, SEED + 1);
+            let mut t = Matrix::zeros(n);
+            let p = t.ptr();
+            while reps == 0 || (total < budget && reps < MAX_REPS) {
+                let t0 = Instant::now();
+                unsafe { crate::lcs::base_kernel(p, &a, &b, m, m, m) };
+                total += t0.elapsed();
+                reps += 1;
+            }
+        }
     }
     total.as_secs_f64() * 1e9 / (reps as f64 * kernel.work(m))
 }
@@ -458,6 +473,7 @@ mod tests {
             TuneKernel::Fw,
             TuneKernel::Sw,
             TuneKernel::Paren,
+            TuneKernel::Lcs,
         ] {
             let r = tune(k, 64, &g, &quick_opts());
             assert!(

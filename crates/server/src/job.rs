@@ -51,6 +51,15 @@ pub enum JobPayload {
         n: usize,
         /// Base-case tile side (power of two, `<= n`).
         base: usize,
+        /// Requested decomposition width `r` (the spec recurses into
+        /// `r x r` sub-blocks per level). Carried as a raw integer so a
+        /// bad width is a structured refusal at submit instead of a
+        /// constructor panic; [`JobSpec::validate`] enforces that `r`
+        /// is a power of two >= 2 and that the tile grid `t = n/base`
+        /// is a power of `r` (the kernels would silently clamp a
+        /// misaligned width — the server refuses it instead, so a
+        /// tenant never gets a narrower decomposition than requested).
+        decomposition: u32,
     },
     /// Many small Smith-Waterman alignments over caller-supplied
     /// sequences, all under the data-flow engine.
@@ -112,12 +121,35 @@ impl JobSpec {
                 execution,
                 n,
                 base,
+                decomposition: 2,
             },
             deadline: None,
             retry: RetryPolicy::default(),
             injector: None,
             work_estimate: None,
         }
+    }
+
+    /// Like [`JobSpec::benchmark`] with an explicit decomposition
+    /// width `r`. The width only reshapes the schedule — results are
+    /// bitwise identical for every admissible `r` — so r-way jobs
+    /// digest-match their binary counterparts.
+    pub fn benchmark_rway(
+        tenant: impl Into<String>,
+        benchmark: Benchmark,
+        execution: Execution,
+        n: usize,
+        base: usize,
+        decomposition: u32,
+    ) -> Self {
+        let mut spec = Self::benchmark(tenant, benchmark, execution, n, base);
+        if let JobPayload::Benchmark {
+            decomposition: r, ..
+        } = &mut spec.payload
+        {
+            *r = decomposition;
+        }
+        spec
     }
 
     /// Like [`JobSpec::benchmark`] with the base-case size left to the
@@ -208,7 +240,31 @@ impl JobSpec {
             Ok(())
         }
         match &self.payload {
-            JobPayload::Benchmark { n, base, .. } => table(*n, *base),
+            JobPayload::Benchmark {
+                n,
+                base,
+                decomposition,
+                ..
+            } => {
+                table(*n, *base)?;
+                let r = *decomposition;
+                if r < 2 || !r.is_power_of_two() {
+                    return Err(SpecViolation::NonPowerOfTwoDecomposition { r });
+                }
+                // With AUTO_BASE the tile grid is only known at
+                // dispatch, where the tuner clamps the base so the root
+                // split stays r-wide; explicit bases are checked here.
+                if *base != AUTO_BASE {
+                    let tiles = n / base;
+                    if (r as usize) > tiles {
+                        return Err(SpecViolation::DecompositionExceedsTiles { r, tiles });
+                    }
+                    if !recdp_taskgraph::rway::is_power_of(tiles, r as usize) {
+                        return Err(SpecViolation::DecompositionMisaligned { r, tiles });
+                    }
+                }
+                Ok(())
+            }
             JobPayload::SwBatch { queries, .. } => {
                 for q in queries {
                     table(q.n, q.base)?;
@@ -295,6 +351,28 @@ pub enum SpecViolation {
         /// The table side the sequences must cover.
         n: usize,
     },
+    /// Decomposition width is not a power of two `>= 2`.
+    NonPowerOfTwoDecomposition {
+        /// The offending width.
+        r: u32,
+    },
+    /// Decomposition width exceeds the tile grid (`r * base > n`): the
+    /// root region cannot split `r` ways.
+    DecompositionExceedsTiles {
+        /// The offending width.
+        r: u32,
+        /// Tiles per side (`n / base`).
+        tiles: usize,
+    },
+    /// The tile grid is not a power of the decomposition width, so the
+    /// recursion could not stay uniformly `r`-wide (the kernels would
+    /// clamp; the server refuses instead).
+    DecompositionMisaligned {
+        /// The offending width.
+        r: u32,
+        /// Tiles per side (`n / base`).
+        tiles: usize,
+    },
 }
 
 impl std::fmt::Display for SpecViolation {
@@ -311,6 +389,21 @@ impl std::fmt::Display for SpecViolation {
             }
             SpecViolation::SequenceTooShort { len, n } => {
                 write!(f, "sequence of length {len} cannot cover an {n}x{n} table")
+            }
+            SpecViolation::NonPowerOfTwoDecomposition { r } => {
+                write!(f, "decomposition width {r} is not a power of two >= 2")
+            }
+            SpecViolation::DecompositionExceedsTiles { r, tiles } => {
+                write!(
+                    f,
+                    "decomposition width {r} exceeds the {tiles}-tile grid side"
+                )
+            }
+            SpecViolation::DecompositionMisaligned { r, tiles } => {
+                write!(
+                    f,
+                    "tile grid side {tiles} is not a power of decomposition width {r}"
+                )
             }
         }
     }

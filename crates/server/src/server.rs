@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use recdp::{prepare_job, prepare_sw_query, Execution, PreparedJob};
+use recdp::{prepare_job_with, prepare_sw_query, Execution, PreparedJob};
 use recdp_cnc::{CncError, CncGraph, GraphStats};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
 use recdp_trace::{panic_message, TraceSession, Tracer};
@@ -425,8 +425,16 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
             execution,
             n,
             base,
+            decomposition,
         } => {
-            let mut p = prepare_job(*benchmark, *n, *base);
+            // `validate` admitted the width at submit, so constructing
+            // the checked newtype here cannot panic.
+            let mut p = prepare_job_with(
+                *benchmark,
+                *n,
+                *base,
+                recdp_kernels::Decomposition::new(*decomposition),
+            );
             match execution {
                 Execution::SerialLoops => {
                     p.run_loops();

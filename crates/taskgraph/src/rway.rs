@@ -1,17 +1,35 @@
-//! Parametric r-way fork-join DAGs for GE.
+//! Parametric r-way fork-join DAGs and join-count predictors.
 //!
 //! The paper's introduction motivates *parametric r-way* recursive
 //! divide-and-conquer DP algorithms (r-way R-DP) as the
 //! performance-portable generalisation of the classic 2-way algorithms
-//! this paper studies. This module builds the fork-join DAG of the
-//! r-way GE recursion: each region splits into `r x r` sub-blocks and
-//! every level runs `r` sequential diagonal rounds with joins between
-//! the panel and trailing-update stages.
+//! this paper studies. This module builds the fork-join DAGs of the
+//! r-way GE, SW and FW recursions: each region splits into `r x r`
+//! sub-blocks and every level runs `r` sequential diagonal rounds (GE,
+//! FW) or `2r - 1` anti-diagonal wavefront stages (SW) with joins
+//! between stages.
 //!
-//! `r = 2` reproduces [`crate::forkjoin::ge`]'s structure exactly (same
-//! base tasks, same work); `r = t` degenerates to the barriered tiled
-//! loop (one A/BC/D stage triple per pivot step). Sweeping `r` exposes
-//! the span/overhead trade-off the parametric algorithms navigate.
+//! `r = 2` reproduces the [`crate::forkjoin`] builders' structure
+//! exactly (same base tasks, same work); `r = t` degenerates to the
+//! barriered tiled loop (one stage group per pivot step). Sweeping `r`
+//! exposes the span/overhead trade-off the parametric algorithms
+//! navigate.
+//!
+//! # Join-count predictors
+//!
+//! [`ge_join_count`], [`fw_join_count`] and [`sw_join_count`] predict
+//! the number of *forked stage barriers* the fork-join engine executes:
+//! one join per expansion stage that is actually forked (stage width
+//! above the grain), matching the `taskwait` of the paper's Listing 3.
+//! A stage at or below the grain runs serially inside the current task
+//! and costs no join; the binary splitting a work-stealing pool uses
+//! *inside* a forked stage is an implementation detail and is not
+//! counted. These closed recursions mirror the stage lists of the
+//! `recdp-kernels` r-way `expand` implementations term by term, so the
+//! engine's measured join count must equal them exactly — that
+//! cross-validation lives in the workspace-level `rway_model` test.
+
+use std::collections::HashMap;
 
 use crate::graph::{GraphBuilder, NodeId, TaskGraph, TaskKind};
 use crate::KernelFlops;
@@ -22,13 +40,23 @@ struct Block {
     exits: Vec<NodeId>,
 }
 
-struct RwayGe<'a> {
+/// Shared series-parallel builder state for the r-way recursions; the
+/// same seq/par algebra as [`crate::forkjoin`], plus the split width.
+struct Rw<'a> {
     b: GraphBuilder,
     flops: &'a KernelFlops,
     r: usize,
 }
 
-impl<'a> RwayGe<'a> {
+impl<'a> Rw<'a> {
+    fn new(r: usize, flops: &'a KernelFlops) -> Self {
+        Self {
+            b: GraphBuilder::new(),
+            flops,
+            r,
+        }
+    }
+
     fn leaf(&mut self, kind: TaskKind) -> Block {
         let id = self.b.add_node(kind, self.flops.weight(kind));
         Block {
@@ -77,14 +105,21 @@ impl<'a> RwayGe<'a> {
         }
         acc
     }
+}
 
-    /// `step` of the current level; regions are addressed in tile
-    /// offsets like the 2-way builders.
+// ---------------------------------------------------------------------
+// GE: r diagonal rounds of pivot / panels / trailing update.
+// ---------------------------------------------------------------------
+
+struct RwayGe<'a>(Rw<'a>);
+
+impl RwayGe<'_> {
+    /// Regions are addressed in tile offsets like the 2-way builders.
     fn a(&mut self, d: usize, s: usize) -> Block {
         if s == 1 {
-            return self.leaf(TaskKind::BaseA);
+            return self.0.leaf(TaskKind::BaseA);
         }
-        let r = self.r.min(s);
+        let r = self.0.r.min(s);
         let step = s / r;
         let mut rounds = Vec::with_capacity(3 * r);
         for q in 0..r {
@@ -96,7 +131,7 @@ impl<'a> RwayGe<'a> {
                 panels.push(self.cfun(d + p * step, kq, step));
             }
             if !panels.is_empty() {
-                let panels = self.par(panels);
+                let panels = self.0.par(panels);
                 rounds.push(panels);
             }
             let mut trailing = Vec::new();
@@ -106,24 +141,24 @@ impl<'a> RwayGe<'a> {
                 }
             }
             if !trailing.is_empty() {
-                let trailing = self.par(trailing);
+                let trailing = self.0.par(trailing);
                 rounds.push(trailing);
             }
         }
-        self.seq_chain(rounds)
+        self.0.seq_chain(rounds)
     }
 
     fn bfun(&mut self, k0: usize, j0: usize, s: usize) -> Block {
         if s == 1 {
-            return self.leaf(TaskKind::BaseB);
+            return self.0.leaf(TaskKind::BaseB);
         }
-        let r = self.r.min(s);
+        let r = self.0.r.min(s);
         let step = s / r;
         let mut rounds = Vec::new();
         for q in 0..r {
             let kq = k0 + q * step;
             let bs: Vec<Block> = (0..r).map(|p| self.bfun(kq, j0 + p * step, step)).collect();
-            let bs = self.par(bs);
+            let bs = self.0.par(bs);
             rounds.push(bs);
             let mut ds = Vec::new();
             for p in q + 1..r {
@@ -132,24 +167,24 @@ impl<'a> RwayGe<'a> {
                 }
             }
             if !ds.is_empty() {
-                let ds = self.par(ds);
+                let ds = self.0.par(ds);
                 rounds.push(ds);
             }
         }
-        self.seq_chain(rounds)
+        self.0.seq_chain(rounds)
     }
 
     fn cfun(&mut self, i0: usize, k0: usize, s: usize) -> Block {
         if s == 1 {
-            return self.leaf(TaskKind::BaseC);
+            return self.0.leaf(TaskKind::BaseC);
         }
-        let r = self.r.min(s);
+        let r = self.0.r.min(s);
         let step = s / r;
         let mut rounds = Vec::new();
         for q in 0..r {
             let kq = k0 + q * step;
             let cs: Vec<Block> = (0..r).map(|p| self.cfun(i0 + p * step, kq, step)).collect();
-            let cs = self.par(cs);
+            let cs = self.0.par(cs);
             rounds.push(cs);
             let mut ds = Vec::new();
             for p in 0..r {
@@ -158,11 +193,11 @@ impl<'a> RwayGe<'a> {
                 }
             }
             if !ds.is_empty() {
-                let ds = self.par(ds);
+                let ds = self.0.par(ds);
                 rounds.push(ds);
             }
         }
-        self.seq_chain(rounds)
+        self.0.seq_chain(rounds)
     }
 
     // The tile coordinates don't change the DAG shape, but keeping them
@@ -170,9 +205,9 @@ impl<'a> RwayGe<'a> {
     #[allow(clippy::only_used_in_recursion)]
     fn dfun(&mut self, i0: usize, j0: usize, k0: usize, s: usize) -> Block {
         if s == 1 {
-            return self.leaf(TaskKind::BaseD);
+            return self.0.leaf(TaskKind::BaseD);
         }
-        let r = self.r.min(s);
+        let r = self.0.r.min(s);
         let step = s / r;
         let mut rounds = Vec::new();
         for q in 0..r {
@@ -181,10 +216,10 @@ impl<'a> RwayGe<'a> {
                 .flat_map(|p| (0..r).map(move |p2| (p, p2)))
                 .map(|(p, p2)| self.dfun(i0 + p * step, j0 + p2 * step, kq, step))
                 .collect();
-            let ds = self.par(ds);
+            let ds = self.0.par(ds);
             rounds.push(ds);
         }
-        self.seq_chain(rounds)
+        self.0.seq_chain(rounds)
     }
 }
 
@@ -193,13 +228,155 @@ impl<'a> RwayGe<'a> {
 pub fn ge(t: usize, r: usize, flops: &KernelFlops) -> TaskGraph {
     assert!(r >= 2, "need at least a 2-way split");
     assert!(is_power_of(t, r), "t = {t} must be a power of r = {r}");
-    let mut builder = RwayGe {
-        b: GraphBuilder::new(),
-        flops,
-        r,
-    };
+    let mut builder = RwayGe(Rw::new(r, flops));
     let _ = builder.a(0, t);
-    builder.b.build()
+    builder.0.b.build()
+}
+
+// ---------------------------------------------------------------------
+// SW: 2r - 1 anti-diagonal wavefront stages per level; block (p, q)
+// sits on wavefront p + q. At r = 2 this is X00; (X01 || X10); X11.
+// ---------------------------------------------------------------------
+
+struct RwaySw<'a>(Rw<'a>);
+
+impl RwaySw<'_> {
+    fn s(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::Tile);
+        }
+        let r = self.0.r.min(s);
+        let step = s / r;
+        let mut stages = Vec::with_capacity(2 * r - 1);
+        for dg in 0..2 * r - 1 {
+            let lo = dg.saturating_sub(r - 1);
+            let hi = dg.min(r - 1);
+            let blocks: Vec<Block> = (lo..=hi).map(|_| self.s(step)).collect();
+            let wave = self.0.par(blocks);
+            stages.push(wave);
+        }
+        self.0.seq_chain(stages)
+    }
+}
+
+/// Fork-join DAG of r-way R-DP SW (and LCS, which shares the wavefront
+/// recursion) on `t` tiles per side. `t` must be a power of `r`.
+pub fn sw(t: usize, r: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(r >= 2, "need at least a 2-way split");
+    assert!(is_power_of(t, r), "t = {t} must be a power of r = {r}");
+    let mut builder = RwaySw(Rw::new(r, flops));
+    let _ = builder.s(t);
+    builder.0.b.build()
+}
+
+// ---------------------------------------------------------------------
+// FW-APSP: r diagonal rounds, but every off-pivot block is revisited
+// in every round (the generalisation of the already-eliminated-quadrant
+// tail of the 2-way recursion).
+// ---------------------------------------------------------------------
+
+struct RwayFw<'a>(Rw<'a>);
+
+impl RwayFw<'_> {
+    fn a(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseA);
+        }
+        let r = self.0.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::with_capacity(3 * r);
+        for _q in 0..r {
+            rounds.push(self.a(step));
+            // The r - 1 off-pivot row panels and r - 1 column panels
+            // share one stage; which blocks they cover doesn't change
+            // the DAG shape.
+            let mut panels = Vec::new();
+            for _ in 0..r - 1 {
+                panels.push(self.bfun(step));
+            }
+            for _ in 0..r - 1 {
+                panels.push(self.cfun(step));
+            }
+            if !panels.is_empty() {
+                let panels = self.0.par(panels);
+                rounds.push(panels);
+            }
+            let mut trailing = Vec::new();
+            for _ in 0..(r - 1) * (r - 1) {
+                trailing.push(self.dfun(step));
+            }
+            if !trailing.is_empty() {
+                let trailing = self.0.par(trailing);
+                rounds.push(trailing);
+            }
+        }
+        self.0.seq_chain(rounds)
+    }
+
+    fn bfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseB);
+        }
+        let r = self.0.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for _q in 0..r {
+            let bs: Vec<Block> = (0..r).map(|_| self.bfun(step)).collect();
+            let bs = self.0.par(bs);
+            rounds.push(bs);
+            let ds: Vec<Block> = (0..(r - 1) * r).map(|_| self.dfun(step)).collect();
+            if !ds.is_empty() {
+                let ds = self.0.par(ds);
+                rounds.push(ds);
+            }
+        }
+        self.0.seq_chain(rounds)
+    }
+
+    fn cfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseC);
+        }
+        let r = self.0.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for _q in 0..r {
+            let cs: Vec<Block> = (0..r).map(|_| self.cfun(step)).collect();
+            let cs = self.0.par(cs);
+            rounds.push(cs);
+            let ds: Vec<Block> = (0..r * (r - 1)).map(|_| self.dfun(step)).collect();
+            if !ds.is_empty() {
+                let ds = self.0.par(ds);
+                rounds.push(ds);
+            }
+        }
+        self.0.seq_chain(rounds)
+    }
+
+    fn dfun(&mut self, s: usize) -> Block {
+        if s == 1 {
+            return self.0.leaf(TaskKind::BaseD);
+        }
+        let r = self.0.r.min(s);
+        let step = s / r;
+        let mut rounds = Vec::new();
+        for _q in 0..r {
+            let ds: Vec<Block> = (0..r * r).map(|_| self.dfun(step)).collect();
+            let ds = self.0.par(ds);
+            rounds.push(ds);
+        }
+        self.0.seq_chain(rounds)
+    }
+}
+
+/// Fork-join DAG of r-way R-DP FW-APSP on `t` tiles per side. `t` must
+/// be a power of `r`.
+pub fn fw(t: usize, r: usize, flops: &KernelFlops) -> TaskGraph {
+    assert!(r >= 2, "need at least a 2-way split");
+    assert!(is_power_of(t, r), "t = {t} must be a power of r = {r}");
+    let mut builder = RwayFw(Rw::new(r, flops));
+    let _ = builder.a(t);
+    builder.0.b.build()
 }
 
 /// True if `t = r^k` for some integer `k >= 0`.
@@ -214,11 +391,169 @@ pub fn is_power_of(mut t: usize, r: usize) -> bool {
     t == 1
 }
 
+// ---------------------------------------------------------------------
+// Join-count predictors.
+//
+// One join per *forked stage*: a stage of width w > grain costs exactly
+// one barrier (the taskwait after its forked tasks), a stage of width
+// w <= grain runs serially inside the current task and costs none.
+// Width 1 stages therefore never join (grain >= 1). The recursions
+// below enumerate the stage widths of the r-way `expand`s level by
+// level; the effective radix clamps to min(r, s) exactly like the
+// kernels, so misaligned (t not a power of r) cases are predicted too.
+// ---------------------------------------------------------------------
+
+const FN_A: u8 = 0;
+const FN_B: u8 = 1;
+const FN_D: u8 = 3;
+
+#[inline]
+fn barrier(width: usize, grain: usize) -> u64 {
+    u64::from(width > grain)
+}
+
+type Memo = HashMap<(u8, usize), u64>;
+
+fn ge_joins(f: u8, s: usize, r: usize, grain: usize, memo: &mut Memo) -> u64 {
+    if s == 1 {
+        return 0;
+    }
+    if let Some(&v) = memo.get(&(f, s)) {
+        return v;
+    }
+    let rr = r.min(s);
+    let sub = s / rr;
+    let total: u64 = match f {
+        FN_A => (0..rr)
+            .map(|q| {
+                let off = rr - 1 - q; // blocks past the pivot
+                let mut j = barrier(1, grain) + ge_joins(FN_A, sub, r, grain, memo);
+                if off > 0 {
+                    // B and C share the panel stage and are symmetric.
+                    j += barrier(2 * off, grain)
+                        + 2 * off as u64 * ge_joins(FN_B, sub, r, grain, memo);
+                    j += barrier(off * off, grain)
+                        + (off * off) as u64 * ge_joins(FN_D, sub, r, grain, memo);
+                }
+                j
+            })
+            .sum(),
+        FN_B => (0..rr)
+            .map(|q| {
+                let off = rr - 1 - q;
+                let mut j = barrier(rr, grain) + rr as u64 * ge_joins(FN_B, sub, r, grain, memo);
+                if off > 0 {
+                    j += barrier(off * rr, grain)
+                        + (off * rr) as u64 * ge_joins(FN_D, sub, r, grain, memo);
+                }
+                j
+            })
+            .sum(),
+        FN_D => {
+            rr as u64
+                * (barrier(rr * rr, grain) + (rr * rr) as u64 * ge_joins(FN_D, sub, r, grain, memo))
+        }
+        _ => unreachable!(),
+    };
+    memo.insert((f, s), total);
+    total
+}
+
+/// Forked-stage join count of r-way fork-join GE on `t` tiles at the
+/// given fork grain (stages of at most `grain` calls run serially).
+pub fn ge_join_count(t: usize, r: usize, grain: usize) -> u64 {
+    assert!(r >= 2, "need at least a 2-way split");
+    let grain = grain.max(1);
+    ge_joins(FN_A, t, r, grain, &mut Memo::new())
+}
+
+fn fw_joins(f: u8, s: usize, r: usize, grain: usize, memo: &mut Memo) -> u64 {
+    if s == 1 {
+        return 0;
+    }
+    if let Some(&v) = memo.get(&(f, s)) {
+        return v;
+    }
+    let rr = r.min(s);
+    let sub = s / rr;
+    let off = rr - 1; // every round updates all off-pivot blocks
+    let total: u64 = match f {
+        FN_A => {
+            rr as u64
+                * (barrier(1, grain)
+                    + fw_joins(FN_A, sub, r, grain, memo)
+                    + if off > 0 {
+                        barrier(2 * off, grain)
+                            + 2 * off as u64 * fw_joins(FN_B, sub, r, grain, memo)
+                            + barrier(off * off, grain)
+                            + (off * off) as u64 * fw_joins(FN_D, sub, r, grain, memo)
+                    } else {
+                        0
+                    })
+        }
+        FN_B => {
+            rr as u64
+                * (barrier(rr, grain)
+                    + rr as u64 * fw_joins(FN_B, sub, r, grain, memo)
+                    + if off > 0 {
+                        barrier(off * rr, grain)
+                            + (off * rr) as u64 * fw_joins(FN_D, sub, r, grain, memo)
+                    } else {
+                        0
+                    })
+        }
+        FN_D => {
+            rr as u64
+                * (barrier(rr * rr, grain) + (rr * rr) as u64 * fw_joins(FN_D, sub, r, grain, memo))
+        }
+        _ => unreachable!(),
+    };
+    memo.insert((f, s), total);
+    total
+}
+
+/// Forked-stage join count of r-way fork-join FW-APSP on `t` tiles at
+/// the given fork grain. B and C are symmetric so only B is modelled.
+pub fn fw_join_count(t: usize, r: usize, grain: usize) -> u64 {
+    assert!(r >= 2, "need at least a 2-way split");
+    let grain = grain.max(1);
+    fw_joins(FN_A, t, r, grain, &mut Memo::new())
+}
+
+fn sw_joins(s: usize, r: usize, grain: usize, memo: &mut HashMap<usize, u64>) -> u64 {
+    if s == 1 {
+        return 0;
+    }
+    if let Some(&v) = memo.get(&s) {
+        return v;
+    }
+    let rr = r.min(s);
+    let sub = s / rr;
+    let total: u64 = (0..2 * rr - 1)
+        .map(|dg| {
+            let lo = dg.saturating_sub(rr - 1);
+            let hi = dg.min(rr - 1);
+            let width = hi - lo + 1;
+            barrier(width, grain) + width as u64 * sw_joins(sub, r, grain, memo)
+        })
+        .sum();
+    memo.insert(s, total);
+    total
+}
+
+/// Forked-stage join count of r-way fork-join SW (and LCS, which shares
+/// the wavefront recursion) on `t` tiles at the given fork grain.
+pub fn sw_join_count(t: usize, r: usize, grain: usize) -> u64 {
+    assert!(r >= 2, "need at least a 2-way split");
+    let grain = grain.max(1);
+    sw_joins(t, r, grain, &mut HashMap::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::analyze;
-    use crate::{dataflow, forkjoin, ge_kernel_flops};
+    use crate::{dataflow, forkjoin, fw_kernel_flops, ge_kernel_flops, sw_kernel_flops};
 
     #[test]
     fn power_check() {
@@ -243,6 +578,18 @@ mod tests {
     }
 
     #[test]
+    fn sw_and_fw_base_task_counts_match_their_grids() {
+        for (t, r) in [(8usize, 2usize), (16, 4), (8, 8)] {
+            assert_eq!(sw(t, r, &sw_kernel_flops(4)).num_compute_nodes(), t * t);
+            assert_eq!(
+                fw(t, r, &fw_kernel_flops(4)).num_compute_nodes(),
+                t * t * t,
+                "t={t} r={r}"
+            );
+        }
+    }
+
+    #[test]
     fn two_way_matches_dedicated_builder() {
         let f = ge_kernel_flops(16);
         let t = 8;
@@ -253,6 +600,22 @@ mod tests {
             (rway.span - twoway.span).abs() < 1e-9,
             "same recursion, same span"
         );
+    }
+
+    #[test]
+    fn two_way_sw_and_fw_match_dedicated_builders() {
+        let t = 8;
+        let fs = sw_kernel_flops(4);
+        let (a, b) = (analyze(&sw(t, 2, &fs)), analyze(&forkjoin::sw(t, &fs)));
+        assert!((a.work - b.work).abs() < 1e-9);
+        assert!((a.span - b.span).abs() < 1e-9, "same wavefront recursion");
+        let ff = fw_kernel_flops(4);
+        let (a, b) = (analyze(&fw(t, 2, &ff)), analyze(&forkjoin::fw(t, &ff)));
+        assert!((a.work - b.work).abs() < 1e-9);
+        // The dedicated 2-way FW builder interleaves the two pivot
+        // rounds as A;BC;D;A;BC;D exactly like the r-way generalisation
+        // at r = 2, so the spans agree too.
+        assert!((a.span - b.span).abs() < 1e-9, "same recursion, same span");
     }
 
     #[test]
@@ -271,6 +634,75 @@ mod tests {
         // But never below the true dependency span.
         let df = analyze(&dataflow::ge(t, &f)).span;
         assert!(s16 >= df - 1e-9);
+    }
+
+    #[test]
+    fn larger_r_shrinks_sw_and_fw_spans() {
+        let fs = sw_kernel_flops(1);
+        let t = 16;
+        let spans: Vec<f64> = [2usize, 4, 16]
+            .iter()
+            .map(|&r| analyze(&sw(t, r, &fs)).span)
+            .collect();
+        assert!(spans[1] <= spans[0] && spans[2] <= spans[1], "{spans:?}");
+        // At r = t the wavefront is the tiled loop: span = 2t - 1 tiles.
+        assert!((spans[2] / fs.tile - (2.0 * t as f64 - 1.0)).abs() < 1e-9);
+        let ff = fw_kernel_flops(1);
+        let f2 = analyze(&fw(t, 2, &ff)).span;
+        let f4 = analyze(&fw(t, 4, &ff)).span;
+        assert!(f4 <= f2, "4-way {f4} vs 2-way {f2}");
+    }
+
+    #[test]
+    fn join_counts_decrease_strictly_in_r_on_aligned_t() {
+        // t = 64 is a power of 2, 4 and 8 simultaneously, so all three
+        // widths recurse at full radix at every level.
+        let t = 64;
+        for counts in [
+            [2usize, 4, 8].map(|r| ge_join_count(t, r, 1)),
+            [2usize, 4, 8].map(|r| fw_join_count(t, r, 1)),
+        ] {
+            assert!(
+                counts[0] > counts[1] && counts[1] > counts[2],
+                "wider decompositions must join less: {counts:?}"
+            );
+        }
+        // SW is non-increasing but *ties* at r = 2 vs 4: each level has
+        // 2r - 3 forked wavefront stages over r^2 children, giving the
+        // closed form (2r - 3)(t^2 - 1)/(r^2 - 1), and (2*2 - 3)/3 =
+        // (2*4 - 3)/15 = 1/3 exactly.
+        let sw_counts = [2usize, 4, 8].map(|r| sw_join_count(t, r, 1));
+        assert_eq!(sw_counts[0], sw_counts[1], "{sw_counts:?}");
+        assert!(sw_counts[1] > sw_counts[2], "{sw_counts:?}");
+        for r in [2usize, 4, 8] {
+            let expect = ((2 * r - 3) * (t * t - 1) / (r * r - 1)) as u64;
+            assert_eq!(sw_join_count(t, r, 1), expect, "closed form at r={r}");
+        }
+    }
+
+    #[test]
+    fn ge_join_count_regression_values() {
+        // Hand-expanded from the stage recursions at t = 64, grain 1.
+        assert_eq!(ge_join_count(64, 2, 1), 27_591);
+        assert_eq!(ge_join_count(64, 4, 1), 6_885);
+        assert_eq!(ge_join_count(64, 8, 1), 2_077);
+    }
+
+    #[test]
+    fn small_cases_by_hand() {
+        // t = 2, r = 2, grain 1: A expands to [A], [B, C], [D], [A] —
+        // two stages of width 2 and 1 fork... the panel stage (w = 2)
+        // and nothing else exceeds the grain, and D(1) has no stages.
+        assert_eq!(ge_join_count(2, 2, 1), 1);
+        // SW t = 2: stages of widths 1, 2, 1 — one barrier.
+        assert_eq!(sw_join_count(2, 2, 1), 1);
+        // FW t = 2: per round, panel stage w = 2 and trailing w = 1;
+        // two rounds -> 2 barriers.
+        assert_eq!(fw_join_count(2, 2, 1), 2);
+        // A grain at least as wide as every stage means no forks at all.
+        assert_eq!(ge_join_count(64, 2, 64 * 64), 0);
+        assert_eq!(sw_join_count(64, 4, 64 * 64), 0);
+        assert_eq!(fw_join_count(64, 8, 64 * 64 * 64), 0);
     }
 
     #[test]

@@ -279,7 +279,7 @@ fn worker_kill_chaos_all_benchmarks_match_oracle() {
     // run past both kill times), under both recovery policies. The
     // supervisor requeues the dead worker's deque, so the table still
     // matches the fault-free serial loops bit for bit.
-    for bench in Benchmark::ALL4 {
+    for bench in Benchmark::EXTENDED {
         let oracle = recdp::run_benchmark(bench, recdp::Execution::SerialLoops, N, BASE, 1);
         for recovery in [RecoveryPolicy::Respawn, RecoveryPolicy::Degrade] {
             let plan = FaultPlan::new(0x51AB)

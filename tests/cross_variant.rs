@@ -3,8 +3,8 @@
 //! shapes, base sizes and worker counts.
 
 use proptest::prelude::*;
-use recdp_kernels::CncVariant;
-use recdp_suite::{run_benchmark, Benchmark, Execution};
+use recdp_kernels::{CncVariant, Decomposition};
+use recdp_suite::{run_benchmark, run_benchmark_with, Benchmark, Execution};
 
 const ALL_EXECUTIONS: [Execution; 5] = [
     Execution::SerialRdp,
@@ -16,7 +16,7 @@ const ALL_EXECUTIONS: [Execution; 5] = [
 
 #[test]
 fn all_models_agree_at_moderate_size() {
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, 128, 16, 4);
         for execution in ALL_EXECUTIONS {
             let out = run_benchmark(benchmark, execution, 128, 16, 4);
@@ -32,7 +32,7 @@ fn all_models_agree_at_moderate_size() {
 
 #[test]
 fn extreme_base_sizes() {
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         // base == n (single tile) and base == 1/2/4 (deep recursion).
         for (n, base) in [(64, 64), (64, 2), (32, 4)] {
             let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, 2);
@@ -59,22 +59,24 @@ proptest! {
         n_exp in 5usize..8,          // n in {32, 64, 128}
         base_exp in 2usize..5,       // base in {4, 8, 16}
         threads in 1usize..5,
-        bench_idx in 0usize..4,
+        bench_idx in 0usize..5,
+        r_exp in 1usize..4,        // decomposition width in {2, 4, 8}
     ) {
         let n = 1 << n_exp;
         let base = 1 << base_exp.min(n_exp);
-        let benchmark = Benchmark::ALL4[bench_idx];
+        let benchmark = Benchmark::EXTENDED[bench_idx];
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, base, threads);
+        let decomposition = Decomposition::new(1 << r_exp as u32);
         for execution in [
             Execution::ForkJoin,
             Execution::Cnc(CncVariant::Native),
             Execution::Cnc(CncVariant::Manual),
         ] {
-            let out = run_benchmark(benchmark, execution, n, base, threads);
+            let out = run_benchmark_with(benchmark, execution, n, base, threads, decomposition);
             prop_assert!(
                 out.table.bitwise_eq(&oracle.table),
-                "{} under {} at n={} base={} threads={}",
-                benchmark.name(), execution.label(), n, base, threads
+                "{} under {} at n={} base={} threads={} r={}",
+                benchmark.name(), execution.label(), n, base, threads, decomposition.r()
             );
         }
     }

@@ -3,12 +3,12 @@
 //! paper leans on for debuggability); our runtimes must honour it
 //! regardless of scheduling nondeterminism.
 
-use recdp_kernels::CncVariant;
-use recdp_suite::{run_benchmark, Benchmark, Execution};
+use recdp_kernels::{CncVariant, Decomposition};
+use recdp_suite::{run_benchmark, run_benchmark_with, Benchmark, Execution};
 
 #[test]
 fn cnc_output_independent_of_thread_count() {
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let reference = run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 8, 1);
         for threads in [2usize, 3, 4, 8] {
             let out = run_benchmark(
@@ -30,7 +30,7 @@ fn cnc_output_independent_of_thread_count() {
 
 #[test]
 fn forkjoin_output_independent_of_thread_count() {
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let reference = run_benchmark(benchmark, Execution::ForkJoin, 64, 8, 1);
         for threads in [2usize, 4, 8] {
             let out = run_benchmark(benchmark, Execution::ForkJoin, 64, 8, threads);
@@ -57,7 +57,7 @@ fn repeated_runs_are_stable() {
 
 #[test]
 fn variants_agree_with_each_other() {
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let native = run_benchmark(benchmark, Execution::Cnc(CncVariant::Native), 64, 16, 3);
         for variant in [CncVariant::Tuner, CncVariant::Manual] {
             let out = run_benchmark(benchmark, Execution::Cnc(variant), 64, 16, 3);
@@ -88,4 +88,30 @@ fn completed_base_tasks_match_theory() {
         4,
     );
     assert_eq!(out.cnc_stats.expect("cnc stats").items_put, 36);
+    // LCS shares SW's wavefront: 8^2 = 64 tiles.
+    let out = run_benchmark(Benchmark::Lcs, Execution::Cnc(CncVariant::Native), 64, 8, 4);
+    assert_eq!(out.cnc_stats.expect("cnc stats").items_put, 64);
+}
+
+#[test]
+fn output_independent_of_decomposition_width() {
+    // The decomposition reshapes the recursion tree (and with it the
+    // fork-join schedule), never the per-cell arithmetic: at every
+    // width the output must stay bitwise-identical to the r = 2 run,
+    // under both the fork-join and the data-flow engine.
+    for benchmark in Benchmark::EXTENDED {
+        for execution in [Execution::ForkJoin, Execution::Cnc(CncVariant::Native)] {
+            let reference =
+                run_benchmark_with(benchmark, execution, 64, 8, 3, Decomposition::BINARY);
+            for r in [4u32, 8] {
+                let out = run_benchmark_with(benchmark, execution, 64, 8, 3, Decomposition::new(r));
+                assert!(
+                    out.table.bitwise_eq(&reference.table),
+                    "{} r={r} {:?}",
+                    benchmark.name(),
+                    execution
+                );
+            }
+        }
+    }
 }

@@ -18,7 +18,7 @@ use recdp_cnc::{CncGraph, RetryPolicy};
 use recdp_faults::FaultPlan;
 use recdp_kernels::engine::run_cnc_on;
 use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
-use recdp_kernels::{fw, ge, paren, sw, CncVariant, DpSpec, Matrix};
+use recdp_kernels::{fw, ge, lcs, paren, sw, CncVariant, Decomposition, DpSpec, Matrix};
 use std::sync::Arc;
 
 const N: usize = 16;
@@ -144,6 +144,61 @@ fn paren_table_and_stats_invariant_across_schedules() {
         "PAREN",
         &|| Matrix::zeros(N),
         &|m| paren::ParenSpec::new(m.ptr(), &dims, BASE),
+        &|m| paren::paren_loops(m, &dims),
+    );
+}
+
+#[test]
+fn lcs_table_and_stats_invariant_across_schedules() {
+    let a = dna_sequence(N, SEED ^ 0x7C5);
+    let b = dna_sequence(N, SEED ^ 0x3A7);
+    invariant_across_schedules(
+        "LCS",
+        &|| Matrix::zeros(N),
+        &|m| lcs::LcsSpec::new(m.ptr(), &a, &b, BASE),
+        &|m| lcs::lcs_loops(m, &a, &b),
+    );
+}
+
+#[test]
+fn four_way_decomposition_invariant_across_schedules() {
+    // The r-way expansion only regroups the tag puts (the CnC engine
+    // flattens the stages eagerly), so at r = 4 — the widest aligned
+    // radix of the t = 4 tile grid — every benchmark must preserve both
+    // the oracle digest and the replay-stable counters on all >= 32
+    // explored schedules.
+    let d = Decomposition::new(4);
+    invariant_across_schedules(
+        "GE/r4",
+        &|| ge_matrix(N, SEED),
+        &|m| ge::GeSpec::new(m.ptr(), BASE).with_decomposition(d),
+        &|m| ge::ge_loops(m),
+    );
+    invariant_across_schedules(
+        "FW/r4",
+        &|| fw_matrix(N, SEED, 0.35),
+        &|m| fw::FwSpec::new(m.ptr(), BASE).with_decomposition(d),
+        &|m| fw::fw_loops(m),
+    );
+    let a = dna_sequence(N, SEED);
+    let b = dna_sequence(N, SEED ^ 0xFFFF);
+    invariant_across_schedules(
+        "SW/r4",
+        &|| Matrix::zeros(N),
+        &|m| sw::SwSpec::new(m.ptr(), &a, &b, BASE).with_decomposition(d),
+        &|m| sw::sw_loops(m, &a, &b),
+    );
+    invariant_across_schedules(
+        "LCS/r4",
+        &|| Matrix::zeros(N),
+        &|m| lcs::LcsSpec::new(m.ptr(), &a, &b, BASE).with_decomposition(d),
+        &|m| lcs::lcs_loops(m, &a, &b),
+    );
+    let dims = chain_dims(N, SEED);
+    invariant_across_schedules(
+        "PAREN/r4",
+        &|| Matrix::zeros(N),
+        &|m| paren::ParenSpec::new(m.ptr(), &dims, BASE).with_decomposition(d),
         &|m| paren::paren_loops(m, &dims),
     );
 }

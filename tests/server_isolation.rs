@@ -134,7 +134,7 @@ fn shared_pool_preserves_digests_for_every_variant() {
 #[test]
 fn mixed_engines_share_the_pool_without_crosstalk() {
     let server = server();
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, N, BASE, 1);
         for execution in [
             Execution::ForkJoin,

@@ -173,7 +173,7 @@ fn mid_run_cancel_returns_promptly_without_poisoning_the_pool() {
     );
     // The pool outlives the cancelled graph: every benchmark still
     // runs bit-exact on the same server.
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, N, BASE, 1);
         let served = server
             .submit(JobSpec::benchmark(

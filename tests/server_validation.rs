@@ -81,6 +81,73 @@ fn bad_geometry_is_refused_at_submit_and_pool_survives() {
 }
 
 #[test]
+fn bad_decomposition_widths_are_refused_at_submit_and_pool_survives() {
+    let server = server();
+    let fj = Execution::ForkJoin;
+
+    // r = 3: not a power of two — the kernels' `Decomposition::new`
+    // would panic on a runner thread; the server refuses at the door.
+    let v =
+        expect_invalid(server.submit(JobSpec::benchmark_rway("t", Benchmark::Ge, fj, 32, 8, 3)));
+    assert_eq!(v, SpecViolation::NonPowerOfTwoDecomposition { r: 3 });
+
+    // r = 1 degenerates to no split at all (infinite recursion).
+    let v =
+        expect_invalid(server.submit(JobSpec::benchmark_rway("t", Benchmark::Sw, fj, 32, 8, 1)));
+    assert_eq!(v, SpecViolation::NonPowerOfTwoDecomposition { r: 1 });
+
+    // r = 64 on a 4-tile grid: the root split cannot be 64-wide.
+    let v =
+        expect_invalid(server.submit(JobSpec::benchmark_rway("t", Benchmark::Fw, fj, 32, 8, 64)));
+    assert_eq!(
+        v,
+        SpecViolation::DecompositionExceedsTiles { r: 64, tiles: 4 }
+    );
+
+    // r = 4 on an 8-tile grid: 8 is not a power of 4, so one recursion
+    // level would clamp and the taskgraph model no longer applies; the
+    // server only admits the aligned case.
+    let v =
+        expect_invalid(server.submit(JobSpec::benchmark_rway("t", Benchmark::Lcs, fj, 32, 4, 4)));
+    assert_eq!(v, SpecViolation::DecompositionMisaligned { r: 4, tiles: 8 });
+
+    // Nothing was queued, every refusal was accounted, and the pool is
+    // fully alive: a valid r = 4 job runs and is bit-exact.
+    assert_eq!(server.queue_len(), 0);
+    assert_eq!(server.tenant_stats("t").unwrap().rejected, 4);
+    assert_eq!(server.alive_workers(), THREADS);
+    let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 2, 1);
+    let result = server
+        .submit(JobSpec::benchmark_rway("t", Benchmark::Ge, fj, 32, 2, 4))
+        .expect("an aligned width must be admitted after refusals")
+        .wait()
+        .expect("valid r-way job must run");
+    assert_eq!(result.digests, vec![oracle.table.bit_digest()]);
+    assert_eq!(server.tenant_stats("t").unwrap().completed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn auto_base_jobs_accept_any_power_of_two_width() {
+    // With AUTO_BASE the tile grid is unknown at submit time; the grid
+    // checks are deferred to dispatch, where `auto_base_with` clamps
+    // the tuned base so the root split stays genuinely r-wide.
+    let server = server();
+    let mut spec = JobSpec::benchmark_tuned("t", Benchmark::Ge, Execution::ForkJoin, 64);
+    if let recdp_server::JobPayload::Benchmark { decomposition, .. } = &mut spec.payload {
+        *decomposition = 8;
+    }
+    let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 64, 8, 1);
+    let result = server
+        .submit(spec)
+        .expect("AUTO_BASE with a power-of-two width is admissible")
+        .wait()
+        .expect("tuned r-way job must run");
+    assert_eq!(result.digests, vec![oracle.table.bit_digest()]);
+    server.shutdown();
+}
+
+#[test]
 fn zero_n_is_invalid_but_auto_base_is_not() {
     let server = server();
     // n = 0 is caught as a size violation (0 is not a power of two)...
@@ -109,7 +176,7 @@ fn zero_n_is_invalid_but_auto_base_is_not() {
 fn tuned_jobs_digest_match_explicit_base_runs() {
     let server = server();
     let n = 32;
-    for benchmark in Benchmark::ALL4 {
+    for benchmark in Benchmark::EXTENDED {
         let oracle = run_benchmark(benchmark, Execution::SerialLoops, n, 8, 1);
         let tuned = server
             .submit(JobSpec::benchmark_tuned(
