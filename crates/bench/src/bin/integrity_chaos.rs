@@ -1,0 +1,58 @@
+//! The silent-corruption chaos study: every extended benchmark under
+//! fork-join and data-flow with seeded bit-flip injection, sweeping
+//! the verification sampling rate (detection) and the corruption rate
+//! (repair overhead), then rewriting `results/integrity.csv`.
+//!
+//! Usage: `integrity_chaos`
+
+use recdp_bench::integrity::{integrity_csv, integrity_rows, BASE, DETECT_RATE, N, THREADS};
+use recdp_bench::write_results;
+
+fn main() {
+    println!(
+        "# integrity chaos (n = {N}, base = {BASE}, threads = {THREADS}, \
+         detect corruption rate = {DETECT_RATE})"
+    );
+    println!(
+        "{:>8} {:>8} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>10}",
+        "section",
+        "bench",
+        "runtime",
+        "sample",
+        "corrupt",
+        "verified",
+        "detected",
+        "healed",
+        "bad_puts",
+        "rate",
+        "match",
+        "overhead"
+    );
+    let rows = integrity_rows();
+    for row in &rows {
+        println!(
+            "{:>8} {:>8} {:>9} {:>7.2} {:>7.2} {:>9} {:>9} {:>9} {:>9} {:>7.4} {:>6} {:>9.3}x",
+            row.section,
+            row.benchmark,
+            row.runtime,
+            row.sample_rate,
+            row.corruption_rate,
+            row.tiles_verified,
+            row.corruptions_detected,
+            row.tiles_recomputed,
+            row.put_corruptions_detected,
+            row.detection_rate,
+            row.digest_match as u8,
+            row.overhead,
+        );
+        assert!(
+            row.sample_rate < 1.0 || row.digest_match,
+            "{} {} {}: Full verification must heal to the oracle",
+            row.section,
+            row.benchmark,
+            row.runtime
+        );
+    }
+    let path = write_results("integrity.csv", &integrity_csv(&rows));
+    println!("wrote {}", path.display());
+}

@@ -1479,3 +1479,258 @@ pub mod rway_sweep {
         csv
     }
 }
+
+/// EXTRA-INTEGRITY: the silent-corruption chaos study behind
+/// `results/integrity.csv`.
+///
+/// Every extended benchmark runs under both parallel runtimes
+/// (fork-join and data-flow) with a seeded [`recdp_faults::FaultPlan`]
+/// flipping bits in freshly written tiles (and, on the data-flow
+/// runtime, mangling item payloads). Two sections:
+///
+/// * **detect** — at a fixed corruption rate, sweep the verification
+///   sampling rate from `Sample(0.0)` (inject but never check — the
+///   silent-corruption baseline) up to `Full`. Detection counts are
+///   seeded rolls over the tile grid, so they are schedule-independent
+///   exact columns; the detection rate must be monotone in the
+///   sampling rate and reach 1.0 at `Full`, where the healed table is
+///   bitwise-identical to the serial loops oracle.
+/// * **repair** — at `Full` verification, sweep the corruption rate
+///   and record the self-healing work (tiles recomputed from their
+///   pre-image) plus the checked run's wall-clock overhead over an
+///   unchecked run of the same runtime. Only the `seconds`/`overhead`
+///   columns are timing-dependent; everything else is exact.
+pub mod integrity {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use recdp::{prepare_job, run_benchmark, Benchmark, Execution};
+    use recdp_cnc::{CncGraph, FaultInjector};
+    use recdp_faults::FaultPlan;
+    use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
+    use recdp_kernels::{CncVariant, IntegrityConfig, IntegrityMode, IntegrityReport};
+
+    /// Problem size (test-sized: the golden regenerates inside the
+    /// goldens test).
+    pub const N: usize = 64;
+    /// Base-case tile size.
+    pub const BASE: usize = 16;
+    /// Fault-plan and sampling seed — replaying it reproduces every
+    /// count column bit-for-bit.
+    pub const SEED: u64 = 0xBADC0DE;
+    /// Worker threads for both runtimes.
+    pub const THREADS: usize = 4;
+    /// Cell-corruption rate of the detection sweep.
+    pub const DETECT_RATE: f64 = 0.25;
+    /// Sampling rates swept by the detection section (1.0 runs `Full`).
+    pub const SAMPLE_RATES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+    /// Corruption rates swept by the repair-overhead section.
+    pub const REPAIR_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.25];
+    /// Repair budget. Injection rerolls per attempt, so a corrupted
+    /// tile escalates with probability `rate^(attempts + 1)` — at the
+    /// rates above, 16 attempts make escalation numerically impossible
+    /// while keeping the repair loop honest.
+    pub const REPAIR_ATTEMPTS: u32 = 16;
+
+    /// One chaos-study row.
+    #[derive(Debug, Clone)]
+    pub struct IntegrityRow {
+        /// `detect` or `repair`.
+        pub section: &'static str,
+        /// Benchmark label (GE / SW / FW / PAREN / LCS).
+        pub benchmark: &'static str,
+        /// `forkjoin` or `cnc`.
+        pub runtime: &'static str,
+        /// Verification sampling rate (1.0 means `Full`).
+        pub sample_rate: f64,
+        /// Cell (and, on `cnc`, put) corruption rate.
+        pub corruption_rate: f64,
+        /// Tiles whose output digest was checked.
+        pub tiles_verified: u64,
+        /// Cell corruptions the digest check caught (including
+        /// re-corrupted repair attempts).
+        pub corruptions_detected: u64,
+        /// Corrupted tiles healed by recompute-from-pre-image.
+        pub tiles_recomputed: u64,
+        /// Mangled item payloads caught by consumers (always 0 on
+        /// fork-join, which has no puts).
+        pub put_corruptions_detected: u64,
+        /// Detections at this sampling rate over detections at `Full`
+        /// (same benchmark, runtime and corruption rate).
+        pub detection_rate: f64,
+        /// Whether the final table is bitwise-identical to the serial
+        /// loops oracle.
+        pub digest_match: bool,
+        /// Checked-run wall time (timing column — not golden-exact).
+        pub seconds: f64,
+        /// `seconds` over an unchecked run of the same runtime (timing
+        /// column — not golden-exact).
+        pub overhead: f64,
+    }
+
+    struct ChaosRun {
+        report: IntegrityReport,
+        digest: u64,
+        seconds: f64,
+    }
+
+    fn injector(runtime: &str, rate: f64) -> Arc<dyn FaultInjector> {
+        let plan = FaultPlan::new(SEED).corrupt_cells(rate);
+        if runtime == "cnc" {
+            Arc::new(plan.corrupt_puts(rate))
+        } else {
+            Arc::new(plan)
+        }
+    }
+
+    fn run_checked(
+        benchmark: Benchmark,
+        runtime: &str,
+        pool: &ThreadPool,
+        mode: IntegrityMode,
+        rate: f64,
+    ) -> ChaosRun {
+        let p = prepare_job(benchmark, N, BASE);
+        let cfg = IntegrityConfig::new(mode)
+            .with_injector(injector(runtime, rate))
+            .with_seed(SEED)
+            .with_max_repair_attempts(REPAIR_ATTEMPTS);
+        let start = Instant::now();
+        let report = match runtime {
+            "forkjoin" => p.run_forkjoin_checked(pool, cfg),
+            "cnc" => {
+                let graph = CncGraph::with_threads(THREADS);
+                let (_, report) = p
+                    .run_cnc_checked_on(CncVariant::Native, &graph, cfg)
+                    .expect("chaos cnc run");
+                report
+            }
+            other => panic!("unknown runtime {other:?}"),
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        ChaosRun {
+            report,
+            digest: p.into_table().bit_digest(),
+            seconds,
+        }
+    }
+
+    /// Unchecked wall time of the same job on the same runtime — the
+    /// overhead denominator.
+    fn run_unchecked(benchmark: Benchmark, runtime: &str, pool: &ThreadPool) -> f64 {
+        let p = prepare_job(benchmark, N, BASE);
+        let start = Instant::now();
+        match runtime {
+            "forkjoin" => p.run_forkjoin(pool),
+            "cnc" => {
+                let graph = CncGraph::with_threads(THREADS);
+                p.run_cnc_on(CncVariant::Native, &graph)
+                    .expect("clean cnc run");
+            }
+            other => panic!("unknown runtime {other:?}"),
+        }
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Runs the whole chaos study (both sections, every benchmark,
+    /// both runtimes).
+    pub fn integrity_rows() -> Vec<IntegrityRow> {
+        let pool = ThreadPoolBuilder::new().num_threads(THREADS).build();
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::EXTENDED {
+            let oracle = run_benchmark(benchmark, Execution::SerialLoops, N, BASE, 1)
+                .table
+                .bit_digest();
+            for runtime in ["forkjoin", "cnc"] {
+                let baseline = run_unchecked(benchmark, runtime, &pool).max(1e-9);
+                // Full-mode detections are the detection-rate
+                // denominator: sampled sets nest by rate (one roll per
+                // tile) and repair rolls are keyed per (tile, attempt),
+                // so every partial-sampling count is a subset of this.
+                let full = run_checked(benchmark, runtime, &pool, IntegrityMode::Full, DETECT_RATE);
+                for &sample_rate in &SAMPLE_RATES {
+                    let run = if sample_rate >= 1.0 {
+                        run_checked(benchmark, runtime, &pool, IntegrityMode::Full, DETECT_RATE)
+                    } else {
+                        run_checked(
+                            benchmark,
+                            runtime,
+                            &pool,
+                            IntegrityMode::Sample(sample_rate),
+                            DETECT_RATE,
+                        )
+                    };
+                    rows.push(IntegrityRow {
+                        section: "detect",
+                        benchmark: benchmark.name(),
+                        runtime,
+                        sample_rate,
+                        corruption_rate: DETECT_RATE,
+                        tiles_verified: run.report.tiles_verified,
+                        corruptions_detected: run.report.corruptions_detected,
+                        tiles_recomputed: run.report.tiles_recomputed,
+                        put_corruptions_detected: run.report.put_corruptions_detected,
+                        detection_rate: run.report.corruptions_detected as f64
+                            / full.report.corruptions_detected.max(1) as f64,
+                        digest_match: run.digest == oracle,
+                        seconds: run.seconds,
+                        overhead: run.seconds / baseline,
+                    });
+                }
+                for &corruption_rate in &REPAIR_RATES {
+                    let run = run_checked(
+                        benchmark,
+                        runtime,
+                        &pool,
+                        IntegrityMode::Full,
+                        corruption_rate,
+                    );
+                    rows.push(IntegrityRow {
+                        section: "repair",
+                        benchmark: benchmark.name(),
+                        runtime,
+                        sample_rate: 1.0,
+                        corruption_rate,
+                        tiles_verified: run.report.tiles_verified,
+                        corruptions_detected: run.report.corruptions_detected,
+                        tiles_recomputed: run.report.tiles_recomputed,
+                        put_corruptions_detected: run.report.put_corruptions_detected,
+                        detection_rate: 1.0,
+                        digest_match: run.digest == oracle,
+                        seconds: run.seconds,
+                        overhead: run.seconds / baseline,
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Renders rows in the committed `results/integrity.csv` layout.
+    pub fn integrity_csv(rows: &[IntegrityRow]) -> String {
+        let mut csv = String::from(
+            "section,benchmark,runtime,sample_rate,corruption_rate,tiles_verified,\
+             corruptions_detected,tiles_recomputed,put_corruptions_detected,\
+             detection_rate,digest_match,seconds,overhead\n",
+        );
+        for row in rows {
+            csv.push_str(&format!(
+                "{},{},{},{:.2},{:.2},{},{},{},{},{:.4},{},{:.6},{:.3}\n",
+                row.section,
+                row.benchmark,
+                row.runtime,
+                row.sample_rate,
+                row.corruption_rate,
+                row.tiles_verified,
+                row.corruptions_detected,
+                row.tiles_recomputed,
+                row.put_corruptions_detected,
+                row.detection_rate,
+                row.digest_match as u8,
+                row.seconds,
+                row.overhead,
+            ));
+        }
+        csv
+    }
+}

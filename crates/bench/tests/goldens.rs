@@ -373,3 +373,97 @@ fn rway_sweep_matches_committed_shape_and_exact_joins() {
         );
     }
 }
+
+/// `integrity.csv` mixes exact and timing columns. The regeneration
+/// must reproduce every count column verbatim — the injection,
+/// sampling and repair rolls are all seeded per tile, so detections,
+/// recomputes and digest matches are schedule-independent — while the
+/// `seconds`/`overhead` columns only need to parse non-negative. The
+/// acceptance claims are then asserted on the committed cells:
+/// detection is monotone in the sampling rate, reaches 100% at `Full`
+/// (where the healed table always matches the serial loops oracle),
+/// and every benchmark actually suffered corruption under both
+/// runtimes.
+#[test]
+fn integrity_matches_committed_counts_and_claims() {
+    use recdp_bench::integrity::{integrity_csv, integrity_rows};
+    use std::collections::HashMap;
+
+    let committed = read_golden("integrity.csv");
+    let regenerated = integrity_csv(&integrity_rows());
+    let c_lines: Vec<&str> = committed.trim_end().lines().collect();
+    let r_lines: Vec<&str> = regenerated.trim_end().lines().collect();
+    assert_eq!(c_lines.len(), r_lines.len(), "row count changed");
+    assert_eq!(c_lines[0], r_lines[0], "header changed");
+
+    for (row, (c, r)) in c_lines.iter().zip(&r_lines).enumerate().skip(1) {
+        let c_cells: Vec<&str> = c.split(',').collect();
+        let r_cells: Vec<&str> = r.split(',').collect();
+        assert_eq!(c_cells.len(), 13, "committed row {row} column count");
+        assert_eq!(r_cells.len(), 13, "regenerated row {row} column count");
+        // Everything up to digest_match is an exact seeded count.
+        assert_eq!(
+            &c_cells[..11],
+            &r_cells[..11],
+            "row {row}: count columns changed"
+        );
+        for cells in [&c_cells, &r_cells] {
+            for col in [11usize, 12] {
+                let v: f64 = cells[col]
+                    .parse()
+                    .unwrap_or_else(|e| panic!("row {row} col {col}: {:?}: {e}", cells[col]));
+                assert!(v >= 0.0, "row {row} col {col}: negative");
+            }
+        }
+    }
+
+    // Acceptance claims, checked on the committed CSV's cells.
+    // (sample_rate, corruptions_detected, detection_rate, digest_match)
+    type DetectPoint = (f64, u64, f64, u64);
+    let mut detect_by_combo: HashMap<(String, String), Vec<DetectPoint>> = HashMap::new();
+    for line in c_lines.iter().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let sample: f64 = cells[3].parse().unwrap();
+        let detected: u64 = cells[6].parse().unwrap();
+        let healed: u64 = cells[7].parse().unwrap();
+        let rate: f64 = cells[9].parse().unwrap();
+        let digest_match: u64 = cells[10].parse().unwrap();
+        assert!(
+            cells[2] != "forkjoin" || cells[8] == "0",
+            "{line}: fork-join has no puts to corrupt"
+        );
+        assert_eq!(
+            detected, healed,
+            "{line}: every detected cell corruption must be healed"
+        );
+        if cells[0] == "detect" {
+            detect_by_combo
+                .entry((cells[1].to_string(), cells[2].to_string()))
+                .or_default()
+                .push((sample, detected, rate, digest_match));
+        } else {
+            // Full-verification repair rows always heal to the oracle.
+            assert_eq!(digest_match, 1, "{line}: repair row must match oracle");
+        }
+    }
+    assert_eq!(detect_by_combo.len(), 10, "5 benchmarks x 2 runtimes");
+    for ((bench, runtime), points) in &detect_by_combo {
+        assert!(
+            points
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "{bench}/{runtime}: detection must be monotone in sampling rate: {points:?}"
+        );
+        let full = points.last().unwrap();
+        assert_eq!(full.0, 1.0, "{bench}/{runtime}: last detect row is Full");
+        assert!(
+            full.1 > 0,
+            "{bench}/{runtime}: the chaos seed never corrupted this benchmark"
+        );
+        assert_eq!(
+            (full.2, full.3),
+            (1.0, 1),
+            "{bench}/{runtime}: Full must detect 100% and heal to the oracle"
+        );
+    }
+}

@@ -140,6 +140,53 @@ fn fault_plans_are_an_exploration_dimension() {
 }
 
 #[test]
+fn exponential_backoff_chaos_replays_identical_retry_counters() {
+    // Backoff (exponential growth + seeded jitter) changes *when* a
+    // retry sleeps, never *whether* it runs: fault decisions key on
+    // (step, tag, attempt) and the retry counters are bumped before the
+    // sleep. Two fully-threaded chaos runs with the same fault and
+    // jitter seeds must therefore agree on the retry counters exactly,
+    // even though the thread-level schedules differ.
+    let run = || {
+        let graph = CncGraph::with_threads(4);
+        graph.set_retry_policy(
+            RetryPolicy::attempts(8)
+                .with_backoff(std::time::Duration::from_micros(200))
+                .exponential()
+                .with_jitter(0xBAC0FF),
+        );
+        graph.set_fault_injector(Arc::new(
+            FaultPlan::new(0x7E57).transient_step_failures(0.4),
+        ));
+        let out = graph.item_collection::<u32, u64>("out");
+        let tags = graph.tag_collection::<u32>("t");
+        let o = out.clone();
+        tags.prescribe("sq", move |&n, _| {
+            o.put(n, (n * n) as u64)?;
+            Ok(StepOutcome::Done)
+        });
+        for n in 0..32 {
+            tags.put(n);
+        }
+        let stats = graph.wait().expect("retries absorb every injected fault");
+        (
+            stats.steps_completed,
+            stats.steps_retried,
+            stats.faults_injected,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "chaos replay diverged under jittered exponential backoff"
+    );
+    assert_eq!(first.0, 32);
+    assert!(first.2 > 0, "a 40% transient rate injected nothing");
+    assert_eq!(first.1, first.2);
+}
+
+#[test]
 fn enumerate_exposes_schedule_dependent_detail() {
     // `enumerate` (no oracle) shows what `exhaustive` abstracts away:
     // requeue counts differ across schedules even though outputs match.

@@ -33,6 +33,33 @@ pub struct FaultSite {
     pub attempt: u32,
 }
 
+/// Identifies one freshly written tile output for memory-corruption
+/// decisions (the silent-fault analogue of [`FaultSite`]). Stable across
+/// interleavings: the same (step, tile, attempt) always yields the same
+/// site, so seeded corruption plans replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorruptionSite {
+    /// Name of the step collection that produced the tile.
+    pub step: &'static str,
+    /// Deterministic hash of the tile identity.
+    pub tile_hash: u64,
+    /// 0 for the initial write; repair re-executions advance it, so each
+    /// recompute re-rolls the corruption decision independently.
+    pub attempt: u32,
+}
+
+/// One injected bit flip in a freshly written tile output. The selectors
+/// are raw 64-bit draws; the integrity layer reduces `cell` modulo the
+/// tile's cell count and `bit` modulo 64, so a flip is well-defined for
+/// any tile geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFlip {
+    /// Cell selector (reduced modulo the region's cell count).
+    pub cell: u64,
+    /// Bit index within the 64-bit cell (reduced modulo 64).
+    pub bit: u32,
+}
+
 /// What to do to a step-body execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum FaultAction {
@@ -82,5 +109,23 @@ pub trait FaultInjector: Send + Sync {
     fn on_put(&self, collection: &'static str, key_hash: u64) -> PutAction {
         let _ = (collection, key_hash);
         PutAction::Deliver
+    }
+
+    /// Consulted by an armed integrity layer *after* a tile kernel has
+    /// written its output: the returned flips are applied to the fresh
+    /// region, modelling a silent memory fault at write time. Default:
+    /// no corruption.
+    fn corrupt_tile(&self, site: &CorruptionSite) -> Vec<CellFlip> {
+        let _ = site;
+        Vec::new()
+    }
+
+    /// Consulted when an engine puts a tile-checksum payload into an item
+    /// collection: `Some(mask)` XOR-mangles the `u64` payload in flight
+    /// (the region itself is untouched — only the published checksum
+    /// lies). Default: deliver the payload intact.
+    fn corrupt_put_payload(&self, collection: &'static str, key_hash: u64) -> Option<u64> {
+        let _ = (collection, key_hash);
+        None
     }
 }

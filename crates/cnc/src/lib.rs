@@ -68,10 +68,10 @@ mod tag;
 
 pub use checkpoint::Checkpoint;
 pub use error::{BlockedWait, CncError, DeadlockDiagnostic, FailureKind, StepAbort, StepFailure};
-pub use fault::{FaultAction, FaultInjector, FaultSite, PutAction};
+pub use fault::{CellFlip, CorruptionSite, FaultAction, FaultInjector, FaultSite, PutAction};
 pub use item::ItemCollection;
 pub use managed::{ManagedHandle, PickFn, ReadyTask, ScheduleEvent};
-pub use runtime::{CancelToken, CncGraph, DepSet, RetryPolicy, StepScope};
+pub use runtime::{BackoffKind, CancelToken, CncGraph, DepSet, RetryPolicy, StepScope};
 pub use stats::GraphStats;
 pub use tag::TagCollection;
 

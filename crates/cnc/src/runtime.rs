@@ -24,26 +24,56 @@ use crate::stats::{GraphStats, StatCounters};
 use crate::tag::TagCollection;
 use crate::StepResult;
 
+/// How successive retry waits grow from the base
+/// [`RetryPolicy::backoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffKind {
+    /// The n-th retry waits `backoff * n` (the original schedule).
+    Linear,
+    /// The n-th retry waits `backoff * 2^(n-1)` — the classic doubling
+    /// schedule for contended transient failures.
+    Exponential,
+}
+
 /// Bounded re-execution budget for *transient* step failures (injected
 /// chaos faults, lost messages). The default is one attempt: transient
 /// failures abort the graph like permanent ones unless the environment
 /// opts into retries with [`CncGraph::set_retry_policy`].
+///
+/// Backoff only changes *when* a retry runs, never *whether* it runs:
+/// the retry counters (`steps_retried`, `faults_injected`) are bumped
+/// before the sleep, so every schedule — including seeded jitter — keeps
+/// the seed-replay stats guarantees of the chaos suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total executions allowed per instance (initial run + retries).
     /// Must be at least 1.
     pub max_attempts: u32,
-    /// Base backoff slept on the worker before a retry; the n-th retry
-    /// waits `backoff * n` (linear backoff). Zero disables waiting.
+    /// Base backoff slept on the worker before a retry, grown per
+    /// [`RetryPolicy::kind`]. Zero disables waiting.
     pub backoff: Duration,
+    /// Growth schedule for successive waits (default linear).
+    pub kind: BackoffKind,
+    /// Seeded deterministic jitter: with `Some(seed)` each wait is
+    /// scaled by a factor in `[0.5, 1.5)` derived purely from the seed
+    /// and the retry site (step name, tag hash, attempt number), so the
+    /// same seed yields the same sleeps in every replay — decorrelating
+    /// concurrent retries without a shared RNG. `None` disables jitter.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
+    /// Every grown backoff is clamped here so pathological
+    /// `backoff * 2^n` products can never park a worker for hours.
+    pub const MAX_BACKOFF: Duration = Duration::from_secs(60);
+
     /// `max_attempts` executions with no backoff.
     pub fn attempts(max_attempts: u32) -> Self {
         RetryPolicy {
             max_attempts,
             backoff: Duration::ZERO,
+            kind: BackoffKind::Linear,
+            jitter_seed: None,
         }
     }
 
@@ -52,15 +82,75 @@ impl RetryPolicy {
         self.backoff = backoff;
         self
     }
+
+    /// Switches to the exponential (doubling) schedule.
+    pub fn exponential(mut self) -> Self {
+        self.kind = BackoffKind::Exponential;
+        self
+    }
+
+    /// Arms seeded deterministic jitter.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The wait before the `attempt`-th retry (1-based) of the given
+    /// retry site. Pure: depends only on the policy and the arguments,
+    /// so replays sleep identically.
+    pub fn delay(&self, step: &str, tag_hash: u64, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let base = match self.kind {
+            BackoffKind::Linear => self
+                .backoff
+                .checked_mul(attempt)
+                .unwrap_or(Self::MAX_BACKOFF),
+            BackoffKind::Exponential => {
+                // 2^(n-1), exponent capped well before the Duration
+                // clamp below could matter.
+                let factor = 1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX);
+                self.backoff
+                    .checked_mul(factor)
+                    .unwrap_or(Self::MAX_BACKOFF)
+            }
+        }
+        .min(Self::MAX_BACKOFF);
+        match self.jitter_seed {
+            None => base,
+            Some(seed) => {
+                let x = jitter_mix(seed ^ jitter_mix(str_hash(step)) ^ jitter_mix(tag_hash))
+                    ^ jitter_mix(attempt as u64);
+                let unit = (jitter_mix(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                base.mul_f64(0.5 + unit)
+            }
+        }
+    }
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 1,
-            backoff: Duration::ZERO,
-        }
+        RetryPolicy::attempts(1)
     }
+}
+
+/// `splitmix64` finalizer for the jitter rolls — deterministic, cheap,
+/// and independent of any shared RNG state.
+fn jitter_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a step name, for the jitter site key.
+fn str_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 /// A handle for cancelling a running graph from the environment (another
@@ -1170,14 +1260,13 @@ impl InstanceTask {
                     tag: self.tag_hash,
                 });
             }
-            let backoff = policy
-                .backoff
-                .checked_mul(attempts)
-                .unwrap_or(policy.backoff);
+            let backoff = policy.delay(self.step_name, self.tag_hash, attempts);
             if !backoff.is_zero() {
-                // Linear backoff, slept on the worker: this occupies a
-                // pool thread, which is exactly the resilience overhead
-                // the ablations measure.
+                // Backoff is slept on the worker: this occupies a pool
+                // thread, which is exactly the resilience overhead the
+                // ablations measure. The retry counter and trace event
+                // above precede the sleep, so backoff (and jitter) can
+                // never perturb the replay-stable statistics.
                 std::thread::sleep(backoff);
             }
             // Fair re-enqueue (global injector): the pending slot is
@@ -1383,6 +1472,54 @@ impl DepSet {
 mod tests {
     use super::*;
     use crate::StepOutcome;
+
+    #[test]
+    fn backoff_schedules_grow_as_documented() {
+        let ms = Duration::from_millis;
+        let linear = RetryPolicy::attempts(8).with_backoff(ms(10));
+        assert_eq!(linear.delay("s", 0, 1), ms(10));
+        assert_eq!(linear.delay("s", 0, 3), ms(30));
+        let exp = linear.exponential();
+        assert_eq!(exp.delay("s", 0, 1), ms(10));
+        assert_eq!(exp.delay("s", 0, 2), ms(20));
+        assert_eq!(exp.delay("s", 0, 5), ms(160));
+        // Saturation: huge attempts clamp at the cap, never overflow.
+        assert_eq!(exp.delay("s", 0, 63), RetryPolicy::MAX_BACKOFF);
+        assert_eq!(linear.delay("s", 0, u32::MAX), RetryPolicy::MAX_BACKOFF);
+        // Zero base stays zero under every schedule.
+        assert_eq!(
+            RetryPolicy::attempts(8).exponential().delay("s", 0, 9),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_site_sensitive() {
+        let base = Duration::from_millis(100);
+        let p = RetryPolicy::attempts(8)
+            .with_backoff(base)
+            .with_jitter(0xD1CE);
+        let d = p.delay("stepA", 42, 1);
+        assert_eq!(d, p.delay("stepA", 42, 1), "same site, same wait");
+        assert!(
+            d >= base / 2 && d < base * 3 / 2,
+            "jitter in [0.5, 1.5): {d:?}"
+        );
+        // Different sites decorrelate.
+        let others = [
+            p.delay("stepA", 42, 2),
+            p.delay("stepA", 43, 1),
+            p.delay("stepB", 42, 1),
+            RetryPolicy::attempts(8)
+                .with_backoff(base)
+                .with_jitter(0x5EED)
+                .delay("stepA", 42, 1),
+        ];
+        assert!(
+            others.iter().any(|&o| o != d),
+            "jitter must vary across sites/seeds"
+        );
+    }
 
     #[test]
     fn empty_graph_waits_immediately() {

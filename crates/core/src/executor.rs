@@ -15,8 +15,12 @@ use recdp_forkjoin::{RecoveryMode, ThreadPool, ThreadPoolBuilder};
 use recdp_kernels::workloads::{chain_dims, dna_sequence, fw_matrix, ge_matrix};
 use recdp_kernels::{engine, fw, ge, lcs, paren, sw, CncVariant, Decomposition, Matrix};
 use recdp_kernels::{fw::FwSpec, ge::GeSpec, lcs::LcsSpec, paren::ParenSpec, sw::SwSpec};
-use recdp_kernels::{tuned_base, TuneKernel};
-use recdp_trace::{TraceSession, Tracer};
+use recdp_kernels::{tuned_base, TileKey, TuneKernel};
+use recdp_kernels::{
+    IntegrityConfig, IntegrityEvent, IntegrityMode, IntegrityObserver, IntegrityOptions,
+    IntegrityReport,
+};
+use recdp_trace::{EventKind, TraceSession, Tracer};
 
 /// Sentinel base-case size meaning "let the autotuner decide": every
 /// entry point taking a `base` resolves this to [`auto_base`] before
@@ -105,6 +109,12 @@ pub struct RunOutput {
     pub seconds: f64,
     /// CnC runtime statistics when `Execution::Cnc` was used.
     pub cnc_stats: Option<GraphStats>,
+    /// What the integrity layer saw when the run was executed under a
+    /// non-[`IntegrityMode::Off`] policy (see
+    /// [`ResilienceOptions::integrity`]); `None` for unchecked runs.
+    /// An unrepairable tile is carried in [`IntegrityReport::error`] —
+    /// callers escalate via [`IntegrityReport::ok`].
+    pub integrity: Option<IntegrityReport>,
 }
 
 /// A benchmark's spec, erased to one dispatchable type (the `DpSpec`
@@ -157,6 +167,32 @@ impl AnySpec {
 
     fn register_cnc(&self, variant: CncVariant, graph: &CncGraph) {
         with_spec!(self, s => engine::register_cnc_on(s, variant, graph))
+    }
+
+    fn serial_checked(&self, cfg: IntegrityConfig) -> IntegrityReport {
+        with_spec!(self, s => engine::run_serial_checked(s, cfg))
+    }
+
+    fn forkjoin_checked(&self, pool: &ThreadPool, cfg: IntegrityConfig) -> IntegrityReport {
+        with_spec!(self, s => engine::run_forkjoin_checked(s, pool, 1, cfg))
+    }
+
+    fn cnc_checked_on(
+        &self,
+        variant: CncVariant,
+        graph: &CncGraph,
+        cfg: IntegrityConfig,
+    ) -> Result<(GraphStats, IntegrityReport), CncError> {
+        with_spec!(self, s => engine::run_cnc_checked_on(s, variant, graph, cfg))
+    }
+
+    fn register_cnc_checked(
+        &self,
+        variant: CncVariant,
+        graph: &CncGraph,
+        cfg: IntegrityConfig,
+    ) -> Arc<recdp_kernels::IntegrityState> {
+        with_spec!(self, s => engine::register_cnc_checked_on(s, variant, graph, cfg))
     }
 }
 
@@ -225,6 +261,51 @@ impl PreparedJob {
     /// coalesced wavefront behind one `graph.wait()`.
     pub fn register_cnc(&self, variant: CncVariant, graph: &CncGraph) {
         self.spec.register_cnc(variant, graph);
+    }
+
+    /// Runs the serial R-DP walker under an integrity policy: every
+    /// base tile is digested, corruption (injected or real) is detected
+    /// against the digest, and corrupted tiles are recomputed from
+    /// their pre-image. Returns what the integrity layer saw.
+    pub fn run_serial_checked(&self, cfg: IntegrityConfig) -> IntegrityReport {
+        self.spec.serial_checked(cfg)
+    }
+
+    /// Runs the fork-join engine under an integrity policy — detection
+    /// and repair happen inside each tile's task, before the enclosing
+    /// stage barrier releases.
+    pub fn run_forkjoin_checked(&self, pool: &ThreadPool, cfg: IntegrityConfig) -> IntegrityReport {
+        self.spec.forkjoin_checked(pool, cfg)
+    }
+
+    /// Runs the data-flow engine under an integrity policy on a
+    /// caller-supplied graph. On top of producer-side verify/repair,
+    /// the readiness item's payload carries the producer's digest, so a
+    /// mangled put is caught by the consumer against the digest
+    /// registry. The graph's structured error takes precedence; an
+    /// unrepairable tile is reported via [`IntegrityReport::error`].
+    pub fn run_cnc_checked_on(
+        &self,
+        variant: CncVariant,
+        graph: &CncGraph,
+        cfg: IntegrityConfig,
+    ) -> Result<(GraphStats, IntegrityReport), CncError> {
+        self.spec.cnc_checked_on(variant, graph, cfg)
+    }
+
+    /// [`Self::register_cnc`] with an integrity runtime attached: the
+    /// returned [`recdp_kernels::IntegrityState`] yields this
+    /// registration's [`IntegrityReport`] (via
+    /// [`recdp_kernels::IntegrityState::report`]) once the shared
+    /// `graph.wait()` quiesces. Batch drivers merge the per-job reports
+    /// with [`IntegrityReport::merge`].
+    pub fn register_cnc_checked(
+        &self,
+        variant: CncVariant,
+        graph: &CncGraph,
+        cfg: IntegrityConfig,
+    ) -> Arc<recdp_kernels::IntegrityState> {
+        self.spec.register_cnc_checked(variant, graph, cfg)
     }
 
     /// The DP table the job computes into.
@@ -446,6 +527,7 @@ pub fn run_benchmark_with(
         table: p.table,
         seconds: start.elapsed().as_secs_f64(),
         cnc_stats: stats,
+        integrity: None,
     }
 }
 
@@ -502,6 +584,7 @@ pub fn run_benchmark_on_with(
         table: p.table,
         seconds: start.elapsed().as_secs_f64(),
         cnc_stats: stats,
+        integrity: None,
     })
 }
 
@@ -586,6 +669,7 @@ pub fn run_benchmark_traced_with(
             table: p.table,
             seconds,
             cnc_stats: stats,
+            integrity: None,
         },
         session,
     )
@@ -642,6 +726,34 @@ pub struct ResilienceOptions {
     /// `recdp_faults::FaultPlan::worker_kill_times_ns`). Empty runs on
     /// an unsupervised pool.
     pub worker_kills: Vec<u64>,
+    /// Data-integrity policy for the run: with any mode other than
+    /// [`IntegrityMode::Off`] every base tile is digested inside its
+    /// producing step, silent corruption (whether injected by
+    /// [`Self::injector`] or real) is detected against the digest, and
+    /// corrupted tiles are recomputed from their pre-image. The
+    /// resulting [`IntegrityReport`] is carried in
+    /// [`RunOutput::integrity`].
+    pub integrity: IntegrityOptions,
+}
+
+impl ResilienceOptions {
+    /// The integrity runtime configuration this run would use, or
+    /// `None` when the declared mode is [`IntegrityMode::Off`]: the
+    /// declared [`IntegrityOptions`] with [`Self::injector`] attached
+    /// as the corruption source (the same plan that injects step
+    /// failures also flips tile cells and mangles put payloads). Note
+    /// `IntegrityMode::Sample(0.0)` is *not* `Off`: it injects without
+    /// ever verifying — the "silent corruption" baseline.
+    pub fn integrity_config(&self) -> Option<IntegrityConfig> {
+        if self.integrity.mode == IntegrityMode::Off {
+            return None;
+        }
+        let mut cfg = IntegrityConfig::from(self.integrity);
+        if let Some(injector) = &self.injector {
+            cfg = cfg.with_injector(Arc::clone(injector));
+        }
+        Some(cfg)
+    }
 }
 
 impl std::fmt::Debug for ResilienceOptions {
@@ -652,6 +764,7 @@ impl std::fmt::Debug for ResilienceOptions {
             .field("injector", &self.injector.as_ref().map(|_| "<injector>"))
             .field("recovery", &self.recovery)
             .field("worker_kills", &self.worker_kills)
+            .field("integrity", &self.integrity)
             .finish()
     }
 }
@@ -720,14 +833,26 @@ pub fn run_benchmark_resilient(
 ) -> Result<RunOutput, CncError> {
     let p = prepare_job(benchmark, n, base);
     let start = Instant::now();
+    // One attempt's execution, checked or not per the integrity policy.
+    let run_attempt =
+        |graph: &CncGraph| -> Result<(GraphStats, Option<IntegrityReport>), CncError> {
+            match opts.integrity_config() {
+                Some(cfg) => {
+                    let (stats, report) = p.spec.cnc_checked_on(variant, graph, cfg)?;
+                    Ok((stats, Some(report)))
+                }
+                None => Ok((p.spec.cnc_on(variant, graph)?, None)),
+            }
+        };
     match opts.recovery {
         RecoveryPolicy::None | RecoveryPolicy::Respawn | RecoveryPolicy::Degrade => {
             let graph = resilient_graph(threads, opts, opts.deadline, None);
-            let stats = p.spec.cnc_on(variant, &graph)?;
+            let (stats, integrity) = run_attempt(&graph)?;
             Ok(RunOutput {
                 table: p.table,
                 seconds: start.elapsed().as_secs_f64(),
                 cnc_stats: Some(stats),
+                integrity,
             })
         }
         RecoveryPolicy::CheckpointInterval { slice, max_resumes } => {
@@ -735,12 +860,13 @@ pub fn run_benchmark_resilient(
             let mut resumes = 0u32;
             loop {
                 let graph = resilient_graph(threads, opts, Some(slice), checkpoint.as_ref());
-                match p.spec.cnc_on(variant, &graph) {
-                    Ok(stats) => {
+                match run_attempt(&graph) {
+                    Ok((stats, integrity)) => {
                         return Ok(RunOutput {
                             table: p.table,
                             seconds: start.elapsed().as_secs_f64(),
                             cnc_stats: Some(stats),
+                            integrity,
                         })
                     }
                     Err(CncError::Timeout { .. }) if resumes < max_resumes => {
@@ -754,6 +880,38 @@ pub fn run_benchmark_resilient(
             }
         }
     }
+}
+
+/// Bridges [`IntegrityEvent`]s into a tracer's timeline: the returned
+/// observer (install it with [`IntegrityConfig::with_observer`]) records
+/// a [`EventKind::CorruptionDetected`] / [`EventKind::TileRecomputed`]
+/// instant on the recording thread's lane, with the tile identity
+/// condensed to a deterministic hash (the same tile always renders the
+/// same `tile` argument in the Chrome export).
+pub fn integrity_observer(tracer: Arc<Tracer>) -> IntegrityObserver {
+    fn tile_hash(tile: &TileKey) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        tile.hash(&mut h);
+        h.finish()
+    }
+    Arc::new(move |event: &IntegrityEvent| {
+        let lane = tracer.lane();
+        match event {
+            IntegrityEvent::CorruptionDetected { step, tile } => {
+                lane.instant(EventKind::CorruptionDetected {
+                    step: tracer.intern(step),
+                    tile: tile_hash(tile),
+                })
+            }
+            IntegrityEvent::TileRecomputed { step, tile } => {
+                lane.instant(EventKind::TileRecomputed {
+                    step: tracer.intern(step),
+                    tile: tile_hash(tile),
+                })
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -790,6 +948,169 @@ mod tests {
         let b = run_benchmark(Benchmark::Ge, Execution::Cnc(CncVariant::Native), 32, 8, 2);
         assert!(b.cnc_stats.is_some());
         assert!(b.seconds >= 0.0);
+    }
+
+    #[test]
+    fn resilient_checked_run_self_heals_injected_corruption() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+        let opts = ResilienceOptions {
+            injector: Some(Arc::new(FaultPlan::new(11).corrupt_cells(0.1))),
+            integrity: IntegrityOptions {
+                mode: IntegrityMode::Full,
+                max_repair_attempts: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 32, 8, 2, &opts)
+            .expect("corruption is repaired, not fatal");
+        assert!(out.table.bitwise_eq(&oracle.table));
+        let report = out.integrity.expect("checked runs carry a report");
+        report.ok().expect("every tile repaired within budget");
+        assert!(report.corruptions_detected > 0, "{report:?}");
+        assert_eq!(
+            report.tiles_recomputed, report.corruptions_detected,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn silent_corruption_baseline_corrupts_the_table() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+        // Sample(0.0) injects but never verifies — the unprotected run.
+        let opts = ResilienceOptions {
+            injector: Some(Arc::new(FaultPlan::new(11).corrupt_cells(0.5))),
+            integrity: IntegrityOptions {
+                mode: IntegrityMode::Sample(0.0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = run_benchmark_resilient(Benchmark::Ge, CncVariant::Native, 32, 8, 2, &opts)
+            .expect("silent corruption does not fail the graph");
+        assert!(!out.table.bitwise_eq(&oracle.table), "corruption vanished");
+        let report = out.integrity.expect("checked runs carry a report");
+        assert_eq!(report.corruptions_detected, 0, "{report:?}");
+    }
+
+    #[test]
+    fn integrity_observer_records_trace_instants() {
+        use recdp_faults::FaultPlan;
+        let tracer = Tracer::new();
+        let p = prepare_job(Benchmark::Sw, 32, 8);
+        let cfg = IntegrityConfig::new(IntegrityMode::Full)
+            .with_injector(Arc::new(FaultPlan::new(3).corrupt_cells(1.0)))
+            .with_observer(integrity_observer(Arc::clone(&tracer)));
+        let report = p.run_serial_checked(cfg);
+        // Rate 1.0 re-corrupts every repair attempt, so the budget is
+        // exhausted and the run escalates — exactly what the observer
+        // should have witnessed, detection by detection.
+        assert!(report.ok().is_err(), "rate-1.0 corruption must escalate");
+        assert!(report.corruptions_detected > 0);
+        let counts = TraceSession::with_tracer(Arc::clone(&tracer), 1).report();
+        assert_eq!(counts.corruptions_detected, report.corruptions_detected);
+        assert_eq!(counts.tiles_recomputed, report.tiles_recomputed);
+    }
+
+    #[test]
+    fn checked_engines_agree_with_loops_under_corruption() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Fw, Execution::SerialLoops, 32, 8, 1);
+        let injector: Arc<dyn FaultInjector> = Arc::new(FaultPlan::new(23).corrupt_cells(0.25));
+        let cfg = || IntegrityConfig::new(IntegrityMode::Full).with_injector(Arc::clone(&injector));
+        let serial = prepare_job(Benchmark::Fw, 32, 8);
+        serial.run_serial_checked(cfg()).ok().expect("serial heals");
+        assert!(serial.table().bitwise_eq(&oracle.table));
+        let fj = prepare_job(Benchmark::Fw, 32, 8);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        fj.run_forkjoin_checked(&pool, cfg())
+            .ok()
+            .expect("fj heals");
+        assert!(fj.table().bitwise_eq(&oracle.table));
+        let cnc = prepare_job(Benchmark::Fw, 32, 8);
+        let graph = CncGraph::with_threads(2);
+        let (_, report) = cnc
+            .run_cnc_checked_on(CncVariant::Native, &graph, cfg())
+            .expect("graph completes");
+        report.ok().expect("cnc heals");
+        assert!(cnc.table().bitwise_eq(&oracle.table));
+    }
+
+    /// The acceptance matrix: every extended benchmark, at binary and
+    /// 4-way decomposition, under all three engines, with cell (and
+    /// put) corruption at `Full` verification must heal to a table
+    /// bitwise-identical to the serial loops oracle.
+    #[test]
+    fn corruption_heals_across_benchmarks_widths_and_engines() {
+        use recdp_faults::FaultPlan;
+        let injector: Arc<dyn FaultInjector> = Arc::new(
+            FaultPlan::new(0xBADC0DE)
+                .corrupt_cells(0.25)
+                .corrupt_puts(0.25),
+        );
+        let cfg = || {
+            IntegrityConfig::new(IntegrityMode::Full)
+                .with_injector(Arc::clone(&injector))
+                .with_max_repair_attempts(12)
+        };
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let mut detections = 0;
+        for benchmark in Benchmark::EXTENDED {
+            let oracle = run_benchmark(benchmark, Execution::SerialLoops, 64, 16, 1);
+            for r in [2u32, 4] {
+                let d = Decomposition::new(r);
+                let ctx = |engine: &str| format!("{} r={r} {engine}", benchmark.name());
+
+                let serial = prepare_job_with(benchmark, 64, 16, d);
+                let report = serial.run_serial_checked(cfg());
+                report
+                    .ok()
+                    .unwrap_or_else(|e| panic!("{}: {e}", ctx("serial")));
+                assert!(
+                    serial.table().bitwise_eq(&oracle.table),
+                    "{}",
+                    ctx("serial")
+                );
+                detections += report.corruptions_detected;
+
+                let fj = prepare_job_with(benchmark, 64, 16, d);
+                fj.run_forkjoin_checked(&pool, cfg())
+                    .ok()
+                    .unwrap_or_else(|e| panic!("{}: {e}", ctx("forkjoin")));
+                assert!(fj.table().bitwise_eq(&oracle.table), "{}", ctx("forkjoin"));
+
+                let cnc = prepare_job_with(benchmark, 64, 16, d);
+                let graph = CncGraph::with_threads(2);
+                let (_, report) = cnc
+                    .run_cnc_checked_on(CncVariant::Native, &graph, cfg())
+                    .unwrap_or_else(|e| panic!("{}: {e}", ctx("cnc")));
+                report
+                    .ok()
+                    .unwrap_or_else(|e| panic!("{}: {e}", ctx("cnc")));
+                assert!(cnc.table().bitwise_eq(&oracle.table), "{}", ctx("cnc"));
+            }
+        }
+        assert!(detections > 0, "the chaos seed never corrupted anything");
+    }
+
+    /// `DualExecute` detects by re-executing sampled tiles from their
+    /// pre-image and comparing digests — no reference digest survives
+    /// the run, yet corruption still heals.
+    #[test]
+    fn dual_execute_heals_without_stored_digests() {
+        use recdp_faults::FaultPlan;
+        let oracle = run_benchmark(Benchmark::Lcs, Execution::SerialLoops, 32, 8, 1);
+        let p = prepare_job(Benchmark::Lcs, 32, 8);
+        let cfg = IntegrityConfig::new(IntegrityMode::DualExecute(1.0))
+            .with_injector(Arc::new(FaultPlan::new(5).corrupt_cells(0.3)))
+            .with_max_repair_attempts(12);
+        let report = p.run_serial_checked(cfg);
+        report.ok().expect("dual-execute heals");
+        assert!(report.corruptions_detected > 0, "nothing injected");
+        assert_eq!(report.corruptions_detected, report.tiles_recomputed);
+        assert!(p.table().bitwise_eq(&oracle.table));
     }
 
     #[test]

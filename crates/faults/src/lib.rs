@@ -24,6 +24,13 @@
 //!   timing, never results).
 //! * **worker kills** — fail-stop times consumed by `recdp-sim`'s
 //!   worker-failure model ([`FaultPlan::worker_kill_times_ns`]).
+//! * **silent cell corruption** — [`FaultPlan::corrupt_cells`] flips one
+//!   bit in a freshly written tile output (consulted by an armed
+//!   `recdp-kernels` integrity layer; the run exits cleanly but the data
+//!   lies — the fault class checksum detection exists for).
+//! * **mangled checksum puts** — [`FaultPlan::corrupt_puts`] XOR-mangles
+//!   the `u64` tile-checksum payload an engine puts into a CnC item
+//!   collection, without touching the tile data itself.
 
 #![warn(missing_docs)]
 
@@ -31,7 +38,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use recdp_cnc::{FaultAction, FaultInjector, FaultSite, PutAction};
+use recdp_cnc::{CellFlip, CorruptionSite, FaultAction, FaultInjector, FaultSite, PutAction};
 
 /// Independent decision streams: each fault class hashes the site with
 /// its own constant so e.g. "fail?" and "delay?" rolls at the same site
@@ -41,6 +48,8 @@ const STREAM_STEP_DELAY: u64 = 0x52;
 const STREAM_PUT_DROP: u64 = 0x53;
 const STREAM_PUT_DELAY: u64 = 0x54;
 const STREAM_POOL_DELAY: u64 = 0x55;
+const STREAM_CELL_CORRUPT: u64 = 0x56;
+const STREAM_PUT_CORRUPT: u64 = 0x57;
 
 /// splitmix64 finalizer: a high-quality 64-bit mix, the standard choice
 /// for turning structured keys into uniform bits.
@@ -98,6 +107,8 @@ pub struct FaultPlan {
     put_delay: Duration,
     pool_delay_rate: f64,
     pool_delay: Duration,
+    corrupt_cell_rate: f64,
+    corrupt_put_rate: f64,
     /// When non-empty, step faults apply only to these step names.
     target_steps: Vec<&'static str>,
     /// When non-empty, put faults apply only to these collections.
@@ -120,6 +131,8 @@ impl FaultPlan {
             put_delay: Duration::ZERO,
             pool_delay_rate: 0.0,
             pool_delay: Duration::ZERO,
+            corrupt_cell_rate: 0.0,
+            corrupt_put_rate: 0.0,
             target_steps: Vec::new(),
             target_collections: Vec::new(),
             worker_kill_times_ns: Vec::new(),
@@ -182,6 +195,26 @@ impl FaultPlan {
         self
     }
 
+    /// Each freshly written tile output has one bit flipped with
+    /// probability `rate` — a *silent* memory fault: the step completes
+    /// normally and only a checksum can tell. Re-rolled independently
+    /// per repair attempt (stream-keyed by the corruption site), so a
+    /// recompute at `rate < 1` converges and `rate = 1.0` exercises the
+    /// bounded-repair escalation path. Honours [`FaultPlan::target_steps`].
+    pub fn corrupt_cells(mut self, rate: f64) -> Self {
+        self.corrupt_cell_rate = checked_rate(rate);
+        self
+    }
+
+    /// Each tile-checksum item put is XOR-mangled with probability
+    /// `rate`: the consumer receives a payload that no longer matches
+    /// the producer's registered digest. The tile data itself is never
+    /// touched. Honours [`FaultPlan::target_collections`].
+    pub fn corrupt_puts(mut self, rate: f64) -> Self {
+        self.corrupt_put_rate = checked_rate(rate);
+        self
+    }
+
     /// Restricts step faults to the named step collections (empty =
     /// every step).
     pub fn target_steps(mut self, steps: &[&'static str]) -> Self {
@@ -215,7 +248,8 @@ impl FaultPlan {
     pub fn describe(&self) -> String {
         format!(
             "faults(seed={:#x}, step_fail={:.2}, step_delay={:.2}@{:?}, put_drop={:.2}, \
-             put_delay={:.2}@{:?}, pool_delay={:.2}@{:?}, worker_kills={:?})",
+             put_delay={:.2}@{:?}, pool_delay={:.2}@{:?}, corrupt_cells={:.2}, \
+             corrupt_puts={:.2}, worker_kills={:?})",
             self.seed,
             self.step_fail_rate,
             self.step_delay_rate,
@@ -225,6 +259,8 @@ impl FaultPlan {
             self.put_delay,
             self.pool_delay_rate,
             self.pool_delay,
+            self.corrupt_cell_rate,
+            self.corrupt_put_rate,
             self.worker_kill_times_ns,
         )
     }
@@ -300,6 +336,37 @@ impl FaultInjector for FaultPlan {
             return PutAction::Delay(self.put_delay);
         }
         PutAction::Deliver
+    }
+
+    fn corrupt_tile(&self, site: &CorruptionSite) -> Vec<CellFlip> {
+        if self.corrupt_cell_rate == 0.0 || !self.step_targeted(site.step) {
+            return Vec::new();
+        }
+        let x = name_hash(site.step) ^ site.tile_hash;
+        let y = site.attempt as u64;
+        if roll(self.seed, STREAM_CELL_CORRUPT, x, y) >= self.corrupt_cell_rate {
+            return Vec::new();
+        }
+        // Derive the flipped cell/bit from an independent mix of the
+        // same site, so *which* bit flips is as replayable as *whether*.
+        let h = splitmix64(self.seed ^ splitmix64(STREAM_CELL_CORRUPT ^ 1) ^ splitmix64(x) ^ y);
+        vec![CellFlip {
+            cell: h,
+            bit: (h >> 52) as u32,
+        }]
+    }
+
+    fn corrupt_put_payload(&self, collection: &'static str, key_hash: u64) -> Option<u64> {
+        if self.corrupt_put_rate == 0.0 || !self.collection_targeted(collection) {
+            return None;
+        }
+        let x = name_hash(collection) ^ key_hash;
+        if roll(self.seed, STREAM_PUT_CORRUPT, x, 0) >= self.corrupt_put_rate {
+            return None;
+        }
+        // `| 1` guarantees a non-zero mask: a corrupted payload always
+        // differs from the delivered one.
+        Some(splitmix64(self.seed ^ splitmix64(STREAM_PUT_CORRUPT ^ 1) ^ splitmix64(x)) | 1)
     }
 }
 
@@ -397,6 +464,64 @@ mod tests {
         assert_eq!(plan.before_step(&site("miss", 0, 1)), FaultAction::None);
         assert_eq!(plan.on_put("hot", 0), PutAction::Drop);
         assert_eq!(plan.on_put("cold", 0), PutAction::Deliver);
+    }
+
+    fn csite(step: &'static str, tile_hash: u64, attempt: u32) -> CorruptionSite {
+        CorruptionSite {
+            step,
+            tile_hash,
+            attempt,
+        }
+    }
+
+    #[test]
+    fn corruption_decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7).corrupt_cells(0.5).corrupt_puts(0.5);
+        let b = FaultPlan::new(7).corrupt_cells(0.5).corrupt_puts(0.5);
+        let c = FaultPlan::new(8).corrupt_cells(0.5).corrupt_puts(0.5);
+        let mut diverged = false;
+        for t in 0..200u64 {
+            assert_eq!(
+                a.corrupt_tile(&csite("s", t, 0)),
+                b.corrupt_tile(&csite("s", t, 0))
+            );
+            assert_eq!(a.corrupt_put_payload("c", t), b.corrupt_put_payload("c", t));
+            diverged |= a.corrupt_tile(&csite("s", t, 0)) != c.corrupt_tile(&csite("s", t, 0));
+        }
+        assert!(diverged, "seeds 7 and 8 produced identical corruption");
+    }
+
+    #[test]
+    fn corruption_rerolls_per_repair_attempt() {
+        // A site corrupted on the initial write must be clean on some
+        // later attempt — otherwise recompute could never heal it.
+        let plan = FaultPlan::new(13).corrupt_cells(0.5);
+        let healed = (0..200u64).any(|t| {
+            !plan.corrupt_tile(&csite("s", t, 0)).is_empty()
+                && plan.corrupt_tile(&csite("s", t, 1)).is_empty()
+        });
+        assert!(healed);
+    }
+
+    #[test]
+    fn corruption_extremes_and_targeting() {
+        let never = FaultPlan::new(3);
+        let always = FaultPlan::new(3)
+            .corrupt_cells(1.0)
+            .corrupt_puts(1.0)
+            .target_steps(&["hit"])
+            .target_collections(&["hot"]);
+        for t in 0..50u64 {
+            assert!(never.corrupt_tile(&csite("s", t, 0)).is_empty());
+            assert_eq!(never.corrupt_put_payload("c", t), None);
+            assert_eq!(always.corrupt_tile(&csite("hit", t, 0)).len(), 1);
+            assert!(always.corrupt_tile(&csite("miss", t, 0)).is_empty());
+            let mask = always
+                .corrupt_put_payload("hot", t)
+                .expect("rate 1.0 always fires");
+            assert_ne!(mask, 0, "mask must actually change the payload");
+            assert_eq!(always.corrupt_put_payload("cold", t), None);
+        }
     }
 
     #[test]

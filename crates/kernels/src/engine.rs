@@ -7,6 +7,7 @@
 //! gets every execution model of the paper for free.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use recdp_cnc::{
     CncError, CncGraph, DepSet, GraphStats, ItemCollection, StepOutcome, StepResult, StepScope,
@@ -14,6 +15,7 @@ use recdp_cnc::{
 };
 use recdp_forkjoin::{join, ThreadPool};
 
+use crate::integrity::{self, IntegrityConfig, IntegrityReport, IntegrityState};
 use crate::spec::{Call, DpSpec, Tag, TileKey};
 use crate::CncVariant;
 
@@ -43,6 +45,29 @@ fn serial_call<S: DpSpec>(spec: &S, call: &Call) {
     }
 }
 
+/// [`run_serial`] under an integrity policy: every base tile runs
+/// through the snapshot / inject / verify / repair pipeline of
+/// [`integrity::execute_tile`]. Returns what the integrity layer saw;
+/// [`IntegrityReport::ok`] surfaces an unrepairable tile as an error.
+pub fn run_serial_checked<S: DpSpec>(spec: &S, cfg: IntegrityConfig) -> IntegrityReport {
+    let st = IntegrityState::new(cfg);
+    serial_call_checked(spec, &spec.root(), &st);
+    st.report()
+}
+
+fn serial_call_checked<S: DpSpec>(spec: &S, call: &Call, st: &IntegrityState) {
+    if call.s == 1 {
+        // SAFETY: same topological-order argument as `serial_call`.
+        unsafe { integrity::execute_tile(spec, spec.step_names()[call.func], spec.tile(call), st) };
+        return;
+    }
+    for stage in spec.expand(call) {
+        for sub in &stage {
+            serial_call_checked(spec, sub, st);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fork-join engine
 // ---------------------------------------------------------------------
@@ -62,7 +87,23 @@ pub fn run_forkjoin<S: DpSpec>(spec: &S, pool: &ThreadPool) {
 /// and a larger grain trades stage parallelism for fewer forks/joins.
 pub fn run_forkjoin_grained<S: DpSpec>(spec: &S, pool: &ThreadPool, grain: usize) {
     let grain = grain.max(1);
-    pool.install(|| forkjoin_call(spec, &spec.root(), grain, None));
+    pool.install(|| forkjoin_call(spec, &spec.root(), grain, None, None));
+}
+
+/// [`run_forkjoin_grained`] under an integrity policy: each base tile
+/// is verified (and, on a digest mismatch, recomputed) *inside its own
+/// task*, i.e. before the enclosing stage barrier releases — no
+/// consumer in a later stage can observe an unverified tile.
+pub fn run_forkjoin_checked<S: DpSpec>(
+    spec: &S,
+    pool: &ThreadPool,
+    grain: usize,
+    cfg: IntegrityConfig,
+) -> IntegrityReport {
+    let grain = grain.max(1);
+    let st = IntegrityState::new(cfg);
+    pool.install(|| forkjoin_call(spec, &spec.root(), grain, None, Some(&st)));
+    st.report()
 }
 
 /// Runs the recursion like [`run_forkjoin_grained`] while counting the
@@ -77,43 +118,67 @@ pub fn run_forkjoin_grained<S: DpSpec>(spec: &S, pool: &ThreadPool, grain: usize
 pub fn run_forkjoin_counting<S: DpSpec>(spec: &S, pool: &ThreadPool, grain: usize) -> u64 {
     let grain = grain.max(1);
     let joins = AtomicU64::new(0);
-    pool.install(|| forkjoin_call(spec, &spec.root(), grain, Some(&joins)));
+    pool.install(|| forkjoin_call(spec, &spec.root(), grain, Some(&joins), None));
     joins.into_inner()
 }
 
-fn forkjoin_call<S: DpSpec>(spec: &S, call: &Call, grain: usize, joins: Option<&AtomicU64>) {
+fn forkjoin_call<S: DpSpec>(
+    spec: &S,
+    call: &Call,
+    grain: usize,
+    joins: Option<&AtomicU64>,
+    integrity: Option<&IntegrityState>,
+) {
     if call.s == 1 {
         // SAFETY: calls within a stage touch disjoint tiles (DpSpec
         // contract) and the joins sequence every cross-stage dependency.
-        unsafe { spec.run_tile(spec.tile(call)) };
+        unsafe {
+            match integrity {
+                Some(st) => {
+                    integrity::execute_tile(
+                        spec,
+                        spec.step_names()[call.func],
+                        spec.tile(call),
+                        st,
+                    );
+                }
+                None => spec.run_tile(spec.tile(call)),
+            }
+        }
         return;
     }
     for stage in spec.expand(call) {
         if stage.len() <= grain {
             for sub in &stage {
-                forkjoin_call(spec, sub, grain, joins);
+                forkjoin_call(spec, sub, grain, joins, integrity);
             }
         } else {
             if let Some(j) = joins {
                 j.fetch_add(1, Ordering::Relaxed);
             }
-            forkjoin_split(spec, &stage, grain, joins);
+            forkjoin_split(spec, &stage, grain, joins, integrity);
         }
     }
 }
 
 /// Executes one forked stage's independent calls as a binary split
 /// tree, stopping the splitting at `grain` calls per leaf chunk.
-fn forkjoin_split<S: DpSpec>(spec: &S, calls: &[Call], grain: usize, joins: Option<&AtomicU64>) {
+fn forkjoin_split<S: DpSpec>(
+    spec: &S,
+    calls: &[Call],
+    grain: usize,
+    joins: Option<&AtomicU64>,
+    integrity: Option<&IntegrityState>,
+) {
     if calls.len() <= grain {
         for call in calls {
-            forkjoin_call(spec, call, grain, joins);
+            forkjoin_call(spec, call, grain, joins, integrity);
         }
     } else {
         let (left, right) = calls.split_at(calls.len() / 2);
         join(
-            || forkjoin_split(spec, left, grain, joins),
-            || forkjoin_split(spec, right, grain, joins),
+            || forkjoin_split(spec, left, grain, joins, integrity),
+            || forkjoin_split(spec, right, grain, joins, integrity),
         );
     }
 }
@@ -151,12 +216,16 @@ fn count_call<S: DpSpec>(spec: &S, call: &Call, grain: usize) -> u64 {
 // ---------------------------------------------------------------------
 
 /// The generic CnC program for a spec: one tag/step collection per
-/// recursive function, one tile-readiness item collection.
+/// recursive function, one tile-readiness item collection. The item
+/// payload is the producer's tile digest (`0` on unchecked runs) — the
+/// end-to-end signal the integrity layer compares against its registry
+/// to catch mangled puts.
 struct EngineCtx<S: DpSpec> {
     spec: S,
     variant: CncVariant,
-    items: ItemCollection<TileKey, bool>,
+    items: ItemCollection<TileKey, u64>,
     tags: Vec<TagCollection<Tag>>,
+    integrity: Option<Arc<IntegrityState>>,
 }
 
 // Manual impl: `derive(Clone)` would needlessly require `S: Clone`
@@ -168,6 +237,7 @@ impl<S: DpSpec> Clone for EngineCtx<S> {
             variant: self.variant,
             items: self.items.clone(),
             tags: self.tags.clone(),
+            integrity: self.integrity.clone(),
         }
     }
 }
@@ -179,7 +249,22 @@ impl<S: DpSpec> EngineCtx<S> {
         for r in self.spec.reads(tile) {
             deps = deps.item(&self.items, r);
         }
+        for r in self.anti_deps(tile) {
+            deps = deps.item(&self.items, r);
+        }
         deps
+    }
+
+    /// Anti-dependence edges ([`DpSpec::anti_deps`]) are honoured only
+    /// on checked runs: verification and repair re-read a tile's inputs
+    /// long after the gets that proved them ready, so the inputs must
+    /// stay frozen until the tile's own item is put. Unchecked runs keep
+    /// the spec's plain data-flow graph — the paper's program shape.
+    fn anti_deps(&self, tile: TileKey) -> Vec<TileKey> {
+        match &self.integrity {
+            Some(_) => self.spec.anti_deps(tile),
+            None => Vec::new(),
+        }
     }
 
     /// Publishes a call: recursive tags are always plain puts (they have
@@ -213,11 +298,13 @@ impl<S: DpSpec> EngineCtx<S> {
     fn run_base(&self, func: usize, tag: Tag, scope: &StepScope<'_>) -> StepResult {
         let call = Call::new(func, tag.0, tag.1, tag.2, 1);
         let tile = self.spec.tile(&call);
+        let anti_deps = self.anti_deps(tile);
         if self.variant == CncVariant::NonBlocking {
             let ready = self
                 .spec
                 .reads(tile)
                 .iter()
+                .chain(anti_deps.iter())
                 .all(|r| self.items.try_get(r).is_some());
             if !ready {
                 self.tags[func].put_retry(tag);
@@ -225,14 +312,34 @@ impl<S: DpSpec> EngineCtx<S> {
             }
         }
         for r in self.spec.reads(tile) {
+            let received = self.items.get(scope, &r)?;
+            if let Some(st) = &self.integrity {
+                st.check_payload(self.spec.item_name(), r, received);
+            }
+        }
+        // Ordering-only edges: wait for every reader of the region this
+        // tile overwrites, so verify/repair re-reads stable inputs. The
+        // payloads are not data and are not re-verified here.
+        for r in anti_deps {
             self.items.get(scope, &r)?;
         }
         // SAFETY: this task is the unique writer of its tile
         // (single assignment on the item collection enforces it), and
         // every tile in `reads` was completed by the task whose item the
         // get above observed.
-        unsafe { self.spec.run_tile(tile) };
-        self.items.put(tile, true)?;
+        let payload = match &self.integrity {
+            Some(st) => {
+                let digest = unsafe {
+                    integrity::execute_tile(&self.spec, self.spec.step_names()[func], tile, st)
+                };
+                st.outgoing_payload(self.spec.item_name(), tile, digest)
+            }
+            None => {
+                unsafe { self.spec.run_tile(tile) };
+                0
+            }
+        };
+        self.items.put(tile, payload)?;
         Ok(StepOutcome::Done)
     }
 }
@@ -243,6 +350,37 @@ impl<S: DpSpec> EngineCtx<S> {
 pub fn run_cnc<S: DpSpec>(spec: &S, variant: CncVariant, threads: usize) -> GraphStats {
     let graph = CncGraph::with_threads(threads);
     run_cnc_on(spec, variant, &graph).expect("CnC graph failed")
+}
+
+/// [`run_cnc`] under an integrity policy. Detection and repair both
+/// happen inside the producing step, before the tile's readiness item
+/// is put, so single assignment is never violated; on top of that the
+/// item payload carries the producer's digest end-to-end, so a mangled
+/// put is caught by the consumer against the digest registry.
+pub fn run_cnc_checked<S: DpSpec>(
+    spec: &S,
+    variant: CncVariant,
+    threads: usize,
+    cfg: IntegrityConfig,
+) -> (GraphStats, IntegrityReport) {
+    let graph = CncGraph::with_threads(threads);
+    run_cnc_checked_on(spec, variant, &graph, cfg).expect("CnC graph failed")
+}
+
+/// Fallible form of [`run_cnc_checked`] on a caller-supplied graph
+/// (retry policy, deadline, fault injector already armed). The graph's
+/// structured error takes precedence; an unrepairable tile is reported
+/// via [`IntegrityReport::error`] so the caller decides how to
+/// escalate.
+pub fn run_cnc_checked_on<S: DpSpec>(
+    spec: &S,
+    variant: CncVariant,
+    graph: &CncGraph,
+    cfg: IntegrityConfig,
+) -> Result<(GraphStats, IntegrityReport), CncError> {
+    let st = register_cnc_checked_on(spec, variant, graph, cfg);
+    let stats = graph.wait()?;
+    Ok((stats, st.report()))
 }
 
 /// Fallible form of [`run_cnc`] on a caller-supplied graph, so the
@@ -267,6 +405,30 @@ pub fn run_cnc_on<S: DpSpec>(
 /// collection exists) and so managed-scheduler harnesses can drive the
 /// ready queue step by step.
 pub fn register_cnc_on<S: DpSpec>(spec: &S, variant: CncVariant, graph: &CncGraph) {
+    register_cnc_with(spec, variant, graph, None);
+}
+
+/// [`register_cnc_on`] with an integrity runtime attached: returns the
+/// shared [`IntegrityState`] so callers that drive the graph themselves
+/// (resume drivers, managed-scheduler harnesses, the job server) can
+/// collect the [`IntegrityReport`] after quiescence.
+pub fn register_cnc_checked_on<S: DpSpec>(
+    spec: &S,
+    variant: CncVariant,
+    graph: &CncGraph,
+    cfg: IntegrityConfig,
+) -> Arc<IntegrityState> {
+    let st = Arc::new(IntegrityState::new(cfg));
+    register_cnc_with(spec, variant, graph, Some(st.clone()));
+    st
+}
+
+fn register_cnc_with<S: DpSpec>(
+    spec: &S,
+    variant: CncVariant,
+    graph: &CncGraph,
+    integrity: Option<Arc<IntegrityState>>,
+) {
     let func_names = spec.func_names();
     let step_names = spec.step_names();
     assert_eq!(func_names.len(), step_names.len());
@@ -278,6 +440,7 @@ pub fn register_cnc_on<S: DpSpec>(spec: &S, variant: CncVariant, graph: &CncGrap
             .iter()
             .map(|name| graph.tag_collection(name))
             .collect(),
+        integrity,
     };
 
     for (func, step_name) in step_names.iter().enumerate() {

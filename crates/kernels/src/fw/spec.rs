@@ -215,6 +215,48 @@ impl DpSpec for FwSpec {
         let m = self.m;
         base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
     }
+
+    fn tile_region(&self, tile: TileKey) -> Option<crate::table::TileRegion> {
+        // Tile (k, i, j) relaxes block (i, j) in place; the region is
+        // independent of the pivot k (the write-write chain).
+        let (_, i, j) = tile;
+        let m = self.m;
+        Some(crate::table::TileRegion::new(
+            self.t,
+            i as usize * m,
+            j as usize * m,
+            m,
+            m,
+        ))
+    }
+
+    fn anti_deps(&self, tile: TileKey) -> Vec<TileKey> {
+        // Tile (k, i, j) overwrites block (i, j). At round k-1 that
+        // block was read beyond its chain successor only if it served
+        // as the pivot diagonal (i = j = k-1), the pivot row panel
+        // (i = k-1) or the pivot column panel (j = k-1); the readers
+        // are the round-(k-1) tiles that relax against it. D blocks
+        // (i, j != k-1) are read only by the chain, which `reads`
+        // already orders.
+        let (k, i, j) = tile;
+        if k == 0 {
+            return Vec::new();
+        }
+        let p = k - 1;
+        let t = self.t_tiles;
+        match (i == p, j == p) {
+            // Old pivot diagonal: every round-p tile read it.
+            (true, true) => (0..t)
+                .flat_map(|a| (0..t).map(move |b| (p, a, b)))
+                .filter(|&r| r != (p, p, p))
+                .collect(),
+            // Old pivot row panel (p, j): read down column j.
+            (true, false) => (0..t).filter(|&a| a != p).map(|a| (p, a, j)).collect(),
+            // Old pivot column panel (i, p): read across row i.
+            (false, true) => (0..t).filter(|&b| b != p).map(|b| (p, i, b)).collect(),
+            (false, false) => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +316,44 @@ mod tests {
             for r in spec.reads(tile) {
                 assert!(r.0 <= tile.0, "read {r:?} of tile {tile:?}");
             }
+        }
+    }
+
+    #[test]
+    fn anti_deps_cover_exactly_the_previous_rounds_region_readers() {
+        use crate::spec::DpSpec;
+        let mut m = fw_matrix(32, 1, 0.4);
+        let spec = FwSpec::new(m.ptr(), 8); // t = 4
+        let region_of = |k: TileKey| (k.1, k.2);
+        for call in spec.manual_calls() {
+            let tile = spec.tile(&call);
+            let anti = spec.anti_deps(tile);
+            // Exactly the round-(k-1) tiles (other than the chain
+            // predecessor) that read the block this tile overwrites.
+            let expected: Vec<TileKey> = if tile.0 == 0 {
+                Vec::new()
+            } else {
+                spec.manual_calls()
+                    .iter()
+                    .map(|c| spec.tile(c))
+                    .filter(|&r| {
+                        r.0 == tile.0 - 1
+                            && r != (tile.0 - 1, tile.1, tile.2)
+                            && spec
+                                .reads(r)
+                                .iter()
+                                .any(|rd| rd.0 == tile.0 - 1 && region_of(*rd) == region_of(tile))
+                    })
+                    .collect()
+            };
+            let mut a = anti.clone();
+            let mut e = expected;
+            a.sort_unstable();
+            e.sort_unstable();
+            assert_eq!(a, e, "tile {tile:?}");
+            // The edges always point to the previous round: acyclic by
+            // construction.
+            assert!(anti.iter().all(|r| r.0 + 1 == tile.0));
         }
     }
 }

@@ -218,6 +218,20 @@ impl DpSpec for GeSpec {
         let m = self.m;
         base_kernel(self.t, i as usize * m, j as usize * m, k as usize * m, m);
     }
+
+    fn tile_region(&self, tile: TileKey) -> Option<crate::table::TileRegion> {
+        // Tile (k, i, j) updates block (i, j) in place; the region is
+        // independent of the pivot k (the write-write chain).
+        let (_, i, j) = tile;
+        let m = self.m;
+        Some(crate::table::TileRegion::new(
+            self.t,
+            i as usize * m,
+            j as usize * m,
+            m,
+            m,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod fw;
 pub mod ge;
+pub mod integrity;
 pub mod lcs;
 pub mod paren;
 pub mod simd;
@@ -64,8 +65,12 @@ pub mod table;
 pub mod tune;
 pub mod workloads;
 
+pub use integrity::{
+    IntegrityConfig, IntegrityError, IntegrityEvent, IntegrityMode, IntegrityObserver,
+    IntegrityOptions, IntegrityReport, IntegrityState,
+};
 pub use spec::{Call, Decomposition, DpSpec, Tag, TileKey};
-pub use table::{Matrix, TablePtr};
+pub use table::{Matrix, TablePtr, TileRegion};
 pub use tune::{tune, tuned_base, TileCandidate, TuneKernel, TuneOptions, TuneReport};
 
 /// Which CnC execution variant to run (Sec. III-D / IV-B).

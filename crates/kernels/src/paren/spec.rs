@@ -167,6 +167,18 @@ impl DpSpec for ParenSpec {
         let m = self.m;
         base_kernel(self.t, &self.dims, i as usize * m, j as usize * m, m);
     }
+
+    fn tile_region(&self, tile: TileKey) -> Option<crate::table::TileRegion> {
+        let (i, j, _) = tile;
+        let m = self.m;
+        Some(crate::table::TileRegion::new(
+            self.t,
+            i as usize * m,
+            j as usize * m,
+            m,
+            m,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -214,6 +214,39 @@ pub trait DpSpec: Clone + Send + Sync + 'static {
     /// that every tile in [`DpSpec::reads`] holds its final value (the
     /// engines establish this from the spec's own dependency data).
     unsafe fn run_tile(&self, tile: TileKey);
+
+    /// The table region [`DpSpec::run_tile`] writes for `tile`, if the
+    /// spec exposes one — the unit the integrity layer checksums,
+    /// snapshots and repairs. `None` (the default) opts the spec out of
+    /// integrity checking: the engines fall back to plain execution for
+    /// its tiles.
+    ///
+    /// For the destructive in-place recurrences (GE/FW), successive
+    /// pivot tiles `(k, i, j)` map to the *same* region: repair there is
+    /// pre-image restore + kernel re-run, never recompute-from-zero.
+    fn tile_region(&self, tile: TileKey) -> Option<crate::table::TileRegion> {
+        let _ = tile;
+        None
+    }
+
+    /// Write-after-read hazards: tiles whose *reads* overlap the region
+    /// this tile overwrites, beyond the write-write chain already in
+    /// [`DpSpec::reads`]. A data-flow run gates tile execution only on
+    /// the producers of its reads, so without these edges a tile can
+    /// overwrite a block while a slow same-region reader (or a repairing
+    /// one — the repair loop re-reads its inputs) is still consuming the
+    /// previous phase's values. The checked CnC program waits for these
+    /// tiles' readiness items too, freezing every input region for the
+    /// whole execute/verify/repair window.
+    ///
+    /// Empty (the default) for specs whose read tiles are final when
+    /// their item is put — true of every benchmark here except FW, whose
+    /// pivot row/column/diagonal blocks are re-relaxed in the very next
+    /// round while the current round is still reading them.
+    fn anti_deps(&self, tile: TileKey) -> Vec<TileKey> {
+        let _ = tile;
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,117 @@ impl TablePtr {
     }
 }
 
+/// The rectangular table region one base tile writes — the unit of the
+/// integrity layer's checksum/snapshot/repair cycle.
+///
+/// A [`crate::DpSpec`] names its region per tile via
+/// `DpSpec::tile_region`; the integrity machinery digests it at write
+/// time, snapshots its pre-image for repair, and flips bits in it when a
+/// corruption plan fires. All element access carries the same safety
+/// discipline as [`TablePtr`]: the engines only touch a region while its
+/// tile task holds exclusive write access.
+#[derive(Debug, Clone, Copy)]
+pub struct TileRegion {
+    table: TablePtr,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl TileRegion {
+    /// The `rows x cols` region with top-left corner `(row0, col0)`;
+    /// must lie inside the table.
+    pub fn new(table: TablePtr, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && row0 + rows <= table.n && col0 + cols <= table.n,
+            "tile region [{row0}+{rows}, {col0}+{cols}) escapes the {n}x{n} table",
+            n = table.n
+        );
+        TileRegion {
+            table,
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of cells in the region.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// FNV-1a digest over the region geometry and every cell's bit
+    /// pattern, the same mix as [`Matrix::bit_digest`]. Bitwise
+    /// determinism makes this an exact per-tile checksum: two digests
+    /// agree iff the regions are bit-identical (up to hash collision).
+    ///
+    /// # Safety
+    /// No concurrent task may be writing any cell of the region.
+    pub unsafe fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                mix(self.table.get(self.row0 + i, self.col0 + j).to_bits());
+            }
+        }
+        h
+    }
+
+    /// Copies the region's current contents out (the pre-image a repair
+    /// restores before re-running the tile kernel).
+    ///
+    /// # Safety
+    /// No concurrent task may be writing any cell of the region.
+    pub unsafe fn snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cells());
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.push(self.table.get(self.row0 + i, self.col0 + j));
+            }
+        }
+        out
+    }
+
+    /// Writes a snapshot taken by [`TileRegion::snapshot`] back.
+    ///
+    /// # Safety
+    /// Exclusive write access to the region; `saved` must come from a
+    /// snapshot of the same region.
+    pub unsafe fn restore(&self, saved: &[f64]) {
+        assert_eq!(saved.len(), self.cells(), "snapshot geometry mismatch");
+        let mut it = saved.iter();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.table
+                    .set(self.row0 + i, self.col0 + j, *it.next().unwrap());
+            }
+        }
+    }
+
+    /// Flips bit `bit % 64` of cell `cell % cells()` (row-major) — the
+    /// injected silent-corruption primitive.
+    ///
+    /// # Safety
+    /// Exclusive write access to the region.
+    pub unsafe fn flip_bit(&self, cell: u64, bit: u32) {
+        let idx = (cell % self.cells() as u64) as usize;
+        let (i, j) = (self.row0 + idx / self.cols, self.col0 + idx % self.cols);
+        let v = self.table.get(i, j);
+        self.table
+            .set(i, j, f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64))));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +323,57 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn zero_size_rejected() {
         let _ = Matrix::zeros(0);
+    }
+
+    #[test]
+    fn region_digest_snapshot_restore_roundtrip() {
+        let mut m = Matrix::from_fn(8, |i, j| (i * 8 + j) as f64);
+        let region = TileRegion::new(m.ptr(), 2, 4, 3, 2);
+        unsafe {
+            assert_eq!(region.cells(), 6);
+            let d0 = region.digest();
+            let pre = region.snapshot();
+            assert_eq!(pre, vec![20.0, 21.0, 28.0, 29.0, 36.0, 37.0]);
+            region.flip_bit(0, 3);
+            assert_ne!(region.digest(), d0, "a flipped bit must change the digest");
+            region.restore(&pre);
+            assert_eq!(region.digest(), d0, "restore must be exact");
+        }
+        assert_eq!(m[(2, 4)], 20.0);
+    }
+
+    #[test]
+    fn region_flip_wraps_selectors() {
+        // Cell 4 wraps to cell 0 and bit 64 to bit 0 in a 2x2 region.
+        let mut m1 = Matrix::zeros(4);
+        let mut m2 = Matrix::zeros(4);
+        unsafe {
+            let a = TileRegion::new(m1.ptr(), 0, 0, 2, 2);
+            let b = TileRegion::new(m2.ptr(), 0, 0, 2, 2);
+            a.flip_bit(4, 64);
+            b.flip_bit(0, 0);
+            assert_eq!(a.digest(), b.digest());
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_share_a_table() {
+        let mut m = Matrix::from_fn(4, |i, j| (i + j) as f64);
+        let p = m.ptr();
+        let a = TileRegion::new(p, 0, 0, 2, 2);
+        let b = TileRegion::new(p, 2, 2, 2, 2);
+        unsafe {
+            assert_ne!(a.digest(), b.digest());
+            let d = b.digest();
+            a.flip_bit(1, 1);
+            assert_eq!(b.digest(), d, "flipping a must not touch b");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes")]
+    fn out_of_range_region_rejected() {
+        let mut m = Matrix::zeros(4);
+        let _ = TileRegion::new(m.ptr(), 2, 2, 3, 1);
     }
 }

@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 use recdp::{Benchmark, Execution, AUTO_BASE};
 use recdp_cnc::{CancelToken, CncError, FaultInjector, GraphStats, RetryPolicy};
-use recdp_kernels::{CncVariant, Matrix};
+use recdp_kernels::{
+    CncVariant, IntegrityError, IntegrityMode, IntegrityOptions, IntegrityReport, Matrix,
+};
 
 /// One Smith-Waterman alignment query inside a
 /// [`JobPayload::SwBatch`]: two sequences and the table geometry.
@@ -101,6 +103,15 @@ pub struct JobSpec {
     /// dispatched; defaults to an `O(n^3)`-shaped estimate from the
     /// payload geometry.
     pub work_estimate: Option<f64>,
+    /// Data-integrity policy: with any mode other than
+    /// [`IntegrityMode::Off`] the engines digest every base tile,
+    /// detect silent corruption (whether injected by
+    /// [`Self::injector`] or real) and recompute corrupted tiles from
+    /// their pre-image. The job's [`JobResult::integrity`] carries the
+    /// counters; an unrepairable tile fails the job with
+    /// [`JobError::Integrity`]. The serial-loops oracle is not
+    /// tile-structured, so the policy is a no-op there.
+    pub integrity: IntegrityOptions,
 }
 
 impl JobSpec {
@@ -127,6 +138,7 @@ impl JobSpec {
             retry: RetryPolicy::default(),
             injector: None,
             work_estimate: None,
+            integrity: IntegrityOptions::default(),
         }
     }
 
@@ -185,6 +197,7 @@ impl JobSpec {
             retry: RetryPolicy::default(),
             injector: None,
             work_estimate: None,
+            integrity: IntegrityOptions::default(),
         }
     }
 
@@ -218,6 +231,12 @@ impl JobSpec {
         self
     }
 
+    /// Sets the data-integrity policy for the job's execution.
+    pub fn with_integrity(mut self, integrity: IntegrityOptions) -> Self {
+        self.integrity = integrity;
+        self
+    }
+
     /// Checks the payload's geometry against the kernel contracts
     /// (power-of-two sizes, `base <= n`, sequences covering the
     /// table). [`crate::DpServer::submit`] runs this at the door so a
@@ -238,6 +257,20 @@ impl JobSpec {
                 }
             }
             Ok(())
+        }
+        if let IntegrityMode::Sample(rate) | IntegrityMode::DualExecute(rate) = self.integrity.mode
+        {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(SpecViolation::IntegrityRateOutOfRange { rate });
+            }
+        }
+        // A non-finite or negative estimate would poison the stride
+        // scheduler's virtual-time passes (a NaN pass makes every
+        // comparison in `pick` fall apart), so it is refused here.
+        if let Some(cost) = self.work_estimate {
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(SpecViolation::WorkEstimateNotFinite { cost });
+            }
         }
         match &self.payload {
             JobPayload::Benchmark {
@@ -306,6 +339,9 @@ pub enum JobError {
     Cnc(CncError),
     /// The job's body panicked on the runner; the pool survives.
     Panicked(String),
+    /// The integrity layer found a tile it could not repair within the
+    /// bounded recompute budget; the (corrupt) result is withheld.
+    Integrity(IntegrityError),
     /// The server shut down before the job was dispatched.
     ShutDown,
 }
@@ -316,6 +352,7 @@ impl std::fmt::Display for JobError {
             JobError::Cancelled(reason) => write!(f, "job cancelled: {reason}"),
             JobError::Cnc(e) => write!(f, "data-flow failure: {e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Integrity(e) => write!(f, "data integrity failure: {e}"),
             JobError::ShutDown => write!(f, "server shut down before dispatch"),
         }
     }
@@ -325,7 +362,7 @@ impl std::error::Error for JobError {}
 
 /// A geometry constraint a [`JobSpec`] payload violates, found by
 /// [`JobSpec::validate`] before the job is admitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpecViolation {
     /// Table side is not a power of two.
     NonPowerOfTwoSize {
@@ -373,6 +410,17 @@ pub enum SpecViolation {
         /// Tiles per side (`n / base`).
         tiles: usize,
     },
+    /// An integrity sampling rate outside `[0, 1]` (or non-finite).
+    IntegrityRateOutOfRange {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A fair-share work estimate that is non-finite or negative — it
+    /// would corrupt the stride scheduler's virtual-time passes.
+    WorkEstimateNotFinite {
+        /// The offending estimate.
+        cost: f64,
+    },
 }
 
 impl std::fmt::Display for SpecViolation {
@@ -405,12 +453,18 @@ impl std::fmt::Display for SpecViolation {
                     "tile grid side {tiles} is not a power of decomposition width {r}"
                 )
             }
+            SpecViolation::IntegrityRateOutOfRange { rate } => {
+                write!(f, "integrity sampling rate {rate} is not in [0, 1]")
+            }
+            SpecViolation::WorkEstimateNotFinite { cost } => {
+                write!(f, "work estimate {cost} is not finite and non-negative")
+            }
         }
     }
 }
 
 /// Why a submission was refused at the door.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SubmitError {
     /// The bounded queue is at its configured depth; resubmit later.
     QueueFull {
@@ -454,6 +508,9 @@ pub struct JobResult {
     /// Aggregate CnC statistics over the job's graph(s), when the
     /// data-flow engine ran.
     pub cnc_stats: Option<GraphStats>,
+    /// Aggregate integrity counters over the job's execution(s), when
+    /// a non-`Off` [`JobSpec::integrity`] policy was in force.
+    pub integrity: Option<IntegrityReport>,
 }
 
 impl std::fmt::Debug for JobResult {
@@ -463,6 +520,7 @@ impl std::fmt::Debug for JobResult {
             .field("seconds", &self.seconds)
             .field("queued_seconds", &self.queued_seconds)
             .field("cnc_stats", &self.cnc_stats)
+            .field("integrity", &self.integrity)
             .finish_non_exhaustive()
     }
 }
@@ -482,7 +540,9 @@ pub enum JobStatus {
 pub(crate) enum JobState {
     Queued,
     Running,
-    Done(Result<JobResult, JobError>),
+    // Boxed: a JobResult (tables + stats + integrity report) dwarfs the
+    // other variants, and every job holds this slot for its lifetime.
+    Done(Box<Result<JobResult, JobError>>),
 }
 
 /// State shared between the handle, the scheduler and the runner.
@@ -519,7 +579,7 @@ impl JobShared {
     pub(crate) fn finish(&self, result: Result<JobResult, JobError>) {
         let mut state = self.state.lock();
         if !matches!(*state, JobState::Done(_)) {
-            *state = JobState::Done(result);
+            *state = JobState::Done(Box::new(result));
             self.done.notify_all();
         }
     }
@@ -561,7 +621,7 @@ impl JobHandle {
         let mut state = self.shared.state.lock();
         loop {
             if let JobState::Done(result) = &*state {
-                return result.clone();
+                return (**result).clone();
             }
             self.shared.done.wait(&mut state);
         }
@@ -580,7 +640,7 @@ impl JobHandle {
             let mut state = self.shared.state.lock();
             match &*state {
                 JobState::Queued => {
-                    *state = JobState::Done(Err(JobError::Cancelled(reason.clone())));
+                    *state = JobState::Done(Box::new(Err(JobError::Cancelled(reason.clone()))));
                     self.shared.done.notify_all();
                     true
                 }

@@ -36,6 +36,12 @@
 //!   tracer; the measured step thread-time is charged to the owning
 //!   tenant ([`TenantStats`]), not smeared across whoever shared the
 //!   pool at the time.
+//! * **Data integrity** — [`JobSpec::integrity`] arms the engines'
+//!   tile-digest layer on a job's execution: silent corruption is
+//!   detected, corrupted tiles self-heal by recompute, the per-job
+//!   [`JobResult::integrity`] report and per-tenant detection/repair
+//!   counters quantify it, and an unrepairable tile withholds the
+//!   corrupt result with [`JobError::Integrity`] instead of serving it.
 //!
 //! Isolation boundary: per-job runtime state (graph stats, retry
 //! budgets, deadlines, checkpoints) lives on the job's own `CncGraph`
@@ -207,6 +213,114 @@ mod tests {
             coalesced.cnc_stats.unwrap().steps_completed,
             per_query.cnc_stats.unwrap().steps_completed
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn integrity_policy_heals_and_accounts() {
+        use recdp_faults::FaultPlan;
+        use recdp_kernels::{IntegrityMode, IntegrityOptions};
+        use std::sync::Arc;
+        let server = small_server();
+        let oracle = run_benchmark(Benchmark::Ge, Execution::SerialLoops, 32, 8, 1);
+        for execution in [
+            Execution::SerialRdp,
+            Execution::ForkJoin,
+            Execution::Cnc(CncVariant::Native),
+        ] {
+            let handle = server
+                .submit(
+                    JobSpec::benchmark("chaos", Benchmark::Ge, execution, 32, 8)
+                        .with_injector(Arc::new(FaultPlan::new(41).corrupt_cells(0.1)))
+                        .with_integrity(IntegrityOptions {
+                            mode: IntegrityMode::Full,
+                            max_repair_attempts: 6,
+                            ..Default::default()
+                        }),
+                )
+                .unwrap();
+            let result = handle.wait().unwrap();
+            assert_eq!(
+                result.digests,
+                vec![oracle.table.bit_digest()],
+                "{}",
+                execution.label()
+            );
+            let report = result.integrity.expect("checked jobs carry a report");
+            assert!(report.corruptions_detected > 0, "{report:?}");
+        }
+        let stats = server.tenant_stats("chaos").unwrap();
+        assert_eq!(stats.completed, 3);
+        assert!(stats.corruptions_detected > 0);
+        assert!(stats.tiles_recomputed > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unrepairable_corruption_withholds_the_result() {
+        use recdp_faults::FaultPlan;
+        use recdp_kernels::{IntegrityMode, IntegrityOptions};
+        use std::sync::Arc;
+        let server = small_server();
+        let handle = server
+            .submit(
+                JobSpec::benchmark(
+                    "chaos",
+                    Benchmark::Ge,
+                    Execution::Cnc(CncVariant::Native),
+                    32,
+                    8,
+                )
+                // Rate 1.0 re-corrupts every recompute attempt, so the
+                // repair budget always runs out.
+                .with_injector(Arc::new(FaultPlan::new(41).corrupt_cells(1.0)))
+                .with_integrity(IntegrityOptions {
+                    mode: IntegrityMode::Full,
+                    max_repair_attempts: 2,
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        match handle.wait() {
+            Err(JobError::Integrity(e)) => assert_eq!(e.attempts, 2),
+            other => panic!("expected an integrity failure, got {other:?}"),
+        }
+        let stats = server.tenant_stats("chaos").unwrap();
+        assert_eq!(stats.failed, 1);
+        // The detection/repair work is still charged to the tenant.
+        assert!(stats.corruptions_detected > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_integrity_rate_and_work_estimate_are_refused() {
+        use recdp_kernels::{IntegrityMode, IntegrityOptions};
+        let server = small_server();
+        let bad_rate = server.submit(
+            JobSpec::benchmark("t", Benchmark::Ge, Execution::SerialRdp, 32, 8).with_integrity(
+                IntegrityOptions {
+                    mode: IntegrityMode::Sample(1.5),
+                    ..Default::default()
+                },
+            ),
+        );
+        assert!(matches!(
+            bad_rate,
+            Err(SubmitError::InvalidSpec(
+                SpecViolation::IntegrityRateOutOfRange { .. }
+            ))
+        ));
+        let bad_cost = server.submit(
+            JobSpec::benchmark("t", Benchmark::Ge, Execution::SerialRdp, 32, 8)
+                .with_work_estimate(f64::NAN),
+        );
+        assert!(matches!(
+            bad_cost,
+            Err(SubmitError::InvalidSpec(
+                SpecViolation::WorkEstimateNotFinite { .. }
+            ))
+        ));
+        assert_eq!(server.tenant_stats("t").unwrap().rejected, 2);
         server.shutdown();
     }
 

@@ -98,27 +98,32 @@ impl Scheduler {
     /// smallest pass (FIFO on ties via each queue's oldest seq), and
     /// within it the highest-priority job (oldest on priority ties).
     /// Charges `cost / weight` to the tenant at dispatch.
+    ///
+    /// This runs on a runner lane holding the scheduler lock, so it
+    /// must never panic: passes are compared with `total_cmp` (ordered
+    /// even for NaN — admission rejects non-finite costs, but a poisoned
+    /// pass must still dispatch rather than wedge every runner) and the
+    /// empty-queue cases fall through to `None` instead of unwrapping.
     pub(crate) fn pick(&mut self) -> Option<QueuedJob> {
+        let oldest = |t: &TenantQueue| t.jobs.iter().map(|j| j.seq).min().unwrap_or(u64::MAX);
         let winner = self
             .tenants
             .iter()
             .filter(|(_, t)| !t.jobs.is_empty())
             .min_by(|(_, a), (_, b)| {
-                let oldest = |t: &TenantQueue| t.jobs.iter().map(|j| j.seq).min().unwrap();
-                (a.pass, oldest(a))
-                    .partial_cmp(&(b.pass, oldest(b)))
-                    .expect("passes are finite")
+                a.pass
+                    .total_cmp(&b.pass)
+                    .then_with(|| oldest(a).cmp(&oldest(b)))
             })?
             .0
             .clone();
-        let tenant = self.tenants.get_mut(&winner).expect("winner exists");
+        let tenant = self.tenants.get_mut(&winner)?;
         let best = tenant
             .jobs
             .iter()
             .enumerate()
             .max_by_key(|(_, j)| (j.spec.priority, std::cmp::Reverse(j.seq)))
-            .map(|(i, _)| i)
-            .expect("winner is backlogged");
+            .map(|(i, _)| i)?;
         let job = tenant.jobs.remove(best);
         self.queued -= 1;
         // The winner's pre-charge pass is the minimum over backlogged

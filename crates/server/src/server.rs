@@ -12,6 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use recdp::{prepare_job_with, prepare_sw_query, Execution, PreparedJob};
 use recdp_cnc::{CncError, CncGraph, GraphStats};
 use recdp_forkjoin::{ThreadPool, ThreadPoolBuilder};
+use recdp_kernels::{IntegrityConfig, IntegrityMode, IntegrityReport};
 use recdp_trace::{panic_message, TraceSession, Tracer};
 
 use crate::job::{
@@ -281,6 +282,11 @@ struct Executed {
     /// wall time otherwise).
     busy_ns: u64,
     steps_completed: u64,
+    /// Integrity-layer activity to account to the tenant (also charged
+    /// when the job *fails* with an unrepairable tile — the detection
+    /// and repair work happened either way).
+    corruptions_detected: u64,
+    tiles_recomputed: u64,
 }
 
 fn runner_loop(inner: &Arc<Inner>) {
@@ -315,6 +321,8 @@ fn runner_loop(inner: &Arc<Inner>) {
                 result: Err(JobError::Panicked(panic_message(&*panic))),
                 busy_ns: started.elapsed().as_nanos() as u64,
                 steps_completed: 0,
+                corruptions_detected: 0,
+                tiles_recomputed: 0,
             },
         };
         let run_ns = started.elapsed().as_nanos() as u64;
@@ -324,6 +332,8 @@ fn runner_loop(inner: &Arc<Inner>) {
             t.busy_ns += executed.busy_ns;
             t.steps_completed += executed.steps_completed;
             t.work_charged += job.spec.cost();
+            t.corruptions_detected += executed.corruptions_detected;
+            t.tiles_recomputed += executed.tiles_recomputed;
             match &executed.result {
                 Ok(_) => t.completed += 1,
                 Err(JobError::Cancelled(_)) => t.cancelled += 1,
@@ -388,6 +398,22 @@ fn add_stats(acc: &mut GraphStats, s: GraphStats) {
     acc.items_restored += s.items_restored;
 }
 
+/// The job's integrity runtime configuration, or `None` when its
+/// declared mode is `Off`: the spec's [`IntegrityOptions`] with the
+/// job's fault injector attached as the corruption source.
+///
+/// [`IntegrityOptions`]: recdp_kernels::IntegrityOptions
+fn integrity_config(spec: &JobSpec) -> Option<IntegrityConfig> {
+    if spec.integrity.mode == IntegrityMode::Off {
+        return None;
+    }
+    let mut cfg = IntegrityConfig::from(spec.integrity);
+    if let Some(injector) = &spec.injector {
+        cfg = cfg.with_injector(Arc::clone(injector));
+    }
+    Some(cfg)
+}
+
 fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
     let spec = &job.spec;
     // The SLA clock started at submission: a job that already blew its
@@ -405,6 +431,8 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
                     })),
                     busy_ns: 0,
                     steps_completed: 0,
+                    corruptions_detected: 0,
+                    tiles_recomputed: 0,
                 }
             }
         },
@@ -419,7 +447,15 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
     );
     let tracer = (inner.cfg.trace_utilization && uses_cnc).then(Tracer::new);
     let started = Instant::now();
-    let outcome: Result<(Vec<PreparedJob>, Option<GraphStats>), JobError> = match &spec.payload {
+    type Outcome = Result<
+        (
+            Vec<PreparedJob>,
+            Option<GraphStats>,
+            Option<IntegrityReport>,
+        ),
+        JobError,
+    >;
+    let outcome: Outcome = match &spec.payload {
         JobPayload::Benchmark {
             benchmark,
             execution,
@@ -437,22 +473,43 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
             );
             match execution {
                 Execution::SerialLoops => {
+                    // The loops oracle is not tile-structured; the
+                    // integrity policy has nothing to attach to.
                     p.run_loops();
-                    Ok((vec![p], None))
+                    Ok((vec![p], None, None))
                 }
                 Execution::SerialRdp => {
-                    p.run_serial_rdp();
-                    Ok((vec![p], None))
+                    let report = match integrity_config(spec) {
+                        Some(cfg) => Some(p.run_serial_checked(cfg)),
+                        None => {
+                            p.run_serial_rdp();
+                            None
+                        }
+                    };
+                    Ok((vec![p], None, report))
                 }
                 Execution::ForkJoin => {
-                    p.run_forkjoin(&inner.pool);
-                    Ok((vec![p], None))
+                    let report = match integrity_config(spec) {
+                        Some(cfg) => Some(p.run_forkjoin_checked(&inner.pool, cfg)),
+                        None => {
+                            p.run_forkjoin(&inner.pool);
+                            None
+                        }
+                    };
+                    Ok((vec![p], None, report))
                 }
                 Execution::Cnc(v) => {
                     let graph = arm_graph(inner, job, remaining, tracer.as_ref());
-                    p.run_cnc_on(*v, &graph)
-                        .map(|stats| (vec![p], Some(stats)))
-                        .map_err(map_cnc_err)
+                    match integrity_config(spec) {
+                        Some(cfg) => p
+                            .run_cnc_checked_on(*v, &graph, cfg)
+                            .map(|(stats, report)| (vec![p], Some(stats), Some(report)))
+                            .map_err(map_cnc_err),
+                        None => p
+                            .run_cnc_on(*v, &graph)
+                            .map(|stats| (vec![p], Some(stats), None))
+                            .map_err(map_cnc_err),
+                    }
                 }
             }
         }
@@ -465,19 +522,41 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
                 .iter()
                 .map(|q| prepare_sw_query(&q.a, &q.b, q.n, q.base))
                 .collect();
+            let icfg = integrity_config(spec);
             match mode {
                 BatchMode::Coalesced => {
                     let graph = arm_graph(inner, job, remaining, tracer.as_ref());
-                    for p in &jobs {
-                        p.register_cnc(*variant, &graph);
-                    }
+                    // One integrity state per registration (their digest
+                    // registries are per-query, like the collections);
+                    // the per-query reports merge after quiescence.
+                    let states: Vec<_> = match &icfg {
+                        Some(cfg) => jobs
+                            .iter()
+                            .map(|p| p.register_cnc_checked(*variant, &graph, cfg.clone()))
+                            .collect(),
+                        None => {
+                            for p in &jobs {
+                                p.register_cnc(*variant, &graph);
+                            }
+                            Vec::new()
+                        }
+                    };
                     graph
                         .wait()
-                        .map(|stats| (jobs, Some(stats)))
+                        .map(|stats| {
+                            let report = icfg.is_some().then(|| {
+                                states
+                                    .iter()
+                                    .map(|s| s.report())
+                                    .fold(IntegrityReport::default(), IntegrityReport::merge)
+                            });
+                            (jobs, Some(stats), report)
+                        })
                         .map_err(map_cnc_err)
                 }
                 BatchMode::PerQuery => {
                     let mut acc = GraphStats::default();
+                    let mut report: Option<IntegrityReport> = None;
                     let mut failure = None;
                     for p in &jobs {
                         if job.shared.cancel_requested.load(Ordering::SeqCst) {
@@ -486,7 +565,16 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
                             break;
                         }
                         let graph = arm_graph(inner, job, remaining, tracer.as_ref());
-                        match p.run_cnc_on(*variant, &graph) {
+                        let res = match &icfg {
+                            Some(cfg) => p.run_cnc_checked_on(*variant, &graph, cfg.clone()).map(
+                                |(stats, r)| {
+                                    report = Some(report.unwrap_or_default().merge(r));
+                                    stats
+                                },
+                            ),
+                            None => p.run_cnc_on(*variant, &graph),
+                        };
+                        match res {
                             Ok(stats) => add_stats(&mut acc, stats),
                             Err(e) => {
                                 failure = Some(map_cnc_err(e));
@@ -495,7 +583,7 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
                         }
                     }
                     match failure {
-                        None => Ok((jobs, Some(acc))),
+                        None => Ok((jobs, Some(acc), report)),
                         Some(e) => Err(e),
                     }
                 }
@@ -511,20 +599,34 @@ fn execute(inner: &Inner, job: &QueuedJob, queued_s: f64) -> Executed {
         }
         None => ((seconds * 1e9) as u64, 0),
     };
-    let result = outcome.map(|(jobs, cnc_stats)| {
+    let mut corruptions_detected = 0;
+    let mut tiles_recomputed = 0;
+    let result = outcome.and_then(|(jobs, cnc_stats, integrity)| {
+        if let Some(r) = &integrity {
+            // Charge the detection/repair work to the tenant whether or
+            // not the job survives it.
+            corruptions_detected = r.corruptions_detected + r.put_corruptions_detected;
+            tiles_recomputed = r.tiles_recomputed;
+            // An unrepairable tile means the tables are corrupt: the
+            // result is withheld, not served.
+            r.ok().map_err(JobError::Integrity)?;
+        }
         let tables: Vec<_> = jobs.into_iter().map(PreparedJob::into_table).collect();
         let digests = tables.iter().map(|t| t.bit_digest()).collect();
-        JobResult {
+        Ok(JobResult {
             tables,
             digests,
             seconds,
             queued_seconds: queued_s,
             cnc_stats,
-        }
+            integrity,
+        })
     });
     Executed {
         result,
         busy_ns,
         steps_completed,
+        corruptions_detected,
+        tiles_recomputed,
     }
 }

@@ -36,6 +36,12 @@ pub struct TenantStats {
     pub work_charged: f64,
     /// CnC steps completed on behalf of this tenant.
     pub steps_completed: u64,
+    /// Silent tile corruptions the integrity layer detected across
+    /// this tenant's checked jobs (cell flips and mangled puts).
+    pub corruptions_detected: u64,
+    /// Corrupted tiles healed by recompute-from-pre-image for this
+    /// tenant — the self-healing work the tenant's jobs triggered.
+    pub tiles_recomputed: u64,
 }
 
 /// Whole-server aggregates.

@@ -128,6 +128,24 @@ fn describe(tracer: &Tracer, kind: EventKind) -> (String, Vec<(&'static str, Str
             "worker-respawned".to_string(),
             vec![("worker", worker.to_string())],
         ),
+        EventKind::CorruptionDetected { step, tile } => {
+            let name = tracer
+                .step_name(step)
+                .unwrap_or_else(|| format!("step#{}", step.0));
+            (
+                "corruption-detected".to_string(),
+                vec![("step", name), ("tile", format!("{tile:#x}"))],
+            )
+        }
+        EventKind::TileRecomputed { step, tile } => {
+            let name = tracer
+                .step_name(step)
+                .unwrap_or_else(|| format!("step#{}", step.0));
+            (
+                "tile-recomputed".to_string(),
+                vec![("step", name), ("tile", format!("{tile:#x}"))],
+            )
+        }
     }
 }
 

@@ -159,6 +159,23 @@ pub enum EventKind {
         /// Index of the revived worker slot.
         worker: u32,
     },
+    /// integrity: a tile-output digest mismatch was detected — silent
+    /// cell corruption caught by verification, or a mangled item payload
+    /// caught by a consumer (instant).
+    CorruptionDetected {
+        /// Interned step (or item-collection) name.
+        step: StepId,
+        /// Deterministic hash of the affected tile key.
+        tile: u64,
+    },
+    /// integrity: a quarantined tile was recomputed from its pre-image
+    /// (self-healing repair, instant).
+    TileRecomputed {
+        /// Interned step name of the recomputing task.
+        step: StepId,
+        /// Deterministic hash of the recomputed tile key.
+        tile: u64,
+    },
 }
 
 /// One timestamped event in a [`Lane`].
@@ -406,6 +423,16 @@ impl Tracer {
                         tag,
                     },
                     EventKind::WorkerDied { worker } => NormalizedEvent::WorkerDied { worker },
+                    EventKind::CorruptionDetected { step, tile } => {
+                        NormalizedEvent::CorruptionDetected {
+                            step: self.step_name(step).unwrap_or_default(),
+                            tile,
+                        }
+                    }
+                    EventKind::TileRecomputed { step, tile } => NormalizedEvent::TileRecomputed {
+                        step: self.step_name(step).unwrap_or_default(),
+                        tile,
+                    },
                     EventKind::WorkRequeued { worker, tasks } => {
                         NormalizedEvent::WorkRequeued { worker, tasks }
                     }
@@ -476,6 +503,20 @@ pub enum NormalizedEvent {
     WorkerRespawned {
         /// Index of the revived worker slot.
         worker: u32,
+    },
+    /// A tile-output digest mismatch was detected.
+    CorruptionDetected {
+        /// Step (or item-collection) name.
+        step: String,
+        /// Deterministic hash of the affected tile key.
+        tile: u64,
+    },
+    /// A quarantined tile was recomputed from its pre-image.
+    TileRecomputed {
+        /// Step name of the recomputing task.
+        step: String,
+        /// Deterministic hash of the recomputed tile key.
+        tile: u64,
     },
 }
 

@@ -79,6 +79,10 @@ pub struct TraceReport {
     pub tasks_requeued: u64,
     /// Replacement workers spawned into dead workers' slots.
     pub worker_respawns: u64,
+    /// Tile-output digest mismatches detected by the integrity layer.
+    pub corruptions_detected: u64,
+    /// Quarantined tiles recomputed from their pre-image.
+    pub tiles_recomputed: u64,
     /// Events lost to lane-ring overflow (nonzero means the other
     /// numbers undercount).
     pub dropped_events: u64,
@@ -115,6 +119,8 @@ impl TraceReport {
             worker_deaths: 0,
             tasks_requeued: 0,
             worker_respawns: 0,
+            corruptions_detected: 0,
+            tiles_recomputed: 0,
             dropped_events: 0,
         };
         for lane in tracer.lanes() {
@@ -163,6 +169,8 @@ impl TraceReport {
                     EventKind::WorkerDied { .. } => report.worker_deaths += 1,
                     EventKind::WorkRequeued { tasks, .. } => report.tasks_requeued += tasks,
                     EventKind::WorkerRespawned { .. } => report.worker_respawns += 1,
+                    EventKind::CorruptionDetected { .. } => report.corruptions_detected += 1,
+                    EventKind::TileRecomputed { .. } => report.tiles_recomputed += 1,
                 }
             }
             // A lane is one thread, so its busy set is the union of its
